@@ -1,0 +1,75 @@
+//! End-to-end pipeline benchmarks: what one benchmark *query* costs
+//! (generate → truncate → compile → simulate), and the per-scenario sweep
+//! throughput that bounds full-table regeneration time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vgen_core::check::check_completion;
+use vgen_core::sweep::{run_engine, EvalConfig};
+use vgen_corpus::CorpusSource;
+use vgen_lm::engine::CompletionEngine;
+use vgen_lm::{FamilyEngine, ModelFamily, ModelId, Tuning};
+use vgen_problems::{problem, PromptLevel};
+use vgen_sim::SimConfig;
+
+fn bench_check(c: &mut Criterion) {
+    let p6 = problem(6).expect("p6");
+    let mut g = c.benchmark_group("check");
+    g.bench_function("check_correct_counter", |b| {
+        b.iter(|| {
+            black_box(check_completion(
+                p6,
+                PromptLevel::Low,
+                p6.reference_body,
+                SimConfig::default(),
+            ))
+        })
+    });
+    g.bench_function("check_syntax_error", |b| {
+        b.iter(|| {
+            black_box(check_completion(
+                p6,
+                PromptLevel::Low,
+                "always @(posedge clk begin q <= q + 1;\nendmodule",
+                SimConfig::default(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let p2 = problem(2).expect("p2");
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.bench_function("family_generate_n10", |b| {
+        let mut engine = FamilyEngine::new(
+            ModelId::new(ModelFamily::CodeGen16B, Tuning::FineTuned),
+            CorpusSource::GithubOnly,
+            1,
+        );
+        // Prime the bank so the benchmark measures steady-state generation.
+        let _ = engine.generate(p2, PromptLevel::Low, 0.1, 1);
+        b.iter(|| black_box(engine.generate(p2, PromptLevel::Low, 0.1, 10)))
+    });
+    g.bench_function("scenario_sweep_basic", |b| {
+        let cfg = EvalConfig {
+            temperatures: vec![0.1],
+            ns: vec![5],
+            levels: vec![PromptLevel::Low],
+            problem_ids: vec![1, 2, 3, 4],
+            sim: SimConfig::default(),
+        };
+        let mut engine = FamilyEngine::new(
+            ModelId::new(ModelFamily::CodeGen16B, Tuning::FineTuned),
+            CorpusSource::GithubOnly,
+            2,
+        );
+        b.iter(|| black_box(run_engine(&mut engine, &cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_check, bench_engine);
+criterion_main!(benches);

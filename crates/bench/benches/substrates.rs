@@ -1,0 +1,168 @@
+//! Criterion micro-benchmarks for the substrates, including the ablation
+//! sweeps called out in DESIGN.md: MinHash permutation count and BPE merge
+//! count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vgen_corpus::minhash::MinHasher;
+use vgen_corpus::pipeline::{build_corpus, CorpusSource, PipelineConfig};
+use vgen_corpus::shingle::shingles;
+use vgen_lm::bpe::Bpe;
+use vgen_lm::ngram::NgramModel;
+use vgen_problems::problems;
+
+fn sample_sources() -> Vec<String> {
+    problems().iter().map(|p| p.reference_source()).collect()
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let sources = sample_sources();
+    let joined = sources.join("\n");
+    let mut g = c.benchmark_group("frontend");
+    g.bench_function("lex_all_references", |b| {
+        b.iter(|| {
+            for s in &sources {
+                black_box(vgen_verilog::lexer::tokenize(s).expect("lex"));
+            }
+        })
+    });
+    g.bench_function("parse_all_references", |b| {
+        b.iter(|| {
+            for s in &sources {
+                black_box(vgen_verilog::parse(s).expect("parse"));
+            }
+        })
+    });
+    g.bench_function("pretty_roundtrip", |b| {
+        let file = vgen_verilog::parse(&joined).expect("parse");
+        b.iter(|| black_box(vgen_verilog::pretty::pretty_file(&file)));
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let counter = vgen_problems::problem(6).expect("p6");
+    let src = format!("{}\n{}", counter.reference_source(), counter.testbench);
+    let abro = vgen_problems::problem(17).expect("p17");
+    let abro_src = format!("{}\n{}", abro.reference_source(), abro.testbench);
+    let mut g = c.benchmark_group("simulator");
+    g.bench_function("elaborate_counter_tb", |b| {
+        let file = vgen_verilog::parse(&src).expect("parse");
+        b.iter(|| black_box(vgen_sim::elab::elaborate(&file, "tb").expect("elab")));
+    });
+    g.bench_function("simulate_counter_tb", |b| {
+        b.iter(|| {
+            black_box(
+                vgen_sim::simulate(&src, Some("tb"), vgen_sim::SimConfig::default())
+                    .expect("sim"),
+            )
+        })
+    });
+    g.bench_function("simulate_abro_tb", |b| {
+        b.iter(|| {
+            black_box(
+                vgen_sim::simulate(&abro_src, Some("tb"), vgen_sim::SimConfig::default())
+                    .expect("sim"),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_minhash(c: &mut Criterion) {
+    let corpus = build_corpus(
+        CorpusSource::GithubOnly,
+        &PipelineConfig {
+            synth: vgen_corpus::synth::SynthConfig {
+                base_files: 60,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let sets: Vec<_> = corpus
+        .examples
+        .iter()
+        .take(100)
+        .map(|e| shingles(e, 3))
+        .collect();
+    let mut g = c.benchmark_group("minhash");
+    // Ablation: signature length vs cost.
+    for perms in [32usize, 64, 128, 256] {
+        g.bench_with_input(
+            BenchmarkId::new("signatures", perms),
+            &perms,
+            |b, &perms| {
+                let hasher = MinHasher::new(perms, 7);
+                b.iter(|| {
+                    for s in &sets {
+                        black_box(hasher.signature(s));
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_lm(c: &mut Criterion) {
+    let text: String = sample_sources().join("\n").repeat(4);
+    let mut g = c.benchmark_group("lm");
+    g.sample_size(10);
+    // Ablation: BPE merge count vs training cost and compression.
+    for merges in [100usize, 400] {
+        g.bench_with_input(BenchmarkId::new("bpe_train", merges), &merges, |b, &m| {
+            b.iter(|| black_box(Bpe::train(&text, m)))
+        });
+    }
+    let bpe = Bpe::train(&text, 400);
+    let tokens = bpe.encode(&text);
+    g.bench_function("bpe_encode", |b| b.iter(|| black_box(bpe.encode(&text))));
+    for order in [3usize, 6] {
+        g.bench_with_input(BenchmarkId::new("ngram_train", order), &order, |b, &o| {
+            b.iter(|| black_box(NgramModel::train(&tokens, o)))
+        });
+    }
+    let model = NgramModel::train(&tokens, 6);
+    g.bench_function("ngram_next_scores", |b| {
+        b.iter(|| black_box(model.next_scores(&tokens[..64])))
+    });
+    g.finish();
+}
+
+fn bench_synth(c: &mut Criterion) {
+    let abro = vgen_problems::problem(17).expect("p17").reference_source();
+    let shift64 = vgen_problems::problem(16).expect("p16").reference_source();
+    let mut g = c.benchmark_group("synth");
+    g.bench_function("synthesize_abro", |b| {
+        b.iter(|| black_box(vgen_synth::synthesize_source(&abro).expect("synth")))
+    });
+    g.bench_function("synthesize_shift64", |b| {
+        b.iter(|| black_box(vgen_synth::synthesize_source(&shift64).expect("synth")))
+    });
+    g.bench_function("netlist_eval_cycle", |b| {
+        let r = vgen_synth::synthesize_source(&abro).expect("synth");
+        let mut sim = vgen_synth::NetlistSim::new(r.netlist);
+        use vgen_verilog::value::LogicVec;
+        sim.set_input("reset", LogicVec::from_bool(false));
+        sim.set_input("a", LogicVec::from_bool(true));
+        sim.set_input("b", LogicVec::from_bool(false));
+        let mut clk = 0u64;
+        b.iter(|| {
+            clk ^= 1;
+            black_box(sim.set_and_step("clk", LogicVec::from_u64(clk, 1)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_frontend,
+    bench_simulator,
+    bench_minhash,
+    bench_lm,
+    bench_synth
+);
+criterion_main!(benches);

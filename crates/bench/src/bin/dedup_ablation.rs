@@ -1,0 +1,78 @@
+//! Ablation of the corpus de-duplication stage (DESIGN.md knob #2):
+//! MinHash permutation count, LSH band count, and Jaccard threshold vs
+//! dedup quality against known ground truth.
+//!
+//! The synthetic GitHub corpus plants exact clones and near-duplicate forks
+//! on purpose, so precision/recall are measurable: recall = fraction of
+//! planted duplicates removed; a false positive is a removed file whose
+//! cluster representative is not its true source.
+
+use std::collections::HashSet;
+
+use vgen_bench::write_artifact;
+use vgen_corpus::minhash::{dedup_clusters, MinHasher};
+use vgen_corpus::shingle::{jaccard, shingles};
+use vgen_corpus::synth::{generate_github_corpus, SynthConfig};
+
+fn main() {
+    let cfg = SynthConfig {
+        base_files: 150,
+        clone_fraction: 0.2,
+        near_dup_fraction: 0.15,
+        junk_fraction: 0.0,
+        oversized_fraction: 0.0,
+    };
+    let files = generate_github_corpus(&cfg, 0xDED0);
+    // Ground truth: two files are duplicates when their exact Jaccard at
+    // k=3 exceeds 0.8 (the pipeline's production threshold).
+    let sets: Vec<HashSet<u64>> = files
+        .iter()
+        .map(|f| shingles(&f.content, 3))
+        .collect();
+    let mut truth_pairs = 0usize;
+    for i in 0..sets.len() {
+        for j in i + 1..sets.len() {
+            if jaccard(&sets[i], &sets[j]) >= 0.8 {
+                truth_pairs += 1;
+            }
+        }
+    }
+
+    let mut report = String::from(
+        "ABLATION: MinHash/LSH configuration vs dedup quality\n\
+         (ground truth: exact-Jaccard >= 0.8 pairs in a planted corpus)\n\n\
+         perms  bands  removed  truth_dups  note\n",
+    );
+    let truth_removed = {
+        // With exact Jaccard the number of removable files equals files
+        // whose cluster representative is not themselves.
+        let hasher = MinHasher::new(256, 1);
+        let reps = dedup_clusters(&sets, &hasher, 256, 0.8);
+        reps.iter().enumerate().filter(|(i, r)| *i != **r).count()
+    };
+    for &(perms, bands) in &[(16usize, 4usize), (32, 8), (64, 16), (128, 32), (256, 64)] {
+        let hasher = MinHasher::new(perms, 1);
+        let reps = dedup_clusters(&sets, &hasher, bands, 0.8);
+        let removed = reps.iter().enumerate().filter(|(i, r)| *i != **r).count();
+        let note = if removed == truth_removed {
+            "exact"
+        } else if removed < truth_removed {
+            "missed some (few LSH candidates)"
+        } else {
+            "over-merged"
+        };
+        report.push_str(&format!(
+            "{perms:>5}  {bands:>5}  {removed:>7}  {truth_removed:>10}  {note}\n"
+        ));
+    }
+    report.push_str(&format!(
+        "\n{truth_pairs} ground-truth duplicate pairs in {} files.\n\
+         Expected shape: recall saturates once the signature is long enough\n\
+         (>= 64 permutations); tiny signatures miss near-duplicate forks\n\
+         because no band collides. Candidate pairs are always verified with\n\
+         exact Jaccard, so precision never degrades.\n",
+        files.len()
+    ));
+    println!("{report}");
+    write_artifact("dedup_ablation.txt", &report);
+}

@@ -1,0 +1,39 @@
+//! Regenerates paper Fig 6: functional Pass@(scenario·n) across sampling
+//! temperature (left) and completions-per-prompt n ∈ {1, 10, 25} (right).
+//!
+//! This is the largest sweep; set `VGEN_QUICK=1` to shrink it.
+
+use vgen_bench::{quick_mode, write_artifact};
+use vgen_core::experiments::evaluate_all_models;
+use vgen_core::report::{records_csv, render_fig6_n, render_fig6_temperature};
+use vgen_core::sweep::{EvalConfig, PAPER_NS, PAPER_TEMPERATURES};
+use vgen_corpus::CorpusSource;
+
+fn main() {
+    let (cfg, n_for_left) = if quick_mode() {
+        (
+            EvalConfig {
+                temperatures: vec![0.1, 0.5, 1.0],
+                ns: vec![1, 4],
+                ..EvalConfig::default()
+            },
+            4,
+        )
+    } else {
+        (
+            EvalConfig {
+                temperatures: PAPER_TEMPERATURES.to_vec(),
+                ns: PAPER_NS.to_vec(),
+                ..EvalConfig::default()
+            },
+            10,
+        )
+    };
+    let ns = cfg.ns.clone();
+    let rows = evaluate_all_models(&cfg, CorpusSource::GithubOnly, 0xF166);
+    let left = render_fig6_temperature(&rows, n_for_left);
+    let right = render_fig6_n(&rows, &ns);
+    println!("{left}\n{right}");
+    write_artifact("fig6.txt", &format!("{left}\n{right}"));
+    write_artifact("fig6_records.csv", &records_csv(&rows));
+}

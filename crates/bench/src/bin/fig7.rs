@@ -1,0 +1,16 @@
+//! Regenerates paper Fig 7: functional Pass@(scenario·10) across prompt
+//! description levels (left) and problem difficulties (right).
+
+use vgen_bench::{table_config, table_n, write_artifact};
+use vgen_core::experiments::evaluate_all_models;
+use vgen_core::report::{render_fig7_difficulty, render_fig7_levels};
+use vgen_corpus::CorpusSource;
+
+fn main() {
+    let cfg = table_config();
+    let rows = evaluate_all_models(&cfg, CorpusSource::GithubOnly, 0xF177);
+    let left = render_fig7_levels(&rows, table_n());
+    let right = render_fig7_difficulty(&rows, table_n());
+    println!("{left}\n{right}");
+    write_artifact("fig7.txt", &format!("{left}\n{right}"));
+}

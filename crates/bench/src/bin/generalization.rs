@@ -1,0 +1,75 @@
+//! Extension experiment: memorization vs generalization of the *real*
+//! trainable engine.
+//!
+//! The BPE + n-gram pipeline is trained on the synthetic corpus plus the
+//! solutions of the original 17 problems, then evaluated on (a) those seen
+//! problems and (b) the held-out extended set (problems 18–25). An n-gram
+//! model has no abstraction, so the expected shape is stark: near-perfect
+//! recall on seen prompts at low temperature, near-zero transfer to unseen
+//! ones — the small-scale analogue of the paper's observation that
+//! fine-tuned models echo training idioms (§VI) and fail where the corpus
+//! lacks diversity (problem 12).
+
+use vgen_bench::write_artifact;
+use vgen_core::check::{check_completion, CheckOutcome};
+use vgen_corpus::pipeline::{build_corpus, CorpusSource, PipelineConfig};
+use vgen_lm::engine::{CompletionEngine, NgramEngine};
+use vgen_problems::{extended_problems, problems, Problem, PromptLevel};
+use vgen_sim::SimConfig;
+
+fn score(engine: &mut NgramEngine, set: &[&Problem], t: f64, n: usize) -> (usize, usize, usize) {
+    let (mut total, mut compiled, mut passed) = (0, 0, 0);
+    for p in set {
+        for c in engine.generate(p, PromptLevel::Low, t, n) {
+            let r = check_completion(p, PromptLevel::Low, &c.text, SimConfig::default());
+            total += 1;
+            if r.outcome.compiled() {
+                compiled += 1;
+            }
+            if matches!(r.outcome, CheckOutcome::Pass) {
+                passed += 1;
+            }
+        }
+    }
+    (total, compiled, passed)
+}
+
+fn main() {
+    let corpus = build_corpus(CorpusSource::GithubAndBooks, &PipelineConfig::default());
+    let mut text = corpus.joined_text();
+    for p in problems() {
+        for s in p.all_solutions() {
+            text.push_str(&s);
+            text.push('\n');
+        }
+    }
+    eprintln!("training n-gram engine on {} bytes ...", text.len());
+    let mut engine = NgramEngine::train(&text, 600, 10, 0xFEED);
+
+    let seen: Vec<&Problem> = problems().iter().collect();
+    let unseen: Vec<&Problem> = extended_problems().iter().collect();
+
+    let mut report = String::from(
+        "EXTENSION: memorization vs generalization of the real n-gram engine\n\
+         (trained on the corpus + the ORIGINAL 17 solutions; extended set held out)\n\n\
+         set       t    total  compiled  passed\n",
+    );
+    for &t in &[0.0, 0.5] {
+        let (tot, comp, pass) = score(&mut engine, &seen, t, 3);
+        report.push_str(&format!(
+            "seen     {t:<4} {tot:>6}  {comp:>8}  {pass:>6}\n"
+        ));
+        let (tot, comp, pass) = score(&mut engine, &unseen, t, 3);
+        report.push_str(&format!(
+            "held-out {t:<4} {tot:>6}  {comp:>8}  {pass:>6}\n"
+        ));
+    }
+    report.push_str(
+        "\nExpected shape: high pass counts on the seen set at t=0 (pure\n\
+         recall), near zero on the held-out set — n-grams memorise, they do\n\
+         not generalise. This motivates the paper's use of large pre-trained\n\
+         transformers rather than classical LMs.\n",
+    );
+    println!("{report}");
+    write_artifact("generalization.txt", &report);
+}

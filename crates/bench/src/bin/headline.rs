@@ -1,0 +1,17 @@
+//! Regenerates the §VI/§VII headline aggregates: pre-trained vs fine-tuned
+//! compile rates (11.9% vs 64.6%), functional rates (1.09% vs 27.0%), and
+//! CodeGen-16B FT vs code-davinci-002 (41.9% vs 35.4%).
+
+use vgen_bench::{table_config, table_n, write_artifact};
+use vgen_core::experiments::evaluate_all_models;
+use vgen_core::report::{headline_stats, render_headline};
+use vgen_corpus::CorpusSource;
+
+fn main() {
+    let cfg = table_config();
+    let rows = evaluate_all_models(&cfg, CorpusSource::GithubOnly, 0xDA7E2023);
+    let h = headline_stats(&rows, table_n());
+    let report = render_headline(&h);
+    println!("{report}");
+    write_artifact("headline.txt", &report);
+}

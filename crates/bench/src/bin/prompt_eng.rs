@@ -1,0 +1,51 @@
+//! Extension experiment (the paper's §VI future work): prompt engineering
+//! for the three problems CodeGen-16B FT failed — LFSR (7), shift/rotate
+//! (9) and truth table (12).
+//!
+//! The engineered prompt texts live in `vgen_problems::engineered_prompt`
+//! (they spell out the exact construct the §VI failure analysis found the
+//! models fumbling); their modelled effect follows the paper's own
+//! prognosis — problems 7 and 9 are prompt-fixable, problem 12's failure is
+//! a training-diversity problem no prompt can fix.
+
+use vgen_bench::write_artifact;
+use vgen_core::sweep::{run_engine, EvalConfig, PAPER_TEMPERATURES};
+use vgen_corpus::CorpusSource;
+use vgen_lm::{FamilyEngine, ModelFamily, ModelId, Tuning};
+use vgen_problems::PromptLevel;
+use vgen_sim::SimConfig;
+
+fn main() {
+    let cfg = EvalConfig {
+        temperatures: PAPER_TEMPERATURES.to_vec(),
+        ns: vec![10],
+        levels: PromptLevel::ALL.to_vec(),
+        problem_ids: vec![6, 7, 9, 12],
+        sim: SimConfig::default(),
+    };
+    let model = ModelId::new(ModelFamily::CodeGen16B, Tuning::FineTuned);
+
+    let mut plain = FamilyEngine::new(model, CorpusSource::GithubOnly, 0x9E9);
+    let plain_run = run_engine(&mut plain, &cfg);
+    let mut eng = FamilyEngine::new(model, CorpusSource::GithubOnly, 0x9E9)
+        .with_engineered_prompts();
+    let eng_run = run_engine(&mut eng, &cfg);
+
+    let mut report = String::from(
+        "EXTENSION: prompt engineering for the §VI failure problems (CodeGen-16B FT)\n\
+         Prob  Name                         standard  engineered\n",
+    );
+    for pid in [6u8, 7, 9, 12] {
+        let name = vgen_problems::problem(pid).map(|p| p.name).unwrap_or("?");
+        let a = plain_run.tally(|r| r.problem_id == pid).functional_rate();
+        let b = eng_run.tally(|r| r.problem_id == pid).functional_rate();
+        report.push_str(&format!("{pid:>4}  {name:<28} {a:>8.3}  {b:>10.3}\n"));
+    }
+    report.push_str(
+        "\nExpected shape: problems 7 and 9 recover under the engineered\n\
+         prompt; problem 12 stays at zero (its failure is corpus diversity,\n\
+         §VI); problem 6 is a control and does not move.\n",
+    );
+    println!("{report}");
+    write_artifact("prompt_eng.txt", &report);
+}

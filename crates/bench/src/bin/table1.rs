@@ -1,0 +1,7 @@
+//! Regenerates paper Table I: baseline LLM architectures.
+
+fn main() {
+    let table = vgen_core::report::render_table1();
+    println!("{table}");
+    vgen_bench::write_artifact("table1.txt", &table);
+}

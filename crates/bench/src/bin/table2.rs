@@ -1,0 +1,7 @@
+//! Regenerates paper Table II: the problem set.
+
+fn main() {
+    let table = vgen_core::report::render_table2();
+    println!("{table}");
+    vgen_bench::write_artifact("table2.txt", &table);
+}

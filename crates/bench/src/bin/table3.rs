@@ -1,0 +1,20 @@
+//! Regenerates paper Table III: Pass@(scenario·10) for *compiled*
+//! completions, all 11 model rows, best temperature per scenario.
+//!
+//! Full grid by default (~1–2 minutes); set `VGEN_QUICK=1` for a smoke run.
+
+use vgen_bench::{table_config, table_n, write_artifact};
+use vgen_core::experiments::evaluate_all_models;
+use vgen_core::report::{records_csv, render_table3};
+use vgen_corpus::CorpusSource;
+
+fn main() {
+    let cfg = table_config();
+    eprintln!("running {} temperatures x n={:?} over 17 problems x 3 levels x 11 models ...",
+        cfg.temperatures.len(), cfg.ns);
+    let rows = evaluate_all_models(&cfg, CorpusSource::GithubOnly, 0xDA7E2023);
+    let table = render_table3(&rows, table_n());
+    println!("{table}");
+    write_artifact("table3.txt", &table);
+    write_artifact("table3_records.csv", &records_csv(&rows));
+}

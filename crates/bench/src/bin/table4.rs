@@ -1,0 +1,20 @@
+//! Regenerates paper Table IV: Pass@(scenario·10) for test-bench-passing
+//! completions per prompt level, plus the inference-time column.
+//!
+//! Full grid by default; set `VGEN_QUICK=1` for a smoke run.
+
+use vgen_bench::{table_config, table_n, write_artifact};
+use vgen_core::experiments::evaluate_all_models;
+use vgen_core::report::{records_csv, render_latency_check, render_table4};
+use vgen_corpus::CorpusSource;
+
+fn main() {
+    let cfg = table_config();
+    let rows = evaluate_all_models(&cfg, CorpusSource::GithubOnly, 0xDA7E2023);
+    let table = render_table4(&rows, table_n());
+    println!("{table}");
+    let latency = render_latency_check(&rows);
+    println!("{latency}");
+    write_artifact("table4.txt", &format!("{table}\n{latency}"));
+    write_artifact("table4_records.csv", &records_csv(&rows));
+}

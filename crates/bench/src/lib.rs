@@ -1,0 +1,87 @@
+//! # vgen-bench
+//!
+//! The benchmark harness regenerating every table and figure of the paper:
+//! one binary per artifact (see DESIGN.md's per-experiment index) plus
+//! Criterion micro-benchmarks for the substrates.
+//!
+//! | Binary | Artifact |
+//! |---|---|
+//! | `table1` | Table I — baseline LLM architectures |
+//! | `table2` | Table II — problem set |
+//! | `table3` | Table III — compile Pass@(scenario·10) |
+//! | `table4` | Table IV — functional Pass@(scenario·10) + inference time |
+//! | `fig6` | Fig 6 — pass rate vs temperature and vs n |
+//! | `fig7` | Fig 7 — pass rate vs prompt detail and difficulty |
+//! | `headline` | §VI/§VII aggregate percentages |
+//! | `ablation` | §VI corpus ablation (GitHub vs GitHub+books) |
+//! | `per_problem` | §VI per-problem failure analysis (problems 7/9/12) |
+//!
+//! All binaries honour `VGEN_QUICK=1` to shrink the grid for smoke runs and
+//! write CSVs next to their stdout report under `target/experiments/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory where experiment CSVs are written.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Writes an artifact file under [`experiments_dir`], logging the path.
+pub fn write_artifact(name: &str, contents: &str) {
+    let path = experiments_dir().join(name);
+    match fs::write(&path, contents) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// Whether the quick (reduced-grid) mode is requested.
+pub fn quick_mode() -> bool {
+    std::env::var("VGEN_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The standard full-table configuration (paper grid at n = 10), reduced
+/// under [`quick_mode`].
+pub fn table_config() -> vgen_core::EvalConfig {
+    use vgen_core::EvalConfig;
+    if quick_mode() {
+        EvalConfig {
+            temperatures: vec![0.1, 0.5],
+            ns: vec![4],
+            ..EvalConfig::default()
+        }
+    } else {
+        EvalConfig::paper_n10()
+    }
+}
+
+/// The n used for table cells in the current mode.
+pub fn table_n() -> usize {
+    if quick_mode() {
+        4
+    } else {
+        10
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn experiments_dir_is_creatable() {
+        let d = super::experiments_dir();
+        assert!(d.ends_with("experiments"));
+    }
+
+    #[test]
+    fn table_config_modes() {
+        // Default mode mirrors the paper's n = 10 grid.
+        if !super::quick_mode() {
+            let cfg = super::table_config();
+            assert_eq!(cfg.ns, vec![10]);
+            assert_eq!(cfg.temperatures.len(), 5);
+        }
+    }
+}

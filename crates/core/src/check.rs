@@ -1,0 +1,231 @@
+//! Candidate checking: truncation, assembly, compile check, functional
+//! check (paper Fig. 1 step ⑧).
+
+use vgen_problems::{Problem, PromptLevel, PASS_MARKER};
+use vgen_sim::{SimConfig, StopReason};
+use vgen_verilog::truncate::{assemble_candidate, truncate_completion};
+
+/// Why a candidate failed (or that it didn't).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// Compiled and passed the testbench.
+    Pass,
+    /// Compiled but the testbench reported errors or never printed the
+    /// pass marker.
+    FunctionalFail,
+    /// Compiled but simulation ended abnormally (hang, runtime error).
+    SimulationFail(String),
+    /// Failed to parse or elaborate.
+    CompileFail(String),
+}
+
+impl CheckOutcome {
+    /// Whether the candidate compiled.
+    pub fn compiled(&self) -> bool {
+        !matches!(self, CheckOutcome::CompileFail(_))
+    }
+
+    /// Whether the candidate is functionally correct.
+    pub fn passed(&self) -> bool {
+        matches!(self, CheckOutcome::Pass)
+    }
+}
+
+/// The result of checking one completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckResult {
+    /// Outcome classification.
+    pub outcome: CheckOutcome,
+    /// The assembled candidate source that was checked.
+    pub source: String,
+}
+
+/// Assembles a raw completion into a full candidate source.
+///
+/// Completions from the paper's flow are module *bodies* appended to the
+/// prompt (after truncation at `endmodule`). The calibrated family engine
+/// instead emits whole modules; those are detected by their leading
+/// `module` keyword and used directly (after the same truncation).
+pub fn assemble(problem: &Problem, level: PromptLevel, completion: &str) -> String {
+    let trimmed = completion.trim_start();
+    // Skip leading comment lines when detecting full-source completions.
+    let mut rest = trimmed;
+    while let Some(line_end) = rest.find('\n') {
+        let line = rest[..line_end].trim_start();
+        if line.starts_with("//") || line.is_empty() {
+            rest = &rest[line_end + 1..];
+        } else {
+            break;
+        }
+    }
+    if rest.trim_start().starts_with("module") {
+        truncate_completion(trimmed).to_string()
+    } else {
+        assemble_candidate(problem.prompt(level), completion)
+    }
+}
+
+/// Checks one completion end to end: assemble, compile (parse +
+/// elaborate), then simulate against the problem's testbench.
+pub fn check_completion(
+    problem: &Problem,
+    level: PromptLevel,
+    completion: &str,
+    config: SimConfig,
+) -> CheckResult {
+    let source = assemble(problem, level, completion);
+    let outcome = check_source(problem, &source, config);
+    CheckResult { outcome, source }
+}
+
+/// Checks an already-assembled candidate source.
+pub fn check_source(problem: &Problem, source: &str, config: SimConfig) -> CheckOutcome {
+    // Compile check: the DUT alone must parse and elaborate.
+    let file = match vgen_verilog::parse(source) {
+        Ok(f) => f,
+        Err(e) => return CheckOutcome::CompileFail(e.to_string()),
+    };
+    if file.module(problem.module_name).is_none() {
+        return CheckOutcome::CompileFail(format!(
+            "completion does not define module `{}`",
+            problem.module_name
+        ));
+    }
+    if let Err(e) = vgen_sim::elab::elaborate(&file, problem.module_name) {
+        return CheckOutcome::CompileFail(e.to_string());
+    }
+    // Functional check: simulate DUT + testbench.
+    let full = format!("{source}\n{}", problem.testbench);
+    match vgen_sim::simulate(&full, Some("tb"), config) {
+        Ok(out) => {
+            if !out.reason.is_clean() {
+                return CheckOutcome::SimulationFail(match out.reason {
+                    StopReason::RuntimeError(m) => m,
+                    other => format!("{other:?}"),
+                });
+            }
+            if out.stdout.contains(PASS_MARKER) {
+                CheckOutcome::Pass
+            } else {
+                CheckOutcome::FunctionalFail
+            }
+        }
+        Err(e) => CheckOutcome::CompileFail(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgen_problems::problems;
+
+    fn p(id: u8) -> &'static Problem {
+        vgen_problems::problem(id).expect("problem id")
+    }
+
+    #[test]
+    fn reference_bodies_pass() {
+        for prob in problems() {
+            let r = check_completion(
+                prob,
+                PromptLevel::Low,
+                prob.reference_body,
+                SimConfig::default(),
+            );
+            assert_eq!(
+                r.outcome,
+                CheckOutcome::Pass,
+                "problem {} reference must pass",
+                prob.id
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_fails_compile() {
+        let r = check_completion(
+            p(2),
+            PromptLevel::Low,
+            "assign y = a &;&& b\nendmodule",
+            SimConfig::default(),
+        );
+        assert!(matches!(r.outcome, CheckOutcome::CompileFail(_)));
+        assert!(!r.outcome.compiled());
+    }
+
+    #[test]
+    fn wrong_logic_fails_functionally() {
+        let r = check_completion(
+            p(2),
+            PromptLevel::Low,
+            "assign y = a | b;\nendmodule",
+            SimConfig::default(),
+        );
+        assert_eq!(r.outcome, CheckOutcome::FunctionalFail);
+        assert!(r.outcome.compiled());
+        assert!(!r.outcome.passed());
+    }
+
+    #[test]
+    fn empty_body_compiles_but_fails() {
+        let r = check_completion(p(2), PromptLevel::Low, "endmodule", SimConfig::default());
+        assert_eq!(r.outcome, CheckOutcome::FunctionalFail);
+    }
+
+    #[test]
+    fn full_source_completion_detected() {
+        let full = p(2).reference_source();
+        let r = check_completion(p(2), PromptLevel::High, &full, SimConfig::default());
+        assert_eq!(r.outcome, CheckOutcome::Pass);
+        // Source must not contain a duplicated module header.
+        assert_eq!(r.source.matches("module and_gate").count(), 1);
+    }
+
+    #[test]
+    fn full_source_with_leading_comments_detected() {
+        let full = format!("// a chatty preamble\n\n{}", p(2).reference_source());
+        let r = check_completion(p(2), PromptLevel::Low, &full, SimConfig::default());
+        assert_eq!(r.outcome, CheckOutcome::Pass);
+    }
+
+    #[test]
+    fn trailing_junk_is_truncated() {
+        let with_junk = format!(
+            "{}\nmodule scratch(input unused_x);\nendmodule\n",
+            p(2).reference_source()
+        );
+        let r = check_completion(p(2), PromptLevel::Low, &with_junk, SimConfig::default());
+        assert_eq!(r.outcome, CheckOutcome::Pass);
+        assert!(!r.source.contains("scratch"));
+    }
+
+    #[test]
+    fn wrong_module_name_is_compile_fail() {
+        let r = check_completion(
+            p(2),
+            PromptLevel::Low,
+            "module wrong_name(input a, output y); assign y = a; endmodule",
+            SimConfig::default(),
+        );
+        assert!(matches!(r.outcome, CheckOutcome::CompileFail(_)));
+    }
+
+    #[test]
+    fn hang_is_simulation_fail() {
+        // An always block with no event control spins forever within t=0.
+        let r = check_completion(
+            p(2),
+            PromptLevel::Low,
+            "reg spin;\nalways spin = ~spin;\nassign y = a & b;\nendmodule",
+            SimConfig {
+                max_time: 1000,
+                max_steps: 50_000,
+            },
+        );
+        assert!(
+            matches!(r.outcome, CheckOutcome::SimulationFail(_)),
+            "got {:?}",
+            r.outcome
+        );
+    }
+}

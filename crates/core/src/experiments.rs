@@ -1,0 +1,87 @@
+//! One-call experiment drivers used by the bench binaries and examples:
+//! evaluate every Table IV model row over a grid and return [`ModelRun`]s.
+
+use vgen_corpus::CorpusSource;
+use vgen_lm::registry::ModelId;
+use vgen_lm::FamilyEngine;
+
+use crate::report::ModelRun;
+use crate::sweep::{run_engine, EvalConfig};
+
+/// Evaluates all 11 (family, tuning) rows with the calibrated family
+/// engine. J1-Large automatically skips n = 25 (§IV-B).
+pub fn evaluate_all_models(
+    config: &EvalConfig,
+    corpus: CorpusSource,
+    seed: u64,
+) -> Vec<ModelRun> {
+    ModelId::all_evaluated()
+        .into_iter()
+        .map(|model| evaluate_model(model, config, corpus, seed))
+        .collect()
+}
+
+/// Evaluates a single model row.
+pub fn evaluate_model(
+    model: ModelId,
+    config: &EvalConfig,
+    corpus: CorpusSource,
+    seed: u64,
+) -> ModelRun {
+    let mut cfg = config.clone();
+    if !model.family.supports_n25() {
+        cfg.ns.retain(|&n| n != 25);
+    }
+    let mut engine = FamilyEngine::new(model, corpus, seed);
+    ModelRun {
+        model,
+        run: run_engine(&mut engine, &cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgen_lm::{ModelFamily, Tuning};
+    use vgen_problems::PromptLevel;
+    use vgen_sim::SimConfig;
+
+    #[test]
+    fn j1_skips_n25() {
+        let cfg = EvalConfig {
+            temperatures: vec![0.1],
+            ns: vec![1, 25],
+            levels: vec![PromptLevel::Low],
+            problem_ids: vec![1],
+            sim: SimConfig::default(),
+        };
+        let j1 = evaluate_model(
+            ModelId::new(ModelFamily::J1Large7B, Tuning::FineTuned),
+            &cfg,
+            CorpusSource::GithubOnly,
+            1,
+        );
+        assert!(j1.run.records.iter().all(|r| r.n != 25));
+        let other = evaluate_model(
+            ModelId::new(ModelFamily::CodeGen2B, Tuning::FineTuned),
+            &cfg,
+            CorpusSource::GithubOnly,
+            1,
+        );
+        assert!(other.run.records.iter().any(|r| r.n == 25));
+    }
+
+    #[test]
+    fn all_models_evaluated() {
+        let cfg = EvalConfig {
+            temperatures: vec![0.1],
+            ns: vec![2],
+            levels: vec![PromptLevel::Low],
+            problem_ids: vec![2],
+            sim: SimConfig::default(),
+        };
+        let rows = evaluate_all_models(&cfg, CorpusSource::GithubOnly, 7);
+        assert_eq!(rows.len(), 11);
+        assert!(rows.iter().all(|r| !r.run.records.is_empty()));
+    }
+}

@@ -1,0 +1,38 @@
+//! # vgen-core
+//!
+//! The VGen evaluation framework — the paper's primary contribution: an
+//! automated pipeline that takes LLM completions for the 17-problem Verilog
+//! benchmark, truncates/assembles them (§IV), checks compilation (parse +
+//! elaborate, standing in for `iverilog`), simulates them against
+//! hand-written testbenches, and reports Pass@(scenario·n) across the
+//! temperature / completions / prompt-detail grid of §IV-B.
+//!
+//! ```
+//! use vgen_core::check::{check_completion, CheckOutcome};
+//! use vgen_problems::{problem, PromptLevel};
+//! use vgen_sim::SimConfig;
+//!
+//! let and_gate = problem(2).expect("problem 2 exists");
+//! let result = check_completion(
+//!     and_gate,
+//!     PromptLevel::Low,
+//!     "assign y = a & b;\nendmodule",
+//!     SimConfig::default(),
+//! );
+//! assert_eq!(result.outcome, CheckOutcome::Pass);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod sweep;
+pub mod synthcheck;
+
+pub use check::{check_completion, CheckOutcome, CheckResult};
+pub use experiments::{evaluate_all_models, evaluate_model};
+pub use metrics::{pass_at_k, pass_fraction, Tally};
+pub use report::{headline_stats, Headline, ModelRun};
+pub use sweep::{run_engine, EvalConfig, EvalRun, Record};

@@ -1,0 +1,305 @@
+//! The experiment runner: queries an engine over the full parameter grid
+//! (prompt level × temperature × completions-per-prompt, §IV-B) and checks
+//! every completion through the compile/simulate pipeline.
+
+use vgen_lm::engine::CompletionEngine;
+use vgen_problems::{problem, Difficulty, PromptLevel};
+use vgen_sim::SimConfig;
+
+use crate::check::{check_completion, CheckOutcome};
+use crate::metrics::Tally;
+
+/// The paper's temperature grid (§IV-B).
+pub const PAPER_TEMPERATURES: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 1.0];
+
+/// The paper's completions-per-prompt grid (§IV-B).
+pub const PAPER_NS: [usize; 3] = [1, 10, 25];
+
+/// Grid configuration for one evaluation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalConfig {
+    /// Sampling temperatures to sweep.
+    pub temperatures: Vec<f64>,
+    /// Completions-per-prompt values to sweep.
+    pub ns: Vec<usize>,
+    /// Prompt detail levels to sweep.
+    pub levels: Vec<PromptLevel>,
+    /// Problems to include (1-based ids).
+    pub problem_ids: Vec<u8>,
+    /// Simulator limits per functional check.
+    pub sim: SimConfig,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            temperatures: PAPER_TEMPERATURES.to_vec(),
+            ns: PAPER_NS.to_vec(),
+            levels: PromptLevel::ALL.to_vec(),
+            problem_ids: (1..=17).collect(),
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+impl EvalConfig {
+    /// The paper's headline setting: all problems/levels, n = 10 only.
+    pub fn paper_n10() -> Self {
+        EvalConfig {
+            ns: vec![10],
+            ..Self::default()
+        }
+    }
+
+    /// A reduced grid for quick tests: one temperature, small n.
+    pub fn quick() -> Self {
+        EvalConfig {
+            temperatures: vec![0.1],
+            ns: vec![4],
+            ..Self::default()
+        }
+    }
+}
+
+/// One checked completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Problem id (1-based).
+    pub problem_id: u8,
+    /// Problem difficulty.
+    pub difficulty: Difficulty,
+    /// Prompt detail level.
+    pub level: PromptLevel,
+    /// Sampling temperature used.
+    pub temperature: f64,
+    /// The n this record was generated under.
+    pub n: usize,
+    /// Whether the candidate compiled.
+    pub compiled: bool,
+    /// Whether it passed the testbench.
+    pub passed: bool,
+    /// Simulated inference latency.
+    pub latency_s: f64,
+}
+
+/// All records from evaluating one engine over a grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalRun {
+    /// Engine display name.
+    pub engine: String,
+    /// Per-completion records.
+    pub records: Vec<Record>,
+}
+
+/// Runs an engine over the grid, checking every completion.
+///
+/// J1-Large skips n = 25 upstream (the engine name containing "J1" is not
+/// inspected here — pass a config without 25 for that model, as the bench
+/// binaries do, mirroring §IV-B).
+pub fn run_engine(engine: &mut dyn CompletionEngine, config: &EvalConfig) -> EvalRun {
+    let mut records = Vec::new();
+    for &pid in &config.problem_ids {
+        let prob = problem(pid).unwrap_or_else(|| panic!("unknown problem id {pid}"));
+        for &level in &config.levels {
+            for &t in &config.temperatures {
+                for &n in &config.ns {
+                    let completions = engine.generate(prob, level, t, n);
+                    for c in completions {
+                        let result = check_completion(prob, level, &c.text, config.sim);
+                        records.push(Record {
+                            problem_id: pid,
+                            difficulty: prob.difficulty,
+                            level,
+                            temperature: t,
+                            n,
+                            compiled: result.outcome.compiled(),
+                            passed: matches!(result.outcome, CheckOutcome::Pass),
+                            latency_s: c.latency_s,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    EvalRun {
+        engine: engine.name(),
+        records,
+    }
+}
+
+impl EvalRun {
+    /// Tallies records matching a predicate.
+    pub fn tally(&self, keep: impl Fn(&Record) -> bool) -> Tally {
+        let mut t = Tally::default();
+        for r in self.records.iter().filter(|r| keep(r)) {
+            t.record(r.compiled, r.passed);
+        }
+        t
+    }
+
+    /// Temperatures present in the run.
+    pub fn temperatures(&self) -> Vec<f64> {
+        let mut ts: Vec<f64> = Vec::new();
+        for r in &self.records {
+            if !ts.iter().any(|t| (*t - r.temperature).abs() < 1e-12) {
+                ts.push(r.temperature);
+            }
+        }
+        ts.sort_by(|a, b| a.partial_cmp(b).expect("no NaN temps"));
+        ts
+    }
+
+    /// Best-temperature *compile* rate for a difficulty at a given n —
+    /// a Table III cell ("the t for each model for which their completions
+    /// were most successful").
+    pub fn best_compile(&self, difficulty: Difficulty, n: usize) -> f64 {
+        self.temperatures()
+            .into_iter()
+            .map(|t| {
+                self.tally(|r| {
+                    r.difficulty == difficulty
+                        && r.n == n
+                        && (r.temperature - t).abs() < 1e-12
+                })
+                .compile_rate()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Best-temperature *functional* rate for (difficulty, level) at n —
+    /// a Table IV cell.
+    pub fn best_functional(
+        &self,
+        difficulty: Difficulty,
+        level: PromptLevel,
+        n: usize,
+    ) -> f64 {
+        self.temperatures()
+            .into_iter()
+            .map(|t| {
+                self.tally(|r| {
+                    r.difficulty == difficulty
+                        && r.level == level
+                        && r.n == n
+                        && (r.temperature - t).abs() < 1e-12
+                })
+                .functional_rate()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean inference latency in seconds (Table IV time column).
+    pub fn mean_latency(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.latency_s).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// Functional pass rate per problem id (the §VI per-problem analysis).
+    pub fn per_problem_functional(&self, n: usize) -> Vec<(u8, Tally)> {
+        let mut ids: Vec<u8> = self.records.iter().map(|r| r.problem_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter()
+            .map(|pid| (pid, self.tally(|r| r.problem_id == pid && r.n == n)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgen_corpus::CorpusSource;
+    use vgen_lm::{FamilyEngine, ModelFamily, ModelId, Tuning};
+
+    fn small_cfg() -> EvalConfig {
+        EvalConfig {
+            temperatures: vec![0.1, 0.7],
+            ns: vec![5],
+            levels: vec![PromptLevel::Low],
+            problem_ids: vec![1, 2, 6],
+            sim: SimConfig::default(),
+        }
+    }
+
+    fn cg16_ft_engine() -> FamilyEngine {
+        FamilyEngine::new(
+            ModelId::new(ModelFamily::CodeGen16B, Tuning::FineTuned),
+            CorpusSource::GithubOnly,
+            42,
+        )
+    }
+
+    #[test]
+    fn run_produces_full_grid() {
+        let mut engine = cg16_ft_engine();
+        let run = run_engine(&mut engine, &small_cfg());
+        // 3 problems × 1 level × 2 temps × 5 completions.
+        assert_eq!(run.records.len(), 30);
+        assert_eq!(run.temperatures(), vec![0.1, 0.7]);
+    }
+
+    #[test]
+    fn best_temperature_is_cold() {
+        let mut engine = cg16_ft_engine();
+        let cfg = EvalConfig {
+            ns: vec![20],
+            problem_ids: vec![1, 2, 3, 4],
+            levels: vec![PromptLevel::Medium],
+            temperatures: vec![0.1, 1.0],
+            sim: SimConfig::default(),
+        };
+        let run = run_engine(&mut engine, &cfg);
+        let cold = run
+            .tally(|r| (r.temperature - 0.1).abs() < 1e-9)
+            .functional_rate();
+        let hot = run
+            .tally(|r| (r.temperature - 1.0).abs() < 1e-9)
+            .functional_rate();
+        assert!(
+            cold > hot,
+            "cold sampling should beat hot: {cold} vs {hot}"
+        );
+        assert!(run.best_functional(Difficulty::Basic, PromptLevel::Medium, 20) >= cold);
+    }
+
+    #[test]
+    fn fine_tuned_beats_pretrained() {
+        let cfg = EvalConfig {
+            temperatures: vec![0.1],
+            ns: vec![10],
+            levels: vec![PromptLevel::Low],
+            problem_ids: vec![1, 2, 3, 4],
+            sim: SimConfig::default(),
+        };
+        let mut ft = cg16_ft_engine();
+        let mut pt = FamilyEngine::new(
+            ModelId::new(ModelFamily::CodeGen16B, Tuning::Pretrained),
+            CorpusSource::GithubOnly,
+            42,
+        );
+        let ft_run = run_engine(&mut ft, &cfg);
+        let pt_run = run_engine(&mut pt, &cfg);
+        assert!(
+            ft_run.tally(|_| true).compile_rate() > pt_run.tally(|_| true).compile_rate()
+        );
+    }
+
+    #[test]
+    fn per_problem_breakdown_covers_ids() {
+        let mut engine = cg16_ft_engine();
+        let run = run_engine(&mut engine, &small_cfg());
+        let per = run.per_problem_functional(5);
+        assert_eq!(per.len(), 3);
+        assert_eq!(per[0].0, 1);
+        assert!(per.iter().all(|(_, t)| t.total > 0));
+    }
+
+    #[test]
+    fn latency_is_positive() {
+        let mut engine = cg16_ft_engine();
+        let run = run_engine(&mut engine, &small_cfg());
+        assert!(run.mean_latency() > 0.0);
+    }
+}

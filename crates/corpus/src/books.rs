@@ -1,0 +1,256 @@
+//! Synthetic "textbook" corpus and its cleaning pipeline.
+//!
+//! The paper extracts text from 70 Verilog textbooks with OCR (pymuPDF),
+//! filters irrelevant passages (index, preface, acknowledgements), and
+//! detects Verilog snippets among the prose. This module generates
+//! OCR-noised book text with the same structure and implements that
+//! cleaning path.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::synth::random_module;
+
+/// A synthetic book: front matter, chapters mixing prose with code
+/// snippets, and back matter — plus OCR noise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Book {
+    /// Book title.
+    pub title: String,
+    /// Extracted plain text (as OCR would produce).
+    pub text: String,
+}
+
+/// Configuration for the synthetic book generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BookConfig {
+    /// Number of books.
+    pub books: usize,
+    /// Chapters per book.
+    pub chapters: usize,
+    /// Code snippets per chapter.
+    pub snippets_per_chapter: usize,
+    /// Probability of corrupting any single character (OCR noise).
+    pub ocr_noise: f64,
+}
+
+impl Default for BookConfig {
+    fn default() -> Self {
+        BookConfig {
+            books: 8,
+            chapters: 5,
+            snippets_per_chapter: 3,
+            ocr_noise: 0.002,
+        }
+    }
+}
+
+const PROSE: &[&str] = &[
+    "The always block is the workhorse of behavioural Verilog.",
+    "A non-blocking assignment schedules its update at the end of the time step.",
+    "Sequential logic must be described with an edge-sensitive event control.",
+    "The sensitivity list determines when the process re-evaluates.",
+    "Synthesis tools map the case statement onto a multiplexer tree.",
+    "A testbench drives stimulus into the device under test.",
+    "Registers hold their value between clock edges.",
+    "Continuous assignments model combinational logic directly.",
+];
+
+/// Generates deterministic synthetic books.
+pub fn generate_books(config: &BookConfig, seed: u64) -> Vec<Book> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..config.books)
+        .map(|b| {
+            let mut text = String::new();
+            text.push_str(&format!(
+                "PREFACE\nThis book, volume {b}, owes much to many people.\n\
+                 ACKNOWLEDGEMENTS\nThe authors thank their families and reviewers.\n\n"
+            ));
+            for ch in 0..config.chapters {
+                text.push_str(&format!("CHAPTER {}\n", ch + 1));
+                for s in 0..config.snippets_per_chapter {
+                    for _ in 0..rng.gen_range(2..5) {
+                        text.push_str(PROSE[rng.gen_range(0..PROSE.len())]);
+                        text.push('\n');
+                    }
+                    text.push_str(&format!("Example {}.{}:\n", ch + 1, s + 1));
+                    text.push_str(&random_module(&mut rng));
+                    text.push('\n');
+                }
+            }
+            text.push_str("INDEX\nadder, 12\nalways, 7, 33\ncounter, 41\nwire, 3\n");
+            Book {
+                title: format!("Verilog by Example, vol. {b}"),
+                text: apply_ocr_noise(&text, config.ocr_noise, &mut rng),
+            }
+        })
+        .collect()
+}
+
+/// Simulates OCR noise: random character substitutions at rate `p`,
+/// restricted to letter-for-letter confusions OCR actually makes.
+pub fn apply_ocr_noise(text: &str, p: f64, rng: &mut StdRng) -> String {
+    const CONFUSIONS: &[(char, char)] =
+        &[('l', '1'), ('O', '0'), ('o', '0'), ('S', '5'), ('B', '8'), ('e', 'c')];
+    text.chars()
+        .map(|c| {
+            if rng.gen_bool(p) {
+                for &(from, to) in CONFUSIONS {
+                    if c == from {
+                        return to;
+                    }
+                }
+            }
+            c
+        })
+        .collect()
+}
+
+/// Strips front/back matter (preface, acknowledgements, index) from book
+/// text — the "filtering irrelevant passages" step.
+pub fn strip_front_back_matter(text: &str) -> String {
+    let mut out = String::new();
+    let mut skipping = false;
+    for line in text.lines() {
+        let upper = line.trim();
+        if upper.eq_ignore_ascii_case("PREFACE")
+            || upper.eq_ignore_ascii_case("ACKNOWLEDGEMENTS")
+            || upper.eq_ignore_ascii_case("INDEX")
+        {
+            skipping = true;
+            continue;
+        }
+        if upper.to_ascii_uppercase().starts_with("CHAPTER") {
+            skipping = false;
+        }
+        if !skipping {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Extracts Verilog snippets from cleaned book text: a snippet starts at a
+/// line containing `module` and ends at the matching `endmodule` line —
+/// the "regular expressions to check high-level syntax" step. Snippets
+/// whose structure is broken (no `endmodule` within `max_lines`) are
+/// dropped, which also discards most OCR-mangled code.
+pub fn extract_snippets(text: &str, max_lines: usize) -> Vec<String> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let line = lines[i];
+        if word_on_line(line, "module") && !word_on_line(line, "endmodule") {
+            let mut snippet = String::new();
+            let mut ok = false;
+            for (taken, l) in lines[i..].iter().enumerate().take(max_lines) {
+                snippet.push_str(l);
+                snippet.push('\n');
+                if word_on_line(l, "endmodule") {
+                    ok = true;
+                    i += taken;
+                    break;
+                }
+            }
+            if ok {
+                out.push(snippet);
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Whether `word` appears on `line` delimited by non-identifier characters.
+pub fn word_on_line(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
+        let end = at + word.len();
+        let after_ok = end >= bytes.len()
+            || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn books_are_deterministic() {
+        let cfg = BookConfig::default();
+        assert_eq!(generate_books(&cfg, 4), generate_books(&cfg, 4));
+    }
+
+    #[test]
+    fn front_matter_is_stripped() {
+        let text = "PREFACE\nthanks everyone\nCHAPTER 1\nreal content\nINDEX\nadder, 3\n";
+        let cleaned = strip_front_back_matter(text);
+        assert!(!cleaned.contains("thanks everyone"));
+        assert!(!cleaned.contains("adder, 3"));
+        assert!(cleaned.contains("real content"));
+    }
+
+    #[test]
+    fn snippets_are_extracted() {
+        let text = "Some prose here.\nmodule t(input a, output y);\nassign y = a;\nendmodule\nMore prose.\n";
+        let snippets = extract_snippets(text, 50);
+        assert_eq!(snippets.len(), 1);
+        assert!(snippets[0].starts_with("module t"));
+        assert!(snippets[0].trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn broken_snippets_are_dropped() {
+        let text = "module t(input a);\nassign y = a;\n// never closed\n";
+        assert!(extract_snippets(text, 50).is_empty());
+    }
+
+    #[test]
+    fn endmodule_word_boundary() {
+        assert!(word_on_line("endmodule", "endmodule"));
+        assert!(word_on_line("  endmodule // end", "endmodule"));
+        assert!(!word_on_line("my_endmodule_thing", "endmodule"));
+        assert!(!word_on_line("endmodules", "endmodule"));
+        // `module` must not match inside `endmodule`.
+        assert!(!word_on_line("endmodule", "module"));
+    }
+
+    #[test]
+    fn full_book_pipeline_yields_snippets() {
+        let cfg = BookConfig {
+            books: 2,
+            chapters: 2,
+            snippets_per_chapter: 2,
+            ocr_noise: 0.0,
+        };
+        let books = generate_books(&cfg, 11);
+        let mut total = 0;
+        for b in &books {
+            let cleaned = strip_front_back_matter(&b.text);
+            total += extract_snippets(&cleaned, 40).len();
+        }
+        assert_eq!(total, 2 * 2 * 2);
+    }
+
+    #[test]
+    fn ocr_noise_rate_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let text = "looooooooool SOS BOB oooo".repeat(100);
+        let noisy = apply_ocr_noise(&text, 0.5, &mut rng);
+        assert_ne!(text, noisy);
+        assert_eq!(text.len(), noisy.len());
+        let zero = apply_ocr_noise(&text, 0.0, &mut rng);
+        assert_eq!(text, zero);
+    }
+}

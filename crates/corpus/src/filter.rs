@@ -1,0 +1,74 @@
+//! File-level filters from §III-A: keep `.v` files containing at least one
+//! `module`/`endmodule` pair; drop files of ≥ 20k characters.
+
+use crate::books::word_on_line;
+
+/// The paper's size cutoff: files with ≥ 20k characters are dropped.
+pub const MAX_FILE_CHARS: usize = 20_000;
+
+/// Whether `content` contains at least one `module` ... `endmodule` pair
+/// (a `module` keyword followed later by an `endmodule` keyword).
+pub fn has_module_pair(content: &str) -> bool {
+    let mut saw_module = false;
+    for line in content.lines() {
+        if !saw_module && word_on_line(line, "module") {
+            saw_module = true;
+        }
+        if saw_module && word_on_line(line, "endmodule") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether the file passes the size filter (< [`MAX_FILE_CHARS`]).
+pub fn within_size_limit(content: &str) -> bool {
+    content.chars().count() < MAX_FILE_CHARS
+}
+
+/// Applies both §III-A filters.
+pub fn keep_file(content: &str) -> bool {
+    within_size_limit(content) && has_module_pair(content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_normal_module() {
+        assert!(keep_file("module m(input a);\nassign y = a;\nendmodule\n"));
+    }
+
+    #[test]
+    fn rejects_junk_without_pair() {
+        assert!(!keep_file("// just a header\n`define X 1\n"));
+        assert!(!keep_file("module only_opened(input a);\n"));
+        assert!(!keep_file("endmodule\n// backwards"));
+    }
+
+    #[test]
+    fn endmodule_before_module_needs_second_pair() {
+        // endmodule first, then a real pair later: acceptable.
+        assert!(has_module_pair(
+            "endmodule\nmodule m;\nendmodule\n"
+        ));
+    }
+
+    #[test]
+    fn module_keyword_in_identifier_does_not_count() {
+        assert!(!has_module_pair("my_module_helper and endmodule_x\n"));
+    }
+
+    #[test]
+    fn rejects_oversized() {
+        let big = "module m;\nendmodule\n".repeat(2000);
+        assert!(big.len() >= MAX_FILE_CHARS);
+        assert!(!keep_file(&big));
+    }
+
+    #[test]
+    fn both_on_one_line() {
+        assert!(has_module_pair("module m; endmodule"));
+    }
+}

@@ -1,0 +1,32 @@
+//! # vgen-corpus
+//!
+//! The Verilog training-corpus pipeline from §III-A of the VGen paper:
+//! source gathering, `module`/`endmodule` and size filters, MinHash/Jaccard
+//! de-duplication, textbook cleaning + snippet extraction, and overlapping
+//! sliding-window example production.
+//!
+//! The paper's actual sources (a BigQuery GitHub snapshot and 70 scanned
+//! textbooks) are unavailable, so [`synth`] and [`books`] generate
+//! statistically similar substitutes — with planted clones, near-duplicates,
+//! junk and oversized files — and the *pipeline itself* is implemented
+//! exactly as described (see DESIGN.md).
+//!
+//! ```
+//! use vgen_corpus::pipeline::{build_corpus, CorpusSource, PipelineConfig};
+//!
+//! let corpus = build_corpus(CorpusSource::GithubAndBooks, &PipelineConfig::default());
+//! assert!(corpus.stats.dedup_removed > 0);
+//! assert!(corpus.stats.book_snippets > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod books;
+pub mod filter;
+pub mod minhash;
+pub mod pipeline;
+pub mod shingle;
+pub mod synth;
+pub mod window;
+
+pub use pipeline::{build_corpus, CorpusSource, CorpusStats, PipelineConfig, TrainingCorpus};

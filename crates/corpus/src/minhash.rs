@@ -1,0 +1,232 @@
+//! MinHash signatures and LSH banding for near-duplicate candidate
+//! generation (paper §III-A: "de-duplicated files using MinHash and Jaccard
+//! similarity metrics").
+
+use crate::shingle::jaccard;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// A large 61-bit Mersenne prime for the universal hash family.
+const PRIME: u64 = (1 << 61) - 1;
+
+/// A MinHash scheme: `n` universal hash functions `h_i(x) = a_i·x + b_i mod p`.
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    coeffs: Vec<(u64, u64)>,
+}
+
+impl MinHasher {
+    /// Creates a scheme with `permutations` hash functions from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `permutations == 0`.
+    pub fn new(permutations: usize, seed: u64) -> Self {
+        assert!(permutations > 0, "need at least one permutation");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coeffs = (0..permutations)
+            .map(|_| (rng.gen_range(1..PRIME), rng.gen_range(0..PRIME)))
+            .collect();
+        MinHasher { coeffs }
+    }
+
+    /// Number of hash functions (signature length).
+    pub fn permutations(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Computes the MinHash signature of a shingle set.
+    ///
+    /// Empty sets get an all-`u64::MAX` signature (matching only other
+    /// empty sets).
+    pub fn signature(&self, shingles: &HashSet<u64>) -> Vec<u64> {
+        let mut sig = vec![u64::MAX; self.coeffs.len()];
+        for &s in shingles {
+            let x = (s % PRIME) as u128;
+            for (i, &(a, b)) in self.coeffs.iter().enumerate() {
+                let h = ((a as u128 * x + b as u128) % PRIME as u128) as u64;
+                if h < sig[i] {
+                    sig[i] = h;
+                }
+            }
+        }
+        sig
+    }
+
+    /// Estimates Jaccard similarity from two signatures (fraction of equal
+    /// components).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signatures have different lengths.
+    pub fn estimate(&self, a: &[u64], b: &[u64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "signatures must have equal length");
+        let eq = a.iter().zip(b).filter(|(x, y)| x == y).count();
+        eq as f64 / a.len() as f64
+    }
+}
+
+/// Finds candidate near-duplicate pairs by LSH banding: signatures are cut
+/// into `bands` bands; documents sharing any identical band are candidates.
+///
+/// Returns index pairs `(i, j)` with `i < j`.
+///
+/// # Panics
+///
+/// Panics if `bands` is zero or does not divide the signature length.
+pub fn lsh_candidates(signatures: &[Vec<u64>], bands: usize) -> Vec<(usize, usize)> {
+    assert!(bands > 0, "need at least one band");
+    let Some(first) = signatures.first() else {
+        return Vec::new();
+    };
+    let n = first.len();
+    assert!(
+        n % bands == 0,
+        "bands ({bands}) must divide signature length ({n})"
+    );
+    let rows = n / bands;
+    let mut pairs = HashSet::new();
+    for band in 0..bands {
+        let mut buckets: HashMap<&[u64], Vec<usize>> = HashMap::new();
+        for (doc, sig) in signatures.iter().enumerate() {
+            let slice = &sig[band * rows..(band + 1) * rows];
+            buckets.entry(slice).or_default().push(doc);
+        }
+        for bucket in buckets.values() {
+            for (a_pos, &a) in bucket.iter().enumerate() {
+                for &b in &bucket[a_pos + 1..] {
+                    pairs.insert((a.min(b), a.max(b)));
+                }
+            }
+        }
+    }
+    let mut out: Vec<(usize, usize)> = pairs.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Clusters documents whose *exact* Jaccard similarity meets `threshold`,
+/// using LSH candidates to avoid the quadratic scan; returns, for each
+/// document, the index of its cluster representative (the lowest index in
+/// its cluster).
+pub fn dedup_clusters(
+    shingle_sets: &[HashSet<u64>],
+    hasher: &MinHasher,
+    bands: usize,
+    threshold: f64,
+) -> Vec<usize> {
+    let signatures: Vec<Vec<u64>> = shingle_sets.iter().map(|s| hasher.signature(s)).collect();
+    let mut parent: Vec<usize> = (0..shingle_sets.len()).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    for (a, b) in lsh_candidates(&signatures, bands) {
+        if jaccard(&shingle_sets[a], &shingle_sets[b]) >= threshold {
+            let ra = find(&mut parent, a);
+            let rb = find(&mut parent, b);
+            if ra != rb {
+                let (lo, hi) = (ra.min(rb), ra.max(rb));
+                parent[hi] = lo;
+            }
+        }
+    }
+    (0..shingle_sets.len())
+        .map(|i| find(&mut parent, i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shingle::shingles;
+
+    #[test]
+    fn identical_docs_identical_signatures() {
+        let h = MinHasher::new(64, 7);
+        let a = h.signature(&shingles("module m endmodule", 2));
+        let b = h.signature(&shingles("module m endmodule", 2));
+        assert_eq!(a, b);
+        assert_eq!(h.estimate(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn estimate_tracks_true_jaccard() {
+        let h = MinHasher::new(256, 42);
+        let text_a = (0..200).map(|i| format!("w{i}")).collect::<Vec<_>>().join(" ");
+        // 50% overlapping vocabulary.
+        let text_b = (100..300).map(|i| format!("w{i}")).collect::<Vec<_>>().join(" ");
+        let sa = shingles(&text_a, 1);
+        let sb = shingles(&text_b, 1);
+        let truth = jaccard(&sa, &sb);
+        let est = h.estimate(&h.signature(&sa), &h.signature(&sb));
+        assert!(
+            (truth - est).abs() < 0.12,
+            "estimate {est} too far from truth {truth}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = MinHasher::new(16, 5).signature(&shingles("a b c d e", 2));
+        let b = MinHasher::new(16, 5).signature(&shingles("a b c d e", 2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = MinHasher::new(16, 5).signature(&shingles("a b c d e", 2));
+        let b = MinHasher::new(16, 6).signature(&shingles("a b c d e", 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lsh_finds_duplicate_pair() {
+        let h = MinHasher::new(32, 1);
+        let docs = [
+            "module counter input clk output q endmodule",
+            "totally different words entirely here now",
+            "module counter input clk output q endmodule",
+        ];
+        let sigs: Vec<Vec<u64>> = docs
+            .iter()
+            .map(|d| h.signature(&shingles(d, 2)))
+            .collect();
+        let pairs = lsh_candidates(&sigs, 8);
+        assert!(pairs.contains(&(0, 2)));
+    }
+
+    #[test]
+    fn dedup_clusters_exact_and_distinct() {
+        let h = MinHasher::new(64, 3);
+        let docs = [
+            "module a wire x assign x equals y endmodule",
+            "completely unrelated prose about textbooks and chapters",
+            "module a wire x assign x equals y endmodule",
+            "module a wire x assign x equals z endmodule", // near-dup of 0
+        ];
+        let sets: Vec<_> = docs.iter().map(|d| shingles(d, 2)).collect();
+        let reps = dedup_clusters(&sets, &h, 16, 0.5);
+        assert_eq!(reps[0], 0);
+        assert_eq!(reps[1], 1);
+        assert_eq!(reps[2], 0);
+        assert_eq!(reps[3], 0, "near-duplicate should cluster with 0");
+    }
+
+    #[test]
+    fn empty_signature_set() {
+        assert!(lsh_candidates(&[], 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bands")]
+    fn bands_must_divide() {
+        let h = MinHasher::new(10, 0);
+        let s = h.signature(&shingles("a b", 1));
+        let _ = lsh_candidates(&[s], 3);
+    }
+}

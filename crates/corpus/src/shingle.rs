@@ -1,0 +1,111 @@
+//! Shingling and exact Jaccard similarity.
+//!
+//! Documents are compared as sets of *k*-shingles (overlapping word
+//! k-grams), the standard representation under MinHash (paper §III-A
+//! de-duplicates the GitHub corpus with MinHash + Jaccard).
+
+use std::collections::HashSet;
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+/// Produces the set of hashed word k-shingles of `text`.
+///
+/// Tokens are whitespace-separated words; each shingle is the hash of `k`
+/// consecutive words. Texts shorter than `k` words produce a single shingle
+/// of all words.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn shingles(text: &str, k: usize) -> HashSet<u64> {
+    assert!(k > 0, "shingle size must be positive");
+    let words: Vec<&str> = text.split_whitespace().collect();
+    let mut out = HashSet::new();
+    if words.is_empty() {
+        return out;
+    }
+    if words.len() <= k {
+        out.insert(hash_words(&words));
+        return out;
+    }
+    for w in words.windows(k) {
+        out.insert(hash_words(w));
+    }
+    out
+}
+
+fn hash_words(words: &[&str]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for w in words {
+        w.hash(&mut h);
+        0xffu8.hash(&mut h); // separator so ["ab","c"] != ["a","bc"]
+    }
+    h.finish()
+}
+
+/// Exact Jaccard similarity of two shingle sets: `|A∩B| / |A∪B|`.
+///
+/// Returns 1.0 for two empty sets (identical empty documents).
+pub fn jaccard(a: &HashSet<u64>, b: &HashSet<u64>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_have_jaccard_one() {
+        let a = shingles("module m endmodule wire x", 3);
+        let b = shingles("module m endmodule wire x", 3);
+        assert_eq!(jaccard(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn disjoint_texts_have_jaccard_zero() {
+        let a = shingles("alpha beta gamma delta", 2);
+        let b = shingles("one two three four", 2);
+        assert_eq!(jaccard(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn near_duplicates_score_high() {
+        let base = "module counter input clk input reset output reg q always posedge clk begin if reset q zero else q q plus one end endmodule";
+        let edited = base.replace("counter", "counter2");
+        let a = shingles(base, 3);
+        let b = shingles(&edited, 3);
+        let j = jaccard(&a, &b);
+        assert!(j > 0.7, "expected high similarity, got {j}");
+        assert!(j < 1.0);
+    }
+
+    #[test]
+    fn short_text_single_shingle() {
+        let s = shingles("one two", 5);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn empty_text() {
+        let s = shingles("", 3);
+        assert!(s.is_empty());
+        assert_eq!(jaccard(&s, &s.clone()), 1.0);
+    }
+
+    #[test]
+    fn word_boundaries_matter() {
+        let a = shingles("ab c", 2);
+        let b = shingles("a bc", 2);
+        assert_eq!(jaccard(&a, &b), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shingle size")]
+    fn zero_k_panics() {
+        let _ = shingles("a b c", 0);
+    }
+}

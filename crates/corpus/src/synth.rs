@@ -1,0 +1,272 @@
+//! Synthetic "GitHub" corpus generation.
+//!
+//! The paper's training data is a BigQuery snapshot of public repositories —
+//! unavailable here, so this module generates a statistically similar
+//! substitute: template-based Verilog modules with randomised identifiers
+//! and widths, plus the hazards the real pipeline must survive — exact
+//! clones, near-duplicates, junk files without `module`/`endmodule` pairs,
+//! and oversized files (see DESIGN.md, substitutions table).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One synthetic source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFile {
+    /// Pseudo repository-relative path, e.g. `repo42/src/uart_tx.v`.
+    pub path: String,
+    /// File contents.
+    pub content: String,
+}
+
+/// Configuration for the synthetic repository generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthConfig {
+    /// Number of distinct base files to generate.
+    pub base_files: usize,
+    /// Fraction of files duplicated verbatim (clone hazard), 0..1.
+    pub clone_fraction: f64,
+    /// Fraction of files duplicated with light edits (near-dup hazard).
+    pub near_dup_fraction: f64,
+    /// Fraction of junk files with no module/endmodule pair.
+    pub junk_fraction: f64,
+    /// Fraction of oversized files (> 20k chars, filtered by the pipeline).
+    pub oversized_fraction: f64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            base_files: 200,
+            clone_fraction: 0.15,
+            near_dup_fraction: 0.10,
+            junk_fraction: 0.08,
+            oversized_fraction: 0.02,
+        }
+    }
+}
+
+/// Generates a deterministic synthetic corpus from a seed.
+pub fn generate_github_corpus(config: &SynthConfig, seed: u64) -> Vec<SourceFile> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut files = Vec::new();
+    for i in 0..config.base_files {
+        let content = random_module(&mut rng);
+        files.push(SourceFile {
+            path: format!("repo{}/rtl/mod_{i}.v", rng.gen_range(0..50)),
+            content,
+        });
+    }
+    let n = config.base_files;
+    // Exact clones of random base files.
+    for i in 0..((n as f64 * config.clone_fraction) as usize) {
+        let src = rng.gen_range(0..n);
+        files.push(SourceFile {
+            path: format!("repo{}/clone_{i}.v", rng.gen_range(50..80)),
+            content: files[src].content.clone(),
+        });
+    }
+    // Near-duplicates: rename the module and tweak whitespace.
+    for i in 0..((n as f64 * config.near_dup_fraction) as usize) {
+        let src = rng.gen_range(0..n);
+        let edited = files[src]
+            .content
+            .replace("  ", " ")
+            .replacen("module ", &format!("module fork{i}_"), 1);
+        files.push(SourceFile {
+            path: format!("repo{}/fork_{i}.v", rng.gen_range(80..99)),
+            content: edited,
+        });
+    }
+    // Junk: testbench fragments, headers, prose — no module/endmodule pair.
+    for i in 0..((n as f64 * config.junk_fraction) as usize) {
+        files.push(SourceFile {
+            path: format!("repo{}/junk_{i}.v", rng.gen_range(0..99)),
+            content: random_junk(&mut rng),
+        });
+    }
+    // Oversized: concatenate many modules past the 20k character filter.
+    for i in 0..((n as f64 * config.oversized_fraction) as usize).max(
+        if config.oversized_fraction > 0.0 { 1 } else { 0 },
+    ) {
+        let mut content = String::new();
+        while content.len() < 21_000 {
+            content.push_str(&random_module(&mut rng));
+            content.push('\n');
+        }
+        files.push(SourceFile {
+            path: format!("repo0/huge_{i}.v"),
+            content,
+        });
+    }
+    files
+}
+
+const NAMES: &[&str] = &[
+    "uart_tx", "uart_rx", "fifo", "alu", "decoder", "encoder", "mux", "demux",
+    "counter", "timer", "pwm", "spi_master", "i2c_slave", "shift_reg",
+    "arbiter", "debounce", "edge_det", "gray_code", "onehot", "prescaler",
+];
+
+const SIGNALS: &[&str] = &[
+    "clk", "rst_n", "reset", "enable", "valid", "ready", "data_in",
+    "data_out", "addr", "wr_en", "rd_en", "busy", "done", "start", "sel",
+    "din", "dout", "count", "state", "load",
+];
+
+fn pick<'a>(rng: &mut StdRng, xs: &'a [&'a str]) -> &'a str {
+    xs[rng.gen_range(0..xs.len())]
+}
+
+/// Generates one random-but-plausible Verilog module from a template mix.
+pub fn random_module(rng: &mut StdRng) -> String {
+    let name = format!("{}_{}", pick(rng, NAMES), rng.gen_range(0..1000));
+    let width = *[2usize, 4, 8, 16, 32].get(rng.gen_range(0..5)).expect("in range");
+    match rng.gen_range(0..4) {
+        0 => counter_template(&name, width, rng),
+        1 => comb_template(&name, width, rng),
+        2 => fsm_template(&name, rng),
+        _ => shift_template(&name, width, rng),
+    }
+}
+
+fn counter_template(name: &str, width: usize, rng: &mut StdRng) -> String {
+    let hi = width - 1;
+    let limit = rng.gen_range(3..(1 << width.min(8)));
+    format!(
+        "// {name}: wrapping counter\n\
+         module {name}(input clk, input reset, output reg [{hi}:0] count);\n\
+         always @(posedge clk) begin\n\
+         \x20 if (reset) count <= 0;\n\
+         \x20 else if (count == {limit}) count <= 0;\n\
+         \x20 else count <= count + 1;\n\
+         end\n\
+         endmodule\n"
+    )
+}
+
+fn comb_template(name: &str, width: usize, rng: &mut StdRng) -> String {
+    let hi = width - 1;
+    let a = pick(rng, SIGNALS);
+    let op = ["&", "|", "^", "+"][rng.gen_range(0..4)];
+    format!(
+        "// {name}: combinational logic\n\
+         module {name}(input [{hi}:0] {a}, input [{hi}:0] b_in, output [{hi}:0] y);\n\
+         \x20 assign y = {a} {op} b_in;\n\
+         endmodule\n"
+    )
+}
+
+fn fsm_template(name: &str, rng: &mut StdRng) -> String {
+    let go = pick(rng, SIGNALS);
+    // The internal register name must not collide with the picked port.
+    format!(
+        "// {name}: two-state handshake\n\
+         module {name}(input clk, input reset, input {go}, output reg busy_o);\n\
+         reg fsm_q;\n\
+         always @(posedge clk) begin\n\
+         \x20 if (reset) fsm_q <= 0;\n\
+         \x20 else if (fsm_q == 0 && {go}) fsm_q <= 1;\n\
+         \x20 else if (fsm_q == 1 && !{go}) fsm_q <= 0;\n\
+         end\n\
+         always @(*) busy_o = (fsm_q == 1);\n\
+         endmodule\n"
+    )
+}
+
+fn shift_template(name: &str, width: usize, rng: &mut StdRng) -> String {
+    let hi = width - 1;
+    let hi2 = width.saturating_sub(2);
+    let dir = if rng.gen_bool(0.5) { "left" } else { "right" };
+    let body = if dir == "left" {
+        format!("q <= {{q[{hi2}:0], d}};")
+    } else {
+        format!("q <= {{d, q[{hi}:1]}};")
+    };
+    format!(
+        "// {name}: {dir} shift register\n\
+         module {name}(input clk, input d, output reg [{hi}:0] q);\n\
+         always @(posedge clk) {body}\n\
+         endmodule\n"
+    )
+}
+
+fn random_junk(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..3) {
+        0 => "// Copyright (c) a hardware company\n// All rights reserved.\n\
+              // This header file has no RTL in it.\n`define WIDTH 8\n"
+            .to_string(),
+        1 => format!(
+            "Chapter notes: the {} pattern is widely used in RTL design.\n\
+             See the documentation for details.\n",
+            pick(rng, NAMES)
+        ),
+        _ => "`timescale 1ns/1ps\n// stub: real file lives elsewhere\n".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let cfg = SynthConfig::default();
+        let a = generate_github_corpus(&cfg, 1);
+        let b = generate_github_corpus(&cfg, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = SynthConfig {
+            base_files: 10,
+            ..Default::default()
+        };
+        let a = generate_github_corpus(&cfg, 1);
+        let b = generate_github_corpus(&cfg, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn corpus_contains_planned_hazards() {
+        let cfg = SynthConfig {
+            base_files: 100,
+            clone_fraction: 0.2,
+            near_dup_fraction: 0.1,
+            junk_fraction: 0.1,
+            oversized_fraction: 0.02,
+        };
+        let files = generate_github_corpus(&cfg, 9);
+        assert!(files.iter().any(|f| f.path.contains("clone_")));
+        assert!(files.iter().any(|f| f.path.contains("junk_")));
+        assert!(files.iter().any(|f| f.content.len() > 20_000));
+        // Clones really are exact duplicates of some base file.
+        let clone = files.iter().find(|f| f.path.contains("clone_")).expect("clone");
+        assert!(
+            files
+                .iter()
+                .filter(|f| f.content == clone.content)
+                .count()
+                >= 2
+        );
+    }
+
+    #[test]
+    fn generated_modules_parse() {
+        // Every template must produce parseable Verilog — the n-gram LM is
+        // trained on this text, so it must be real code.
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..50 {
+            let m = random_module(&mut rng);
+            // Cheap structural check without a verilog dependency: paired
+            // module/endmodule and balanced parens.
+            assert!(m.contains("module ") && m.contains("endmodule"), "{m}");
+            assert_eq!(
+                m.matches('(').count(),
+                m.matches(')').count(),
+                "unbalanced parens in template:\n{m}"
+            );
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Overlapping sliding-window training-example extraction (§III-A: "use an
+//! overlapping sliding window on the filtered text corpus to produce
+//! training examples").
+
+/// Cuts `text` into overlapping windows of `window` lines with `stride`
+/// lines between window starts. The final partial window is kept if it is
+/// at least `stride` lines long or the only one.
+///
+/// # Panics
+///
+/// Panics if `window == 0` or `stride == 0` or `stride > window`.
+pub fn sliding_windows(text: &str, window: usize, stride: usize) -> Vec<String> {
+    assert!(window > 0, "window must be positive");
+    assert!(stride > 0, "stride must be positive");
+    assert!(stride <= window, "stride must not exceed window (windows must overlap or tile)");
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.is_empty() {
+        return Vec::new();
+    }
+    if lines.len() <= window {
+        return vec![lines.join("\n")];
+    }
+    let mut out = Vec::new();
+    let mut start = 0;
+    loop {
+        let end = (start + window).min(lines.len());
+        out.push(lines[start..end].join("\n"));
+        if end == lines.len() {
+            break;
+        }
+        start += stride;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn text(n: usize) -> String {
+        (0..n).map(|i| format!("line{i}")).collect::<Vec<_>>().join("\n")
+    }
+
+    #[test]
+    fn short_text_single_window() {
+        let w = sliding_windows(&text(3), 10, 5);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0], "line0\nline1\nline2");
+    }
+
+    #[test]
+    fn windows_overlap() {
+        let w = sliding_windows(&text(10), 4, 2);
+        assert_eq!(w[0], "line0\nline1\nline2\nline3");
+        assert_eq!(w[1], "line2\nline3\nline4\nline5");
+        // Every line appears in some window.
+        let joined = w.join("\n");
+        for i in 0..10 {
+            assert!(joined.contains(&format!("line{i}")));
+        }
+    }
+
+    #[test]
+    fn tail_is_kept() {
+        let w = sliding_windows(&text(9), 4, 4);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[2], "line8");
+    }
+
+    #[test]
+    fn empty_text() {
+        assert!(sliding_windows("", 4, 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn stride_larger_than_window_panics() {
+        let _ = sliding_windows("a\nb", 2, 3);
+    }
+}

@@ -1,0 +1,109 @@
+//! Inference-time model reproducing Table IV's "Inference Time (s)" column.
+//!
+//! The paper measured wall-clock per query, including network time for the
+//! remote models (J1, code-davinci-002). We model each (family, tuning) as
+//! a log-normal-ish jittered mean anchored at the paper's reported value:
+//! fine-tuned local checkpoints are much faster than their pre-trained
+//! counterparts served remotely or under heavier decoding settings.
+
+use crate::registry::{ModelId, ModelFamily, Tuning};
+use rand::Rng;
+
+/// Mean inference seconds reported in Table IV for a model row.
+pub fn paper_mean_seconds(model: ModelId) -> f64 {
+    use ModelFamily::*;
+    use Tuning::*;
+    match (model.family, model.tuning) {
+        (Megatron355M, Pretrained) => 3.628,
+        (Megatron355M, FineTuned) => 0.175,
+        (CodeGen2B, Pretrained) => 1.478,
+        (CodeGen2B, FineTuned) => 0.665,
+        (CodeGen6B, Pretrained) => 2.332,
+        (CodeGen6B, FineTuned) => 0.710,
+        (J1Large7B, Pretrained) => 7.146,
+        (J1Large7B, FineTuned) => 2.029,
+        (CodeGen16B, Pretrained) => 2.835,
+        (CodeGen16B, FineTuned) => 1.994,
+        (CodeDavinci002, _) => 3.885,
+    }
+}
+
+/// Whether queries to this family traverse a remote API (adds RTT jitter).
+pub fn is_remote(family: ModelFamily) -> bool {
+    matches!(
+        family,
+        ModelFamily::J1Large7B | ModelFamily::CodeDavinci002
+    )
+}
+
+/// Samples one query's inference time in seconds: the Table IV mean with
+/// ±15% multiplicative jitter, plus 0–300 ms simulated RTT for remote APIs.
+pub fn sample_seconds<R: Rng>(model: ModelId, rng: &mut R) -> f64 {
+    let mean = paper_mean_seconds(model);
+    let jitter = rng.gen_range(0.85..1.15);
+    let rtt = if is_remote(model.family) {
+        rng.gen_range(0.0..0.3)
+    } else {
+        0.0
+    };
+    mean * jitter + rtt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{ModelFamily, Tuning};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fine_tuned_is_faster_than_pretrained() {
+        for family in ModelFamily::ALL {
+            if !family.supports_fine_tuning() {
+                continue;
+            }
+            let pt = paper_mean_seconds(ModelId::new(family, Tuning::Pretrained));
+            let ft = paper_mean_seconds(ModelId::new(family, Tuning::FineTuned));
+            assert!(ft < pt, "{family}: FT {ft} should be below PT {pt}");
+        }
+    }
+
+    #[test]
+    fn j1_is_slowest() {
+        let all: Vec<f64> = ModelId::all_evaluated()
+            .into_iter()
+            .map(paper_mean_seconds)
+            .collect();
+        let j1 = paper_mean_seconds(ModelId::new(
+            ModelFamily::J1Large7B,
+            Tuning::Pretrained,
+        ));
+        assert!(all.iter().all(|&t| t <= j1));
+    }
+
+    #[test]
+    fn samples_stay_near_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = ModelId::new(ModelFamily::CodeGen16B, Tuning::FineTuned);
+        let mean = paper_mean_seconds(model);
+        let n = 2000;
+        let total: f64 = (0..n).map(|_| sample_seconds(model, &mut rng)).sum();
+        let avg = total / n as f64;
+        assert!(
+            (avg - mean).abs() / mean < 0.05,
+            "avg {avg} should track mean {mean}"
+        );
+    }
+
+    #[test]
+    fn remote_models_pay_rtt() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let remote = ModelId::new(ModelFamily::J1Large7B, Tuning::FineTuned);
+        let n = 2000;
+        let avg: f64 = (0..n).map(|_| sample_seconds(remote, &mut rng)).sum::<f64>() / n as f64;
+        // Mean + ~0.15 average RTT.
+        assert!(avg > paper_mean_seconds(remote) + 0.05);
+        assert!(is_remote(ModelFamily::CodeDavinci002));
+        assert!(!is_remote(ModelFamily::CodeGen16B));
+    }
+}

@@ -1,0 +1,37 @@
+//! # vgen-lm
+//!
+//! The language-model layer of the VGen reproduction:
+//!
+//! * [`bpe`] + [`ngram`] + [`sampler`] — a *real*, laptop-scale
+//!   train→sample pipeline (BPE tokenizer, backoff n-gram LM, temperature /
+//!   top-p autoregressive decoding) standing in for transformer training.
+//! * [`registry`] — the six LLMs of paper Table I with their metadata.
+//! * [`mutate`] — AST/text mutation reproducing the paper's observed
+//!   failure modes.
+//! * [`family`] — the calibrated generative model of each (model, tuning)
+//!   row, anchored to Tables III/IV.
+//! * [`latency`] — the inference-time model for Table IV's time column.
+//!
+//! ```
+//! use vgen_lm::engine::{CompletionEngine, NgramEngine};
+//! use vgen_problems::{problems, PromptLevel};
+//!
+//! let mut lm = NgramEngine::train("module m(input a, output y);\nassign y = a;\nendmodule\n", 50, 4, 0);
+//! let out = lm.generate(&problems()[0], PromptLevel::Low, 0.1, 1);
+//! assert_eq!(out.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bpe;
+pub mod engine;
+pub mod family;
+pub mod latency;
+pub mod mutate;
+pub mod ngram;
+pub mod registry;
+pub mod sampler;
+
+pub use engine::{Completion, CompletionEngine, NgramEngine};
+pub use family::FamilyEngine;
+pub use registry::{ModelFamily, ModelId, Tuning};

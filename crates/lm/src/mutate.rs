@@ -1,0 +1,566 @@
+//! The mutation engine: produces *plausibly wrong* Verilog from correct
+//! solutions, mirroring the failure modes the paper reports —
+//! offset-by-one outputs (Fig 2c), missing wrap-around (Fig 3c), wrong
+//! output condition (Fig 4c) — plus syntax-level corruption for
+//! compile-failure modelling.
+//!
+//! Semantic mutants are produced by AST rewrites and re-rendered with the
+//! pretty-printer, so they always *parse*; whether they actually fail the
+//! testbench is verified downstream by the bank builder in
+//! [`crate::family`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vgen_verilog::ast::*;
+use vgen_verilog::pretty::pretty_file;
+use vgen_verilog::value::LogicVec;
+
+/// Kinds of semantic AST mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SemanticOp {
+    /// Add or subtract one from a numeric literal (offset-by-one, Fig 2c).
+    TweakConst,
+    /// Swap a binary operator for a near-miss (`==`→`!=`, `&`→`|`, ...).
+    SwapBinaryOp,
+    /// Negate an `if` condition.
+    NegateCondition,
+    /// Delete an `else` branch (missing wrap-around, Fig 3c).
+    DropElse,
+    /// Swap the arms of a ternary.
+    SwapTernaryArms,
+}
+
+impl SemanticOp {
+    /// All mutation kinds.
+    pub const ALL: [SemanticOp; 5] = [
+        SemanticOp::TweakConst,
+        SemanticOp::SwapBinaryOp,
+        SemanticOp::NegateCondition,
+        SemanticOp::DropElse,
+        SemanticOp::SwapTernaryArms,
+    ];
+}
+
+/// Applies one random semantic mutation to `src`; returns the mutated
+/// source and the op used, or `None` if `src` does not parse or has no
+/// applicable site.
+pub fn semantic_mutate(src: &str, rng: &mut StdRng) -> Option<(String, SemanticOp)> {
+    let file = vgen_verilog::parse(src).ok()?;
+    // Try ops in random order until one has a site.
+    let mut ops = SemanticOp::ALL.to_vec();
+    for i in (1..ops.len()).rev() {
+        ops.swap(i, rng.gen_range(0..=i));
+    }
+    for op in ops {
+        let mut mutated = file.clone();
+        let sites = count_sites(&mutated, op);
+        if sites == 0 {
+            continue;
+        }
+        let target = rng.gen_range(0..sites);
+        let mut counter = target as isize;
+        let pick = rng.gen_range(0..u32::MAX);
+        for m in &mut mutated.modules {
+            for item in &mut m.items {
+                mutate_item(item, op, &mut counter, pick);
+            }
+        }
+        if counter < 0 {
+            return Some((pretty_file(&mutated), op));
+        }
+    }
+    None
+}
+
+/// Generates up to `count` distinct semantic mutants of `src`.
+pub fn semantic_mutants(src: &str, seed: u64, count: usize) -> Vec<(String, SemanticOp)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<(String, SemanticOp)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(src.to_string());
+    for _ in 0..count * 8 {
+        if out.len() >= count {
+            break;
+        }
+        if let Some((m, op)) = semantic_mutate(src, &mut rng) {
+            if seen.insert(m.clone()) {
+                out.push((m, op));
+            }
+        }
+    }
+    out
+}
+
+/// Kinds of text-level syntax corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyntaxOp {
+    /// Delete a random semicolon.
+    DropSemicolon,
+    /// Delete a random `end` keyword.
+    DropEnd,
+    /// Delete a random closing parenthesis.
+    DropParen,
+    /// Truncate mid-file (models a completion cut off by max_tokens).
+    Truncate,
+    /// Insert a stray operator token.
+    StrayToken,
+}
+
+impl SyntaxOp {
+    /// All corruption kinds.
+    pub const ALL: [SyntaxOp; 5] = [
+        SyntaxOp::DropSemicolon,
+        SyntaxOp::DropEnd,
+        SyntaxOp::DropParen,
+        SyntaxOp::Truncate,
+        SyntaxOp::StrayToken,
+    ];
+}
+
+/// Applies one random syntax corruption; returns `None` when the chosen
+/// op has no applicable site.
+pub fn syntax_corrupt(src: &str, rng: &mut StdRng) -> Option<(String, SyntaxOp)> {
+    let op = SyntaxOp::ALL[rng.gen_range(0..SyntaxOp::ALL.len())];
+    let out = match op {
+        SyntaxOp::DropSemicolon => delete_nth_occurrence(src, ";", rng)?,
+        SyntaxOp::DropEnd => delete_nth_word(src, "end", rng)?,
+        SyntaxOp::DropParen => delete_nth_occurrence(src, ")", rng)?,
+        SyntaxOp::Truncate => {
+            let lines: Vec<&str> = src.lines().collect();
+            if lines.len() < 4 {
+                return None;
+            }
+            let cut = rng.gen_range(2..lines.len() - 1);
+            let mut s = lines[..cut].join("\n");
+            // Cut again mid-line to land inside a statement.
+            let keep = s.len() - rng.gen_range(0..lines[cut - 1].len().max(1)).min(s.len() - 1);
+            s.truncate(keep);
+            s
+        }
+        SyntaxOp::StrayToken => {
+            let pos = find_nth_occurrence(src, "=", rng)?;
+            let mut s = src.to_string();
+            s.insert_str(pos, "= =");
+            s
+        }
+    };
+    Some((out, op))
+}
+
+/// Generates up to `count` syntax-corrupted variants, each verified to
+/// actually fail [`vgen_verilog::syntax_check`].
+pub fn syntax_mutants(src: &str, seed: u64, count: usize) -> Vec<(String, SyntaxOp)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<(String, SyntaxOp)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..count * 10 {
+        if out.len() >= count {
+            break;
+        }
+        if let Some((m, op)) = syntax_corrupt(src, &mut rng) {
+            if vgen_verilog::syntax_check(&m).is_err() && seen.insert(m.clone()) {
+                out.push((m, op));
+            }
+        }
+    }
+    out
+}
+
+fn find_nth_occurrence(src: &str, needle: &str, rng: &mut StdRng) -> Option<usize> {
+    let positions: Vec<usize> = src.match_indices(needle).map(|(i, _)| i).collect();
+    if positions.is_empty() {
+        return None;
+    }
+    Some(positions[rng.gen_range(0..positions.len())])
+}
+
+fn delete_nth_occurrence(src: &str, needle: &str, rng: &mut StdRng) -> Option<String> {
+    let pos = find_nth_occurrence(src, needle, rng)?;
+    let mut s = src.to_string();
+    s.replace_range(pos..pos + needle.len(), "");
+    Some(s)
+}
+
+fn delete_nth_word(src: &str, word: &str, rng: &mut StdRng) -> Option<String> {
+    let bytes = src.as_bytes();
+    let positions: Vec<usize> = src
+        .match_indices(word)
+        .map(|(i, _)| i)
+        .filter(|&i| {
+            let before = i == 0
+                || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+            let end = i + word.len();
+            let after = end >= bytes.len()
+                || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+            before && after
+        })
+        .collect();
+    if positions.is_empty() {
+        return None;
+    }
+    let pos = positions[rng.gen_range(0..positions.len())];
+    let mut s = src.to_string();
+    s.replace_range(pos..pos + word.len(), "");
+    Some(s)
+}
+
+// ------------------------------------------------------- site enumeration
+
+fn count_sites(file: &SourceFile, op: SemanticOp) -> usize {
+    let mut cloned = file.clone();
+    let mut n = 0usize;
+    for m in &mut cloned.modules {
+        for item in &mut m.items {
+            visit_item(item, &mut |loc| {
+                if loc_matches(&loc, op) {
+                    n += 1;
+                }
+            });
+        }
+    }
+    n
+}
+
+/// A mutation site location passed to visitors.
+enum Loc<'a> {
+    Expr(&'a mut Expr),
+    Stmt(&'a mut Stmt),
+}
+
+fn loc_matches(loc: &Loc<'_>, op: SemanticOp) -> bool {
+    match (loc, op) {
+        (Loc::Expr(e), SemanticOp::TweakConst) => {
+            matches!(&e.kind, ExprKind::Number(v) if v.width() >= 2 && !v.has_unknown())
+        }
+        (Loc::Expr(e), SemanticOp::SwapBinaryOp) => match &e.kind {
+            ExprKind::Binary { op, .. } => swap_op(*op).is_some(),
+            _ => false,
+        },
+        (Loc::Expr(e), SemanticOp::SwapTernaryArms) => {
+            matches!(&e.kind, ExprKind::Ternary { .. })
+        }
+        (Loc::Stmt(s), SemanticOp::NegateCondition) => {
+            matches!(&s.kind, StmtKind::If { .. })
+        }
+        (Loc::Stmt(s), SemanticOp::DropElse) => {
+            matches!(&s.kind, StmtKind::If { els: Some(_), .. })
+        }
+        _ => false,
+    }
+}
+
+fn swap_op(op: BinaryOp) -> Option<BinaryOp> {
+    use BinaryOp::*;
+    Some(match op {
+        Eq => Ne,
+        Ne => Eq,
+        BitAnd => BitOr,
+        BitOr => BitAnd,
+        BitXor => BitXnor,
+        BitXnor => BitXor,
+        Add => Sub,
+        Sub => Add,
+        Lt => Le,
+        Le => Lt,
+        Gt => Ge,
+        Ge => Gt,
+        Shl => Shr,
+        Shr => Shl,
+        LogicAnd => LogicOr,
+        LogicOr => LogicAnd,
+        _ => return None,
+    })
+}
+
+fn mutate_item(item: &mut Item, op: SemanticOp, counter: &mut isize, pick: u32) {
+    visit_item(item, &mut |loc| {
+        if !loc_matches(&loc, op) {
+            return;
+        }
+        if *counter != 0 {
+            *counter -= 1;
+            return;
+        }
+        *counter -= 1;
+        apply_mutation(loc, op, pick);
+    });
+}
+
+fn apply_mutation(loc: Loc<'_>, op: SemanticOp, pick: u32) {
+    match (loc, op) {
+        (Loc::Expr(e), SemanticOp::TweakConst) => {
+            if let ExprKind::Number(v) = &e.kind {
+                let one = LogicVec::from_u64(1, v.width());
+                let tweaked = if pick.is_multiple_of(2) { v.add(&one) } else { v.sub(&one) };
+                e.kind = ExprKind::Number(tweaked);
+            }
+        }
+        (Loc::Expr(e), SemanticOp::SwapBinaryOp) => {
+            if let ExprKind::Binary { op: bop, .. } = &mut e.kind {
+                if let Some(new) = swap_op(*bop) {
+                    *bop = new;
+                }
+            }
+        }
+        (Loc::Expr(e), SemanticOp::SwapTernaryArms) => {
+            if let ExprKind::Ternary { then, els, .. } = &mut e.kind {
+                std::mem::swap(then, els);
+            }
+        }
+        (Loc::Stmt(s), SemanticOp::NegateCondition) => {
+            if let StmtKind::If { cond, .. } = &mut s.kind {
+                let span = cond.span;
+                let inner = std::mem::replace(cond, Expr::ident("_", span));
+                *cond = Expr::new(
+                    ExprKind::Unary {
+                        op: UnaryOp::LogicNot,
+                        arg: Box::new(inner),
+                    },
+                    span,
+                );
+            }
+        }
+        (Loc::Stmt(s), SemanticOp::DropElse) => {
+            if let StmtKind::If { els, .. } = &mut s.kind {
+                *els = None;
+            }
+        }
+        _ => {}
+    }
+}
+
+// ------------------------------------------------------------- AST walking
+
+fn visit_item(item: &mut Item, f: &mut impl FnMut(Loc<'_>)) {
+    match item {
+        Item::Assign(a) => {
+            for (lhs, rhs) in &mut a.assigns {
+                visit_expr(lhs, f);
+                visit_expr(rhs, f);
+            }
+        }
+        Item::Always(a) => visit_stmt(&mut a.body, f),
+        Item::Initial(i) => visit_stmt(&mut i.body, f),
+        Item::Gate(g) => {
+            for c in &mut g.conns {
+                visit_expr(c, f);
+            }
+        }
+        Item::Decl(d) => {
+            for n in &mut d.names {
+                if let Some(init) = &mut n.init {
+                    visit_expr(init, f);
+                }
+            }
+        }
+        Item::Function(func) => visit_stmt(&mut func.body, f),
+        Item::Param(_) | Item::Instance(_) | Item::Defparam { .. } => {}
+    }
+}
+
+fn visit_stmt(stmt: &mut Stmt, f: &mut impl FnMut(Loc<'_>)) {
+    f(Loc::Stmt(stmt));
+    match &mut stmt.kind {
+        StmtKind::Block { stmts, .. } => {
+            for s in stmts {
+                visit_stmt(s, f);
+            }
+        }
+        StmtKind::Assign { lhs, rhs, delay, .. } => {
+            visit_expr(lhs, f);
+            visit_expr(rhs, f);
+            if let Some(d) = delay {
+                visit_expr(d, f);
+            }
+        }
+        StmtKind::If { cond, then, els } => {
+            visit_expr(cond, f);
+            visit_stmt(then, f);
+            if let Some(e) = els {
+                visit_stmt(e, f);
+            }
+        }
+        StmtKind::Case { expr, arms, .. } => {
+            visit_expr(expr, f);
+            for arm in arms {
+                for l in &mut arm.labels {
+                    visit_expr(l, f);
+                }
+                visit_stmt(&mut arm.body, f);
+            }
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            visit_expr(&mut init.1, f);
+            visit_expr(cond, f);
+            visit_expr(&mut step.1, f);
+            visit_stmt(body, f);
+        }
+        StmtKind::While { cond, body } => {
+            visit_expr(cond, f);
+            visit_stmt(body, f);
+        }
+        StmtKind::Repeat { count, body } => {
+            visit_expr(count, f);
+            visit_stmt(body, f);
+        }
+        StmtKind::Forever { body } => visit_stmt(body, f),
+        StmtKind::Delay { amount, stmt } => {
+            visit_expr(amount, f);
+            if let Some(s) = stmt {
+                visit_stmt(s, f);
+            }
+        }
+        StmtKind::Event { stmt, .. } => {
+            if let Some(s) = stmt {
+                visit_stmt(s, f);
+            }
+        }
+        StmtKind::Wait { cond, stmt } => {
+            visit_expr(cond, f);
+            if let Some(s) = stmt {
+                visit_stmt(s, f);
+            }
+        }
+        StmtKind::SysCall { args, .. } | StmtKind::TaskCall { args, .. } => {
+            for a in args {
+                visit_expr(a, f);
+            }
+        }
+        StmtKind::Disable(_) | StmtKind::Null => {}
+    }
+}
+
+fn visit_expr(expr: &mut Expr, f: &mut impl FnMut(Loc<'_>)) {
+    f(Loc::Expr(expr));
+    match &mut expr.kind {
+        ExprKind::Unary { arg, .. } => visit_expr(arg, f),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            visit_expr(lhs, f);
+            visit_expr(rhs, f);
+        }
+        ExprKind::Ternary { cond, then, els } => {
+            visit_expr(cond, f);
+            visit_expr(then, f);
+            visit_expr(els, f);
+        }
+        ExprKind::Index { base, index } => {
+            visit_expr(base, f);
+            visit_expr(index, f);
+        }
+        ExprKind::PartSelect { base, msb, lsb } => {
+            visit_expr(base, f);
+            visit_expr(msb, f);
+            visit_expr(lsb, f);
+        }
+        ExprKind::IndexedSelect {
+            base, start, width, ..
+        } => {
+            visit_expr(base, f);
+            visit_expr(start, f);
+            visit_expr(width, f);
+        }
+        ExprKind::Concat(items) => {
+            for i in items {
+                visit_expr(i, f);
+            }
+        }
+        ExprKind::Replicate { count, items } => {
+            visit_expr(count, f);
+            for i in items {
+                visit_expr(i, f);
+            }
+        }
+        ExprKind::SysCall { args, .. } | ExprKind::Call { args, .. } => {
+            for a in args {
+                visit_expr(a, f);
+            }
+        }
+        ExprKind::Number(_) | ExprKind::Real(_) | ExprKind::Str(_) | ExprKind::Ident(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COUNTER: &str = "\
+module counter(input clk, input reset, output reg [3:0] q);
+always @(posedge clk) begin
+  if (reset) q <= 4'd1;
+  else if (q == 4'd12) q <= 4'd1;
+  else q <= q + 4'd1;
+end
+endmodule
+";
+
+    #[test]
+    fn semantic_mutants_parse_and_differ() {
+        let muts = semantic_mutants(COUNTER, 1, 8);
+        assert!(muts.len() >= 4, "got only {} mutants", muts.len());
+        for (m, op) in &muts {
+            assert!(
+                vgen_verilog::syntax_check(m).is_ok(),
+                "semantic mutant must still parse ({op:?}):\n{m}"
+            );
+            assert_ne!(m, COUNTER);
+        }
+    }
+
+    #[test]
+    fn mutants_are_distinct() {
+        let muts = semantic_mutants(COUNTER, 2, 10);
+        let set: std::collections::HashSet<&String> =
+            muts.iter().map(|(m, _)| m).collect();
+        assert_eq!(set.len(), muts.len());
+    }
+
+    #[test]
+    fn mutants_cover_multiple_ops() {
+        let muts = semantic_mutants(COUNTER, 3, 12);
+        let ops: std::collections::HashSet<SemanticOp> =
+            muts.iter().map(|(_, op)| *op).collect();
+        assert!(ops.len() >= 2, "expected op diversity, got {ops:?}");
+    }
+
+    #[test]
+    fn syntax_mutants_fail_to_parse() {
+        let muts = syntax_mutants(COUNTER, 4, 6);
+        assert!(!muts.is_empty());
+        for (m, op) in &muts {
+            assert!(
+                vgen_verilog::syntax_check(m).is_err(),
+                "syntax mutant must fail ({op:?}):\n{m}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(semantic_mutants(COUNTER, 9, 5), semantic_mutants(COUNTER, 9, 5));
+        assert_eq!(syntax_mutants(COUNTER, 9, 5), syntax_mutants(COUNTER, 9, 5));
+    }
+
+    #[test]
+    fn unparseable_input_yields_nothing() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(semantic_mutate("not verilog at all", &mut rng).is_none());
+    }
+
+    #[test]
+    fn drop_else_produces_fig3c_style_bug() {
+        // Find a DropElse mutant: the counter then never wraps at 12.
+        let muts = semantic_mutants(COUNTER, 7, 20);
+        let dropped = muts
+            .iter()
+            .find(|(_, op)| *op == SemanticOp::DropElse);
+        if let Some((m, _)) = dropped {
+            let elses = m.matches("else").count();
+            assert!(elses < COUNTER.matches("else").count());
+        }
+    }
+}

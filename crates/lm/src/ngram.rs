@@ -1,0 +1,204 @@
+//! A token n-gram language model with Stupid Backoff.
+//!
+//! This is the trainable stand-in for the transformer LLMs the paper
+//! fine-tunes: it exercises the same pipeline — tokenize a Verilog corpus,
+//! fit a next-token distribution, sample autoregressively with temperature
+//! and nucleus (top-p) truncation — at laptop scale.
+
+use crate::bpe::TokenId;
+use std::collections::HashMap;
+
+/// Backoff discount per order (Brants et al.'s "stupid backoff" alpha).
+const BACKOFF_ALPHA: f64 = 0.4;
+
+/// A trained n-gram model over token ids.
+#[derive(Debug, Clone)]
+pub struct NgramModel {
+    order: usize,
+    /// For each order k (1..=order), counts of (context, next) and context
+    /// totals. Contexts are the last k-1 tokens.
+    counts: Vec<HashMap<Vec<TokenId>, HashMap<TokenId, u32>>>,
+    vocab: Vec<TokenId>,
+}
+
+impl NgramModel {
+    /// Trains an `order`-gram model on a token stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order == 0`.
+    pub fn train(tokens: &[TokenId], order: usize) -> Self {
+        assert!(order > 0, "order must be positive");
+        let mut counts: Vec<HashMap<Vec<TokenId>, HashMap<TokenId, u32>>> =
+            vec![HashMap::new(); order];
+        let mut vocab_set = std::collections::HashSet::new();
+        for (i, &tok) in tokens.iter().enumerate() {
+            vocab_set.insert(tok);
+            for k in 1..=order {
+                if i + 1 >= k {
+                    let ctx = tokens[i + 1 - k..i].to_vec();
+                    *counts[k - 1]
+                        .entry(ctx)
+                        .or_default()
+                        .entry(tok)
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        let mut vocab: Vec<TokenId> = vocab_set.into_iter().collect();
+        vocab.sort_unstable();
+        NgramModel {
+            order,
+            counts,
+            vocab,
+        }
+    }
+
+    /// Model order (n).
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Number of distinct tokens seen in training.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Unnormalised next-token scores for a context via Stupid Backoff:
+    /// use the longest matching context; shorter contexts are discounted by
+    /// `alpha` per backoff level.
+    pub fn next_scores(&self, context: &[TokenId]) -> Vec<(TokenId, f64)> {
+        let max_ctx = self.order - 1;
+        let start = context.len().saturating_sub(max_ctx);
+        let mut ctx = &context[start..];
+        let mut discount = 1.0;
+        loop {
+            let k = ctx.len() + 1;
+            if let Some(nexts) = self.counts[k - 1].get(ctx) {
+                let total: u32 = nexts.values().sum();
+                if total > 0 {
+                    let mut scores: Vec<(TokenId, f64)> = nexts
+                        .iter()
+                        .map(|(&t, &c)| (t, discount * c as f64 / total as f64))
+                        .collect();
+                    scores.sort_unstable_by(|a, b| {
+                        b.1.partial_cmp(&a.1)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.0.cmp(&b.0))
+                    });
+                    return scores;
+                }
+            }
+            if ctx.is_empty() {
+                // Unseen even as unigram: uniform over vocabulary.
+                let p = discount / self.vocab.len().max(1) as f64;
+                return self.vocab.iter().map(|&t| (t, p)).collect();
+            }
+            ctx = &ctx[1..];
+            discount *= BACKOFF_ALPHA;
+        }
+    }
+
+    /// Per-token perplexity of a token stream under the model (lower is
+    /// better). Uses the backoff scores normalised per step.
+    pub fn perplexity(&self, tokens: &[TokenId]) -> f64 {
+        if tokens.len() < 2 {
+            return f64::INFINITY;
+        }
+        let mut log_sum = 0.0;
+        let mut n = 0usize;
+        for i in 1..tokens.len() {
+            let scores = self.next_scores(&tokens[..i]);
+            let total: f64 = scores.iter().map(|(_, s)| s).sum();
+            let p = scores
+                .iter()
+                .find(|(t, _)| *t == tokens[i])
+                .map(|(_, s)| s / total)
+                .unwrap_or(1e-9);
+            log_sum += p.max(1e-12).ln();
+            n += 1;
+        }
+        (-log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<TokenId> {
+        s.bytes().map(|b| b as TokenId).collect()
+    }
+
+    #[test]
+    fn learns_deterministic_sequence() {
+        let t = toks(&"abcd".repeat(50));
+        let m = NgramModel::train(&t, 3);
+        // After "ab", "c" is certain.
+        let scores = m.next_scores(&toks("ab"));
+        assert_eq!(scores[0].0, b'c' as TokenId);
+        assert!(scores[0].1 > 0.99);
+    }
+
+    #[test]
+    fn backoff_on_unseen_context() {
+        let t = toks(&"abcd".repeat(20));
+        let m = NgramModel::train(&t, 3);
+        // Context "zz" never seen: backs off to unigram, still returns
+        // something sensible.
+        let scores = m.next_scores(&toks("zz"));
+        assert!(!scores.is_empty());
+        let total: f64 = scores.iter().map(|(_, s)| s).sum();
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn branching_context_has_two_options() {
+        // After "ab": half the time c, half the time d.
+        let mut seq = Vec::new();
+        for i in 0..40 {
+            seq.extend(toks("ab"));
+            seq.push(if i % 2 == 0 { b'c' as TokenId } else { b'd' as TokenId });
+        }
+        let m = NgramModel::train(&seq, 3);
+        let scores = m.next_scores(&toks("ab"));
+        let top2: Vec<TokenId> = scores.iter().take(2).map(|(t, _)| *t).collect();
+        assert!(top2.contains(&(b'c' as TokenId)));
+        assert!(top2.contains(&(b'd' as TokenId)));
+        assert!((scores[0].1 - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn perplexity_lower_on_training_text() {
+        let train = toks(&"module m endmodule ".repeat(30));
+        let m = NgramModel::train(&train, 4);
+        let on_train = m.perplexity(&train);
+        let on_noise = m.perplexity(&toks("zqxwvy kjhgf"));
+        assert!(
+            on_train < on_noise,
+            "train ppl {on_train} should be below noise ppl {on_noise}"
+        );
+    }
+
+    #[test]
+    fn higher_order_fits_better() {
+        let text = "always @(posedge clk) q <= q + 1; ".repeat(20);
+        let t = toks(&text);
+        let low = NgramModel::train(&t, 2).perplexity(&t);
+        let high = NgramModel::train(&t, 5).perplexity(&t);
+        assert!(high < low, "order-5 ppl {high} should beat order-2 ppl {low}");
+    }
+
+    #[test]
+    fn vocab_size_counts_distinct() {
+        let m = NgramModel::train(&toks("aabbcc"), 2);
+        assert_eq!(m.vocab_size(), 3);
+        assert_eq!(m.order(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "order")]
+    fn zero_order_panics() {
+        let _ = NgramModel::train(&[1, 2, 3], 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! The model registry: the six LLMs of paper Table I with their
+//! architecture metadata and tuning states.
+
+use std::fmt;
+
+/// The LLM families evaluated in the paper (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ModelFamily {
+    /// MegatronLM-355M — natural-language pre-training only.
+    Megatron355M,
+    /// Salesforce CodeGen-2B (NL + code).
+    CodeGen2B,
+    /// Salesforce CodeGen-6B (NL + code).
+    CodeGen6B,
+    /// AI21 J1-Large-7B (NL), fine-tuned via the AI21 studio API.
+    J1Large7B,
+    /// Salesforce CodeGen-16B (NL + code) — the paper's best fine-tune.
+    CodeGen16B,
+    /// OpenAI code-davinci-002 — commercial, pre-trained only.
+    CodeDavinci002,
+}
+
+impl ModelFamily {
+    /// All families in Table I order.
+    pub const ALL: [ModelFamily; 6] = [
+        ModelFamily::Megatron355M,
+        ModelFamily::CodeGen2B,
+        ModelFamily::CodeGen6B,
+        ModelFamily::J1Large7B,
+        ModelFamily::CodeGen16B,
+        ModelFamily::CodeDavinci002,
+    ];
+
+    /// Display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelFamily::Megatron355M => "MegatronLM-355M",
+            ModelFamily::CodeGen2B => "CodeGen-2B",
+            ModelFamily::CodeGen6B => "CodeGen-6B",
+            ModelFamily::J1Large7B => "J1-Large-7B",
+            ModelFamily::CodeGen16B => "CodeGen-16B",
+            ModelFamily::CodeDavinci002 => "code-davinci-002",
+        }
+    }
+
+    /// Parameter count in millions (approximate; `None` for undisclosed
+    /// code-davinci-002).
+    pub fn parameters_m(self) -> Option<u32> {
+        match self {
+            ModelFamily::Megatron355M => Some(355),
+            ModelFamily::CodeGen2B => Some(2_000),
+            ModelFamily::CodeGen6B => Some(6_000),
+            ModelFamily::J1Large7B => Some(7_000),
+            ModelFamily::CodeGen16B => Some(16_000),
+            ModelFamily::CodeDavinci002 => None,
+        }
+    }
+
+    /// Whether the checkpoint can be fine-tuned in the paper's setup
+    /// (code-davinci-002 cannot).
+    pub fn supports_fine_tuning(self) -> bool {
+        self != ModelFamily::CodeDavinci002
+    }
+
+    /// Whether the completions API supports n=25 (J1 does not, §IV-B).
+    pub fn supports_n25(self) -> bool {
+        self != ModelFamily::J1Large7B
+    }
+
+    /// Max tokens per completion (§IV-B: 300, but 256 for J1).
+    pub fn max_tokens(self) -> usize {
+        if self == ModelFamily::J1Large7B {
+            256
+        } else {
+            300
+        }
+    }
+
+    /// Architecture metadata from Table I; `None` for code-davinci-002
+    /// ("NA" in the paper).
+    pub fn architecture(self) -> Option<Architecture> {
+        let (layers, heads, embed, context) = match self {
+            ModelFamily::Megatron355M => (24, 16, 64, 1024),
+            ModelFamily::J1Large7B => (32, 32, 128, 4096),
+            ModelFamily::CodeGen2B => (32, 32, 80, 2048),
+            ModelFamily::CodeGen6B => (33, 16, 256, 2048),
+            ModelFamily::CodeGen16B => (34, 24, 256, 2048),
+            ModelFamily::CodeDavinci002 => return None,
+        };
+        Some(Architecture {
+            layers,
+            heads,
+            embed,
+            context_length: context,
+        })
+    }
+
+    /// Pre-training data description (Table I rightmost column).
+    pub fn pretraining_data(self) -> &'static str {
+        match self {
+            ModelFamily::Megatron355M => "NL",
+            ModelFamily::J1Large7B => "NL",
+            ModelFamily::CodeGen2B
+            | ModelFamily::CodeGen6B
+            | ModelFamily::CodeGen16B => "NL, Code",
+            ModelFamily::CodeDavinci002 => "NL, Code",
+        }
+    }
+}
+
+impl fmt::Display for ModelFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Transformer architecture parameters (Table I columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Architecture {
+    /// Number of layers.
+    pub layers: u32,
+    /// Number of attention heads.
+    pub heads: u32,
+    /// Head/embedding dimension as reported.
+    pub embed: u32,
+    /// Context length in tokens.
+    pub context_length: u32,
+}
+
+/// Pre-trained vs fine-tuned, as in Tables III/IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Tuning {
+    /// Off-the-shelf checkpoint.
+    Pretrained,
+    /// Fine-tuned on the Verilog corpus.
+    FineTuned,
+}
+
+impl Tuning {
+    /// Both states.
+    pub const ALL: [Tuning; 2] = [Tuning::Pretrained, Tuning::FineTuned];
+
+    /// "PT" / "FT" tag from the tables.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Tuning::Pretrained => "PT",
+            Tuning::FineTuned => "FT",
+        }
+    }
+}
+
+impl fmt::Display for Tuning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// A (family, tuning) pair — one table row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelId {
+    /// Which family.
+    pub family: ModelFamily,
+    /// Pre-trained or fine-tuned.
+    pub tuning: Tuning,
+}
+
+impl ModelId {
+    /// Creates a model id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when asking for a fine-tuned code-davinci-002, which the
+    /// paper could not fine-tune.
+    pub fn new(family: ModelFamily, tuning: Tuning) -> Self {
+        assert!(
+            tuning == Tuning::Pretrained || family.supports_fine_tuning(),
+            "{family} cannot be fine-tuned"
+        );
+        ModelId { family, tuning }
+    }
+
+    /// Every evaluated model: PT+FT for five families, PT-only for
+    /// code-davinci-002 — the 11 rows of Table IV.
+    pub fn all_evaluated() -> Vec<ModelId> {
+        let mut out = Vec::new();
+        for family in ModelFamily::ALL {
+            out.push(ModelId::new(family, Tuning::Pretrained));
+            if family.supports_fine_tuning() {
+                out.push(ModelId::new(family, Tuning::FineTuned));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.family, self.tuning)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_evaluated_models() {
+        assert_eq!(ModelId::all_evaluated().len(), 11);
+    }
+
+    #[test]
+    fn davinci_has_no_architecture_or_ft() {
+        assert!(ModelFamily::CodeDavinci002.architecture().is_none());
+        assert!(!ModelFamily::CodeDavinci002.supports_fine_tuning());
+        assert!(ModelFamily::CodeDavinci002.parameters_m().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be fine-tuned")]
+    fn davinci_ft_panics() {
+        let _ = ModelId::new(ModelFamily::CodeDavinci002, Tuning::FineTuned);
+    }
+
+    #[test]
+    fn table_i_metadata() {
+        let a = ModelFamily::CodeGen16B.architecture().expect("arch");
+        assert_eq!(a.layers, 34);
+        assert_eq!(a.heads, 24);
+        assert_eq!(a.context_length, 2048);
+        assert_eq!(ModelFamily::J1Large7B.max_tokens(), 256);
+        assert_eq!(ModelFamily::CodeGen2B.max_tokens(), 300);
+        assert!(!ModelFamily::J1Large7B.supports_n25());
+    }
+
+    #[test]
+    fn families_ordered_by_size() {
+        assert!(ModelFamily::Megatron355M.parameters_m() < ModelFamily::CodeGen2B.parameters_m());
+        assert!(ModelFamily::CodeGen6B.parameters_m() < ModelFamily::CodeGen16B.parameters_m());
+    }
+
+    #[test]
+    fn display_matches_paper() {
+        assert_eq!(
+            format!("{}", ModelId::new(ModelFamily::CodeGen16B, Tuning::FineTuned)),
+            "CodeGen-16B (FT)"
+        );
+    }
+}

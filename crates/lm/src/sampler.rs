@@ -1,0 +1,153 @@
+//! Temperature and nucleus (top-p) sampling (paper §IV-B input parameters:
+//! sampling temperature `t`, `max_tokens`, `top_p`).
+
+use crate::bpe::TokenId;
+use rand::Rng;
+
+/// Sampling parameters for one generation request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplingParams {
+    /// Sampling temperature; 0 means greedy argmax.
+    pub temperature: f64,
+    /// Nucleus probability mass (paper default 1.0 = disabled).
+    pub top_p: f64,
+    /// Maximum tokens to generate (paper: 300, 256 for J1).
+    pub max_tokens: usize,
+}
+
+impl Default for SamplingParams {
+    fn default() -> Self {
+        SamplingParams {
+            temperature: 0.1,
+            top_p: 1.0,
+            max_tokens: 300,
+        }
+    }
+}
+
+/// Draws one token from `(token, score)` pairs after applying temperature
+/// scaling and top-p truncation.
+///
+/// Scores need not be normalised. Temperature ≤ 0 (or exactly 0) selects
+/// the argmax. The pairs must be sorted descending by score (as
+/// [`NgramModel::next_scores`](crate::ngram::NgramModel::next_scores)
+/// returns them).
+///
+/// # Panics
+///
+/// Panics if `scores` is empty.
+pub fn sample_token<R: Rng>(
+    scores: &[(TokenId, f64)],
+    temperature: f64,
+    top_p: f64,
+    rng: &mut R,
+) -> TokenId {
+    assert!(!scores.is_empty(), "cannot sample from empty distribution");
+    if temperature <= f64::EPSILON {
+        return scores[0].0;
+    }
+    // Temperature: p_i ∝ p_i^(1/T).
+    let inv_t = 1.0 / temperature;
+    let mut weighted: Vec<(TokenId, f64)> = scores
+        .iter()
+        .map(|&(t, s)| (t, s.max(1e-12).powf(inv_t)))
+        .collect();
+    let total: f64 = weighted.iter().map(|(_, w)| w).sum();
+    for w in &mut weighted {
+        w.1 /= total;
+    }
+    // Nucleus: keep the smallest prefix with cumulative mass >= top_p.
+    if top_p < 1.0 {
+        let mut cum = 0.0;
+        let mut keep = weighted.len();
+        for (i, (_, w)) in weighted.iter().enumerate() {
+            cum += w;
+            if cum >= top_p {
+                keep = i + 1;
+                break;
+            }
+        }
+        weighted.truncate(keep);
+    }
+    let total: f64 = weighted.iter().map(|(_, w)| w).sum();
+    let mut draw = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    for (t, w) in &weighted {
+        if draw < *w {
+            return *t;
+        }
+        draw -= w;
+    }
+    weighted.last().expect("non-empty after truncation").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dist() -> Vec<(TokenId, f64)> {
+        vec![(1, 0.7), (2, 0.2), (3, 0.1)]
+    }
+
+    #[test]
+    fn zero_temperature_is_greedy() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            assert_eq!(sample_token(&dist(), 0.0, 1.0, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn low_temperature_concentrates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let picks: Vec<TokenId> = (0..200)
+            .map(|_| sample_token(&dist(), 0.1, 1.0, &mut rng))
+            .collect();
+        let ones = picks.iter().filter(|&&t| t == 1).count();
+        assert!(ones > 195, "low temperature should almost always pick top: {ones}");
+    }
+
+    #[test]
+    fn high_temperature_spreads() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let picks: Vec<TokenId> = (0..3000)
+            .map(|_| sample_token(&dist(), 5.0, 1.0, &mut rng))
+            .collect();
+        let threes = picks.iter().filter(|&&t| t == 3).count();
+        // At T=5 the distribution is nearly uniform; token 3 ≈ 1/3.
+        assert!(
+            threes > 700,
+            "high temperature should visit tail often: {threes}/3000"
+        );
+    }
+
+    #[test]
+    fn top_p_cuts_the_tail() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // top_p = 0.7 keeps only token 1 at T=1.
+        for _ in 0..100 {
+            assert_eq!(sample_token(&dist(), 1.0, 0.7, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a: Vec<TokenId> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..50).map(|_| sample_token(&dist(), 0.8, 0.95, &mut rng)).collect()
+        };
+        let b: Vec<TokenId> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..50).map(|_| sample_token(&dist(), 0.8, 0.95, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_distribution_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = sample_token(&[], 1.0, 1.0, &mut rng);
+    }
+}

@@ -1,0 +1,80 @@
+//! The 17-problem catalog (paper Table II), one module per problem.
+
+mod p01;
+mod p02;
+mod p03;
+mod p04;
+mod p05;
+mod p06;
+mod p07;
+mod p08;
+mod p09;
+mod p10;
+mod p11;
+mod p12;
+mod p13;
+mod p14;
+mod p15;
+mod p16;
+mod p17;
+
+use crate::types::Problem;
+
+/// Builds the full problem set in Table II order.
+pub fn build_catalog() -> Vec<Problem> {
+    vec![
+        p01::problem(),
+        p02::problem(),
+        p03::problem(),
+        p04::problem(),
+        p05::problem(),
+        p06::problem(),
+        p07::problem(),
+        p08::problem(),
+        p09::problem(),
+        p10::problem(),
+        p11::problem(),
+        p12::problem(),
+        p13::problem(),
+        p14::problem(),
+        p15::problem(),
+        p16::problem(),
+        p17::problem(),
+    ]
+}
+
+/// Test support: runs every reference/alternate solution of a problem
+/// against its testbench on the real simulator and asserts it passes.
+#[cfg(test)]
+pub(crate) fn check_problem(p: &Problem) {
+    use crate::types::PASS_MARKER;
+    for (i, solution) in p.all_solutions().iter().enumerate() {
+        let src = format!("{solution}\n{}", p.testbench);
+        let out = vgen_sim::simulate(&src, Some("tb"), vgen_sim::SimConfig::default())
+            .unwrap_or_else(|e| {
+                panic!(
+                    "problem {} solution {i} failed to compile: {e}\n{src}",
+                    p.id
+                )
+            });
+        assert!(
+            out.stdout.contains(PASS_MARKER),
+            "problem {} solution {i} failed its testbench ({:?}):\n{}\nsource:\n{src}",
+            p.id,
+            out.reason,
+            out.stdout
+        );
+    }
+    // Every prompt must itself be an open module the parser can finish with
+    // the reference body at every level.
+    for level in crate::types::PromptLevel::ALL {
+        let full = format!("{}\n{}", p.prompt(level), p.reference_body);
+        vgen_verilog::parse(&full).unwrap_or_else(|e| {
+            panic!(
+                "problem {} prompt {level} + reference does not parse: {}",
+                p.id,
+                e.render(&full)
+            )
+        });
+    }
+}

@@ -1,0 +1,73 @@
+//! Problem 1 (Basic): a simple wire.
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This is a simple wire. It connects the input to the output.
+module simple_wire(input in, output out);
+";
+
+const PROMPT_M: &str = "\
+// This is a simple wire. It connects the input to the output.
+module simple_wire(input in, output out);
+// assign the value of in to out.
+";
+
+const PROMPT_H: &str = "\
+// This is a simple wire. It connects the input to the output.
+module simple_wire(input in, output out);
+// out is a continuous assignment from in.
+// Use an assign statement: out takes the value of in at all times.
+";
+
+const REFERENCE: &str = "\
+assign out = in;
+endmodule
+";
+
+const ALT_GATE: &str = "\
+buf b1(out, in);
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg in;
+  wire out;
+  integer errors;
+  simple_wire dut(.in(in), .out(out));
+  initial begin
+    errors = 0;
+    in = 0; #1;
+    if (out !== 1'b0) begin errors = errors + 1; $display("FAIL: in=0 out=%b", out); end
+    in = 1; #1;
+    if (out !== 1'b1) begin errors = errors + 1; $display("FAIL: in=1 out=%b", out); end
+    in = 0; #1;
+    if (out !== 1'b0) begin errors = errors + 1; $display("FAIL: back to 0 out=%b", out); end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 1,
+        name: "A simple wire",
+        module_name: "simple_wire",
+        difficulty: Difficulty::Basic,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[ALT_GATE],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

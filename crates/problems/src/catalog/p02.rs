@@ -1,0 +1,76 @@
+//! Problem 2 (Basic): a 2-input AND gate.
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This is a 2-input and gate.
+module and_gate(input a, input b, output y);
+";
+
+const PROMPT_M: &str = "\
+// This is a 2-input and gate.
+module and_gate(input a, input b, output y);
+// y is the logical and of a and b.
+";
+
+const PROMPT_H: &str = "\
+// This is a 2-input and gate.
+module and_gate(input a, input b, output y);
+// y is the logical and of a and b.
+// Use a continuous assignment: y = a & b.
+// y is 1 only when both a and b are 1.
+";
+
+const REFERENCE: &str = "\
+assign y = a & b;
+endmodule
+";
+
+const ALT_PRIMITIVE: &str = "\
+and g1(y, a, b);
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg a, b;
+  wire y;
+  integer errors;
+  and_gate dut(.a(a), .b(b), .y(y));
+  initial begin
+    errors = 0;
+    a = 0; b = 0; #1;
+    if (y !== 1'b0) begin errors = errors + 1; $display("FAIL: 0&0 -> %b", y); end
+    a = 0; b = 1; #1;
+    if (y !== 1'b0) begin errors = errors + 1; $display("FAIL: 0&1 -> %b", y); end
+    a = 1; b = 0; #1;
+    if (y !== 1'b0) begin errors = errors + 1; $display("FAIL: 1&0 -> %b", y); end
+    a = 1; b = 1; #1;
+    if (y !== 1'b1) begin errors = errors + 1; $display("FAIL: 1&1 -> %b", y); end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 2,
+        name: "A 2-input and gate",
+        module_name: "and_gate",
+        difficulty: Difficulty::Basic,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[ALT_PRIMITIVE],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

@@ -1,0 +1,100 @@
+//! Problem 3 (Basic): a 3-bit priority encoder (paper Fig. 2).
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This is a 3-bit priority encoder. It outputs the position of the first high bit.
+module priority_encoder(input [2:0] in, output reg [1:0] pos);
+";
+
+const PROMPT_M: &str = "\
+// This is a 3-bit priority encoder. It outputs the position of the first high bit.
+module priority_encoder(input [2:0] in, output reg [1:0] pos);
+// If none of the input bits are high (i.e., input is zero), output zero.
+// assign the position of the lowest high bit of in to pos.
+";
+
+const PROMPT_H: &str = "\
+// This is a 3-bit priority encoder. It outputs the position of the first high bit.
+module priority_encoder(input [2:0] in, output reg [1:0] pos);
+// If none of the input bits are high (i.e., input is zero), output zero.
+// assign the position of the lowest high bit of in to pos.
+// if in is 0, pos is 0.
+// else if in[0] is 1, pos is 0.
+// else if in[1] is 1, pos is 1.
+// else pos is 2.
+";
+
+const REFERENCE: &str = "\
+always @(in)
+  if (in == 0) pos = 2'd0;
+  else if (in[0]) pos = 2'd0;
+  else if (in[1]) pos = 2'd1;
+  else pos = 2'd2;
+endmodule
+";
+
+const ALT_CASE: &str = "\
+always @(*) begin
+  casez (in)
+    3'b000: pos = 2'd0;
+    3'b??1: pos = 2'd0;
+    3'b?10: pos = 2'd1;
+    3'b100: pos = 2'd2;
+    default: pos = 2'd0;
+  endcase
+end
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg [2:0] in;
+  wire [1:0] pos;
+  integer errors;
+  priority_encoder dut(.in(in), .pos(pos));
+  initial begin
+    errors = 0;
+    in = 3'b000; #1;
+    if (pos !== 2'd0) begin errors = errors + 1; $display("FAIL: in=%b pos=%0d", in, pos); end
+    in = 3'b001; #1;
+    if (pos !== 2'd0) begin errors = errors + 1; $display("FAIL: in=%b pos=%0d", in, pos); end
+    in = 3'b010; #1;
+    if (pos !== 2'd1) begin errors = errors + 1; $display("FAIL: in=%b pos=%0d", in, pos); end
+    in = 3'b011; #1;
+    if (pos !== 2'd0) begin errors = errors + 1; $display("FAIL: in=%b pos=%0d", in, pos); end
+    in = 3'b100; #1;
+    if (pos !== 2'd2) begin errors = errors + 1; $display("FAIL: in=%b pos=%0d", in, pos); end
+    in = 3'b101; #1;
+    if (pos !== 2'd0) begin errors = errors + 1; $display("FAIL: in=%b pos=%0d", in, pos); end
+    in = 3'b110; #1;
+    if (pos !== 2'd1) begin errors = errors + 1; $display("FAIL: in=%b pos=%0d", in, pos); end
+    in = 3'b111; #1;
+    if (pos !== 2'd0) begin errors = errors + 1; $display("FAIL: in=%b pos=%0d", in, pos); end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 3,
+        name: "A 3-bit priority encoder",
+        module_name: "priority_encoder",
+        difficulty: Difficulty::Basic,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[ALT_CASE],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

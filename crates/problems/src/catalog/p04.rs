@@ -1,0 +1,80 @@
+//! Problem 4 (Basic): a 2-input multiplexer.
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This is a 2-input multiplexer.
+module mux2(input a, input b, input sel, output y);
+";
+
+const PROMPT_M: &str = "\
+// This is a 2-input multiplexer.
+module mux2(input a, input b, input sel, output y);
+// y is a when sel is 0, and b when sel is 1.
+";
+
+const PROMPT_H: &str = "\
+// This is a 2-input multiplexer.
+module mux2(input a, input b, input sel, output y);
+// y is a when sel is 0, and b when sel is 1.
+// Use a conditional (ternary) continuous assignment:
+// y = sel ? b : a.
+";
+
+const REFERENCE: &str = "\
+assign y = sel ? b : a;
+endmodule
+";
+
+const ALT_LOGIC: &str = "\
+assign y = (~sel & a) | (sel & b);
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg a, b, sel;
+  wire y;
+  integer errors;
+  integer i;
+  reg [2:0] v;
+  mux2 dut(.a(a), .b(b), .sel(sel), .y(y));
+  initial begin
+    errors = 0;
+    for (i = 0; i < 8; i = i + 1) begin
+      v = i[2:0];
+      a = v[0]; b = v[1]; sel = v[2];
+      #1;
+      if (sel == 0) begin
+        if (y !== a) begin errors = errors + 1; $display("FAIL: sel=0 a=%b y=%b", a, y); end
+      end else begin
+        if (y !== b) begin errors = errors + 1; $display("FAIL: sel=1 b=%b y=%b", b, y); end
+      end
+    end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 4,
+        name: "A 2-input multiplexer",
+        module_name: "mux2",
+        difficulty: Difficulty::Basic,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[ALT_LOGIC],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

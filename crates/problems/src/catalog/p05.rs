@@ -1,0 +1,80 @@
+//! Problem 5 (Intermediate): a half adder.
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This is a half adder.
+module half_adder(input a, input b, output sum, output carry);
+";
+
+const PROMPT_M: &str = "\
+// This is a half adder.
+module half_adder(input a, input b, output sum, output carry);
+// sum is the exclusive or of a and b.
+// carry is the and of a and b.
+";
+
+const PROMPT_H: &str = "\
+// This is a half adder.
+module half_adder(input a, input b, output sum, output carry);
+// sum is the exclusive or of a and b.
+// carry is the and of a and b.
+// Use continuous assignments:
+// sum = a ^ b;
+// carry = a & b;
+";
+
+const REFERENCE: &str = "\
+assign sum = a ^ b;
+assign carry = a & b;
+endmodule
+";
+
+const ALT_CONCAT: &str = "\
+assign {carry, sum} = a + b;
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg a, b;
+  wire sum, carry;
+  integer errors;
+  half_adder dut(.a(a), .b(b), .sum(sum), .carry(carry));
+  initial begin
+    errors = 0;
+    a = 0; b = 0; #1;
+    if (sum !== 1'b0 || carry !== 1'b0) begin errors = errors + 1; $display("FAIL: 0+0 sum=%b carry=%b", sum, carry); end
+    a = 0; b = 1; #1;
+    if (sum !== 1'b1 || carry !== 1'b0) begin errors = errors + 1; $display("FAIL: 0+1 sum=%b carry=%b", sum, carry); end
+    a = 1; b = 0; #1;
+    if (sum !== 1'b1 || carry !== 1'b0) begin errors = errors + 1; $display("FAIL: 1+0 sum=%b carry=%b", sum, carry); end
+    a = 1; b = 1; #1;
+    if (sum !== 1'b0 || carry !== 1'b1) begin errors = errors + 1; $display("FAIL: 1+1 sum=%b carry=%b", sum, carry); end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 5,
+        name: "A half adder",
+        module_name: "half_adder",
+        difficulty: Difficulty::Intermediate,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[ALT_CONCAT],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

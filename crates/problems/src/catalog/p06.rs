@@ -1,0 +1,104 @@
+//! Problem 6 (Intermediate): a counter that counts from 1 to 12
+//! (paper Fig. 3).
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This is a counter that counts from 1 to 12.
+module counter(input clk, input reset, output reg [3:0] q);
+";
+
+const PROMPT_M: &str = "\
+// This is a counter that counts from 1 to 12.
+module counter(input clk, input reset, output reg [3:0] q);
+// On reset, q is set to 1.
+// On each clock edge q increments; after 12 it wraps back to 1.
+";
+
+const PROMPT_H: &str = "\
+// This is a counter that counts from 1 to 12.
+module counter(input clk, input reset, output reg [3:0] q);
+// On reset, q is set to 1.
+// On each clock edge q increments; after 12 it wraps back to 1.
+// On the positive edge of clk:
+//   if reset is high, q becomes 4'd1.
+//   else if q equals 4'd12, q becomes 4'd1.
+//   else q becomes q + 4'd1.
+";
+
+const REFERENCE: &str = "\
+always @(posedge clk) begin
+  if (reset) q <= 4'd1;
+  else begin
+    if (q == 4'd12) q <= 4'd1;
+    else q <= q + 4'd1;
+  end
+end
+endmodule
+";
+
+const ALT_ASYNC: &str = "\
+always @(posedge clk or posedge reset) begin
+  if (reset) q <= 4'd1;
+  else if (q >= 4'd12) q <= 4'd1;
+  else q <= q + 4'd1;
+end
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg clk, reset;
+  wire [3:0] q;
+  integer errors;
+  integer i;
+  reg [3:0] expected;
+  counter dut(.clk(clk), .reset(reset), .q(q));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; errors = 0; reset = 1;
+    @(posedge clk); #1;
+    if (q !== 4'd1) begin errors = errors + 1; $display("FAIL: after reset q=%0d", q); end
+    reset = 0;
+    expected = 4'd1;
+    // Walk through 30 cycles: 1..12 wraps to 1 twice.
+    for (i = 0; i < 30; i = i + 1) begin
+      @(posedge clk); #1;
+      if (expected == 4'd12) expected = 4'd1;
+      else expected = expected + 4'd1;
+      if (q !== expected) begin
+        errors = errors + 1;
+        $display("FAIL: cycle %0d q=%0d expected=%0d", i, q, expected);
+      end
+    end
+    // Reset works again mid-count.
+    reset = 1;
+    @(posedge clk); #1;
+    if (q !== 4'd1) begin errors = errors + 1; $display("FAIL: re-reset q=%0d", q); end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 6,
+        name: "A 1-to-12 counter",
+        module_name: "counter",
+        difficulty: Difficulty::Intermediate,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[ALT_ASYNC],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

@@ -1,0 +1,112 @@
+//! Problem 7 (Intermediate): LFSR with taps at 3 and 5.
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This is a 5-bit linear feedback shift register with taps at bits 3 and 5.
+module lfsr(input clk, input reset, output reg [4:0] q);
+";
+
+const PROMPT_M: &str = "\
+// This is a 5-bit linear feedback shift register with taps at bits 3 and 5.
+module lfsr(input clk, input reset, output reg [4:0] q);
+// On reset, q is set to 5'h1.
+// On each clock edge the register shifts left by one;
+// the new bit 0 is the xor of bit 4 and bit 2 (taps at 5 and 3).
+";
+
+const PROMPT_H: &str = "\
+// This is a 5-bit linear feedback shift register with taps at bits 3 and 5.
+module lfsr(input clk, input reset, output reg [4:0] q);
+// On reset, q is set to 5'h1.
+// On each clock edge the register shifts left by one;
+// the new bit 0 is the xor of bit 4 and bit 2 (taps at 5 and 3).
+// On the positive edge of clk:
+//   if reset is high, q becomes 5'h1.
+//   else q becomes the concatenation of q[3:0] and (q[4] ^ q[2]).
+";
+
+const REFERENCE: &str = "\
+always @(posedge clk) begin
+  if (reset) q <= 5'h1;
+  else q <= {q[3:0], q[4] ^ q[2]};
+end
+endmodule
+";
+
+const ALT_EXPANDED: &str = "\
+wire feedback;
+assign feedback = q[4] ^ q[2];
+always @(posedge clk) begin
+  if (reset) q <= 5'h1;
+  else begin
+    q[4] <= q[3];
+    q[3] <= q[2];
+    q[2] <= q[1];
+    q[1] <= q[0];
+    q[0] <= feedback;
+  end
+end
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg clk, reset;
+  wire [4:0] q;
+  integer errors;
+  lfsr dut(.clk(clk), .reset(reset), .q(q));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; errors = 0; reset = 1;
+    @(posedge clk); #1;
+    if (q !== 5'h01) begin errors = errors + 1; $display("FAIL: reset q=%h", q); end
+    reset = 0;
+    // Expected sequence from seed 00001 with feedback q[4]^q[2].
+    @(posedge clk); #1;
+    if (q !== 5'd2) begin errors = errors + 1; $display("FAIL: step1 q=%0d", q); end
+    @(posedge clk); #1;
+    if (q !== 5'd4) begin errors = errors + 1; $display("FAIL: step2 q=%0d", q); end
+    @(posedge clk); #1;
+    if (q !== 5'd9) begin errors = errors + 1; $display("FAIL: step3 q=%0d", q); end
+    @(posedge clk); #1;
+    if (q !== 5'd18) begin errors = errors + 1; $display("FAIL: step4 q=%0d", q); end
+    @(posedge clk); #1;
+    if (q !== 5'd5) begin errors = errors + 1; $display("FAIL: step5 q=%0d", q); end
+    @(posedge clk); #1;
+    if (q !== 5'd11) begin errors = errors + 1; $display("FAIL: step6 q=%0d", q); end
+    @(posedge clk); #1;
+    if (q !== 5'd22) begin errors = errors + 1; $display("FAIL: step7 q=%0d", q); end
+    @(posedge clk); #1;
+    if (q !== 5'd12) begin errors = errors + 1; $display("FAIL: step8 q=%0d", q); end
+    @(posedge clk); #1;
+    if (q !== 5'd25) begin errors = errors + 1; $display("FAIL: step9 q=%0d", q); end
+    @(posedge clk); #1;
+    if (q !== 5'd19) begin errors = errors + 1; $display("FAIL: step10 q=%0d", q); end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 7,
+        name: "LFSR with taps at 3 and 5",
+        module_name: "lfsr",
+        difficulty: Difficulty::Intermediate,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[ALT_EXPANDED],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

@@ -1,0 +1,115 @@
+//! Problem 8 (Intermediate): an FSM with two states.
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This is a finite state machine with two states.
+module two_state_fsm(input clk, input reset, input in, output out);
+reg state;
+parameter S0 = 0, S1 = 1;
+";
+
+const PROMPT_M: &str = "\
+// This is a finite state machine with two states.
+module two_state_fsm(input clk, input reset, input in, output out);
+reg state;
+parameter S0 = 0, S1 = 1;
+// state is reset to S0 when reset is high.
+// In state S0, when in is 1, state changes to S1.
+// In state S1, when in is 0, state changes to S0.
+// The output out is high when state is S1.
+";
+
+const PROMPT_H: &str = "\
+// This is a finite state machine with two states.
+module two_state_fsm(input clk, input reset, input in, output out);
+reg state;
+parameter S0 = 0, S1 = 1;
+// state is reset to S0 when reset is high.
+// In state S0, when in is 1, state changes to S1.
+// In state S1, when in is 0, state changes to S0.
+// The output out is high when state is S1.
+// On the positive edge of clk:
+//   if reset is high, state becomes S0.
+//   else if state is S0 and in is 1, state becomes S1.
+//   else if state is S1 and in is 0, state becomes S0.
+// Use a continuous assignment for out: out = (state == S1).
+";
+
+const REFERENCE: &str = "\
+always @(posedge clk) begin
+  if (reset) state <= S0;
+  else begin
+    case (state)
+      S0: if (in) state <= S1;
+      S1: if (!in) state <= S0;
+      default: state <= S0;
+    endcase
+  end
+end
+assign out = (state == S1);
+endmodule
+";
+
+const ALT_TERNARY: &str = "\
+always @(posedge clk) begin
+  if (reset) state <= S0;
+  else state <= (state == S0) ? (in ? S1 : S0) : (in ? S1 : S0);
+end
+assign out = (state == S1);
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg clk, reset, in;
+  wire out;
+  integer errors;
+  two_state_fsm dut(.clk(clk), .reset(reset), .in(in), .out(out));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; errors = 0; reset = 1; in = 0;
+    @(posedge clk); #1;
+    if (out !== 1'b0) begin errors = errors + 1; $display("FAIL: after reset out=%b", out); end
+    reset = 0;
+    // Stay in S0 while in=0.
+    @(posedge clk); #1;
+    if (out !== 1'b0) begin errors = errors + 1; $display("FAIL: S0 hold out=%b", out); end
+    // in=1 moves to S1.
+    in = 1;
+    @(posedge clk); #1;
+    if (out !== 1'b1) begin errors = errors + 1; $display("FAIL: S0->S1 out=%b", out); end
+    // Stay in S1 while in=1.
+    @(posedge clk); #1;
+    if (out !== 1'b1) begin errors = errors + 1; $display("FAIL: S1 hold out=%b", out); end
+    // in=0 moves back to S0.
+    in = 0;
+    @(posedge clk); #1;
+    if (out !== 1'b0) begin errors = errors + 1; $display("FAIL: S1->S0 out=%b", out); end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 8,
+        name: "FSM with two states",
+        module_name: "two_state_fsm",
+        difficulty: Difficulty::Intermediate,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[ALT_TERNARY],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

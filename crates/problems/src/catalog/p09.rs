@@ -1,0 +1,120 @@
+//! Problem 9 (Intermediate): shift left and rotate.
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This module shifts left or rotates left an 8-bit value.
+module shift_rot(input [7:0] in, input [2:0] shamt, input mode, output reg [7:0] out);
+";
+
+const PROMPT_M: &str = "\
+// This module shifts left or rotates left an 8-bit value.
+module shift_rot(input [7:0] in, input [2:0] shamt, input mode, output reg [7:0] out);
+// When mode is 0, out is in shifted left by shamt bits (zero fill).
+// When mode is 1, out is in rotated left by shamt bits.
+";
+
+const PROMPT_H: &str = "\
+// This module shifts left or rotates left an 8-bit value.
+module shift_rot(input [7:0] in, input [2:0] shamt, input mode, output reg [7:0] out);
+// When mode is 0, out is in shifted left by shamt bits (zero fill).
+// When mode is 1, out is in rotated left by shamt bits.
+// For the rotate, the bits shifted out at the top re-enter at the bottom:
+// out = (in << shamt) | (in >> (8 - shamt)).
+// Note that when shamt is 0 the rotate leaves in unchanged.
+";
+
+const REFERENCE: &str = "\
+always @(*) begin
+  if (mode == 1'b0) out = in << shamt;
+  else begin
+    if (shamt == 3'd0) out = in;
+    else out = (in << shamt) | (in >> (4'd8 - {1'b0, shamt}));
+  end
+end
+endmodule
+";
+
+const ALT_CASE: &str = "\
+always @(*) begin
+  case ({mode, shamt})
+    4'b0000: out = in;
+    4'b0001: out = in << 1;
+    4'b0010: out = in << 2;
+    4'b0011: out = in << 3;
+    4'b0100: out = in << 4;
+    4'b0101: out = in << 5;
+    4'b0110: out = in << 6;
+    4'b0111: out = in << 7;
+    4'b1000: out = in;
+    4'b1001: out = {in[6:0], in[7]};
+    4'b1010: out = {in[5:0], in[7:6]};
+    4'b1011: out = {in[4:0], in[7:5]};
+    4'b1100: out = {in[3:0], in[7:4]};
+    4'b1101: out = {in[2:0], in[7:3]};
+    4'b1110: out = {in[1:0], in[7:2]};
+    4'b1111: out = {in[0], in[7:1]};
+    default: out = in;
+  endcase
+end
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg [7:0] in;
+  reg [2:0] shamt;
+  reg mode;
+  wire [7:0] out;
+  integer errors;
+  shift_rot dut(.in(in), .shamt(shamt), .mode(mode), .out(out));
+  initial begin
+    errors = 0;
+    in = 8'b1011_0010;
+    // Shifts.
+    mode = 0;
+    shamt = 3'd0; #1;
+    if (out !== 8'b1011_0010) begin errors = errors + 1; $display("FAIL: shl0 out=%b", out); end
+    shamt = 3'd1; #1;
+    if (out !== 8'b0110_0100) begin errors = errors + 1; $display("FAIL: shl1 out=%b", out); end
+    shamt = 3'd3; #1;
+    if (out !== 8'b1001_0000) begin errors = errors + 1; $display("FAIL: shl3 out=%b", out); end
+    shamt = 3'd7; #1;
+    if (out !== 8'b0000_0000) begin errors = errors + 1; $display("FAIL: shl7 out=%b", out); end
+    // Rotates.
+    mode = 1;
+    shamt = 3'd0; #1;
+    if (out !== 8'b1011_0010) begin errors = errors + 1; $display("FAIL: rot0 out=%b", out); end
+    shamt = 3'd1; #1;
+    if (out !== 8'b0110_0101) begin errors = errors + 1; $display("FAIL: rot1 out=%b", out); end
+    shamt = 3'd4; #1;
+    if (out !== 8'b0010_1011) begin errors = errors + 1; $display("FAIL: rot4 out=%b", out); end
+    shamt = 3'd7; #1;
+    if (out !== 8'b0101_1001) begin errors = errors + 1; $display("FAIL: rot7 out=%b", out); end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 9,
+        name: "Shift left and rotate",
+        module_name: "shift_rot",
+        difficulty: Difficulty::Intermediate,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[ALT_CASE],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

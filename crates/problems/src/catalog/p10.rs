@@ -1,0 +1,105 @@
+//! Problem 10 (Intermediate): random access memory (64 × 8).
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This is a random access memory with 64 words of 8 bits.
+module ram(input clk, input we, input [5:0] addr, input [7:0] din, output reg [7:0] dout);
+reg [7:0] mem [0:63];
+";
+
+const PROMPT_M: &str = "\
+// This is a random access memory with 64 words of 8 bits.
+module ram(input clk, input we, input [5:0] addr, input [7:0] din, output reg [7:0] dout);
+reg [7:0] mem [0:63];
+// On the positive clock edge, when we is high, din is written to mem at addr.
+// On the positive clock edge, dout is updated with the word at addr.
+";
+
+const PROMPT_H: &str = "\
+// This is a random access memory with 64 words of 8 bits.
+module ram(input clk, input we, input [5:0] addr, input [7:0] din, output reg [7:0] dout);
+reg [7:0] mem [0:63];
+// On the positive clock edge, when we is high, din is written to mem at addr.
+// On the positive clock edge, dout is updated with the word at addr.
+// Use non-blocking assignments inside always @(posedge clk):
+//   if (we) mem[addr] <= din;
+//   dout <= mem[addr];
+";
+
+const REFERENCE: &str = "\
+always @(posedge clk) begin
+  if (we) mem[addr] <= din;
+  dout <= mem[addr];
+end
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg clk, we;
+  reg [5:0] addr;
+  reg [7:0] din;
+  wire [7:0] dout;
+  integer errors;
+  integer i;
+  ram dut(.clk(clk), .we(we), .addr(addr), .din(din), .dout(dout));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; errors = 0; we = 0; addr = 0; din = 0;
+    // Write a pattern to 8 locations.
+    we = 1;
+    for (i = 0; i < 8; i = i + 1) begin
+      addr = i[5:0];
+      din = 8'h10 + i[7:0];
+      @(posedge clk); #1;
+    end
+    // Write to the last address too.
+    addr = 6'd63; din = 8'hA5;
+    @(posedge clk); #1;
+    we = 0;
+    // Read back.
+    for (i = 0; i < 8; i = i + 1) begin
+      addr = i[5:0];
+      @(posedge clk); #1;
+      if (dout !== (8'h10 + i[7:0])) begin
+        errors = errors + 1;
+        $display("FAIL: read addr=%0d dout=%h", i, dout);
+      end
+    end
+    addr = 6'd63;
+    @(posedge clk); #1;
+    if (dout !== 8'hA5) begin errors = errors + 1; $display("FAIL: read 63 dout=%h", dout); end
+    // Overwrite one location and read again.
+    we = 1; addr = 6'd3; din = 8'hEE;
+    @(posedge clk); #1;
+    we = 0;
+    @(posedge clk); #1;
+    if (dout !== 8'hEE) begin errors = errors + 1; $display("FAIL: overwrite dout=%h", dout); end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 10,
+        name: "Random Access Memory",
+        module_name: "ram",
+        difficulty: Difficulty::Intermediate,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

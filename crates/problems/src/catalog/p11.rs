@@ -1,0 +1,108 @@
+//! Problem 11 (Intermediate): a fixed bit permutation.
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This module applies a fixed permutation to the bits of its input.
+module permute(input [7:0] in, output [7:0] out);
+";
+
+const PROMPT_M: &str = "\
+// This module applies a fixed permutation to the bits of its input.
+module permute(input [7:0] in, output [7:0] out);
+// The permutation is:
+// out[7] = in[3], out[6] = in[7], out[5] = in[1], out[4] = in[5],
+// out[3] = in[0], out[2] = in[6], out[1] = in[2], out[0] = in[4].
+";
+
+const PROMPT_H: &str = "\
+// This module applies a fixed permutation to the bits of its input.
+module permute(input [7:0] in, output [7:0] out);
+// The permutation is:
+// out[7] = in[3], out[6] = in[7], out[5] = in[1], out[4] = in[5],
+// out[3] = in[0], out[2] = in[6], out[1] = in[2], out[0] = in[4].
+// Use a single concatenation:
+// out = {in[3], in[7], in[1], in[5], in[0], in[6], in[2], in[4]}.
+";
+
+const REFERENCE: &str = "\
+assign out = {in[3], in[7], in[1], in[5], in[0], in[6], in[2], in[4]};
+endmodule
+";
+
+const ALT_PER_BIT: &str = "\
+assign out[7] = in[3];
+assign out[6] = in[7];
+assign out[5] = in[1];
+assign out[4] = in[5];
+assign out[3] = in[0];
+assign out[2] = in[6];
+assign out[1] = in[2];
+assign out[0] = in[4];
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg [7:0] in;
+  wire [7:0] out;
+  integer errors;
+  integer i;
+  reg [7:0] expected;
+  permute dut(.in(in), .out(out));
+  initial begin
+    errors = 0;
+    // Walking-one covers every source position.
+    for (i = 0; i < 8; i = i + 1) begin
+      in = 8'd1 << i[2:0];
+      expected = 8'd0;
+      expected[7] = in[3];
+      expected[6] = in[7];
+      expected[5] = in[1];
+      expected[4] = in[5];
+      expected[3] = in[0];
+      expected[2] = in[6];
+      expected[1] = in[2];
+      expected[0] = in[4];
+      #1;
+      if (out !== expected) begin
+        errors = errors + 1;
+        $display("FAIL: in=%b out=%b expected=%b", in, out, expected);
+      end
+    end
+    // A couple of dense patterns.
+    in = 8'b1100_1010; #1;
+    if (out !== {in[3], in[7], in[1], in[5], in[0], in[6], in[2], in[4]}) begin
+      errors = errors + 1; $display("FAIL: dense 1 out=%b", out);
+    end
+    in = 8'b0101_0111; #1;
+    if (out !== {in[3], in[7], in[1], in[5], in[0], in[6], in[2], in[4]}) begin
+      errors = errors + 1; $display("FAIL: dense 2 out=%b", out);
+    end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 11,
+        name: "Permutation",
+        module_name: "permute",
+        difficulty: Difficulty::Intermediate,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[ALT_PER_BIT],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

@@ -1,0 +1,106 @@
+//! Problem 12 (Intermediate): a function given by a truth table.
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This module implements the boolean function f of three inputs given by a truth table.
+module truth_table(input a, input b, input c, output reg f);
+";
+
+const PROMPT_M: &str = "\
+// This module implements the boolean function f of three inputs given by a truth table.
+module truth_table(input a, input b, input c, output reg f);
+// a b c | f
+// 0 0 0 | 0
+// 0 0 1 | 1
+// 0 1 0 | 0
+// 0 1 1 | 0
+// 1 0 0 | 1
+// 1 0 1 | 0
+// 1 1 0 | 1
+// 1 1 1 | 1
+";
+
+const PROMPT_H: &str = "\
+// This module implements the boolean function f of three inputs given by a truth table.
+module truth_table(input a, input b, input c, output reg f);
+// a b c | f
+// 0 0 0 | 0
+// 0 0 1 | 1
+// 0 1 0 | 0
+// 0 1 1 | 0
+// 1 0 0 | 1
+// 1 0 1 | 0
+// 1 1 0 | 1
+// 1 1 1 | 1
+// f is 1 for the input combinations 001, 100, 110 and 111.
+// Use an always block with a case statement over {a, b, c}.
+";
+
+const REFERENCE: &str = "\
+always @(*) begin
+  case ({a, b, c})
+    3'b001: f = 1'b1;
+    3'b100: f = 1'b1;
+    3'b110: f = 1'b1;
+    3'b111: f = 1'b1;
+    default: f = 1'b0;
+  endcase
+end
+endmodule
+";
+
+const ALT_SOP: &str = "\
+always @(*) f = (~a & ~b & c) | (a & ~b & ~c) | (a & b);
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg a, b, c;
+  wire f;
+  integer errors;
+  integer i;
+  reg [2:0] v;
+  reg [7:0] table_f;
+  truth_table dut(.a(a), .b(b), .c(c), .f(f));
+  initial begin
+    errors = 0;
+    // Expected outputs indexed by {a,b,c}: minterms 1, 4, 6, 7.
+    table_f = 8'b1101_0010;
+    for (i = 0; i < 8; i = i + 1) begin
+      v = i[2:0];
+      a = v[2]; b = v[1]; c = v[0];
+      #1;
+      if (f !== table_f[v]) begin
+        errors = errors + 1;
+        $display("FAIL: abc=%b f=%b expected=%b", v, f, table_f[v]);
+      end
+    end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 12,
+        name: "Truth table",
+        module_name: "truth_table",
+        difficulty: Difficulty::Intermediate,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[ALT_SOP],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

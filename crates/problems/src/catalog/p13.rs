@@ -1,0 +1,96 @@
+//! Problem 13 (Advanced): signed 8-bit adder with overflow.
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This is a signed 8-bit adder with an overflow flag.
+module signed_adder(input signed [7:0] a, input signed [7:0] b, output signed [7:0] s, output overflow);
+";
+
+const PROMPT_M: &str = "\
+// This is a signed 8-bit adder with an overflow flag.
+module signed_adder(input signed [7:0] a, input signed [7:0] b, output signed [7:0] s, output overflow);
+// s is the sum of a and b.
+// overflow is high when the signed addition overflows:
+// the operands have the same sign but the sum has a different sign.
+";
+
+const PROMPT_H: &str = "\
+// This is a signed 8-bit adder with an overflow flag.
+module signed_adder(input signed [7:0] a, input signed [7:0] b, output signed [7:0] s, output overflow);
+// s is the sum of a and b.
+// overflow is high when the signed addition overflows:
+// the operands have the same sign but the sum has a different sign.
+// s = a + b;
+// overflow = (a[7] == b[7]) && (s[7] != a[7]);
+";
+
+const REFERENCE: &str = "\
+assign s = a + b;
+assign overflow = (a[7] == b[7]) && (s[7] != a[7]);
+endmodule
+";
+
+const ALT_XOR: &str = "\
+assign s = a + b;
+assign overflow = (~(a[7] ^ b[7])) & (a[7] ^ s[7]);
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg signed [7:0] a, b;
+  wire signed [7:0] s;
+  wire overflow;
+  integer errors;
+  signed_adder dut(.a(a), .b(b), .s(s), .overflow(overflow));
+  initial begin
+    errors = 0;
+    // Simple positive sum, no overflow.
+    a = 8'sd10; b = 8'sd20; #1;
+    if (s !== 8'sd30 || overflow !== 1'b0) begin errors = errors + 1; $display("FAIL: 10+20 s=%0d ovf=%b", s, overflow); end
+    // Positive overflow: 100 + 50 = 150 > 127.
+    a = 8'sd100; b = 8'sd50; #1;
+    if (overflow !== 1'b1) begin errors = errors + 1; $display("FAIL: 100+50 ovf=%b", overflow); end
+    // Negative overflow: -100 + -50 = -150 < -128.
+    a = -8'sd100; b = -8'sd50; #1;
+    if (overflow !== 1'b1) begin errors = errors + 1; $display("FAIL: -100-50 ovf=%b", overflow); end
+    // Mixed signs never overflow.
+    a = 8'sd127; b = -8'sd128; #1;
+    if (s !== -8'sd1 || overflow !== 1'b0) begin errors = errors + 1; $display("FAIL: 127-128 s=%0d ovf=%b", s, overflow); end
+    // Boundary: 127 + 1 overflows.
+    a = 8'sd127; b = 8'sd1; #1;
+    if (overflow !== 1'b1) begin errors = errors + 1; $display("FAIL: 127+1 ovf=%b", overflow); end
+    // Boundary: -128 + -1 overflows.
+    a = -8'sd128; b = -8'sd1; #1;
+    if (overflow !== 1'b1) begin errors = errors + 1; $display("FAIL: -128-1 ovf=%b", overflow); end
+    // Zero.
+    a = 8'sd0; b = 8'sd0; #1;
+    if (s !== 8'sd0 || overflow !== 1'b0) begin errors = errors + 1; $display("FAIL: 0+0 s=%0d ovf=%b", s, overflow); end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 13,
+        name: "Signed 8-bit adder with overflow",
+        module_name: "signed_adder",
+        difficulty: Difficulty::Advanced,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[ALT_XOR],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

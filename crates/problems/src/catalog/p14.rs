@@ -1,0 +1,104 @@
+//! Problem 14 (Advanced): counter with enable signal.
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This is a 4-bit counter with an enable signal.
+module ena_counter(input clk, input reset, input ena, output reg [3:0] q);
+";
+
+const PROMPT_M: &str = "\
+// This is a 4-bit counter with an enable signal.
+module ena_counter(input clk, input reset, input ena, output reg [3:0] q);
+// On reset, q is set to 0.
+// When ena is high, q increments on each clock edge, wrapping from 15 to 0.
+// When ena is low, q holds its value.
+";
+
+const PROMPT_H: &str = "\
+// This is a 4-bit counter with an enable signal.
+module ena_counter(input clk, input reset, input ena, output reg [3:0] q);
+// On reset, q is set to 0.
+// When ena is high, q increments on each clock edge, wrapping from 15 to 0.
+// When ena is low, q holds its value.
+// On the positive edge of clk:
+//   if reset is high, q becomes 4'd0.
+//   else if ena is high, q becomes q + 4'd1.
+//   else q keeps its value.
+";
+
+const REFERENCE: &str = "\
+always @(posedge clk) begin
+  if (reset) q <= 4'd0;
+  else if (ena) q <= q + 4'd1;
+end
+endmodule
+";
+
+const ALT_EXPLICIT_HOLD: &str = "\
+always @(posedge clk) begin
+  if (reset) q <= 4'd0;
+  else if (ena) q <= q + 4'd1;
+  else q <= q;
+end
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg clk, reset, ena;
+  wire [3:0] q;
+  integer errors;
+  integer i;
+  ena_counter dut(.clk(clk), .reset(reset), .ena(ena), .q(q));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; errors = 0; reset = 1; ena = 0;
+    @(posedge clk); #1;
+    if (q !== 4'd0) begin errors = errors + 1; $display("FAIL: reset q=%0d", q); end
+    reset = 0;
+    // Disabled: q must hold.
+    @(posedge clk); #1;
+    if (q !== 4'd0) begin errors = errors + 1; $display("FAIL: hold q=%0d", q); end
+    // Enabled: count 18 cycles, wrapping 15 -> 0.
+    ena = 1;
+    for (i = 1; i <= 18; i = i + 1) begin
+      @(posedge clk); #1;
+      if (q !== i[3:0]) begin
+        errors = errors + 1;
+        $display("FAIL: count %0d q=%0d", i, q);
+      end
+    end
+    // Disable mid-count and hold for 3 cycles.
+    ena = 0;
+    for (i = 0; i < 3; i = i + 1) begin
+      @(posedge clk); #1;
+      if (q !== 4'd2) begin errors = errors + 1; $display("FAIL: hold2 q=%0d", q); end
+    end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 14,
+        name: "Counter with enable signal",
+        module_name: "ena_counter",
+        difficulty: Difficulty::Advanced,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[ALT_EXPLICIT_HOLD],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

@@ -1,0 +1,135 @@
+//! Problem 15 (Advanced): FSM that recognises the sequence 101
+//! (paper Fig. 5).
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This is a finite state machine that recognizes the sequence 101 on the input signal x.
+module adv_fsm(input clk, input reset, input x, output z);
+reg [1:0] present_state, next_state;
+parameter IDLE = 0, S1 = 1, S10 = 2, S101 = 3;
+";
+
+const PROMPT_M: &str = "\
+// This is a finite state machine that recognizes the sequence 101 on the input signal x.
+module adv_fsm(input clk, input reset, input x, output z);
+reg [1:0] present_state, next_state;
+parameter IDLE = 0, S1 = 1, S10 = 2, S101 = 3;
+// output signal z is asserted to 1 when present_state is S101
+// present_state is reset to IDLE when reset is high,
+// otherwise it is assigned next_state
+";
+
+const PROMPT_H: &str = "\
+// This is a finite state machine that recognizes the sequence 101 on the input signal x.
+module adv_fsm(input clk, input reset, input x, output z);
+reg [1:0] present_state, next_state;
+parameter IDLE = 0, S1 = 1, S10 = 2, S101 = 3;
+// output signal z is asserted to 1 when present_state is S101
+// present_state is reset to IDLE when reset is high,
+// otherwise it is assigned next_state
+// if present_state is IDLE, next_state is assigned S1 if
+// x is 1, otherwise next_state stays at IDLE
+// if present_state is S1, next_state is assigned S10 if
+// x is 0, otherwise next_state stays at S1
+// if present_state is S10, next_state is assigned S101 if
+// x is 1, otherwise next_state goes back to IDLE
+// if present_state is S101, next_state is assigned S1 if
+// x is 1, otherwise next_state goes back to IDLE
+";
+
+const REFERENCE: &str = "\
+always @(posedge clk) begin
+  if (reset) present_state <= IDLE;
+  else present_state <= next_state;
+end
+always @(*) begin
+  case (present_state)
+    IDLE: next_state = x ? S1 : IDLE;
+    S1: next_state = x ? S1 : S10;
+    S10: next_state = x ? S101 : IDLE;
+    S101: next_state = x ? S1 : IDLE;
+    default: next_state = IDLE;
+  endcase
+end
+assign z = (present_state == S101);
+endmodule
+";
+
+const ALT_IF_CHAIN: &str = "\
+always @(posedge clk) begin
+  if (reset) present_state <= IDLE;
+  else present_state <= next_state;
+end
+always @(present_state or x) begin
+  if (present_state == IDLE) begin
+    if (x) next_state = S1; else next_state = IDLE;
+  end else if (present_state == S1) begin
+    if (x) next_state = S1; else next_state = S10;
+  end else if (present_state == S10) begin
+    if (x) next_state = S101; else next_state = IDLE;
+  end else begin
+    if (x) next_state = S1; else next_state = IDLE;
+  end
+end
+assign z = (present_state == S101);
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg clk, reset, x;
+  wire z;
+  integer errors;
+  adv_fsm dut(.clk(clk), .reset(reset), .x(x), .z(z));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; errors = 0; reset = 1; x = 0;
+    @(posedge clk); #1;
+    if (z !== 1'b0) begin errors = errors + 1; $display("FAIL: after reset z=%b", z); end
+    reset = 0;
+    // Feed 1, 0, 1 -> z must assert after the third bit.
+    x = 1; @(posedge clk); #1;
+    if (z !== 1'b0) begin errors = errors + 1; $display("FAIL: after 1 z=%b", z); end
+    x = 0; @(posedge clk); #1;
+    if (z !== 1'b0) begin errors = errors + 1; $display("FAIL: after 10 z=%b", z); end
+    x = 1; @(posedge clk); #1;
+    if (z !== 1'b1) begin errors = errors + 1; $display("FAIL: after 101 z=%b", z); end
+    // Next bit 0: goes to IDLE, z deasserts.
+    x = 0; @(posedge clk); #1;
+    if (z !== 1'b0) begin errors = errors + 1; $display("FAIL: after 1010 z=%b", z); end
+    // Sequence with a false start: 1 1 0 1 -> z asserts at the end.
+    x = 1; @(posedge clk); #1;
+    x = 1; @(posedge clk); #1;
+    if (z !== 1'b0) begin errors = errors + 1; $display("FAIL: 11 z=%b", z); end
+    x = 0; @(posedge clk); #1;
+    if (z !== 1'b0) begin errors = errors + 1; $display("FAIL: 110 z=%b", z); end
+    x = 1; @(posedge clk); #1;
+    if (z !== 1'b1) begin errors = errors + 1; $display("FAIL: 1101 z=%b", z); end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 15,
+        name: "FSM to recognize '101'",
+        module_name: "adv_fsm",
+        difficulty: Difficulty::Advanced,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[ALT_IF_CHAIN],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

@@ -1,0 +1,139 @@
+//! Problem 16 (Advanced): 64-bit arithmetic shift register.
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This is a 64-bit arithmetic shift register with load and enable.
+module shift64(input clk, input load, input ena, input [1:0] amount, input [63:0] data, output reg [63:0] q);
+";
+
+const PROMPT_M: &str = "\
+// This is a 64-bit arithmetic shift register with load and enable.
+module shift64(input clk, input load, input ena, input [1:0] amount, input [63:0] data, output reg [63:0] q);
+// When load is high, q is loaded with data.
+// Otherwise, when ena is high, q shifts by the selected amount:
+// amount 00 shifts left by 1, 01 shifts left by 8,
+// amount 10 shifts right by 1 arithmetically, 11 shifts right by 8 arithmetically.
+";
+
+const PROMPT_H: &str = "\
+// This is a 64-bit arithmetic shift register with load and enable.
+module shift64(input clk, input load, input ena, input [1:0] amount, input [63:0] data, output reg [63:0] q);
+// When load is high, q is loaded with data.
+// Otherwise, when ena is high, q shifts by the selected amount:
+// amount 00 shifts left by 1, 01 shifts left by 8,
+// amount 10 shifts right by 1 arithmetically, 11 shifts right by 8 arithmetically.
+// An arithmetic right shift fills with copies of the sign bit q[63].
+// On the positive edge of clk:
+//   if load is high, q becomes data.
+//   else if ena is high:
+//     case (amount)
+//       2'b00: q becomes q shifted left by 1.
+//       2'b01: q becomes q shifted left by 8.
+//       2'b10: q becomes {q[63], q[63:1]}.
+//       2'b11: q becomes {{8{q[63]}}, q[63:8]}.
+";
+
+const REFERENCE: &str = "\
+always @(posedge clk) begin
+  if (load) q <= data;
+  else if (ena) begin
+    case (amount)
+      2'b00: q <= q << 1;
+      2'b01: q <= q << 8;
+      2'b10: q <= {q[63], q[63:1]};
+      2'b11: q <= {{8{q[63]}}, q[63:8]};
+      default: q <= q;
+    endcase
+  end
+end
+endmodule
+";
+
+const ALT_SIGNED_SHIFT: &str = "\
+always @(posedge clk) begin
+  if (load) q <= data;
+  else if (ena) begin
+    case (amount)
+      2'b00: q <= {q[62:0], 1'b0};
+      2'b01: q <= {q[55:0], 8'b0};
+      2'b10: q <= $unsigned($signed(q) >>> 1);
+      2'b11: q <= $unsigned($signed(q) >>> 8);
+      default: q <= q;
+    endcase
+  end
+end
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg clk, load, ena;
+  reg [1:0] amount;
+  reg [63:0] data;
+  wire [63:0] q;
+  integer errors;
+  shift64 dut(.clk(clk), .load(load), .ena(ena), .amount(amount), .data(data), .q(q));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; errors = 0; load = 0; ena = 0; amount = 0; data = 0;
+    // Load a negative pattern (MSB set).
+    load = 1; data = 64'h8000_0000_0000_0001;
+    @(posedge clk); #1;
+    load = 0;
+    if (q !== 64'h8000000000000001) begin errors = errors + 1; $display("FAIL: load q=%h", q); end
+    // Shift left by 1: MSB falls off.
+    ena = 1; amount = 2'b00;
+    @(posedge clk); #1;
+    if (q !== 64'h0000000000000002) begin errors = errors + 1; $display("FAIL: shl1 q=%h", q); end
+    // Shift left by 8.
+    amount = 2'b01;
+    @(posedge clk); #1;
+    if (q !== 64'h0000000000000200) begin errors = errors + 1; $display("FAIL: shl8 q=%h", q); end
+    // Reload negative value, arithmetic right by 1 keeps the sign.
+    load = 1; data = 64'h8000_0000_0000_0000;
+    @(posedge clk); #1;
+    load = 0; amount = 2'b10;
+    @(posedge clk); #1;
+    if (q !== 64'hC000000000000000) begin errors = errors + 1; $display("FAIL: asr1 q=%h", q); end
+    // Arithmetic right by 8 from there.
+    amount = 2'b11;
+    @(posedge clk); #1;
+    if (q !== 64'hFFC0000000000000) begin errors = errors + 1; $display("FAIL: asr8 q=%h", q); end
+    // Positive value: arithmetic right fills zeros.
+    load = 1; data = 64'h0000_0000_0000_0100;
+    @(posedge clk); #1;
+    load = 0; amount = 2'b10;
+    @(posedge clk); #1;
+    if (q !== 64'h0000000000000080) begin errors = errors + 1; $display("FAIL: asr1 pos q=%h", q); end
+    // Enable low holds.
+    ena = 0;
+    @(posedge clk); #1;
+    if (q !== 64'h0000000000000080) begin errors = errors + 1; $display("FAIL: hold q=%h", q); end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 16,
+        name: "64-bit arithmetic shift register",
+        module_name: "shift64",
+        difficulty: Difficulty::Advanced,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[ALT_SIGNED_SHIFT],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

@@ -1,0 +1,162 @@
+//! Problem 17 (Advanced): the ABRO FSM from Potop-Butucaru, Edwards and
+//! Berry's "Compiling Esterel" (paper Fig. 4).
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This is an FSM. It outputs 1 when 1 is received for signals a and b,
+// irrespective of their order, either simultaneously or non-simultaneously.
+module abro(input clk, input reset, input a, input b, output z);
+parameter IDLE = 0, SA = 1, SB = 2, SAB = 3;
+reg [1:0] cur_state, next_state;
+";
+
+const PROMPT_M: &str = "\
+// This is an FSM. It outputs 1 when 1 is received for signals a and b,
+// irrespective of their order, either simultaneously or non-simultaneously.
+module abro(input clk, input reset, input a, input b, output z);
+parameter IDLE = 0, SA = 1, SB = 2, SAB = 3;
+reg [1:0] cur_state, next_state;
+// Update state or reset on every clock edge.
+// Output z depends only on the state SAB.
+// The output z is high when cur_state is SAB.
+// cur_state is reset to IDLE when reset is high.
+// Otherwise, it takes the value of next_state.
+";
+
+const PROMPT_H: &str = "\
+// This is an FSM. It outputs 1 when 1 is received for signals a and b,
+// irrespective of their order, either simultaneously or non-simultaneously.
+module abro(input clk, input reset, input a, input b, output z);
+parameter IDLE = 0, SA = 1, SB = 2, SAB = 3;
+reg [1:0] cur_state, next_state;
+// Update state or reset on every clock edge.
+// Output z depends only on the state SAB.
+// The output z is high when cur_state is SAB.
+// cur_state is reset to IDLE when reset is high.
+// Otherwise, it takes the value of next_state.
+// Next state generation logic:
+// If cur_state is IDLE and a and b are both high, state changes to SAB.
+// If cur_state is IDLE, and a is high, state changes to SA.
+// If cur_state is IDLE, and b is high, state changes to SB.
+// If cur_state is SA, and b is high, state changes to SAB.
+// If cur_state is SB, and a is high, state changes to SAB.
+// If cur_state is SAB, state changes to IDLE.
+";
+
+const REFERENCE: &str = "\
+always @(posedge clk or posedge reset) begin
+  if (reset) cur_state <= IDLE;
+  else cur_state <= next_state;
+end
+always @(cur_state or a or b) begin
+  case (cur_state)
+    IDLE: begin
+      if (a && b) next_state = SAB;
+      else if (a) next_state = SA;
+      else if (b) next_state = SB;
+      else next_state = IDLE;
+    end
+    SA: begin
+      if (b) next_state = SAB;
+      else next_state = SA;
+    end
+    SB: begin
+      if (a) next_state = SAB;
+      else next_state = SB;
+    end
+    SAB: next_state = IDLE;
+    default: next_state = IDLE;
+  endcase
+end
+assign z = (cur_state == SAB);
+endmodule
+";
+
+const ALT_SYNC_RESET: &str = "\
+always @(posedge clk) begin
+  if (reset) cur_state <= IDLE;
+  else cur_state <= next_state;
+end
+always @(*) begin
+  next_state = IDLE;
+  case (cur_state)
+    IDLE: begin
+      if (a && b) next_state = SAB;
+      else if (a) next_state = SA;
+      else if (b) next_state = SB;
+      else next_state = IDLE;
+    end
+    SA: next_state = b ? SAB : SA;
+    SB: next_state = a ? SAB : SB;
+    SAB: next_state = IDLE;
+  endcase
+end
+assign z = (cur_state == SAB);
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg clk, reset, a, b;
+  wire z;
+  integer errors;
+  abro dut(.clk(clk), .reset(reset), .a(a), .b(b), .z(z));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; errors = 0; reset = 1; a = 0; b = 0;
+    @(posedge clk); #1;
+    if (z !== 1'b0) begin errors = errors + 1; $display("FAIL: after reset z=%b", z); end
+    reset = 0;
+    // a then b (non-simultaneous).
+    a = 1; b = 0; @(posedge clk); #1;
+    if (z !== 1'b0) begin errors = errors + 1; $display("FAIL: a only z=%b", z); end
+    a = 0; b = 1; @(posedge clk); #1;
+    if (z !== 1'b1) begin errors = errors + 1; $display("FAIL: a then b z=%b", z); end
+    // Back to IDLE next cycle.
+    a = 0; b = 0; @(posedge clk); #1;
+    if (z !== 1'b0) begin errors = errors + 1; $display("FAIL: after SAB z=%b", z); end
+    // b then a.
+    b = 1; a = 0; @(posedge clk); #1;
+    if (z !== 1'b0) begin errors = errors + 1; $display("FAIL: b only z=%b", z); end
+    b = 0; a = 1; @(posedge clk); #1;
+    if (z !== 1'b1) begin errors = errors + 1; $display("FAIL: b then a z=%b", z); end
+    a = 0; b = 0; @(posedge clk); #1;
+    // Simultaneous.
+    a = 1; b = 1; @(posedge clk); #1;
+    if (z !== 1'b1) begin errors = errors + 1; $display("FAIL: simultaneous z=%b", z); end
+    a = 0; b = 0; @(posedge clk); #1;
+    // Holding in SA: a high alone for two cycles, then b.
+    a = 1; @(posedge clk); #1;
+    a = 0; @(posedge clk); #1;
+    if (z !== 1'b0) begin errors = errors + 1; $display("FAIL: SA hold z=%b", z); end
+    b = 1; @(posedge clk); #1;
+    if (z !== 1'b1) begin errors = errors + 1; $display("FAIL: SA then b z=%b", z); end
+    b = 0;
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 17,
+        name: "ABRO FSM",
+        module_name: "abro",
+        difficulty: Difficulty::Advanced,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[ALT_SYNC_RESET],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

@@ -1,0 +1,110 @@
+//! Engineered prompts for the problems the paper's best model failed
+//! (§VI: problems 7, 9, 12) — the "prompt engineering as future work" the
+//! paper points to.
+//!
+//! Each prompt spells out the exact construct the paper's failure analysis
+//! found the models fumbling: the MSB/feedback concatenation for the LFSR
+//! (problem 7), the full shift-amount coverage for shift/rotate (problem
+//! 9), and the literal sum-of-products expression for the truth table
+//! (problem 12).
+
+/// The engineered (beyond-High-detail) prompt for a problem, if one exists.
+///
+/// Only the three §VI failure-analysis problems have one.
+pub fn engineered_prompt(id: u8) -> Option<&'static str> {
+    match id {
+        7 => Some(LFSR),
+        9 => Some(SHIFT_ROT),
+        12 => Some(TRUTH_TABLE),
+        _ => None,
+    }
+}
+
+const LFSR: &str = "\
+// This is a 5-bit linear feedback shift register with taps at bits 3 and 5.
+module lfsr(input clk, input reset, output reg [4:0] q);
+// On reset, q is set to 5'h1.
+// On each clock edge the register shifts left by one.
+// IMPORTANT: the shifted-in bit is the xor of the OLD bit 4 and the OLD
+// bit 2, and it must be concatenated BELOW the old low nibble:
+//   q <= {q[3:0], q[4] ^ q[2]};
+// Do not shift first and then xor; compute the feedback from the
+// pre-shift value of q. Write exactly one non-blocking assignment for the
+// shift, guarded by the reset check:
+//   if (reset) q <= 5'h1;
+//   else q <= {q[3:0], q[4] ^ q[2]};
+";
+
+const SHIFT_ROT: &str = "\
+// This module shifts left or rotates left an 8-bit value.
+module shift_rot(input [7:0] in, input [2:0] shamt, input mode, output reg [7:0] out);
+// When mode is 0, out is in shifted left by shamt bits (zero fill).
+// When mode is 1, out is in rotated left by shamt bits.
+// IMPORTANT: cover every shamt value from 0 to 7. The rotate must handle
+// shamt == 0 specially, because in >> (8 - 0) would shift by 8:
+//   if (mode == 1'b0) out = in << shamt;
+//   else if (shamt == 3'd0) out = in;
+//   else out = (in << shamt) | (in >> (4'd8 - {1'b0, shamt}));
+// The subtraction 8 - shamt must be at least 4 bits wide so that 8 fits.
+";
+
+const TRUTH_TABLE: &str = "\
+// This module implements the boolean function f of three inputs given by a truth table.
+module truth_table(input a, input b, input c, output reg f);
+// a b c | f
+// 0 0 0 | 0
+// 0 0 1 | 1
+// 0 1 0 | 0
+// 0 1 1 | 0
+// 1 0 0 | 1
+// 1 0 1 | 0
+// 1 1 0 | 1
+// 1 1 1 | 1
+// IMPORTANT: f is 1 exactly for the rows 001, 100, 110 and 111. As a
+// sum of products over the input bits this is:
+//   f = (~a & ~b & c) | (a & ~b & ~c) | (a & b & ~c) | (a & b & c);
+// which simplifies to (~a & ~b & c) | (a & ~b & ~c) | (a & b).
+// Use an always @(*) block assigning exactly that expression.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{problem, PASS_MARKER};
+
+    #[test]
+    fn only_failure_problems_have_engineered_prompts() {
+        for id in 1u8..=17 {
+            assert_eq!(
+                engineered_prompt(id).is_some(),
+                matches!(id, 7 | 9 | 12),
+                "problem {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn engineered_prompts_open_the_right_module() {
+        for id in [7u8, 9, 12] {
+            let p = problem(id).expect("problem");
+            let e = engineered_prompt(id).expect("engineered");
+            assert!(e.contains(&format!("module {}", p.module_name)));
+        }
+    }
+
+    #[test]
+    fn engineered_prompts_complete_with_reference_and_pass() {
+        for id in [7u8, 9, 12] {
+            let p = problem(id).expect("problem");
+            let e = engineered_prompt(id).expect("engineered");
+            let src = format!("{e}\n{}\n{}", p.reference_body, p.testbench);
+            let out = vgen_sim::simulate(&src, Some("tb"), vgen_sim::SimConfig::default())
+                .unwrap_or_else(|err| panic!("problem {id}: {err}"));
+            assert!(
+                out.stdout.contains(PASS_MARKER),
+                "problem {id} engineered prompt + reference failed:\n{}",
+                out.stdout
+            );
+        }
+    }
+}

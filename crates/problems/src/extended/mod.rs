@@ -1,0 +1,45 @@
+//! The extended problem set (problems 18–25): eight additional
+//! HDLBits-inspired exercises in the same format as Table II.
+//!
+//! These are *not* part of the paper's benchmark; they serve two
+//! purposes — a harder held-out set for generalization experiments (the
+//! n-gram engine trains on the original 17 solutions, so these are
+//! genuinely unseen), and extra surface for the simulator/synthesizer
+//! test-suites.
+
+mod x18;
+mod x19;
+mod x20;
+mod x21;
+mod x22;
+mod x23;
+mod x24;
+mod x25;
+
+use crate::types::Problem;
+
+/// Builds the extended set in id order (18–25).
+pub fn build_extended() -> Vec<Problem> {
+    vec![
+        x18::problem(),
+        x19::problem(),
+        x20::problem(),
+        x21::problem(),
+        x22::problem(),
+        x23::problem(),
+        x24::problem(),
+        x25::problem(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn extended_ids_and_sizes() {
+        let set = super::build_extended();
+        assert_eq!(set.len(), 8);
+        for (i, p) in set.iter().enumerate() {
+            assert_eq!(p.id as usize, 18 + i);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Extended problem 18: a full adder.
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This is a full adder.
+module full_adder(input a, input b, input cin, output sum, output cout);
+";
+
+const PROMPT_M: &str = "\
+// This is a full adder.
+module full_adder(input a, input b, input cin, output sum, output cout);
+// sum is the exclusive or of a, b and cin.
+// cout is high when at least two of the inputs are high.
+";
+
+const PROMPT_H: &str = "\
+// This is a full adder.
+module full_adder(input a, input b, input cin, output sum, output cout);
+// sum is the exclusive or of a, b and cin.
+// cout is high when at least two of the inputs are high.
+// sum = a ^ b ^ cin;
+// cout = (a & b) | (a & cin) | (b & cin);
+";
+
+const REFERENCE: &str = "\
+assign sum = a ^ b ^ cin;
+assign cout = (a & b) | (a & cin) | (b & cin);
+endmodule
+";
+
+const ALT_CONCAT: &str = "\
+assign {cout, sum} = a + b + cin;
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg a, b, cin;
+  wire sum, cout;
+  integer errors;
+  integer i;
+  reg [2:0] v;
+  reg [1:0] expected;
+  full_adder dut(.a(a), .b(b), .cin(cin), .sum(sum), .cout(cout));
+  initial begin
+    errors = 0;
+    for (i = 0; i < 8; i = i + 1) begin
+      v = i[2:0];
+      a = v[0]; b = v[1]; cin = v[2];
+      expected = {1'b0, v[0]} + {1'b0, v[1]} + {1'b0, v[2]};
+      #1;
+      if ({cout, sum} !== expected) begin
+        errors = errors + 1;
+        $display("FAIL: abc=%b got %b%b expected %b", v, cout, sum, expected);
+      end
+    end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 18,
+        name: "Full adder",
+        module_name: "full_adder",
+        difficulty: Difficulty::Basic,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[ALT_CONCAT],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

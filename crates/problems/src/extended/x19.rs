@@ -1,0 +1,90 @@
+//! Extended problem 19: a 4-bit adder with carry out.
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This is a 4-bit adder with a carry output.
+module adder4(input [3:0] a, input [3:0] b, output [3:0] s, output cout);
+";
+
+const PROMPT_M: &str = "\
+// This is a 4-bit adder with a carry output.
+module adder4(input [3:0] a, input [3:0] b, output [3:0] s, output cout);
+// {cout, s} is the 5-bit sum of a and b.
+";
+
+const PROMPT_H: &str = "\
+// This is a 4-bit adder with a carry output.
+module adder4(input [3:0] a, input [3:0] b, output [3:0] s, output cout);
+// {cout, s} is the 5-bit sum of a and b.
+// Use a single continuous assignment to the concatenation:
+// {cout, s} = a + b;
+";
+
+const REFERENCE: &str = "\
+assign {cout, s} = a + b;
+endmodule
+";
+
+const ALT_WIDE: &str = "\
+wire [4:0] total;
+assign total = {1'b0, a} + {1'b0, b};
+assign s = total[3:0];
+assign cout = total[4];
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg [3:0] a, b;
+  wire [3:0] s;
+  wire cout;
+  integer errors;
+  integer i, j;
+  reg [4:0] expected;
+  adder4 dut(.a(a), .b(b), .s(s), .cout(cout));
+  initial begin
+    errors = 0;
+    for (i = 0; i < 16; i = i + 2) begin
+      for (j = 0; j < 16; j = j + 3) begin
+        a = i[3:0]; b = j[3:0];
+        expected = {1'b0, a} + {1'b0, b};
+        #1;
+        if ({cout, s} !== expected) begin
+          errors = errors + 1;
+          $display("FAIL: %0d+%0d got %b expected %b", a, b, {cout, s}, expected);
+        end
+      end
+    end
+    // Boundary cases.
+    a = 4'd15; b = 4'd15; expected = 5'd30; #1;
+    if ({cout, s} !== expected) begin errors = errors + 1; $display("FAIL: 15+15"); end
+    a = 4'd15; b = 4'd1; expected = 5'd16; #1;
+    if ({cout, s} !== expected) begin errors = errors + 1; $display("FAIL: 15+1"); end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 19,
+        name: "4-bit adder with carry",
+        module_name: "adder4",
+        difficulty: Difficulty::Intermediate,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[ALT_WIDE],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

@@ -1,0 +1,103 @@
+//! Extended problem 20: binary to Gray code converter.
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This module converts an 8-bit binary number to Gray code.
+module bin2gray(input [7:0] bin, output [7:0] gray);
+";
+
+const PROMPT_M: &str = "\
+// This module converts an 8-bit binary number to Gray code.
+module bin2gray(input [7:0] bin, output [7:0] gray);
+// Each gray bit is the xor of adjacent binary bits;
+// the top gray bit equals the top binary bit.
+";
+
+const PROMPT_H: &str = "\
+// This module converts an 8-bit binary number to Gray code.
+module bin2gray(input [7:0] bin, output [7:0] gray);
+// Each gray bit is the xor of adjacent binary bits;
+// the top gray bit equals the top binary bit.
+// gray = bin ^ (bin >> 1);
+";
+
+const REFERENCE: &str = "\
+assign gray = bin ^ (bin >> 1);
+endmodule
+";
+
+const ALT_PER_BIT: &str = "\
+assign gray[7] = bin[7];
+assign gray[6] = bin[7] ^ bin[6];
+assign gray[5] = bin[6] ^ bin[5];
+assign gray[4] = bin[5] ^ bin[4];
+assign gray[3] = bin[4] ^ bin[3];
+assign gray[2] = bin[3] ^ bin[2];
+assign gray[1] = bin[2] ^ bin[1];
+assign gray[0] = bin[1] ^ bin[0];
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg [7:0] bin;
+  wire [7:0] gray;
+  integer errors;
+  integer i;
+  reg [7:0] prev, diff;
+  reg [3:0] ones;
+  integer k;
+  bin2gray dut(.bin(bin), .gray(gray));
+  initial begin
+    errors = 0;
+    // Spot values.
+    bin = 8'd0; #1;
+    if (gray !== 8'd0) begin errors = errors + 1; $display("FAIL: 0 -> %b", gray); end
+    bin = 8'd1; #1;
+    if (gray !== 8'b0000_0001) begin errors = errors + 1; $display("FAIL: 1 -> %b", gray); end
+    bin = 8'd2; #1;
+    if (gray !== 8'b0000_0011) begin errors = errors + 1; $display("FAIL: 2 -> %b", gray); end
+    bin = 8'd255; #1;
+    if (gray !== 8'b1000_0000) begin errors = errors + 1; $display("FAIL: 255 -> %b", gray); end
+    // Property: consecutive codes differ in exactly one bit.
+    bin = 8'd0; #1;
+    prev = gray;
+    for (i = 1; i < 64; i = i + 1) begin
+      bin = i[7:0]; #1;
+      diff = gray ^ prev;
+      ones = 0;
+      for (k = 0; k < 8; k = k + 1) ones = ones + {3'b000, diff[k]};
+      if (ones !== 4'd1) begin
+        errors = errors + 1;
+        $display("FAIL: %0d and %0d differ in %0d bits", i - 1, i, ones);
+      end
+      prev = gray;
+    end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 20,
+        name: "Binary to Gray code",
+        module_name: "bin2gray",
+        difficulty: Difficulty::Intermediate,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[ALT_PER_BIT],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

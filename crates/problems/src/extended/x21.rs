@@ -1,0 +1,93 @@
+//! Extended problem 21: rising-edge detector.
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This module outputs a one-cycle pulse when its input rises.
+module edge_detect(input clk, input reset, input in, output pulse);
+reg prev;
+";
+
+const PROMPT_M: &str = "\
+// This module outputs a one-cycle pulse when its input rises.
+module edge_detect(input clk, input reset, input in, output pulse);
+reg prev;
+// prev samples in on every clock edge (reset clears it).
+// pulse is high when in is high and prev is low.
+";
+
+const PROMPT_H: &str = "\
+// This module outputs a one-cycle pulse when its input rises.
+module edge_detect(input clk, input reset, input in, output pulse);
+reg prev;
+// prev samples in on every clock edge (reset clears it).
+// pulse is high when in is high and prev is low.
+// On the positive edge of clk:
+//   if reset is high, prev becomes 0.
+//   else prev becomes in.
+// Use a continuous assignment: pulse = in & ~prev;
+";
+
+const REFERENCE: &str = "\
+always @(posedge clk) begin
+  if (reset) prev <= 1'b0;
+  else prev <= in;
+end
+assign pulse = in & ~prev;
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg clk, reset, in;
+  wire pulse;
+  integer errors;
+  edge_detect dut(.clk(clk), .reset(reset), .in(in), .pulse(pulse));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; errors = 0; reset = 1; in = 0;
+    @(posedge clk); #1;
+    reset = 0;
+    if (pulse !== 1'b0) begin errors = errors + 1; $display("FAIL: idle pulse=%b", pulse); end
+    // Rising edge: pulse fires until the next clock samples it.
+    in = 1; #1;
+    if (pulse !== 1'b1) begin errors = errors + 1; $display("FAIL: rise pulse=%b", pulse); end
+    @(posedge clk); #1;
+    if (pulse !== 1'b0) begin errors = errors + 1; $display("FAIL: held pulse=%b", pulse); end
+    // Stays low while input stays high.
+    @(posedge clk); #1;
+    if (pulse !== 1'b0) begin errors = errors + 1; $display("FAIL: still held pulse=%b", pulse); end
+    // Falling edge: no pulse.
+    in = 0; #1;
+    if (pulse !== 1'b0) begin errors = errors + 1; $display("FAIL: fall pulse=%b", pulse); end
+    @(posedge clk); #1;
+    // Second rising edge fires again.
+    in = 1; #1;
+    if (pulse !== 1'b1) begin errors = errors + 1; $display("FAIL: rise2 pulse=%b", pulse); end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 21,
+        name: "Rising-edge detector",
+        module_name: "edge_detect",
+        difficulty: Difficulty::Intermediate,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

@@ -1,0 +1,97 @@
+//! Extended problem 22: 4-bit Johnson counter.
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This is a 4-bit Johnson (twisted-ring) counter.
+module johnson(input clk, input reset, output reg [3:0] q);
+";
+
+const PROMPT_M: &str = "\
+// This is a 4-bit Johnson (twisted-ring) counter.
+module johnson(input clk, input reset, output reg [3:0] q);
+// On reset, q is cleared to 0.
+// On each clock edge the register shifts right by one and the
+// complement of the old low bit enters at the top.
+";
+
+const PROMPT_H: &str = "\
+// This is a 4-bit Johnson (twisted-ring) counter.
+module johnson(input clk, input reset, output reg [3:0] q);
+// On reset, q is cleared to 0.
+// On each clock edge the register shifts right by one and the
+// complement of the old low bit enters at the top.
+// On the positive edge of clk:
+//   if reset is high, q becomes 4'b0000.
+//   else q becomes {~q[0], q[3:1]}.
+// The sequence from 0 is: 0000, 1000, 1100, 1110, 1111, 0111, 0011, 0001,
+// then back to 0000.
+";
+
+const REFERENCE: &str = "\
+always @(posedge clk) begin
+  if (reset) q <= 4'b0000;
+  else q <= {~q[0], q[3:1]};
+end
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg clk, reset;
+  wire [3:0] q;
+  integer errors;
+  integer i;
+  reg [3:0] expected;
+  johnson dut(.clk(clk), .reset(reset), .q(q));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; errors = 0; reset = 1;
+    @(posedge clk); #1;
+    if (q !== 4'b0000) begin errors = errors + 1; $display("FAIL: reset q=%b", q); end
+    reset = 0;
+    // Two full periods of the 8-state sequence.
+    for (i = 0; i < 16; i = i + 1) begin
+      case (i % 8)
+        0: expected = 4'b1000;
+        1: expected = 4'b1100;
+        2: expected = 4'b1110;
+        3: expected = 4'b1111;
+        4: expected = 4'b0111;
+        5: expected = 4'b0011;
+        6: expected = 4'b0001;
+        default: expected = 4'b0000;
+      endcase
+      @(posedge clk); #1;
+      if (q !== expected) begin
+        errors = errors + 1;
+        $display("FAIL: step %0d q=%b expected=%b", i, q, expected);
+      end
+    end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 22,
+        name: "4-bit Johnson counter",
+        module_name: "johnson",
+        difficulty: Difficulty::Intermediate,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

@@ -1,0 +1,88 @@
+//! Extended problem 23: even-parity generator.
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This module computes the even parity bit of an 8-bit word.
+module parity_gen(input [7:0] data, output parity);
+";
+
+const PROMPT_M: &str = "\
+// This module computes the even parity bit of an 8-bit word.
+module parity_gen(input [7:0] data, output parity);
+// parity is chosen so that data plus the parity bit has an even
+// number of ones: it is the xor reduction of the data bits.
+";
+
+const PROMPT_H: &str = "\
+// This module computes the even parity bit of an 8-bit word.
+module parity_gen(input [7:0] data, output parity);
+// parity is chosen so that data plus the parity bit has an even
+// number of ones: it is the xor reduction of the data bits.
+// parity = ^data;
+";
+
+const REFERENCE: &str = "\
+assign parity = ^data;
+endmodule
+";
+
+const ALT_CHAIN: &str = "\
+assign parity = data[0] ^ data[1] ^ data[2] ^ data[3]
+              ^ data[4] ^ data[5] ^ data[6] ^ data[7];
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg [7:0] data;
+  wire parity;
+  integer errors;
+  integer i, k;
+  reg expected;
+  parity_gen dut(.data(data), .parity(parity));
+  initial begin
+    errors = 0;
+    for (i = 0; i < 256; i = i + 7) begin
+      data = i[7:0];
+      expected = 1'b0;
+      for (k = 0; k < 8; k = k + 1) expected = expected ^ data[k];
+      #1;
+      if (parity !== expected) begin
+        errors = errors + 1;
+        $display("FAIL: data=%b parity=%b expected=%b", data, parity, expected);
+      end
+    end
+    data = 8'h00; #1;
+    if (parity !== 1'b0) begin errors = errors + 1; $display("FAIL: zero"); end
+    data = 8'hFF; #1;
+    if (parity !== 1'b0) begin errors = errors + 1; $display("FAIL: all ones"); end
+    data = 8'h01; #1;
+    if (parity !== 1'b1) begin errors = errors + 1; $display("FAIL: single one"); end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 23,
+        name: "Even parity generator",
+        module_name: "parity_gen",
+        difficulty: Difficulty::Basic,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[ALT_CHAIN],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

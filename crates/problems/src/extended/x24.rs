@@ -1,0 +1,104 @@
+//! Extended problem 24: saturating up/down counter.
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This is a 4-bit saturating up/down counter.
+module sat_counter(input clk, input reset, input up, input down, output reg [3:0] q);
+";
+
+const PROMPT_M: &str = "\
+// This is a 4-bit saturating up/down counter.
+module sat_counter(input clk, input reset, input up, input down, output reg [3:0] q);
+// On reset, q is cleared to 0.
+// When up is high (and down low), q increments but stops at 15.
+// When down is high (and up low), q decrements but stops at 0.
+// When both or neither are high, q holds.
+";
+
+const PROMPT_H: &str = "\
+// This is a 4-bit saturating up/down counter.
+module sat_counter(input clk, input reset, input up, input down, output reg [3:0] q);
+// On reset, q is cleared to 0.
+// When up is high (and down low), q increments but stops at 15.
+// When down is high (and up low), q decrements but stops at 0.
+// When both or neither are high, q holds.
+// On the positive edge of clk:
+//   if reset is high, q becomes 0.
+//   else if up is high and down is low and q is not 15, q becomes q + 1.
+//   else if down is high and up is low and q is not 0, q becomes q - 1.
+";
+
+const REFERENCE: &str = "\
+always @(posedge clk) begin
+  if (reset) q <= 4'd0;
+  else if (up && !down && q != 4'd15) q <= q + 4'd1;
+  else if (down && !up && q != 4'd0) q <= q - 4'd1;
+end
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg clk, reset, up, down;
+  wire [3:0] q;
+  integer errors;
+  integer i;
+  sat_counter dut(.clk(clk), .reset(reset), .up(up), .down(down), .q(q));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; errors = 0; reset = 1; up = 0; down = 0;
+    @(posedge clk); #1;
+    if (q !== 4'd0) begin errors = errors + 1; $display("FAIL: reset q=%0d", q); end
+    reset = 0;
+    // Count to saturation at 15 and stay there.
+    up = 1;
+    for (i = 0; i < 20; i = i + 1) begin
+      @(posedge clk); #1;
+    end
+    if (q !== 4'd15) begin errors = errors + 1; $display("FAIL: up saturation q=%0d", q); end
+    // Both high holds.
+    down = 1;
+    @(posedge clk); #1;
+    if (q !== 4'd15) begin errors = errors + 1; $display("FAIL: both q=%0d", q); end
+    // Count down to 0 and saturate.
+    up = 0;
+    for (i = 0; i < 20; i = i + 1) begin
+      @(posedge clk); #1;
+    end
+    if (q !== 4'd0) begin errors = errors + 1; $display("FAIL: down saturation q=%0d", q); end
+    // Neither holds.
+    down = 0;
+    @(posedge clk); #1;
+    if (q !== 4'd0) begin errors = errors + 1; $display("FAIL: hold q=%0d", q); end
+    // One step up then one step down returns to start.
+    up = 1; @(posedge clk); #1;
+    up = 0; down = 1; @(posedge clk); #1;
+    if (q !== 4'd0) begin errors = errors + 1; $display("FAIL: round trip q=%0d", q); end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 24,
+        name: "Saturating up/down counter",
+        module_name: "sat_counter",
+        difficulty: Difficulty::Advanced,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

@@ -1,0 +1,144 @@
+//! Extended problem 25: round-robin arbiter for two requesters.
+
+use crate::types::{Difficulty, Problem};
+
+const PROMPT_L: &str = "\
+// This is a round-robin arbiter for two requesters.
+module rr_arbiter(input clk, input reset, input req0, input req1, output reg grant0, output reg grant1);
+reg last;
+";
+
+const PROMPT_M: &str = "\
+// This is a round-robin arbiter for two requesters.
+module rr_arbiter(input clk, input reset, input req0, input req1, output reg grant0, output reg grant1);
+reg last;
+// At most one grant is high per cycle, and only for an active request.
+// When both request, the one that was NOT granted last time wins.
+// last remembers which side won most recently.
+";
+
+const PROMPT_H: &str = "\
+// This is a round-robin arbiter for two requesters.
+module rr_arbiter(input clk, input reset, input req0, input req1, output reg grant0, output reg grant1);
+reg last;
+// At most one grant is high per cycle, and only for an active request.
+// When both request, the one that was NOT granted last time wins.
+// last remembers which side won most recently.
+// On the positive edge of clk:
+//   if reset is high, clear grant0, grant1 and last.
+//   else:
+//     if both req0 and req1 are high, grant the side opposite to last
+//       and update last to the granted side.
+//     else if only req0 is high, grant0 wins and last becomes 0.
+//     else if only req1 is high, grant1 wins and last becomes 1.
+//     else both grants are low.
+";
+
+const REFERENCE: &str = "\
+always @(posedge clk) begin
+  if (reset) begin
+    grant0 <= 1'b0;
+    grant1 <= 1'b0;
+    last <= 1'b0;
+  end else begin
+    if (req0 && req1) begin
+      if (last == 1'b0) begin
+        grant0 <= 1'b0;
+        grant1 <= 1'b1;
+        last <= 1'b1;
+      end else begin
+        grant0 <= 1'b1;
+        grant1 <= 1'b0;
+        last <= 1'b0;
+      end
+    end else if (req0) begin
+      grant0 <= 1'b1;
+      grant1 <= 1'b0;
+      last <= 1'b0;
+    end else if (req1) begin
+      grant0 <= 1'b0;
+      grant1 <= 1'b1;
+      last <= 1'b1;
+    end else begin
+      grant0 <= 1'b0;
+      grant1 <= 1'b0;
+    end
+  end
+end
+endmodule
+";
+
+const TESTBENCH: &str = r#"
+module tb;
+  reg clk, reset, req0, req1;
+  wire grant0, grant1;
+  integer errors;
+  integer i;
+  rr_arbiter dut(.clk(clk), .reset(reset), .req0(req0), .req1(req1),
+                 .grant0(grant0), .grant1(grant1));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; errors = 0; reset = 1; req0 = 0; req1 = 0;
+    @(posedge clk); #1;
+    if (grant0 !== 1'b0 || grant1 !== 1'b0) begin
+      errors = errors + 1; $display("FAIL: reset grants=%b%b", grant0, grant1);
+    end
+    reset = 0;
+    // Single requester 0.
+    req0 = 1;
+    @(posedge clk); #1;
+    if (grant0 !== 1'b1 || grant1 !== 1'b0) begin
+      errors = errors + 1; $display("FAIL: solo req0 grants=%b%b", grant0, grant1);
+    end
+    // Single requester 1.
+    req0 = 0; req1 = 1;
+    @(posedge clk); #1;
+    if (grant0 !== 1'b0 || grant1 !== 1'b1) begin
+      errors = errors + 1; $display("FAIL: solo req1 grants=%b%b", grant0, grant1);
+    end
+    // Both request: alternate, never two grants at once.
+    req0 = 1; req1 = 1;
+    @(posedge clk); #1;
+    // last was 1, so req0 wins first.
+    if (grant0 !== 1'b1 || grant1 !== 1'b0) begin
+      errors = errors + 1; $display("FAIL: rr first grants=%b%b", grant0, grant1);
+    end
+    for (i = 0; i < 6; i = i + 1) begin
+      @(posedge clk); #1;
+      if (grant0 === grant1) begin
+        errors = errors + 1; $display("FAIL: not alternating at %0d (%b%b)", i, grant0, grant1);
+      end
+    end
+    // No requests: no grants.
+    req0 = 0; req1 = 0;
+    @(posedge clk); #1;
+    if (grant0 !== 1'b0 || grant1 !== 1'b0) begin
+      errors = errors + 1; $display("FAIL: idle grants=%b%b", grant0, grant1);
+    end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    else $display("TESTS FAILED: %0d errors", errors);
+    $finish;
+  end
+endmodule
+"#;
+
+pub(crate) fn problem() -> Problem {
+    Problem {
+        id: 25,
+        name: "Round-robin arbiter",
+        module_name: "rr_arbiter",
+        difficulty: Difficulty::Advanced,
+        prompts: [PROMPT_L, PROMPT_M, PROMPT_H],
+        reference_body: REFERENCE,
+        alternate_bodies: &[],
+        testbench: TESTBENCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solutions_pass() {
+        crate::catalog::check_problem(&super::problem());
+    }
+}

@@ -1,0 +1,86 @@
+//! Operator dispatch shared by the constant folder (elaboration) and the
+//! runtime expression evaluator.
+
+use vgen_verilog::ast::{BinaryOp, UnaryOp};
+use vgen_verilog::value::{Logic, LogicVec};
+
+/// Applies a unary operator to a value.
+pub fn apply_unary(op: UnaryOp, arg: &LogicVec) -> LogicVec {
+    match op {
+        UnaryOp::Plus => arg.clone(),
+        UnaryOp::Neg => arg.neg(),
+        UnaryOp::LogicNot => arg.logic_not(),
+        UnaryOp::BitNot => arg.bit_not(),
+        UnaryOp::ReduceAnd => one_bit(arg.reduce_and()),
+        UnaryOp::ReduceOr => one_bit(arg.reduce_or()),
+        UnaryOp::ReduceXor => one_bit(arg.reduce_xor()),
+        UnaryOp::ReduceNand => one_bit(arg.reduce_and().not()),
+        UnaryOp::ReduceNor => one_bit(arg.reduce_or().not()),
+        UnaryOp::ReduceXnor => one_bit(arg.reduce_xor().not()),
+    }
+}
+
+/// Applies a binary operator to two values.
+pub fn apply_binary(op: BinaryOp, lhs: &LogicVec, rhs: &LogicVec) -> LogicVec {
+    match op {
+        BinaryOp::Add => lhs.add(rhs),
+        BinaryOp::Sub => lhs.sub(rhs),
+        BinaryOp::Mul => lhs.mul(rhs),
+        BinaryOp::Div => lhs.div(rhs),
+        BinaryOp::Rem => lhs.rem(rhs),
+        BinaryOp::Pow => lhs.pow(rhs),
+        BinaryOp::BitAnd => lhs.bit_and(rhs),
+        BinaryOp::BitOr => lhs.bit_or(rhs),
+        BinaryOp::BitXor => lhs.bit_xor(rhs),
+        BinaryOp::BitXnor => lhs.bit_xnor(rhs),
+        BinaryOp::LogicAnd => lhs.logic_and(rhs),
+        BinaryOp::LogicOr => lhs.logic_or(rhs),
+        BinaryOp::Eq => lhs.eq_logic(rhs),
+        BinaryOp::Ne => lhs.ne_logic(rhs),
+        BinaryOp::CaseEq => lhs.case_eq(rhs),
+        BinaryOp::CaseNe => lhs.case_eq(rhs).logic_not(),
+        BinaryOp::Lt => lhs.lt(rhs),
+        BinaryOp::Le => lhs.le(rhs),
+        BinaryOp::Gt => lhs.gt(rhs),
+        BinaryOp::Ge => lhs.ge(rhs),
+        BinaryOp::Shl => lhs.shl(rhs),
+        BinaryOp::Shr => lhs.shr(rhs),
+        BinaryOp::AShl => lhs.shl(rhs),
+        BinaryOp::AShr => lhs.ashr(rhs),
+    }
+}
+
+fn one_bit(l: Logic) -> LogicVec {
+    LogicVec::from_bits(vec![l], false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unary_dispatch() {
+        let v = LogicVec::from_u64(0b1011, 4);
+        assert_eq!(apply_unary(UnaryOp::ReduceAnd, &v).to_u64(), Some(0));
+        assert_eq!(apply_unary(UnaryOp::ReduceOr, &v).to_u64(), Some(1));
+        assert_eq!(apply_unary(UnaryOp::ReduceXor, &v).to_u64(), Some(1));
+        assert_eq!(apply_unary(UnaryOp::ReduceNand, &v).to_u64(), Some(1));
+        assert_eq!(apply_unary(UnaryOp::BitNot, &v).to_u64(), Some(0b0100));
+        assert_eq!(apply_unary(UnaryOp::LogicNot, &v).to_u64(), Some(0));
+        assert_eq!(apply_unary(UnaryOp::Neg, &v).to_u64(), Some(0b0101));
+        assert_eq!(apply_unary(UnaryOp::Plus, &v), v);
+    }
+
+    #[test]
+    fn binary_dispatch() {
+        let a = LogicVec::from_u64(6, 4);
+        let b = LogicVec::from_u64(3, 4);
+        assert_eq!(apply_binary(BinaryOp::Add, &a, &b).to_u64(), Some(9));
+        assert_eq!(apply_binary(BinaryOp::Sub, &a, &b).to_u64(), Some(3));
+        assert_eq!(apply_binary(BinaryOp::Div, &a, &b).to_u64(), Some(2));
+        assert_eq!(apply_binary(BinaryOp::Lt, &a, &b).to_u64(), Some(0));
+        assert_eq!(apply_binary(BinaryOp::CaseNe, &a, &b).to_u64(), Some(1));
+        assert_eq!(apply_binary(BinaryOp::AShl, &a, &b).to_u64(), Some(0));
+        assert_eq!(apply_binary(BinaryOp::Shl, &b, &LogicVec::from_u64(1, 2)).to_u64(), Some(6));
+    }
+}

@@ -1,0 +1,261 @@
+//! `$display`-family formatting.
+
+use vgen_verilog::value::LogicVec;
+
+/// Formats a display-style call: if the first argument is a string it is a
+/// format string consuming the remaining values; otherwise all values print
+/// as decimal separated by spaces.
+///
+/// Supported conversions: `%b %o %d %0d %h %x %s %c %t %m %%`; escapes:
+/// `\n \t \\ \"`.
+pub fn format_display(
+    fmt: Option<&str>,
+    values: &[FormatValue],
+    scope_name: &str,
+) -> String {
+    match fmt {
+        Some(f) => format_with(f, values, scope_name),
+        None => values
+            .iter()
+            .map(|v| match v {
+                FormatValue::Value(v) => v.to_decimal_string(),
+                FormatValue::Str(s) => s.clone(),
+            })
+            .collect::<Vec<_>>()
+            .join(" "),
+    }
+}
+
+/// A value to interpolate: either a logic vector or a nested string literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FormatValue {
+    /// A numeric value.
+    Value(LogicVec),
+    /// A string argument (printed verbatim for `%s`).
+    Str(String),
+}
+
+impl FormatValue {
+    fn as_value(&self) -> LogicVec {
+        match self {
+            FormatValue::Value(v) => v.clone(),
+            FormatValue::Str(s) => {
+                // A string used numerically is its bytes, per Verilog.
+                let mut acc = LogicVec::zero(1);
+                for (i, b) in s.bytes().enumerate() {
+                    let v = LogicVec::from_u64(b as u64, 8);
+                    acc = if i == 0 { v } else { acc.concat(&v) };
+                }
+                acc
+            }
+        }
+    }
+}
+
+/// Number of decimal digits needed for a `width`-bit value — `%d` pads to
+/// this, matching Verilog's default column alignment.
+fn decimal_columns(width: usize) -> usize {
+    // ceil(width * log10(2)), at least 1.
+    ((width as f64) * std::f64::consts::LOG10_2).ceil().max(1.0) as usize
+}
+
+fn format_with(fmt: &str, values: &[FormatValue], scope_name: &str) -> String {
+    let mut out = String::new();
+    let mut args = values.iter();
+    let mut chars = fmt.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('0') => out.push('\0'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            },
+            '%' => {
+                // Optional width/zero flags, e.g. %0d, %2d.
+                let mut zero = false;
+                let mut width_digits = String::new();
+                while let Some(d) = chars.peek().copied() {
+                    if d == '0' && width_digits.is_empty() {
+                        zero = true;
+                        chars.next();
+                    } else if d.is_ascii_digit() {
+                        width_digits.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let conv = chars.next().unwrap_or('%');
+                match conv.to_ascii_lowercase() {
+                    '%' => out.push('%'),
+                    'm' => out.push_str(scope_name),
+                    'b' => {
+                        let v = next_value(&mut args);
+                        out.push_str(&v.to_binary_string());
+                    }
+                    'h' | 'x' => {
+                        let v = next_value(&mut args);
+                        out.push_str(&v.to_hex_string());
+                    }
+                    'o' => {
+                        let v = next_value(&mut args);
+                        out.push_str(&octal_string(&v));
+                    }
+                    'd' | 't' => {
+                        let v = next_value(&mut args);
+                        let s = v.to_decimal_string();
+                        if zero {
+                            out.push_str(&s);
+                        } else {
+                            let cols: usize = width_digits
+                                .parse()
+                                .unwrap_or_else(|_| decimal_columns(v.width()));
+                            for _ in s.len()..cols {
+                                out.push(' ');
+                            }
+                            out.push_str(&s);
+                        }
+                    }
+                    's' => match args.next() {
+                        Some(FormatValue::Str(s)) => out.push_str(s),
+                        Some(FormatValue::Value(v)) => {
+                            // Bytes of the value as ASCII, high byte first.
+                            let mut text = String::new();
+                            let nbytes = v.width().div_ceil(8);
+                            for b in (0..nbytes).rev() {
+                                let hi = ((b * 8) + 7).min(v.width() - 1);
+                                let byte = v.select(hi, b * 8);
+                                if let Some(x) = byte.to_u64() {
+                                    if x != 0 {
+                                        text.push(x as u8 as char);
+                                    }
+                                }
+                            }
+                            out.push_str(&text);
+                        }
+                        None => {}
+                    },
+                    'c' => {
+                        let v = next_value(&mut args);
+                        if let Some(x) = v.to_u64() {
+                            out.push((x & 0xFF) as u8 as char);
+                        } else {
+                            out.push('?');
+                        }
+                    }
+                    other => {
+                        out.push('%');
+                        out.push(other);
+                    }
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn next_value<'a>(args: &mut impl Iterator<Item = &'a FormatValue>) -> LogicVec {
+    args.next()
+        .map(|v| v.as_value())
+        .unwrap_or_else(|| LogicVec::unknown(1))
+}
+
+fn octal_string(v: &LogicVec) -> String {
+    let digits = v.width().div_ceil(3);
+    let mut out = String::new();
+    for d in (0..digits).rev() {
+        let hi = ((d * 3) + 2).min(v.width() - 1);
+        let part = v.select(hi, d * 3);
+        match part.to_u64() {
+            Some(x) => out.push(char::from_digit(x as u32, 8).unwrap_or('?')),
+            None => out.push('x'),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u64, w: usize) -> FormatValue {
+        FormatValue::Value(LogicVec::from_u64(x, w))
+    }
+
+    #[test]
+    fn plain_decimal_without_format() {
+        let s = format_display(None, &[v(42, 8), v(7, 4)], "top");
+        assert_eq!(s, "42 7");
+    }
+
+    #[test]
+    fn zero_width_decimal() {
+        let s = format_display(Some("t=%0d"), &[v(123, 32)], "top");
+        assert_eq!(s, "t=123");
+    }
+
+    #[test]
+    fn padded_decimal() {
+        // 8-bit value pads to 3 columns.
+        let s = format_display(Some("[%d]"), &[v(7, 8)], "top");
+        assert_eq!(s, "[  7]");
+    }
+
+    #[test]
+    fn binary_hex_octal() {
+        let s = format_display(Some("%b %h %o"), &[v(5, 4), v(255, 8), v(9, 6)], "top");
+        assert_eq!(s, "0101 ff 11");
+    }
+
+    #[test]
+    fn escapes() {
+        let s = format_display(Some("a\\nb\\tc\\\\d"), &[], "top");
+        assert_eq!(s, "a\nb\tc\\d");
+    }
+
+    #[test]
+    fn percent_literal_and_scope() {
+        let s = format_display(Some("100%% in %m"), &[], "tb");
+        assert_eq!(s, "100% in tb");
+    }
+
+    #[test]
+    fn string_arg() {
+        let s = format_display(
+            Some("%s!"),
+            &[FormatValue::Str("PASS".into())],
+            "top",
+        );
+        assert_eq!(s, "PASS!");
+    }
+
+    #[test]
+    fn unknown_values_print_x() {
+        let s = format_display(
+            Some("%0d %b"),
+            &[
+                FormatValue::Value(LogicVec::unknown(4)),
+                FormatValue::Value(LogicVec::unknown(2)),
+            ],
+            "top",
+        );
+        assert_eq!(s, "x xx");
+    }
+
+    #[test]
+    fn missing_args_degrade_gracefully() {
+        let s = format_display(Some("%0d %0d"), &[v(1, 4)], "top");
+        assert_eq!(s, "1 x");
+    }
+
+    #[test]
+    fn time_conversion() {
+        let s = format_display(Some("%0t"), &[v(99, 64)], "top");
+        assert_eq!(s, "99");
+    }
+}

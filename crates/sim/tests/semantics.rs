@@ -1,0 +1,356 @@
+//! Verilog semantics regression suite: focused checks of IEEE 1364
+//! behaviours the benchmark depends on — x-propagation, event ordering,
+//! width contexts, case flavours, reset styles.
+
+use vgen_sim::{simulate, SimConfig, StopReason};
+
+fn run(src: &str) -> String {
+    let out = simulate(src, None, SimConfig::default()).expect("simulate");
+    assert!(
+        out.reason.is_clean(),
+        "unclean stop {:?} for:\n{src}\noutput:\n{}",
+        out.reason,
+        out.stdout
+    );
+    out.stdout
+}
+
+// ------------------------------------------------------------ x semantics
+
+#[test]
+fn x_poisons_arithmetic_but_not_mux() {
+    let out = run(
+        "module t;\nreg [3:0] a;\nreg sel;\nwire [3:0] sum, pick;\n\
+         assign sum = a + 4'd1;\nassign pick = sel ? a : 4'd7;\n\
+         initial begin\nsel = 0;\n#1 $display(\"sum=%b pick=%0d\", sum, pick);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "sum=xxxx pick=7\n");
+}
+
+#[test]
+fn x_condition_takes_neither_branch_in_if() {
+    // if (x) is false-ish: the else branch runs.
+    let out = run(
+        "module t;\nreg c;\nreg [1:0] y;\ninitial begin\n\
+         if (c) y = 2'd1;\nelse y = 2'd2;\n$display(\"y=%0d\", y);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "y=2\n");
+}
+
+#[test]
+fn equality_with_x_is_never_true() {
+    let out = run(
+        "module t;\nreg [1:0] a;\nreg y1, y2;\ninitial begin\n\
+         y1 = (a == 2'b00);\ny2 = (a != 2'b00);\n\
+         $display(\"%b %b\", y1, y2);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "x x\n");
+}
+
+#[test]
+fn case_equality_sees_x_exactly() {
+    let out = run(
+        "module t;\nreg [1:0] a;\ninitial begin\n\
+         $display(\"%b %b\", a === 2'bxx, a === 2'b00);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "1 0\n");
+}
+
+// --------------------------------------------------------- event ordering
+
+#[test]
+fn nba_commits_after_all_active_events() {
+    // Two processes in one time step: both read pre-NBA values.
+    let out = run(
+        "module t;\nreg [3:0] a, b;\n\
+         initial begin\na = 1;\nb = 2;\na <= b;\nb <= a;\nend\n\
+         initial begin\n#1 $display(\"%0d %0d\", a, b);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "2 1\n");
+}
+
+#[test]
+fn zero_delay_defers_within_time_step() {
+    let out = run(
+        "module t;\nreg [1:0] v;\ninitial begin\nv = 1;\n#0 v = 2;\nend\n\
+         initial begin\n#0;\n#0 $display(\"v=%0d\", v);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "v=2\n");
+}
+
+#[test]
+fn posedge_chain_propagates_one_stage_per_cycle() {
+    // Classic NBA shift chain: values move one flop per clock.
+    let out = run(
+        "module t;\nreg clk;\nreg [3:0] s0, s1, s2;\n\
+         always @(posedge clk) begin\ns1 <= s0;\ns2 <= s1;\nend\n\
+         initial begin\nclk = 0;\ns0 = 4'd9; s1 = 4'd0; s2 = 4'd0;\n\
+         #5 clk = 1; #1;\n$display(\"%0d %0d\", s1, s2);\n\
+         #4 clk = 0;\n#5 clk = 1; #1;\n$display(\"%0d %0d\", s1, s2);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "9 0\n9 9\n");
+}
+
+#[test]
+fn combinational_chain_settles_within_time_step() {
+    let out = run(
+        "module t;\nreg a;\nwire b, c, d;\n\
+         assign b = ~a;\nassign c = ~b;\nassign d = ~c;\n\
+         initial begin\na = 0;\n#1 $display(\"%b%b%b\", b, c, d);\n\
+         a = 1;\n#1 $display(\"%b%b%b\", b, c, d);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "101\n010\n");
+}
+
+// ------------------------------------------------------------- width rules
+
+#[test]
+fn assignment_context_widens_operands() {
+    // {c, s} = a + b needs the carry computed at 2 bits.
+    let out = run(
+        "module t;\nreg a, b;\nreg c, s;\ninitial begin\na = 1; b = 1;\n\
+         {c, s} = a + b;\n$display(\"%b%b\", c, s);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "10\n");
+}
+
+#[test]
+fn comparison_operands_size_to_each_other() {
+    let out = run(
+        "module t;\nreg [3:0] a;\ninitial begin\na = 4'd15;\n\
+         $display(\"%b %b\", a == 15, a + 4'd1 == 0);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "1 1\n");
+}
+
+#[test]
+fn shift_does_not_widen() {
+    // Self-determined: 4-bit << keeps 4 bits.
+    let out = run(
+        "module t;\nreg [3:0] a;\nreg [7:0] y;\ninitial begin\na = 4'b1000;\n\
+         y = {4'b0, a << 1};\n$display(\"%b\", y);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "00000000\n");
+}
+
+#[test]
+fn signed_extension_on_assignment() {
+    let out = run(
+        "module t;\nreg signed [3:0] small;\nreg signed [7:0] big;\n\
+         initial begin\nsmall = -4'sd3;\nbig = small;\n\
+         $display(\"%0d\", big);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "-3\n");
+}
+
+// --------------------------------------------------------------- case flavours
+
+#[test]
+fn case_is_exact_including_x() {
+    let out = run(
+        "module t;\nreg [1:0] s;\nreg [3:0] y;\ninitial begin\n\
+         case (s)\n2'b00: y = 1;\n2'bxx: y = 9;\ndefault: y = 0;\nendcase\n\
+         $display(\"%0d\", y);\n$finish;\nend\nendmodule",
+    );
+    // s is xx at time 0, and plain case matches x exactly.
+    assert_eq!(out, "9\n");
+}
+
+#[test]
+fn casez_question_mark_wildcards() {
+    let out = run(
+        "module t;\nreg [3:0] s;\nreg [1:0] y;\ninitial begin\ns = 4'b1011;\n\
+         casez (s)\n4'b1???: y = 2'd3;\n4'b01??: y = 2'd2;\ndefault: y = 2'd0;\nendcase\n\
+         $display(\"%0d\", y);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "3\n");
+}
+
+#[test]
+fn case_priority_is_first_match() {
+    let out = run(
+        "module t;\nreg [1:0] s;\nreg [3:0] y;\ninitial begin\ns = 2'b01;\n\
+         casez (s)\n2'b?1: y = 1;\n2'b01: y = 2;\ndefault: y = 0;\nendcase\n\
+         $display(\"%0d\", y);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "1\n");
+}
+
+// --------------------------------------------------------------- reset styles
+
+#[test]
+fn sync_and_async_reset_agree_at_clock_edges() {
+    // The paper's §VI tolerance: the testbenches only check post-edge
+    // values, so both reset styles pass the same checks.
+    for always in [
+        "always @(posedge clk) begin",
+        "always @(posedge clk or posedge rst) begin",
+    ] {
+        let src = format!(
+            "module t;\nreg clk, rst;\nreg [1:0] q;\n{always}\n\
+             if (rst) q <= 0;\nelse q <= q + 1;\nend\n\
+             initial begin\nclk = 0; rst = 1;\n#12 rst = 0;\n\
+             #8 ;\n#10 ;\n$display(\"q=%0d\", q);\n$finish;\nend\n\
+             always #5 clk = ~clk;\nendmodule"
+        );
+        let out = simulate(&src, Some("t"), SimConfig::default()).expect("simulate");
+        assert_eq!(out.stdout, "q=2\n", "style: {always}");
+    }
+}
+
+// ------------------------------------------------------------ miscellaneous
+
+#[test]
+fn named_events_not_needed_for_abro_pattern() {
+    // Two communicating always blocks (FSM pattern) stabilise correctly.
+    let out = run(
+        "module t;\nreg clk, x;\nreg [1:0] st, nx;\n\
+         always @(posedge clk) st <= nx;\n\
+         always @(st or x) begin\nif (st == 0) nx = x ? 1 : 0;\n\
+         else nx = 0;\nend\n\
+         initial begin\nclk = 0; x = 0; st = 0;\n\
+         x = 1;\n#5 clk = 1; #1;\n$display(\"st=%0d\", st);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "st=1\n");
+}
+
+#[test]
+fn part_select_write_preserves_other_bits() {
+    let out = run(
+        "module t;\nreg [7:0] v;\ninitial begin\nv = 8'hFF;\n\
+         v[3:0] = 4'h0;\n$display(\"%h\", v);\nv[7] = 1'b0;\n\
+         $display(\"%h\", v);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "f0\n70\n");
+}
+
+#[test]
+fn out_of_range_write_is_dropped() {
+    let out = run(
+        "module t;\nreg [3:0] v;\nreg [3:0] idx;\ninitial begin\nv = 4'b0000;\n\
+         idx = 4'd9;\nv[idx] = 1'b1;\n$display(\"%b\", v);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "0000\n");
+}
+
+#[test]
+fn memory_word_independence() {
+    let out = run(
+        "module t;\nreg [7:0] mem [0:3];\ninitial begin\n\
+         mem[0] = 8'hAA;\nmem[1] = 8'hBB;\nmem[0] = 8'hCC;\n\
+         $display(\"%h %h %h\", mem[0], mem[1], mem[2]);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "cc bb xx\n");
+}
+
+#[test]
+fn repeat_zero_executes_nothing() {
+    let out = run(
+        "module t;\ninteger n;\ninitial begin\nn = 0;\n\
+         repeat (0) n = n + 1;\n$display(\"%0d\", n);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "0\n");
+}
+
+#[test]
+fn while_loop_with_condition() {
+    let out = run(
+        "module t;\ninteger i, sum;\ninitial begin\ni = 0; sum = 0;\n\
+         while (i < 5) begin\nsum = sum + i;\ni = i + 1;\nend\n\
+         $display(\"%0d\", sum);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "10\n");
+}
+
+#[test]
+fn division_and_modulo_by_zero_yield_x() {
+    let out = run(
+        "module t;\nreg [3:0] a, b;\ninitial begin\na = 8; b = 0;\n\
+         $display(\"%b %b\", a / b, a % b);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "xxxx xxxx\n");
+}
+
+#[test]
+fn reduction_operators_in_conditions() {
+    let out = run(
+        "module t;\nreg [3:0] v;\nreg any, all, odd;\ninitial begin\nv = 4'b0111;\n\
+         any = |v; all = &v; odd = ^v;\n\
+         $display(\"%b%b%b\", any, all, odd);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "101\n");
+}
+
+#[test]
+fn ternary_with_x_condition_merges_bitwise() {
+    let out = run(
+        "module t;\nreg c;\nreg [3:0] y;\ninitial begin\n\
+         y = c ? 4'b1100 : 4'b1010;\n$display(\"%b\", y);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "1xx0\n");
+}
+
+#[test]
+fn concat_lvalue_nba() {
+    let out = run(
+        "module t;\nreg clk;\nreg [1:0] hi;\nreg [1:0] lo;\n\
+         always @(posedge clk) {hi, lo} <= 4'b1001;\n\
+         initial begin\nclk = 0;\n#5 clk = 1;\n#1 $display(\"%b %b\", hi, lo);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "10 01\n");
+}
+
+#[test]
+fn hung_candidate_is_detected_not_looped() {
+    let src = "module t;\nalways begin end\nendmodule";
+    let out = simulate(
+        src,
+        Some("t"),
+        SimConfig {
+            max_time: 100,
+            max_steps: 10_000,
+        },
+    )
+    .expect("simulate");
+    assert_eq!(out.reason, StopReason::StepBudget);
+}
+
+#[test]
+fn display_format_coverage() {
+    let out = run(
+        "module t;\nreg [7:0] v;\ninitial begin\nv = 8'd65;\n\
+         $display(\"d=%0d h=%h o=%o b=%b c=%c pct=%%\", v, v, v, v, v);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "d=65 h=41 o=101 b=01000001 c=A pct=%\n");
+}
+
+#[test]
+fn strobe_like_write_has_no_newline() {
+    let out = run(
+        "module t;\ninitial begin\n$write(\"a\");\n$write(\"b\");\n$display(\"c\");\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "abc\n");
+}
+
+#[test]
+fn multiple_instances_are_independent() {
+    let out = run(
+        "module inv(input a, output y);\nassign y = ~a;\nendmodule\n\
+         module t;\nreg x1, x2;\nwire y1, y2;\n\
+         inv u1(.a(x1), .y(y1));\ninv u2(.a(x2), .y(y2));\n\
+         initial begin\nx1 = 0; x2 = 1;\n#1 $display(\"%b%b\", y1, y2);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "10\n");
+}
+
+#[test]
+fn parameterized_instances_specialize() {
+    let out = run(
+        "module ones #(parameter W = 2) (output [W-1:0] y);\n\
+         assign y = {W{1'b1}};\nendmodule\n\
+         module t;\nwire [1:0] a;\nwire [4:0] b;\n\
+         ones u1(.y(a));\nones #(.W(5)) u2(.y(b));\n\
+         initial begin\n#1 $display(\"%b %b\", a, b);\n$finish;\nend\nendmodule",
+    );
+    assert_eq!(out, "11 11111\n");
+}

@@ -1,0 +1,69 @@
+//! Constant-folding operator dispatch over [`LogicVec`] (mirrors the
+//! simulator's semantics without depending on `vgen-sim`).
+
+use vgen_verilog::ast::{BinaryOp, UnaryOp};
+use vgen_verilog::value::{Logic, LogicVec};
+
+/// Applies a unary operator.
+pub fn apply_unary(op: UnaryOp, arg: &LogicVec) -> LogicVec {
+    match op {
+        UnaryOp::Plus => arg.clone(),
+        UnaryOp::Neg => arg.neg(),
+        UnaryOp::LogicNot => arg.logic_not(),
+        UnaryOp::BitNot => arg.bit_not(),
+        UnaryOp::ReduceAnd => one(arg.reduce_and()),
+        UnaryOp::ReduceOr => one(arg.reduce_or()),
+        UnaryOp::ReduceXor => one(arg.reduce_xor()),
+        UnaryOp::ReduceNand => one(arg.reduce_and().not()),
+        UnaryOp::ReduceNor => one(arg.reduce_or().not()),
+        UnaryOp::ReduceXnor => one(arg.reduce_xor().not()),
+    }
+}
+
+/// Applies a binary operator.
+pub fn apply_binary(op: BinaryOp, a: &LogicVec, b: &LogicVec) -> LogicVec {
+    match op {
+        BinaryOp::Add => a.add(b),
+        BinaryOp::Sub => a.sub(b),
+        BinaryOp::Mul => a.mul(b),
+        BinaryOp::Div => a.div(b),
+        BinaryOp::Rem => a.rem(b),
+        BinaryOp::Pow => a.pow(b),
+        BinaryOp::BitAnd => a.bit_and(b),
+        BinaryOp::BitOr => a.bit_or(b),
+        BinaryOp::BitXor => a.bit_xor(b),
+        BinaryOp::BitXnor => a.bit_xnor(b),
+        BinaryOp::LogicAnd => a.logic_and(b),
+        BinaryOp::LogicOr => a.logic_or(b),
+        BinaryOp::Eq => a.eq_logic(b),
+        BinaryOp::Ne => a.ne_logic(b),
+        BinaryOp::CaseEq => a.case_eq(b),
+        BinaryOp::CaseNe => a.case_eq(b).logic_not(),
+        BinaryOp::Lt => a.lt(b),
+        BinaryOp::Le => a.le(b),
+        BinaryOp::Gt => a.gt(b),
+        BinaryOp::Ge => a.ge(b),
+        BinaryOp::Shl => a.shl(b),
+        BinaryOp::Shr => a.shr(b),
+        BinaryOp::AShl => a.shl(b),
+        BinaryOp::AShr => a.ashr(b),
+    }
+}
+
+fn one(l: Logic) -> LogicVec {
+    LogicVec::from_bits(vec![l], false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_smoke() {
+        let a = LogicVec::from_u64(12, 4);
+        let b = LogicVec::from_u64(5, 4);
+        assert_eq!(apply_binary(BinaryOp::Add, &a, &b).to_u64(), Some(1));
+        assert_eq!(apply_binary(BinaryOp::Gt, &a, &b).to_u64(), Some(1));
+        assert_eq!(apply_unary(UnaryOp::ReduceXor, &a).to_u64(), Some(0));
+    }
+}

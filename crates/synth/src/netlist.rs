@@ -1,0 +1,264 @@
+//! The word-level RTL netlist produced by synthesis.
+//!
+//! Nets are SSA values: every cell creates its output net, so cells are
+//! topologically ordered by construction (the only back-edges go through
+//! [`Cell::Dff`] state elements).
+
+use vgen_verilog::ast::{BinaryOp, Edge, UnaryOp};
+use vgen_verilog::value::LogicVec;
+
+/// Index of a net in the netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+/// A word-level net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Net {
+    /// Debug name (signal name or generated).
+    pub name: String,
+    /// Width in bits.
+    pub width: usize,
+    /// Whether values on this net are signed.
+    pub signed: bool,
+}
+
+/// Asynchronous reset specification on a flip-flop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsyncReset {
+    /// The reset net.
+    pub signal: NetId,
+    /// Which edge arms it.
+    pub edge: Edge,
+    /// Value loaded while reset is active.
+    pub value: NetId,
+}
+
+/// A netlist cell. The output net is always `y` (or `q` for flops).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// A constant driver.
+    Const {
+        /// Constant value.
+        value: LogicVec,
+        /// Output.
+        y: NetId,
+    },
+    /// Word-level unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        a: NetId,
+        /// Output.
+        y: NetId,
+    },
+    /// Word-level binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        a: NetId,
+        /// Right operand.
+        b: NetId,
+        /// Output.
+        y: NetId,
+    },
+    /// 2:1 multiplexer: `y = sel ? a : b`.
+    Mux {
+        /// Select net (1 bit).
+        sel: NetId,
+        /// Value when select is 1.
+        a: NetId,
+        /// Value when select is 0.
+        b: NetId,
+        /// Output.
+        y: NetId,
+    },
+    /// Concatenation; `parts[0]` supplies the most-significant bits.
+    Concat {
+        /// Input parts, MSB first.
+        parts: Vec<NetId>,
+        /// Output.
+        y: NetId,
+    },
+    /// Constant bit-range extraction (positions within the input word).
+    Slice {
+        /// Input.
+        a: NetId,
+        /// High bit position (inclusive).
+        hi: usize,
+        /// Low bit position (inclusive).
+        lo: usize,
+        /// Output.
+        y: NetId,
+    },
+    /// Dynamic single-bit select: `y = a[idx]`.
+    BitSelect {
+        /// Input word.
+        a: NetId,
+        /// Index net.
+        idx: NetId,
+        /// Bit position of the word's LSB in declared index space.
+        lsb_index: i64,
+        /// `true` when the declared range descends (`[7:0]`).
+        descending: bool,
+        /// Output (1 bit).
+        y: NetId,
+    },
+    /// Replication of a value `count` times.
+    Replicate {
+        /// Input.
+        a: NetId,
+        /// Replication count.
+        count: usize,
+        /// Output.
+        y: NetId,
+    },
+    /// Width adjustment to the output net's width (zero- or sign-extends
+    /// per the input net's signedness; truncates when narrower).
+    Resize {
+        /// Input.
+        a: NetId,
+        /// Output.
+        y: NetId,
+    },
+    /// An edge-triggered D flip-flop (word-level register).
+    Dff {
+        /// Clock net.
+        clk: NetId,
+        /// Active clock edge.
+        edge: Edge,
+        /// Next value.
+        d: NetId,
+        /// Registered output.
+        q: NetId,
+        /// Optional asynchronous reset.
+        reset: Option<AsyncReset>,
+    },
+}
+
+impl Cell {
+    /// The output net of this cell.
+    pub fn output(&self) -> NetId {
+        match self {
+            Cell::Const { y, .. }
+            | Cell::Unary { y, .. }
+            | Cell::Binary { y, .. }
+            | Cell::Mux { y, .. }
+            | Cell::Concat { y, .. }
+            | Cell::Slice { y, .. }
+            | Cell::BitSelect { y, .. }
+            | Cell::Replicate { y, .. }
+            | Cell::Resize { y, .. } => *y,
+            Cell::Dff { q, .. } => *q,
+        }
+    }
+
+    /// Whether this is a state element.
+    pub fn is_register(&self) -> bool {
+        matches!(self, Cell::Dff { .. })
+    }
+}
+
+/// A synthesized module.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Netlist {
+    /// Module name.
+    pub name: String,
+    /// All nets.
+    pub nets: Vec<Net>,
+    /// All cells in topological order (flop `q` nets break cycles).
+    pub cells: Vec<Cell>,
+    /// `(port name, net)` for each input port.
+    pub inputs: Vec<(String, NetId)>,
+    /// `(port name, net)` for each output port.
+    pub outputs: Vec<(String, NetId)>,
+}
+
+impl Netlist {
+    /// Net metadata accessor.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.0 as usize]
+    }
+
+    /// Creates a net and returns its id.
+    pub fn add_net(&mut self, name: impl Into<String>, width: usize, signed: bool) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net {
+            name: name.into(),
+            width,
+            signed,
+        });
+        id
+    }
+
+    /// Number of state elements.
+    pub fn register_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_register()).count()
+    }
+
+    /// Number of combinational cells.
+    pub fn comb_cell_count(&self) -> usize {
+        self.cells.len() - self.register_count()
+    }
+
+    /// Total register bits.
+    pub fn register_bits(&self) -> usize {
+        self.cells
+            .iter()
+            .filter_map(|c| match c {
+                Cell::Dff { q, .. } => Some(self.net(*q).width),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Renders a short human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} nets, {} comb cells, {} registers ({} bits), {} inputs, {} outputs",
+            self.name,
+            self.nets.len(),
+            self.comb_cell_count(),
+            self.register_count(),
+            self.register_bits(),
+            self.inputs.len(),
+            self.outputs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netlist_bookkeeping() {
+        let mut n = Netlist {
+            name: "m".into(),
+            ..Default::default()
+        };
+        let a = n.add_net("a", 4, false);
+        let y = n.add_net("y", 4, false);
+        n.cells.push(Cell::Unary {
+            op: UnaryOp::BitNot,
+            a,
+            y,
+        });
+        let clk = n.add_net("clk", 1, false);
+        let q = n.add_net("q", 4, false);
+        n.cells.push(Cell::Dff {
+            clk,
+            edge: Edge::Pos,
+            d: y,
+            q,
+            reset: None,
+        });
+        assert_eq!(n.register_count(), 1);
+        assert_eq!(n.comb_cell_count(), 1);
+        assert_eq!(n.register_bits(), 4);
+        assert_eq!(n.cells[0].output(), y);
+        assert!(n.cells[1].is_register());
+        assert!(n.summary().contains("1 registers"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Diagnostics for lexing and parsing.
+
+use crate::span::{LineMap, Span};
+use std::fmt;
+
+/// An error produced while lexing or parsing Verilog source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Location of the offending text.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Creates a new error at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the error with line/column information resolved against `src`.
+    ///
+    /// ```
+    /// use vgen_verilog::{error::ParseError, span::Span};
+    /// let err = ParseError::new("unexpected `;`", Span::new(4, 5));
+    /// assert_eq!(err.render("abc\n;"), "2:1: unexpected `;`");
+    /// ```
+    pub fn render(&self, src: &str) -> String {
+        let lc = LineMap::new(src).line_col(self.span.start);
+        format!("{lc}: {}", self.message)
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.span.start)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_resolves_line_col() {
+        let err = ParseError::new("boom", Span::new(6, 7));
+        assert_eq!(err.render("ab\ncd\nef"), "3:1: boom");
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let err = ParseError::new("bad token", Span::point(3));
+        assert!(format!("{err}").contains("bad token"));
+    }
+}

@@ -1,0 +1,257 @@
+//! Parsing of Verilog number literals into [`LogicVec`] values.
+//!
+//! Handles plain decimals (`42`), sized/unsized based literals
+//! (`4'b10xz`, `'hFF`, `8'shFF`), underscores, and the `?` digit (alias for
+//! `z`). The lexer stores literal text verbatim; this module gives it a
+//! value.
+
+use crate::value::{Logic, LogicVec};
+
+/// Error produced when a number literal is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNumberError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseNumberError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid number literal: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseNumberError {}
+
+fn err(msg: impl Into<String>) -> ParseNumberError {
+    ParseNumberError {
+        message: msg.into(),
+    }
+}
+
+/// Default width for unsized literals, per IEEE 1364 (at least 32 bits).
+pub const UNSIZED_WIDTH: usize = 32;
+
+/// Parses a Verilog number literal such as `4'd12`, `3'b0?1`, `'hff` or `42`.
+///
+/// Unsized literals get [`UNSIZED_WIDTH`] bits. Decimal unsized literals are
+/// signed (per the LRM); based literals are unsigned unless the base carries
+/// the `s` flag (`8'sd200`).
+///
+/// # Errors
+///
+/// Returns [`ParseNumberError`] for empty/garbled text, digits invalid for
+/// the base, zero sizes, or `x`/`z` digits in a decimal literal mixed with
+/// other digits.
+///
+/// ```
+/// use vgen_verilog::number::parse_number;
+/// let v = parse_number("4'd12")?;
+/// assert_eq!(v.to_u64(), Some(12));
+/// assert_eq!(v.width(), 4);
+/// # Ok::<(), vgen_verilog::number::ParseNumberError>(())
+/// ```
+pub fn parse_number(text: &str) -> Result<LogicVec, ParseNumberError> {
+    let clean: String = text.chars().filter(|c| *c != '_').collect();
+    if clean.is_empty() {
+        return Err(err("empty literal"));
+    }
+    let Some(tick) = clean.find('\'') else {
+        // Plain decimal literal: signed 32-bit minimum.
+        let v: i64 = clean
+            .parse()
+            .map_err(|_| err(format!("bad decimal `{clean}`")))?;
+        return Ok(LogicVec::from_i64(v, UNSIZED_WIDTH));
+    };
+
+    let (size_part, rest) = clean.split_at(tick);
+    let rest = &rest[1..]; // skip the tick
+    let width = if size_part.is_empty() {
+        UNSIZED_WIDTH
+    } else {
+        let w: usize = size_part
+            .parse()
+            .map_err(|_| err(format!("bad size `{size_part}`")))?;
+        if w == 0 {
+            return Err(err("zero width"));
+        }
+        w
+    };
+
+    let mut chars = rest.chars();
+    let mut base_char = chars.next().ok_or_else(|| err("missing base"))?;
+    let mut signed = false;
+    if base_char == 's' || base_char == 'S' {
+        signed = true;
+        base_char = chars.next().ok_or_else(|| err("missing base after s"))?;
+    }
+    let digits: String = chars.collect();
+    if digits.is_empty() {
+        return Err(err("missing digits"));
+    }
+
+    let bits_per_digit = match base_char.to_ascii_lowercase() {
+        'b' => 1,
+        'o' => 3,
+        'h' => 4,
+        'd' => {
+            return parse_decimal_based(&digits, width, signed);
+        }
+        other => return Err(err(format!("unknown base `{other}`"))),
+    };
+
+    // Based literal: collect bits LSB-first from the digits (rightmost digit
+    // is least significant).
+    let mut bits: Vec<Logic> = Vec::new();
+    for c in digits.chars().rev() {
+        if let Some(l) = Logic::from_char(c) {
+            if bits_per_digit == 1 {
+                bits.push(l);
+                continue;
+            }
+            if l.is_unknown() {
+                // x/z digit expands to a full digit of x/z.
+                for _ in 0..bits_per_digit {
+                    bits.push(l);
+                }
+                continue;
+            }
+        }
+        let v = c
+            .to_digit(1 << bits_per_digit)
+            .ok_or_else(|| err(format!("digit `{c}` invalid for base")))?;
+        for i in 0..bits_per_digit {
+            bits.push(Logic::from_bool((v >> i) & 1 == 1));
+        }
+    }
+    if bits.is_empty() {
+        return Err(err("no digits"));
+    }
+    // Normalise to declared width: truncate or extend. IEEE: extension uses
+    // 0 unless the MSB of the literal is x/z, in which case it extends.
+    let lit = LogicVec::from_bits(bits, false).resize(width);
+    Ok(lit.with_signed(signed))
+}
+
+fn parse_decimal_based(
+    digits: &str,
+    width: usize,
+    signed: bool,
+) -> Result<LogicVec, ParseNumberError> {
+    // A decimal based literal may be a single x or z digit (e.g. 4'dx).
+    if digits.len() == 1 {
+        if let Some(l) = Logic::from_char(digits.chars().next().expect("one")) {
+            if l.is_unknown() {
+                return Ok(LogicVec::filled(width, l).with_signed(signed));
+            }
+        }
+    }
+    let v: u64 = digits
+        .parse()
+        .map_err(|_| err(format!("bad decimal digits `{digits}`")))?;
+    Ok(LogicVec::from_u64(v, width).with_signed(signed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_decimal() {
+        let v = parse_number("42").expect("parse");
+        assert_eq!(v.to_u64(), Some(42));
+        assert_eq!(v.width(), 32);
+        assert!(v.is_signed());
+    }
+
+    #[test]
+    fn sized_decimal() {
+        let v = parse_number("4'd12").expect("parse");
+        assert_eq!(v.to_u64(), Some(12));
+        assert_eq!(v.width(), 4);
+        assert!(!v.is_signed());
+    }
+
+    #[test]
+    fn binary_with_unknowns() {
+        let v = parse_number("4'b10xz").expect("parse");
+        assert_eq!(v.bit(0), Logic::Z);
+        assert_eq!(v.bit(1), Logic::X);
+        assert_eq!(v.bit(2), Logic::Zero);
+        assert_eq!(v.bit(3), Logic::One);
+    }
+
+    #[test]
+    fn question_mark_is_z() {
+        let v = parse_number("3'b1?0").expect("parse");
+        assert_eq!(v.bit(1), Logic::Z);
+    }
+
+    #[test]
+    fn hex_and_octal() {
+        assert_eq!(parse_number("8'hFF").expect("parse").to_u64(), Some(255));
+        assert_eq!(parse_number("8'hab").expect("parse").to_u64(), Some(0xAB));
+        assert_eq!(parse_number("6'o17").expect("parse").to_u64(), Some(0o17));
+    }
+
+    #[test]
+    fn hex_x_digit_expands_to_nibble() {
+        let v = parse_number("8'h_Fx").expect("parse");
+        assert_eq!(v.select(7, 4).to_u64(), Some(0xF));
+        assert!(v.select(3, 0).has_unknown());
+    }
+
+    #[test]
+    fn unsized_based() {
+        let v = parse_number("'h10").expect("parse");
+        assert_eq!(v.width(), 32);
+        assert_eq!(v.to_u64(), Some(16));
+    }
+
+    #[test]
+    fn signed_base_flag() {
+        let v = parse_number("8'shFF").expect("parse");
+        assert!(v.is_signed());
+        assert_eq!(v.to_i64(), Some(-1));
+    }
+
+    #[test]
+    fn underscores_ignored() {
+        assert_eq!(
+            parse_number("16'b1010_1010_1010_1010").expect("parse").to_u64(),
+            Some(0xAAAA)
+        );
+        assert_eq!(parse_number("1_000").expect("parse").to_u64(), Some(1000));
+    }
+
+    #[test]
+    fn truncation_to_declared_width() {
+        // 4'hFF truncates to 4 bits.
+        assert_eq!(parse_number("4'hFF").expect("parse").to_u64(), Some(0xF));
+    }
+
+    #[test]
+    fn msb_x_extends() {
+        let v = parse_number("8'bx1").expect("parse");
+        assert_eq!(v.bit(0), Logic::One);
+        assert!(v.bit(7).is_unknown());
+    }
+
+    #[test]
+    fn decimal_x() {
+        let v = parse_number("4'dx").expect("parse");
+        assert!(v.bits().iter().all(|b| *b == Logic::X));
+        let v = parse_number("4'dz").expect("parse");
+        assert!(v.bits().iter().all(|b| *b == Logic::Z));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_number("").is_err());
+        assert!(parse_number("4'").is_err());
+        assert!(parse_number("0'd1").is_err());
+        assert!(parse_number("4'q10").is_err());
+        assert!(parse_number("4'b12").is_err());
+        assert!(parse_number("4'd1x").is_err());
+        assert!(parse_number("4's").is_err());
+    }
+}

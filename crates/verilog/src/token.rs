@@ -1,0 +1,290 @@
+//! Tokens produced by the [`Lexer`](crate::lexer::Lexer).
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or escaped identifier (`\foo `), with the name resolved.
+    Ident(String),
+    /// A system identifier such as `$display` (name excludes the `$`).
+    SysIdent(String),
+    /// A reserved keyword.
+    Keyword(Keyword),
+    /// An integer/based number literal, stored as raw text (e.g. `4'b10xz`).
+    Number(String),
+    /// A real literal such as `1.5` or `2e3`, stored as raw text.
+    Real(String),
+    /// A string literal with escapes *not* yet processed (text between quotes).
+    Str(String),
+    /// A punctuation or operator token.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword if this token is one.
+    pub fn as_keyword(&self) -> Option<Keyword> {
+        match self {
+            TokenKind::Keyword(k) => Some(*k),
+            _ => None,
+        }
+    }
+
+    /// Returns the punctuation if this token is one.
+    pub fn as_punct(&self) -> Option<Punct> {
+        match self {
+            TokenKind::Punct(p) => Some(*p),
+            _ => None,
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+macro_rules! keywords {
+    ($($variant:ident => $text:literal),+ $(,)?) => {
+        /// Verilog-2005 keywords recognised by the front-end.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum Keyword {
+            $(#[doc = $text] $variant,)+
+        }
+
+        impl Keyword {
+            /// Looks up a keyword from its source text.
+            #[allow(clippy::should_implement_trait)]
+            pub fn from_str(s: &str) -> Option<Keyword> {
+                match s {
+                    $($text => Some(Keyword::$variant),)+
+                    _ => None,
+                }
+            }
+
+            /// The canonical source text of the keyword.
+            pub fn as_str(self) -> &'static str {
+                match self {
+                    $(Keyword::$variant => $text,)+
+                }
+            }
+        }
+
+        impl fmt::Display for Keyword {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.as_str())
+            }
+        }
+    };
+}
+
+keywords! {
+    Module => "module",
+    Endmodule => "endmodule",
+    Macromodule => "macromodule",
+    Input => "input",
+    Output => "output",
+    Inout => "inout",
+    Wire => "wire",
+    Reg => "reg",
+    Integer => "integer",
+    Real => "real",
+    Time => "time",
+    Signed => "signed",
+    Parameter => "parameter",
+    Localparam => "localparam",
+    Defparam => "defparam",
+    Assign => "assign",
+    Always => "always",
+    Initial => "initial",
+    Begin => "begin",
+    End => "end",
+    If => "if",
+    Else => "else",
+    Case => "case",
+    Casez => "casez",
+    Casex => "casex",
+    Endcase => "endcase",
+    Default => "default",
+    For => "for",
+    While => "while",
+    Repeat => "repeat",
+    Forever => "forever",
+    Posedge => "posedge",
+    Negedge => "negedge",
+    Or => "or",
+    And => "and",
+    Not => "not",
+    Nand => "nand",
+    Nor => "nor",
+    Xor => "xor",
+    Xnor => "xnor",
+    Buf => "buf",
+    Function => "function",
+    Endfunction => "endfunction",
+    Task => "task",
+    Endtask => "endtask",
+    Generate => "generate",
+    Endgenerate => "endgenerate",
+    Genvar => "genvar",
+    Wait => "wait",
+    Disable => "disable",
+    Deassign => "deassign",
+    Force => "force",
+    Release => "release",
+    Fork => "fork",
+    Join => "join",
+    Supply0 => "supply0",
+    Supply1 => "supply1",
+    Tri => "tri",
+    Event => "event",
+    Specify => "specify",
+    Endspecify => "endspecify",
+    Primitive => "primitive",
+    Endprimitive => "endprimitive",
+    Table => "table",
+    Endtable => "endtable",
+    Automatic => "automatic",
+    Scalared => "scalared",
+    Vectored => "vectored",
+    Edge => "edge",
+    Cmos => "cmos",
+    Pulldown => "pulldown",
+    Pullup => "pullup",
+}
+
+macro_rules! puncts {
+    ($($variant:ident => $text:literal),+ $(,)?) => {
+        /// Operator and punctuation tokens.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum Punct {
+            $(#[doc = $text] $variant,)+
+        }
+
+        impl Punct {
+            /// The canonical source text of the punctuation.
+            pub fn as_str(self) -> &'static str {
+                match self {
+                    $(Punct::$variant => $text,)+
+                }
+            }
+        }
+
+        impl fmt::Display for Punct {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.as_str())
+            }
+        }
+    };
+}
+
+puncts! {
+    LParen => "(",
+    RParen => ")",
+    LBracket => "[",
+    RBracket => "]",
+    LBrace => "{",
+    RBrace => "}",
+    Semi => ";",
+    Comma => ",",
+    Dot => ".",
+    Colon => ":",
+    At => "@",
+    Hash => "#",
+    Question => "?",
+    Assign => "=",
+    PlusColon => "+:",
+    MinusColon => "-:",
+    Plus => "+",
+    Minus => "-",
+    Star => "*",
+    Power => "**",
+    Slash => "/",
+    Percent => "%",
+    Bang => "!",
+    Tilde => "~",
+    Amp => "&",
+    Pipe => "|",
+    Caret => "^",
+    TildeAmp => "~&",
+    TildePipe => "~|",
+    TildeCaret => "~^",
+    CaretTilde => "^~",
+    AmpAmp => "&&",
+    PipePipe => "||",
+    EqEq => "==",
+    NotEq => "!=",
+    CaseEq => "===",
+    CaseNotEq => "!==",
+    Lt => "<",
+    LtEq => "<=",
+    Gt => ">",
+    GtEq => ">=",
+    Shl => "<<",
+    Shr => ">>",
+    AShl => "<<<",
+    AShr => ">>>",
+    Arrow => "->",
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::SysIdent(s) => write!(f, "system identifier `${s}`"),
+            TokenKind::Keyword(k) => write!(f, "keyword `{k}`"),
+            TokenKind::Number(s) => write!(f, "number `{s}`"),
+            TokenKind::Real(s) => write!(f, "real `{s}`"),
+            TokenKind::Str(_) => write!(f, "string literal"),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [Keyword::Module, Keyword::Endmodule, Keyword::Posedge] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::from_str("notakeyword"), None);
+    }
+
+    #[test]
+    fn punct_text() {
+        assert_eq!(Punct::AShr.as_str(), ">>>");
+        assert_eq!(Punct::CaseEq.as_str(), "===");
+        assert_eq!(format!("{}", Punct::LtEq), "<=");
+    }
+
+    #[test]
+    fn token_kind_display() {
+        assert_eq!(
+            format!("{}", TokenKind::Ident("clk".into())),
+            "identifier `clk`"
+        );
+        assert_eq!(format!("{}", TokenKind::Eof), "end of input");
+    }
+
+    #[test]
+    fn token_kind_accessors() {
+        assert_eq!(
+            TokenKind::Keyword(Keyword::Module).as_keyword(),
+            Some(Keyword::Module)
+        );
+        assert_eq!(TokenKind::Punct(Punct::Semi).as_punct(), Some(Punct::Semi));
+        assert_eq!(TokenKind::Eof.as_keyword(), None);
+        assert_eq!(TokenKind::Eof.as_punct(), None);
+    }
+}

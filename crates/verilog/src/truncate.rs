@@ -1,0 +1,120 @@
+//! Completion truncation, mirroring the paper's §IV evaluation setup:
+//! "LLM-produced code completions ... are truncated at keywords `end` and
+//! `endmodule`".
+//!
+//! LLMs keep generating after the module closes (a new module, prose, more
+//! code), so the harness cuts the completion after the first `endmodule`
+//! token. If the completion never closes the module, an `endmodule` can be
+//! appended when assembling, matching how VGen salvages unterminated
+//! completions.
+
+use crate::lexer::Lexer;
+use crate::token::{Keyword, TokenKind};
+
+/// Cuts `completion` after the first `endmodule` token (inclusive).
+///
+/// Tokenisation is lossy: if the text stops lexing (e.g. an unterminated
+/// string), everything before the garbage is kept. Comments do not count —
+/// only a real `endmodule` token truncates.
+///
+/// ```
+/// use vgen_verilog::truncate::truncate_completion;
+/// let c = "assign y = a;\nendmodule\nmodule junk; endmodule";
+/// assert_eq!(truncate_completion(c), "assign y = a;\nendmodule");
+/// ```
+pub fn truncate_completion(completion: &str) -> &str {
+    let tokens = Lexer::new(completion).tokenize_lossy();
+    for t in &tokens {
+        if t.kind == TokenKind::Keyword(Keyword::Endmodule) {
+            return &completion[..t.span.end as usize];
+        }
+    }
+    completion
+}
+
+/// Joins a prompt and raw completion into a compilable source candidate.
+///
+/// The completion is truncated with [`truncate_completion`]; if the result
+/// still contains no `endmodule`, one is appended on its own line (the
+/// prompt always opens a module, so an unterminated completion would
+/// otherwise always fail to compile for a trivial reason).
+pub fn assemble_candidate(prompt: &str, completion: &str) -> String {
+    let body = truncate_completion(completion);
+    let mut out = String::with_capacity(prompt.len() + body.len() + 16);
+    out.push_str(prompt);
+    if !prompt.ends_with('\n') {
+        out.push('\n');
+    }
+    out.push_str(body);
+    let has_endmodule = Lexer::new(body)
+        .tokenize_lossy()
+        .iter()
+        .any(|t| t.kind == TokenKind::Keyword(Keyword::Endmodule));
+    if !has_endmodule {
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+        out.push_str("endmodule");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncates_after_first_endmodule() {
+        let c = "always @(a) y = a;\nendmodule\n// trailing prose\nmodule x;";
+        assert_eq!(truncate_completion(c), "always @(a) y = a;\nendmodule");
+    }
+
+    #[test]
+    fn keeps_text_without_endmodule() {
+        let c = "assign y = a;";
+        assert_eq!(truncate_completion(c), c);
+    }
+
+    #[test]
+    fn endmodule_in_comment_does_not_truncate() {
+        let c = "// endmodule in comment\nassign y = a;\nendmodule";
+        assert_eq!(truncate_completion(c), c);
+    }
+
+    #[test]
+    fn endmodule_in_identifier_does_not_truncate() {
+        let c = "assign endmodule_like = a;\nendmodule";
+        assert_eq!(truncate_completion(c), c);
+    }
+
+    #[test]
+    fn assemble_appends_missing_endmodule() {
+        let src = assemble_candidate("module m(input a, output y);", "assign y = a;");
+        assert!(src.ends_with("endmodule"));
+        assert!(crate::parser::syntax_check(&src).is_ok());
+    }
+
+    #[test]
+    fn assemble_does_not_duplicate_endmodule() {
+        let src =
+            assemble_candidate("module m(input a, output y);", "assign y = a;\nendmodule");
+        assert_eq!(src.matches("endmodule").count(), 1);
+        assert!(crate::parser::syntax_check(&src).is_ok());
+    }
+
+    #[test]
+    fn assemble_cuts_second_module() {
+        let src = assemble_candidate(
+            "module m(input a, output y);",
+            "assign y = a;\nendmodule\nmodule extra(input b); endmodule",
+        );
+        assert!(!src.contains("extra"));
+    }
+
+    #[test]
+    fn lossy_truncation_on_garbage() {
+        let c = "assign y = a; \"unterminated";
+        // No endmodule found before the lex error; text returned unchanged.
+        assert_eq!(truncate_completion(c), c);
+    }
+}

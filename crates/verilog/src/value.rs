@@ -1,0 +1,978 @@
+//! Four-state logic values (`0`, `1`, `x`, `z`) and bit-vectors.
+//!
+//! [`LogicVec`] is the value domain shared by the constant evaluator in this
+//! crate and the event-driven simulator in `vgen-sim`. Semantics follow
+//! IEEE 1364-2005: arithmetic with any unknown operand bit yields all-`x`,
+//! logical operators use three-valued truth tables, and `z` degrades to `x`
+//! when it participates in computation.
+
+#![allow(clippy::needless_range_loop)]
+
+use std::fmt;
+
+/// A single four-state logic value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown.
+    X,
+    /// High impedance.
+    Z,
+}
+
+impl Logic {
+    /// Converts a bool to `Zero`/`One`.
+    pub fn from_bool(b: bool) -> Logic {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// `true` for `X` or `Z`.
+    pub fn is_unknown(self) -> bool {
+        matches!(self, Logic::X | Logic::Z)
+    }
+
+    /// Returns `Some(bool)` for `Zero`/`One`, `None` otherwise.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Bitwise NOT; unknown maps to `X`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Bitwise AND with dominance: `0 & anything == 0`.
+    pub fn and(self, rhs: Logic) -> Logic {
+        match (self, rhs) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Bitwise OR with dominance: `1 | anything == 1`.
+    pub fn or(self, rhs: Logic) -> Logic {
+        match (self, rhs) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Bitwise XOR; unknown in, `X` out.
+    pub fn xor(self, rhs: Logic) -> Logic {
+        match (self.to_bool(), rhs.to_bool()) {
+            (Some(a), Some(b)) => Logic::from_bool(a ^ b),
+            _ => Logic::X,
+        }
+    }
+
+    /// The character used in literals and `%b` formatting.
+    pub fn to_char(self) -> char {
+        match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'x',
+            Logic::Z => 'z',
+        }
+    }
+
+    /// Parses one of `0 1 x X z Z ?` (`?` is `z`, as in casez literals).
+    pub fn from_char(c: char) -> Option<Logic> {
+        match c {
+            '0' => Some(Logic::Zero),
+            '1' => Some(Logic::One),
+            'x' | 'X' => Some(Logic::X),
+            'z' | 'Z' | '?' => Some(Logic::Z),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// A fixed-width four-state bit vector with a signedness flag.
+///
+/// Bit 0 is the least-significant bit. Width is always at least 1.
+///
+/// ```
+/// use vgen_verilog::value::LogicVec;
+/// let a = LogicVec::from_u64(5, 4);
+/// let b = LogicVec::from_u64(3, 4);
+/// assert_eq!(a.add(&b).to_u64(), Some(8));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LogicVec {
+    bits: Vec<Logic>,
+    signed: bool,
+}
+
+impl LogicVec {
+    /// An all-`x` vector of `width` bits (the reg power-on value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn filled(width: usize, value: Logic) -> Self {
+        assert!(width > 0, "logic vector width must be positive");
+        LogicVec {
+            bits: vec![value; width],
+            signed: false,
+        }
+    }
+
+    /// An all-`x` unsigned vector.
+    pub fn unknown(width: usize) -> Self {
+        Self::filled(width, Logic::X)
+    }
+
+    /// An all-zero unsigned vector.
+    pub fn zero(width: usize) -> Self {
+        Self::filled(width, Logic::Zero)
+    }
+
+    /// Builds from raw bits, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty.
+    pub fn from_bits(bits: Vec<Logic>, signed: bool) -> Self {
+        assert!(!bits.is_empty(), "logic vector width must be positive");
+        LogicVec { bits, signed }
+    }
+
+    /// Builds an unsigned vector of `width` bits from the low bits of `v`.
+    pub fn from_u64(v: u64, width: usize) -> Self {
+        assert!(width > 0, "logic vector width must be positive");
+        let bits = (0..width)
+            .map(|i| {
+                if i < 64 {
+                    Logic::from_bool((v >> i) & 1 == 1)
+                } else {
+                    Logic::Zero
+                }
+            })
+            .collect();
+        LogicVec {
+            bits,
+            signed: false,
+        }
+    }
+
+    /// Builds a signed vector of `width` bits from the two's-complement of `v`.
+    pub fn from_i64(v: i64, width: usize) -> Self {
+        let mut out = Self::from_u64(v as u64, width.max(1));
+        if width > 64 && v < 0 {
+            for b in out.bits.iter_mut().skip(64) {
+                *b = Logic::One;
+            }
+        }
+        out.signed = true;
+        out
+    }
+
+    /// Builds a 1-bit vector from a bool.
+    pub fn from_bool(b: bool) -> Self {
+        Self::from_u64(b as u64, 1)
+    }
+
+    /// Number of bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the vector is treated as two's-complement in arithmetic.
+    pub fn is_signed(&self) -> bool {
+        self.signed
+    }
+
+    /// Returns a copy with the signedness flag set to `signed`.
+    pub fn with_signed(mut self, signed: bool) -> Self {
+        self.signed = signed;
+        self
+    }
+
+    /// The bits, LSB first.
+    pub fn bits(&self) -> &[Logic] {
+        &self.bits
+    }
+
+    /// Bit `i` (LSB = 0), or `X` when out of range (Verilog out-of-bounds
+    /// select semantics).
+    pub fn bit(&self, i: usize) -> Logic {
+        self.bits.get(i).copied().unwrap_or(Logic::X)
+    }
+
+    /// Whether any bit is `x` or `z`.
+    pub fn has_unknown(&self) -> bool {
+        self.bits.iter().any(|b| b.is_unknown())
+    }
+
+    /// Interprets as unsigned; `None` if any bit is unknown or width > 64
+    /// with a set high bit.
+    pub fn to_u64(&self) -> Option<u64> {
+        let mut v = 0u64;
+        for (i, b) in self.bits.iter().enumerate() {
+            match b.to_bool() {
+                Some(true) if i >= 64 => return None,
+                Some(true) => v |= 1 << i,
+                Some(false) => {}
+                None => return None,
+            }
+        }
+        Some(v)
+    }
+
+    /// Interprets as two's-complement according to the sign flag.
+    pub fn to_i64(&self) -> Option<i64> {
+        if self.has_unknown() {
+            return None;
+        }
+        let w = self.width();
+        if !self.signed || self.bit(w - 1) == Logic::Zero {
+            return self.to_u64().map(|v| v as i64);
+        }
+        // Negative: sign-extend into 64 bits.
+        let mut v: i64 = -1;
+        for i in 0..w.min(64) {
+            match self.bit(i) {
+                Logic::One => v |= 1 << i,
+                Logic::Zero => v &= !(1 << i),
+                _ => return None,
+            }
+        }
+        Some(v)
+    }
+
+    /// Resizes to `width`, zero-, sign- or x-extending as appropriate.
+    ///
+    /// Extension bits are: the sign bit for signed vectors, `X` if the top
+    /// bit is `X`, `Z` if the top bit is `Z` (unsigned `x/z` literals extend
+    /// with their top state, per IEEE 1364 §3.5.1), else `0`.
+    pub fn resize(&self, width: usize) -> LogicVec {
+        assert!(width > 0, "logic vector width must be positive");
+        let mut bits = self.bits.clone();
+        if width < bits.len() {
+            bits.truncate(width);
+        } else {
+            let top = *bits.last().expect("non-empty");
+            let ext = match top {
+                Logic::X => Logic::X,
+                Logic::Z => Logic::Z,
+                _ if self.signed => top,
+                _ => Logic::Zero,
+            };
+            bits.resize(width, ext);
+        }
+        LogicVec {
+            bits,
+            signed: self.signed,
+        }
+    }
+
+    /// Truthiness for `if`/`while`/ternary conditions: `Some(true)` if any
+    /// bit is 1, `Some(false)` if all bits are 0, `None` (unknown) otherwise.
+    pub fn truthiness(&self) -> Option<bool> {
+        let mut any_unknown = false;
+        for b in &self.bits {
+            match b {
+                Logic::One => return Some(true),
+                Logic::Zero => {}
+                _ => any_unknown = true,
+            }
+        }
+        if any_unknown {
+            None
+        } else {
+            Some(false)
+        }
+    }
+
+    fn all_x(width: usize) -> LogicVec {
+        LogicVec::unknown(width.max(1))
+    }
+
+    /// Common width for a binary arithmetic/bitwise op (max of operands).
+    fn join_width(&self, rhs: &LogicVec) -> usize {
+        self.width().max(rhs.width())
+    }
+
+    fn both_signed(&self, rhs: &LogicVec) -> bool {
+        self.signed && rhs.signed
+    }
+
+    /// `self + rhs` at the joined width (result signed iff both signed).
+    pub fn add(&self, rhs: &LogicVec) -> LogicVec {
+        self.arith2(rhs, |a, b| a.wrapping_add(b))
+    }
+
+    /// `self - rhs`.
+    pub fn sub(&self, rhs: &LogicVec) -> LogicVec {
+        self.arith2(rhs, |a, b| a.wrapping_sub(b))
+    }
+
+    /// `self * rhs`.
+    pub fn mul(&self, rhs: &LogicVec) -> LogicVec {
+        self.arith2(rhs, |a, b| a.wrapping_mul(b))
+    }
+
+    /// `self / rhs`; division by zero yields all-`x` (per IEEE 1364).
+    pub fn div(&self, rhs: &LogicVec) -> LogicVec {
+        let w = self.join_width(rhs);
+        if rhs.to_u64() == Some(0) {
+            return Self::all_x(w);
+        }
+        if self.both_signed(rhs) {
+            match (self.to_i64(), rhs.to_i64()) {
+                (Some(a), Some(b)) if b != 0 => {
+                    LogicVec::from_i64(a.wrapping_div(b), w)
+                }
+                _ => Self::all_x(w),
+            }
+        } else {
+            self.arith2(rhs, |a, b| a.checked_div(b).unwrap_or(0))
+        }
+    }
+
+    /// `self % rhs`; modulo by zero yields all-`x`.
+    pub fn rem(&self, rhs: &LogicVec) -> LogicVec {
+        let w = self.join_width(rhs);
+        if rhs.to_u64() == Some(0) {
+            return Self::all_x(w);
+        }
+        if self.both_signed(rhs) {
+            match (self.to_i64(), rhs.to_i64()) {
+                (Some(a), Some(b)) if b != 0 => {
+                    LogicVec::from_i64(a.wrapping_rem(b), w)
+                }
+                _ => Self::all_x(w),
+            }
+        } else {
+            self.arith2(rhs, |a, b| a.checked_rem(b).unwrap_or(0))
+        }
+    }
+
+    /// `self ** rhs` (unsigned exponentiation, wrapping).
+    pub fn pow(&self, rhs: &LogicVec) -> LogicVec {
+        let w = self.join_width(rhs);
+        match (self.to_u64(), rhs.to_u64()) {
+            (Some(a), Some(b)) => {
+                let mut acc: u64 = 1;
+                for _ in 0..b.min(64) {
+                    acc = acc.wrapping_mul(a);
+                }
+                LogicVec::from_u64(acc, w).with_signed(self.both_signed(rhs))
+            }
+            _ => Self::all_x(w),
+        }
+    }
+
+    fn arith2(&self, rhs: &LogicVec, f: impl Fn(u64, u64) -> u64) -> LogicVec {
+        let w = self.join_width(rhs);
+        let signed = self.both_signed(rhs);
+        if signed {
+            match (
+                self.resize(w).with_signed(true).to_i64(),
+                rhs.resize(w).with_signed(true).to_i64(),
+            ) {
+                (Some(a), Some(b)) => {
+                    return LogicVec::from_i64(f(a as u64, b as u64) as i64, w)
+                }
+                _ => return Self::all_x(w),
+            }
+        }
+        match (self.resize(w).to_u64(), rhs.resize(w).to_u64()) {
+            (Some(a), Some(b)) => LogicVec::from_u64(f(a, b), w),
+            _ => Self::all_x(w),
+        }
+    }
+
+    /// Unary minus (two's-complement negation).
+    pub fn neg(&self) -> LogicVec {
+        LogicVec::zero(self.width())
+            .with_signed(self.signed)
+            .sub(self)
+            .with_signed(self.signed)
+    }
+
+    /// Bitwise NOT.
+    pub fn bit_not(&self) -> LogicVec {
+        LogicVec {
+            bits: self.bits.iter().map(|b| b.not()).collect(),
+            signed: self.signed,
+        }
+    }
+
+    fn bitwise2(&self, rhs: &LogicVec, f: impl Fn(Logic, Logic) -> Logic) -> LogicVec {
+        let w = self.join_width(rhs);
+        let a = self.resize(w);
+        let b = rhs.resize(w);
+        LogicVec {
+            bits: (0..w).map(|i| f(a.bit(i), b.bit(i))).collect(),
+            signed: self.both_signed(rhs),
+        }
+    }
+
+    /// Bitwise AND.
+    pub fn bit_and(&self, rhs: &LogicVec) -> LogicVec {
+        self.bitwise2(rhs, Logic::and)
+    }
+
+    /// Bitwise OR.
+    pub fn bit_or(&self, rhs: &LogicVec) -> LogicVec {
+        self.bitwise2(rhs, Logic::or)
+    }
+
+    /// Bitwise XOR.
+    pub fn bit_xor(&self, rhs: &LogicVec) -> LogicVec {
+        self.bitwise2(rhs, Logic::xor)
+    }
+
+    /// Bitwise XNOR.
+    pub fn bit_xnor(&self, rhs: &LogicVec) -> LogicVec {
+        self.bitwise2(rhs, |a, b| a.xor(b).not())
+    }
+
+    /// Reduction AND over all bits (1-bit result).
+    pub fn reduce_and(&self) -> Logic {
+        self.bits.iter().copied().fold(Logic::One, Logic::and)
+    }
+
+    /// Reduction OR over all bits.
+    pub fn reduce_or(&self) -> Logic {
+        self.bits.iter().copied().fold(Logic::Zero, Logic::or)
+    }
+
+    /// Reduction XOR over all bits.
+    pub fn reduce_xor(&self) -> Logic {
+        self.bits.iter().copied().fold(Logic::Zero, Logic::xor)
+    }
+
+    /// Logical shift left by `amount` (zero fill); unknown shift gives all-x.
+    pub fn shl(&self, amount: &LogicVec) -> LogicVec {
+        let w = self.width();
+        let Some(n) = amount.to_u64() else {
+            return Self::all_x(w);
+        };
+        let n = n.min(w as u64) as usize;
+        let mut bits = vec![Logic::Zero; w];
+        for i in n..w {
+            bits[i] = self.bit(i - n);
+        }
+        LogicVec {
+            bits,
+            signed: self.signed,
+        }
+    }
+
+    /// Logical shift right by `amount` (zero fill).
+    pub fn shr(&self, amount: &LogicVec) -> LogicVec {
+        let w = self.width();
+        let Some(n) = amount.to_u64() else {
+            return Self::all_x(w);
+        };
+        let n = n.min(w as u64) as usize;
+        let mut bits = vec![Logic::Zero; w];
+        for i in 0..w - n {
+            bits[i] = self.bit(i + n);
+        }
+        LogicVec {
+            bits,
+            signed: self.signed,
+        }
+    }
+
+    /// Arithmetic shift right: sign fill when signed, zero fill otherwise.
+    pub fn ashr(&self, amount: &LogicVec) -> LogicVec {
+        if !self.signed {
+            return self.shr(amount);
+        }
+        let w = self.width();
+        let Some(n) = amount.to_u64() else {
+            return Self::all_x(w);
+        };
+        let n = n.min(w as u64) as usize;
+        let fill = self.bit(w - 1);
+        let mut bits = vec![fill; w];
+        for i in 0..w - n {
+            bits[i] = self.bit(i + n);
+        }
+        LogicVec {
+            bits,
+            signed: true,
+        }
+    }
+
+    fn cmp_values(&self, rhs: &LogicVec) -> Option<std::cmp::Ordering> {
+        if self.both_signed(rhs) {
+            Some(self.to_i64()?.cmp(&rhs.to_i64()?))
+        } else {
+            Some(self.to_u64()?.cmp(&rhs.to_u64()?))
+        }
+    }
+
+    fn logic1(v: Option<bool>) -> LogicVec {
+        match v {
+            Some(b) => LogicVec::from_bool(b),
+            None => LogicVec::unknown(1),
+        }
+    }
+
+    /// `==`: 1-bit result, `x` if any operand bit is unknown.
+    pub fn eq_logic(&self, rhs: &LogicVec) -> LogicVec {
+        let w = self.join_width(rhs);
+        let a = self.resize(w);
+        let b = rhs.resize(w);
+        if a.has_unknown() || b.has_unknown() {
+            return LogicVec::unknown(1);
+        }
+        Self::logic1(Some(a.bits == b.bits))
+    }
+
+    /// `!=`.
+    pub fn ne_logic(&self, rhs: &LogicVec) -> LogicVec {
+        self.eq_logic(rhs).logic_not()
+    }
+
+    /// `===`: exact 4-state match, always 0/1.
+    pub fn case_eq(&self, rhs: &LogicVec) -> LogicVec {
+        let w = self.join_width(rhs);
+        LogicVec::from_bool(self.resize(w).bits == rhs.resize(w).bits)
+    }
+
+    /// `<`.
+    pub fn lt(&self, rhs: &LogicVec) -> LogicVec {
+        Self::logic1(self.cmp_values(rhs).map(|o| o.is_lt()))
+    }
+
+    /// `<=`.
+    pub fn le(&self, rhs: &LogicVec) -> LogicVec {
+        Self::logic1(self.cmp_values(rhs).map(|o| o.is_le()))
+    }
+
+    /// `>`.
+    pub fn gt(&self, rhs: &LogicVec) -> LogicVec {
+        Self::logic1(self.cmp_values(rhs).map(|o| o.is_gt()))
+    }
+
+    /// `>=`.
+    pub fn ge(&self, rhs: &LogicVec) -> LogicVec {
+        Self::logic1(self.cmp_values(rhs).map(|o| o.is_ge()))
+    }
+
+    /// Logical NOT (`!`): 1-bit.
+    pub fn logic_not(&self) -> LogicVec {
+        Self::logic1(self.truthiness().map(|b| !b))
+    }
+
+    /// Logical AND (`&&`) with three-valued truth.
+    pub fn logic_and(&self, rhs: &LogicVec) -> LogicVec {
+        match (self.truthiness(), rhs.truthiness()) {
+            (Some(false), _) | (_, Some(false)) => LogicVec::from_bool(false),
+            (Some(true), Some(true)) => LogicVec::from_bool(true),
+            _ => LogicVec::unknown(1),
+        }
+    }
+
+    /// Logical OR (`||`) with three-valued truth.
+    pub fn logic_or(&self, rhs: &LogicVec) -> LogicVec {
+        match (self.truthiness(), rhs.truthiness()) {
+            (Some(true), _) | (_, Some(true)) => LogicVec::from_bool(true),
+            (Some(false), Some(false)) => LogicVec::from_bool(false),
+            _ => LogicVec::unknown(1),
+        }
+    }
+
+    /// Concatenation `{self, rhs}` — `self` supplies the *high* bits.
+    pub fn concat(&self, rhs: &LogicVec) -> LogicVec {
+        let mut bits = rhs.bits.clone();
+        bits.extend_from_slice(&self.bits);
+        LogicVec {
+            bits,
+            signed: false,
+        }
+    }
+
+    /// Replication `{count{self}}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn replicate(&self, count: usize) -> LogicVec {
+        assert!(count > 0, "replication count must be positive");
+        let mut bits = Vec::with_capacity(self.width() * count);
+        for _ in 0..count {
+            bits.extend_from_slice(&self.bits);
+        }
+        LogicVec {
+            bits,
+            signed: false,
+        }
+    }
+
+    /// Part-select `[hi:lo]` in *bit-index* space (after range normalisation);
+    /// out-of-range bits read as `x`.
+    pub fn select(&self, hi: usize, lo: usize) -> LogicVec {
+        assert!(hi >= lo, "part-select hi must be >= lo");
+        LogicVec {
+            bits: (lo..=hi).map(|i| self.bit(i)).collect(),
+            signed: false,
+        }
+    }
+
+    /// Matches against a casez/casex pattern: pattern `z`/`?` bits (and for
+    /// casex also `x` bits) are wildcards.
+    pub fn case_matches(&self, pattern: &LogicVec, x_is_wild: bool) -> bool {
+        let w = self.join_width(pattern);
+        let v = self.resize(w);
+        let p = pattern.resize(w);
+        (0..w).all(|i| {
+            let pb = p.bit(i);
+            let vb = v.bit(i);
+            if pb == Logic::Z || vb == Logic::Z {
+                return true;
+            }
+            if x_is_wild && (pb == Logic::X || vb == Logic::X) {
+                return true;
+            }
+            pb == vb
+        })
+    }
+
+    /// Renders as a binary string, MSB first (for `%b`).
+    pub fn to_binary_string(&self) -> String {
+        self.bits.iter().rev().map(|b| b.to_char()).collect()
+    }
+
+    /// Renders for `%d`: the decimal value, or `x`/`z` when unknown.
+    pub fn to_decimal_string(&self) -> String {
+        if let Some(v) = if self.signed {
+            self.to_i64().map(|v| v.to_string())
+        } else {
+            self.to_u64().map(|v| v.to_string())
+        } {
+            return v;
+        }
+        if self.bits.iter().all(|b| *b == Logic::Z) {
+            "z".to_string()
+        } else {
+            "x".to_string()
+        }
+    }
+
+    /// Renders for `%h`: hex digits MSB first, `x`/`z` per nibble when
+    /// uniformly unknown, `X`/`Z` when partially unknown.
+    pub fn to_hex_string(&self) -> String {
+        let nibbles = self.width().div_ceil(4);
+        let mut out = String::with_capacity(nibbles);
+        for n in (0..nibbles).rev() {
+            let bits: Vec<Logic> = (0..4)
+                .map(|i| {
+                    let idx = n * 4 + i;
+                    if idx < self.width() {
+                        self.bit(idx)
+                    } else {
+                        Logic::Zero
+                    }
+                })
+                .collect();
+            if bits.iter().all(|b| !b.is_unknown()) {
+                let mut v = 0u8;
+                for (i, b) in bits.iter().enumerate() {
+                    if *b == Logic::One {
+                        v |= 1 << i;
+                    }
+                }
+                out.push(char::from_digit(v as u32, 16).expect("nibble"));
+            } else if bits.iter().all(|b| *b == Logic::X) {
+                out.push('x');
+            } else if bits.iter().all(|b| *b == Logic::Z) {
+                out.push('z');
+            } else if bits.contains(&Logic::X) {
+                out.push('X');
+            } else {
+                out.push('Z');
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for LogicVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'b{}", self.width(), self.to_binary_string())
+    }
+}
+
+impl fmt::Binary for LogicVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_binary_string())
+    }
+}
+
+impl fmt::LowerHex for LogicVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(val: u64, w: usize) -> LogicVec {
+        LogicVec::from_u64(val, w)
+    }
+
+    #[test]
+    fn logic_tables() {
+        use Logic::*;
+        assert_eq!(Zero.and(X), Zero);
+        assert_eq!(One.and(X), X);
+        assert_eq!(One.or(X), One);
+        assert_eq!(Zero.or(Z), X);
+        assert_eq!(One.xor(One), Zero);
+        assert_eq!(One.xor(Z), X);
+        assert_eq!(Z.not(), X);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        for val in [0u64, 1, 5, 255, 4096, u32::MAX as u64] {
+            assert_eq!(v(val, 64).to_u64(), Some(val));
+        }
+    }
+
+    #[test]
+    fn i64_negative_round_trip() {
+        let x = LogicVec::from_i64(-5, 8);
+        assert_eq!(x.to_i64(), Some(-5));
+        assert_eq!(x.to_u64(), Some(0xFB));
+    }
+
+    #[test]
+    fn add_wraps_at_width() {
+        assert_eq!(v(15, 4).add(&v(1, 4)).to_u64(), Some(0));
+        assert_eq!(v(7, 4).add(&v(8, 4)).to_u64(), Some(15));
+    }
+
+    #[test]
+    fn sub_wraps() {
+        assert_eq!(v(0, 4).sub(&v(1, 4)).to_u64(), Some(15));
+    }
+
+    #[test]
+    fn arithmetic_with_x_poisons() {
+        let x = LogicVec::unknown(4);
+        assert!(v(3, 4).add(&x).has_unknown());
+        assert!(x.mul(&v(2, 4)).has_unknown());
+    }
+
+    #[test]
+    fn div_by_zero_is_x() {
+        assert!(v(8, 4).div(&v(0, 4)).has_unknown());
+        assert!(v(8, 4).rem(&v(0, 4)).has_unknown());
+        assert_eq!(v(9, 4).div(&v(2, 4)).to_u64(), Some(4));
+        assert_eq!(v(9, 4).rem(&v(2, 4)).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn signed_division_truncates_toward_zero() {
+        let a = LogicVec::from_i64(-7, 8);
+        let b = LogicVec::from_i64(2, 8);
+        assert_eq!(a.div(&b).to_i64(), Some(-3));
+        assert_eq!(a.rem(&b).to_i64(), Some(-1));
+    }
+
+    #[test]
+    fn signed_overflow_detect_via_bits() {
+        // 127 + 1 wraps to -128 in 8-bit signed.
+        let a = LogicVec::from_i64(127, 8);
+        let b = LogicVec::from_i64(1, 8);
+        assert_eq!(a.add(&b).to_i64(), Some(-128));
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        assert_eq!(v(0b1100, 4).bit_and(&v(0b1010, 4)).to_u64(), Some(0b1000));
+        assert_eq!(v(0b1100, 4).bit_or(&v(0b1010, 4)).to_u64(), Some(0b1110));
+        assert_eq!(v(0b1100, 4).bit_xor(&v(0b1010, 4)).to_u64(), Some(0b0110));
+        assert_eq!(v(0b1100, 4).bit_not().to_u64(), Some(0b0011));
+        assert_eq!(v(0b1100, 4).bit_xnor(&v(0b1010, 4)).to_u64(), Some(0b1001));
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!(v(0b1111, 4).reduce_and(), Logic::One);
+        assert_eq!(v(0b1101, 4).reduce_and(), Logic::Zero);
+        assert_eq!(v(0, 4).reduce_or(), Logic::Zero);
+        assert_eq!(v(0b0100, 4).reduce_or(), Logic::One);
+        assert_eq!(v(0b0111, 4).reduce_xor(), Logic::One);
+        assert_eq!(v(0b0110, 4).reduce_xor(), Logic::Zero);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(v(0b0011, 4).shl(&v(2, 3)).to_u64(), Some(0b1100));
+        assert_eq!(v(0b1100, 4).shr(&v(2, 3)).to_u64(), Some(0b0011));
+        // Shift past width clears everything.
+        assert_eq!(v(0b1111, 4).shl(&v(9, 4)).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn arithmetic_shift_right_sign_fills() {
+        let neg = LogicVec::from_i64(-8, 8); // 0xF8
+        assert_eq!(neg.ashr(&v(2, 3)).to_i64(), Some(-2));
+        // Unsigned >>> behaves like >>.
+        assert_eq!(v(0x80, 8).ashr(&v(4, 3)).to_u64(), Some(0x08));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(v(3, 4).lt(&v(5, 4)).to_u64(), Some(1));
+        assert_eq!(v(5, 4).le(&v(5, 4)).to_u64(), Some(1));
+        assert_eq!(v(6, 4).gt(&v(5, 4)).to_u64(), Some(1));
+        assert_eq!(v(5, 4).ge(&v(6, 4)).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn signed_comparison() {
+        let a = LogicVec::from_i64(-1, 4);
+        let b = LogicVec::from_i64(1, 4);
+        assert_eq!(a.lt(&b).to_u64(), Some(1));
+        // Same bits unsigned: 15 > 1.
+        let au = a.clone().with_signed(false);
+        let bu = b.clone().with_signed(false);
+        assert_eq!(au.lt(&bu).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn equality_with_x_is_x() {
+        let x = LogicVec::unknown(4);
+        assert!(v(3, 4).eq_logic(&x).has_unknown());
+        assert_eq!(v(3, 4).eq_logic(&v(3, 4)).to_u64(), Some(1));
+        assert_eq!(v(3, 4).ne_logic(&v(4, 4)).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn case_equality_is_two_state() {
+        let x = LogicVec::unknown(4);
+        assert_eq!(x.case_eq(&x).to_u64(), Some(1));
+        assert_eq!(x.case_eq(&v(3, 4)).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn logical_ops_three_valued() {
+        let x = LogicVec::unknown(1);
+        let t = LogicVec::from_bool(true);
+        let f = LogicVec::from_bool(false);
+        assert_eq!(f.logic_and(&x).to_u64(), Some(0));
+        assert!(t.logic_and(&x).has_unknown());
+        assert_eq!(t.logic_or(&x).to_u64(), Some(1));
+        assert!(f.logic_or(&x).has_unknown());
+        assert_eq!(t.logic_not().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn concat_order_msb_from_lhs() {
+        // {2'b10, 2'b01} == 4'b1001
+        let c = v(0b10, 2).concat(&v(0b01, 2));
+        assert_eq!(c.to_u64(), Some(0b1001));
+        assert_eq!(c.width(), 4);
+    }
+
+    #[test]
+    fn replication() {
+        let r = v(0b10, 2).replicate(3);
+        assert_eq!(r.to_u64(), Some(0b101010));
+        assert_eq!(r.width(), 6);
+    }
+
+    #[test]
+    fn part_select() {
+        let val = v(0b1101_0110, 8);
+        assert_eq!(val.select(7, 4).to_u64(), Some(0b1101));
+        assert_eq!(val.select(3, 0).to_u64(), Some(0b0110));
+        // Out-of-range reads x.
+        assert!(val.select(9, 8).has_unknown());
+    }
+
+    #[test]
+    fn resize_behaviour() {
+        assert_eq!(v(0b11, 2).resize(4).to_u64(), Some(0b0011));
+        let s = LogicVec::from_i64(-2, 4);
+        assert_eq!(s.resize(8).to_i64(), Some(-2));
+        assert_eq!(v(0b1111, 4).resize(2).to_u64(), Some(0b11));
+        // x extends with x.
+        assert!(LogicVec::unknown(2).resize(4).bits()[3].is_unknown());
+    }
+
+    #[test]
+    fn casez_wildcards() {
+        // pattern 3'b1?? matches anything with bit2 == 1
+        let pattern = LogicVec::from_bits(
+            vec![Logic::Z, Logic::Z, Logic::One],
+            false,
+        );
+        assert!(v(0b100, 3).case_matches(&pattern, false));
+        assert!(v(0b111, 3).case_matches(&pattern, false));
+        assert!(!v(0b011, 3).case_matches(&pattern, false));
+    }
+
+    #[test]
+    fn casex_treats_x_wild() {
+        let pattern = LogicVec::from_bits(
+            vec![Logic::X, Logic::One],
+            false,
+        );
+        assert!(v(0b10, 2).case_matches(&pattern, true));
+        assert!(!v(0b10, 2).case_matches(&pattern, false));
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(v(0b1010, 4).to_binary_string(), "1010");
+        assert_eq!(v(255, 8).to_decimal_string(), "255");
+        assert_eq!(LogicVec::from_i64(-3, 8).to_decimal_string(), "-3");
+        assert_eq!(v(0xAB, 8).to_hex_string(), "ab");
+        assert_eq!(LogicVec::unknown(8).to_hex_string(), "xx");
+        assert_eq!(LogicVec::unknown(8).to_decimal_string(), "x");
+        assert_eq!(format!("{}", v(5, 4)), "4'b0101");
+    }
+
+    #[test]
+    fn truthiness() {
+        assert_eq!(v(0, 4).truthiness(), Some(false));
+        assert_eq!(v(2, 4).truthiness(), Some(true));
+        assert_eq!(LogicVec::unknown(4).truthiness(), None);
+        // 1 anywhere wins over x.
+        let mixed = LogicVec::from_bits(vec![Logic::X, Logic::One], false);
+        assert_eq!(mixed.truthiness(), Some(true));
+    }
+
+    #[test]
+    fn neg_two_complement() {
+        assert_eq!(v(1, 4).neg().to_u64(), Some(15));
+        assert_eq!(LogicVec::from_i64(-4, 8).neg().to_i64(), Some(4));
+    }
+}

@@ -1,0 +1,40 @@
+//! A reduced end-to-end benchmark sweep: evaluate three model rows over a
+//! small grid and print Table III/IV-style results plus the headline
+//! comparison (use the `vgen-bench` binaries for the full-size tables).
+//!
+//! Run with `cargo run --release --example benchmark_sweep`.
+
+use vgen_core::experiments::evaluate_model;
+use vgen_core::report::{render_table3, render_table4, render_headline, headline_stats};
+use vgen_core::sweep::EvalConfig;
+use vgen_corpus::CorpusSource;
+use vgen_lm::{ModelFamily, ModelId, Tuning};
+use vgen_problems::PromptLevel;
+use vgen_sim::SimConfig;
+
+fn main() {
+    let cfg = EvalConfig {
+        temperatures: vec![0.1, 0.5],
+        ns: vec![10],
+        levels: PromptLevel::ALL.to_vec(),
+        problem_ids: (1..=17).collect(),
+        sim: SimConfig::default(),
+    };
+    let models = [
+        ModelId::new(ModelFamily::Megatron355M, Tuning::FineTuned),
+        ModelId::new(ModelFamily::CodeGen16B, Tuning::Pretrained),
+        ModelId::new(ModelFamily::CodeGen16B, Tuning::FineTuned),
+        ModelId::new(ModelFamily::CodeDavinci002, Tuning::Pretrained),
+    ];
+    let rows: Vec<_> = models
+        .into_iter()
+        .map(|m| {
+            eprintln!("evaluating {m} ...");
+            evaluate_model(m, &cfg, CorpusSource::GithubOnly, 1234)
+        })
+        .collect();
+
+    println!("{}", render_table3(&rows, 10));
+    println!("{}", render_table4(&rows, 10));
+    println!("{}", render_headline(&headline_stats(&rows, 10)));
+}

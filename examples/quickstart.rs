@@ -1,0 +1,46 @@
+//! Quickstart: check an LLM-style completion against a benchmark problem.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use vgen_core::check::{check_completion, CheckOutcome};
+use vgen_problems::{problem, PromptLevel};
+use vgen_sim::SimConfig;
+
+fn main() {
+    // Problem 6: the 1-to-12 counter from the paper's Fig. 3.
+    let counter = problem(6).expect("problem 6 is in the catalog");
+    println!("=== Prompt (High detail) ===\n{}", counter.prompt(PromptLevel::High));
+
+    // A correct completion (Fig. 3b).
+    let good = "\
+always @(posedge clk) begin
+  if (reset) q <= 4'd1;
+  else begin
+    if (q == 4'd12) q <= 4'd1;
+    else q <= q + 4'd1;
+  end
+end
+endmodule
+";
+    // An incorrect completion (Fig. 3c): the counter never wraps at 12.
+    let bad = "\
+always @(posedge clk) begin
+  if (reset) q <= 4'd1;
+  else begin
+    q <= q + 4'd1;
+  end
+end
+endmodule
+";
+
+    for (label, completion) in [("Fig 3b (correct)", good), ("Fig 3c (buggy)", bad)] {
+        let result = check_completion(counter, PromptLevel::High, completion, SimConfig::default());
+        let verdict = match &result.outcome {
+            CheckOutcome::Pass => "PASSES the testbench".to_string(),
+            CheckOutcome::FunctionalFail => "compiles but FAILS the testbench".to_string(),
+            CheckOutcome::SimulationFail(m) => format!("simulation failed: {m}"),
+            CheckOutcome::CompileFail(m) => format!("does not compile: {m}"),
+        };
+        println!("{label}: {verdict}");
+    }
+}

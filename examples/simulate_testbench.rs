@@ -1,0 +1,57 @@
+//! Drive the event-driven simulator directly: build a small design with a
+//! testbench, run it, and inspect `$monitor` output — the substrate that
+//! replaces Icarus Verilog in the evaluation pipeline.
+//!
+//! Run with `cargo run --example simulate_testbench`.
+
+use vgen_sim::{simulate, SimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let src = r#"
+// Device under test: the ABRO FSM (paper Fig. 4 / Problem 17).
+module abro(input clk, input reset, input a, input b, output z);
+parameter IDLE = 0, SA = 1, SB = 2, SAB = 3;
+reg [1:0] cur_state, next_state;
+always @(posedge clk or posedge reset) begin
+  if (reset) cur_state <= IDLE;
+  else cur_state <= next_state;
+end
+always @(*) begin
+  case (cur_state)
+    IDLE: begin
+      if (a && b) next_state = SAB;
+      else if (a) next_state = SA;
+      else if (b) next_state = SB;
+      else next_state = IDLE;
+    end
+    SA: next_state = b ? SAB : SA;
+    SB: next_state = a ? SAB : SB;
+    default: next_state = IDLE;
+  endcase
+end
+assign z = (cur_state == SAB);
+endmodule
+
+// Stimulus: a then b, then both at once.
+module tb;
+  reg clk, reset, a, b;
+  wire z;
+  abro dut(.clk(clk), .reset(reset), .a(a), .b(b), .z(z));
+  always #5 clk = ~clk;
+  initial begin
+    $monitor("t=%0t a=%b b=%b z=%b", $time, a, b, z);
+    clk = 0; reset = 1; a = 0; b = 0;
+    #12 reset = 0;
+    a = 1;       @(posedge clk); #1;
+    a = 0; b = 1; @(posedge clk); #1;
+    a = 0; b = 0; @(posedge clk); #1;
+    a = 1; b = 1; @(posedge clk); #1;
+    $finish;
+  end
+endmodule
+"#;
+    let out = simulate(src, Some("tb"), SimConfig::default())?;
+    println!("--- simulator output ---\n{}", out.stdout);
+    println!("stopped at t={} because {:?} after {} VM steps", out.time, out.reason, out.steps);
+    Ok(())
+}

@@ -1,0 +1,236 @@
+//! The `vgen` command-line tool: compile, simulate, synthesize and evaluate
+//! Verilog files with the VGen-RS toolchain.
+//!
+//! ```text
+//! vgen check <file.v>                    syntax + elaboration check
+//! vgen sim <file.v> [--top M] [--vcd F]  run the event-driven simulator
+//! vgen synth <file.v>                    synthesize and print a summary
+//! vgen problems                          list the 17 benchmark problems
+//! vgen prompt <id> [--level L|M|H]       print a problem's prompt
+//! vgen eval <file.v> --problem <id>      score a candidate DUT
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest: Vec<&String> = it.collect();
+    let result = match cmd.as_str() {
+        "check" => cmd_check(&rest),
+        "sim" => cmd_sim(&rest),
+        "synth" => cmd_synth(&rest),
+        "problems" => cmd_problems(),
+        "prompt" => cmd_prompt(&rest),
+        "eval" => cmd_eval(&rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+vgen — the VGen-RS Verilog toolchain
+
+USAGE:
+  vgen check <file.v>                     syntax + elaboration check
+  vgen sim <file.v> [--top M] [--vcd F] [--max-time N]
+  vgen synth <file.v>                     synthesize, print netlist summary
+  vgen problems                           list the benchmark problems
+  vgen prompt <id> [--level L|M|H]        print a problem prompt
+  vgen eval <file.v> --problem <id>       score a candidate DUT source
+";
+
+fn flag_value<'a>(rest: &'a [&String], name: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| *a == name)
+        .and_then(|i| rest.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn positional<'a>(rest: &'a [&String]) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in rest.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            // All our flags take a value.
+            skip = rest.get(i + 1).is_some();
+            continue;
+        }
+        out.push(a.as_str());
+    }
+    out
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn cmd_check(rest: &[&String]) -> Result<(), String> {
+    let pos = positional(rest);
+    let path = pos.first().ok_or("usage: vgen check <file.v>")?;
+    let src = read_file(path)?;
+    let file = vgen::verilog::parse(&src).map_err(|e| e.render(&src))?;
+    for m in &file.modules {
+        vgen::sim::elab::elaborate(&file, &m.name)
+            .map_err(|e| format!("module `{}`: {e}", m.name))?;
+        println!("module `{}`: OK", m.name);
+    }
+    Ok(())
+}
+
+fn cmd_sim(rest: &[&String]) -> Result<(), String> {
+    let pos = positional(rest);
+    let path = pos.first().ok_or("usage: vgen sim <file.v> [--top M]")?;
+    let src = read_file(path)?;
+    let top = flag_value(rest, "--top");
+    let max_time: u64 = flag_value(rest, "--max-time")
+        .map(|v| v.parse().map_err(|_| "bad --max-time"))
+        .transpose()?
+        .unwrap_or(1_000_000);
+    let config = vgen::sim::SimConfig {
+        max_time,
+        ..Default::default()
+    };
+    let out = vgen::sim::simulate(&src, top, config).map_err(|e| e.to_string())?;
+    print!("{}", out.stdout);
+    eprintln!("[{} @ t={} after {} steps]", reason_str(&out.reason), out.time, out.steps);
+    if let Some(vcd_path) = flag_value(rest, "--vcd") {
+        match &out.vcd {
+            Some(text) => {
+                std::fs::write(vcd_path, text)
+                    .map_err(|e| format!("cannot write `{vcd_path}`: {e}"))?;
+                eprintln!("[wrote {vcd_path}]");
+            }
+            None => eprintln!("[no $dumpvars executed; VCD not written]"),
+        }
+    }
+    Ok(())
+}
+
+fn reason_str(r: &vgen::sim::StopReason) -> String {
+    use vgen::sim::StopReason::*;
+    match r {
+        Finish => "$finish".into(),
+        Stop => "$stop".into(),
+        Quiescent => "event queue empty".into(),
+        TimeLimit => "time limit".into(),
+        StepBudget => "step budget exhausted (hung?)".into(),
+        RuntimeError(m) => format!("runtime error: {m}"),
+    }
+}
+
+fn cmd_synth(rest: &[&String]) -> Result<(), String> {
+    let pos = positional(rest);
+    let path = pos.first().ok_or("usage: vgen synth <file.v>")?;
+    let src = read_file(path)?;
+    let result = vgen::synth::synthesize_source(&src).map_err(|e| e.to_string())?;
+    println!("{}", result.netlist.summary());
+    for w in &result.warnings {
+        println!("warning: {}", w.message);
+    }
+    Ok(())
+}
+
+fn cmd_problems() -> Result<(), String> {
+    println!("Paper benchmark (Table II):");
+    for p in vgen::problems::problems() {
+        println!("{:>2}  {:<12}  {}", p.id, p.difficulty.to_string(), p.name);
+    }
+    println!("\nExtended set (held out, not in the paper):");
+    for p in vgen::problems::extended_problems() {
+        println!("{:>2}  {:<12}  {}", p.id, p.difficulty.to_string(), p.name);
+    }
+    Ok(())
+}
+
+fn parse_level(s: Option<&str>) -> Result<vgen::problems::PromptLevel, String> {
+    use vgen::problems::PromptLevel::*;
+    match s.unwrap_or("M") {
+        "L" | "l" | "low" => Ok(Low),
+        "M" | "m" | "medium" => Ok(Medium),
+        "H" | "h" | "high" => Ok(High),
+        other => Err(format!("bad level `{other}` (use L, M or H)")),
+    }
+}
+
+fn cmd_prompt(rest: &[&String]) -> Result<(), String> {
+    let pos = positional(rest);
+    let id: u8 = pos
+        .first()
+        .ok_or("usage: vgen prompt <id> [--level L|M|H]")?
+        .parse()
+        .map_err(|_| "problem id must be 1-17")?;
+    let level = parse_level(flag_value(rest, "--level"))?;
+    let p = vgen::problems::problem(id).ok_or("problem id must be 1-17")?;
+    print!("{}", p.prompt(level));
+    Ok(())
+}
+
+fn cmd_eval(rest: &[&String]) -> Result<(), String> {
+    let pos = positional(rest);
+    let path = pos
+        .first()
+        .ok_or("usage: vgen eval <file.v> --problem <id>")?;
+    let id: u8 = flag_value(rest, "--problem")
+        .ok_or("missing --problem <id>")?
+        .parse()
+        .map_err(|_| "problem id must be 1-17")?;
+    let p = vgen::problems::problem(id).ok_or("problem id must be 1-17")?;
+    let full = read_file(path)?;
+    // Extract just the DUT module (the file may also hold a testbench).
+    let src = match vgen::verilog::parse(&full) {
+        Ok(file) => match file.module(p.module_name) {
+            Some(m) => full[m.span.start as usize..m.span.end as usize].to_string(),
+            None => full.clone(),
+        },
+        Err(_) => full.clone(),
+    };
+    let outcome =
+        vgen::core::check::check_source(p, &src, vgen::sim::SimConfig::default());
+    use vgen::core::check::CheckOutcome::*;
+    let (compiled, synth, functional) = match &outcome {
+        Pass => (true, vgen::synth::synthesize_source(&src).is_ok(), true),
+        FunctionalFail | SimulationFail(_) => {
+            (true, vgen::synth::synthesize_source(&src).is_ok(), false)
+        }
+        CompileFail(_) => (false, false, false),
+    };
+    println!("problem {id}: {}", p.name);
+    println!("  compiles:     {}", yesno(compiled));
+    println!("  synthesizes:  {}", yesno(synth));
+    println!("  functional:   {}", yesno(functional));
+    if let CompileFail(m) | SimulationFail(m) = &outcome {
+        println!("  detail: {m}");
+    }
+    if functional {
+        Ok(())
+    } else {
+        Err("candidate does not pass".into())
+    }
+}
+
+fn yesno(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}

@@ -1,0 +1,138 @@
+//! End-to-end tests of the `vgen` command-line tool.
+
+use std::io::Write;
+use std::process::Command;
+
+fn vgen() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_vgen"))
+}
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("vgen-cli-tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create file");
+    f.write_all(content.as_bytes()).expect("write");
+    path
+}
+
+const COUNTER: &str = "\
+module counter(input clk, input reset, output reg [3:0] q);
+always @(posedge clk) begin
+  if (reset) q <= 4'd1;
+  else if (q == 4'd12) q <= 4'd1;
+  else q <= q + 4'd1;
+end
+endmodule
+";
+
+#[test]
+fn check_accepts_valid_file() {
+    let path = write_temp("ok.v", COUNTER);
+    let out = vgen().args(["check", path.to_str().expect("utf8")]).output().expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("counter`: OK"));
+}
+
+#[test]
+fn check_rejects_broken_file() {
+    let path = write_temp("bad.v", "module m(input a output y); endmodule");
+    let out = vgen().args(["check", path.to_str().expect("utf8")]).output().expect("run");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn sim_runs_a_testbench() {
+    let src = format!(
+        "{COUNTER}\nmodule tb;\nreg clk, reset;\nwire [3:0] q;\n\
+         counter dut(.clk(clk), .reset(reset), .q(q));\n\
+         always #5 clk = ~clk;\ninitial begin\nclk = 0; reset = 1;\n\
+         #12 reset = 0;\nrepeat (3) @(posedge clk);\n\
+         $display(\"q=%0d\", q);\n$finish;\nend\nendmodule\n"
+    );
+    let path = write_temp("tb.v", &src);
+    let out = vgen()
+        .args(["sim", path.to_str().expect("utf8"), "--top", "tb"])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "q=3\n");
+}
+
+#[test]
+fn synth_summarizes() {
+    let path = write_temp("synth.v", COUNTER);
+    let out = vgen().args(["synth", path.to_str().expect("utf8")]).output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 registers"), "{text}");
+}
+
+#[test]
+fn eval_scores_a_candidate() {
+    let path = write_temp("cand.v", COUNTER);
+    let out = vgen()
+        .args(["eval", path.to_str().expect("utf8"), "--problem", "6"])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("functional:   yes"));
+}
+
+#[test]
+fn eval_fails_wrong_candidate() {
+    let wrong = COUNTER.replace("4'd12", "4'd11");
+    let path = write_temp("wrong.v", &wrong);
+    let out = vgen()
+        .args(["eval", path.to_str().expect("utf8"), "--problem", "6"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("functional:   no"));
+}
+
+#[test]
+fn prompt_prints_problem_text() {
+    let out = vgen().args(["prompt", "15", "--level", "H"]).output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("module adv_fsm"));
+    assert!(text.contains("S101"));
+}
+
+#[test]
+fn problems_lists_both_sets() {
+    let out = vgen().arg("problems").output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ABRO FSM"));
+    assert!(text.contains("Round-robin arbiter"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = vgen().arg("bogus").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn sim_writes_vcd() {
+    let src = "module t;\nreg a;\ninitial begin\n$dumpvars;\na = 0;\n#5 a = 1;\n$finish;\nend\nendmodule\n";
+    let path = write_temp("vcd.v", src);
+    let vcd_path = std::env::temp_dir().join("vgen-cli-tests").join("wave.vcd");
+    let out = vgen()
+        .args([
+            "sim",
+            path.to_str().expect("utf8"),
+            "--vcd",
+            vcd_path.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let vcd = std::fs::read_to_string(&vcd_path).expect("vcd written");
+    assert!(vcd.contains("$enddefinitions"));
+}
