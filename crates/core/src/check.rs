@@ -17,12 +17,19 @@ pub enum CheckOutcome {
     SimulationFail(String),
     /// Failed to parse or elaborate.
     CompileFail(String),
+    /// The checking harness itself panicked — a bug in the harness, not a
+    /// property of the candidate. See [`crate::guard`].
+    HarnessFault(String),
 }
 
 impl CheckOutcome {
-    /// Whether the candidate compiled.
+    /// Whether the candidate compiled. A harness fault tells us nothing
+    /// about the candidate, so it does not count as compiled.
     pub fn compiled(&self) -> bool {
-        !matches!(self, CheckOutcome::CompileFail(_))
+        !matches!(
+            self,
+            CheckOutcome::CompileFail(_) | CheckOutcome::HarnessFault(_)
+        )
     }
 
     /// Whether the candidate is functionally correct.
@@ -58,10 +65,23 @@ pub fn assemble(problem: &Problem, level: PromptLevel, completion: &str) -> Stri
             break;
         }
     }
-    if rest.trim_start().starts_with("module") {
+    if starts_with_module_keyword(rest) {
         truncate_completion(trimmed).to_string()
     } else {
         assemble_candidate(problem.prompt(level), completion)
+    }
+}
+
+/// Whether `s` (after leading whitespace) begins with the `module` keyword
+/// proper — not an identifier such as `module_helper` that merely shares
+/// the prefix.
+fn starts_with_module_keyword(s: &str) -> bool {
+    match s.trim_start().strip_prefix("module") {
+        Some(rest) => !matches!(
+            rest.chars().next(),
+            Some(c) if c.is_alphanumeric() || c == '_' || c == '$'
+        ),
+        None => false,
     }
 }
 
@@ -200,6 +220,23 @@ mod tests {
     }
 
     #[test]
+    fn module_prefixed_identifier_is_not_full_source() {
+        // `module_helper ...` shares a prefix with the `module` keyword but
+        // is an identifier; the completion must be treated as a body and
+        // appended to the prompt, not mistaken for a whole module.
+        let completion = "module_helper u0(y, a, b);\nendmodule";
+        let src = assemble(p(2), PromptLevel::Low, completion);
+        assert!(
+            src.contains("module and_gate"),
+            "completion must be appended to the prompt:\n{src}"
+        );
+        assert!(starts_with_module_keyword("module and_gate(input a);"));
+        assert!(starts_with_module_keyword("  module m;"));
+        assert!(!starts_with_module_keyword("module_helper u0();"));
+        assert!(!starts_with_module_keyword("modulex"));
+    }
+
+    #[test]
     fn wrong_module_name_is_compile_fail() {
         let r = check_completion(
             p(2),
@@ -217,10 +254,7 @@ mod tests {
             p(2),
             PromptLevel::Low,
             "reg spin;\nalways spin = ~spin;\nassign y = a & b;\nendmodule",
-            SimConfig {
-                max_time: 1000,
-                max_steps: 50_000,
-            },
+            SimConfig::default().with_max_time(1000).with_max_steps(50_000),
         );
         assert!(
             matches!(r.outcome, CheckOutcome::SimulationFail(_)),

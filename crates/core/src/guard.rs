@@ -1,0 +1,158 @@
+//! Fault isolation for the checking pipeline.
+//!
+//! The parser, elaborator and simulator are all exercised with arbitrary
+//! model output. A bug anywhere in that stack — an unchecked index, an
+//! arithmetic overflow — would otherwise abort an entire evaluation sweep
+//! on a single hostile completion. This module runs
+//! [`check_completion`](crate::check::check_completion) under
+//! [`std::panic::catch_unwind`] and maps any panic to
+//! [`CheckOutcome::HarnessFault`], so one bad candidate costs one record,
+//! not the whole run.
+//!
+//! While a guarded check is running, the default "thread panicked at ..."
+//! report is suppressed (per thread) so sweeps don't spray backtraces; the
+//! panic message is preserved in the outcome instead.
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+use vgen_problems::{Problem, PromptLevel};
+use vgen_sim::SimConfig;
+
+use crate::check::{check_completion, CheckOutcome, CheckResult};
+
+thread_local! {
+    /// Set while a guarded closure runs on this thread.
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+static INSTALL_HOOK: Once = Once::new();
+
+/// Installs (once, process-wide) a panic hook that stays silent while a
+/// guarded check is running on the panicking thread and defers to the
+/// previous hook otherwise.
+fn install_quiet_hook() {
+    INSTALL_HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f`, converting any panic into `Err(message)`.
+///
+/// The default panic report is suppressed for the duration; the payload
+/// (the `panic!` message, when it is a string) is returned instead.
+pub fn catch_harness_fault<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    install_quiet_hook();
+    QUIET.with(|q| q.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    QUIET.with(|q| q.set(false));
+    result.map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
+}
+
+/// Stack size for the dedicated checker thread. The parser's recursion
+/// guard ([`vgen_verilog::parser::MAX_NEST_DEPTH`]) is sized so the worst
+/// legal nesting fits in a fraction of this even in unoptimised builds.
+const CHECK_STACK_BYTES: usize = 8 * 1024 * 1024;
+
+/// [`check_completion`] with fault isolation: the check runs on a dedicated
+/// thread with a known [8 MiB stack](CHECK_STACK_BYTES) — so classification
+/// never depends on how much stack the *caller* happens to have left — and
+/// a panic anywhere in the assemble/parse/elaborate/simulate stack yields
+/// [`CheckOutcome::HarnessFault`] instead of unwinding into the caller.
+///
+/// ```
+/// use vgen_core::guard::guarded_check_completion;
+/// use vgen_problems::{problem, PromptLevel};
+/// use vgen_sim::SimConfig;
+///
+/// let p = problem(2).expect("problem");
+/// let r = guarded_check_completion(p, PromptLevel::Low, "endmodule", SimConfig::default());
+/// assert!(!r.outcome.passed());
+/// ```
+pub fn guarded_check_completion(
+    problem: &Problem,
+    level: PromptLevel,
+    completion: &str,
+    config: SimConfig,
+) -> CheckResult {
+    let caught = std::thread::scope(|scope| {
+        let handle = std::thread::Builder::new()
+            .name("vgen-check".into())
+            .stack_size(CHECK_STACK_BYTES)
+            .spawn_scoped(scope, || {
+                catch_harness_fault(|| check_completion(problem, level, completion, config))
+            });
+        match handle {
+            // Panics are caught *inside* the thread, so join only fails if
+            // the runtime itself is wedged — treat that as a fault too.
+            Ok(h) => h
+                .join()
+                .unwrap_or_else(|_| Err("checker thread died".to_string())),
+            Err(e) => Err(format!("cannot spawn checker thread: {e}")),
+        }
+    });
+    match caught {
+        Ok(r) => r,
+        Err(msg) => CheckResult {
+            outcome: CheckOutcome::HarnessFault(msg),
+            source: String::new(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgen_problems::problem;
+
+    #[test]
+    fn passthrough_on_success() {
+        assert_eq!(catch_harness_fault(|| 42), Ok(42));
+    }
+
+    #[test]
+    fn panic_becomes_error_message() {
+        let r = catch_harness_fault(|| -> u32 { panic!("boom {}", 7) });
+        assert_eq!(r, Err("boom 7".to_string()));
+    }
+
+    #[test]
+    fn str_payloads_are_captured() {
+        let r = catch_harness_fault(|| -> u32 { panic!("static message") });
+        assert_eq!(r, Err("static message".to_string()));
+    }
+
+    #[test]
+    fn normal_checks_are_unaffected() {
+        let p = problem(2).expect("problem");
+        let r = guarded_check_completion(
+            p,
+            PromptLevel::Low,
+            "assign y = a & b;\nendmodule",
+            SimConfig::default(),
+        );
+        assert!(r.outcome.passed());
+    }
+
+    #[test]
+    fn guard_is_reentrant_across_calls() {
+        for _ in 0..3 {
+            assert!(catch_harness_fault(|| -> u32 { panic!("again") }).is_err());
+            assert_eq!(catch_harness_fault(|| 1), Ok(1));
+        }
+    }
+}

@@ -26,13 +26,18 @@
 
 pub mod check;
 pub mod experiments;
+pub mod guard;
 pub mod metrics;
 pub mod report;
 pub mod sweep;
 pub mod synthcheck;
 
 pub use check::{check_completion, CheckOutcome, CheckResult};
+pub use guard::{catch_harness_fault, guarded_check_completion};
 pub use experiments::{evaluate_all_models, evaluate_model};
 pub use metrics::{pass_at_k, pass_fraction, Tally};
-pub use report::{headline_stats, Headline, ModelRun};
-pub use sweep::{run_engine, EvalConfig, EvalRun, Record};
+pub use report::{headline_stats, render_fault_summary, Headline, ModelRun};
+pub use sweep::{
+    config_fingerprint, read_journal, run_engine, run_engine_journaled, EvalConfig,
+    EvalRun, Record,
+};

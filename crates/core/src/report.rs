@@ -319,12 +319,12 @@ pub fn render_headline(h: &Headline) -> String {
 /// CSV export of the per-record data (for external plotting).
 pub fn records_csv(rows: &[ModelRun]) -> String {
     let mut out = String::from(
-        "model,tuning,problem,difficulty,level,temperature,n,compiled,passed,latency_s\n",
+        "model,tuning,problem,difficulty,level,temperature,n,compiled,passed,fault,latency_s\n",
     );
     for row in rows {
         for r in &row.run.records {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{:.4}\n",
+                "{},{},{},{},{},{},{},{},{},{},{:.4}\n",
                 row.model.family.name(),
                 row.model.tuning.tag(),
                 r.problem_id,
@@ -334,9 +334,34 @@ pub fn records_csv(rows: &[ModelRun]) -> String {
                 r.n,
                 r.compiled as u8,
                 r.passed as u8,
+                r.fault as u8,
                 r.latency_s
             ));
         }
+    }
+    out
+}
+
+/// Renders harness-fault counts per model run. Faults are harness bugs,
+/// not candidate failures, so they are reported separately from the pass
+/// tables (which exclude fault records entirely).
+pub fn render_fault_summary(rows: &[ModelRun]) -> String {
+    let mut out = String::from("HARNESS FAULTS (checker panics, excluded from rates)\n");
+    let mut any = false;
+    for row in rows {
+        let faults = row.run.fault_count();
+        if faults > 0 {
+            any = true;
+            out.push_str(&format!(
+                "{:<24} {} of {} records\n",
+                format!("{}", row.model),
+                faults,
+                row.run.records.len()
+            ));
+        }
+    }
+    if !any {
+        out.push_str("none\n");
     }
     out
 }
@@ -447,5 +472,14 @@ mod tests {
         let rows = tiny_rows();
         let s = render_latency_check(&rows);
         assert!(s.contains("vs"));
+    }
+
+    #[test]
+    fn fault_summary_renders() {
+        let mut rows = tiny_rows();
+        assert!(render_fault_summary(&rows).contains("none"));
+        rows[0].run.records[0].fault = true;
+        let s = render_fault_summary(&rows);
+        assert!(s.contains("1 of"), "got: {s}");
     }
 }

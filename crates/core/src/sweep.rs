@@ -1,12 +1,22 @@
 //! The experiment runner: queries an engine over the full parameter grid
 //! (prompt level × temperature × completions-per-prompt, §IV-B) and checks
 //! every completion through the compile/simulate pipeline.
+//!
+//! Every check runs under the panic guard ([`crate::guard`]), so a harness
+//! bug on one hostile completion costs one [`Record`] (marked `fault`),
+//! not the sweep. Long sweeps can additionally journal each record to disk
+//! as it is produced ([`run_engine_journaled`]) and resume after a crash or
+//! kill without repeating completed checks.
 
-use vgen_lm::engine::CompletionEngine;
-use vgen_problems::{problem, Difficulty, PromptLevel};
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+use vgen_lm::engine::{Completion, CompletionEngine};
+use vgen_problems::{problem, Difficulty, Problem, PromptLevel};
 use vgen_sim::SimConfig;
 
-use crate::check::{check_completion, CheckOutcome};
+use crate::check::CheckOutcome;
+use crate::guard::guarded_check_completion;
 use crate::metrics::Tally;
 
 /// The paper's temperature grid (§IV-B).
@@ -78,8 +88,81 @@ pub struct Record {
     pub compiled: bool,
     /// Whether it passed the testbench.
     pub passed: bool,
+    /// Whether the checking harness itself faulted on this candidate
+    /// (see [`CheckOutcome::HarnessFault`]). Fault records count against
+    /// neither compile nor functional rates.
+    pub fault: bool,
     /// Simulated inference latency.
     pub latency_s: f64,
+}
+
+impl Record {
+    /// Serialises the record as one journal line (comma-separated).
+    pub fn to_journal_line(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{}",
+            self.problem_id,
+            difficulty_tag(self.difficulty),
+            self.level.tag(),
+            self.temperature,
+            self.n,
+            self.compiled as u8,
+            self.passed as u8,
+            self.fault as u8,
+            self.latency_s,
+        )
+    }
+
+    /// Parses a journal line produced by [`Record::to_journal_line`].
+    /// Returns `None` on any malformed field (e.g. a line truncated by a
+    /// kill mid-write).
+    pub fn from_journal_line(line: &str) -> Option<Record> {
+        let mut it = line.trim_end().split(',');
+        let rec = Record {
+            problem_id: it.next()?.parse().ok()?,
+            difficulty: parse_difficulty_tag(it.next()?)?,
+            level: parse_level_tag(it.next()?)?,
+            temperature: it.next()?.parse().ok()?,
+            n: it.next()?.parse().ok()?,
+            compiled: parse_flag(it.next()?)?,
+            passed: parse_flag(it.next()?)?,
+            fault: parse_flag(it.next()?)?,
+            latency_s: it.next()?.parse().ok()?,
+        };
+        if it.next().is_some() {
+            return None; // trailing fields: not ours
+        }
+        Some(rec)
+    }
+}
+
+fn difficulty_tag(d: Difficulty) -> &'static str {
+    match d {
+        Difficulty::Basic => "B",
+        Difficulty::Intermediate => "I",
+        Difficulty::Advanced => "A",
+    }
+}
+
+fn parse_difficulty_tag(s: &str) -> Option<Difficulty> {
+    match s {
+        "B" => Some(Difficulty::Basic),
+        "I" => Some(Difficulty::Intermediate),
+        "A" => Some(Difficulty::Advanced),
+        _ => None,
+    }
+}
+
+fn parse_level_tag(s: &str) -> Option<PromptLevel> {
+    PromptLevel::ALL.into_iter().find(|l| l.tag() == s)
+}
+
+fn parse_flag(s: &str) -> Option<bool> {
+    match s {
+        "0" => Some(false),
+        "1" => Some(true),
+        _ => None,
+    }
 }
 
 /// All records from evaluating one engine over a grid.
@@ -91,13 +174,41 @@ pub struct EvalRun {
     pub records: Vec<Record>,
 }
 
-/// Runs an engine over the grid, checking every completion.
-///
-/// J1-Large skips n = 25 upstream (the engine name containing "J1" is not
-/// inspected here — pass a config without 25 for that model, as the bench
-/// binaries do, mirroring §IV-B).
-pub fn run_engine(engine: &mut dyn CompletionEngine, config: &EvalConfig) -> EvalRun {
+/// Checks one completion (under the panic guard) and builds its record.
+fn check_to_record(
+    prob: &Problem,
+    level: PromptLevel,
+    temperature: f64,
+    n: usize,
+    c: &Completion,
+    sim: SimConfig,
+) -> Record {
+    let result = guarded_check_completion(prob, level, &c.text, sim);
+    Record {
+        problem_id: prob.id,
+        difficulty: prob.difficulty,
+        level,
+        temperature,
+        n,
+        compiled: result.outcome.compiled(),
+        passed: matches!(result.outcome, CheckOutcome::Pass),
+        fault: matches!(result.outcome, CheckOutcome::HarnessFault(_)),
+        latency_s: c.latency_s,
+    }
+}
+
+/// Walks the grid in its (deterministic) canonical order, calling `handle`
+/// with a running completion index for every completion. The engine is
+/// always queried for every cell — even cells whose records will be reused
+/// from a journal — so the engine's RNG stream is identical across a fresh
+/// run and a resumed one.
+fn run_grid(
+    engine: &mut dyn CompletionEngine,
+    config: &EvalConfig,
+    mut handle: impl FnMut(usize, &Problem, PromptLevel, f64, usize, &Completion) -> io::Result<Record>,
+) -> io::Result<Vec<Record>> {
     let mut records = Vec::new();
+    let mut pos = 0usize;
     for &pid in &config.problem_ids {
         let prob = problem(pid).unwrap_or_else(|| panic!("unknown problem id {pid}"));
         for &level in &config.levels {
@@ -105,36 +216,191 @@ pub fn run_engine(engine: &mut dyn CompletionEngine, config: &EvalConfig) -> Eva
                 for &n in &config.ns {
                     let completions = engine.generate(prob, level, t, n);
                     for c in completions {
-                        let result = check_completion(prob, level, &c.text, config.sim);
-                        records.push(Record {
-                            problem_id: pid,
-                            difficulty: prob.difficulty,
-                            level,
-                            temperature: t,
-                            n,
-                            compiled: result.outcome.compiled(),
-                            passed: matches!(result.outcome, CheckOutcome::Pass),
-                            latency_s: c.latency_s,
-                        });
+                        records.push(handle(pos, prob, level, t, n, &c)?);
+                        pos += 1;
                     }
                 }
             }
         }
     }
+    Ok(records)
+}
+
+/// Runs an engine over the grid, checking every completion.
+///
+/// J1-Large skips n = 25 upstream (the engine name containing "J1" is not
+/// inspected here — pass a config without 25 for that model, as the bench
+/// binaries do, mirroring §IV-B).
+pub fn run_engine(engine: &mut dyn CompletionEngine, config: &EvalConfig) -> EvalRun {
+    let records = run_grid(engine, config, |_, prob, level, t, n, c| {
+        Ok(check_to_record(prob, level, t, n, c, config.sim))
+    })
+    .expect("in-memory sweep cannot fail");
     EvalRun {
         engine: engine.name(),
         records,
     }
 }
 
+/// Journal format marker (first token of the header line).
+const JOURNAL_MAGIC: &str = "vgen-journal-v1";
+
+/// FNV-1a, used for the config fingerprint in journal headers.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Stable fingerprint of the evaluation grid (and sim limits) a journal
+/// was produced under. A resume against a journal whose fingerprint does
+/// not match the current config is rejected rather than silently mixing
+/// records from different grids.
+pub fn config_fingerprint(config: &EvalConfig) -> u64 {
+    let mut s = String::new();
+    for t in &config.temperatures {
+        s.push_str(&format!("t{t};"));
+    }
+    for n in &config.ns {
+        s.push_str(&format!("n{n};"));
+    }
+    for l in &config.levels {
+        s.push_str(&format!("l{};", l.tag()));
+    }
+    for p in &config.problem_ids {
+        s.push_str(&format!("p{p};"));
+    }
+    s.push_str(&format!(
+        "sim{}:{}:{}",
+        config.sim.max_time, config.sim.max_steps, config.sim.max_output_bytes
+    ));
+    fnv1a(s.as_bytes())
+}
+
+/// Reads a journal file: header validation plus all well-formed record
+/// lines. Returns `(engine_name, config_fingerprint, records)`.
+///
+/// # Errors
+///
+/// I/O errors, or [`io::ErrorKind::InvalidData`] if the header is missing
+/// or malformed. A trailing malformed *record* line (torn write from a
+/// kill) is dropped, and everything after it is ignored.
+pub fn read_journal(path: &Path) -> io::Result<(String, u64, Vec<Record>)> {
+    let file = std::fs::File::open(path)?;
+    let mut lines = io::BufReader::new(file).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty journal"))??;
+    let rest = header
+        .strip_prefix(&format!("# {JOURNAL_MAGIC} fingerprint="))
+        .ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "not a vgen journal")
+        })?;
+    let (fp_hex, engine) = rest.split_once(" engine=").ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "malformed journal header")
+    })?;
+    let fp = u64::from_str_radix(fp_hex, 16).map_err(|_| {
+        io::Error::new(io::ErrorKind::InvalidData, "malformed journal fingerprint")
+    })?;
+    let mut records = Vec::new();
+    for line in lines {
+        let line = line?;
+        match Record::from_journal_line(&line) {
+            Some(r) => records.push(r),
+            // A torn final line is expected after a kill; stop there.
+            None => break,
+        }
+    }
+    Ok((engine.to_string(), fp, records))
+}
+
+/// Like [`run_engine`], but appends every record to a line-oriented journal
+/// at `path` as it is produced, and — when `resume` is true and `path`
+/// already holds a journal for the same engine and config — skips the
+/// checks for records already journaled, reusing them verbatim.
+///
+/// The engine is still queried for every grid cell on resume, so a resumed
+/// run produces byte-identical records to an uninterrupted one.
+///
+/// # Errors
+///
+/// I/O errors reading/writing the journal, or
+/// [`io::ErrorKind::InvalidData`] when resuming against a journal whose
+/// engine name or config fingerprint does not match.
+pub fn run_engine_journaled(
+    engine: &mut dyn CompletionEngine,
+    config: &EvalConfig,
+    path: &Path,
+    resume: bool,
+) -> io::Result<EvalRun> {
+    let name = engine.name();
+    let fp = config_fingerprint(config);
+    let mut prior: Vec<Record> = Vec::new();
+    let resuming = resume && path.exists();
+    if resuming {
+        let (jname, jfp, recs) = read_journal(path)?;
+        if jname != name {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("journal is for engine `{jname}`, not `{name}`"),
+            ));
+        }
+        if jfp != fp {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("journal config fingerprint {jfp:016x} != {fp:016x}"),
+            ));
+        }
+        prior = recs;
+    }
+    let mut file = if resuming {
+        // Rewrite header + surviving records: this also truncates any torn
+        // trailing line left by a kill.
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "# {JOURNAL_MAGIC} fingerprint={fp:016x} engine={name}")?;
+        for r in &prior {
+            writeln!(f, "{}", r.to_journal_line())?;
+        }
+        f
+    } else {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "# {JOURNAL_MAGIC} fingerprint={fp:016x} engine={name}")?;
+        f
+    };
+    file.flush()?;
+    let records = run_grid(engine, config, |pos, prob, level, t, n, c| {
+        if let Some(r) = prior.get(pos) {
+            return Ok(r.clone());
+        }
+        let rec = check_to_record(prob, level, t, n, c, config.sim);
+        writeln!(file, "{}", rec.to_journal_line())?;
+        file.flush()?;
+        Ok(rec)
+    })?;
+    Ok(EvalRun {
+        engine: name,
+        records,
+    })
+}
+
 impl EvalRun {
-    /// Tallies records matching a predicate.
+    /// Tallies records matching a predicate. Harness-fault records are
+    /// excluded: they say nothing about the candidate, so counting them
+    /// would skew compile/functional rates.
     pub fn tally(&self, keep: impl Fn(&Record) -> bool) -> Tally {
         let mut t = Tally::default();
-        for r in self.records.iter().filter(|r| keep(r)) {
+        for r in self.records.iter().filter(|r| !r.fault && keep(r)) {
             t.record(r.compiled, r.passed);
         }
         t
+    }
+
+    /// Number of records where the harness itself faulted.
+    pub fn fault_count(&self) -> usize {
+        self.records.iter().filter(|r| r.fault).count()
     }
 
     /// Temperatures present in the run.
@@ -301,5 +567,111 @@ mod tests {
         let mut engine = cg16_ft_engine();
         let run = run_engine(&mut engine, &small_cfg());
         assert!(run.mean_latency() > 0.0);
+    }
+
+    #[test]
+    fn record_journal_roundtrip() {
+        let rec = Record {
+            problem_id: 7,
+            difficulty: Difficulty::Intermediate,
+            level: PromptLevel::High,
+            temperature: 0.3,
+            n: 25,
+            compiled: true,
+            passed: false,
+            fault: false,
+            latency_s: 1.625,
+        };
+        let line = rec.to_journal_line();
+        assert_eq!(Record::from_journal_line(&line), Some(rec));
+        assert_eq!(Record::from_journal_line("garbage"), None);
+        assert_eq!(Record::from_journal_line("7,I,H,0.3"), None);
+        assert_eq!(Record::from_journal_line(""), None);
+    }
+
+    #[test]
+    fn fingerprint_depends_on_grid() {
+        let a = config_fingerprint(&small_cfg());
+        let mut other = small_cfg();
+        other.problem_ids.push(9);
+        assert_ne!(a, config_fingerprint(&other));
+        assert_eq!(a, config_fingerprint(&small_cfg()));
+    }
+
+    fn temp_journal(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "vgen-journal-test-{}-{tag}.log",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn journaled_run_matches_plain_run() {
+        let path = temp_journal("plain");
+        let cfg = small_cfg();
+        let plain = run_engine(&mut cg16_ft_engine(), &cfg);
+        let journaled =
+            run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, false)
+                .expect("journaled run");
+        assert_eq!(plain, journaled);
+        // And the journal itself replays to the same records.
+        let (name, fp, recs) = read_journal(&path).expect("read back");
+        assert_eq!(name, plain.engine);
+        assert_eq!(fp, config_fingerprint(&cfg));
+        assert_eq!(recs, plain.records);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn killed_journal_resumes_to_identical_totals() {
+        let path = temp_journal("resume");
+        let cfg = small_cfg();
+        let full = run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, false)
+            .expect("full run");
+        // Simulate a kill partway through: keep the header, the first 11
+        // records, and a torn 12th line.
+        let text = std::fs::read_to_string(&path).expect("journal text");
+        let mut kept: Vec<&str> = text.lines().take(12).collect();
+        kept.push("2,B,L,0.1"); // torn final write
+        std::fs::write(&path, kept.join("\n")).expect("truncate");
+        let resumed = run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, true)
+            .expect("resumed run");
+        assert_eq!(resumed, full);
+        assert_eq!(
+            resumed.tally(|_| true).functional_rate(),
+            full.tally(|_| true).functional_rate()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config() {
+        let path = temp_journal("mismatch");
+        let cfg = small_cfg();
+        run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, false)
+            .expect("seed journal");
+        let mut other = cfg.clone();
+        other.temperatures = vec![0.5];
+        let err = run_engine_journaled(&mut cg16_ft_engine(), &other, &path, true)
+            .expect_err("must reject");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_engine() {
+        let path = temp_journal("engine");
+        let cfg = small_cfg();
+        run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, false)
+            .expect("seed journal");
+        let mut other = FamilyEngine::new(
+            ModelId::new(ModelFamily::CodeGen16B, Tuning::Pretrained),
+            CorpusSource::GithubOnly,
+            42,
+        );
+        let err = run_engine_journaled(&mut other, &cfg, &path, true)
+            .expect_err("must reject");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -204,6 +204,235 @@ fn delete_nth_word(src: &str, word: &str, rng: &mut StdRng) -> Option<String> {
     Some(s)
 }
 
+// --------------------------------------------------------- hostile inputs
+
+/// Kinds of *hostile* completion — inputs crafted to exhaust a checker
+/// resource or hit a parser/elaborator/simulator edge case, rather than to
+/// be plausibly wrong. Used by the fault-injection harness to prove the
+/// checking pipeline classifies every one of them instead of panicking or
+/// hanging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HostileOp {
+    /// Thousands of nested statements/expressions (parser recursion).
+    DeepNesting,
+    /// Astronomically wide vector declarations (elaborator allocation).
+    HugeVector,
+    /// Memory declarations whose total bits dwarf any real design.
+    HugeMemory,
+    /// Zero-width selects and zero replication counts.
+    ZeroWidth,
+    /// String literal that never closes (lexer end-of-input handling).
+    UnterminatedString,
+    /// Block comment that never closes, or comment floods.
+    CommentBomb,
+    /// More tokens than any legitimate completion (lexer/token cap).
+    TokenFlood,
+    /// `$display` loops that flood simulation output.
+    DisplayFlood,
+    /// Zero-delay loops that never quiesce (step budget).
+    InfiniteLoop,
+    /// Exponential module instantiation fan-out.
+    InstanceBomb,
+    /// Replication counts that multiply into huge widths.
+    ReplicationBomb,
+}
+
+impl HostileOp {
+    /// All hostile kinds.
+    pub const ALL: [HostileOp; 11] = [
+        HostileOp::DeepNesting,
+        HostileOp::HugeVector,
+        HostileOp::HugeMemory,
+        HostileOp::ZeroWidth,
+        HostileOp::UnterminatedString,
+        HostileOp::CommentBomb,
+        HostileOp::TokenFlood,
+        HostileOp::DisplayFlood,
+        HostileOp::InfiniteLoop,
+        HostileOp::InstanceBomb,
+        HostileOp::ReplicationBomb,
+    ];
+}
+
+/// A corpus of adversarial completions, each tagged with the resource or
+/// edge case it attacks. Every entry is shaped like a *body* completion
+/// for a 2-input/1-output problem (inputs `a`, `b`, output `y`) — i.e. it
+/// gets appended to the prompt by the harness — except the full-source
+/// entries, which start with `module`.
+///
+/// Guaranteed to hold at least 20 entries covering every [`HostileOp`].
+pub fn hostile_corpus() -> Vec<(HostileOp, String)> {
+    let mut out: Vec<(HostileOp, String)> = Vec::new();
+
+    // Parser recursion: nested begin/end statement bomb.
+    let mut begin_bomb = String::from("reg x;\ninitial ");
+    begin_bomb.push_str(&"begin ".repeat(3000));
+    begin_bomb.push_str("x = 1;");
+    begin_bomb.push_str(&" end".repeat(3000));
+    begin_bomb.push_str("\nassign y = a & b;\nendmodule\n");
+    out.push((HostileOp::DeepNesting, begin_bomb));
+
+    // Parser recursion: parenthesis nesting in an expression.
+    let parens = format!(
+        "assign y = {}a{};\nendmodule\n",
+        "(".repeat(3000),
+        ")".repeat(3000)
+    );
+    out.push((HostileOp::DeepNesting, parens));
+
+    // Parser recursion: unclosed parens (error path must also be bounded).
+    out.push((
+        HostileOp::DeepNesting,
+        format!("assign y = {}a;\nendmodule\n", "(".repeat(3000)),
+    ));
+
+    // Parser recursion: right-recursive power chains.
+    out.push((
+        HostileOp::DeepNesting,
+        format!("assign y = a{};\nendmodule\n", " ** a".repeat(1000)),
+    ));
+
+    // Parser recursion: ternary chains.
+    out.push((
+        HostileOp::DeepNesting,
+        format!(
+            "assign y = {}b;\nendmodule\n",
+            "a ? b : ".repeat(1000)
+        ),
+    ));
+
+    // Elaborator: one absurdly wide register.
+    out.push((
+        HostileOp::HugeVector,
+        "reg [99999999:0] r;\nalways @(*) r = {a, b};\nassign y = r[0];\nendmodule\n"
+            .to_string(),
+    ));
+
+    // Elaborator: near-i64::MAX range bound.
+    out.push((
+        HostileOp::HugeVector,
+        "wire [64'h7FFFFFFFFFFFFFFF:0] w;\nassign y = a;\nendmodule\n".to_string(),
+    ));
+
+    // Elaborator: many medium vectors that only blow the *total* budget.
+    let mut many = String::new();
+    for i in 0..40 {
+        many.push_str(&format!("reg [999999:0] r{i};\n"));
+    }
+    many.push_str("assign y = a;\nendmodule\n");
+    out.push((HostileOp::HugeVector, many));
+
+    // Elaborator: memory whose total bits dwarf the budget.
+    out.push((
+        HostileOp::HugeMemory,
+        "reg [65535:0] mem [0:999999];\nassign y = a;\nendmodule\n".to_string(),
+    ));
+
+    // Zero-width indexed select.
+    out.push((
+        HostileOp::ZeroWidth,
+        "wire [7:0] w;\nassign w = {6'd0, a, b};\nassign y = w[3 -: 0];\nendmodule\n"
+            .to_string(),
+    ));
+
+    // Zero replication count.
+    out.push((
+        HostileOp::ZeroWidth,
+        "assign y = |{0{a}};\nendmodule\n".to_string(),
+    ));
+
+    // Lexer: string that never closes.
+    out.push((
+        HostileOp::UnterminatedString,
+        "initial $display(\"this string never ends...\nassign y = a;\nendmodule\n"
+            .to_string(),
+    ));
+
+    // Lexer: string ending in a bare escape at end of input.
+    out.push((
+        HostileOp::UnterminatedString,
+        "initial $display(\"trailing escape \\".to_string(),
+    ));
+
+    // Lexer: block comment that never closes, padded with junk.
+    out.push((
+        HostileOp::CommentBomb,
+        format!("assign y = a; /* {}", "comment bomb ".repeat(50_000)),
+    ));
+
+    // Lexer: a flood of line comments (must stay linear).
+    out.push((
+        HostileOp::CommentBomb,
+        format!(
+            "{}assign y = a & b;\nendmodule\n",
+            "// filler comment line\n".repeat(50_000)
+        ),
+    ));
+
+    // Token cap: more tokens than the parser accepts.
+    out.push((
+        HostileOp::TokenFlood,
+        format!("assign y = a;{}\nendmodule\n", ";".repeat(450_000)),
+    ));
+
+    // Simulator: output flood via an unrolled $display loop.
+    out.push((
+        HostileOp::DisplayFlood,
+        format!(
+            "assign y = a & b;\ninteger i;\ninitial begin : blk\n  for (i = 0; i < 1000000; i = i + 1)\n    $display(\"{}\");\nend\nendmodule\n",
+            "F".repeat(1024)
+        ),
+    ));
+
+    // Simulator: output flood paced by delays ($display each timestep).
+    out.push((
+        HostileOp::DisplayFlood,
+        format!(
+            "assign y = a & b;\ninitial forever #1 $display(\"{}\");\nendmodule\n",
+            "M".repeat(1024)
+        ),
+    ));
+
+    // Simulator: zero-delay always loop that never settles.
+    out.push((
+        HostileOp::InfiniteLoop,
+        "reg spin;\nalways spin = ~spin;\nassign y = a & b;\nendmodule\n".to_string(),
+    ));
+
+    // Simulator: zero-delay forever loop inside initial.
+    out.push((
+        HostileOp::InfiniteLoop,
+        "reg spin;\ninitial forever spin = ~spin;\nassign y = a & b;\nendmodule\n"
+            .to_string(),
+    ));
+
+    // Elaborator: exponential instantiation fan-out (full source).
+    let mut bomb = String::from("module and_gate(input a, input b, output y);\n  n5 root();\n  assign y = a & b;\nendmodule\nmodule n0; wire w; endmodule\n");
+    for i in 1..=5 {
+        bomb.push_str(&format!("module n{i};\n"));
+        for j in 0..8 {
+            bomb.push_str(&format!("  n{} u{j}();\n", i - 1));
+        }
+        bomb.push_str("endmodule\n");
+    }
+    out.push((HostileOp::InstanceBomb, bomb));
+
+    // Elaborator: replication bomb.
+    out.push((
+        HostileOp::ReplicationBomb,
+        "assign y = |{99999999{a}};\nendmodule\n".to_string(),
+    ));
+
+    // Elaborator: nested replication that multiplies widths.
+    out.push((
+        HostileOp::ReplicationBomb,
+        "wire [1023:0] w;\nassign w = {1024{a}};\nassign y = |{1024{w}};\nendmodule\n"
+            .to_string(),
+    ));
+
+    out
+}
+
 // ------------------------------------------------------- site enumeration
 
 fn count_sites(file: &SourceFile, op: SemanticOp) -> usize {
@@ -497,6 +726,21 @@ always @(posedge clk) begin
 end
 endmodule
 ";
+
+    #[test]
+    fn hostile_corpus_is_large_and_covers_all_ops() {
+        let corpus = hostile_corpus();
+        assert!(corpus.len() >= 20, "only {} hostile entries", corpus.len());
+        for op in HostileOp::ALL {
+            assert!(
+                corpus.iter().any(|(o, _)| *o == op),
+                "no corpus entry for {op:?}"
+            );
+        }
+        for (op, src) in &corpus {
+            assert!(!src.is_empty(), "empty entry for {op:?}");
+        }
+    }
 
     #[test]
     fn semantic_mutants_parse_and_differ() {

@@ -44,6 +44,22 @@ impl std::error::Error for ElabError {}
 /// Maximum instantiation depth before assuming recursive instantiation.
 const MAX_DEPTH: usize = 32;
 
+/// Maximum number of module instances elaborated into one design.
+///
+/// Generated code sometimes instantiates wide arrays of submodules; past
+/// this point we assume an instantiation bomb and fail elaboration instead
+/// of exhausting memory.
+pub const MAX_INSTANCES: usize = 4096;
+
+/// Maximum width, in bits, of a single signal / memory word / select.
+pub const MAX_SIGNAL_BITS: usize = 1 << 20;
+
+/// Maximum total bits across all signals (nets and variables) in a design.
+pub const MAX_TOTAL_SIGNAL_BITS: u64 = 1 << 24;
+
+/// Maximum total bits across all memories in a design.
+pub const MAX_TOTAL_MEMORY_BITS: u64 = 1 << 26;
+
 /// Width of hidden temporaries used for intra-assignment delays.
 const TEMP_WIDTH: usize = 128;
 
@@ -72,6 +88,9 @@ pub fn elaborate(file: &SourceFile, top: &str) -> Result<Design, ElabError> {
             ..Design::default()
         },
         temp_counter: 0,
+        instances: 0,
+        total_signal_bits: 0,
+        total_memory_bits: 0,
     };
     el.instantiate(top, "", &[], Span::default(), 0)?;
     Ok(el.design)
@@ -125,6 +144,12 @@ struct Elaborator<'a> {
     file: &'a SourceFile,
     design: Design,
     temp_counter: u32,
+    /// Module instances elaborated so far (capped at [`MAX_INSTANCES`]).
+    instances: usize,
+    /// Running total of allocated signal bits.
+    total_signal_bits: u64,
+    /// Running total of allocated memory bits.
+    total_memory_bits: u64,
 }
 
 impl<'a> Elaborator<'a> {
@@ -141,6 +166,13 @@ impl<'a> Elaborator<'a> {
         if depth > MAX_DEPTH {
             return Err(ElabError::new(
                 format!("instantiation depth exceeds {MAX_DEPTH} (recursive instantiation?)"),
+                inst_span,
+            ));
+        }
+        self.instances += 1;
+        if self.instances > MAX_INSTANCES {
+            return Err(ElabError::new(
+                format!("design exceeds {MAX_INSTANCES} module instances"),
                 inst_span,
             ));
         }
@@ -300,6 +332,7 @@ impl<'a> Elaborator<'a> {
                 }
                 let (msb, lsb) = info.range.unwrap_or((0, 0));
                 let width = (msb - lsb).unsigned_abs() as usize + 1;
+                self.charge_memory_bits(width, (high - low) as u64 + 1, info.span)?;
                 let id = MemoryId(self.design.memories.len() as u32);
                 self.design.memories.push(Memory {
                     name: full_name,
@@ -340,6 +373,7 @@ impl<'a> Elaborator<'a> {
                     (width, info.signed, msb, lsb, SignalClass::Net)
                 }
             };
+            self.charge_signal_bits(width, info.span)?;
             let id = SignalId(self.design.signals.len() as u32);
             self.design.signals.push(Signal {
                 name: full_name,
@@ -518,6 +552,7 @@ impl<'a> Elaborator<'a> {
             None => (0, 0),
         };
         let ret_width = (ret_msb - ret_lsb).unsigned_abs() as usize + 1;
+        self.charge_signal_bits(ret_width, f.span)?;
         let ret = SignalId(self.design.signals.len() as u32);
         self.design.signals.push(Signal {
             name: format!("{prefix}.{}", f.name),
@@ -549,6 +584,7 @@ impl<'a> Elaborator<'a> {
                         ((msb - lsb).unsigned_abs() as usize + 1, d.signed, msb, lsb)
                     }
                 };
+                self.charge_signal_bits(width, n.span)?;
                 let id = SignalId(self.design.signals.len() as u32);
                 self.design.signals.push(Signal {
                     name: format!("{prefix}.{}.{}", f.name, n.name),
@@ -769,6 +805,52 @@ impl<'a> Elaborator<'a> {
             sigs.extend_from_slice(&def.outer_reads);
             mems.extend_from_slice(&def.outer_mem_reads);
         }
+    }
+
+    /// Accounts `width` bits of signal storage against the design budget.
+    ///
+    /// Called before every signal allocation so a hostile declaration fails
+    /// with an [`ElabError`] instead of exhausting memory at simulation time.
+    fn charge_signal_bits(&mut self, width: usize, span: Span) -> Result<(), ElabError> {
+        if width > MAX_SIGNAL_BITS {
+            return Err(ElabError::new(
+                format!("signal width {width} exceeds the {MAX_SIGNAL_BITS}-bit limit"),
+                span,
+            ));
+        }
+        self.total_signal_bits = self.total_signal_bits.saturating_add(width as u64);
+        if self.total_signal_bits > MAX_TOTAL_SIGNAL_BITS {
+            return Err(ElabError::new(
+                format!("design exceeds {MAX_TOTAL_SIGNAL_BITS} total signal bits"),
+                span,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Accounts one memory (`width` bits × `words` entries) against the
+    /// design budget.
+    fn charge_memory_bits(
+        &mut self,
+        width: usize,
+        words: u64,
+        span: Span,
+    ) -> Result<(), ElabError> {
+        if width > MAX_SIGNAL_BITS {
+            return Err(ElabError::new(
+                format!("memory word width {width} exceeds the {MAX_SIGNAL_BITS}-bit limit"),
+                span,
+            ));
+        }
+        let bits = (width as u64).saturating_mul(words);
+        self.total_memory_bits = self.total_memory_bits.saturating_add(bits);
+        if self.total_memory_bits > MAX_TOTAL_MEMORY_BITS {
+            return Err(ElabError::new(
+                format!("design exceeds {MAX_TOTAL_MEMORY_BITS} total memory bits"),
+                span,
+            ));
+        }
+        Ok(())
     }
 
     fn push_const_driver(&mut self, id: SignalId, value: LogicVec) {
@@ -1057,6 +1139,7 @@ impl<'a> Elaborator<'a> {
                                 n.span,
                             ));
                         }
+                        self.charge_signal_bits(width, n.span)?;
                         let id = SignalId(self.design.signals.len() as u32);
                         let block = name.clone().unwrap_or_else(|| "blk".to_string());
                         self.design.signals.push(Signal {
@@ -1095,7 +1178,7 @@ impl<'a> Elaborator<'a> {
                         // (For `<=` this blocks the process — a documented
                         // simplification; the benchmark set never uses it.)
                         let amount = self.elab_expr_local(d, scope, locals)?;
-                        let tmp = self.alloc_temp(prefix);
+                        let tmp = self.alloc_temp(prefix)?;
                         code.push(Instr::Assign {
                             lv: LValue::Signal(tmp),
                             rhs,
@@ -1180,7 +1263,7 @@ impl<'a> Elaborator<'a> {
             StmtKind::Repeat { count, body } => {
                 // counter = count; while (counter > 0) { body; counter-- }
                 let count = self.elab_expr_local(count, scope, locals)?;
-                let counter = self.alloc_temp(prefix);
+                let counter = self.alloc_temp(prefix)?;
                 code.push(Instr::Assign {
                     lv: LValue::Signal(counter),
                     rhs: count,
@@ -1390,7 +1473,8 @@ impl<'a> Elaborator<'a> {
         }
     }
 
-    fn alloc_temp(&mut self, prefix: &str) -> SignalId {
+    fn alloc_temp(&mut self, prefix: &str) -> Result<SignalId, ElabError> {
+        self.charge_signal_bits(TEMP_WIDTH, Span::default())?;
         let id = SignalId(self.design.signals.len() as u32);
         self.temp_counter += 1;
         self.design.signals.push(Signal {
@@ -1401,7 +1485,7 @@ impl<'a> Elaborator<'a> {
             msb: TEMP_WIDTH as i64 - 1,
             lsb: 0,
         });
-        id
+        Ok(id)
     }
 
     // ---------------------------------------------------------- expressions
@@ -1480,6 +1564,12 @@ impl<'a> Elaborator<'a> {
                 if width == 0 {
                     return Err(ElabError::new("zero-width part select", e.span));
                 }
+                if width > MAX_SIGNAL_BITS {
+                    return Err(ElabError::new(
+                        format!("part select width {width} exceeds the {MAX_SIGNAL_BITS}-bit limit"),
+                        e.span,
+                    ));
+                }
                 let b = self.resolved_base(base, scope, locals)?;
                 Ok(EExpr::IndexedSelect {
                     base: b,
@@ -1513,6 +1603,12 @@ impl<'a> Elaborator<'a> {
                 let count = self.const_usize(count, scope, locals)?;
                 if count == 0 {
                     return Err(ElabError::new("zero replication count", e.span));
+                }
+                if count > MAX_SIGNAL_BITS {
+                    return Err(ElabError::new(
+                        format!("replication count {count} exceeds the {MAX_SIGNAL_BITS} limit"),
+                        e.span,
+                    ));
                 }
                 let items: Vec<EExpr> = items
                     .iter()
@@ -1725,6 +1821,12 @@ impl<'a> Elaborator<'a> {
             } => {
                 let start = self.elab_expr(start, scope, locals)?;
                 let width = self.const_usize(width, scope, locals)?;
+                if width > MAX_SIGNAL_BITS {
+                    return Err(ElabError::new(
+                        format!("part select width {width} exceeds the {MAX_SIGNAL_BITS}-bit limit"),
+                        e.span,
+                    ));
+                }
                 match self.resolved_base(base, scope, locals)? {
                     SelectBase::Signal(sig) => LValue::IndexedSelect {
                         sig,
@@ -1829,6 +1931,16 @@ impl<'a> Elaborator<'a> {
     ) -> Result<(i64, i64), ElabError> {
         let msb = self.const_i64(&r.msb, scope, &[])?;
         let lsb = self.const_i64(&r.lsb, scope, &[])?;
+        // Reject absurd spans here (i128 arithmetic: `msb - lsb` on the raw
+        // i64s could itself overflow on hostile inputs) so every downstream
+        // `(msb - lsb).unsigned_abs() + 1` width computation is safe.
+        let span_bits = (msb as i128 - lsb as i128).unsigned_abs() + 1;
+        if span_bits > MAX_SIGNAL_BITS as u128 {
+            return Err(ElabError::new(
+                format!("range [{msb}:{lsb}] exceeds the {MAX_SIGNAL_BITS}-bit limit"),
+                r.msb.span,
+            ));
+        }
         Ok((msb, lsb))
     }
 }
@@ -2300,5 +2412,54 @@ mod tests {
             "module m; initial begin : b integer i; i = 3; end endmodule",
         );
         assert!(d.signals.iter().any(|s| s.name.contains("b.i")));
+    }
+
+    #[test]
+    fn error_huge_signal_width() {
+        let e = elab("module m; reg [99999999:0] r; endmodule");
+        assert!(e.expect_err("err").message.contains("limit"));
+    }
+
+    #[test]
+    fn error_reversed_huge_range_does_not_overflow() {
+        // A near-i64::MAX span must produce an error, not an arithmetic
+        // panic in the width computation.
+        let e = elab("module m; reg [64'h7FFFFFFFFFFFFFFF:0] r; endmodule");
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn error_huge_memory() {
+        // 64K-bit words x 1M entries blows the total-memory-bits budget
+        // even though each dimension individually passes its own cap.
+        let e = elab("module m; reg [65535:0] mem [0:999999]; endmodule");
+        assert!(e.expect_err("err").message.contains("memory bits"));
+    }
+
+    #[test]
+    fn error_instance_bomb() {
+        // Shallow but wide: fanout 8 over 5 levels = 8^5 leaves, which
+        // stays under MAX_DEPTH but must trip MAX_INSTANCES.
+        let mut src = String::from("module n0; wire w; endmodule\n");
+        for i in 1..=5 {
+            let child = format!("n{}", i - 1);
+            src.push_str(&format!("module n{i};\n"));
+            for j in 0..8 {
+                src.push_str(&format!("  {child} u{j}();\n"));
+            }
+            src.push_str("endmodule\n");
+        }
+        src.push_str("module top; n5 root(); endmodule\n");
+        let f = vgen_verilog::parse(&src).expect("parse");
+        let e = elaborate(&f, "top");
+        assert!(e.expect_err("err").message.contains("instances"));
+    }
+
+    #[test]
+    fn error_huge_replication() {
+        let e = elab(
+            "module m(input a, output y); assign y = |{99999999{a}}; endmodule",
+        );
+        assert!(e.expect_err("err").message.contains("limit"));
     }
 }

@@ -20,12 +20,24 @@ use crate::systasks::{format_display, FormatValue};
 
 /// Simulation limits: wall-clock-free safety nets against runaway designs
 /// (LLM-generated code regularly contains unintentional infinite loops).
+///
+/// Construct via the `Default`-preserving builder so adding limits does not
+/// break call sites:
+///
+/// ```
+/// use vgen_sim::SimConfig;
+/// let cfg = SimConfig::default().with_max_time(1000).with_max_steps(100_000);
+/// assert_eq!(cfg.max_time, 1000);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
     /// Simulation stops after this simulated time.
     pub max_time: u64,
     /// Total instruction budget across all processes.
     pub max_steps: u64,
+    /// Byte cap on `$display`/`$write`/`$monitor` output; a flood degrades
+    /// to [`StopReason::RuntimeError`] instead of unbounded allocation.
+    pub max_output_bytes: usize,
 }
 
 impl Default for SimConfig {
@@ -33,7 +45,28 @@ impl Default for SimConfig {
         SimConfig {
             max_time: 1_000_000,
             max_steps: 5_000_000,
+            max_output_bytes: 1 << 20,
         }
+    }
+}
+
+impl SimConfig {
+    /// Returns the config with `max_time` replaced.
+    pub fn with_max_time(mut self, max_time: u64) -> Self {
+        self.max_time = max_time;
+        self
+    }
+
+    /// Returns the config with `max_steps` replaced.
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Returns the config with `max_output_bytes` replaced.
+    pub fn with_max_output_bytes(mut self, max_output_bytes: usize) -> Self {
+        self.max_output_bytes = max_output_bytes;
+        self
     }
 }
 
@@ -415,6 +448,27 @@ impl Simulator {
         self.stop = Some(StopReason::RuntimeError(e.message));
     }
 
+    /// Appends to the captured output, enforcing `max_output_bytes`: a
+    /// `$display`/`$monitor` flood stops the run with a [`RuntimeError`]
+    /// instead of allocating without bound.
+    fn emit(&mut self, text: &str) {
+        let cap = self.config.max_output_bytes;
+        if self.stdout.len() + text.len() > cap {
+            let mut cut = cap.saturating_sub(self.stdout.len()).min(text.len());
+            while cut > 0 && !text.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            self.stdout.push_str(&text[..cut]);
+            if self.stop.is_none() {
+                self.stop = Some(StopReason::RuntimeError(format!(
+                    "output limit exceeded ({cap} bytes); $display/$monitor flood?"
+                )));
+            }
+            return;
+        }
+        self.stdout.push_str(text);
+    }
+
     fn commit_nba(&mut self) {
         let pending = std::mem::take(&mut self.nba);
         let mut changes = Changes::default();
@@ -503,8 +557,8 @@ impl Simulator {
             Err(_) => return,
         };
         if spec.last_rendered.as_deref() != Some(&rendered) {
-            self.stdout.push_str(&rendered);
-            self.stdout.push('\n');
+            self.emit(&rendered);
+            self.emit("\n");
             self.monitor = Some(MonitorSpec {
                 args: spec.args,
                 last_rendered: Some(rendered),
@@ -538,19 +592,19 @@ impl Simulator {
         match name {
             "display" | "displayb" | "displayh" | "strobe" => {
                 let line = self.render_display(args)?;
-                self.stdout.push_str(&line);
-                self.stdout.push('\n');
+                self.emit(&line);
+                self.emit("\n");
             }
             "write" => {
                 let line = self.render_display(args)?;
-                self.stdout.push_str(&line);
+                self.emit(&line);
             }
             "error" | "warning" | "info" | "fatal" => {
                 // SystemVerilog-style severity tasks appear in LLM output;
                 // render like $display with a severity prefix.
                 let line = self.render_display(args)?;
-                self.stdout.push_str(&format!("{}: {line}\n", name.to_uppercase()));
-                if name == "fatal" {
+                self.emit(&format!("{}: {line}\n", name.to_uppercase()));
+                if name == "fatal" && self.stop.is_none() {
                     self.stop = Some(StopReason::Finish);
                 }
             }
@@ -718,10 +772,7 @@ mod tests {
         let d = elaborate_first(&f).expect("elab");
         let out = Simulator::with_config(
             d,
-            SimConfig {
-                max_time: 100,
-                max_steps: 10_000,
-            },
+            SimConfig::default().with_max_time(100).with_max_steps(10_000),
         )
         .run();
         assert_eq!(out.reason, StopReason::StepBudget);
@@ -740,10 +791,7 @@ mod tests {
         let d = elaborate_first(&f).expect("elab");
         let out = Simulator::with_config(
             d,
-            SimConfig {
-                max_time: 50,
-                max_steps: 1_000_000,
-            },
+            SimConfig::default().with_max_time(50).with_max_steps(1_000_000),
         )
         .run();
         assert_eq!(out.reason, StopReason::TimeLimit);

@@ -306,10 +306,7 @@ fn hung_candidate_is_detected_not_looped() {
     let out = simulate(
         src,
         Some("t"),
-        SimConfig {
-            max_time: 100,
-            max_steps: 10_000,
-        },
+        SimConfig::default().with_max_time(100).with_max_steps(10_000),
     )
     .expect("simulate");
     assert_eq!(out.reason, StopReason::StepBudget);

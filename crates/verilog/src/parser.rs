@@ -28,6 +28,13 @@ use crate::token::{Keyword, Punct, Token, TokenKind};
 /// ```
 pub fn parse(src: &str) -> Result<SourceFile, ParseError> {
     let tokens = Lexer::new(src).tokenize()?;
+    if tokens.len() > MAX_TOKENS {
+        let span = tokens[MAX_TOKENS].span;
+        return Err(ParseError::new(
+            format!("input exceeds {MAX_TOKENS} tokens"),
+            span,
+        ));
+    }
     Parser::new(tokens).parse_source_file()
 }
 
@@ -37,14 +44,50 @@ pub fn syntax_check(src: &str) -> Result<(), ParseError> {
     parse(src).map(|_| ())
 }
 
+/// Token-count ceiling for one source file. LLM completions that blow past
+/// this (comment bombs, repeated garbage) are rejected up front instead of
+/// being carried through the whole pipeline.
+pub const MAX_TOKENS: usize = 400_000;
+
+/// Nesting-depth ceiling for expressions and statements combined. Keeps a
+/// pathological completion (`((((…))))`, thousand-deep `begin` blocks) from
+/// overflowing the parser's stack; such inputs become a [`ParseError`].
+///
+/// Sized for the worst case: each statement level costs ~3 stack frames in
+/// an unoptimised build, and the checker must survive on a 2 MiB test
+/// thread, so the ceiling stays well under that even in debug builds.
+pub const MAX_NEST_DEPTH: usize = 100;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current expression/statement nesting depth (recursion guard).
+    depth: usize,
 }
 
 impl Parser {
     fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0 }
+        Parser {
+            tokens,
+            pos: 0,
+            depth: 0,
+        }
+    }
+
+    /// Bumps the recursion guard; errors out beyond [`MAX_NEST_DEPTH`].
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_NEST_DEPTH {
+            return Err(ParseError::new(
+                format!("nesting exceeds {MAX_NEST_DEPTH} levels"),
+                self.span(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn exit(&mut self) {
+        self.depth -= 1;
     }
 
     fn peek(&self) -> &TokenKind {
@@ -666,6 +709,13 @@ impl Parser {
     // ----------------------------------------------------------- statements
 
     fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.enter()?;
+        let result = self.parse_stmt_inner();
+        self.exit();
+        result
+    }
+
+    fn parse_stmt_inner(&mut self) -> Result<Stmt, ParseError> {
         let start = self.span();
         match self.peek() {
             TokenKind::Keyword(Keyword::Begin) => self.parse_block(start),
@@ -1008,6 +1058,13 @@ impl Parser {
     }
 
     fn parse_ternary(&mut self) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let result = self.parse_ternary_inner();
+        self.exit();
+        result
+    }
+
+    fn parse_ternary_inner(&mut self) -> Result<Expr, ParseError> {
         let cond = self.parse_binary(0)?;
         if !self.eat_punct(Punct::Question) {
             return Ok(cond);
@@ -1028,6 +1085,13 @@ impl Parser {
 
     /// Precedence-climbing binary expression parser. Level 0 is `||`.
     fn parse_binary(&mut self, min_level: u8) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let result = self.parse_binary_inner(min_level);
+        self.exit();
+        result
+    }
+
+    fn parse_binary_inner(&mut self, min_level: u8) -> Result<Expr, ParseError> {
         let mut lhs = self.parse_unary()?;
         loop {
             let Some((op, level)) = self.peek_binary_op() else {
@@ -1087,6 +1151,15 @@ impl Parser {
     }
 
     fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        // Every operand passes through here, so this one guard bounds all
+        // expression recursion (parens, unary chains, `**` right recursion).
+        self.enter()?;
+        let result = self.parse_unary_inner();
+        self.exit();
+        result
+    }
+
+    fn parse_unary_inner(&mut self) -> Result<Expr, ParseError> {
         use Punct as P;
         use UnaryOp::*;
         let start = self.span();

@@ -40,6 +40,7 @@ endmodule
             CheckOutcome::FunctionalFail => "compiles but FAILS the testbench".to_string(),
             CheckOutcome::SimulationFail(m) => format!("simulation failed: {m}"),
             CheckOutcome::CompileFail(m) => format!("does not compile: {m}"),
+            CheckOutcome::HarnessFault(m) => format!("checker fault: {m}"),
         };
         println!("{label}: {verdict}");
     }

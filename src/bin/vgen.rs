@@ -8,6 +8,7 @@
 //! vgen problems                          list the 17 benchmark problems
 //! vgen prompt <id> [--level L|M|H]       print a problem's prompt
 //! vgen eval <file.v> --problem <id>      score a candidate DUT
+//! vgen eval --journal <path> [--resume]  journaled grid sweep (resumable)
 //! ```
 
 use std::process::ExitCode;
@@ -52,13 +53,24 @@ USAGE:
   vgen problems                           list the benchmark problems
   vgen prompt <id> [--level L|M|H]        print a problem prompt
   vgen eval <file.v> --problem <id>       score a candidate DUT source
+  vgen eval --journal <path> [--resume] [--model NAME] [--tuning ft|pt] [--full]
+                                          sweep the family engine over the
+                                          eval grid, journaling each record;
+                                          --resume continues a killed run
 ";
+
+/// Flags that take no value (everything else consumes the next argument).
+const BOOL_FLAGS: &[&str] = &["--resume", "--full"];
 
 fn flag_value<'a>(rest: &'a [&String], name: &str) -> Option<&'a str> {
     rest.iter()
         .position(|a| *a == name)
         .and_then(|i| rest.get(i + 1))
         .map(|s| s.as_str())
+}
+
+fn has_flag(rest: &[&String], name: &str) -> bool {
+    rest.iter().any(|a| *a == name)
 }
 
 fn positional<'a>(rest: &'a [&String]) -> Vec<&'a str> {
@@ -70,8 +82,7 @@ fn positional<'a>(rest: &'a [&String]) -> Vec<&'a str> {
             continue;
         }
         if a.starts_with("--") {
-            // All our flags take a value.
-            skip = rest.get(i + 1).is_some();
+            skip = !BOOL_FLAGS.contains(&a.as_str()) && rest.get(i + 1).is_some();
             continue;
         }
         out.push(a.as_str());
@@ -185,6 +196,9 @@ fn cmd_prompt(rest: &[&String]) -> Result<(), String> {
 }
 
 fn cmd_eval(rest: &[&String]) -> Result<(), String> {
+    if let Some(journal) = flag_value(rest, "--journal") {
+        return cmd_eval_grid(rest, journal);
+    }
     let pos = positional(rest);
     let path = pos
         .first()
@@ -211,13 +225,13 @@ fn cmd_eval(rest: &[&String]) -> Result<(), String> {
         FunctionalFail | SimulationFail(_) => {
             (true, vgen::synth::synthesize_source(&src).is_ok(), false)
         }
-        CompileFail(_) => (false, false, false),
+        CompileFail(_) | HarnessFault(_) => (false, false, false),
     };
     println!("problem {id}: {}", p.name);
     println!("  compiles:     {}", yesno(compiled));
     println!("  synthesizes:  {}", yesno(synth));
     println!("  functional:   {}", yesno(functional));
-    if let CompileFail(m) | SimulationFail(m) = &outcome {
+    if let CompileFail(m) | SimulationFail(m) | HarnessFault(m) = &outcome {
         println!("  detail: {m}");
     }
     if functional {
@@ -225,6 +239,62 @@ fn cmd_eval(rest: &[&String]) -> Result<(), String> {
     } else {
         Err("candidate does not pass".into())
     }
+}
+
+/// Grid evaluation with an on-disk journal: sweep the calibrated family
+/// engine over an evaluation grid, appending each record to `--journal` so
+/// a killed run can be picked up again with `--resume`.
+fn cmd_eval_grid(rest: &[&String], journal: &str) -> Result<(), String> {
+    use vgen::corpus::CorpusSource;
+    use vgen::lm::{FamilyEngine, ModelFamily, ModelId, Tuning};
+
+    let resume = has_flag(rest, "--resume");
+    if !resume && std::fs::metadata(journal).map(|m| m.len() > 0).unwrap_or(false) {
+        return Err(format!(
+            "journal `{journal}` already exists; pass --resume to continue it \
+             or remove the file to start over"
+        ));
+    }
+    let tuning = match flag_value(rest, "--tuning").unwrap_or("ft") {
+        "ft" | "fine-tuned" => Tuning::FineTuned,
+        "pt" | "pretrained" => Tuning::Pretrained,
+        other => return Err(format!("bad --tuning `{other}` (use ft or pt)")),
+    };
+    let family_arg = flag_value(rest, "--model").unwrap_or("CodeGen-16B");
+    let family = ModelFamily::ALL
+        .into_iter()
+        .find(|f| f.name().eq_ignore_ascii_case(family_arg))
+        .ok_or_else(|| {
+            let known: Vec<&str> = ModelFamily::ALL.iter().map(|f| f.name()).collect();
+            format!("unknown model `{family_arg}` (one of: {})", known.join(", "))
+        })?;
+    if tuning == Tuning::FineTuned && !family.supports_fine_tuning() {
+        return Err(format!(
+            "{} cannot be fine-tuned (the paper evaluates it pre-trained only); use --tuning pt",
+            family.name()
+        ));
+    }
+    let config = if has_flag(rest, "--full") {
+        vgen::core::EvalConfig::paper_n10()
+    } else {
+        vgen::core::EvalConfig::quick()
+    };
+    let mut engine = FamilyEngine::new(ModelId::new(family, tuning), CorpusSource::GithubOnly, 42);
+    let run = vgen::core::run_engine_journaled(
+        &mut engine,
+        &config,
+        std::path::Path::new(journal),
+        resume,
+    )
+    .map_err(|e| e.to_string())?;
+    let t = run.tally(|_| true);
+    println!("engine:          {}", run.engine);
+    println!("records:         {}", run.records.len());
+    println!("compile rate:    {:.3}", t.compile_rate());
+    println!("functional rate: {:.3}", t.functional_rate());
+    println!("harness faults:  {}", run.fault_count());
+    println!("journal:         {journal}");
+    Ok(())
 }
 
 fn yesno(b: bool) -> &'static str {

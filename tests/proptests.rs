@@ -304,7 +304,7 @@ proptest! {
         let out = vgen::sim::simulate(
             &src,
             None,
-            vgen::sim::SimConfig { max_time: 1000, max_steps: 100_000 },
+            vgen::sim::SimConfig::default().with_max_time(1000).with_max_steps(100_000),
         )
         .expect("simulate");
         prop_assert!(!matches!(out.reason, vgen::sim::StopReason::RuntimeError(_)));
@@ -325,5 +325,67 @@ proptest! {
     fn bpe_trained_on_input_round_trips(text in "[a-z ;()=]{10,300}") {
         let bpe = Bpe::train(&text, 100);
         prop_assert_eq!(bpe.decode(&bpe.encode(&text)), text);
+    }
+}
+
+// -------------------------------------------------------- checker totality
+
+/// The guarded checker is *total*: any byte soup and any mutant of a real
+/// reference yields a classified outcome, never a `HarnessFault` (which
+/// would mean a panic somewhere in assemble/parse/elaborate/simulate).
+fn classify(completion: &str) -> vgen::core::check::CheckOutcome {
+    let p = vgen::problems::problem(2).expect("problem 2 exists");
+    let config = vgen::sim::SimConfig::default()
+        .with_max_time(100_000)
+        .with_max_steps(500_000)
+        .with_max_output_bytes(1 << 16);
+    vgen::core::guarded_check_completion(p, vgen::problems::PromptLevel::Low, completion, config)
+        .outcome
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn check_classifies_arbitrary_text(completion in ".{0,400}") {
+        let outcome = classify(&completion);
+        prop_assert!(
+            !matches!(outcome, vgen::core::check::CheckOutcome::HarnessFault(_)),
+            "harness fault on arbitrary text: {:?}\n{}", outcome, completion
+        );
+    }
+
+    #[test]
+    fn check_classifies_verilog_shaped_noise(
+        completion in "(assign |always @\\(\\*\\) |reg |wire |if \\(|endmodule|[a-z]{1,4}|[0-9]{1,9}|'h|\\[|\\]|\\{|\\}|;|=|&|\\||~|\\n| ){5,60}"
+    ) {
+        let outcome = classify(&completion);
+        prop_assert!(
+            !matches!(outcome, vgen::core::check::CheckOutcome::HarnessFault(_)),
+            "harness fault on Verilog-shaped noise: {:?}\n{}", outcome, completion
+        );
+    }
+
+    #[test]
+    fn check_classifies_mutated_references(seed in any::<u64>()) {
+        // Mutate a correct solution for the AND-gate problem; every mutant
+        // (semantic or syntactic) must still classify cleanly.
+        let reference = "module and_gate(input a, input b, output y);\nassign y = a & b;\nendmodule\n";
+        let mutants = vgen::lm::mutate::semantic_mutants(reference, seed, 4)
+            .into_iter()
+            .map(|(m, _)| m)
+            .chain(
+                vgen::lm::mutate::syntax_mutants(reference, seed, 4)
+                    .into_iter()
+                    .map(|(m, _)| m),
+            );
+        for m in mutants {
+            // Strip the module header so the mutant looks like a completion.
+            let body = m.split_once(");").map(|(_, b)| b).unwrap_or(&m);
+            let outcome = classify(body);
+            prop_assert!(
+                !matches!(outcome, vgen::core::check::CheckOutcome::HarnessFault(_)),
+                "harness fault on mutant: {:?}\n{}", outcome, m
+            );
+        }
     }
 }

@@ -1,0 +1,176 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the vgen benches use (`criterion_group!`,
+//! `criterion_main!`, `Criterion`, benchmark groups, `BenchmarkId`,
+//! `Bencher::iter`) backed by a simple median-of-samples timer. Results are
+//! printed as `name ... <time>` lines; there is no statistical analysis,
+//! baselines, or HTML report.
+//!
+//! When the binary is invoked with `--test` (as `cargo test --benches`
+//! does), each benchmark body runs exactly once so the suite doubles as a
+//! smoke test without burning wall-clock time.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Benchmark registry and configuration.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test" || a == "--list");
+        Criterion {
+            sample_size: 20,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let (sample_size, test_mode) = (self.sample_size, self.test_mode);
+        run_one(name, sample_size, test_mode, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&full, samples, self.criterion.test_mode, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.render());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&full, samples, self.criterion.test_mode, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies a parameterised benchmark (`name/parameter`).
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!("{}/{}", self.name, self.parameter)
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the routine.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.result = Some(Duration::ZERO);
+            return;
+        }
+        // Warm up once, then take timed samples.
+        black_box(routine());
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        self.result = Some(times[times.len() / 2]);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, test_mode: bool, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        test_mode,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some(d) if !test_mode => println!("{name:<50} {d:?}"),
+        Some(_) => println!("{name:<50} ok (test mode)"),
+        None => println!("{name:<50} (no measurement)"),
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

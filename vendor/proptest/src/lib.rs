@@ -1,0 +1,530 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of proptest the vgen workspace uses:
+//!
+//! - the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! - range strategies (`0u64..10`, `1usize..=40`),
+//! - [`any`] for primitive integers and `bool`,
+//! - regex-literal string strategies covering the pattern subset the test
+//!   suite uses (`.`, `[a-z ;=]`, `{m,n}`, `*`, `+`, `?`, literals),
+//! - [`collection::vec`] for vectors of another strategy,
+//! - `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`.
+//!
+//! There is **no shrinking**: a failing case panics with the case number and
+//! the assertion message. Generation is deterministic per test name, so
+//! failures reproduce exactly.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub use rand::SeedableRng as __SeedableRng;
+
+/// Runner configuration (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps the (interpreter-heavy)
+        // vgen properties fast while still exploring broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed — the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs — skip, not a failure.
+    Reject,
+}
+
+/// A value generator. Unlike real proptest there is no shrink tree.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: std::fmt::Debug;
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Types with a default "arbitrary" strategy, used by [`any`].
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The default strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ------------------------------------------------------- regex strategies
+
+/// One parsed regex atom: a set of candidate chars plus a repetition range.
+#[derive(Debug, Clone)]
+struct RegexPiece {
+    chars: CharSet,
+    min: usize,
+    max: usize,
+}
+
+#[derive(Debug, Clone)]
+enum CharSet {
+    /// `.` — any char except `\n`.
+    Dot,
+    /// An explicit candidate list from `[...]` or a literal.
+    List(Vec<char>),
+}
+
+impl CharSet {
+    fn pick(&self, rng: &mut StdRng) -> char {
+        match self {
+            CharSet::Dot => {
+                // Mostly printable ASCII with occasional control/unicode
+                // chars so lexer-robustness properties see hostile input.
+                match rng.gen_range(0usize..20) {
+                    0 => '\t',
+                    1 => char::from_u32(rng.gen_range(0x80u32..0x2FF)).unwrap_or('¢'),
+                    2 => char::from_u32(rng.gen_range(0x0u32..0x20))
+                        .filter(|c| *c != '\n')
+                        .unwrap_or('\r'),
+                    _ => char::from_u32(rng.gen_range(0x20u32..0x7F)).unwrap_or('?'),
+                }
+            }
+            CharSet::List(cs) => cs[rng.gen_range(0..cs.len())],
+        }
+    }
+}
+
+/// Parses the regex subset used by the test suite. Unsupported syntax
+/// panics at test time, which is the same failure mode as a typo'd pattern.
+fn parse_regex(pattern: &str) -> Vec<RegexPiece> {
+    let mut pieces = Vec::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '.' => {
+                i += 1;
+                CharSet::Dot
+            }
+            '[' => {
+                i += 1;
+                let mut list = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        list.push(chars[i + 1]);
+                        i += 2;
+                        continue;
+                    }
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad char range in regex `{pattern}`");
+                        for c in lo..=hi {
+                            list.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        list.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated `[` in regex `{pattern}`");
+                i += 1; // consume ']'
+                assert!(!list.is_empty(), "empty char class in regex `{pattern}`");
+                CharSet::List(list)
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "trailing `\\` in regex `{pattern}`");
+                let c = chars[i + 1];
+                i += 2;
+                CharSet::List(vec![match c {
+                    'n' => '\n',
+                    't' => '\t',
+                    other => other,
+                }])
+            }
+            c => {
+                i += 1;
+                CharSet::List(vec![c])
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|c| *c == '}')
+                        .map(|p| p + i)
+                        .unwrap_or_else(|| panic!("unterminated `{{` in regex `{pattern}`"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("regex {m,n} lower bound"),
+                            hi.trim().parse().expect("regex {m,n} upper bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("regex {n} count");
+                            (n, n)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad quantifier in regex `{pattern}`");
+        pieces.push(RegexPiece {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    pieces
+}
+
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let pieces = parse_regex(self);
+        let mut out = String::new();
+        for p in &pieces {
+            let n = rng.gen_range(p.min..=p.max);
+            for _ in 0..n {
+                out.push(p.chars.pick(rng));
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+// ---------------------------------------------------- collection strategies
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, StdRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A strategy for `Vec<S::Value>` with a length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::prelude` equivalent.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Derives a stable 64-bit seed from the property name.
+pub fn seed_for(name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rejected: u32 = 0;
+                for case in 0..(config.cases as u64) {
+                    let mut __rng = <$crate::__StdRng as $crate::__SeedableRng>::seed_from_u64(
+                        $crate::seed_for(concat!(module_path!(), "::", stringify!($name)), case),
+                    );
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::TestCaseError::Reject) => {
+                            rejected += 1;
+                            if rejected > config.cases * 16 {
+                                panic!("proptest: too many prop_assume! rejections");
+                            }
+                        }
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest property `{}` failed at case {}: {}",
+                                stringify!($name), case, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// The property-test macro. Accepts the same surface syntax as real
+/// proptest for the forms the workspace uses.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+pub use rand::rngs::StdRng as __StdRng;
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// directly) so the runner can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`", l, r
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}", l, r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` == `{:?}`", l, r
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its generated inputs are unsuitable.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regex_char_class_and_counts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = "[a-f ]{20,200}".generate(&mut rng);
+            assert!((20..=200).contains(&s.chars().count()), "len {}", s.len());
+            assert!(s.chars().all(|c| ('a'..='f').contains(&c) || c == ' '));
+        }
+    }
+
+    #[test]
+    fn regex_dot_excludes_newline() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = ".{0,200}".generate(&mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn regex_literals_and_quantifiers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = "ab{3}c?".generate(&mut rng);
+        assert!(s == "abbbc" || s == "abbb", "got {s:?}");
+    }
+
+    proptest! {
+        #[test]
+        fn macro_binds_multiple_args(a in 0u64..10, b in 0usize..5, s in "[xy]{2,4}") {
+            prop_assert!(a < 10);
+            prop_assert!(b < 5);
+            prop_assert!(s.len() >= 2 && s.len() <= 4);
+            prop_assert_eq!(a.wrapping_add(0), a);
+            prop_assert_ne!(s.len(), 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_form_parses(v in any::<u32>()) {
+            prop_assume!(v != 1);
+            prop_assert!(v != 1);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_len() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = collection::vec(any::<u8>(), 2..6);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+}
