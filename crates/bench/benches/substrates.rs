@@ -54,8 +54,7 @@ fn bench_simulator(c: &mut Criterion) {
     g.bench_function("simulate_counter_tb", |b| {
         b.iter(|| {
             black_box(
-                vgen_sim::simulate(&src, Some("tb"), vgen_sim::SimConfig::default())
-                    .expect("sim"),
+                vgen_sim::simulate(&src, Some("tb"), vgen_sim::SimConfig::default()).expect("sim"),
             )
         })
     });

@@ -46,7 +46,11 @@ fn main() {
          (b) GitHub + books: Pass@(scenario*{n}) = {rb:.4}\n\
          relative improvement: {imp:+.2}%  (paper: +1.4%)\n",
         n = table_n(),
-        imp = if ra > 0.0 { (rb / ra - 1.0) * 100.0 } else { 0.0 },
+        imp = if ra > 0.0 {
+            (rb / ra - 1.0) * 100.0
+        } else {
+            0.0
+        },
     ));
     println!("{report}");
     write_artifact("ablation.txt", &report);

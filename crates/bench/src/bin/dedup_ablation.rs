@@ -25,10 +25,7 @@ fn main() {
     let files = generate_github_corpus(&cfg, 0xDED0);
     // Ground truth: two files are duplicates when their exact Jaccard at
     // k=3 exceeds 0.8 (the pipeline's production threshold).
-    let sets: Vec<HashSet<u64>> = files
-        .iter()
-        .map(|f| shingles(&f.content, 3))
-        .collect();
+    let sets: Vec<HashSet<u64>> = files.iter().map(|f| shingles(&f.content, 3)).collect();
     let mut truth_pairs = 0usize;
     for i in 0..sets.len() {
         for j in i + 1..sets.len() {

@@ -56,13 +56,9 @@ fn main() {
     );
     for &t in &[0.0, 0.5] {
         let (tot, comp, pass) = score(&mut engine, &seen, t, 3);
-        report.push_str(&format!(
-            "seen     {t:<4} {tot:>6}  {comp:>8}  {pass:>6}\n"
-        ));
+        report.push_str(&format!("seen     {t:<4} {tot:>6}  {comp:>8}  {pass:>6}\n"));
         let (tot, comp, pass) = score(&mut engine, &unseen, t, 3);
-        report.push_str(&format!(
-            "held-out {t:<4} {tot:>6}  {comp:>8}  {pass:>6}\n"
-        ));
+        report.push_str(&format!("held-out {t:<4} {tot:>6}  {comp:>8}  {pass:>6}\n"));
     }
     report.push_str(
         "\nExpected shape: high pass counts on the seen set at t=0 (pure\n\

@@ -27,8 +27,8 @@ fn main() {
 
     let mut plain = FamilyEngine::new(model, CorpusSource::GithubOnly, 0x9E9);
     let plain_run = run_engine(&mut plain, &cfg);
-    let mut eng = FamilyEngine::new(model, CorpusSource::GithubOnly, 0x9E9)
-        .with_engineered_prompts();
+    let mut eng =
+        FamilyEngine::new(model, CorpusSource::GithubOnly, 0x9E9).with_engineered_prompts();
     let eng_run = run_engine(&mut eng, &cfg);
 
     let mut report = String::from(

@@ -10,8 +10,11 @@ use vgen_corpus::CorpusSource;
 
 fn main() {
     let cfg = table_config();
-    eprintln!("running {} temperatures x n={:?} over 17 problems x 3 levels x 11 models ...",
-        cfg.temperatures.len(), cfg.ns);
+    eprintln!(
+        "running {} temperatures x n={:?} over 17 problems x 3 levels x 11 models ...",
+        cfg.temperatures.len(),
+        cfg.ns
+    );
     let rows = evaluate_all_models(&cfg, CorpusSource::GithubOnly, 0xDA7E2023);
     let table = render_table3(&rows, table_n());
     println!("{table}");

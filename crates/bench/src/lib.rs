@@ -40,7 +40,9 @@ pub fn write_artifact(name: &str, contents: &str) {
 
 /// Whether the quick (reduced-grid) mode is requested.
 pub fn quick_mode() -> bool {
-    std::env::var("VGEN_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("VGEN_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The standard full-table configuration (paper grid at n = 10), reduced

@@ -254,7 +254,9 @@ mod tests {
             p(2),
             PromptLevel::Low,
             "reg spin;\nalways spin = ~spin;\nassign y = a & b;\nendmodule",
-            SimConfig::default().with_max_time(1000).with_max_steps(50_000),
+            SimConfig::default()
+                .with_max_time(1000)
+                .with_max_steps(50_000),
         );
         assert!(
             matches!(r.outcome, CheckOutcome::SimulationFail(_)),

@@ -10,11 +10,7 @@ use crate::sweep::{run_engine, EvalConfig};
 
 /// Evaluates all 11 (family, tuning) rows with the calibrated family
 /// engine. J1-Large automatically skips n = 25 (§IV-B).
-pub fn evaluate_all_models(
-    config: &EvalConfig,
-    corpus: CorpusSource,
-    seed: u64,
-) -> Vec<ModelRun> {
+pub fn evaluate_all_models(config: &EvalConfig, corpus: CorpusSource, seed: u64) -> Vec<ModelRun> {
     ModelId::all_evaluated()
         .into_iter()
         .map(|model| evaluate_model(model, config, corpus, seed))

@@ -28,16 +28,18 @@ pub mod check;
 pub mod experiments;
 pub mod guard;
 pub mod metrics;
+pub mod pool;
 pub mod report;
 pub mod sweep;
 pub mod synthcheck;
 
 pub use check::{check_completion, CheckOutcome, CheckResult};
-pub use guard::{catch_harness_fault, guarded_check_completion};
 pub use experiments::{evaluate_all_models, evaluate_model};
+pub use guard::{catch_harness_fault, guarded_check_completion};
 pub use metrics::{pass_at_k, pass_fraction, Tally};
-pub use report::{headline_stats, render_fault_summary, Headline, ModelRun};
+pub use pool::{ReorderBuffer, WorkerPool};
+pub use report::{headline_stats, render_eval_summary, render_fault_summary, Headline, ModelRun};
 pub use sweep::{
-    config_fingerprint, read_journal, run_engine, run_engine_journaled, EvalConfig,
-    EvalRun, Record,
+    config_fingerprint, read_journal, run_engine, run_engine_journaled, run_engine_parallel,
+    run_engine_sweep, EvalConfig, EvalRun, Record, SweepOptions,
 };

@@ -52,9 +52,7 @@ pub fn render_table1() -> String {
 
 /// Renders Table II — the problem set.
 pub fn render_table2() -> String {
-    let mut out = String::from(
-        "TABLE II: PROBLEM SET\nProb.#  Difficulty    Description\n",
-    );
+    let mut out = String::from("TABLE II: PROBLEM SET\nProb.#  Difficulty    Description\n");
     for p in problems() {
         out.push_str(&format!(
             "{:>6}  {:<12}  {}\n",
@@ -124,9 +122,8 @@ pub fn render_table4(rows: &[ModelRun], n: usize) -> String {
 
 /// Fig 6 (left): functional pass rate vs temperature per model.
 pub fn render_fig6_temperature(rows: &[ModelRun], n: usize) -> String {
-    let mut out = format!(
-        "FIG 6 (left): Pass@(scenario*{n}) passing test benches vs temperature\n"
-    );
+    let mut out =
+        format!("FIG 6 (left): Pass@(scenario*{n}) passing test benches vs temperature\n");
     for row in rows {
         out.push_str(&format!("{:<24}", format!("{}", row.model)));
         for t in row.run.temperatures() {
@@ -144,9 +141,8 @@ pub fn render_fig6_temperature(rows: &[ModelRun], n: usize) -> String {
 /// Fig 6 (right): functional pass rate vs completions-per-prompt (at the
 /// best temperature per model).
 pub fn render_fig6_n(rows: &[ModelRun], ns: &[usize]) -> String {
-    let mut out = String::from(
-        "FIG 6 (right): Pass@(scenario*n) passing test benches vs n (best t)\n",
-    );
+    let mut out =
+        String::from("FIG 6 (right): Pass@(scenario*n) passing test benches vs n (best t)\n");
     for row in rows {
         out.push_str(&format!("{:<24}", format!("{}", row.model)));
         for &n in ns {
@@ -174,9 +170,7 @@ pub fn render_fig6_n(rows: &[ModelRun], ns: &[usize]) -> String {
 
 /// Fig 7 (left): functional pass rate vs prompt description level.
 pub fn render_fig7_levels(rows: &[ModelRun], n: usize) -> String {
-    let mut out = format!(
-        "FIG 7 (left): Pass@(scenario*{n}) vs description level (best t)\n"
-    );
+    let mut out = format!("FIG 7 (left): Pass@(scenario*{n}) vs description level (best t)\n");
     for row in rows {
         out.push_str(&format!("{:<24}", format!("{}", row.model)));
         for l in PromptLevel::ALL {
@@ -194,9 +188,7 @@ pub fn render_fig7_levels(rows: &[ModelRun], n: usize) -> String {
 
 /// Fig 7 (right): functional pass rate vs difficulty.
 pub fn render_fig7_difficulty(rows: &[ModelRun], n: usize) -> String {
-    let mut out = format!(
-        "FIG 7 (right): Pass@(scenario*{n}) vs difficulty (best t)\n"
-    );
+    let mut out = format!("FIG 7 (right): Pass@(scenario*{n}) vs difficulty (best t)\n");
     for row in rows {
         out.push_str(&format!("{:<24}", format!("{}", row.model)));
         for d in Difficulty::ALL {
@@ -366,6 +358,30 @@ pub fn render_fault_summary(rows: &[ModelRun]) -> String {
     out
 }
 
+/// Renders the summary block for one journaled sweep (the `vgen eval
+/// --journal` report).
+///
+/// Deliberately contains nothing execution-dependent — no worker count,
+/// no wall-clock — so the report is byte-identical across `--jobs`
+/// settings; the CI determinism gate diffs this output directly.
+/// Execution details (worker count, throughput) go to stderr instead.
+pub fn render_eval_summary(run: &EvalRun, journal: &str) -> String {
+    let t = run.tally(|_| true);
+    format!(
+        "engine:          {}\n\
+         records:         {}\n\
+         compile rate:    {:.3}\n\
+         functional rate: {:.3}\n\
+         harness faults:  {}\n\
+         journal:         {journal}\n",
+        run.engine,
+        run.records.len(),
+        t.compile_rate(),
+        t.functional_rate(),
+        run.fault_count(),
+    )
+}
+
 /// Renders the expected latency column alone (validates the latency model
 /// against Table IV's reported means).
 pub fn render_latency_check(rows: &[ModelRun]) -> String {
@@ -472,6 +488,19 @@ mod tests {
         let rows = tiny_rows();
         let s = render_latency_check(&rows);
         assert!(s.contains("vs"));
+    }
+
+    #[test]
+    fn eval_summary_is_execution_independent() {
+        let rows = tiny_rows();
+        let s = render_eval_summary(&rows[0].run, "sweep.log");
+        assert!(s.starts_with("engine:"));
+        assert!(s.contains("journal:         sweep.log"));
+        // Nothing about workers/jobs/time may leak into the report: the
+        // CI determinism gate byte-diffs it across --jobs settings.
+        for banned in ["jobs", "worker", "elapsed", "checks/s"] {
+            assert!(!s.contains(banned), "report leaked `{banned}`:\n{s}");
+        }
     }
 
     #[test]

@@ -7,9 +7,33 @@
 //! not the sweep. Long sweeps can additionally journal each record to disk
 //! as it is produced ([`run_engine_journaled`]) and resume after a crash or
 //! kill without repeating completed checks.
+//!
+//! ## Execution model
+//!
+//! A sweep runs in two phases (see DESIGN.md, "Parallel execution
+//! model"):
+//!
+//! 1. **Generate** (always serial, on the calling thread): the grid is
+//!    walked in canonical order and the engine is queried for every cell,
+//!    flattening the scenario×temperature×completion grid into a vector
+//!    of independent work items. Serial generation keeps the engine's RNG
+//!    stream identical across worker counts and across fresh vs resumed
+//!    runs.
+//! 2. **Check** (serial or parallel): each work item is one
+//!    compile+simulate check. With `jobs > 1`
+//!    ([`SweepOptions::jobs`]) items are dispatched to a
+//!    [`WorkerPool`](crate::pool::WorkerPool) and results flow through a
+//!    [`ReorderBuffer`](crate::pool::ReorderBuffer) back into canonical
+//!    order, so journal lines, reports and Pass@k aggregates are
+//!    byte-identical to the serial path regardless of worker count or
+//!    completion order. Journal lines are written by a single dedicated
+//!    writer thread, in order, one flush per record — a killed parallel
+//!    run therefore leaves the same contiguous-prefix journal a killed
+//!    serial run would, and `--resume` composes unchanged.
 
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, IsTerminal, Write};
 use std::path::Path;
+use std::time::{Duration, Instant};
 
 use vgen_lm::engine::{Completion, CompletionEngine};
 use vgen_problems::{problem, Difficulty, Problem, PromptLevel};
@@ -18,6 +42,7 @@ use vgen_sim::SimConfig;
 use crate::check::CheckOutcome;
 use crate::guard::guarded_check_completion;
 use crate::metrics::Tally;
+use crate::pool::{ReorderBuffer, WorkerPool};
 
 /// The paper's temperature grid (§IV-B).
 pub const PAPER_TEMPERATURES: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 1.0];
@@ -174,6 +199,120 @@ pub struct EvalRun {
     pub records: Vec<Record>,
 }
 
+/// Execution options for a sweep: worker count and progress reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// Checker worker threads. `1` runs every check inline on the calling
+    /// thread (the serial path); `0` means "use
+    /// [`SweepOptions::auto_jobs`]". Results are merged through a
+    /// deterministic reorder buffer, so any value produces byte-identical
+    /// reports and journals.
+    pub jobs: usize,
+    /// Emit a periodic one-line progress/throughput counter to stderr
+    /// from the merge loop. Callers should gate this on stdout being a
+    /// TTY ([`SweepOptions::progress_auto`]) so CI logs stay clean.
+    pub progress: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            jobs: 1,
+            progress: false,
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Serial execution, no progress output (the historical behaviour).
+    pub fn serial() -> Self {
+        Self::default()
+    }
+
+    /// Parallel execution with `jobs` workers (`0` = auto), no progress.
+    pub fn parallel(jobs: usize) -> Self {
+        SweepOptions {
+            jobs,
+            progress: false,
+        }
+    }
+
+    /// The default worker count: the machine's available parallelism.
+    pub fn auto_jobs() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Whether progress output should be enabled by default: only when
+    /// stdout is a terminal (an interactive run), never into CI logs or
+    /// redirected reports.
+    pub fn progress_auto() -> bool {
+        io::stdout().is_terminal()
+    }
+
+    /// The worker count this configuration resolves to.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            Self::auto_jobs()
+        } else {
+            self.jobs
+        }
+    }
+}
+
+/// One flattened unit of work: a single completion to check, tagged with
+/// its canonical position in the grid walk.
+struct WorkItem {
+    pos: usize,
+    problem: &'static Problem,
+    level: PromptLevel,
+    temperature: f64,
+    n: usize,
+    completion: Completion,
+}
+
+/// The slice of a work item needed to synthesise a fault record if the
+/// pool reports that its task panicked outside the per-check guard.
+#[derive(Clone, Copy)]
+struct ItemMeta {
+    problem_id: u8,
+    difficulty: Difficulty,
+    level: PromptLevel,
+    temperature: f64,
+    n: usize,
+    latency_s: f64,
+}
+
+impl WorkItem {
+    fn meta(&self) -> ItemMeta {
+        ItemMeta {
+            problem_id: self.problem.id,
+            difficulty: self.problem.difficulty,
+            level: self.level,
+            temperature: self.temperature,
+            n: self.n,
+            latency_s: self.completion.latency_s,
+        }
+    }
+}
+
+impl ItemMeta {
+    fn fault_record(&self) -> Record {
+        Record {
+            problem_id: self.problem_id,
+            difficulty: self.difficulty,
+            level: self.level,
+            temperature: self.temperature,
+            n: self.n,
+            compiled: false,
+            passed: false,
+            fault: true,
+            latency_s: self.latency_s,
+        }
+    }
+}
+
 /// Checks one completion (under the panic guard) and builds its record.
 fn check_to_record(
     prob: &Problem,
@@ -197,49 +336,72 @@ fn check_to_record(
     }
 }
 
-/// Walks the grid in its (deterministic) canonical order, calling `handle`
-/// with a running completion index for every completion. The engine is
-/// always queried for every cell — even cells whose records will be reused
-/// from a journal — so the engine's RNG stream is identical across a fresh
-/// run and a resumed one.
-fn run_grid(
-    engine: &mut dyn CompletionEngine,
-    config: &EvalConfig,
-    mut handle: impl FnMut(usize, &Problem, PromptLevel, f64, usize, &Completion) -> io::Result<Record>,
-) -> io::Result<Vec<Record>> {
-    let mut records = Vec::new();
+fn check_item(item: &WorkItem, sim: SimConfig) -> Record {
+    check_to_record(
+        item.problem,
+        item.level,
+        item.temperature,
+        item.n,
+        &item.completion,
+        sim,
+    )
+}
+
+/// The generate phase: walks the grid in its (deterministic) canonical
+/// order, querying the engine for every cell and flattening every
+/// completion into a [`WorkItem`]. The engine is always queried for every
+/// cell — even cells whose records will be reused from a journal — so the
+/// engine's RNG stream is identical across a fresh run and a resumed one,
+/// and across worker counts.
+fn generate_items(engine: &mut dyn CompletionEngine, config: &EvalConfig) -> Vec<WorkItem> {
+    let mut items = Vec::new();
     let mut pos = 0usize;
     for &pid in &config.problem_ids {
         let prob = problem(pid).unwrap_or_else(|| panic!("unknown problem id {pid}"));
         for &level in &config.levels {
             for &t in &config.temperatures {
                 for &n in &config.ns {
-                    let completions = engine.generate(prob, level, t, n);
-                    for c in completions {
-                        records.push(handle(pos, prob, level, t, n, &c)?);
+                    for completion in engine.generate(prob, level, t, n) {
+                        items.push(WorkItem {
+                            pos,
+                            problem: prob,
+                            level,
+                            temperature: t,
+                            n,
+                            completion,
+                        });
                         pos += 1;
                     }
                 }
             }
         }
     }
-    Ok(records)
+    items
 }
 
-/// Runs an engine over the grid, checking every completion.
+/// Runs an engine over the grid, checking every completion serially.
 ///
 /// J1-Large skips n = 25 upstream (the engine name containing "J1" is not
 /// inspected here — pass a config without 25 for that model, as the bench
 /// binaries do, mirroring §IV-B).
 pub fn run_engine(engine: &mut dyn CompletionEngine, config: &EvalConfig) -> EvalRun {
-    let records = run_grid(engine, config, |_, prob, level, t, n, c| {
-        Ok(check_to_record(prob, level, t, n, c, config.sim))
-    })
-    .expect("in-memory sweep cannot fail");
-    EvalRun {
-        engine: engine.name(),
-        records,
-    }
+    run_engine_sweep(engine, config, None, &SweepOptions::serial())
+        .expect("in-memory serial sweep cannot fail")
+}
+
+/// [`run_engine`] with `jobs` checker workers (`0` = auto). Produces
+/// records identical to the serial path.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::TimedOut`] if the worker pool stalls (a harness bug —
+/// individual checks are bounded by the simulator budgets).
+pub fn run_engine_parallel(
+    engine: &mut dyn CompletionEngine,
+    config: &EvalConfig,
+    jobs: usize,
+) -> io::Result<EvalRun> {
+    run_engine_sweep(engine, config, None, &SweepOptions::parallel(jobs))
 }
 
 /// Journal format marker (first token of the header line).
@@ -296,15 +458,12 @@ pub fn read_journal(path: &Path) -> io::Result<(String, u64, Vec<Record>)> {
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty journal"))??;
     let rest = header
         .strip_prefix(&format!("# {JOURNAL_MAGIC} fingerprint="))
-        .ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, "not a vgen journal")
-        })?;
-    let (fp_hex, engine) = rest.split_once(" engine=").ok_or_else(|| {
-        io::Error::new(io::ErrorKind::InvalidData, "malformed journal header")
-    })?;
-    let fp = u64::from_str_radix(fp_hex, 16).map_err(|_| {
-        io::Error::new(io::ErrorKind::InvalidData, "malformed journal fingerprint")
-    })?;
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "not a vgen journal"))?;
+    let (fp_hex, engine) = rest
+        .split_once(" engine=")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed journal header"))?;
+    let fp = u64::from_str_radix(fp_hex, 16)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "malformed journal fingerprint"))?;
     let mut records = Vec::new();
     for line in lines {
         let line = line?;
@@ -336,50 +495,234 @@ pub fn run_engine_journaled(
     path: &Path,
     resume: bool,
 ) -> io::Result<EvalRun> {
+    run_engine_sweep(
+        engine,
+        config,
+        Some((path, resume)),
+        &SweepOptions::serial(),
+    )
+}
+
+/// How long the merge loop waits for a single pool result before
+/// declaring the pool stalled. Every check is bounded by the parser,
+/// elaborator and simulator resource budgets, so a healthy pool delivers
+/// results orders of magnitude faster than this even in debug builds.
+const RESULT_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// The dedicated journal writer: all journal lines — from every worker —
+/// funnel through this one thread, in canonical order, one flush per
+/// record. Serialising writes here (rather than locking the file in each
+/// worker) keeps the on-disk journal a torn-line-free, contiguous prefix
+/// of the canonical record stream, which is exactly the invariant
+/// `--resume` relies on.
+struct JournalWriter {
+    tx: Option<std::sync::mpsc::Sender<String>>,
+    handle: std::thread::JoinHandle<io::Result<()>>,
+}
+
+impl JournalWriter {
+    fn spawn(mut file: std::fs::File) -> Self {
+        let (tx, rx) = std::sync::mpsc::channel::<String>();
+        let handle = std::thread::Builder::new()
+            .name("vgen-journal".into())
+            .spawn(move || {
+                for line in rx {
+                    writeln!(file, "{line}")?;
+                    file.flush()?;
+                }
+                Ok(())
+            })
+            .expect("spawn journal writer");
+        JournalWriter {
+            tx: Some(tx),
+            handle,
+        }
+    }
+
+    /// Queues one record line. Errors surface in [`JournalWriter::finish`].
+    fn write(&self, line: String) {
+        if let Some(tx) = &self.tx {
+            // A send error means the writer already failed; the I/O error
+            // itself is reported by finish().
+            let _ = tx.send(line);
+        }
+    }
+
+    /// Closes the stream and joins the writer, propagating any I/O error.
+    fn finish(mut self) -> io::Result<()> {
+        drop(self.tx.take());
+        self.handle
+            .join()
+            .unwrap_or_else(|_| Err(io::Error::other("journal writer panicked")))
+    }
+}
+
+/// Periodic progress/throughput line, emitted from the merge loop.
+struct Progress {
+    enabled: bool,
+    total: usize,
+    done: usize,
+    completed_this_run: usize,
+    started: Instant,
+    last_print: Instant,
+}
+
+impl Progress {
+    const PRINT_EVERY: Duration = Duration::from_millis(250);
+
+    fn new(enabled: bool, total: usize, already_done: usize) -> Self {
+        let now = Instant::now();
+        Progress {
+            enabled,
+            total,
+            done: already_done,
+            completed_this_run: 0,
+            started: now,
+            // Backdate so the first completed check prints immediately.
+            last_print: now - Self::PRINT_EVERY,
+        }
+    }
+
+    fn tick(&mut self) {
+        self.done += 1;
+        self.completed_this_run += 1;
+        if !self.enabled {
+            return;
+        }
+        if self.last_print.elapsed() >= Self::PRINT_EVERY || self.done == self.total {
+            let rate =
+                self.completed_this_run as f64 / self.started.elapsed().as_secs_f64().max(1e-9);
+            eprint!(
+                "\r[eval] {}/{} checks  {:.1} checks/s   ",
+                self.done, self.total, rate
+            );
+            self.last_print = Instant::now();
+        }
+    }
+
+    fn finish(&self) {
+        if self.enabled && self.completed_this_run > 0 {
+            eprintln!();
+        }
+    }
+}
+
+/// The unified sweep executor behind [`run_engine`],
+/// [`run_engine_parallel`] and [`run_engine_journaled`]: generate phase,
+/// optional journal (with resume), and a serial or pooled check phase
+/// merged deterministically. See the module docs for the execution model.
+///
+/// # Errors
+///
+/// I/O errors reading/writing the journal,
+/// [`io::ErrorKind::InvalidData`] when resuming against a mismatched
+/// journal, or [`io::ErrorKind::TimedOut`] if the worker pool stalls.
+pub fn run_engine_sweep(
+    engine: &mut dyn CompletionEngine,
+    config: &EvalConfig,
+    journal: Option<(&Path, bool)>,
+    opts: &SweepOptions,
+) -> io::Result<EvalRun> {
     let name = engine.name();
     let fp = config_fingerprint(config);
     let mut prior: Vec<Record> = Vec::new();
-    let resuming = resume && path.exists();
-    if resuming {
-        let (jname, jfp, recs) = read_journal(path)?;
-        if jname != name {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("journal is for engine `{jname}`, not `{name}`"),
-            ));
+    let mut writer: Option<JournalWriter> = None;
+    if let Some((path, resume)) = journal {
+        if resume && path.exists() {
+            let (jname, jfp, recs) = read_journal(path)?;
+            if jname != name {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("journal is for engine `{jname}`, not `{name}`"),
+                ));
+            }
+            if jfp != fp {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("journal config fingerprint {jfp:016x} != {fp:016x}"),
+                ));
+            }
+            prior = recs;
         }
-        if jfp != fp {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("journal config fingerprint {jfp:016x} != {fp:016x}"),
-            ));
-        }
-        prior = recs;
-    }
-    let mut file = if resuming {
-        // Rewrite header + surviving records: this also truncates any torn
-        // trailing line left by a kill.
+        // (Re)write header + surviving records; on resume this also
+        // truncates any torn trailing line left by a kill.
         let mut f = std::fs::File::create(path)?;
         writeln!(f, "# {JOURNAL_MAGIC} fingerprint={fp:016x} engine={name}")?;
         for r in &prior {
             writeln!(f, "{}", r.to_journal_line())?;
         }
-        f
-    } else {
-        let mut f = std::fs::File::create(path)?;
-        writeln!(f, "# {JOURNAL_MAGIC} fingerprint={fp:016x} engine={name}")?;
-        f
-    };
-    file.flush()?;
-    let records = run_grid(engine, config, |pos, prob, level, t, n, c| {
-        if let Some(r) = prior.get(pos) {
-            return Ok(r.clone());
+        f.flush()?;
+        writer = Some(JournalWriter::spawn(f));
+    }
+
+    let items = generate_items(engine, config);
+    let total = items.len();
+    // The fingerprint pins the grid, so a well-formed journal never holds
+    // more than `total` records; clamp anyway so a hand-edited journal
+    // cannot push the resume cursor past the grid.
+    prior.truncate(total);
+    let done_prior = prior.len();
+    let mut progress = Progress::new(opts.progress, total, done_prior);
+    let mut records = prior;
+    let jobs = opts.effective_jobs();
+
+    if jobs <= 1 {
+        // Serial path: check inline, in canonical order.
+        for item in items.into_iter().skip(done_prior) {
+            let rec = check_item(&item, config.sim);
+            if let Some(w) = &writer {
+                w.write(rec.to_journal_line());
+            }
+            records.push(rec);
+            progress.tick();
         }
-        let rec = check_to_record(prob, level, t, n, c, config.sim);
-        writeln!(file, "{}", rec.to_journal_line())?;
-        file.flush()?;
-        Ok(rec)
-    })?;
+    } else {
+        // Parallel path: dispatch to the work-stealing pool, merge back
+        // into canonical order through the reorder buffer.
+        let metas: Vec<ItemMeta> = items.iter().skip(done_prior).map(WorkItem::meta).collect();
+        let pool: WorkerPool<Record> = WorkerPool::new(jobs);
+        let sim = config.sim;
+        for item in items.into_iter().skip(done_prior) {
+            pool.submit(item.pos, move || check_item(&item, sim));
+        }
+        let outstanding = total - done_prior;
+        let mut reorder = ReorderBuffer::new(done_prior);
+        for _ in 0..outstanding {
+            let (pos, result) = pool.recv_timeout(RESULT_TIMEOUT).map_err(|_| {
+                io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "worker pool stalled: {} of {outstanding} checks outstanding",
+                        outstanding - (progress.completed_this_run + reorder.pending_len())
+                    ),
+                )
+            })?;
+            let rec = match result {
+                Ok(r) => r,
+                // The per-check guard already converts checker panics into
+                // fault records, so this arm only fires if the task
+                // panicked in pool plumbing around the check. It still
+                // costs exactly one fault record, like any harness fault.
+                Err(_panic_msg) => metas[pos - done_prior].fault_record(),
+            };
+            reorder.push(pos, rec);
+            while let Some(rec) = reorder.pop_ready() {
+                if let Some(w) = &writer {
+                    w.write(rec.to_journal_line());
+                }
+                records.push(rec);
+                progress.tick();
+            }
+        }
+        debug_assert_eq!(reorder.pending_len(), 0, "reorder buffer drained");
+        pool.shutdown();
+    }
+
+    progress.finish();
+    debug_assert_eq!(records.len(), total, "every work item produced a record");
+    if let Some(w) = writer {
+        w.finish()?;
+    }
     Ok(EvalRun {
         engine: name,
         records,
@@ -423,9 +766,7 @@ impl EvalRun {
             .into_iter()
             .map(|t| {
                 self.tally(|r| {
-                    r.difficulty == difficulty
-                        && r.n == n
-                        && (r.temperature - t).abs() < 1e-12
+                    r.difficulty == difficulty && r.n == n && (r.temperature - t).abs() < 1e-12
                 })
                 .compile_rate()
             })
@@ -434,12 +775,7 @@ impl EvalRun {
 
     /// Best-temperature *functional* rate for (difficulty, level) at n —
     /// a Table IV cell.
-    pub fn best_functional(
-        &self,
-        difficulty: Difficulty,
-        level: PromptLevel,
-        n: usize,
-    ) -> f64 {
+    pub fn best_functional(&self, difficulty: Difficulty, level: PromptLevel, n: usize) -> f64 {
         self.temperatures()
             .into_iter()
             .map(|t| {
@@ -523,10 +859,7 @@ mod tests {
         let hot = run
             .tally(|r| (r.temperature - 1.0).abs() < 1e-9)
             .functional_rate();
-        assert!(
-            cold > hot,
-            "cold sampling should beat hot: {cold} vs {hot}"
-        );
+        assert!(cold > hot, "cold sampling should beat hot: {cold} vs {hot}");
         assert!(run.best_functional(Difficulty::Basic, PromptLevel::Medium, 20) >= cold);
     }
 
@@ -547,9 +880,7 @@ mod tests {
         );
         let ft_run = run_engine(&mut ft, &cfg);
         let pt_run = run_engine(&mut pt, &cfg);
-        assert!(
-            ft_run.tally(|_| true).compile_rate() > pt_run.tally(|_| true).compile_rate()
-        );
+        assert!(ft_run.tally(|_| true).compile_rate() > pt_run.tally(|_| true).compile_rate());
     }
 
     #[test]
@@ -611,8 +942,7 @@ mod tests {
         let cfg = small_cfg();
         let plain = run_engine(&mut cg16_ft_engine(), &cfg);
         let journaled =
-            run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, false)
-                .expect("journaled run");
+            run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, false).expect("journaled run");
         assert_eq!(plain, journaled);
         // And the journal itself replays to the same records.
         let (name, fp, recs) = read_journal(&path).expect("read back");
@@ -626,16 +956,16 @@ mod tests {
     fn killed_journal_resumes_to_identical_totals() {
         let path = temp_journal("resume");
         let cfg = small_cfg();
-        let full = run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, false)
-            .expect("full run");
+        let full =
+            run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, false).expect("full run");
         // Simulate a kill partway through: keep the header, the first 11
         // records, and a torn 12th line.
         let text = std::fs::read_to_string(&path).expect("journal text");
         let mut kept: Vec<&str> = text.lines().take(12).collect();
         kept.push("2,B,L,0.1"); // torn final write
         std::fs::write(&path, kept.join("\n")).expect("truncate");
-        let resumed = run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, true)
-            .expect("resumed run");
+        let resumed =
+            run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, true).expect("resumed run");
         assert_eq!(resumed, full);
         assert_eq!(
             resumed.tally(|_| true).functional_rate(),
@@ -648,8 +978,7 @@ mod tests {
     fn resume_rejects_mismatched_config() {
         let path = temp_journal("mismatch");
         let cfg = small_cfg();
-        run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, false)
-            .expect("seed journal");
+        run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, false).expect("seed journal");
         let mut other = cfg.clone();
         other.temperatures = vec![0.5];
         let err = run_engine_journaled(&mut cg16_ft_engine(), &other, &path, true)
@@ -659,18 +988,95 @@ mod tests {
     }
 
     #[test]
+    fn parallel_records_match_serial_records() {
+        let cfg = small_cfg();
+        let serial = run_engine(&mut cg16_ft_engine(), &cfg);
+        for jobs in [2, 4, 7] {
+            let par =
+                run_engine_parallel(&mut cg16_ft_engine(), &cfg, jobs).expect("parallel sweep");
+            assert_eq!(serial, par, "jobs={jobs} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn parallel_journal_is_byte_identical_to_serial_journal() {
+        let cfg = small_cfg();
+        let p1 = temp_journal("bytes-serial");
+        let p4 = temp_journal("bytes-parallel");
+        let serial = run_engine_sweep(
+            &mut cg16_ft_engine(),
+            &cfg,
+            Some((&p1, false)),
+            &SweepOptions::serial(),
+        )
+        .expect("serial journaled");
+        let par = run_engine_sweep(
+            &mut cg16_ft_engine(),
+            &cfg,
+            Some((&p4, false)),
+            &SweepOptions::parallel(4),
+        )
+        .expect("parallel journaled");
+        assert_eq!(serial, par);
+        let b1 = std::fs::read(&p1).expect("serial journal bytes");
+        let b4 = std::fs::read(&p4).expect("parallel journal bytes");
+        assert_eq!(b1, b4, "journals must be byte-identical across jobs");
+        let _ = std::fs::remove_file(&p1);
+        let _ = std::fs::remove_file(&p4);
+    }
+
+    #[test]
+    fn killed_parallel_journal_resumes_to_identical_totals() {
+        let path = temp_journal("parallel-resume");
+        let cfg = small_cfg();
+        let full = run_engine_sweep(
+            &mut cg16_ft_engine(),
+            &cfg,
+            Some((&path, false)),
+            &SweepOptions::parallel(4),
+        )
+        .expect("full parallel run");
+        // Simulate a kill partway through: header, 9 records, torn line.
+        let text = std::fs::read_to_string(&path).expect("journal text");
+        let mut kept: Vec<&str> = text.lines().take(10).collect();
+        kept.push("1,B,L,0.7"); // torn final write
+        std::fs::write(&path, kept.join("\n")).expect("truncate");
+        let resumed = run_engine_sweep(
+            &mut cg16_ft_engine(),
+            &cfg,
+            Some((&path, true)),
+            &SweepOptions::parallel(3),
+        )
+        .expect("resumed parallel run");
+        assert_eq!(resumed, full);
+        // The resumed journal replays to the full record set.
+        let (_, _, recs) = read_journal(&path).expect("read back");
+        assert_eq!(recs, full.records);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn jobs_zero_resolves_to_available_parallelism() {
+        assert!(SweepOptions::auto_jobs() >= 1);
+        assert_eq!(
+            SweepOptions::parallel(0).effective_jobs(),
+            SweepOptions::auto_jobs()
+        );
+        assert_eq!(SweepOptions::parallel(3).effective_jobs(), 3);
+        assert_eq!(SweepOptions::serial().effective_jobs(), 1);
+    }
+
+    #[test]
     fn resume_rejects_mismatched_engine() {
         let path = temp_journal("engine");
         let cfg = small_cfg();
-        run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, false)
-            .expect("seed journal");
+        run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, false).expect("seed journal");
         let mut other = FamilyEngine::new(
             ModelId::new(ModelFamily::CodeGen16B, Tuning::Pretrained),
             CorpusSource::GithubOnly,
             42,
         );
-        let err = run_engine_journaled(&mut other, &cfg, &path, true)
-            .expect_err("must reject");
+        let err = run_engine_journaled(&mut other, &cfg, &path, true).expect_err("must reject");
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         let _ = std::fs::remove_file(&path);
     }

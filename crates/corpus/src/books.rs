@@ -90,8 +90,14 @@ pub fn generate_books(config: &BookConfig, seed: u64) -> Vec<Book> {
 /// Simulates OCR noise: random character substitutions at rate `p`,
 /// restricted to letter-for-letter confusions OCR actually makes.
 pub fn apply_ocr_noise(text: &str, p: f64, rng: &mut StdRng) -> String {
-    const CONFUSIONS: &[(char, char)] =
-        &[('l', '1'), ('O', '0'), ('o', '0'), ('S', '5'), ('B', '8'), ('e', 'c')];
+    const CONFUSIONS: &[(char, char)] = &[
+        ('l', '1'),
+        ('O', '0'),
+        ('o', '0'),
+        ('S', '5'),
+        ('B', '8'),
+        ('e', 'c'),
+    ];
     text.chars()
         .map(|c| {
             if rng.gen_bool(p) {
@@ -169,11 +175,11 @@ pub fn word_on_line(line: &str, word: &str) -> bool {
     let mut start = 0;
     while let Some(pos) = line[start..].find(word) {
         let at = start + pos;
-        let before_ok = at == 0
-            || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
+        let before_ok =
+            at == 0 || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
         let end = at + word.len();
-        let after_ok = end >= bytes.len()
-            || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        let after_ok =
+            end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
         if before_ok && after_ok {
             return true;
         }

@@ -50,9 +50,7 @@ mod tests {
     #[test]
     fn endmodule_before_module_needs_second_pair() {
         // endmodule first, then a real pair later: acceptable.
-        assert!(has_module_pair(
-            "endmodule\nmodule m;\nendmodule\n"
-        ));
+        assert!(has_module_pair("endmodule\nmodule m;\nendmodule\n"));
     }
 
     #[test]

@@ -157,9 +157,15 @@ mod tests {
     #[test]
     fn estimate_tracks_true_jaccard() {
         let h = MinHasher::new(256, 42);
-        let text_a = (0..200).map(|i| format!("w{i}")).collect::<Vec<_>>().join(" ");
+        let text_a = (0..200)
+            .map(|i| format!("w{i}"))
+            .collect::<Vec<_>>()
+            .join(" ");
         // 50% overlapping vocabulary.
-        let text_b = (100..300).map(|i| format!("w{i}")).collect::<Vec<_>>().join(" ");
+        let text_b = (100..300)
+            .map(|i| format!("w{i}"))
+            .collect::<Vec<_>>()
+            .join(" ");
         let sa = shingles(&text_a, 1);
         let sb = shingles(&text_b, 1);
         let truth = jaccard(&sa, &sb);
@@ -192,10 +198,7 @@ mod tests {
             "totally different words entirely here now",
             "module counter input clk output q endmodule",
         ];
-        let sigs: Vec<Vec<u64>> = docs
-            .iter()
-            .map(|d| h.signature(&shingles(d, 2)))
-            .collect();
+        let sigs: Vec<Vec<u64>> = docs.iter().map(|d| h.signature(&shingles(d, 2))).collect();
         let pairs = lsh_candidates(&sigs, 8);
         assert!(pairs.contains(&(0, 2)));
     }

@@ -1,7 +1,7 @@
 //! The end-to-end corpus pipeline (paper Fig. 1 steps ① and ②):
 //! sources → filters → MinHash dedup → sliding-window examples.
 
-use crate::books::{extract_snippets, strip_front_back_matter, Book, BookConfig, generate_books};
+use crate::books::{extract_snippets, generate_books, strip_front_back_matter, Book, BookConfig};
 use crate::filter::keep_file;
 use crate::minhash::{dedup_clusters, MinHasher};
 use crate::shingle::shingles;
@@ -106,10 +106,7 @@ pub fn build_corpus(source: CorpusSource, config: &PipelineConfig) -> TrainingCo
     let github_raw = raw.len();
 
     // Stage 1: keyword/size filters.
-    let kept: Vec<SourceFile> = raw
-        .into_iter()
-        .filter(|f| keep_file(&f.content))
-        .collect();
+    let kept: Vec<SourceFile> = raw.into_iter().filter(|f| keep_file(&f.content)).collect();
     let filtered_out = github_raw - kept.len();
 
     // Stage 2: MinHash/Jaccard dedup.

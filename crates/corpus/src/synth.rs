@@ -69,10 +69,11 @@ pub fn generate_github_corpus(config: &SynthConfig, seed: u64) -> Vec<SourceFile
     // Near-duplicates: rename the module and tweak whitespace.
     for i in 0..((n as f64 * config.near_dup_fraction) as usize) {
         let src = rng.gen_range(0..n);
-        let edited = files[src]
-            .content
-            .replace("  ", " ")
-            .replacen("module ", &format!("module fork{i}_"), 1);
+        let edited = files[src].content.replace("  ", " ").replacen(
+            "module ",
+            &format!("module fork{i}_"),
+            1,
+        );
         files.push(SourceFile {
             path: format!("repo{}/fork_{i}.v", rng.gen_range(80..99)),
             content: edited,
@@ -87,7 +88,11 @@ pub fn generate_github_corpus(config: &SynthConfig, seed: u64) -> Vec<SourceFile
     }
     // Oversized: concatenate many modules past the 20k character filter.
     for i in 0..((n as f64 * config.oversized_fraction) as usize).max(
-        if config.oversized_fraction > 0.0 { 1 } else { 0 },
+        if config.oversized_fraction > 0.0 {
+            1
+        } else {
+            0
+        },
     ) {
         let mut content = String::new();
         while content.len() < 21_000 {
@@ -103,15 +108,31 @@ pub fn generate_github_corpus(config: &SynthConfig, seed: u64) -> Vec<SourceFile
 }
 
 const NAMES: &[&str] = &[
-    "uart_tx", "uart_rx", "fifo", "alu", "decoder", "encoder", "mux", "demux",
-    "counter", "timer", "pwm", "spi_master", "i2c_slave", "shift_reg",
-    "arbiter", "debounce", "edge_det", "gray_code", "onehot", "prescaler",
+    "uart_tx",
+    "uart_rx",
+    "fifo",
+    "alu",
+    "decoder",
+    "encoder",
+    "mux",
+    "demux",
+    "counter",
+    "timer",
+    "pwm",
+    "spi_master",
+    "i2c_slave",
+    "shift_reg",
+    "arbiter",
+    "debounce",
+    "edge_det",
+    "gray_code",
+    "onehot",
+    "prescaler",
 ];
 
 const SIGNALS: &[&str] = &[
-    "clk", "rst_n", "reset", "enable", "valid", "ready", "data_in",
-    "data_out", "addr", "wr_en", "rd_en", "busy", "done", "start", "sel",
-    "din", "dout", "count", "state", "load",
+    "clk", "rst_n", "reset", "enable", "valid", "ready", "data_in", "data_out", "addr", "wr_en",
+    "rd_en", "busy", "done", "start", "sel", "din", "dout", "count", "state", "load",
 ];
 
 fn pick<'a>(rng: &mut StdRng, xs: &'a [&'a str]) -> &'a str {
@@ -121,7 +142,9 @@ fn pick<'a>(rng: &mut StdRng, xs: &'a [&'a str]) -> &'a str {
 /// Generates one random-but-plausible Verilog module from a template mix.
 pub fn random_module(rng: &mut StdRng) -> String {
     let name = format!("{}_{}", pick(rng, NAMES), rng.gen_range(0..1000));
-    let width = *[2usize, 4, 8, 16, 32].get(rng.gen_range(0..5)).expect("in range");
+    let width = *[2usize, 4, 8, 16, 32]
+        .get(rng.gen_range(0..5))
+        .expect("in range");
     match rng.gen_range(0..4) {
         0 => counter_template(&name, width, rng),
         1 => comb_template(&name, width, rng),
@@ -242,14 +265,11 @@ mod tests {
         assert!(files.iter().any(|f| f.path.contains("junk_")));
         assert!(files.iter().any(|f| f.content.len() > 20_000));
         // Clones really are exact duplicates of some base file.
-        let clone = files.iter().find(|f| f.path.contains("clone_")).expect("clone");
-        assert!(
-            files
-                .iter()
-                .filter(|f| f.content == clone.content)
-                .count()
-                >= 2
-        );
+        let clone = files
+            .iter()
+            .find(|f| f.path.contains("clone_"))
+            .expect("clone");
+        assert!(files.iter().filter(|f| f.content == clone.content).count() >= 2);
     }
 
     #[test]

@@ -12,7 +12,10 @@
 pub fn sliding_windows(text: &str, window: usize, stride: usize) -> Vec<String> {
     assert!(window > 0, "window must be positive");
     assert!(stride > 0, "stride must be positive");
-    assert!(stride <= window, "stride must not exceed window (windows must overlap or tile)");
+    assert!(
+        stride <= window,
+        "stride must not exceed window (windows must overlap or tile)"
+    );
     let lines: Vec<&str> = text.lines().collect();
     if lines.is_empty() {
         return Vec::new();
@@ -38,7 +41,10 @@ mod tests {
     use super::*;
 
     fn text(n: usize) -> String {
-        (0..n).map(|i| format!("line{i}")).collect::<Vec<_>>().join("\n")
+        (0..n)
+            .map(|i| format!("line{i}"))
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 
     #[test]

@@ -82,7 +82,8 @@ impl NgramEngine {
     /// Generates one completion for an arbitrary prompt.
     pub fn complete(&mut self, prompt: &str, params: &SamplingParams) -> String {
         self.queries += 1;
-        let mut rng = StdRng::seed_from_u64(self.seed ^ self.queries.wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ self.queries.wrapping_mul(0x9E3779B97F4A7C15));
         let mut context = self.bpe.encode(prompt);
         let prompt_len = context.len();
         for _ in 0..params.max_tokens {
@@ -94,7 +95,11 @@ impl NgramEngine {
             context.push(tok);
             // Early stop once the module closes, like the paper's
             // truncation rule would cut anyway.
-            if self.bpe.decode(&context[prompt_len..]).contains("endmodule") {
+            if self
+                .bpe
+                .decode(&context[prompt_len..])
+                .contains("endmodule")
+            {
                 break;
             }
         }

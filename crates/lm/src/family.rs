@@ -63,47 +63,43 @@ pub fn compile_anchor(model: ModelId, difficulty: Difficulty) -> f64 {
 
 /// Functional pass-rate anchor from Table IV (best temperature, n = 10),
 /// resolved per prompt detail level.
-pub fn functional_anchor(
-    model: ModelId,
-    difficulty: Difficulty,
-    level: PromptLevel,
-) -> f64 {
+pub fn functional_anchor(model: ModelId, difficulty: Difficulty, level: PromptLevel) -> f64 {
     use Difficulty::*;
     use ModelFamily::*;
     use Tuning::*;
     // Rows: [basic L M H, intermediate L M H, advanced L M H].
     let row: [f64; 9] = match (model.family, model.tuning) {
         (Megatron355M, Pretrained) => [0.0; 9],
-        (Megatron355M, FineTuned) => {
-            [0.170, 0.591, 0.245, 0.043, 0.018, 0.025, 0.000, 0.000, 0.000]
-        }
-        (CodeGen2B, Pretrained) => {
-            [0.000, 0.000, 0.000, 0.000, 0.000, 0.000, 0.000, 0.016, 0.020]
-        }
-        (CodeGen2B, FineTuned) => {
-            [0.835, 0.350, 0.630, 0.130, 0.092, 0.163, 0.132, 0.048, 0.068]
-        }
-        (CodeGen6B, Pretrained) => {
-            [0.000, 0.000, 0.000, 0.000, 0.000, 0.013, 0.000, 0.000, 0.000]
-        }
-        (CodeGen6B, FineTuned) => {
-            [1.000, 0.500, 0.760, 0.135, 0.150, 0.168, 0.284, 0.164, 0.164]
-        }
-        (J1Large7B, Pretrained) => {
-            [0.044, 0.058, 0.067, 0.000, 0.000, 0.021, 0.000, 0.000, 0.000]
-        }
-        (J1Large7B, FineTuned) => {
-            [0.388, 0.283, 0.342, 0.125, 0.075, 0.200, 0.000, 0.000, 0.000]
-        }
-        (CodeGen16B, Pretrained) => {
-            [0.000, 0.085, 0.055, 0.035, 0.003, 0.045, 0.012, 0.000, 0.016]
-        }
-        (CodeGen16B, FineTuned) => {
-            [0.745, 0.720, 0.745, 0.213, 0.270, 0.255, 0.246, 0.290, 0.294]
-        }
-        (CodeDavinci002, _) => {
-            [0.520, 0.685, 0.775, 0.175, 0.200, 0.150, 0.156, 0.184, 0.344]
-        }
+        (Megatron355M, FineTuned) => [
+            0.170, 0.591, 0.245, 0.043, 0.018, 0.025, 0.000, 0.000, 0.000,
+        ],
+        (CodeGen2B, Pretrained) => [
+            0.000, 0.000, 0.000, 0.000, 0.000, 0.000, 0.000, 0.016, 0.020,
+        ],
+        (CodeGen2B, FineTuned) => [
+            0.835, 0.350, 0.630, 0.130, 0.092, 0.163, 0.132, 0.048, 0.068,
+        ],
+        (CodeGen6B, Pretrained) => [
+            0.000, 0.000, 0.000, 0.000, 0.000, 0.013, 0.000, 0.000, 0.000,
+        ],
+        (CodeGen6B, FineTuned) => [
+            1.000, 0.500, 0.760, 0.135, 0.150, 0.168, 0.284, 0.164, 0.164,
+        ],
+        (J1Large7B, Pretrained) => [
+            0.044, 0.058, 0.067, 0.000, 0.000, 0.021, 0.000, 0.000, 0.000,
+        ],
+        (J1Large7B, FineTuned) => [
+            0.388, 0.283, 0.342, 0.125, 0.075, 0.200, 0.000, 0.000, 0.000,
+        ],
+        (CodeGen16B, Pretrained) => [
+            0.000, 0.085, 0.055, 0.035, 0.003, 0.045, 0.012, 0.000, 0.016,
+        ],
+        (CodeGen16B, FineTuned) => [
+            0.745, 0.720, 0.745, 0.213, 0.270, 0.255, 0.246, 0.290, 0.294,
+        ],
+        (CodeDavinci002, _) => [
+            0.520, 0.685, 0.775, 0.175, 0.200, 0.150, 0.156, 0.184, 0.344,
+        ],
     };
     let d = match difficulty {
         Basic => 0,
@@ -287,13 +283,7 @@ impl FamilyEngine {
     }
 
     /// Probability that one completion passes the testbench.
-    pub fn p_functional(
-        &self,
-        problem: &Problem,
-        level: PromptLevel,
-        t: f64,
-        n: usize,
-    ) -> f64 {
+    pub fn p_functional(&self, problem: &Problem, level: PromptLevel, t: f64, n: usize) -> f64 {
         let multiplier = if self.engineered_prompts {
             engineered_multiplier(problem.id)
         } else {
@@ -308,7 +298,9 @@ impl FamilyEngine {
         } else {
             base
         };
-        boosted.clamp(0.0, 1.0).min(self.p_compile(problem.difficulty, t))
+        boosted
+            .clamp(0.0, 1.0)
+            .min(self.p_compile(problem.difficulty, t))
     }
 
     fn bank_for(&mut self, problem: &Problem) -> &MutantBank {
@@ -357,7 +349,9 @@ impl CompletionEngine for FamilyEngine {
                     // LLMs over-generate past the module ~20% of the time;
                     // the harness truncation must cut this.
                     if rng.gen_bool(0.2) {
-                        t.push_str("\n// continued output\nmodule scratch(input t_unused);\nendmodule\n");
+                        t.push_str(
+                            "\n// continued output\nmodule scratch(input t_unused);\nendmodule\n",
+                        );
                     }
                     t
                 } else {
@@ -388,10 +382,7 @@ mod tests {
     #[test]
     fn anchors_match_paper_tables() {
         // Spot checks straight out of Tables III and IV.
-        assert_eq!(
-            compile_anchor(cg16_ft(), Difficulty::Intermediate),
-            0.728
-        );
+        assert_eq!(compile_anchor(cg16_ft(), Difficulty::Intermediate), 0.728);
         assert_eq!(
             functional_anchor(cg16_ft(), Difficulty::Basic, PromptLevel::Medium),
             0.720
@@ -417,8 +408,7 @@ mod tests {
     #[test]
     fn intermediate_multipliers_average_to_one() {
         let ids = [5u8, 6, 7, 8, 9, 10, 11, 12];
-        let mean: f64 =
-            ids.iter().map(|&i| problem_multiplier(i)).sum::<f64>() / ids.len() as f64;
+        let mean: f64 = ids.iter().map(|&i| problem_multiplier(i)).sum::<f64>() / ids.len() as f64;
         assert!((mean - 1.0).abs() < 0.01, "tier mean {mean}");
     }
 

@@ -6,7 +6,7 @@
 //! fine-tuned local checkpoints are much faster than their pre-trained
 //! counterparts served remotely or under heavier decoding settings.
 
-use crate::registry::{ModelId, ModelFamily, Tuning};
+use crate::registry::{ModelFamily, ModelId, Tuning};
 use rand::Rng;
 
 /// Mean inference seconds reported in Table IV for a model row.
@@ -30,10 +30,7 @@ pub fn paper_mean_seconds(model: ModelId) -> f64 {
 
 /// Whether queries to this family traverse a remote API (adds RTT jitter).
 pub fn is_remote(family: ModelFamily) -> bool {
-    matches!(
-        family,
-        ModelFamily::J1Large7B | ModelFamily::CodeDavinci002
-    )
+    matches!(family, ModelFamily::J1Large7B | ModelFamily::CodeDavinci002)
 }
 
 /// Samples one query's inference time in seconds: the Table IV mean with
@@ -74,10 +71,7 @@ mod tests {
             .into_iter()
             .map(paper_mean_seconds)
             .collect();
-        let j1 = paper_mean_seconds(ModelId::new(
-            ModelFamily::J1Large7B,
-            Tuning::Pretrained,
-        ));
+        let j1 = paper_mean_seconds(ModelId::new(ModelFamily::J1Large7B, Tuning::Pretrained));
         assert!(all.iter().all(|&t| t <= j1));
     }
 
@@ -100,7 +94,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let remote = ModelId::new(ModelFamily::J1Large7B, Tuning::FineTuned);
         let n = 2000;
-        let avg: f64 = (0..n).map(|_| sample_seconds(remote, &mut rng)).sum::<f64>() / n as f64;
+        let avg: f64 = (0..n)
+            .map(|_| sample_seconds(remote, &mut rng))
+            .sum::<f64>()
+            / n as f64;
         // Mean + ~0.15 average RTT.
         assert!(avg > paper_mean_seconds(remote) + 0.05);
         assert!(is_remote(ModelFamily::CodeDavinci002));

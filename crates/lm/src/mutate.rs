@@ -133,7 +133,10 @@ pub fn syntax_corrupt(src: &str, rng: &mut StdRng) -> Option<(String, SyntaxOp)>
             let cut = rng.gen_range(2..lines.len() - 1);
             let mut s = lines[..cut].join("\n");
             // Cut again mid-line to land inside a statement.
-            let keep = s.len() - rng.gen_range(0..lines[cut - 1].len().max(1)).min(s.len() - 1);
+            let keep = s.len()
+                - rng
+                    .gen_range(0..lines[cut - 1].len().max(1))
+                    .min(s.len() - 1);
             s.truncate(keep);
             s
         }
@@ -187,11 +190,10 @@ fn delete_nth_word(src: &str, word: &str, rng: &mut StdRng) -> Option<String> {
         .match_indices(word)
         .map(|(i, _)| i)
         .filter(|&i| {
-            let before = i == 0
-                || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+            let before = i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
             let end = i + word.len();
-            let after = end >= bytes.len()
-                || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+            let after =
+                end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
             before && after
         })
         .collect();
@@ -295,17 +297,13 @@ pub fn hostile_corpus() -> Vec<(HostileOp, String)> {
     // Parser recursion: ternary chains.
     out.push((
         HostileOp::DeepNesting,
-        format!(
-            "assign y = {}b;\nendmodule\n",
-            "a ? b : ".repeat(1000)
-        ),
+        format!("assign y = {}b;\nendmodule\n", "a ? b : ".repeat(1000)),
     ));
 
     // Elaborator: one absurdly wide register.
     out.push((
         HostileOp::HugeVector,
-        "reg [99999999:0] r;\nalways @(*) r = {a, b};\nassign y = r[0];\nendmodule\n"
-            .to_string(),
+        "reg [99999999:0] r;\nalways @(*) r = {a, b};\nassign y = r[0];\nendmodule\n".to_string(),
     ));
 
     // Elaborator: near-i64::MAX range bound.
@@ -331,8 +329,7 @@ pub fn hostile_corpus() -> Vec<(HostileOp, String)> {
     // Zero-width indexed select.
     out.push((
         HostileOp::ZeroWidth,
-        "wire [7:0] w;\nassign w = {6'd0, a, b};\nassign y = w[3 -: 0];\nendmodule\n"
-            .to_string(),
+        "wire [7:0] w;\nassign w = {6'd0, a, b};\nassign y = w[3 -: 0];\nendmodule\n".to_string(),
     ));
 
     // Zero replication count.
@@ -344,8 +341,7 @@ pub fn hostile_corpus() -> Vec<(HostileOp, String)> {
     // Lexer: string that never closes.
     out.push((
         HostileOp::UnterminatedString,
-        "initial $display(\"this string never ends...\nassign y = a;\nendmodule\n"
-            .to_string(),
+        "initial $display(\"this string never ends...\nassign y = a;\nendmodule\n".to_string(),
     ));
 
     // Lexer: string ending in a bare escape at end of input.
@@ -402,8 +398,7 @@ pub fn hostile_corpus() -> Vec<(HostileOp, String)> {
     // Simulator: zero-delay forever loop inside initial.
     out.push((
         HostileOp::InfiniteLoop,
-        "reg spin;\ninitial forever spin = ~spin;\nassign y = a & b;\nendmodule\n"
-            .to_string(),
+        "reg spin;\ninitial forever spin = ~spin;\nassign y = a & b;\nendmodule\n".to_string(),
     ));
 
     // Elaborator: exponential instantiation fan-out (full source).
@@ -426,8 +421,7 @@ pub fn hostile_corpus() -> Vec<(HostileOp, String)> {
     // Elaborator: nested replication that multiplies widths.
     out.push((
         HostileOp::ReplicationBomb,
-        "wire [1023:0] w;\nassign w = {1024{a}};\nassign y = |{1024{w}};\nendmodule\n"
-            .to_string(),
+        "wire [1023:0] w;\nassign w = {1024{a}};\nassign y = |{1024{w}};\nendmodule\n".to_string(),
     ));
 
     out
@@ -520,7 +514,11 @@ fn apply_mutation(loc: Loc<'_>, op: SemanticOp, pick: u32) {
         (Loc::Expr(e), SemanticOp::TweakConst) => {
             if let ExprKind::Number(v) = &e.kind {
                 let one = LogicVec::from_u64(1, v.width());
-                let tweaked = if pick.is_multiple_of(2) { v.add(&one) } else { v.sub(&one) };
+                let tweaked = if pick.is_multiple_of(2) {
+                    v.add(&one)
+                } else {
+                    v.sub(&one)
+                };
                 e.kind = ExprKind::Number(tweaked);
             }
         }
@@ -595,7 +593,9 @@ fn visit_stmt(stmt: &mut Stmt, f: &mut impl FnMut(Loc<'_>)) {
                 visit_stmt(s, f);
             }
         }
-        StmtKind::Assign { lhs, rhs, delay, .. } => {
+        StmtKind::Assign {
+            lhs, rhs, delay, ..
+        } => {
             visit_expr(lhs, f);
             visit_expr(rhs, f);
             if let Some(d) = delay {
@@ -758,16 +758,14 @@ endmodule
     #[test]
     fn mutants_are_distinct() {
         let muts = semantic_mutants(COUNTER, 2, 10);
-        let set: std::collections::HashSet<&String> =
-            muts.iter().map(|(m, _)| m).collect();
+        let set: std::collections::HashSet<&String> = muts.iter().map(|(m, _)| m).collect();
         assert_eq!(set.len(), muts.len());
     }
 
     #[test]
     fn mutants_cover_multiple_ops() {
         let muts = semantic_mutants(COUNTER, 3, 12);
-        let ops: std::collections::HashSet<SemanticOp> =
-            muts.iter().map(|(_, op)| *op).collect();
+        let ops: std::collections::HashSet<SemanticOp> = muts.iter().map(|(_, op)| *op).collect();
         assert!(ops.len() >= 2, "expected op diversity, got {ops:?}");
     }
 
@@ -785,7 +783,10 @@ endmodule
 
     #[test]
     fn deterministic_given_seed() {
-        assert_eq!(semantic_mutants(COUNTER, 9, 5), semantic_mutants(COUNTER, 9, 5));
+        assert_eq!(
+            semantic_mutants(COUNTER, 9, 5),
+            semantic_mutants(COUNTER, 9, 5)
+        );
         assert_eq!(syntax_mutants(COUNTER, 9, 5), syntax_mutants(COUNTER, 9, 5));
     }
 
@@ -799,9 +800,7 @@ endmodule
     fn drop_else_produces_fig3c_style_bug() {
         // Find a DropElse mutant: the counter then never wraps at 12.
         let muts = semantic_mutants(COUNTER, 7, 20);
-        let dropped = muts
-            .iter()
-            .find(|(_, op)| *op == SemanticOp::DropElse);
+        let dropped = muts.iter().find(|(_, op)| *op == SemanticOp::DropElse);
         if let Some((m, _)) = dropped {
             let elses = m.matches("else").count();
             assert!(elses < COUNTER.matches("else").count());

@@ -158,7 +158,11 @@ mod tests {
         let mut seq = Vec::new();
         for i in 0..40 {
             seq.extend(toks("ab"));
-            seq.push(if i % 2 == 0 { b'c' as TokenId } else { b'd' as TokenId });
+            seq.push(if i % 2 == 0 {
+                b'c' as TokenId
+            } else {
+                b'd' as TokenId
+            });
         }
         let m = NgramModel::train(&seq, 3);
         let scores = m.next_scores(&toks("ab"));
@@ -186,7 +190,10 @@ mod tests {
         let t = toks(&text);
         let low = NgramModel::train(&t, 2).perplexity(&t);
         let high = NgramModel::train(&t, 5).perplexity(&t);
-        assert!(high < low, "order-5 ppl {high} should beat order-2 ppl {low}");
+        assert!(
+            high < low,
+            "order-5 ppl {high} should beat order-2 ppl {low}"
+        );
     }
 
     #[test]

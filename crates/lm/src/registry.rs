@@ -100,9 +100,7 @@ impl ModelFamily {
         match self {
             ModelFamily::Megatron355M => "NL",
             ModelFamily::J1Large7B => "NL",
-            ModelFamily::CodeGen2B
-            | ModelFamily::CodeGen6B
-            | ModelFamily::CodeGen16B => "NL, Code",
+            ModelFamily::CodeGen2B | ModelFamily::CodeGen6B | ModelFamily::CodeGen16B => "NL, Code",
             ModelFamily::CodeDavinci002 => "NL, Code",
         }
     }
@@ -241,7 +239,10 @@ mod tests {
     #[test]
     fn display_matches_paper() {
         assert_eq!(
-            format!("{}", ModelId::new(ModelFamily::CodeGen16B, Tuning::FineTuned)),
+            format!(
+                "{}",
+                ModelId::new(ModelFamily::CodeGen16B, Tuning::FineTuned)
+            ),
             "CodeGen-16B (FT)"
         );
     }

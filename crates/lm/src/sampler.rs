@@ -105,7 +105,10 @@ mod tests {
             .map(|_| sample_token(&dist(), 0.1, 1.0, &mut rng))
             .collect();
         let ones = picks.iter().filter(|&&t| t == 1).count();
-        assert!(ones > 195, "low temperature should almost always pick top: {ones}");
+        assert!(
+            ones > 195,
+            "low temperature should almost always pick top: {ones}"
+        );
     }
 
     #[test]
@@ -135,11 +138,15 @@ mod tests {
     fn deterministic_for_fixed_seed() {
         let a: Vec<TokenId> = {
             let mut rng = StdRng::seed_from_u64(7);
-            (0..50).map(|_| sample_token(&dist(), 0.8, 0.95, &mut rng)).collect()
+            (0..50)
+                .map(|_| sample_token(&dist(), 0.8, 0.95, &mut rng))
+                .collect()
         };
         let b: Vec<TokenId> = {
             let mut rng = StdRng::seed_from_u64(7);
-            (0..50).map(|_| sample_token(&dist(), 0.8, 0.95, &mut rng)).collect()
+            (0..50)
+                .map(|_| sample_token(&dist(), 0.8, 0.95, &mut rng))
+                .collect()
         };
         assert_eq!(a, b);
     }

@@ -97,7 +97,8 @@ mod tests {
         for p in problems() {
             for level in PromptLevel::ALL {
                 assert!(
-                    p.prompt(level).contains(&format!("module {}", p.module_name)),
+                    p.prompt(level)
+                        .contains(&format!("module {}", p.module_name)),
                     "problem {} prompt {level} must open `{}`",
                     p.id,
                     p.module_name

@@ -48,11 +48,7 @@ pub enum PromptLevel {
 
 impl PromptLevel {
     /// All levels in ascending detail order.
-    pub const ALL: [PromptLevel; 3] = [
-        PromptLevel::Low,
-        PromptLevel::Medium,
-        PromptLevel::High,
-    ];
+    pub const ALL: [PromptLevel; 3] = [PromptLevel::Low, PromptLevel::Medium, PromptLevel::High];
 
     /// Single-letter tag used in the paper's tables.
     pub fn tag(self) -> &'static str {

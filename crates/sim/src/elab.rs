@@ -7,7 +7,9 @@
 
 use std::collections::HashMap;
 
-use vgen_verilog::ast::{self, AssignOp, CaseKind, Connection, Expr, ExprKind, Item, NetKind, PortDir, Stmt, StmtKind};
+use vgen_verilog::ast::{
+    self, AssignOp, CaseKind, Connection, Expr, ExprKind, Item, NetKind, PortDir, Stmt, StmtKind,
+};
 use vgen_verilog::span::Span;
 use vgen_verilog::value::LogicVec;
 use vgen_verilog::SourceFile;
@@ -179,9 +181,7 @@ impl<'a> Elaborator<'a> {
         let module = self
             .file
             .module(module_name)
-            .ok_or_else(|| {
-                ElabError::new(format!("unknown module `{module_name}`"), inst_span)
-            })?
+            .ok_or_else(|| ElabError::new(format!("unknown module `{module_name}`"), inst_span))?
             .clone();
 
         let mut scope = Scope::default();
@@ -201,8 +201,9 @@ impl<'a> Elaborator<'a> {
                         }
                     }
                     if !overridden {
-                        if let Some((None, oval)) =
-                            param_overrides.get(positional_index).filter(|(n, _)| n.is_none())
+                        if let Some((None, oval)) = param_overrides
+                            .get(positional_index)
+                            .filter(|(n, _)| n.is_none())
                         {
                             value = oval.clone();
                         }
@@ -364,10 +365,7 @@ impl<'a> Elaborator<'a> {
                     let width = (msb - lsb).unsigned_abs() as usize + 1;
                     (width, info.signed, msb, lsb, SignalClass::Var)
                 }
-                Some(NetKind::Wire)
-                | Some(NetKind::Supply0)
-                | Some(NetKind::Supply1)
-                | None => {
+                Some(NetKind::Wire) | Some(NetKind::Supply0) | Some(NetKind::Supply1) | None => {
                     let (msb, lsb) = info.range.unwrap_or((0, 0));
                     let width = (msb - lsb).unsigned_abs() as usize + 1;
                     (width, info.signed, msb, lsb, SignalClass::Net)
@@ -440,8 +438,7 @@ impl<'a> Elaborator<'a> {
                         f.span,
                     ));
                 }
-                let (ret, params, frame) =
-                    self.alloc_function_storage(f, &scope, prefix)?;
+                let (ret, params, frame) = self.alloc_function_storage(f, &scope, prefix)?;
                 self.design.functions.push(FunctionDef {
                     name: format!("{prefix}.{}", f.name),
                     params,
@@ -498,8 +495,7 @@ impl<'a> Elaborator<'a> {
         // Pass 5: behaviour.
         for item in &module.items {
             match item {
-                Item::Decl(_) | Item::Param(_) | Item::Defparam { .. }
-                | Item::Function(_) => {}
+                Item::Decl(_) | Item::Param(_) | Item::Defparam { .. } | Item::Function(_) => {}
                 Item::Assign(a) => {
                     for (lhs, rhs) in &a.assigns {
                         let lv = self.elab_lvalue(lhs, &scope, &[], false)?;
@@ -596,7 +592,10 @@ impl<'a> Elaborator<'a> {
                 });
                 if frame.insert(n.name.clone(), Sym::Signal(id)).is_some() {
                     return Err(ElabError::new(
-                        format!("duplicate declaration `{}` in function `{}`", n.name, f.name),
+                        format!(
+                            "duplicate declaration `{}` in function `{}`",
+                            n.name, f.name
+                        ),
                         n.span,
                     ));
                 }
@@ -951,19 +950,13 @@ impl<'a> Elaborator<'a> {
             GateKind::Xnor => invert(fold(BinaryOp::BitXor, &ins)),
             GateKind::Not => {
                 if ins.len() != 1 {
-                    return Err(ElabError::new(
-                        "`not` gate takes exactly one input",
-                        g.span,
-                    ));
+                    return Err(ElabError::new("`not` gate takes exactly one input", g.span));
                 }
                 invert(ins[0].clone())
             }
             GateKind::Buf => {
                 if ins.len() != 1 {
-                    return Err(ElabError::new(
-                        "`buf` gate takes exactly one input",
-                        g.span,
-                    ));
+                    return Err(ElabError::new("`buf` gate takes exactly one input", g.span));
                 }
                 ins[0].clone()
             }
@@ -998,8 +991,13 @@ impl<'a> Elaborator<'a> {
         } else {
             format!("{prefix}.{}", inst.name)
         };
-        let child_scope =
-            self.instantiate(&inst.module, &child_prefix, &overrides, inst.span, depth + 1)?;
+        let child_scope = self.instantiate(
+            &inst.module,
+            &child_prefix,
+            &overrides,
+            inst.span,
+            depth + 1,
+        )?;
         let child = self
             .file
             .module(&inst.module)
@@ -1071,10 +1069,7 @@ impl<'a> Elaborator<'a> {
                     _ => None,
                 })
                 .ok_or_else(|| {
-                    ElabError::new(
-                        format!("port `{port}` has no direction"),
-                        inst.span,
-                    )
+                    ElabError::new(format!("port `{port}` has no direction"), inst.span)
                 })?;
             match dir {
                 PortDir::Input => {
@@ -1094,10 +1089,7 @@ impl<'a> Elaborator<'a> {
                     );
                 }
                 PortDir::Inout => {
-                    return Err(ElabError::new(
-                        "inout ports are not supported",
-                        inst.span,
-                    ))
+                    return Err(ElabError::new("inout ports are not supported", inst.span))
                 }
             }
         }
@@ -1186,12 +1178,8 @@ impl<'a> Elaborator<'a> {
                         code.push(Instr::Delay(amount));
                         let read = EExpr::Signal(tmp);
                         match op {
-                            AssignOp::Blocking => {
-                                code.push(Instr::Assign { lv, rhs: read })
-                            }
-                            AssignOp::NonBlocking => {
-                                code.push(Instr::AssignNba { lv, rhs: read })
-                            }
+                            AssignOp::Blocking => code.push(Instr::Assign { lv, rhs: read }),
+                            AssignOp::NonBlocking => code.push(Instr::AssignNba { lv, rhs: read }),
                         }
                     }
                 }
@@ -1332,10 +1320,7 @@ impl<'a> Elaborator<'a> {
                 ))
             }
             StmtKind::Disable(_) => {
-                return Err(ElabError::new(
-                    "`disable` is not supported",
-                    stmt.span,
-                ))
+                return Err(ElabError::new("`disable` is not supported", stmt.span))
             }
             StmtKind::Null => {}
         }
@@ -1514,9 +1499,9 @@ impl<'a> Elaborator<'a> {
             ExprKind::Str(s) => Ok(EExpr::Str(s.clone())),
             ExprKind::Real(t) => {
                 // Reals only appear as delays in practice; round to integer.
-                let v: f64 = t.parse().map_err(|_| {
-                    ElabError::new(format!("bad real literal `{t}`"), e.span)
-                })?;
+                let v: f64 = t
+                    .parse()
+                    .map_err(|_| ElabError::new(format!("bad real literal `{t}`"), e.span))?;
                 Ok(EExpr::Const(LogicVec::from_u64(v.round() as u64, 64)))
             }
             ExprKind::Ident(name) => match Self::lookup(scope, locals, name) {
@@ -1566,7 +1551,9 @@ impl<'a> Elaborator<'a> {
                 }
                 if width > MAX_SIGNAL_BITS {
                     return Err(ElabError::new(
-                        format!("part select width {width} exceeds the {MAX_SIGNAL_BITS}-bit limit"),
+                        format!(
+                            "part select width {width} exceeds the {MAX_SIGNAL_BITS}-bit limit"
+                        ),
                         e.span,
                     ));
                 }
@@ -1628,10 +1615,7 @@ impl<'a> Elaborator<'a> {
             }
             ExprKind::Call { name, args } => {
                 let Some(&idx) = scope.funcs.get(name) else {
-                    return Err(ElabError::new(
-                        format!("unknown function `{name}`"),
-                        e.span,
-                    ));
+                    return Err(ElabError::new(format!("unknown function `{name}`"), e.span));
                 };
                 let arity = self.design.functions[idx as usize].params.len();
                 if args.len() != arity {
@@ -1684,9 +1668,7 @@ impl<'a> Elaborator<'a> {
     ) -> Result<PendingBase, ElabError> {
         match &base.kind {
             ExprKind::Ident(name) => match Self::lookup(scope, locals, name) {
-                Some(Sym::Signal(id)) => {
-                    Ok(PendingBase::Resolved(SelectBase::Signal(*id)))
-                }
+                Some(Sym::Signal(id)) => Ok(PendingBase::Resolved(SelectBase::Signal(*id))),
                 Some(Sym::Memory(id)) => Ok(PendingBase::Memory(*id)),
                 Some(Sym::Param(_)) => Err(ElabError::new(
                     format!("cannot select bits of parameter `{name}`"),
@@ -1701,12 +1683,10 @@ impl<'a> Elaborator<'a> {
                 // `mem[i][b]`: inner index must resolve to a memory word.
                 let idx = self.elab_expr(index, scope, locals)?;
                 match self.elab_select_base(inner, scope, locals)? {
-                    PendingBase::Memory(mem) => {
-                        Ok(PendingBase::Resolved(SelectBase::MemWord {
-                            mem,
-                            index: Box::new(idx),
-                        }))
-                    }
+                    PendingBase::Memory(mem) => Ok(PendingBase::Resolved(SelectBase::MemWord {
+                        mem,
+                        index: Box::new(idx),
+                    })),
                     PendingBase::Resolved(_) => Err(ElabError::new(
                         "select of a bit-select is not supported",
                         base.span,
@@ -1757,105 +1737,103 @@ impl<'a> Elaborator<'a> {
         locals: &[HashMap<String, Sym>],
         procedural: bool,
     ) -> Result<LValue, ElabError> {
-        let lv = match &e.kind {
-            ExprKind::Ident(name) => match Self::lookup(scope, locals, name) {
-                Some(Sym::Signal(id)) => LValue::Signal(*id),
-                Some(Sym::Memory(_)) => {
-                    return Err(ElabError::new(
-                        format!("cannot assign whole memory `{name}`"),
-                        e.span,
-                    ))
-                }
-                Some(Sym::Param(_)) => {
-                    return Err(ElabError::new(
-                        format!("cannot assign to parameter `{name}`"),
-                        e.span,
-                    ))
-                }
-                None => {
-                    return Err(ElabError::new(
-                        format!("undeclared identifier `{name}`"),
-                        e.span,
-                    ))
-                }
-            },
-            ExprKind::Index { base, index } => {
-                let idx = self.elab_expr(index, scope, locals)?;
-                match self.elab_select_base(base, scope, locals)? {
-                    PendingBase::Memory(mem) => LValue::MemWord { mem, index: idx },
-                    PendingBase::Resolved(SelectBase::Signal(sig)) => LValue::BitSelect {
-                        sig,
-                        index: idx,
-                    },
-                    PendingBase::Resolved(SelectBase::MemWord { mem, index }) => {
-                        // `mem[i][b] = ...` — read-modify-write of one bit of
-                        // a word is not supported as an lvalue.
-                        let _ = (mem, index);
+        let lv =
+            match &e.kind {
+                ExprKind::Ident(name) => match Self::lookup(scope, locals, name) {
+                    Some(Sym::Signal(id)) => LValue::Signal(*id),
+                    Some(Sym::Memory(_)) => {
                         return Err(ElabError::new(
-                            "bit select of a memory word as assignment target is not supported",
+                            format!("cannot assign whole memory `{name}`"),
+                            e.span,
+                        ))
+                    }
+                    Some(Sym::Param(_)) => {
+                        return Err(ElabError::new(
+                            format!("cannot assign to parameter `{name}`"),
+                            e.span,
+                        ))
+                    }
+                    None => {
+                        return Err(ElabError::new(
+                            format!("undeclared identifier `{name}`"),
+                            e.span,
+                        ))
+                    }
+                },
+                ExprKind::Index { base, index } => {
+                    let idx = self.elab_expr(index, scope, locals)?;
+                    match self.elab_select_base(base, scope, locals)? {
+                        PendingBase::Memory(mem) => LValue::MemWord { mem, index: idx },
+                        PendingBase::Resolved(SelectBase::Signal(sig)) => {
+                            LValue::BitSelect { sig, index: idx }
+                        }
+                        PendingBase::Resolved(SelectBase::MemWord { mem, index }) => {
+                            // `mem[i][b] = ...` — read-modify-write of one bit of
+                            // a word is not supported as an lvalue.
+                            let _ = (mem, index);
+                            return Err(ElabError::new(
+                                "bit select of a memory word as assignment target is not supported",
+                                e.span,
+                            ));
+                        }
+                    }
+                }
+                ExprKind::PartSelect { base, msb, lsb } => {
+                    let msb = self.const_i64(msb, scope, locals)?;
+                    let lsb = self.const_i64(lsb, scope, locals)?;
+                    let b = self.resolved_base(base, scope, locals)?;
+                    self.check_part_select(&b, msb, lsb, e.span)?;
+                    match b {
+                        SelectBase::Signal(sig) => LValue::PartSelect { sig, msb, lsb },
+                        SelectBase::MemWord { .. } => return Err(ElabError::new(
+                            "part select of a memory word as assignment target is not supported",
+                            e.span,
+                        )),
+                    }
+                }
+                ExprKind::IndexedSelect {
+                    base,
+                    start,
+                    width,
+                    ascending,
+                } => {
+                    let start = self.elab_expr(start, scope, locals)?;
+                    let width = self.const_usize(width, scope, locals)?;
+                    if width > MAX_SIGNAL_BITS {
+                        return Err(ElabError::new(
+                            format!(
+                                "part select width {width} exceeds the {MAX_SIGNAL_BITS}-bit limit"
+                            ),
                             e.span,
                         ));
                     }
-                }
-            }
-            ExprKind::PartSelect { base, msb, lsb } => {
-                let msb = self.const_i64(msb, scope, locals)?;
-                let lsb = self.const_i64(lsb, scope, locals)?;
-                let b = self.resolved_base(base, scope, locals)?;
-                self.check_part_select(&b, msb, lsb, e.span)?;
-                match b {
-                    SelectBase::Signal(sig) => LValue::PartSelect { sig, msb, lsb },
-                    SelectBase::MemWord { .. } => {
-                        return Err(ElabError::new(
-                            "part select of a memory word as assignment target is not supported",
-                            e.span,
-                        ))
-                    }
-                }
-            }
-            ExprKind::IndexedSelect {
-                base,
-                start,
-                width,
-                ascending,
-            } => {
-                let start = self.elab_expr(start, scope, locals)?;
-                let width = self.const_usize(width, scope, locals)?;
-                if width > MAX_SIGNAL_BITS {
-                    return Err(ElabError::new(
-                        format!("part select width {width} exceeds the {MAX_SIGNAL_BITS}-bit limit"),
-                        e.span,
-                    ));
-                }
-                match self.resolved_base(base, scope, locals)? {
-                    SelectBase::Signal(sig) => LValue::IndexedSelect {
-                        sig,
-                        start,
-                        width,
-                        ascending: *ascending,
-                    },
-                    SelectBase::MemWord { .. } => {
-                        return Err(ElabError::new(
+                    match self.resolved_base(base, scope, locals)? {
+                        SelectBase::Signal(sig) => LValue::IndexedSelect {
+                            sig,
+                            start,
+                            width,
+                            ascending: *ascending,
+                        },
+                        SelectBase::MemWord { .. } => return Err(ElabError::new(
                             "indexed select of a memory word as assignment target is not supported",
                             e.span,
-                        ))
+                        )),
                     }
                 }
-            }
-            ExprKind::Concat(items) => {
-                let items: Vec<LValue> = items
-                    .iter()
-                    .map(|i| self.elab_lvalue(i, scope, locals, procedural))
-                    .collect::<Result<_, _>>()?;
-                LValue::Concat(items)
-            }
-            _ => {
-                return Err(ElabError::new(
-                    "expression is not a valid assignment target",
-                    e.span,
-                ))
-            }
-        };
+                ExprKind::Concat(items) => {
+                    let items: Vec<LValue> = items
+                        .iter()
+                        .map(|i| self.elab_lvalue(i, scope, locals, procedural))
+                        .collect::<Result<_, _>>()?;
+                    LValue::Concat(items)
+                }
+                _ => {
+                    return Err(ElabError::new(
+                        "expression is not a valid assignment target",
+                        e.span,
+                    ))
+                }
+            };
         // Net/variable legality.
         let mut sigs = Vec::new();
         lv.written_signals(&mut sigs);
@@ -1895,9 +1873,7 @@ impl<'a> Elaborator<'a> {
         locals: &[HashMap<String, Sym>],
     ) -> Result<LogicVec, ElabError> {
         let ee = self.elab_expr(e, scope, locals)?;
-        fold_const(&ee).ok_or_else(|| {
-            ElabError::new("expression must be constant here", e.span)
-        })
+        fold_const(&ee).ok_or_else(|| ElabError::new("expression must be constant here", e.span))
     }
 
     fn const_i64(
@@ -1907,9 +1883,8 @@ impl<'a> Elaborator<'a> {
         locals: &[HashMap<String, Sym>],
     ) -> Result<i64, ElabError> {
         let v = self.const_expr(e, scope, locals)?;
-        v.to_i64().ok_or_else(|| {
-            ElabError::new("constant contains x/z where a number is needed", e.span)
-        })
+        v.to_i64()
+            .ok_or_else(|| ElabError::new("constant contains x/z where a number is needed", e.span))
     }
 
     fn const_usize(
@@ -1919,16 +1894,10 @@ impl<'a> Elaborator<'a> {
         locals: &[HashMap<String, Sym>],
     ) -> Result<usize, ElabError> {
         let v = self.const_i64(e, scope, locals)?;
-        usize::try_from(v).map_err(|_| {
-            ElabError::new("constant must be non-negative", e.span)
-        })
+        usize::try_from(v).map_err(|_| ElabError::new("constant must be non-negative", e.span))
     }
 
-    fn const_range(
-        &mut self,
-        r: &ast::Range,
-        scope: &Scope,
-    ) -> Result<(i64, i64), ElabError> {
+    fn const_range(&mut self, r: &ast::Range, scope: &Scope) -> Result<(i64, i64), ElabError> {
         let msb = self.const_i64(&r.msb, scope, &[])?;
         let lsb = self.const_i64(&r.lsb, scope, &[])?;
         // Reject absurd spans here (i128 arithmetic: `msb - lsb` on the raw
@@ -1955,9 +1924,7 @@ fn lvalue_width(design: &Design, lv: &LValue) -> usize {
     match lv {
         LValue::Signal(id) => design.signal(*id).width,
         LValue::BitSelect { .. } => 1,
-        LValue::PartSelect { msb, lsb, .. } => {
-            (*msb - *lsb).unsigned_abs() as usize + 1
-        }
+        LValue::PartSelect { msb, lsb, .. } => (*msb - *lsb).unsigned_abs() as usize + 1,
         LValue::IndexedSelect { width, .. } => *width,
         LValue::MemWord { mem, .. } => design.memory(*mem).width,
         LValue::Concat(items) => items.iter().map(|i| lvalue_width(design, i)).sum(),
@@ -2001,12 +1968,13 @@ fn widen(design: &Design, e: &EExpr, w: usize) -> EExpr {
                 lhs: Box::new(widen(design, lhs, w)),
                 rhs: Box::new(widen(design, rhs, w)),
             },
-            BinaryOp::Shl | BinaryOp::Shr | BinaryOp::AShl | BinaryOp::AShr
-            | BinaryOp::Pow => EExpr::Binary {
-                op: *op,
-                lhs: Box::new(widen(design, lhs, w)),
-                rhs: rhs.clone(),
-            },
+            BinaryOp::Shl | BinaryOp::Shr | BinaryOp::AShl | BinaryOp::AShr | BinaryOp::Pow => {
+                EExpr::Binary {
+                    op: *op,
+                    lhs: Box::new(widen(design, lhs, w)),
+                    rhs: rhs.clone(),
+                }
+            }
             _ => e.clone(), // comparisons/logical ops are 1-bit results
         },
         EExpr::Ternary { cond, then, els } => EExpr::Ternary {
@@ -2040,9 +2008,7 @@ fn expr_width(design: &Design, e: &EExpr) -> usize {
             SelectBase::MemWord { mem, .. } => design.memory(*mem).width,
         },
         EExpr::BitSelect { .. } => 1,
-        EExpr::PartSelect { msb, lsb, .. } => {
-            (*msb - *lsb).unsigned_abs() as usize + 1
-        }
+        EExpr::PartSelect { msb, lsb, .. } => (*msb - *lsb).unsigned_abs() as usize + 1,
         EExpr::IndexedSelect { width, .. } => *width,
         EExpr::Resize { width, arg } => (*width).max(expr_width(design, arg)),
         EExpr::Unary { op, arg } => match op {
@@ -2058,16 +2024,13 @@ fn expr_width(design: &Design, e: &EExpr) -> usize {
             | BinaryOp::BitAnd
             | BinaryOp::BitOr
             | BinaryOp::BitXor
-            | BinaryOp::BitXnor => {
-                expr_width(design, lhs).max(expr_width(design, rhs))
+            | BinaryOp::BitXnor => expr_width(design, lhs).max(expr_width(design, rhs)),
+            BinaryOp::Shl | BinaryOp::Shr | BinaryOp::AShl | BinaryOp::AShr | BinaryOp::Pow => {
+                expr_width(design, lhs)
             }
-            BinaryOp::Shl | BinaryOp::Shr | BinaryOp::AShl | BinaryOp::AShr
-            | BinaryOp::Pow => expr_width(design, lhs),
             _ => 1,
         },
-        EExpr::Ternary { then, els, .. } => {
-            expr_width(design, then).max(expr_width(design, els))
-        }
+        EExpr::Ternary { then, els, .. } => expr_width(design, then).max(expr_width(design, els)),
         EExpr::Concat(items) => items.iter().map(|i| expr_width(design, i)).sum(),
         EExpr::Replicate { count, items } => {
             items.iter().map(|i| expr_width(design, i)).sum::<usize>() * count
@@ -2075,9 +2038,7 @@ fn expr_width(design: &Design, e: &EExpr) -> usize {
         EExpr::SysCall { name, args } => match name.as_str() {
             "time" | "stime" | "realtime" => 64,
             "random" | "urandom" | "clog2" => 32,
-            "signed" | "unsigned" => {
-                args.first().map(|a| expr_width(design, a)).unwrap_or(0)
-            }
+            "signed" | "unsigned" => args.first().map(|a| expr_width(design, a)).unwrap_or(0),
             _ => 0,
         },
         EExpr::FuncCall { func, .. } => design
@@ -2197,7 +2158,9 @@ mod tests {
 
     #[test]
     fn register_widths_from_ranges() {
-        let d = elab_ok("module m(input clk, output reg [3:0] q); always @(posedge clk) q <= q + 1; endmodule");
+        let d = elab_ok(
+            "module m(input clk, output reg [3:0] q); always @(posedge clk) q <= q + 1; endmodule",
+        );
         let q = d.signal_by_name("q").expect("q");
         assert_eq!(d.signal(q).width, 4);
         assert_eq!(d.signal(q).class, SignalClass::Var);
@@ -2230,9 +2193,7 @@ mod tests {
 
     #[test]
     fn split_port_declaration_merges() {
-        let d = elab_ok(
-            "module m(q);\noutput q;\nreg q;\ninitial q = 0;\nendmodule",
-        );
+        let d = elab_ok("module m(q);\noutput q;\nreg q;\ninitial q = 0;\nendmodule");
         let q = d.signal_by_name("q").expect("q");
         assert_eq!(d.signal(q).class, SignalClass::Var);
     }
@@ -2398,9 +2359,7 @@ mod tests {
 
     #[test]
     fn repeat_compiles_to_loop() {
-        let d = elab_ok(
-            "module m; reg clk; initial begin repeat (3) #5 clk = ~clk; end endmodule",
-        );
+        let d = elab_ok("module m; reg clk; initial begin repeat (3) #5 clk = ~clk; end endmodule");
         let code = &d.processes[0].code;
         assert!(code.iter().any(|i| matches!(i, Instr::Delay(_))));
         assert!(code.iter().any(|i| matches!(i, Instr::Jump(_))));
@@ -2408,9 +2367,7 @@ mod tests {
 
     #[test]
     fn named_block_locals_resolve() {
-        let d = elab_ok(
-            "module m; initial begin : b integer i; i = 3; end endmodule",
-        );
+        let d = elab_ok("module m; initial begin : b integer i; i = 3; end endmodule");
         assert!(d.signals.iter().any(|s| s.name.contains("b.i")));
     }
 
@@ -2457,9 +2414,7 @@ mod tests {
 
     #[test]
     fn error_huge_replication() {
-        let e = elab(
-            "module m(input a, output y); assign y = |{99999999{a}}; endmodule",
-        );
+        let e = elab("module m(input a, output y); assign y = |{99999999{a}}; endmodule");
         assert!(e.expect_err("err").message.contains("limit"));
     }
 }

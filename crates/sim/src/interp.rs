@@ -270,9 +270,7 @@ pub fn eval(design: &Design, state: &mut State, e: &EExpr) -> Result<LogicVec, R
             Ok(inner.replicate(*count))
         }
         EExpr::SysCall { name, args } => match (name.as_str(), args.len()) {
-            ("time" | "stime" | "realtime", 0) => {
-                Ok(LogicVec::from_u64(state.time, 64))
-            }
+            ("time" | "stime" | "realtime", 0) => Ok(LogicVec::from_u64(state.time, 64)),
             ("random", 0 | 1) => {
                 let v = state.random.next_u32();
                 Ok(LogicVec::from_u64(v as u64, 32).with_signed(true))
@@ -286,7 +284,11 @@ pub fn eval(design: &Design, state: &mut State, e: &EExpr) -> Result<LogicVec, R
             ("clog2", 1) => {
                 let v = eval(design, state, &args[0])?;
                 let n = v.to_u64().unwrap_or(0);
-                let r = if n <= 1 { 0 } else { 64 - (n - 1).leading_zeros() as u64 };
+                let r = if n <= 1 {
+                    0
+                } else {
+                    64 - (n - 1).leading_zeros() as u64
+                };
                 Ok(LogicVec::from_u64(r, 32))
             }
             _ => Err(RuntimeError::new(format!(
@@ -398,9 +400,7 @@ pub fn exec_function(
                     let s = eval(design, state, sel)?;
                     let l = eval(design, state, label)?;
                     let matched = match kind {
-                        vgen_verilog::ast::CaseKind::Exact => {
-                            s.case_eq(&l).to_u64() == Some(1)
-                        }
+                        vgen_verilog::ast::CaseKind::Exact => s.case_eq(&l).to_u64() == Some(1),
                         vgen_verilog::ast::CaseKind::Z => s.case_matches(&l, false),
                         vgen_verilog::ast::CaseKind::X => s.case_matches(&l, true),
                     };
@@ -427,7 +427,9 @@ fn indexed_range(start: i64, width: usize, ascending: bool) -> Vec<i64> {
     if ascending {
         (0..width as i64).map(|k| start + k).collect()
     } else {
-        (0..width as i64).map(|k| start - (width as i64 - 1) + k).collect()
+        (0..width as i64)
+            .map(|k| start - (width as i64 - 1) + k)
+            .collect()
     }
 }
 
@@ -489,9 +491,7 @@ impl ResolvedLValue {
             ResolvedLValue::Signal(id) => design.signal(*id).width,
             ResolvedLValue::Bits { hi, lo, .. } => hi - lo + 1,
             ResolvedLValue::MemWord { mem, .. } => design.memory(*mem).width,
-            ResolvedLValue::Concat(items) => {
-                items.iter().map(|i| i.width(design)).sum()
-            }
+            ResolvedLValue::Concat(items) => items.iter().map(|i| i.width(design)).sum(),
             ResolvedLValue::NoOp { width } => *width,
         }
     }
@@ -511,7 +511,10 @@ pub fn resolve_lvalue(
         LValue::Signal(id) => ResolvedLValue::Signal(*id),
         LValue::BitSelect { sig, index } => {
             let idx = eval(design, state, index)?;
-            match idx.to_i64().and_then(|i| design.signal(*sig).bit_position(i)) {
+            match idx
+                .to_i64()
+                .and_then(|i| design.signal(*sig).bit_position(i))
+            {
                 Some(p) => ResolvedLValue::Bits {
                     sig: *sig,
                     hi: p,
@@ -523,11 +526,7 @@ pub fn resolve_lvalue(
         LValue::PartSelect { sig, msb, lsb } => {
             let s = design.signal(*sig);
             match (s.bit_position(*msb), s.bit_position(*lsb)) {
-                (Some(hi), Some(lo)) if hi >= lo => ResolvedLValue::Bits {
-                    sig: *sig,
-                    hi,
-                    lo,
-                },
+                (Some(hi), Some(lo)) if hi >= lo => ResolvedLValue::Bits { sig: *sig, hi, lo },
                 _ => ResolvedLValue::NoOp {
                     width: (*msb - *lsb).unsigned_abs() as usize + 1,
                 },
@@ -544,14 +543,8 @@ pub fn resolve_lvalue(
             match sv.to_i64() {
                 Some(st) => {
                     let idxs = indexed_range(st, *width, *ascending);
-                    let lo = idxs
-                        .iter()
-                        .filter_map(|i| s.bit_position(*i))
-                        .min();
-                    let hi = idxs
-                        .iter()
-                        .filter_map(|i| s.bit_position(*i))
-                        .max();
+                    let lo = idxs.iter().filter_map(|i| s.bit_position(*i)).min();
+                    let hi = idxs.iter().filter_map(|i| s.bit_position(*i)).max();
                     match (lo, hi) {
                         (Some(lo), Some(hi)) if hi - lo + 1 == *width => {
                             ResolvedLValue::Bits { sig: *sig, hi, lo }
@@ -820,21 +813,33 @@ mod tests {
     fn sys_time_and_random() {
         let (d, mut s) = setup();
         s.time = 77;
-        let t = eval(&d, &mut s, &EExpr::SysCall {
-            name: "time".into(),
-            args: vec![],
-        })
+        let t = eval(
+            &d,
+            &mut s,
+            &EExpr::SysCall {
+                name: "time".into(),
+                args: vec![],
+            },
+        )
         .expect("eval");
         assert_eq!(t.to_u64(), Some(77));
-        let r1 = eval(&d, &mut s, &EExpr::SysCall {
-            name: "random".into(),
-            args: vec![],
-        })
+        let r1 = eval(
+            &d,
+            &mut s,
+            &EExpr::SysCall {
+                name: "random".into(),
+                args: vec![],
+            },
+        )
         .expect("eval");
-        let r2 = eval(&d, &mut s, &EExpr::SysCall {
-            name: "random".into(),
-            args: vec![],
-        })
+        let r2 = eval(
+            &d,
+            &mut s,
+            &EExpr::SysCall {
+                name: "random".into(),
+                args: vec![],
+            },
+        )
         .expect("eval");
         assert_ne!(r1, r2);
     }
@@ -842,10 +847,14 @@ mod tests {
     #[test]
     fn unknown_sysfunc_errors() {
         let (d, mut s) = setup();
-        assert!(eval(&d, &mut s, &EExpr::SysCall {
-            name: "bogus".into(),
-            args: vec![],
-        })
+        assert!(eval(
+            &d,
+            &mut s,
+            &EExpr::SysCall {
+                name: "bogus".into(),
+                args: vec![],
+            }
+        )
         .is_err());
     }
 

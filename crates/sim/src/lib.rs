@@ -96,7 +96,12 @@ pub fn simulate(src: &str, top: Option<&str>, config: SimConfig) -> Result<SimOu
     let file = vgen_verilog::parse(src)?;
     let top_name = match top {
         Some(t) => t.to_string(),
-        None => file.modules.last().expect("parser guarantees >=1 module").name.clone(),
+        None => file
+            .modules
+            .last()
+            .expect("parser guarantees >=1 module")
+            .name
+            .clone(),
     };
     let design = elab::elaborate(&file, &top_name)?;
     Ok(Simulator::with_config(design, config).run())

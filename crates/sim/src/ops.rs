@@ -81,6 +81,9 @@ mod tests {
         assert_eq!(apply_binary(BinaryOp::Lt, &a, &b).to_u64(), Some(0));
         assert_eq!(apply_binary(BinaryOp::CaseNe, &a, &b).to_u64(), Some(1));
         assert_eq!(apply_binary(BinaryOp::AShl, &a, &b).to_u64(), Some(0));
-        assert_eq!(apply_binary(BinaryOp::Shl, &b, &LogicVec::from_u64(1, 2)).to_u64(), Some(6));
+        assert_eq!(
+            apply_binary(BinaryOp::Shl, &b, &LogicVec::from_u64(1, 2)).to_u64(),
+            Some(6)
+        );
     }
 }

@@ -352,9 +352,7 @@ impl Simulator {
                     let matched = self.eval(&sel).and_then(|s| {
                         let l = self.eval(&label)?;
                         Ok(match kind {
-                            vgen_verilog::ast::CaseKind::Exact => {
-                                s.case_eq(&l).to_u64() == Some(1)
-                            }
+                            vgen_verilog::ast::CaseKind::Exact => s.case_eq(&l).to_u64() == Some(1),
                             vgen_verilog::ast::CaseKind::Z => s.case_matches(&l, false),
                             vgen_verilog::ast::CaseKind::X => s.case_matches(&l, true),
                         })
@@ -576,11 +574,7 @@ impl Simulator {
                 other => values.push(FormatValue::Value(self.eval(other)?)),
             }
         }
-        Ok(format_display(
-            fmt.as_deref(),
-            &values,
-            &self.design.top,
-        ))
+        Ok(format_display(fmt.as_deref(), &values, &self.design.top))
     }
 
     fn sys_task(
@@ -635,9 +629,7 @@ impl Simulator {
             }
             other => {
                 let _ = proc_idx;
-                return Err(RuntimeError::new(format!(
-                    "unknown system task `${other}`"
-                )));
+                return Err(RuntimeError::new(format!("unknown system task `${other}`")));
             }
         }
         Ok(())
@@ -658,7 +650,8 @@ mod tests {
 
     #[test]
     fn hello_world() {
-        let out = run("module t; initial begin $display(\"hello %0d\", 42); $finish; end endmodule");
+        let out =
+            run("module t; initial begin $display(\"hello %0d\", 42); $finish; end endmodule");
         assert_eq!(out.stdout, "hello 42\n");
         assert_eq!(out.reason, StopReason::Finish);
     }
@@ -696,10 +689,8 @@ mod tests {
 
     #[test]
     fn nonblocking_swap() {
-        let out = run(
-            "module t;\nreg [3:0] a, b;\ninitial begin\na = 1; b = 2;\n\
-             a <= b; b <= a;\n#1 $display(\"%0d %0d\", a, b);\n$finish;\nend\nendmodule",
-        );
+        let out = run("module t;\nreg [3:0] a, b;\ninitial begin\na = 1; b = 2;\n\
+             a <= b; b <= a;\n#1 $display(\"%0d %0d\", a, b);\n$finish;\nend\nendmodule");
         assert_eq!(out.stdout, "2 1\n");
     }
 
@@ -716,32 +707,26 @@ mod tests {
 
     #[test]
     fn nba_visible_after_delay() {
-        let out = run(
-            "module t;\nreg [3:0] a;\ninitial begin\na = 1;\na <= 5;\n\
-             #1 $display(\"after=%0d\", a);\n$finish;\nend\nendmodule",
-        );
+        let out = run("module t;\nreg [3:0] a;\ninitial begin\na = 1;\na <= 5;\n\
+             #1 $display(\"after=%0d\", a);\n$finish;\nend\nendmodule");
         assert_eq!(out.stdout, "after=5\n");
     }
 
     #[test]
     fn star_sensitivity_combinational() {
-        let out = run(
-            "module t;\nreg a, b;\nreg y;\nalways @(*) y = a ^ b;\n\
+        let out = run("module t;\nreg a, b;\nreg y;\nalways @(*) y = a ^ b;\n\
              initial begin\na = 0; b = 0;\n#1 a = 1;\n#1 $display(\"y=%b\", y);\n\
-             b = 1;\n#1 $display(\"y=%b\", y);\n$finish;\nend\nendmodule",
-        );
+             b = 1;\n#1 $display(\"y=%b\", y);\n$finish;\nend\nendmodule");
         assert_eq!(out.stdout, "y=1\ny=0\n");
     }
 
     #[test]
     fn case_statement_runtime() {
-        let out = run(
-            "module t;\nreg [1:0] s;\nreg [3:0] y;\n\
+        let out = run("module t;\nreg [1:0] s;\nreg [3:0] y;\n\
              always @(*) begin\ncase (s)\n2'b00: y = 4'd1;\n2'b01: y = 4'd2;\n\
              default: y = 4'd9;\nendcase\nend\n\
              initial begin\ns = 0; #1 $display(\"%0d\", y);\ns = 1; #1 $display(\"%0d\", y);\n\
-             s = 3; #1 $display(\"%0d\", y);\n$finish;\nend\nendmodule",
-        );
+             s = 3; #1 $display(\"%0d\", y);\n$finish;\nend\nendmodule");
         assert_eq!(out.stdout, "1\n2\n9\n");
     }
 
@@ -772,7 +757,9 @@ mod tests {
         let d = elaborate_first(&f).expect("elab");
         let out = Simulator::with_config(
             d,
-            SimConfig::default().with_max_time(100).with_max_steps(10_000),
+            SimConfig::default()
+                .with_max_time(100)
+                .with_max_steps(10_000),
         )
         .run();
         assert_eq!(out.reason, StopReason::StepBudget);
@@ -791,7 +778,9 @@ mod tests {
         let d = elaborate_first(&f).expect("elab");
         let out = Simulator::with_config(
             d,
-            SimConfig::default().with_max_time(50).with_max_steps(1_000_000),
+            SimConfig::default()
+                .with_max_time(50)
+                .with_max_steps(1_000_000),
         )
         .run();
         assert_eq!(out.reason, StopReason::TimeLimit);
@@ -854,10 +843,8 @@ mod tests {
 
     #[test]
     fn intra_assignment_delay() {
-        let out = run(
-            "module t;\nreg a, b;\ninitial begin\na = 1;\nb = #3 a;\n\
-             $display(\"b=%b t=%0t\", b, $time);\n$finish;\nend\nendmodule",
-        );
+        let out = run("module t;\nreg a, b;\ninitial begin\na = 1;\nb = #3 a;\n\
+             $display(\"b=%b t=%0t\", b, $time);\n$finish;\nend\nendmodule");
         assert_eq!(out.stdout, "b=1 t=3\n");
     }
 
@@ -883,26 +870,22 @@ mod tests {
 
     #[test]
     fn user_function_in_continuous_assign() {
-        let out = run(
-            "module t;\nreg [3:0] a;\nwire [3:0] y;\n\
+        let out = run("module t;\nreg [3:0] a;\nwire [3:0] y;\n\
              function [3:0] double;\ninput [3:0] v;\ndouble = v << 1;\nendfunction\n\
              assign y = double(a);\n\
              initial begin\na = 4'd3;\n#1 $display(\"y=%0d\", y);\n\
-             a = 4'd5;\n#1 $display(\"y=%0d\", y);\n$finish;\nend\nendmodule",
-        );
+             a = 4'd5;\n#1 $display(\"y=%0d\", y);\n$finish;\nend\nendmodule");
         assert_eq!(out.stdout, "y=6\ny=10\n");
     }
 
     #[test]
     fn user_function_with_loop_and_local() {
-        let out = run(
-            "module t;\nreg [7:0] a;\nreg [3:0] n;\n\
+        let out = run("module t;\nreg [7:0] a;\nreg [3:0] n;\n\
              function [3:0] popcount;\ninput [7:0] v;\ninteger i;\nbegin\n\
              popcount = 0;\nfor (i = 0; i < 8; i = i + 1)\n\
              popcount = popcount + {3'b000, v[i]};\nend\nendfunction\n\
              initial begin\na = 8'b1011_0110;\nn = popcount(a);\n\
-             $display(\"n=%0d\", n);\n$finish;\nend\nendmodule",
-        );
+             $display(\"n=%0d\", n);\n$finish;\nend\nendmodule");
         assert_eq!(out.stdout, "n=5\n");
     }
 
@@ -919,11 +902,9 @@ mod tests {
 
     #[test]
     fn recursive_function_is_runtime_error() {
-        let out = run(
-            "module t;\nreg [3:0] x;\n\
+        let out = run("module t;\nreg [3:0] x;\n\
              function [3:0] loopy;\ninput [3:0] v;\nloopy = loopy(v);\nendfunction\n\
-             initial begin\nx = loopy(4'd1);\n$finish;\nend\nendmodule",
-        );
+             initial begin\nx = loopy(4'd1);\n$finish;\nend\nendmodule");
         assert!(matches!(out.reason, StopReason::RuntimeError(_)));
     }
 
@@ -931,23 +912,19 @@ mod tests {
     fn function_reading_module_signal_wakes_star_block() {
         // `limit` is read inside the function only; the @* block must still
         // re-evaluate when it changes.
-        let out = run(
-            "module t;\nreg [3:0] a, limit;\nreg over;\n\
+        let out = run("module t;\nreg [3:0] a, limit;\nreg over;\n\
              function check;\ninput [3:0] v;\ncheck = (v > limit);\nendfunction\n\
              always @(*) over = check(a);\n\
              initial begin\na = 4'd5; limit = 4'd7;\n#1 $display(\"%b\", over);\n\
-             limit = 4'd3;\n#1 $display(\"%b\", over);\n$finish;\nend\nendmodule",
-        );
+             limit = 4'd3;\n#1 $display(\"%b\", over);\n$finish;\nend\nendmodule");
         assert_eq!(out.stdout, "0\n1\n");
     }
 
     #[test]
     fn signed_arithmetic_end_to_end() {
-        let out = run(
-            "module t;\nreg signed [7:0] a, b;\nwire signed [7:0] s;\n\
+        let out = run("module t;\nreg signed [7:0] a, b;\nwire signed [7:0] s;\n\
              assign s = a + b;\ninitial begin\na = -8'd100; b = -8'd50;\n\
-             #1 $display(\"%0d\", s);\n$finish;\nend\nendmodule",
-        );
+             #1 $display(\"%0d\", s);\n$finish;\nend\nendmodule");
         // -150 wraps to 106 in 8 bits.
         assert_eq!(out.stdout, "106\n");
     }

@@ -8,11 +8,7 @@ use vgen_verilog::value::LogicVec;
 ///
 /// Supported conversions: `%b %o %d %0d %h %x %s %c %t %m %%`; escapes:
 /// `\n \t \\ \"`.
-pub fn format_display(
-    fmt: Option<&str>,
-    values: &[FormatValue],
-    scope_name: &str,
-) -> String {
+pub fn format_display(fmt: Option<&str>, values: &[FormatValue], scope_name: &str) -> String {
     match fmt {
         Some(f) => format_with(f, values, scope_name),
         None => values
@@ -226,11 +222,7 @@ mod tests {
 
     #[test]
     fn string_arg() {
-        let s = format_display(
-            Some("%s!"),
-            &[FormatValue::Str("PASS".into())],
-            "top",
-        );
+        let s = format_display(Some("%s!"), &[FormatValue::Str("PASS".into())], "top");
         assert_eq!(s, "PASS!");
     }
 

@@ -125,10 +125,7 @@ mod tests {
     #[test]
     fn renders_header_and_changes() {
         let d = design_with(&[("clk", 1), ("q", 4)]);
-        let mut r = VcdRecorder::new(
-            0,
-            vec![LogicVec::unknown(1), LogicVec::unknown(4)],
-        );
+        let mut r = VcdRecorder::new(0, vec![LogicVec::unknown(1), LogicVec::unknown(4)]);
         r.record(5, SignalId(0), LogicVec::from_u64(1, 1));
         r.record(5, SignalId(1), LogicVec::from_u64(3, 4));
         r.record(10, SignalId(0), LogicVec::from_u64(0, 1));

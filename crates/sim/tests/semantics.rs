@@ -30,29 +30,23 @@ fn x_poisons_arithmetic_but_not_mux() {
 #[test]
 fn x_condition_takes_neither_branch_in_if() {
     // if (x) is false-ish: the else branch runs.
-    let out = run(
-        "module t;\nreg c;\nreg [1:0] y;\ninitial begin\n\
-         if (c) y = 2'd1;\nelse y = 2'd2;\n$display(\"y=%0d\", y);\n$finish;\nend\nendmodule",
-    );
+    let out = run("module t;\nreg c;\nreg [1:0] y;\ninitial begin\n\
+         if (c) y = 2'd1;\nelse y = 2'd2;\n$display(\"y=%0d\", y);\n$finish;\nend\nendmodule");
     assert_eq!(out, "y=2\n");
 }
 
 #[test]
 fn equality_with_x_is_never_true() {
-    let out = run(
-        "module t;\nreg [1:0] a;\nreg y1, y2;\ninitial begin\n\
+    let out = run("module t;\nreg [1:0] a;\nreg y1, y2;\ninitial begin\n\
          y1 = (a == 2'b00);\ny2 = (a != 2'b00);\n\
-         $display(\"%b %b\", y1, y2);\n$finish;\nend\nendmodule",
-    );
+         $display(\"%b %b\", y1, y2);\n$finish;\nend\nendmodule");
     assert_eq!(out, "x x\n");
 }
 
 #[test]
 fn case_equality_sees_x_exactly() {
-    let out = run(
-        "module t;\nreg [1:0] a;\ninitial begin\n\
-         $display(\"%b %b\", a === 2'bxx, a === 2'b00);\n$finish;\nend\nendmodule",
-    );
+    let out = run("module t;\nreg [1:0] a;\ninitial begin\n\
+         $display(\"%b %b\", a === 2'bxx, a === 2'b00);\n$finish;\nend\nendmodule");
     assert_eq!(out, "1 0\n");
 }
 
@@ -61,11 +55,9 @@ fn case_equality_sees_x_exactly() {
 #[test]
 fn nba_commits_after_all_active_events() {
     // Two processes in one time step: both read pre-NBA values.
-    let out = run(
-        "module t;\nreg [3:0] a, b;\n\
+    let out = run("module t;\nreg [3:0] a, b;\n\
          initial begin\na = 1;\nb = 2;\na <= b;\nb <= a;\nend\n\
-         initial begin\n#1 $display(\"%0d %0d\", a, b);\n$finish;\nend\nendmodule",
-    );
+         initial begin\n#1 $display(\"%0d %0d\", a, b);\n$finish;\nend\nendmodule");
     assert_eq!(out, "2 1\n");
 }
 
@@ -81,24 +73,20 @@ fn zero_delay_defers_within_time_step() {
 #[test]
 fn posedge_chain_propagates_one_stage_per_cycle() {
     // Classic NBA shift chain: values move one flop per clock.
-    let out = run(
-        "module t;\nreg clk;\nreg [3:0] s0, s1, s2;\n\
+    let out = run("module t;\nreg clk;\nreg [3:0] s0, s1, s2;\n\
          always @(posedge clk) begin\ns1 <= s0;\ns2 <= s1;\nend\n\
          initial begin\nclk = 0;\ns0 = 4'd9; s1 = 4'd0; s2 = 4'd0;\n\
          #5 clk = 1; #1;\n$display(\"%0d %0d\", s1, s2);\n\
-         #4 clk = 0;\n#5 clk = 1; #1;\n$display(\"%0d %0d\", s1, s2);\n$finish;\nend\nendmodule",
-    );
+         #4 clk = 0;\n#5 clk = 1; #1;\n$display(\"%0d %0d\", s1, s2);\n$finish;\nend\nendmodule");
     assert_eq!(out, "9 0\n9 9\n");
 }
 
 #[test]
 fn combinational_chain_settles_within_time_step() {
-    let out = run(
-        "module t;\nreg a;\nwire b, c, d;\n\
+    let out = run("module t;\nreg a;\nwire b, c, d;\n\
          assign b = ~a;\nassign c = ~b;\nassign d = ~c;\n\
          initial begin\na = 0;\n#1 $display(\"%b%b%b\", b, c, d);\n\
-         a = 1;\n#1 $display(\"%b%b%b\", b, c, d);\n$finish;\nend\nendmodule",
-    );
+         a = 1;\n#1 $display(\"%b%b%b\", b, c, d);\n$finish;\nend\nendmodule");
     assert_eq!(out, "101\n010\n");
 }
 
@@ -116,10 +104,8 @@ fn assignment_context_widens_operands() {
 
 #[test]
 fn comparison_operands_size_to_each_other() {
-    let out = run(
-        "module t;\nreg [3:0] a;\ninitial begin\na = 4'd15;\n\
-         $display(\"%b %b\", a == 15, a + 4'd1 == 0);\n$finish;\nend\nendmodule",
-    );
+    let out = run("module t;\nreg [3:0] a;\ninitial begin\na = 4'd15;\n\
+         $display(\"%b %b\", a == 15, a + 4'd1 == 0);\n$finish;\nend\nendmodule");
     assert_eq!(out, "1 1\n");
 }
 
@@ -147,11 +133,9 @@ fn signed_extension_on_assignment() {
 
 #[test]
 fn case_is_exact_including_x() {
-    let out = run(
-        "module t;\nreg [1:0] s;\nreg [3:0] y;\ninitial begin\n\
+    let out = run("module t;\nreg [1:0] s;\nreg [3:0] y;\ninitial begin\n\
          case (s)\n2'b00: y = 1;\n2'bxx: y = 9;\ndefault: y = 0;\nendcase\n\
-         $display(\"%0d\", y);\n$finish;\nend\nendmodule",
-    );
+         $display(\"%0d\", y);\n$finish;\nend\nendmodule");
     // s is xx at time 0, and plain case matches x exactly.
     assert_eq!(out, "9\n");
 }
@@ -203,24 +187,20 @@ fn sync_and_async_reset_agree_at_clock_edges() {
 #[test]
 fn named_events_not_needed_for_abro_pattern() {
     // Two communicating always blocks (FSM pattern) stabilise correctly.
-    let out = run(
-        "module t;\nreg clk, x;\nreg [1:0] st, nx;\n\
+    let out = run("module t;\nreg clk, x;\nreg [1:0] st, nx;\n\
          always @(posedge clk) st <= nx;\n\
          always @(st or x) begin\nif (st == 0) nx = x ? 1 : 0;\n\
          else nx = 0;\nend\n\
          initial begin\nclk = 0; x = 0; st = 0;\n\
-         x = 1;\n#5 clk = 1; #1;\n$display(\"st=%0d\", st);\n$finish;\nend\nendmodule",
-    );
+         x = 1;\n#5 clk = 1; #1;\n$display(\"st=%0d\", st);\n$finish;\nend\nendmodule");
     assert_eq!(out, "st=1\n");
 }
 
 #[test]
 fn part_select_write_preserves_other_bits() {
-    let out = run(
-        "module t;\nreg [7:0] v;\ninitial begin\nv = 8'hFF;\n\
+    let out = run("module t;\nreg [7:0] v;\ninitial begin\nv = 8'hFF;\n\
          v[3:0] = 4'h0;\n$display(\"%h\", v);\nv[7] = 1'b0;\n\
-         $display(\"%h\", v);\n$finish;\nend\nendmodule",
-    );
+         $display(\"%h\", v);\n$finish;\nend\nendmodule");
     assert_eq!(out, "f0\n70\n");
 }
 
@@ -235,20 +215,16 @@ fn out_of_range_write_is_dropped() {
 
 #[test]
 fn memory_word_independence() {
-    let out = run(
-        "module t;\nreg [7:0] mem [0:3];\ninitial begin\n\
+    let out = run("module t;\nreg [7:0] mem [0:3];\ninitial begin\n\
          mem[0] = 8'hAA;\nmem[1] = 8'hBB;\nmem[0] = 8'hCC;\n\
-         $display(\"%h %h %h\", mem[0], mem[1], mem[2]);\n$finish;\nend\nendmodule",
-    );
+         $display(\"%h %h %h\", mem[0], mem[1], mem[2]);\n$finish;\nend\nendmodule");
     assert_eq!(out, "cc bb xx\n");
 }
 
 #[test]
 fn repeat_zero_executes_nothing() {
-    let out = run(
-        "module t;\ninteger n;\ninitial begin\nn = 0;\n\
-         repeat (0) n = n + 1;\n$display(\"%0d\", n);\n$finish;\nend\nendmodule",
-    );
+    let out = run("module t;\ninteger n;\ninitial begin\nn = 0;\n\
+         repeat (0) n = n + 1;\n$display(\"%0d\", n);\n$finish;\nend\nendmodule");
     assert_eq!(out, "0\n");
 }
 
@@ -264,10 +240,8 @@ fn while_loop_with_condition() {
 
 #[test]
 fn division_and_modulo_by_zero_yield_x() {
-    let out = run(
-        "module t;\nreg [3:0] a, b;\ninitial begin\na = 8; b = 0;\n\
-         $display(\"%b %b\", a / b, a % b);\n$finish;\nend\nendmodule",
-    );
+    let out = run("module t;\nreg [3:0] a, b;\ninitial begin\na = 8; b = 0;\n\
+         $display(\"%b %b\", a / b, a % b);\n$finish;\nend\nendmodule");
     assert_eq!(out, "xxxx xxxx\n");
 }
 
@@ -283,10 +257,8 @@ fn reduction_operators_in_conditions() {
 
 #[test]
 fn ternary_with_x_condition_merges_bitwise() {
-    let out = run(
-        "module t;\nreg c;\nreg [3:0] y;\ninitial begin\n\
-         y = c ? 4'b1100 : 4'b1010;\n$display(\"%b\", y);\n$finish;\nend\nendmodule",
-    );
+    let out = run("module t;\nreg c;\nreg [3:0] y;\ninitial begin\n\
+         y = c ? 4'b1100 : 4'b1010;\n$display(\"%b\", y);\n$finish;\nend\nendmodule");
     assert_eq!(out, "1xx0\n");
 }
 
@@ -306,7 +278,9 @@ fn hung_candidate_is_detected_not_looped() {
     let out = simulate(
         src,
         Some("t"),
-        SimConfig::default().with_max_time(100).with_max_steps(10_000),
+        SimConfig::default()
+            .with_max_time(100)
+            .with_max_steps(10_000),
     )
     .expect("simulate");
     assert_eq!(out.reason, StopReason::StepBudget);
@@ -314,10 +288,8 @@ fn hung_candidate_is_detected_not_looped() {
 
 #[test]
 fn display_format_coverage() {
-    let out = run(
-        "module t;\nreg [7:0] v;\ninitial begin\nv = 8'd65;\n\
-         $display(\"d=%0d h=%h o=%o b=%b c=%c pct=%%\", v, v, v, v, v);\n$finish;\nend\nendmodule",
-    );
+    let out = run("module t;\nreg [7:0] v;\ninitial begin\nv = 8'd65;\n\
+         $display(\"d=%0d h=%h o=%o b=%b c=%c pct=%%\", v, v, v, v, v);\n$finish;\nend\nendmodule");
     assert_eq!(out, "d=65 h=41 o=101 b=01000001 c=A pct=%\n");
 }
 
@@ -342,12 +314,10 @@ fn multiple_instances_are_independent() {
 
 #[test]
 fn parameterized_instances_specialize() {
-    let out = run(
-        "module ones #(parameter W = 2) (output [W-1:0] y);\n\
+    let out = run("module ones #(parameter W = 2) (output [W-1:0] y);\n\
          assign y = {W{1'b1}};\nendmodule\n\
          module t;\nwire [1:0] a;\nwire [4:0] b;\n\
          ones u1(.y(a));\nones #(.W(5)) u2(.y(b));\n\
-         initial begin\n#1 $display(\"%b %b\", a, b);\n$finish;\nend\nendmodule",
-    );
+         initial begin\n#1 $display(\"%b %b\", a, b);\n$finish;\nend\nendmodule");
     assert_eq!(out, "11 11111\n");
 }

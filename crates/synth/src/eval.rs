@@ -90,12 +90,8 @@ impl NetlistSim {
             };
             if let Some(r) = reset {
                 let active = match r.edge {
-                    Edge::Pos => {
-                        self.values[r.signal.0 as usize].truthiness() == Some(true)
-                    }
-                    Edge::Neg => {
-                        self.values[r.signal.0 as usize].truthiness() == Some(false)
-                    }
+                    Edge::Pos => self.values[r.signal.0 as usize].truthiness() == Some(true),
+                    Edge::Neg => self.values[r.signal.0 as usize].truthiness() == Some(false),
                 };
                 if active {
                     let w = self.netlist.net(q).width;
@@ -210,34 +206,30 @@ impl NetlistSim {
         match cell {
             Cell::Const { value, .. } => value.clone(),
             Cell::Unary { op, a, .. } => apply_unary(*op, &self.values[a.0 as usize]),
-            Cell::Binary { op, a, b, .. } => apply_binary(
-                *op,
-                &self.values[a.0 as usize],
-                &self.values[b.0 as usize],
-            ),
-            Cell::Mux { sel, a, b, .. } => {
-                match self.values[sel.0 as usize].truthiness() {
-                    Some(true) => self.values[a.0 as usize].clone(),
-                    Some(false) => self.values[b.0 as usize].clone(),
-                    None => {
-                        let a = &self.values[a.0 as usize];
-                        let b = &self.values[b.0 as usize];
-                        let w = a.width().max(b.width());
-                        let a = a.resize(w);
-                        let b = b.resize(w);
-                        let bits = (0..w)
-                            .map(|i| {
-                                if a.bit(i) == b.bit(i) && !a.bit(i).is_unknown() {
-                                    a.bit(i)
-                                } else {
-                                    Logic::X
-                                }
-                            })
-                            .collect();
-                        LogicVec::from_bits(bits, false)
-                    }
-                }
+            Cell::Binary { op, a, b, .. } => {
+                apply_binary(*op, &self.values[a.0 as usize], &self.values[b.0 as usize])
             }
+            Cell::Mux { sel, a, b, .. } => match self.values[sel.0 as usize].truthiness() {
+                Some(true) => self.values[a.0 as usize].clone(),
+                Some(false) => self.values[b.0 as usize].clone(),
+                None => {
+                    let a = &self.values[a.0 as usize];
+                    let b = &self.values[b.0 as usize];
+                    let w = a.width().max(b.width());
+                    let a = a.resize(w);
+                    let b = b.resize(w);
+                    let bits = (0..w)
+                        .map(|i| {
+                            if a.bit(i) == b.bit(i) && !a.bit(i).is_unknown() {
+                                a.bit(i)
+                            } else {
+                                Logic::X
+                            }
+                        })
+                        .collect();
+                    LogicVec::from_bits(bits, false)
+                }
+            },
             Cell::Concat { parts, .. } => {
                 let mut acc: Option<LogicVec> = None;
                 for p in parts {
@@ -311,9 +303,8 @@ mod tests {
 
     #[test]
     fn mux_synthesis() {
-        let mut sim = synth(
-            "module m(input a, b, sel, output y); assign y = sel ? b : a; endmodule",
-        );
+        let mut sim =
+            synth("module m(input a, b, sel, output y); assign y = sel ? b : a; endmodule");
         sim.set_input("a", v(1, 1));
         sim.set_input("b", v(0, 1));
         sim.set_input("sel", v(0, 1));

@@ -234,13 +234,11 @@ impl<'a> Lowerer<'a> {
                 &self.const_eval(lhs)?,
                 &self.const_eval(rhs)?,
             )),
-            ExprKind::Ternary { cond, then, els } => {
-                match self.const_eval(cond)?.truthiness() {
-                    Some(true) => self.const_eval(then),
-                    Some(false) => self.const_eval(els),
-                    None => Err(err("unknown constant condition", e.span)),
-                }
-            }
+            ExprKind::Ternary { cond, then, els } => match self.const_eval(cond)?.truthiness() {
+                Some(true) => self.const_eval(then),
+                Some(false) => self.const_eval(els),
+                None => Err(err("unknown constant condition", e.span)),
+            },
             _ => Err(err("expression must be constant here", e.span)),
         }
     }
@@ -281,12 +279,7 @@ impl<'a> Lowerer<'a> {
                         let (width, signed, msb, lsb) = match d.kind {
                             Some(NetKind::Integer) => (32usize, true, 31i64, 0i64),
                             Some(NetKind::Time) => (64, false, 63, 0),
-                            _ => (
-                                (msb - lsb).unsigned_abs() as usize + 1,
-                                d.signed,
-                                msb,
-                                lsb,
-                            ),
+                            _ => ((msb - lsb).unsigned_abs() as usize + 1, d.signed, msb, lsb),
                         };
                         let entry = self.sigs.entry(n.name.clone()).or_insert(SigInfo {
                             width,
@@ -303,14 +296,13 @@ impl<'a> Lowerer<'a> {
                         if let Some(init) = &n.init {
                             // `wire x = e;` is a continuous assignment.
                             let w = entry.width;
-                            let all =
-                                PartialAssign {
-                                    hi: w - 1,
-                                    lo: 0,
-                                    rhs: init,
-                                    take: None,
-                                    span: n.span,
-                                };
+                            let all = PartialAssign {
+                                hi: w - 1,
+                                lo: 0,
+                                rhs: init,
+                                take: None,
+                                span: n.span,
+                            };
                             self.add_assign_driver(&n.name, all)?;
                         }
                     }
@@ -333,11 +325,7 @@ impl<'a> Lowerer<'a> {
 
     // -------------------------------------------------------------- drivers
 
-    fn add_assign_driver(
-        &mut self,
-        name: &str,
-        part: PartialAssign<'a>,
-    ) -> Result<(), SynthError> {
+    fn add_assign_driver(&mut self, name: &str, part: PartialAssign<'a>) -> Result<(), SynthError> {
         match self.drivers.get_mut(name) {
             None => {
                 self.drivers
@@ -363,7 +351,12 @@ impl<'a> Lowerer<'a> {
         }
     }
 
-    fn add_block_driver(&mut self, name: &str, driver: Driver<'a>, span: Span) -> Result<(), SynthError> {
+    fn add_block_driver(
+        &mut self,
+        name: &str,
+        driver: Driver<'a>,
+        span: Span,
+    ) -> Result<(), SynthError> {
         if self.drivers.contains_key(name) {
             return Err(err(format!("multiple drivers for `{name}`"), span));
         }
@@ -442,9 +435,9 @@ impl<'a> Lowerer<'a> {
                 };
                 let info = self.sig(name, lhs.span)?;
                 let i = self.const_i64(index)?;
-                let pos = info.bit_position(i).ok_or_else(|| {
-                    err(format!("bit {i} out of range for `{name}`"), lhs.span)
-                })?;
+                let pos = info
+                    .bit_position(i)
+                    .ok_or_else(|| err(format!("bit {i} out of range for `{name}`"), lhs.span))?;
                 self.add_assign_driver(
                     name,
                     PartialAssign {
@@ -614,10 +607,7 @@ impl<'a> Lowerer<'a> {
             return Ok(n);
         }
         if self.resolving.iter().any(|r| r == name) {
-            return Err(err(
-                format!("combinational loop through `{name}`"),
-                span,
-            ));
+            return Err(err(format!("combinational loop through `{name}`"), span));
         }
         let info = self.sig(name, span)?;
         let driver = self.drivers.get(name).cloned_kind();
@@ -841,9 +831,7 @@ impl<'a> Lowerer<'a> {
                     arg,
                 } => match &arg.kind {
                     ExprKind::Ident(n) => (n.clone(), Edge::Neg),
-                    _ => {
-                        return Err(err("unsupported async reset condition", cond.span))
-                    }
+                    _ => return Err(err("unsupported async reset condition", cond.span)),
                 },
                 _ => return Err(err("unsupported async reset condition", cond.span)),
             };
@@ -865,9 +853,10 @@ impl<'a> Lowerer<'a> {
                 );
             }
             resets.push((rname, edge, then));
-            body = unwrap_block(els.as_deref().ok_or_else(|| {
-                err("async reset if must have an else branch", span)
-            })?);
+            body = unwrap_block(
+                els.as_deref()
+                    .ok_or_else(|| err("async reset if must have an else branch", span))?,
+            );
         }
         let clk_term = remaining
             .first()
@@ -950,10 +939,8 @@ impl<'a> Lowerer<'a> {
                         },
                     };
                     for n in &d.names {
-                        ctx.local_widths.insert(
-                            n.name.clone(),
-                            (msb - lsb).unsigned_abs() as usize + 1,
-                        );
+                        ctx.local_widths
+                            .insert(n.name.clone(), (msb - lsb).unsigned_abs() as usize + 1);
                         ctx.env.insert(n.name.clone(), None);
                     }
                 }
@@ -963,10 +950,7 @@ impl<'a> Lowerer<'a> {
                 Ok(())
             }
             StmtKind::Assign {
-                lhs,
-                rhs,
-                delay,
-                ..
+                lhs, rhs, delay, ..
             } => {
                 if delay.is_some() {
                     self.warn("intra-assignment delay ignored in synthesis", stmt.span);
@@ -1012,9 +996,9 @@ impl<'a> Lowerer<'a> {
                     return Err(err("loop variable must be a simple name", stmt.span));
                 };
                 let var = var.clone();
-                let mut value = self.const_eval_ctx(&init.1, ctx).map_err(|_| {
-                    err("loop bounds must be constant for synthesis", stmt.span)
-                })?;
+                let mut value = self
+                    .const_eval_ctx(&init.1, ctx)
+                    .map_err(|_| err("loop bounds must be constant for synthesis", stmt.span))?;
                 let mut iterations = 0;
                 loop {
                     ctx.const_env.insert(var.clone(), value.clone());
@@ -1029,9 +1013,9 @@ impl<'a> Lowerer<'a> {
                         return Err(err("loop unrolling exceeded 4096 iterations", stmt.span));
                     }
                     self.exec_stmt(body, ctx)?;
-                    value = self.const_eval_ctx(&step.1, ctx).map_err(|_| {
-                        err("loop step must be constant for synthesis", stmt.span)
-                    })?;
+                    value = self
+                        .const_eval_ctx(&step.1, ctx)
+                        .map_err(|_| err("loop step must be constant for synthesis", stmt.span))?;
                 }
                 // The loop variable's final value becomes its block value,
                 // so it is not misdiagnosed as a latch.
@@ -1051,16 +1035,12 @@ impl<'a> Lowerer<'a> {
                 "timing controls inside always bodies are not synthesizable",
                 stmt.span,
             )),
-            StmtKind::While { .. }
-            | StmtKind::Repeat { .. }
-            | StmtKind::Forever { .. } => Err(err(
-                "only constant-bound for loops are synthesizable",
-                stmt.span,
-            )),
-            StmtKind::TaskCall { .. } | StmtKind::Disable(_) => Err(err(
-                "tasks are not synthesizable",
-                stmt.span,
-            )),
+            StmtKind::While { .. } | StmtKind::Repeat { .. } | StmtKind::Forever { .. } => Err(
+                err("only constant-bound for loops are synthesizable", stmt.span),
+            ),
+            StmtKind::TaskCall { .. } | StmtKind::Disable(_) => {
+                Err(err("tasks are not synthesizable", stmt.span))
+            }
         }
     }
 
@@ -1097,9 +1077,9 @@ impl<'a> Lowerer<'a> {
                     return Err(err("unsupported assignment target", span));
                 };
                 let info = self.sig(name, span)?;
-                let i = self.const_eval_ctx(index, ctx).map_err(|_| {
-                    err("dynamic bit-select targets are not synthesizable", span)
-                })?;
+                let i = self
+                    .const_eval_ctx(index, ctx)
+                    .map_err(|_| err("dynamic bit-select targets are not synthesizable", span))?;
                 let i = i
                     .to_i64()
                     .ok_or_else(|| err("x in bit-select index", span))?;
@@ -1325,17 +1305,16 @@ impl<'a> Lowerer<'a> {
     ) -> Result<NetId, SynthError> {
         // Wildcard (casez/casex) labels must be constants.
         if kind != CaseKind::Exact {
-            let v = self.const_eval_ctx(label, ctx).map_err(|_| {
-                err("casez/casex labels must be constant", label.span)
-            })?;
+            let v = self
+                .const_eval_ctx(label, ctx)
+                .map_err(|_| err("casez/casex labels must be constant", label.span))?;
             let v = v.resize(sel_width);
             let mut mask_bits = Vec::new();
             let mut value_bits = Vec::new();
             use vgen_verilog::value::Logic;
             for i in 0..sel_width {
                 let b = v.bit(i);
-                let wild = b == Logic::Z
-                    || (kind == CaseKind::X && b == Logic::X);
+                let wild = b == Logic::Z || (kind == CaseKind::X && b == Logic::X);
                 mask_bits.push(if wild { Logic::Zero } else { Logic::One });
                 value_bits.push(if wild { Logic::Zero } else { b });
             }
@@ -1388,20 +1367,11 @@ impl<'a> Lowerer<'a> {
             let merged = match (t, e) {
                 (Some(a), Some(b)) if a == b => Some(a),
                 (Some(a), Some(b)) => {
-                    let w = self
-                        .netlist
-                        .net(a)
-                        .width
-                        .max(self.netlist.net(b).width);
+                    let w = self.netlist.net(a).width.max(self.netlist.net(b).width);
                     let a = self.resize_to(a, w, false, k);
                     let b = self.resize_to(b, w, false, k);
                     let y = self.fresh(k, w, false);
-                    self.netlist.cells.push(Cell::Mux {
-                        sel: cond,
-                        a,
-                        b,
-                        y,
-                    });
+                    self.netlist.cells.push(Cell::Mux { sel: cond, a, b, y });
                     Some(y)
                 }
                 (Some(a), None) => self.partial_merge(cond, Some(a), None, k, seq_regs)?,
@@ -1516,10 +1486,7 @@ impl<'a> Lowerer<'a> {
                 Ok(n)
             }
             ExprKind::Unary { op, arg } => {
-                let propagate = matches!(
-                    op,
-                    UnaryOp::Plus | UnaryOp::Neg | UnaryOp::BitNot
-                );
+                let propagate = matches!(op, UnaryOp::Plus | UnaryOp::Neg | UnaryOp::BitNot);
                 let a = self.lower_expr(arg, ctx, if propagate { want } else { None })?;
                 let aw = self.netlist.net(a).width;
                 let (w, signed) = if propagate {
@@ -1538,11 +1505,8 @@ impl<'a> Lowerer<'a> {
                     Add | Sub | Mul | Div | Rem | BitAnd | BitOr | BitXor | BitXnor
                 );
                 let shiftish = matches!(op, Shl | Shr | AShl | AShr | Pow);
-                let a = self.lower_expr(
-                    lhs,
-                    ctx,
-                    if propagate || shiftish { want } else { None },
-                )?;
+                let a =
+                    self.lower_expr(lhs, ctx, if propagate || shiftish { want } else { None })?;
                 let b = self.lower_expr(rhs, ctx, if propagate { want } else { None })?;
                 let (aw, bw) = (self.netlist.net(a).width, self.netlist.net(b).width);
                 let signed = self.netlist.net(a).signed && self.netlist.net(b).signed;
@@ -1634,9 +1598,9 @@ impl<'a> Lowerer<'a> {
                     .const_i64(width)?
                     .try_into()
                     .map_err(|_| err("negative width", e.span))?;
-                let s = self.const_eval_ctx(start, ctx).map_err(|_| {
-                    err("dynamic indexed selects are not synthesizable", e.span)
-                })?;
+                let s = self
+                    .const_eval_ctx(start, ctx)
+                    .map_err(|_| err("dynamic indexed selects are not synthesizable", e.span))?;
                 let s = s.to_i64().ok_or_else(|| err("x in select", e.span))?;
                 let (hi_i, lo_i) = if *ascending {
                     (s + w as i64 - 1, s)
@@ -1702,10 +1666,7 @@ impl<'a> Lowerer<'a> {
                     self.netlist.cells.push(Cell::Resize { a, y });
                     Ok(y)
                 }
-                _ => Err(err(
-                    format!("`${name}` is not synthesizable"),
-                    e.span,
-                )),
+                _ => Err(err(format!("`${name}` is not synthesizable"), e.span)),
             },
             ExprKind::Call { name, args } => self.inline_function(name, args, ctx, e.span),
             ExprKind::Real(_) | ExprKind::Str(_) => {
@@ -1803,10 +1764,7 @@ impl<'a> Lowerer<'a> {
                     // Reading a comb target before assigning it: a latch /
                     // feedback read. Conservatively produce x with warning.
                     if ctx.local_widths.contains_key(name) || self.sigs.contains_key(name) {
-                        self.warn(
-                            format!("`{name}` read before assignment in block"),
-                            span,
-                        );
+                        self.warn(format!("`{name}` read before assignment in block"), span);
                         let w = self.target_width(name, ctx, span)?;
                         return Ok(self.const_net(LogicVec::unknown(w)));
                     }
@@ -1907,7 +1865,9 @@ fn collect_targets(stmt: &Stmt, out: &mut Vec<String>) {
                 collect_targets(&a.body, out);
             }
         }
-        StmtKind::For { init, step, body, .. } => {
+        StmtKind::For {
+            init, step, body, ..
+        } => {
             collect_lvalue_names(&init.0, out);
             collect_lvalue_names(&step.0, out);
             collect_targets(body, out);

@@ -73,8 +73,8 @@ fn sim_outputs(
     }
     tb.push_str("$finish;\nend\nendmodule\n");
     let full = format!("{src}\n{tb}");
-    let out = vgen_sim::simulate(&full, Some("tb"), vgen_sim::SimConfig::default())
-        .expect("simulate");
+    let out =
+        vgen_sim::simulate(&full, Some("tb"), vgen_sim::SimConfig::default()).expect("simulate");
     outputs
         .iter()
         .map(|(name, _)| {
@@ -98,13 +98,7 @@ fn check_comb_equivalence(problem_id: u8, trials: usize) {
     for _ in 0..trials {
         let vector: Vec<(String, usize, LogicVec)> = inputs
             .iter()
-            .map(|(n, w)| {
-                (
-                    n.clone(),
-                    *w,
-                    LogicVec::from_u64(rng.gen::<u64>(), *w),
-                )
-            })
+            .map(|(n, w)| (n.clone(), *w, LogicVec::from_u64(rng.gen::<u64>(), *w)))
             .collect();
         let mut net = NetlistSim::new(result.netlist.clone());
         for (n, _, v) in &vector {

@@ -113,7 +113,7 @@ pub enum Item {
         /// Override value.
         value: Expr,
         /// Source span.
-        span: Span
+        span: Span,
     },
     /// A `function ... endfunction` definition.
     Function(FunctionDecl),

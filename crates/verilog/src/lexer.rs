@@ -513,10 +513,7 @@ mod tests {
     #[test]
     fn skips_comments_and_directives() {
         let ks = kinds("// line\n/* block\nmore */ `timescale 1ns/1ps\nwire");
-        assert_eq!(
-            ks,
-            vec![TokenKind::Keyword(Keyword::Wire), TokenKind::Eof]
-        );
+        assert_eq!(ks, vec![TokenKind::Keyword(Keyword::Wire), TokenKind::Eof]);
     }
 
     #[test]
@@ -555,16 +552,12 @@ mod tests {
     fn lexes_operators_longest_match() {
         let ks = kinds("<= << <<< == === != !== >= >> >>> ~^ ^~ ** -> +: -:");
         use Punct::*;
-        let ps: Vec<Punct> = ks
-            .into_iter()
-            .filter_map(|k| k.as_punct())
-            .collect();
+        let ps: Vec<Punct> = ks.into_iter().filter_map(|k| k.as_punct()).collect();
         assert_eq!(
             ps,
             vec![
-                LtEq, Shl, AShl, EqEq, CaseEq, NotEq, CaseNotEq, GtEq, Shr,
-                AShr, TildeCaret, CaretTilde, Power, Arrow, PlusColon,
-                MinusColon
+                LtEq, Shl, AShl, EqEq, CaseEq, NotEq, CaseNotEq, GtEq, Shr, AShr, TildeCaret,
+                CaretTilde, Power, Arrow, PlusColon, MinusColon
             ]
         );
     }
@@ -572,10 +565,7 @@ mod tests {
     #[test]
     fn lexes_system_idents() {
         let ks = kinds("$display $finish");
-        assert_eq!(
-            ks[0],
-            TokenKind::SysIdent("display".into()),
-        );
+        assert_eq!(ks[0], TokenKind::SysIdent("display".into()),);
         assert_eq!(ks[1], TokenKind::SysIdent("finish".into()));
     }
 

@@ -217,7 +217,9 @@ mod tests {
     #[test]
     fn underscores_ignored() {
         assert_eq!(
-            parse_number("16'b1010_1010_1010_1010").expect("parse").to_u64(),
+            parse_number("16'b1010_1010_1010_1010")
+                .expect("parse")
+                .to_u64(),
             Some(0xAAAA)
         );
         assert_eq!(parse_number("1_000").expect("parse").to_u64(), Some(1000));

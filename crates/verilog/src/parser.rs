@@ -463,10 +463,7 @@ impl Parser {
             let (name, nspan) = self.expect_ident()?;
             let mut dims = Vec::new();
             while self.at_punct(Punct::LBracket) {
-                dims.push(
-                    self.parse_opt_range()?
-                        .expect("checked opening bracket"),
-                );
+                dims.push(self.parse_opt_range()?.expect("checked opening bracket"));
             }
             let init = if self.eat_punct(Punct::Assign) {
                 Some(self.parse_expr()?)
@@ -503,11 +500,7 @@ impl Parser {
 
     /// Parses `[signed] [range] name = expr {, name = expr}` after the
     /// `parameter`/`localparam` keyword.
-    fn parse_param_decl_body(
-        &mut self,
-        local: bool,
-        start: Span,
-    ) -> Result<ParamDecl, ParseError> {
+    fn parse_param_decl_body(&mut self, local: bool, start: Span) -> Result<ParamDecl, ParseError> {
         let signed = self.eat_keyword(Keyword::Signed);
         self.eat_keyword(Keyword::Integer); // `parameter integer N = 4`
         let range = self.parse_opt_range()?;
@@ -885,8 +878,9 @@ impl Parser {
                     span: end,
                 })
             }
-            TokenKind::Ident(_)
-            | TokenKind::Punct(Punct::LBrace) => self.parse_assign_or_call(start),
+            TokenKind::Ident(_) | TokenKind::Punct(Punct::LBrace) => {
+                self.parse_assign_or_call(start)
+            }
             _ => Err(self.unexpected("statement")),
         }
     }
@@ -911,9 +905,7 @@ impl Parser {
         loop {
             let dstart = self.span();
             match self.peek().as_keyword() {
-                Some(
-                    Keyword::Reg | Keyword::Integer | Keyword::Time | Keyword::Real,
-                ) => {
+                Some(Keyword::Reg | Keyword::Integer | Keyword::Time | Keyword::Real) => {
                     let kind = self.parse_opt_net_kind();
                     match self.parse_decl_tail(None, kind, dstart)? {
                         Item::Decl(d) => decls.push(d),
@@ -1103,7 +1095,11 @@ impl Parser {
             self.bump();
             // All supported binary operators are left-associative except
             // `**`, which is right-associative.
-            let next_min = if op == BinaryOp::Pow { level } else { level + 1 };
+            let next_min = if op == BinaryOp::Pow {
+                level
+            } else {
+                level + 1
+            };
             let rhs = self.parse_binary(next_min)?;
             let span = lhs.span.to(rhs.span);
             lhs = Expr::new(
@@ -1259,8 +1255,7 @@ impl Parser {
         match self.peek().clone() {
             TokenKind::Number(text) => {
                 self.bump();
-                let value = parse_number(&text)
-                    .map_err(|e| ParseError::new(e.message, start))?;
+                let value = parse_number(&text).map_err(|e| ParseError::new(e.message, start))?;
                 Ok(Expr::number(value, start))
             }
             TokenKind::Real(text) => {
@@ -1285,10 +1280,7 @@ impl Parser {
                         }
                     }
                     let end = self.expect_punct(Punct::RParen)?;
-                    return Ok(Expr::new(
-                        ExprKind::Call { name, args },
-                        start.to(end),
-                    ));
+                    return Ok(Expr::new(ExprKind::Call { name, args }, start.to(end)));
                 }
                 Ok(Expr::ident(name, start))
             }
@@ -1398,9 +1390,7 @@ mod tests {
 
     #[test]
     fn non_ansi_ports() {
-        let f = parse_ok(
-            "module m(a, y);\ninput a;\noutput y;\nwire a;\nassign y = a;\nendmodule",
-        );
+        let f = parse_ok("module m(a, y);\ninput a;\noutput y;\nwire a;\nassign y = a;\nendmodule");
         assert_eq!(f.modules[0].ports, vec!["a", "y"]);
     }
 
@@ -1416,7 +1406,9 @@ mod tests {
         let StmtKind::Event { control, stmt } = &a.body.kind else {
             panic!()
         };
-        let EventControl::List(terms) = control else { panic!() };
+        let EventControl::List(terms) = control else {
+            panic!()
+        };
         assert_eq!(terms[0].edge, Some(Edge::Pos));
         let StmtKind::Assign { op, .. } = &stmt.as_ref().expect("stmt").kind else {
             panic!()
@@ -1476,11 +1468,15 @@ mod tests {
         let Item::Always(a) = &f.modules[0].items[2] else {
             panic!()
         };
-        let StmtKind::Event { stmt, .. } = &a.body.kind else { panic!() };
+        let StmtKind::Event { stmt, .. } = &a.body.kind else {
+            panic!()
+        };
         let StmtKind::Block { stmts, .. } = &stmt.as_ref().expect("block").kind else {
             panic!()
         };
-        let StmtKind::Case { arms, .. } = &stmts[0].kind else { panic!() };
+        let StmtKind::Case { arms, .. } = &stmts[0].kind else {
+            panic!()
+        };
         assert_eq!(arms.len(), 3);
         assert_eq!(arms[1].labels.len(), 2);
         assert!(arms[2].labels.is_empty());
@@ -1492,17 +1488,23 @@ mod tests {
             "module m;\nparameter IDLE = 0, SA = 1, SB = 2, SAB = 3;\n\
              localparam W = 4;\nendmodule",
         );
-        let Item::Param(p) = &f.modules[0].items[0] else { panic!() };
+        let Item::Param(p) = &f.modules[0].items[0] else {
+            panic!()
+        };
         assert_eq!(p.assigns.len(), 4);
         assert!(!p.local);
-        let Item::Param(lp) = &f.modules[0].items[1] else { panic!() };
+        let Item::Param(lp) = &f.modules[0].items[1] else {
+            panic!()
+        };
         assert!(lp.local);
     }
 
     #[test]
     fn memory_declaration() {
         let f = parse_ok("module m;\nreg [7:0] mem [0:63];\nendmodule");
-        let Item::Decl(d) = &f.modules[0].items[0] else { panic!() };
+        let Item::Decl(d) = &f.modules[0].items[0] else {
+            panic!()
+        };
         assert_eq!(d.names[0].dims.len(), 1);
     }
 
@@ -1551,8 +1553,12 @@ mod tests {
             "module tb;\nreg clk;\ninitial begin\nclk = 0;\n#5 clk = 1;\n\
              #10;\n$display(\"t=%0d\", $time);\n$finish;\nend\nendmodule",
         );
-        let Item::Initial(i) = &f.modules[0].items[1] else { panic!() };
-        let StmtKind::Block { stmts, .. } = &i.body.kind else { panic!() };
+        let Item::Initial(i) = &f.modules[0].items[1] else {
+            panic!()
+        };
+        let StmtKind::Block { stmts, .. } = &i.body.kind else {
+            panic!()
+        };
         assert_eq!(stmts.len(), 5);
         assert!(matches!(stmts[1].kind, StmtKind::Delay { .. }));
         assert!(matches!(
@@ -1564,7 +1570,9 @@ mod tests {
     #[test]
     fn clock_generator() {
         let f = parse_ok("module tb;\nreg clk;\nalways #5 clk = ~clk;\nendmodule");
-        let Item::Always(a) = &f.modules[0].items[1] else { panic!() };
+        let Item::Always(a) = &f.modules[0].items[1] else {
+            panic!()
+        };
         assert!(matches!(a.body.kind, StmtKind::Delay { .. }));
     }
 
@@ -1574,8 +1582,12 @@ mod tests {
             "module tb;\ninteger i;\nreg [7:0] m [0:3];\ninitial begin\n\
              for (i = 0; i < 4; i = i + 1) m[i] = i;\nend\nendmodule",
         );
-        let Item::Initial(init) = &f.modules[0].items[2] else { panic!() };
-        let StmtKind::Block { stmts, .. } = &init.body.kind else { panic!() };
+        let Item::Initial(init) = &f.modules[0].items[2] else {
+            panic!()
+        };
+        let StmtKind::Block { stmts, .. } = &init.body.kind else {
+            panic!()
+        };
         assert!(matches!(stmts[0].kind, StmtKind::For { .. }));
     }
 
@@ -1606,7 +1618,9 @@ mod tests {
 
     #[test]
     fn ternary_and_comparison() {
-        parse_ok("module m(input [3:0] a, output [3:0] y); assign y = a >= 4 ? a - 4 : a + 1; endmodule");
+        parse_ok(
+            "module m(input [3:0] a, output [3:0] y); assign y = a >= 4 ? a - 4 : a + 1; endmodule",
+        );
     }
 
     #[test]
@@ -1619,7 +1633,8 @@ mod tests {
 
     #[test]
     fn indexed_part_select() {
-        let f = parse_ok("module m(input [31:0] a, output [7:0] y); assign y = a[8 +: 8]; endmodule");
+        let f =
+            parse_ok("module m(input [31:0] a, output [7:0] y); assign y = a[8 +: 8]; endmodule");
         let Item::Assign(item) = f.modules[0]
             .items
             .iter()
@@ -1647,9 +1662,7 @@ mod tests {
 
     #[test]
     fn named_block_with_decl() {
-        parse_ok(
-            "module m;\ninitial begin : blk\ninteger i;\ni = 0;\nend\nendmodule",
-        );
+        parse_ok("module m;\ninitial begin : blk\ninteger i;\ni = 0;\nend\nendmodule");
     }
 
     #[test]
@@ -1658,8 +1671,12 @@ mod tests {
             "module m(input [2:0] x, output reg [1:0] p);\nalways @(x)\n\
              if (x == 0) p <= 0;\nelse if (x[0]) p <= 0;\nelse if (x[1]) p <= 1;\nelse p <= 2;\nendmodule",
         );
-        let Item::Always(a) = &f.modules[0].items[2] else { panic!() };
-        let StmtKind::Event { stmt, .. } = &a.body.kind else { panic!() };
+        let Item::Always(a) = &f.modules[0].items[2] else {
+            panic!()
+        };
+        let StmtKind::Event { stmt, .. } = &a.body.kind else {
+            panic!()
+        };
         assert!(matches!(
             stmt.as_ref().expect("if").kind,
             StmtKind::If { .. }
@@ -1760,7 +1777,9 @@ mod tests {
     #[test]
     fn power_is_right_associative() {
         let f = parse_ok("module m(output [31:0] y); assign y = 2 ** 3 ** 2; endmodule");
-        let Item::Assign(a) = &f.modules[0].items[1] else { panic!() };
+        let Item::Assign(a) = &f.modules[0].items[1] else {
+            panic!()
+        };
         // 2 ** (3 ** 2)
         let ExprKind::Binary { op, rhs, .. } = &a.assigns[0].1.kind else {
             panic!()

@@ -167,12 +167,7 @@ impl Printer {
                     header.push_str("signed ");
                 }
                 if let Some(r) = &f.range {
-                    let _ = write!(
-                        header,
-                        "[{}:{}] ",
-                        expr_str(&r.msb),
-                        expr_str(&r.lsb)
-                    );
+                    let _ = write!(header, "[{}:{}] ", expr_str(&r.msb), expr_str(&r.lsb));
                 }
                 header.push_str(&f.name);
                 header.push(';');
@@ -215,11 +210,7 @@ impl Printer {
                     .as_ref()
                     .map(|d| format!("#{} ", expr_str(d)))
                     .unwrap_or_default();
-                self.line(&format!(
-                    "{} {op_s} {d}{};",
-                    expr_str(lhs),
-                    expr_str(rhs)
-                ));
+                self.line(&format!("{} {op_s} {d}{};", expr_str(lhs), expr_str(rhs)));
             }
             StmtKind::If { cond, then, els } => {
                 self.line(&format!("if ({})", expr_str(cond)));
@@ -244,8 +235,7 @@ impl Printer {
                     if arm.labels.is_empty() {
                         self.line("default:");
                     } else {
-                        let labels: Vec<String> =
-                            arm.labels.iter().map(expr_str).collect();
+                        let labels: Vec<String> = arm.labels.iter().map(expr_str).collect();
                         self.line(&format!("{}:", labels.join(", ")));
                     }
                     self.indent += 1;
@@ -397,12 +387,7 @@ fn decl_to_string(d: &Decl) -> String {
         .map(|n| {
             let mut t = n.name.clone();
             for dim in &n.dims {
-                let _ = write!(
-                    t,
-                    " [{}:{}]",
-                    expr_str(&dim.msb),
-                    expr_str(&dim.lsb)
-                );
+                let _ = write!(t, " [{}:{}]", expr_str(&dim.msb), expr_str(&dim.lsb));
             }
             if let Some(init) = &n.init {
                 let _ = write!(t, " = {}", expr_str(init));
@@ -620,9 +605,11 @@ mod tests {
 
     #[test]
     fn pretty_expr_and_stmt_api() {
-        let f = parse("module m(input a, output reg y); always @(a) y = !a; endmodule")
-            .expect("parse");
-        let Item::Always(al) = &f.modules[0].items[2] else { panic!() };
+        let f =
+            parse("module m(input a, output reg y); always @(a) y = !a; endmodule").expect("parse");
+        let Item::Always(al) = &f.modules[0].items[2] else {
+            panic!()
+        };
         let s = pretty_stmt(&al.body);
         assert!(s.contains("@(a)"));
         assert!(s.contains("y = !(a);"));

@@ -96,8 +96,7 @@ mod tests {
 
     #[test]
     fn assemble_does_not_duplicate_endmodule() {
-        let src =
-            assemble_candidate("module m(input a, output y);", "assign y = a;\nendmodule");
+        let src = assemble_candidate("module m(input a, output y);", "assign y = a;\nendmodule");
         assert_eq!(src.matches("endmodule").count(), 1);
         assert!(crate::parser::syntax_check(&src).is_ok());
     }

@@ -344,9 +344,7 @@ impl LogicVec {
         }
         if self.both_signed(rhs) {
             match (self.to_i64(), rhs.to_i64()) {
-                (Some(a), Some(b)) if b != 0 => {
-                    LogicVec::from_i64(a.wrapping_div(b), w)
-                }
+                (Some(a), Some(b)) if b != 0 => LogicVec::from_i64(a.wrapping_div(b), w),
                 _ => Self::all_x(w),
             }
         } else {
@@ -362,9 +360,7 @@ impl LogicVec {
         }
         if self.both_signed(rhs) {
             match (self.to_i64(), rhs.to_i64()) {
-                (Some(a), Some(b)) if b != 0 => {
-                    LogicVec::from_i64(a.wrapping_rem(b), w)
-                }
+                (Some(a), Some(b)) if b != 0 => LogicVec::from_i64(a.wrapping_rem(b), w),
                 _ => Self::all_x(w),
             }
         } else {
@@ -395,9 +391,7 @@ impl LogicVec {
                 self.resize(w).with_signed(true).to_i64(),
                 rhs.resize(w).with_signed(true).to_i64(),
             ) {
-                (Some(a), Some(b)) => {
-                    return LogicVec::from_i64(f(a as u64, b as u64) as i64, w)
-                }
+                (Some(a), Some(b)) => return LogicVec::from_i64(f(a as u64, b as u64) as i64, w),
                 _ => return Self::all_x(w),
             }
         }
@@ -517,10 +511,7 @@ impl LogicVec {
         for i in 0..w - n {
             bits[i] = self.bit(i + n);
         }
-        LogicVec {
-            bits,
-            signed: true,
-        }
+        LogicVec { bits, signed: true }
     }
 
     fn cmp_values(&self, rhs: &LogicVec) -> Option<std::cmp::Ordering> {
@@ -930,10 +921,7 @@ mod tests {
     #[test]
     fn casez_wildcards() {
         // pattern 3'b1?? matches anything with bit2 == 1
-        let pattern = LogicVec::from_bits(
-            vec![Logic::Z, Logic::Z, Logic::One],
-            false,
-        );
+        let pattern = LogicVec::from_bits(vec![Logic::Z, Logic::Z, Logic::One], false);
         assert!(v(0b100, 3).case_matches(&pattern, false));
         assert!(v(0b111, 3).case_matches(&pattern, false));
         assert!(!v(0b011, 3).case_matches(&pattern, false));
@@ -941,10 +929,7 @@ mod tests {
 
     #[test]
     fn casex_treats_x_wild() {
-        let pattern = LogicVec::from_bits(
-            vec![Logic::X, Logic::One],
-            false,
-        );
+        let pattern = LogicVec::from_bits(vec![Logic::X, Logic::One], false);
         assert!(v(0b10, 2).case_matches(&pattern, true));
         assert!(!v(0b10, 2).case_matches(&pattern, false));
     }

@@ -5,7 +5,7 @@
 //! Run with `cargo run --release --example benchmark_sweep`.
 
 use vgen_core::experiments::evaluate_model;
-use vgen_core::report::{render_table3, render_table4, render_headline, headline_stats};
+use vgen_core::report::{headline_stats, render_headline, render_table3, render_table4};
 use vgen_core::sweep::EvalConfig;
 use vgen_corpus::CorpusSource;
 use vgen_lm::{ModelFamily, ModelId, Tuning};

@@ -9,7 +9,10 @@ use vgen_sim::SimConfig;
 fn main() {
     // Problem 6: the 1-to-12 counter from the paper's Fig. 3.
     let counter = problem(6).expect("problem 6 is in the catalog");
-    println!("=== Prompt (High detail) ===\n{}", counter.prompt(PromptLevel::High));
+    println!(
+        "=== Prompt (High detail) ===\n{}",
+        counter.prompt(PromptLevel::High)
+    );
 
     // A correct completion (Fig. 3b).
     let good = "\

@@ -52,6 +52,9 @@ endmodule
 "#;
     let out = simulate(src, Some("tb"), SimConfig::default())?;
     println!("--- simulator output ---\n{}", out.stdout);
-    println!("stopped at t={} because {:?} after {} VM steps", out.time, out.reason, out.steps);
+    println!(
+        "stopped at t={} because {:?} after {} VM steps",
+        out.time, out.reason, out.steps
+    );
     Ok(())
 }

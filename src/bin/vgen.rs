@@ -54,9 +54,14 @@ USAGE:
   vgen prompt <id> [--level L|M|H]        print a problem prompt
   vgen eval <file.v> --problem <id>       score a candidate DUT source
   vgen eval --journal <path> [--resume] [--model NAME] [--tuning ft|pt] [--full]
+            [--jobs N]
                                           sweep the family engine over the
                                           eval grid, journaling each record;
-                                          --resume continues a killed run
+                                          --resume continues a killed run;
+                                          --jobs N checks completions on N
+                                          worker threads (default: all
+                                          cores; results are byte-identical
+                                          for every N)
 ";
 
 /// Flags that take no value (everything else consumes the next argument).
@@ -122,7 +127,12 @@ fn cmd_sim(rest: &[&String]) -> Result<(), String> {
     };
     let out = vgen::sim::simulate(&src, top, config).map_err(|e| e.to_string())?;
     print!("{}", out.stdout);
-    eprintln!("[{} @ t={} after {} steps]", reason_str(&out.reason), out.time, out.steps);
+    eprintln!(
+        "[{} @ t={} after {} steps]",
+        reason_str(&out.reason),
+        out.time,
+        out.steps
+    );
     if let Some(vcd_path) = flag_value(rest, "--vcd") {
         match &out.vcd {
             Some(text) => {
@@ -217,8 +227,7 @@ fn cmd_eval(rest: &[&String]) -> Result<(), String> {
         },
         Err(_) => full.clone(),
     };
-    let outcome =
-        vgen::core::check::check_source(p, &src, vgen::sim::SimConfig::default());
+    let outcome = vgen::core::check::check_source(p, &src, vgen::sim::SimConfig::default());
     use vgen::core::check::CheckOutcome::*;
     let (compiled, synth, functional) = match &outcome {
         Pass => (true, vgen::synth::synthesize_source(&src).is_ok(), true),
@@ -249,7 +258,11 @@ fn cmd_eval_grid(rest: &[&String], journal: &str) -> Result<(), String> {
     use vgen::lm::{FamilyEngine, ModelFamily, ModelId, Tuning};
 
     let resume = has_flag(rest, "--resume");
-    if !resume && std::fs::metadata(journal).map(|m| m.len() > 0).unwrap_or(false) {
+    if !resume
+        && std::fs::metadata(journal)
+            .map(|m| m.len() > 0)
+            .unwrap_or(false)
+    {
         return Err(format!(
             "journal `{journal}` already exists; pass --resume to continue it \
              or remove the file to start over"
@@ -266,7 +279,10 @@ fn cmd_eval_grid(rest: &[&String], journal: &str) -> Result<(), String> {
         .find(|f| f.name().eq_ignore_ascii_case(family_arg))
         .ok_or_else(|| {
             let known: Vec<&str> = ModelFamily::ALL.iter().map(|f| f.name()).collect();
-            format!("unknown model `{family_arg}` (one of: {})", known.join(", "))
+            format!(
+                "unknown model `{family_arg}` (one of: {})",
+                known.join(", ")
+            )
         })?;
     if tuning == Tuning::FineTuned && !family.supports_fine_tuning() {
         return Err(format!(
@@ -279,22 +295,35 @@ fn cmd_eval_grid(rest: &[&String], journal: &str) -> Result<(), String> {
     } else {
         vgen::core::EvalConfig::quick()
     };
+    let opts = vgen::core::SweepOptions {
+        jobs: parse_jobs(flag_value(rest, "--jobs"))?,
+        progress: vgen::core::SweepOptions::progress_auto(),
+    };
+    // Execution details go to stderr; the stdout report stays
+    // byte-identical across worker counts (the CI determinism gate
+    // diffs it).
+    eprintln!("[eval] {} worker(s)", opts.effective_jobs());
     let mut engine = FamilyEngine::new(ModelId::new(family, tuning), CorpusSource::GithubOnly, 42);
-    let run = vgen::core::run_engine_journaled(
+    let run = vgen::core::run_engine_sweep(
         &mut engine,
         &config,
-        std::path::Path::new(journal),
-        resume,
+        Some((std::path::Path::new(journal), resume)),
+        &opts,
     )
     .map_err(|e| e.to_string())?;
-    let t = run.tally(|_| true);
-    println!("engine:          {}", run.engine);
-    println!("records:         {}", run.records.len());
-    println!("compile rate:    {:.3}", t.compile_rate());
-    println!("functional rate: {:.3}", t.functional_rate());
-    println!("harness faults:  {}", run.fault_count());
-    println!("journal:         {journal}");
+    print!("{}", vgen::core::render_eval_summary(&run, journal));
     Ok(())
+}
+
+/// Parses `--jobs`: a positive worker count, or `0`/`auto`/absent for the
+/// machine's available parallelism.
+fn parse_jobs(arg: Option<&str>) -> Result<usize, String> {
+    match arg {
+        None | Some("auto") | Some("0") => Ok(0),
+        Some(s) => s
+            .parse::<usize>()
+            .map_err(|_| format!("bad --jobs `{s}` (use a positive integer or `auto`)")),
+    }
 }
 
 fn yesno(b: bool) -> &'static str {

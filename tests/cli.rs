@@ -29,15 +29,25 @@ endmodule
 #[test]
 fn check_accepts_valid_file() {
     let path = write_temp("ok.v", COUNTER);
-    let out = vgen().args(["check", path.to_str().expect("utf8")]).output().expect("run");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = vgen()
+        .args(["check", path.to_str().expect("utf8")])
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("counter`: OK"));
 }
 
 #[test]
 fn check_rejects_broken_file() {
     let path = write_temp("bad.v", "module m(input a output y); endmodule");
-    let out = vgen().args(["check", path.to_str().expect("utf8")]).output().expect("run");
+    let out = vgen()
+        .args(["check", path.to_str().expect("utf8")])
+        .output()
+        .expect("run");
     assert!(!out.status.success());
 }
 
@@ -62,7 +72,10 @@ fn sim_runs_a_testbench() {
 #[test]
 fn synth_summarizes() {
     let path = write_temp("synth.v", COUNTER);
-    let out = vgen().args(["synth", path.to_str().expect("utf8")]).output().expect("run");
+    let out = vgen()
+        .args(["synth", path.to_str().expect("utf8")])
+        .output()
+        .expect("run");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("1 registers"), "{text}");
@@ -75,7 +88,11 @@ fn eval_scores_a_candidate() {
         .args(["eval", path.to_str().expect("utf8"), "--problem", "6"])
         .output()
         .expect("run");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("functional:   yes"));
 }
@@ -93,9 +110,84 @@ fn eval_fails_wrong_candidate() {
     assert!(text.contains("functional:   no"));
 }
 
+/// Runs a journaled grid sweep in its own directory (so the `journal:`
+/// line of the report is identical across runs) and returns
+/// (stdout bytes, journal bytes).
+fn grid_sweep(dir_tag: &str, jobs: &str, extra: &[&str]) -> (Vec<u8>, Vec<u8>) {
+    let dir = std::env::temp_dir().join("vgen-cli-tests").join(dir_tag);
+    std::fs::create_dir_all(&dir).expect("create sweep dir");
+    let journal = dir.join("sweep.log");
+    let _ = std::fs::remove_file(&journal);
+    let mut args = vec!["eval", "--journal", "sweep.log", "--jobs", jobs];
+    args.extend_from_slice(extra);
+    let out = vgen().args(&args).current_dir(&dir).output().expect("run");
+    assert!(
+        out.status.success(),
+        "sweep failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let bytes = std::fs::read(&journal).expect("journal exists");
+    (out.stdout, bytes)
+}
+
+#[test]
+fn eval_grid_reports_and_journals_are_jobs_invariant() {
+    let (report1, journal1) = grid_sweep("jobs1", "1", &[]);
+    let (report4, journal4) = grid_sweep("jobs4", "4", &[]);
+    assert_eq!(
+        report1, report4,
+        "stdout report must be byte-identical across --jobs"
+    );
+    assert_eq!(
+        journal1, journal4,
+        "journal must be byte-identical across --jobs"
+    );
+}
+
+#[test]
+fn eval_grid_resumes_killed_parallel_run() {
+    let (_, full_journal) = grid_sweep("resume", "4", &[]);
+    // Truncate the journal as a SIGKILL mid-run would: keep the header,
+    // a prefix of records, and a torn final line.
+    let dir = std::env::temp_dir().join("vgen-cli-tests").join("resume");
+    let journal = dir.join("sweep.log");
+    let text = String::from_utf8(full_journal.clone()).expect("utf8 journal");
+    let mut kept: Vec<&str> = text.lines().take(30).collect();
+    kept.push("3,B,L,0.1"); // torn write
+    std::fs::write(&journal, kept.join("\n")).expect("truncate journal");
+    let out = vgen()
+        .args(["eval", "--journal", "sweep.log", "--jobs", "3", "--resume"])
+        .current_dir(&dir)
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let resumed = std::fs::read(&journal).expect("resumed journal");
+    assert_eq!(
+        resumed, full_journal,
+        "resumed journal must match the uninterrupted run byte-for-byte"
+    );
+}
+
+#[test]
+fn eval_grid_rejects_bad_jobs() {
+    let out = vgen()
+        .args(["eval", "--journal", "x.log", "--jobs", "banana"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs"));
+}
+
 #[test]
 fn prompt_prints_problem_text() {
-    let out = vgen().args(["prompt", "15", "--level", "H"]).output().expect("run");
+    let out = vgen()
+        .args(["prompt", "15", "--level", "H"])
+        .output()
+        .expect("run");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("module adv_fsm"));

@@ -85,8 +85,7 @@ fn larger_models_do_better_rq3() {
         3,
     );
     assert!(
-        large.run.tally(|_| true).functional_rate()
-            > small.run.tally(|_| true).functional_rate(),
+        large.run.tally(|_| true).functional_rate() > small.run.tally(|_| true).functional_rate(),
         "16B should beat 355M on basic problems"
     );
 }

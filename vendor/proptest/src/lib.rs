@@ -309,7 +309,7 @@ impl Strategy for String {
 
 /// Collection strategies.
 pub mod collection {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use rand::Rng;
     use std::ops::Range;
 
@@ -450,7 +450,8 @@ macro_rules! prop_assert_ne {
         let (l, r) = (&$lhs, &$rhs);
         if *l == *r {
             return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
-                "assertion failed: `{:?}` == `{:?}`", l, r
+                "assertion failed: `{:?}` == `{:?}`",
+                l, r
             )));
         }
     }};
