@@ -1,0 +1,159 @@
+//! `lint_throughput` — how fast the semantic lint pass chews through
+//! realistic and adversarial Verilog.
+//!
+//! The lint stage runs on every compiled candidate in the eval sweep, so
+//! its cost lands on the sweep's critical path. This bench lints two
+//! corpora — the golden set (all 17 reference solutions and testbenches)
+//! and the hostile mutation corpus assembled into full candidates — and
+//! reports files/second and diagnostics/second for each, writing the
+//! numbers to `BENCH_lint.json` under `target/experiments/` (and to a
+//! `--out` path for CI artifact pickup).
+//!
+//! ```text
+//! cargo run --release -p vgen-bench --bin lint_throughput            # full
+//! cargo run --release -p vgen-bench --bin lint_throughput -- --quick # CI smoke
+//! ```
+
+use std::time::Instant;
+
+use vgen_bench::write_artifact;
+use vgen_core::check::assemble;
+use vgen_lint::lint_source;
+use vgen_lm::mutate::hostile_corpus;
+use vgen_problems::{problem, PromptLevel};
+
+/// One measured corpus of sources to lint.
+struct Corpus {
+    name: &'static str,
+    sources: Vec<String>,
+}
+
+/// Throughput over one corpus.
+struct Sample {
+    name: &'static str,
+    files: usize,
+    bytes: usize,
+    diagnostics: usize,
+    seconds: f64,
+}
+
+fn corpora() -> Vec<Corpus> {
+    let mut golden = Vec::new();
+    for id in 1..=17u8 {
+        let p = problem(id).expect("problem id in range");
+        golden.push(p.reference_source());
+        golden.push(p.testbench.to_string());
+    }
+    let anchor = problem(2).expect("problem 2 exists");
+    let hostile = hostile_corpus()
+        .into_iter()
+        .map(|(_, completion)| assemble(anchor, PromptLevel::Low, &completion))
+        .collect();
+    vec![
+        Corpus {
+            name: "golden",
+            sources: golden,
+        },
+        Corpus {
+            name: "hostile",
+            sources: hostile,
+        },
+    ]
+}
+
+/// Lints every source in the corpus once and returns the diagnostic count
+/// (unparsable sources lint to zero diagnostics — they never reach the
+/// rules in production either).
+fn lint_pass(corpus: &Corpus) -> usize {
+    corpus
+        .sources
+        .iter()
+        .map(|src| lint_source(src).map_or(0, |r| r.diagnostics.len()))
+        .sum()
+}
+
+/// Best-of-`reps` timing of a full pass over `corpus`.
+fn measure(corpus: &Corpus, reps: usize) -> Sample {
+    let diagnostics = lint_pass(corpus); // warm-up, and the count itself
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let n = lint_pass(corpus);
+        best = best.min(start.elapsed().as_secs_f64());
+        assert_eq!(n, diagnostics, "lint must be deterministic across passes");
+    }
+    Sample {
+        name: corpus.name,
+        files: corpus.sources.len(),
+        bytes: corpus.sources.iter().map(String::len).sum(),
+        diagnostics,
+        seconds: best,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let reps = if quick { 2 } else { 10 };
+
+    println!("lint_throughput: reps={reps}");
+    let mut samples = Vec::new();
+    for corpus in corpora() {
+        let s = measure(&corpus, reps);
+        println!(
+            "  {:<8}  {:>3} files  {:>8} bytes  {:>4} diagnostics  {:>8.4}s  {:>9.1} files/s",
+            s.name,
+            s.files,
+            s.bytes,
+            s.diagnostics,
+            s.seconds,
+            s.files as f64 / s.seconds
+        );
+        samples.push(s);
+    }
+
+    let json = render_json(quick, &samples);
+    write_artifact("BENCH_lint.json", &json);
+    if let Some(path) = out_path {
+        match std::fs::write(&path, &json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Hand-rolled JSON (no serde in this environment): a stable, diffable
+/// shape for the lint perf trajectory.
+fn render_json(quick: bool, samples: &[Sample]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"lint_throughput\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    out.push_str("  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"corpus\": \"{}\", \"files\": {}, \"bytes\": {}, \"diagnostics\": {}, \
+             \"seconds\": {:.6}, \"files_per_sec\": {:.2}, \"diagnostics_per_sec\": {:.2}}}{}\n",
+            s.name,
+            s.files,
+            s.bytes,
+            s.diagnostics,
+            s.seconds,
+            s.files as f64 / s.seconds,
+            s.diagnostics as f64 / s.seconds,
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -1,6 +1,8 @@
 //! Candidate checking: truncation, assembly, compile check, functional
-//! check (paper Fig. 1 step ⑧).
+//! check (paper Fig. 1 step ⑧), plus a semantic lint pass
+//! ([`vgen_lint`]) over every candidate that parses.
 
+use vgen_lint::{LintReport, Rule};
 use vgen_problems::{Problem, PromptLevel, PASS_MARKER};
 use vgen_sim::{SimConfig, StopReason};
 use vgen_verilog::truncate::{assemble_candidate, truncate_completion};
@@ -38,6 +40,97 @@ impl CheckOutcome {
     }
 }
 
+/// Lint tallies for one checked candidate — the compact form of a
+/// [`LintReport`] carried on [`CheckResult`] and journaled per record.
+///
+/// Spans and messages are dropped (they are reproducible by re-linting the
+/// source); what the sweep aggregates are counts per severity and rule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintCounts {
+    /// Error-severity diagnostics.
+    pub errors: u32,
+    /// Warning-severity diagnostics.
+    pub warnings: u32,
+    /// Per-rule diagnostic counts in [`Rule::ALL`] order, zero-count rules
+    /// omitted.
+    pub per_rule: Vec<(Rule, u32)>,
+}
+
+impl LintCounts {
+    /// Condenses a full report into counts.
+    pub fn from_report(report: &LintReport) -> Self {
+        LintCounts {
+            errors: report.error_count(),
+            warnings: report.warning_count(),
+            per_rule: report.per_rule(),
+        }
+    }
+
+    /// Whether no rule fired at all.
+    pub fn is_clean(&self) -> bool {
+        self.errors == 0 && self.warnings == 0
+    }
+
+    /// Diagnostics from behavioural-hazard rules ([`Rule::is_hazard`]) —
+    /// the count that sends a passing record to the hazardous-pass bucket.
+    pub fn hazard_count(&self) -> u32 {
+        self.per_rule
+            .iter()
+            .filter(|(r, _)| r.is_hazard())
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Serialises the counts as one journal field:
+    /// `errors:warnings[:rule=count|rule=count|...]`. Contains no comma, so
+    /// it nests inside the comma-separated record line.
+    pub fn to_journal_field(&self) -> String {
+        let mut out = format!("{}:{}", self.errors, self.warnings);
+        if !self.per_rule.is_empty() {
+            out.push(':');
+            let rules: Vec<String> = self
+                .per_rule
+                .iter()
+                .map(|(r, n)| format!("{}={n}", r.name()))
+                .collect();
+            out.push_str(&rules.join("|"));
+        }
+        out
+    }
+
+    /// Parses a [`LintCounts::to_journal_field`] string. Returns `None` on
+    /// any malformed piece, including a per-rule sum that disagrees with
+    /// the severity totals (a torn journal write).
+    pub fn from_journal_field(s: &str) -> Option<LintCounts> {
+        let mut it = s.splitn(3, ':');
+        let errors: u32 = it.next()?.parse().ok()?;
+        let warnings: u32 = it.next()?.parse().ok()?;
+        let mut per_rule = Vec::new();
+        if let Some(rules) = it.next() {
+            let mut prev: Option<Rule> = None;
+            for part in rules.split('|') {
+                let (name, count) = part.split_once('=')?;
+                let rule = Rule::from_name(name)?;
+                let n: u32 = count.parse().ok()?;
+                if n == 0 || prev.is_some_and(|p| p >= rule) {
+                    return None; // zero counts and out-of-order rules are never written
+                }
+                prev = Some(rule);
+                per_rule.push((rule, n));
+            }
+        }
+        let total: u32 = per_rule.iter().map(|(_, n)| n).sum();
+        if total != errors.checked_add(warnings)? {
+            return None;
+        }
+        Some(LintCounts {
+            errors,
+            warnings,
+            per_rule,
+        })
+    }
+}
+
 /// The result of checking one completion.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckResult {
@@ -45,6 +138,10 @@ pub struct CheckResult {
     pub outcome: CheckOutcome,
     /// The assembled candidate source that was checked.
     pub source: String,
+    /// Lint tallies for the candidate. `None` when there was nothing to
+    /// lint: the source failed to parse, or the harness faulted before the
+    /// lint stage ran.
+    pub lint: Option<LintCounts>,
 }
 
 /// Assembles a raw completion into a full candidate source.
@@ -86,7 +183,7 @@ fn starts_with_module_keyword(s: &str) -> bool {
 }
 
 /// Checks one completion end to end: assemble, compile (parse +
-/// elaborate), then simulate against the problem's testbench.
+/// elaborate), lint, then simulate against the problem's testbench.
 pub fn check_completion(
     problem: &Problem,
     level: PromptLevel,
@@ -94,24 +191,56 @@ pub fn check_completion(
     config: SimConfig,
 ) -> CheckResult {
     let source = assemble(problem, level, completion);
-    let outcome = check_source(problem, &source, config);
-    CheckResult { outcome, source }
+    let (outcome, lint) = check_source_with_lint(problem, &source, config);
+    CheckResult {
+        outcome,
+        source,
+        lint,
+    }
 }
 
 /// Checks an already-assembled candidate source.
 pub fn check_source(problem: &Problem, source: &str, config: SimConfig) -> CheckOutcome {
+    check_source_with_lint(problem, source, config).0
+}
+
+/// [`check_source`] that also returns lint tallies whenever the source
+/// parses (even if it later fails elaboration or simulation — the lint
+/// rules are total over any parsed AST). Runs inside the same call so a
+/// sweep pays one parse per candidate and the
+/// [guard](crate::guard::guarded_check_completion) covers the lint stage
+/// too.
+pub fn check_source_with_lint(
+    problem: &Problem,
+    source: &str,
+    config: SimConfig,
+) -> (CheckOutcome, Option<LintCounts>) {
     // Compile check: the DUT alone must parse and elaborate.
     let file = match vgen_verilog::parse(source) {
         Ok(f) => f,
-        Err(e) => return CheckOutcome::CompileFail(e.to_string()),
+        Err(e) => return (CheckOutcome::CompileFail(e.to_string()), None),
     };
+    // Lint stage: every parsed candidate gets tallies, so "compiled but
+    // hazardous" and even "unelaboratable but racy" both leave a trace.
+    let lint = Some(LintCounts::from_report(&vgen_lint::lint_file(&file)));
+    let outcome = check_parsed(problem, source, &file, config);
+    (outcome, lint)
+}
+
+/// The elaborate + simulate stages, after parse and lint.
+fn check_parsed(
+    problem: &Problem,
+    source: &str,
+    file: &vgen_verilog::ast::SourceFile,
+    config: SimConfig,
+) -> CheckOutcome {
     if file.module(problem.module_name).is_none() {
         return CheckOutcome::CompileFail(format!(
             "completion does not define module `{}`",
             problem.module_name
         ));
     }
-    if let Err(e) = vgen_sim::elab::elaborate(&file, problem.module_name) {
+    if let Err(e) = vgen_sim::elab::elaborate(file, problem.module_name) {
         return CheckOutcome::CompileFail(e.to_string());
     }
     // Functional check: simulate DUT + testbench.
@@ -245,6 +374,101 @@ mod tests {
             SimConfig::default(),
         );
         assert!(matches!(r.outcome, CheckOutcome::CompileFail(_)));
+    }
+
+    #[test]
+    fn clean_pass_has_clean_lint() {
+        let r = check_completion(
+            p(2),
+            PromptLevel::Low,
+            "assign y = a & b;\nendmodule",
+            SimConfig::default(),
+        );
+        assert_eq!(r.outcome, CheckOutcome::Pass);
+        let lint = r.lint.expect("parsed source carries lint tallies");
+        assert!(lint.is_clean(), "reference-style AND gate: {lint:?}");
+        assert_eq!(lint.hazard_count(), 0);
+    }
+
+    #[test]
+    fn hazardous_pass_carries_lint_counts() {
+        // Functionally correct (the assign drives `y` exactly like the
+        // reference), but the dead side-computation reads `b` from a
+        // sensitivity list that only mentions `a` — a passing candidate
+        // that still lands in the hazardous bucket.
+        let r = check_completion(
+            p(2),
+            PromptLevel::Low,
+            "reg t;\nalways @(a) t = a & b;\nassign y = a & b;\nendmodule",
+            SimConfig::default(),
+        );
+        assert_eq!(r.outcome, CheckOutcome::Pass);
+        let lint = r.lint.expect("lint tallies");
+        assert!(
+            lint.per_rule
+                .iter()
+                .any(|(rule, _)| *rule == vgen_lint::Rule::IncompleteSensitivity),
+            "expected incomplete-sensitivity: {lint:?}"
+        );
+        assert!(lint.hazard_count() > 0);
+    }
+
+    #[test]
+    fn unparsable_source_has_no_lint() {
+        let r = check_completion(
+            p(2),
+            PromptLevel::Low,
+            "assign y = a &;&& b\nendmodule",
+            SimConfig::default(),
+        );
+        assert!(matches!(r.outcome, CheckOutcome::CompileFail(_)));
+        assert_eq!(r.lint, None);
+    }
+
+    #[test]
+    fn compile_fail_after_parse_still_lints() {
+        // Parses, but defines the wrong module name: the lint stage still
+        // ran over the AST.
+        let (outcome, lint) = check_source_with_lint(
+            p(2),
+            "module wrong_name(input a, output y);\nassign y = a;\nendmodule",
+            SimConfig::default(),
+        );
+        assert!(matches!(outcome, CheckOutcome::CompileFail(_)));
+        assert!(lint.is_some());
+    }
+
+    #[test]
+    fn lint_counts_journal_field_roundtrip() {
+        let cases = [
+            LintCounts::default(),
+            LintCounts {
+                errors: 2,
+                warnings: 1,
+                per_rule: vec![(Rule::MultiDrivenNet, 2), (Rule::IncompleteSensitivity, 1)],
+            },
+        ];
+        for c in cases {
+            let field = c.to_journal_field();
+            assert!(!field.contains(','), "journal field must stay comma-free");
+            assert_eq!(LintCounts::from_journal_field(&field), Some(c));
+        }
+        // Malformed pieces: garbage, torn sums, unknown rules, bad order.
+        for bad in [
+            "",
+            "x:0",
+            "1:0", // totals claim 1, rules claim 0
+            "0:1:unknown-rule=1",
+            "0:2:unused-signal=1|inferred-latch=1", // out of canonical order
+            "0:1:unused-signal=0",
+            "1:0:multi-driven-net=1|multi-driven-net=1",
+        ] {
+            assert_eq!(
+                LintCounts::from_journal_field(bad),
+                None,
+                "accepted `{bad}`"
+            );
+        }
     }
 
     #[test]

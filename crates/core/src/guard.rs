@@ -110,6 +110,7 @@ pub fn guarded_check_completion(
         Err(msg) => CheckResult {
             outcome: CheckOutcome::HarnessFault(msg),
             source: String::new(),
+            lint: None,
         },
     }
 }

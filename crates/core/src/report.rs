@@ -311,12 +311,23 @@ pub fn render_headline(h: &Headline) -> String {
 /// CSV export of the per-record data (for external plotting).
 pub fn records_csv(rows: &[ModelRun]) -> String {
     let mut out = String::from(
-        "model,tuning,problem,difficulty,level,temperature,n,compiled,passed,fault,latency_s\n",
+        "model,tuning,problem,difficulty,level,temperature,n,compiled,passed,fault,latency_s,\
+         lint_errors,lint_warnings,lint_hazards\n",
     );
     for row in rows {
         for r in &row.run.records {
+            // Unlinted records (unparsable or pre-lint journals) export
+            // empty lint cells, distinct from a linted-and-clean 0.
+            let (le, lw, lh) = match &r.lint {
+                Some(l) => (
+                    l.errors.to_string(),
+                    l.warnings.to_string(),
+                    l.hazard_count().to_string(),
+                ),
+                None => (String::new(), String::new(), String::new()),
+            };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{:.4}\n",
+                "{},{},{},{},{},{},{},{},{},{},{:.4},{},{},{}\n",
                 row.model.family.name(),
                 row.model.tuning.tag(),
                 r.problem_id,
@@ -327,7 +338,10 @@ pub fn records_csv(rows: &[ModelRun]) -> String {
                 r.compiled as u8,
                 r.passed as u8,
                 r.fault as u8,
-                r.latency_s
+                r.latency_s,
+                le,
+                lw,
+                lh
             ));
         }
     }
@@ -367,17 +381,35 @@ pub fn render_fault_summary(rows: &[ModelRun]) -> String {
 /// Execution details (worker count, throughput) go to stderr instead.
 pub fn render_eval_summary(run: &EvalRun, journal: &str) -> String {
     let t = run.tally(|_| true);
+    let rules = run.lint_rule_totals();
+    let by_rule = if rules.is_empty() {
+        "none".to_string()
+    } else {
+        rules
+            .iter()
+            .map(|(r, n)| format!("{r}={n}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
     format!(
         "engine:          {}\n\
          records:         {}\n\
          compile rate:    {:.3}\n\
          functional rate: {:.3}\n\
+         lint errors:     {}\n\
+         lint warnings:   {}\n\
+         hazardous pass:  {} of {} passing\n\
+         lint by rule:    {by_rule}\n\
          harness faults:  {}\n\
          journal:         {journal}\n",
         run.engine,
         run.records.len(),
         t.compile_rate(),
         t.functional_rate(),
+        run.lint_error_total(),
+        run.lint_warning_total(),
+        run.hazardous_pass_count(),
+        run.pass_count(),
         run.fault_count(),
     )
 }
@@ -479,7 +511,14 @@ mod tests {
         let rows = tiny_rows();
         let csv = records_csv(&rows);
         let mut lines = csv.lines();
-        assert!(lines.next().expect("header").starts_with("model,"));
+        let header = lines.next().expect("header");
+        assert!(header.starts_with("model,"));
+        assert!(header.ends_with("lint_errors,lint_warnings,lint_hazards"));
+        let cols = header.split(',').count();
+        assert!(
+            csv.lines().skip(1).all(|l| l.split(',').count() == cols),
+            "every row matches the header's column count"
+        );
         assert!(csv.lines().count() > 10);
     }
 
@@ -496,6 +535,10 @@ mod tests {
         let s = render_eval_summary(&rows[0].run, "sweep.log");
         assert!(s.starts_with("engine:"));
         assert!(s.contains("journal:         sweep.log"));
+        assert!(s.contains("lint errors:"), "{s}");
+        assert!(s.contains("lint warnings:"), "{s}");
+        assert!(s.contains("hazardous pass:"), "{s}");
+        assert!(s.contains("lint by rule:"), "{s}");
         // Nothing about workers/jobs/time may leak into the report: the
         // CI determinism gate byte-diffs it across --jobs settings.
         for banned in ["jobs", "worker", "elapsed", "checks/s"] {

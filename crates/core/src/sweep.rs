@@ -39,7 +39,9 @@ use vgen_lm::engine::{Completion, CompletionEngine};
 use vgen_problems::{problem, Difficulty, Problem, PromptLevel};
 use vgen_sim::SimConfig;
 
-use crate::check::CheckOutcome;
+use vgen_lint::Rule;
+
+use crate::check::{CheckOutcome, LintCounts};
 use crate::guard::guarded_check_completion;
 use crate::metrics::Tally;
 use crate::pool::{ReorderBuffer, WorkerPool};
@@ -119,13 +121,18 @@ pub struct Record {
     pub fault: bool,
     /// Simulated inference latency.
     pub latency_s: f64,
+    /// Lint tallies for the candidate ([`crate::check::CheckResult::lint`]).
+    /// `None` when the candidate never parsed, when the harness faulted, or
+    /// when the record was resumed from a pre-lint (v1) journal.
+    pub lint: Option<LintCounts>,
 }
 
 impl Record {
-    /// Serialises the record as one journal line (comma-separated).
+    /// Serialises the record as one journal line (comma-separated, v2
+    /// format: nine legacy fields plus the lint field, `-` when absent).
     pub fn to_journal_line(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{}",
             self.problem_id,
             difficulty_tag(self.difficulty),
             self.level.tag(),
@@ -135,30 +142,53 @@ impl Record {
             self.passed as u8,
             self.fault as u8,
             self.latency_s,
+            match &self.lint {
+                Some(l) => l.to_journal_field(),
+                None => "-".to_string(),
+            },
         )
     }
 
-    /// Parses a journal line produced by [`Record::to_journal_line`].
-    /// Returns `None` on any malformed field (e.g. a line truncated by a
-    /// kill mid-write).
+    /// Parses a journal line produced by [`Record::to_journal_line`], in
+    /// either format: a 10-field v2 line, or a 9-field legacy (v1) line,
+    /// which yields `lint: None`. Returns `None` on any malformed field
+    /// (e.g. a line truncated by a kill mid-write).
     pub fn from_journal_line(line: &str) -> Option<Record> {
-        let mut it = line.trim_end().split(',');
-        let rec = Record {
-            problem_id: it.next()?.parse().ok()?,
-            difficulty: parse_difficulty_tag(it.next()?)?,
-            level: parse_level_tag(it.next()?)?,
-            temperature: it.next()?.parse().ok()?,
-            n: it.next()?.parse().ok()?,
-            compiled: parse_flag(it.next()?)?,
-            passed: parse_flag(it.next()?)?,
-            fault: parse_flag(it.next()?)?,
-            latency_s: it.next()?.parse().ok()?,
-        };
-        if it.next().is_some() {
-            return None; // trailing fields: not ours
-        }
-        Some(rec)
+        parse_journal_line(line).map(|(rec, _)| rec)
     }
+}
+
+/// Parses a journal record line, reporting whether it carried the v2 lint
+/// field. [`read_journal`] uses the flag to reject lines whose field count
+/// disagrees with the header version: a v2 line torn after its ninth comma
+/// parses like a well-formed v1 line, and only the version check stops it
+/// from resurfacing as a record with its lint silently dropped.
+fn parse_journal_line(line: &str) -> Option<(Record, bool)> {
+    let mut it = line.trim_end().split(',');
+    let mut rec = Record {
+        problem_id: it.next()?.parse().ok()?,
+        difficulty: parse_difficulty_tag(it.next()?)?,
+        level: parse_level_tag(it.next()?)?,
+        temperature: it.next()?.parse().ok()?,
+        n: it.next()?.parse().ok()?,
+        compiled: parse_flag(it.next()?)?,
+        passed: parse_flag(it.next()?)?,
+        fault: parse_flag(it.next()?)?,
+        latency_s: it.next()?.parse().ok()?,
+        lint: None,
+    };
+    let had_lint_field = match it.next() {
+        None => false, // legacy 9-field line
+        Some("-") => true,
+        Some(field) => {
+            rec.lint = Some(LintCounts::from_journal_field(field)?);
+            true
+        }
+    };
+    if it.next().is_some() {
+        return None; // trailing fields: not ours
+    }
+    Some((rec, had_lint_field))
 }
 
 fn difficulty_tag(d: Difficulty) -> &'static str {
@@ -309,6 +339,7 @@ impl ItemMeta {
             passed: false,
             fault: true,
             latency_s: self.latency_s,
+            lint: None,
         }
     }
 }
@@ -333,6 +364,7 @@ fn check_to_record(
         passed: matches!(result.outcome, CheckOutcome::Pass),
         fault: matches!(result.outcome, CheckOutcome::HarnessFault(_)),
         latency_s: c.latency_s,
+        lint: result.lint,
     }
 }
 
@@ -404,8 +436,15 @@ pub fn run_engine_parallel(
     run_engine_sweep(engine, config, None, &SweepOptions::parallel(jobs))
 }
 
-/// Journal format marker (first token of the header line).
-const JOURNAL_MAGIC: &str = "vgen-journal-v1";
+/// Journal format marker (first token of the header line) for journals
+/// written by this version: record lines carry ten fields, the tenth being
+/// the lint tallies.
+const JOURNAL_MAGIC: &str = "vgen-journal-v2";
+
+/// The pre-lint journal format: nine-field record lines. Still accepted on
+/// read/resume (records come back with `lint: None`); a resumed journal is
+/// rewritten in v2 form.
+const JOURNAL_MAGIC_V1: &str = "vgen-journal-v1";
 
 /// FNV-1a, used for the config fingerprint in journal headers.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -456,9 +495,17 @@ pub fn read_journal(path: &Path) -> io::Result<(String, u64, Vec<Record>)> {
     let header = lines
         .next()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty journal"))??;
-    let rest = header
-        .strip_prefix(&format!("# {JOURNAL_MAGIC} fingerprint="))
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "not a vgen journal"))?;
+    let (rest, v2) =
+        if let Some(r) = header.strip_prefix(&format!("# {JOURNAL_MAGIC} fingerprint=")) {
+            (r, true)
+        } else if let Some(r) = header.strip_prefix(&format!("# {JOURNAL_MAGIC_V1} fingerprint=")) {
+            (r, false)
+        } else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a vgen journal",
+            ));
+        };
     let (fp_hex, engine) = rest
         .split_once(" engine=")
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed journal header"))?;
@@ -467,10 +514,14 @@ pub fn read_journal(path: &Path) -> io::Result<(String, u64, Vec<Record>)> {
     let mut records = Vec::new();
     for line in lines {
         let line = line?;
-        match Record::from_journal_line(&line) {
-            Some(r) => records.push(r),
+        match parse_journal_line(&line) {
+            // The line's field count must match the header's version: in a
+            // v2 journal a nine-field line is a torn write (a v2 line cut
+            // after the ninth comma masquerades as well-formed v1), and in
+            // a v1 journal a ten-field line is foreign.
+            Some((r, had_lint_field)) if had_lint_field == v2 => records.push(r),
             // A torn final line is expected after a kill; stop there.
-            None => break,
+            _ => break,
         }
     }
     Ok((engine.to_string(), fp, records))
@@ -798,6 +849,59 @@ impl EvalRun {
         self.records.iter().map(|r| r.latency_s).sum::<f64>() / self.records.len() as f64
     }
 
+    /// Total error-severity lint diagnostics across all records.
+    pub fn lint_error_total(&self) -> u64 {
+        self.records
+            .iter()
+            .filter_map(|r| r.lint.as_ref())
+            .map(|l| l.errors as u64)
+            .sum()
+    }
+
+    /// Total warning-severity lint diagnostics across all records.
+    pub fn lint_warning_total(&self) -> u64 {
+        self.records
+            .iter()
+            .filter_map(|r| r.lint.as_ref())
+            .map(|l| l.warnings as u64)
+            .sum()
+    }
+
+    /// Per-rule lint totals in [`Rule::ALL`] order, zero-count rules
+    /// omitted.
+    pub fn lint_rule_totals(&self) -> Vec<(Rule, u64)> {
+        Rule::ALL
+            .into_iter()
+            .filter_map(|rule| {
+                let n: u64 = self
+                    .records
+                    .iter()
+                    .filter_map(|r| r.lint.as_ref())
+                    .flat_map(|l| &l.per_rule)
+                    .filter(|(r, _)| *r == rule)
+                    .map(|(_, n)| *n as u64)
+                    .sum();
+                (n > 0).then_some((rule, n))
+            })
+            .collect()
+    }
+
+    /// Records that passed the testbench *and* tripped a behavioural-hazard
+    /// lint rule ([`crate::check::LintCounts::hazard_count`]) — the paper's
+    /// pass/fail split hides these; functionally "correct" RTL carrying a
+    /// race, latch, loop or truncation.
+    pub fn hazardous_pass_count(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.passed && r.lint.as_ref().is_some_and(|l| l.hazard_count() > 0))
+            .count()
+    }
+
+    /// Records that passed the testbench (regardless of lint findings).
+    pub fn pass_count(&self) -> usize {
+        self.records.iter().filter(|r| r.passed).count()
+    }
+
     /// Functional pass rate per problem id (the §VI per-problem analysis).
     pub fn per_problem_functional(&self, n: usize) -> Vec<(u8, Tally)> {
         let mut ids: Vec<u8> = self.records.iter().map(|r| r.problem_id).collect();
@@ -902,7 +1006,7 @@ mod tests {
 
     #[test]
     fn record_journal_roundtrip() {
-        let rec = Record {
+        let mut rec = Record {
             problem_id: 7,
             difficulty: Difficulty::Intermediate,
             level: PromptLevel::High,
@@ -912,12 +1016,34 @@ mod tests {
             passed: false,
             fault: false,
             latency_s: 1.625,
+            lint: None,
         };
+        let line = rec.to_journal_line();
+        assert!(
+            line.ends_with(",-"),
+            "absent lint serialises as `-`: {line}"
+        );
+        assert_eq!(Record::from_journal_line(&line), Some(rec.clone()));
+        rec.lint = Some(LintCounts {
+            errors: 1,
+            warnings: 2,
+            per_rule: vec![(Rule::CombLoop, 1), (Rule::InferredLatch, 2)],
+        });
         let line = rec.to_journal_line();
         assert_eq!(Record::from_journal_line(&line), Some(rec));
         assert_eq!(Record::from_journal_line("garbage"), None);
         assert_eq!(Record::from_journal_line("7,I,H,0.3"), None);
         assert_eq!(Record::from_journal_line(""), None);
+    }
+
+    #[test]
+    fn legacy_nine_field_line_parses_with_no_lint() {
+        let line = "7,I,H,0.3,25,1,0,0,1.625";
+        let rec = Record::from_journal_line(line).expect("v1 line parses");
+        assert_eq!(rec.lint, None);
+        assert_eq!(rec.problem_id, 7);
+        // Re-serialising upgrades it to the ten-field v2 form.
+        assert_eq!(rec.to_journal_line(), format!("{line},-"));
     }
 
     #[test]
@@ -1053,6 +1179,101 @@ mod tests {
         let (_, _, recs) = read_journal(&path).expect("read back");
         assert_eq!(recs, full.records);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pre_lint_v1_journal_resumes_cleanly() {
+        let path = temp_journal("v1-compat");
+        let cfg = small_cfg();
+        let full =
+            run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, false).expect("full run");
+        // Downgrade the on-disk journal to the pre-lint v1 format: v1 magic
+        // in the header, the first 11 records with the lint field stripped,
+        // everything after dropped (as if the run was also killed).
+        let text = std::fs::read_to_string(&path).expect("journal text");
+        let mut lines = text.lines();
+        let header = lines
+            .next()
+            .expect("header")
+            .replace("vgen-journal-v2", "vgen-journal-v1");
+        let mut kept = vec![header];
+        for line in lines.take(11) {
+            kept.push(line.rsplit_once(',').expect("ten fields").0.to_string());
+        }
+        std::fs::write(&path, kept.join("\n")).expect("rewrite as v1");
+        // The v1 journal reads back: 11 records, no lint tallies.
+        let (name, fp, recs) = read_journal(&path).expect("read v1 journal");
+        assert_eq!(name, full.engine);
+        assert_eq!(fp, config_fingerprint(&cfg));
+        assert_eq!(recs.len(), 11);
+        assert!(recs.iter().all(|r| r.lint.is_none()));
+        // Resume against it: reused records keep `lint: None`, freshly
+        // checked ones carry tallies, and the pass/compile aggregates match
+        // the uninterrupted run exactly.
+        let resumed =
+            run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, true).expect("resume from v1");
+        assert_eq!(resumed.records.len(), full.records.len());
+        assert!(resumed.records[..11].iter().all(|r| r.lint.is_none()));
+        assert_eq!(&resumed.records[11..], &full.records[11..]);
+        assert_eq!(
+            resumed.tally(|_| true).functional_rate(),
+            full.tally(|_| true).functional_rate()
+        );
+        assert_eq!(
+            resumed.tally(|_| true).compile_rate(),
+            full.tally(|_| true).compile_rate()
+        );
+        // The resumed journal is rewritten in v2 form.
+        let text = std::fs::read_to_string(&path).expect("rewritten journal");
+        assert!(text.starts_with("# vgen-journal-v2 "), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_v2_line_is_not_mistaken_for_a_v1_record() {
+        let path = temp_journal("torn-v2");
+        let cfg = small_cfg();
+        let full =
+            run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, false).expect("full run");
+        let text = std::fs::read_to_string(&path).expect("journal text");
+        let lines: Vec<&str> = text.lines().collect();
+        // Tear a record line at its ninth comma: the surviving prefix is a
+        // well-formed *v1* line, so only the header-version check keeps it
+        // from resurfacing as a record with its lint silently dropped.
+        let torn = lines[5].rsplit_once(',').expect("ten fields").0;
+        assert!(
+            Record::from_journal_line(torn).is_some(),
+            "the torn prefix must look like a valid v1 line for this test"
+        );
+        let mut kept: Vec<String> = lines[..5].iter().map(|s| s.to_string()).collect();
+        kept.push(torn.to_string());
+        std::fs::write(&path, kept.join("\n")).expect("truncate");
+        let (_, _, recs) = read_journal(&path).expect("read torn journal");
+        assert_eq!(recs.len(), 4, "torn line and everything after dropped");
+        let resumed =
+            run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, true).expect("resumed run");
+        assert_eq!(resumed, full);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sweep_produces_lint_tallies() {
+        let mut engine = cg16_ft_engine();
+        let run = run_engine(&mut engine, &small_cfg());
+        // Every parsed candidate carries tallies; the family engine's
+        // compile rate is well below 1.0, so both kinds must appear.
+        assert!(run.records.iter().any(|r| r.lint.is_some()));
+        assert!(run.records.iter().any(|r| r.lint.is_none()));
+        assert!(
+            run.records.iter().all(|r| !r.compiled || r.lint.is_some()),
+            "every compiled candidate must have been linted"
+        );
+        assert!(run.hazardous_pass_count() <= run.pass_count());
+        let per_rule_total: u64 = run.lint_rule_totals().iter().map(|(_, n)| n).sum();
+        assert_eq!(
+            per_rule_total,
+            run.lint_error_total() + run.lint_warning_total()
+        );
     }
 
     #[test]

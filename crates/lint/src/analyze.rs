@@ -1,0 +1,928 @@
+//! Per-module semantic analysis shared by every lint rule.
+//!
+//! One [`Analysis`] is built per module: a symbol table with const-folded
+//! widths (backed by the elaborator's authoritative widths when the module
+//! elaborates), every structural driver of every signal, every read with its
+//! first source span, and a classification of each `always` block as
+//! combinational, sequential or other. Rules consume this; none of them
+//! re-walk the AST from scratch.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use vgen_verilog::ast::{
+    AssignOp, Connection, Decl, EventControl, EventExpr, Expr, ExprKind, Item, Module, NetKind,
+    PortDir, SourceFile, Stmt, StmtKind,
+};
+use vgen_verilog::span::Span;
+
+/// Which bits of a signal an lvalue (or driver) covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sel {
+    /// The whole signal.
+    Whole,
+    /// A constant bit select `x[i]`.
+    Bit(i64),
+    /// A constant part select `x[msb:lsb]`.
+    Part(i64, i64),
+    /// A select whose indices are not compile-time constant.
+    Dynamic,
+}
+
+impl Sel {
+    /// Whether two selects provably cover at least one common bit.
+    ///
+    /// `Dynamic` never overlaps anything: when we cannot prove a conflict we
+    /// stay silent (see the false-positive policy in DESIGN.md).
+    pub fn overlaps(&self, other: &Sel) -> bool {
+        fn range(sel: &Sel) -> Option<(i64, i64)> {
+            match sel {
+                Sel::Whole => Some((i64::MIN, i64::MAX)),
+                Sel::Bit(i) => Some((*i, *i)),
+                Sel::Part(a, b) => Some((*a.min(b), *a.max(b))),
+                Sel::Dynamic => None,
+            }
+        }
+        match (range(self), range(other)) {
+            (Some((lo1, hi1)), Some((lo2, hi2))) => lo1 <= hi2 && lo2 <= hi1,
+            _ => false,
+        }
+    }
+}
+
+/// One lvalue target: the base signal plus which bits are written.
+#[derive(Debug, Clone)]
+pub struct LvTarget {
+    /// Base signal name.
+    pub name: String,
+    /// Span of the whole lvalue expression.
+    pub span: Span,
+    /// Which bits are covered.
+    pub sel: Sel,
+}
+
+/// What kind of construct drives a signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverSource {
+    /// `assign` item or a `wire x = ...` declarator initialiser.
+    Continuous,
+    /// An `always` block classified combinational (`@*` or level list).
+    AlwaysComb,
+    /// An `always` block where every sensitivity term is edge-qualified.
+    AlwaysSeq,
+    /// Any other `always` shape (delay loops, mixed lists).
+    AlwaysOther,
+    /// An `initial` block or a `reg q = ...` initialiser.
+    Initial,
+    /// A primitive gate output.
+    Gate,
+}
+
+impl DriverSource {
+    /// Whether this driver participates in multi-driver conflict checking.
+    /// Initial blocks and delay-loop always blocks are the standard
+    /// testbench idiom (`initial clk = 0; always #5 clk = ~clk;`) and are
+    /// deliberately excluded.
+    pub fn conflicts(self) -> bool {
+        !matches!(self, DriverSource::Initial | DriverSource::AlwaysOther)
+    }
+}
+
+/// One structural driver of a signal.
+#[derive(Debug, Clone)]
+pub struct Driver {
+    /// What drives it.
+    pub source: DriverSource,
+    /// Item index in the module body — two assignments inside one `always`
+    /// block share a unit and never conflict with each other.
+    pub unit: usize,
+    /// Span of the driving assignment.
+    pub span: Span,
+    /// Bits covered.
+    pub sel: Sel,
+}
+
+/// One procedural assignment, used for style and latch analysis.
+#[derive(Debug, Clone)]
+pub struct ProcAssign {
+    /// The written signal.
+    pub target: LvTarget,
+    /// `=` or `<=`.
+    pub op: AssignOp,
+    /// Span of the assignment statement.
+    pub span: Span,
+}
+
+/// Classification of an `always` block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// `always @*` or `always @(a or b)` — combinational intent.
+    Comb,
+    /// `always @(posedge clk ...)` — sequential intent.
+    Seq,
+    /// Anything else (`always #5 ...`, mixed edge/level lists).
+    Other,
+}
+
+/// A classified `always` block.
+pub struct Block<'a> {
+    /// Combinational / sequential / other.
+    pub kind: BlockKind,
+    /// The statement under the event control (or the whole body for
+    /// `Other` blocks). `None` for a bare `always @(...);`.
+    pub body: Option<&'a Stmt>,
+    /// The explicit sensitivity list, when one was written.
+    pub sens: Option<&'a [EventExpr]>,
+    /// Item index in the module body.
+    pub unit: usize,
+    /// Span of the whole `always` item.
+    pub span: Span,
+    /// Every procedural assignment in the block, in source order.
+    pub assigns: Vec<ProcAssign>,
+}
+
+/// Declared metadata for one name.
+#[derive(Debug, Clone)]
+pub struct SymbolInfo {
+    /// Port direction, if the name is a port.
+    pub dir: Option<PortDir>,
+    /// Storage kind (defaults to wire).
+    pub kind: NetKind,
+    /// Const-folded bit width, when resolvable.
+    pub width: Option<u64>,
+    /// Declared range, const-folded, as `(msb, lsb)`.
+    pub range: Option<(i64, i64)>,
+    /// Whether the declarator has unpacked (array) dimensions.
+    pub is_memory: bool,
+    /// Whether the declarator carries an initialiser.
+    pub has_init: bool,
+    /// Span of the (first) declarator.
+    pub span: Span,
+}
+
+/// Everything the rules need to know about one module.
+pub struct Analysis<'a> {
+    /// The module under analysis.
+    pub module: &'a Module,
+    /// Declared names.
+    pub symbols: BTreeMap<String, SymbolInfo>,
+    /// Const-folded parameter values.
+    pub params: BTreeMap<String, i64>,
+    /// Declared function names (excluded from signal read sets).
+    pub functions: BTreeSet<String>,
+    /// Names listed in the port header but never declared in the body.
+    pub implicit_ports: BTreeSet<String>,
+    /// Structural drivers per signal.
+    pub drivers: BTreeMap<String, Vec<Driver>>,
+    /// First read span per signal (every read position, including
+    /// sensitivity lists and system-task arguments).
+    pub reads: BTreeMap<String, Span>,
+    /// Names connected to a module instance (treated as both driven and
+    /// read — we do not resolve instance port directions).
+    pub instance_connected: BTreeSet<String>,
+    /// Classified `always` blocks.
+    pub blocks: Vec<Block<'a>>,
+    /// Elaborated signal widths, when the module elaborates.
+    elab_widths: BTreeMap<String, u64>,
+}
+
+impl<'a> Analysis<'a> {
+    /// Builds the analysis for `module` within `file`.
+    pub fn build(file: &SourceFile, module: &'a Module) -> Analysis<'a> {
+        let params = fold_params(module);
+        let (symbols, functions, implicit_ports) = build_symbols(module, &params);
+        let mut a = Analysis {
+            module,
+            symbols,
+            params,
+            functions,
+            implicit_ports,
+            drivers: BTreeMap::new(),
+            reads: BTreeMap::new(),
+            instance_connected: BTreeSet::new(),
+            blocks: Vec::new(),
+            elab_widths: BTreeMap::new(),
+        };
+        // The elaborator folds parameters and evaluates range expressions
+        // exactly; when the module elaborates, its widths are authoritative
+        // and the AST const-fold above is only the fallback.
+        if let Ok(design) = vgen_sim::elab::elaborate(file, &module.name) {
+            for name in a.symbols.keys() {
+                if let Some(w) = design.signal_width(name) {
+                    a.elab_widths.insert(name.clone(), w as u64);
+                }
+            }
+        }
+        a.collect(module);
+        a
+    }
+
+    /// Whether `name` is a declared signal of this module.
+    pub fn is_signal(&self, name: &str) -> bool {
+        self.symbols.contains_key(name)
+    }
+
+    /// The resolved bit width of a declared signal.
+    pub fn signal_width(&self, name: &str) -> Option<u64> {
+        if let Some(w) = self.elab_widths.get(name) {
+            return Some(*w);
+        }
+        self.symbols.get(name).and_then(|s| s.width)
+    }
+
+    /// Const-folds an expression against this module's parameters.
+    pub fn const_eval(&self, expr: &Expr) -> Option<i64> {
+        const_eval(expr, &self.params)
+    }
+
+    fn note_read(&mut self, name: &str, span: Span) {
+        if !self.reads.contains_key(name) {
+            self.reads.insert(name.to_string(), span);
+        }
+    }
+
+    fn note_reads_of(&mut self, expr: &Expr) {
+        let mut out = Vec::new();
+        expr_reads(expr, &mut out);
+        for (name, span) in out {
+            self.note_read(&name, span);
+        }
+    }
+
+    fn add_driver(&mut self, target: &LvTarget, source: DriverSource, unit: usize) {
+        self.drivers
+            .entry(target.name.clone())
+            .or_default()
+            .push(Driver {
+                source,
+                unit,
+                span: target.span,
+                sel: target.sel,
+            });
+    }
+
+    fn collect(&mut self, module: &'a Module) {
+        for (unit, item) in module.items.iter().enumerate() {
+            match item {
+                Item::Decl(decl) => {
+                    for d in &decl.names {
+                        if let Some(init) = &d.init {
+                            self.note_reads_of(init);
+                            let source = match decl.kind {
+                                Some(NetKind::Reg | NetKind::Integer | NetKind::Time) => {
+                                    DriverSource::Initial
+                                }
+                                _ => DriverSource::Continuous,
+                            };
+                            let target = LvTarget {
+                                name: d.name.clone(),
+                                span: d.span,
+                                sel: Sel::Whole,
+                            };
+                            self.add_driver(&target, source, unit);
+                        }
+                    }
+                }
+                Item::Param(p) => {
+                    for (_, value) in &p.assigns {
+                        self.note_reads_of(value);
+                    }
+                }
+                Item::Assign(a) => {
+                    for (lhs, rhs) in &a.assigns {
+                        self.note_reads_of(rhs);
+                        if let Some(delay) = &a.delay {
+                            self.note_reads_of(delay);
+                        }
+                        let mut targets = Vec::new();
+                        let mut index_reads = Vec::new();
+                        lvalue_targets(lhs, &self.params, &mut targets, &mut index_reads);
+                        for (name, span) in index_reads {
+                            self.note_read(&name, span);
+                        }
+                        for t in targets {
+                            self.add_driver(&t, DriverSource::Continuous, unit);
+                        }
+                    }
+                }
+                Item::Always(al) => {
+                    let block = classify_always(&al.body, al.span, unit, &self.params);
+                    let source = match block.kind {
+                        BlockKind::Comb => DriverSource::AlwaysComb,
+                        BlockKind::Seq => DriverSource::AlwaysSeq,
+                        BlockKind::Other => DriverSource::AlwaysOther,
+                    };
+                    // One always block is one driver unit per signal.
+                    let mut seen = BTreeSet::new();
+                    for pa in &block.assigns {
+                        if seen.insert(pa.target.name.clone()) {
+                            self.add_driver(&pa.target, source, unit);
+                        }
+                    }
+                    self.collect_stmt_reads(&al.body);
+                    self.blocks.push(block);
+                }
+                Item::Initial(init) => {
+                    let mut assigns = Vec::new();
+                    collect_stmt_assigns(&init.body, &self.params, &mut assigns);
+                    let mut seen = BTreeSet::new();
+                    for pa in &assigns {
+                        if seen.insert(pa.target.name.clone()) {
+                            self.add_driver(&pa.target, DriverSource::Initial, unit);
+                        }
+                    }
+                    self.collect_stmt_reads(&init.body);
+                }
+                Item::Instance(inst) => {
+                    for conn in inst.params.iter().chain(&inst.conns) {
+                        let expr = match conn {
+                            Connection::Named(_, Some(e)) => e,
+                            Connection::Positional(e) => e,
+                            Connection::Named(_, None) => continue,
+                        };
+                        self.note_reads_of(expr);
+                        let mut targets = Vec::new();
+                        let mut index_reads = Vec::new();
+                        lvalue_targets(expr, &self.params, &mut targets, &mut index_reads);
+                        for (name, span) in index_reads {
+                            self.note_read(&name, span);
+                        }
+                        for t in targets {
+                            self.instance_connected.insert(t.name);
+                        }
+                    }
+                }
+                Item::Gate(g) => {
+                    let mut conns = g.conns.iter();
+                    if let Some(out) = conns.next() {
+                        let mut targets = Vec::new();
+                        let mut index_reads = Vec::new();
+                        lvalue_targets(out, &self.params, &mut targets, &mut index_reads);
+                        for (name, span) in index_reads {
+                            self.note_read(&name, span);
+                        }
+                        for t in targets {
+                            self.add_driver(&t, DriverSource::Gate, unit);
+                        }
+                    }
+                    for input in conns {
+                        self.note_reads_of(input);
+                    }
+                }
+                Item::Defparam { value, .. } => self.note_reads_of(value),
+                Item::Function(f) => {
+                    // Reads inside the function body count as module reads,
+                    // minus the function's own locals and name.
+                    let mut locals: BTreeSet<String> = f
+                        .decls
+                        .iter()
+                        .flat_map(|d| d.names.iter().map(|n| n.name.clone()))
+                        .collect();
+                    locals.insert(f.name.clone());
+                    let mut reads = Vec::new();
+                    collect_stmt_read_exprs(&f.body, &mut |e| expr_reads(e, &mut reads));
+                    for (name, span) in reads {
+                        if !locals.contains(&name) {
+                            self.note_read(&name, span);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records every read position inside a statement (RHSs, conditions,
+    /// indices, sensitivity lists, call arguments).
+    fn collect_stmt_reads(&mut self, stmt: &Stmt) {
+        let mut reads = Vec::new();
+        collect_stmt_read_exprs(stmt, &mut |e| expr_reads(e, &mut reads));
+        for (name, span) in reads {
+            self.note_read(&name, span);
+        }
+    }
+}
+
+/// Const-folds parameter declarations, in order, allowing references to
+/// earlier parameters. Non-constant defaults are simply absent.
+fn fold_params(module: &Module) -> BTreeMap<String, i64> {
+    let mut params = BTreeMap::new();
+    for item in &module.items {
+        if let Item::Param(p) = item {
+            for (name, value) in &p.assigns {
+                if let Some(v) = const_eval(value, &params) {
+                    params.insert(name.clone(), v);
+                }
+            }
+        }
+    }
+    params
+}
+
+fn build_symbols(
+    module: &Module,
+    params: &BTreeMap<String, i64>,
+) -> (
+    BTreeMap<String, SymbolInfo>,
+    BTreeSet<String>,
+    BTreeSet<String>,
+) {
+    let mut symbols: BTreeMap<String, SymbolInfo> = BTreeMap::new();
+    let mut functions = BTreeSet::new();
+    let add_decl = |symbols: &mut BTreeMap<String, SymbolInfo>, decl: &Decl| {
+        let range = decl
+            .range
+            .as_ref()
+            .and_then(|r| Some((const_eval(&r.msb, params)?, const_eval(&r.lsb, params)?)));
+        for d in &decl.names {
+            let kind = decl.kind.unwrap_or(NetKind::Wire);
+            let width = match kind {
+                NetKind::Integer => Some(32),
+                NetKind::Time => Some(64),
+                NetKind::Real => None,
+                _ => Some(range.map_or(1, |(msb, lsb)| (msb - lsb).unsigned_abs() + 1)),
+            };
+            let entry = symbols.entry(d.name.clone()).or_insert(SymbolInfo {
+                dir: None,
+                kind,
+                width: None,
+                range: None,
+                is_memory: false,
+                has_init: false,
+                span: d.span,
+            });
+            // Merge split declarations (`output y;` + `reg [3:0] y;`).
+            entry.dir = entry.dir.or(decl.dir);
+            if decl.kind.is_some() || entry.width.is_none() {
+                entry.kind = kind;
+            }
+            if decl.range.is_some() || entry.width.is_none() {
+                entry.width = width;
+                entry.range = range;
+            }
+            entry.is_memory |= !d.dims.is_empty();
+            entry.has_init |= d.init.is_some();
+        }
+    };
+    for item in &module.items {
+        match item {
+            Item::Decl(decl) => add_decl(&mut symbols, decl),
+            Item::Function(f) => {
+                functions.insert(f.name.clone());
+            }
+            _ => {}
+        }
+    }
+    let implicit_ports = module
+        .ports
+        .iter()
+        .filter(|p| !symbols.contains_key(*p))
+        .cloned()
+        .collect();
+    (symbols, functions, implicit_ports)
+}
+
+/// Const-folds an expression to an `i64` using checked arithmetic, so that
+/// hostile inputs (overflow, huge shifts, division by zero) fold to `None`
+/// instead of panicking.
+pub fn const_eval(expr: &Expr, params: &BTreeMap<String, i64>) -> Option<i64> {
+    use vgen_verilog::ast::{BinaryOp, UnaryOp};
+    match &expr.kind {
+        ExprKind::Number(v) => v.to_i64(),
+        ExprKind::Ident(name) => params.get(name).copied(),
+        ExprKind::Unary { op, arg } => {
+            let v = const_eval(arg, params)?;
+            match op {
+                UnaryOp::Plus => Some(v),
+                UnaryOp::Neg => v.checked_neg(),
+                UnaryOp::LogicNot => Some(i64::from(v == 0)),
+                _ => None,
+            }
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            let a = const_eval(lhs, params)?;
+            let b = const_eval(rhs, params)?;
+            match op {
+                BinaryOp::Add => a.checked_add(b),
+                BinaryOp::Sub => a.checked_sub(b),
+                BinaryOp::Mul => a.checked_mul(b),
+                BinaryOp::Div => a.checked_div(b),
+                BinaryOp::Rem => a.checked_rem(b),
+                BinaryOp::Shl => u32::try_from(b).ok().and_then(|s| a.checked_shl(s)),
+                BinaryOp::Shr => u32::try_from(b).ok().and_then(|s| a.checked_shr(s)),
+                _ => None,
+            }
+        }
+        ExprKind::Ternary { cond, then, els } => {
+            if const_eval(cond, params)? != 0 {
+                const_eval(then, params)
+            } else {
+                const_eval(els, params)
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Collects every identifier read by `expr` (index expressions included;
+/// function names in call position excluded) with the span of each read.
+pub fn expr_reads(expr: &Expr, out: &mut Vec<(String, Span)>) {
+    match &expr.kind {
+        ExprKind::Number(_) | ExprKind::Real(_) | ExprKind::Str(_) => {}
+        ExprKind::Ident(name) => out.push((name.clone(), expr.span)),
+        ExprKind::Unary { arg, .. } => expr_reads(arg, out),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            expr_reads(lhs, out);
+            expr_reads(rhs, out);
+        }
+        ExprKind::Ternary { cond, then, els } => {
+            expr_reads(cond, out);
+            expr_reads(then, out);
+            expr_reads(els, out);
+        }
+        ExprKind::Index { base, index } => {
+            expr_reads(base, out);
+            expr_reads(index, out);
+        }
+        ExprKind::PartSelect { base, msb, lsb } => {
+            expr_reads(base, out);
+            expr_reads(msb, out);
+            expr_reads(lsb, out);
+        }
+        ExprKind::IndexedSelect {
+            base, start, width, ..
+        } => {
+            expr_reads(base, out);
+            expr_reads(start, out);
+            expr_reads(width, out);
+        }
+        ExprKind::Concat(items) => {
+            for item in items {
+                expr_reads(item, out);
+            }
+        }
+        ExprKind::Replicate { count, items } => {
+            expr_reads(count, out);
+            for item in items {
+                expr_reads(item, out);
+            }
+        }
+        ExprKind::SysCall { args, .. } | ExprKind::Call { args, .. } => {
+            for arg in args {
+                expr_reads(arg, out);
+            }
+        }
+    }
+}
+
+/// Decomposes an lvalue expression into base-signal targets. Index
+/// expressions inside the lvalue are reported as reads. Non-lvalue shapes
+/// (a model emitting `assign a & b = x;` never parses that far) contribute
+/// nothing.
+pub fn lvalue_targets(
+    expr: &Expr,
+    params: &BTreeMap<String, i64>,
+    targets: &mut Vec<LvTarget>,
+    index_reads: &mut Vec<(String, Span)>,
+) {
+    match &expr.kind {
+        ExprKind::Ident(name) => targets.push(LvTarget {
+            name: name.clone(),
+            span: expr.span,
+            sel: Sel::Whole,
+        }),
+        ExprKind::Index { base, index } => {
+            expr_reads(index, index_reads);
+            if let ExprKind::Ident(name) = &base.kind {
+                let sel = match const_eval(index, params) {
+                    Some(i) => Sel::Bit(i),
+                    None => Sel::Dynamic,
+                };
+                targets.push(LvTarget {
+                    name: name.clone(),
+                    span: expr.span,
+                    sel,
+                });
+            }
+        }
+        ExprKind::PartSelect { base, msb, lsb } => {
+            expr_reads(msb, index_reads);
+            expr_reads(lsb, index_reads);
+            if let ExprKind::Ident(name) = &base.kind {
+                let sel = match (const_eval(msb, params), const_eval(lsb, params)) {
+                    (Some(m), Some(l)) => Sel::Part(m, l),
+                    _ => Sel::Dynamic,
+                };
+                targets.push(LvTarget {
+                    name: name.clone(),
+                    span: expr.span,
+                    sel,
+                });
+            }
+        }
+        ExprKind::IndexedSelect {
+            base, start, width, ..
+        } => {
+            expr_reads(start, index_reads);
+            expr_reads(width, index_reads);
+            if let ExprKind::Ident(name) = &base.kind {
+                targets.push(LvTarget {
+                    name: name.clone(),
+                    span: expr.span,
+                    sel: Sel::Dynamic,
+                });
+            }
+        }
+        ExprKind::Concat(items) => {
+            for item in items {
+                lvalue_targets(item, params, targets, index_reads);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Collects every procedural assignment under `stmt`, in source order.
+/// `for` init/step count as blocking assignments.
+pub fn collect_stmt_assigns(
+    stmt: &Stmt,
+    params: &BTreeMap<String, i64>,
+    out: &mut Vec<ProcAssign>,
+) {
+    let push = |lhs: &Expr, op: AssignOp, span: Span, out: &mut Vec<ProcAssign>| {
+        let mut targets = Vec::new();
+        let mut index_reads = Vec::new();
+        lvalue_targets(lhs, params, &mut targets, &mut index_reads);
+        for target in targets {
+            out.push(ProcAssign { target, op, span });
+        }
+    };
+    match &stmt.kind {
+        StmtKind::Assign { lhs, op, .. } => push(lhs, *op, stmt.span, out),
+        StmtKind::Block { stmts, .. } => {
+            for s in stmts {
+                collect_stmt_assigns(s, params, out);
+            }
+        }
+        StmtKind::If { then, els, .. } => {
+            collect_stmt_assigns(then, params, out);
+            if let Some(els) = els {
+                collect_stmt_assigns(els, params, out);
+            }
+        }
+        StmtKind::Case { arms, .. } => {
+            for arm in arms {
+                collect_stmt_assigns(&arm.body, params, out);
+            }
+        }
+        StmtKind::For {
+            init, step, body, ..
+        } => {
+            push(&init.0, AssignOp::Blocking, stmt.span, out);
+            collect_stmt_assigns(body, params, out);
+            push(&step.0, AssignOp::Blocking, stmt.span, out);
+        }
+        StmtKind::While { body, .. }
+        | StmtKind::Repeat { body, .. }
+        | StmtKind::Forever { body } => collect_stmt_assigns(body, params, out),
+        StmtKind::Delay { stmt: Some(s), .. }
+        | StmtKind::Event { stmt: Some(s), .. }
+        | StmtKind::Wait { stmt: Some(s), .. } => collect_stmt_assigns(s, params, out),
+        _ => {}
+    }
+}
+
+/// Calls `f` on every expression read (not written) by the statement tree:
+/// RHSs, conditions, indices of lvalues, sensitivity terms, call arguments.
+pub fn collect_stmt_read_exprs<'a>(stmt: &'a Stmt, f: &mut dyn FnMut(&'a Expr)) {
+    let lvalue_index_reads = |lhs: &'a Expr, f: &mut dyn FnMut(&'a Expr)| match &lhs.kind {
+        ExprKind::Index { index, .. } => f(index),
+        ExprKind::PartSelect { msb, lsb, .. } => {
+            f(msb);
+            f(lsb);
+        }
+        ExprKind::IndexedSelect { start, width, .. } => {
+            f(start);
+            f(width);
+        }
+        ExprKind::Concat(items) => {
+            for item in items {
+                if let ExprKind::Index { index, .. } = &item.kind {
+                    f(index);
+                }
+            }
+        }
+        _ => {}
+    };
+    match &stmt.kind {
+        StmtKind::Assign {
+            lhs, delay, rhs, ..
+        } => {
+            lvalue_index_reads(lhs, f);
+            if let Some(d) = delay {
+                f(d);
+            }
+            f(rhs);
+        }
+        StmtKind::Block { stmts, .. } => {
+            for s in stmts {
+                collect_stmt_read_exprs(s, f);
+            }
+        }
+        StmtKind::If { cond, then, els } => {
+            f(cond);
+            collect_stmt_read_exprs(then, f);
+            if let Some(els) = els {
+                collect_stmt_read_exprs(els, f);
+            }
+        }
+        StmtKind::Case { expr, arms, .. } => {
+            f(expr);
+            for arm in arms {
+                for label in &arm.labels {
+                    f(label);
+                }
+                collect_stmt_read_exprs(&arm.body, f);
+            }
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            f(&init.1);
+            f(cond);
+            f(&step.1);
+            collect_stmt_read_exprs(body, f);
+        }
+        StmtKind::While { cond, body } => {
+            f(cond);
+            collect_stmt_read_exprs(body, f);
+        }
+        StmtKind::Repeat { count, body } => {
+            f(count);
+            collect_stmt_read_exprs(body, f);
+        }
+        StmtKind::Forever { body } => collect_stmt_read_exprs(body, f),
+        StmtKind::Delay { amount, stmt } => {
+            f(amount);
+            if let Some(s) = stmt {
+                collect_stmt_read_exprs(s, f);
+            }
+        }
+        StmtKind::Event { control, stmt } => {
+            if let EventControl::List(terms) = control {
+                for term in terms {
+                    f(&term.expr);
+                }
+            }
+            if let Some(s) = stmt {
+                collect_stmt_read_exprs(s, f);
+            }
+        }
+        StmtKind::Wait { cond, stmt } => {
+            f(cond);
+            if let Some(s) = stmt {
+                collect_stmt_read_exprs(s, f);
+            }
+        }
+        StmtKind::SysCall { args, .. } | StmtKind::TaskCall { args, .. } => {
+            for arg in args {
+                f(arg);
+            }
+        }
+        StmtKind::Disable(_) | StmtKind::Null => {}
+    }
+}
+
+/// Classifies an `always` body by its top-level event control and collects
+/// its procedural assignments.
+fn classify_always<'a>(
+    body: &'a Stmt,
+    span: Span,
+    unit: usize,
+    params: &BTreeMap<String, i64>,
+) -> Block<'a> {
+    let (kind, inner, sens) = match &body.kind {
+        StmtKind::Event { control, stmt } => {
+            let inner = stmt.as_deref();
+            match control {
+                EventControl::Star => (BlockKind::Comb, inner, None),
+                EventControl::List(terms) => {
+                    let edges = terms.iter().filter(|t| t.edge.is_some()).count();
+                    let kind = if edges == terms.len() && !terms.is_empty() {
+                        BlockKind::Seq
+                    } else if edges == 0 {
+                        BlockKind::Comb
+                    } else {
+                        BlockKind::Other
+                    };
+                    (kind, inner, Some(terms.as_slice()))
+                }
+            }
+        }
+        _ => (BlockKind::Other, Some(body), None),
+    };
+    let mut assigns = Vec::new();
+    collect_stmt_assigns(body, params, &mut assigns);
+    Block {
+        kind,
+        body: inner,
+        sens,
+        unit,
+        span,
+        assigns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgen_verilog::parse;
+
+    fn analyze(src: &str) -> (SourceFile, usize) {
+        let file = parse(src).expect("fixture parses");
+        (file, 0)
+    }
+
+    #[test]
+    fn sel_overlap_rules() {
+        assert!(Sel::Whole.overlaps(&Sel::Bit(3)));
+        assert!(Sel::Bit(3).overlaps(&Sel::Bit(3)));
+        assert!(!Sel::Bit(3).overlaps(&Sel::Bit(4)));
+        assert!(Sel::Part(7, 4).overlaps(&Sel::Bit(5)));
+        assert!(!Sel::Part(7, 4).overlaps(&Sel::Part(3, 0)));
+        assert!(!Sel::Dynamic.overlaps(&Sel::Whole));
+    }
+
+    #[test]
+    fn symbols_fold_param_ranges() {
+        let (file, _) = analyze(
+            "module m;
+               parameter W = 4;
+               reg [W-1:0] q;
+               wire [7:0] w;
+               integer i;
+             endmodule",
+        );
+        let a = Analysis::build(&file, &file.modules[0]);
+        assert_eq!(a.signal_width("q"), Some(4));
+        assert_eq!(a.signal_width("w"), Some(8));
+        assert_eq!(a.signal_width("i"), Some(32));
+        assert_eq!(a.params.get("W"), Some(&4));
+    }
+
+    #[test]
+    fn drivers_and_reads_are_collected() {
+        let (file, _) = analyze(
+            "module m(input a, input b, output y);
+               wire t;
+               assign t = a & b;
+               assign y = t;
+             endmodule",
+        );
+        let a = Analysis::build(&file, &file.modules[0]);
+        assert_eq!(a.drivers.get("t").map(Vec::len), Some(1));
+        assert_eq!(a.drivers.get("y").map(Vec::len), Some(1));
+        assert!(a.reads.contains_key("a"));
+        assert!(a.reads.contains_key("t"));
+        assert!(!a.reads.contains_key("y"));
+    }
+
+    #[test]
+    fn always_blocks_are_classified() {
+        let (file, _) = analyze(
+            "module m(input clk, input d, output reg q, output reg g);
+               always @(posedge clk) q <= d;
+               always @* g = d;
+               always #5 q = ~q;
+             endmodule",
+        );
+        let a = Analysis::build(&file, &file.modules[0]);
+        assert_eq!(a.blocks.len(), 3);
+        assert_eq!(a.blocks[0].kind, BlockKind::Seq);
+        assert_eq!(a.blocks[1].kind, BlockKind::Comb);
+        assert_eq!(a.blocks[2].kind, BlockKind::Other);
+        assert_eq!(a.blocks[0].assigns.len(), 1);
+        assert_eq!(a.blocks[0].assigns[0].op, AssignOp::NonBlocking);
+    }
+
+    #[test]
+    fn initial_and_delay_loop_drivers_do_not_conflict() {
+        assert!(!DriverSource::Initial.conflicts());
+        assert!(!DriverSource::AlwaysOther.conflicts());
+        assert!(DriverSource::Continuous.conflicts());
+        assert!(DriverSource::AlwaysSeq.conflicts());
+    }
+
+    #[test]
+    fn const_eval_is_total_on_hostile_arithmetic() {
+        let params = BTreeMap::new();
+        let src = "module m; localparam X = 1 / 0; endmodule";
+        let file = parse(src).expect("parses");
+        if let Item::Param(p) = &file.modules[0].items[0] {
+            assert_eq!(const_eval(&p.assigns[0].1, &params), None);
+        } else {
+            panic!("expected param");
+        }
+    }
+}

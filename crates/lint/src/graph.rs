@@ -1,0 +1,429 @@
+//! Combinational loop detection over a signal-dependency graph.
+//!
+//! Edges run from each combinationally-driven signal to the signals its
+//! value depends on: continuous assigns, gate outputs, and assignments in
+//! combinational always blocks (including control dependencies). Edge-
+//! triggered blocks break cycles by construction and contribute nothing.
+//! Within a combinational block, reads of a variable already assigned
+//! earlier on the same path (blocking) are *not* dependencies — that is the
+//! standard `y = 0; y = y | a;` accumulator idiom, not feedback.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use vgen_verilog::ast::{AssignOp, Expr, Item, Stmt, StmtKind};
+use vgen_verilog::span::Span;
+
+use crate::analyze::{self, Analysis, BlockKind, Sel};
+use crate::diag::{Diagnostic, Rule};
+
+/// At most this many distinct loops are reported per module.
+const MAX_LOOPS: usize = 5;
+
+/// Runs combinational loop detection over one module's analysis.
+pub fn check(a: &Analysis<'_>, out: &mut Vec<Diagnostic>) {
+    let mut g = Graph::default();
+    for item in &a.module.items {
+        match item {
+            Item::Assign(ai) => {
+                for (lhs, rhs) in &ai.assigns {
+                    let mut deps = Vec::new();
+                    analyze::expr_reads(rhs, &mut deps);
+                    let mut targets = Vec::new();
+                    let mut index_reads = Vec::new();
+                    analyze::lvalue_targets(lhs, &a.params, &mut targets, &mut index_reads);
+                    deps.extend(index_reads);
+                    for t in &targets {
+                        g.add(a, &t.name, t.span, deps.iter().map(|(n, _)| n.as_str()));
+                    }
+                }
+            }
+            Item::Gate(gate) => {
+                let mut conns = gate.conns.iter();
+                let Some(out_conn) = conns.next() else {
+                    continue;
+                };
+                let mut deps = Vec::new();
+                for input in conns {
+                    analyze::expr_reads(input, &mut deps);
+                }
+                let mut targets = Vec::new();
+                let mut index_reads = Vec::new();
+                analyze::lvalue_targets(out_conn, &a.params, &mut targets, &mut index_reads);
+                for t in &targets {
+                    g.add(a, &t.name, t.span, deps.iter().map(|(n, _)| n.as_str()));
+                }
+            }
+            Item::Decl(decl) => {
+                for d in &decl.names {
+                    if let Some(init) = &d.init {
+                        // Only wire initialisers are continuous drivers; a
+                        // `reg q = 0;` initialiser runs once.
+                        let is_var = matches!(
+                            decl.kind,
+                            Some(
+                                vgen_verilog::ast::NetKind::Reg
+                                    | vgen_verilog::ast::NetKind::Integer
+                                    | vgen_verilog::ast::NetKind::Time
+                            )
+                        );
+                        if is_var {
+                            continue;
+                        }
+                        let mut deps = Vec::new();
+                        analyze::expr_reads(init, &mut deps);
+                        g.add(a, &d.name, d.span, deps.iter().map(|(n, _)| n.as_str()));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for block in &a.blocks {
+        if block.kind != BlockKind::Comb {
+            continue;
+        }
+        if let Some(body) = block.body {
+            walk(a, body, &mut BTreeSet::new(), &mut Vec::new(), &mut g);
+        }
+    }
+    report(&g, out);
+}
+
+#[derive(Default)]
+struct Graph {
+    edges: BTreeMap<String, BTreeSet<String>>,
+    span_of: BTreeMap<String, Span>,
+}
+
+impl Graph {
+    fn add<'d>(
+        &mut self,
+        a: &Analysis<'_>,
+        target: &str,
+        span: Span,
+        deps: impl Iterator<Item = &'d str>,
+    ) {
+        if !a.is_signal(target) || a.symbols.get(target).is_some_and(|s| s.is_memory) {
+            return;
+        }
+        let entry = self.edges.entry(target.to_string()).or_default();
+        for dep in deps {
+            if a.is_signal(dep) && !a.symbols.get(dep).is_some_and(|s| s.is_memory) {
+                entry.insert(dep.to_string());
+            }
+        }
+        self.span_of.entry(target.to_string()).or_insert(span);
+    }
+}
+
+/// Walks a combinational body adding dependency edges, tracking which
+/// variables are already (blocking-)assigned on the current path and the
+/// stack of control-condition reads.
+fn walk(
+    a: &Analysis<'_>,
+    stmt: &Stmt,
+    assigned: &mut BTreeSet<String>,
+    ctrl: &mut Vec<String>,
+    g: &mut Graph,
+) {
+    let read_names = |expr: &Expr| -> Vec<String> {
+        let mut reads = Vec::new();
+        analyze::expr_reads(expr, &mut reads);
+        reads.into_iter().map(|(n, _)| n).collect()
+    };
+    match &stmt.kind {
+        StmtKind::Assign { lhs, op, rhs, .. } => {
+            let mut deps = read_names(rhs);
+            deps.extend(ctrl.iter().cloned());
+            let mut targets = Vec::new();
+            let mut index_reads = Vec::new();
+            analyze::lvalue_targets(lhs, &a.params, &mut targets, &mut index_reads);
+            deps.extend(index_reads.into_iter().map(|(n, _)| n));
+            deps.retain(|d| !assigned.contains(d));
+            for t in &targets {
+                g.add(a, &t.name, stmt.span, deps.iter().map(String::as_str));
+            }
+            if *op == AssignOp::Blocking {
+                for t in targets {
+                    if t.sel == Sel::Whole {
+                        assigned.insert(t.name);
+                    }
+                }
+            }
+        }
+        StmtKind::Block { stmts, .. } => {
+            for s in stmts {
+                walk(a, s, assigned, ctrl, g);
+            }
+        }
+        StmtKind::If { cond, then, els } => {
+            let depth = ctrl.len();
+            ctrl.extend(
+                read_names(cond)
+                    .into_iter()
+                    .filter(|n| !assigned.contains(n)),
+            );
+            let mut a1 = assigned.clone();
+            walk(a, then, &mut a1, ctrl, g);
+            if let Some(els) = els {
+                let mut a2 = assigned.clone();
+                walk(a, els, &mut a2, ctrl, g);
+                assigned.extend(a1.intersection(&a2).cloned());
+            }
+            ctrl.truncate(depth);
+        }
+        StmtKind::Case { expr, arms, .. } => {
+            let depth = ctrl.len();
+            ctrl.extend(
+                read_names(expr)
+                    .into_iter()
+                    .filter(|n| !assigned.contains(n)),
+            );
+            let mut arm_sets = Vec::new();
+            for arm in arms {
+                for label in &arm.labels {
+                    ctrl.extend(
+                        read_names(label)
+                            .into_iter()
+                            .filter(|n| !assigned.contains(n)),
+                    );
+                }
+                let mut ai = assigned.clone();
+                walk(a, &arm.body, &mut ai, ctrl, g);
+                arm_sets.push(ai);
+            }
+            if arms.iter().any(|arm| arm.labels.is_empty()) {
+                if let Some(first) = arm_sets.first().cloned() {
+                    let common = arm_sets
+                        .iter()
+                        .skip(1)
+                        .fold(first, |acc, s| acc.intersection(s).cloned().collect());
+                    assigned.extend(common);
+                }
+            }
+            ctrl.truncate(depth);
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            // init is a blocking assign: process it first so the loop index
+            // never looks like feedback.
+            let init_stmt = StmtKind::Assign {
+                lhs: init.0.clone(),
+                op: AssignOp::Blocking,
+                delay: None,
+                rhs: init.1.clone(),
+            };
+            walk(
+                a,
+                &Stmt {
+                    kind: init_stmt,
+                    span: stmt.span,
+                },
+                assigned,
+                ctrl,
+                g,
+            );
+            let depth = ctrl.len();
+            ctrl.extend(
+                read_names(cond)
+                    .into_iter()
+                    .filter(|n| !assigned.contains(n)),
+            );
+            let mut ab = assigned.clone();
+            walk(a, body, &mut ab, ctrl, g);
+            let step_stmt = StmtKind::Assign {
+                lhs: step.0.clone(),
+                op: AssignOp::Blocking,
+                delay: None,
+                rhs: step.1.clone(),
+            };
+            walk(
+                a,
+                &Stmt {
+                    kind: step_stmt,
+                    span: stmt.span,
+                },
+                &mut ab,
+                ctrl,
+                g,
+            );
+            ctrl.truncate(depth);
+        }
+        StmtKind::While { cond, body } => {
+            let depth = ctrl.len();
+            ctrl.extend(
+                read_names(cond)
+                    .into_iter()
+                    .filter(|n| !assigned.contains(n)),
+            );
+            let mut ab = assigned.clone();
+            walk(a, body, &mut ab, ctrl, g);
+            ctrl.truncate(depth);
+        }
+        StmtKind::Repeat { count, body } => {
+            let depth = ctrl.len();
+            ctrl.extend(
+                read_names(count)
+                    .into_iter()
+                    .filter(|n| !assigned.contains(n)),
+            );
+            let mut ab = assigned.clone();
+            walk(a, body, &mut ab, ctrl, g);
+            ctrl.truncate(depth);
+        }
+        StmtKind::Forever { body } => {
+            let mut ab = assigned.clone();
+            walk(a, body, &mut ab, ctrl, g);
+        }
+        StmtKind::Delay { stmt: Some(s), .. }
+        | StmtKind::Event { stmt: Some(s), .. }
+        | StmtKind::Wait { stmt: Some(s), .. } => walk(a, s, assigned, ctrl, g),
+        _ => {}
+    }
+}
+
+/// Finds cycles with an iterative DFS and reports up to [`MAX_LOOPS`].
+fn report(g: &Graph, out: &mut Vec<Diagnostic>) {
+    let mut color: BTreeMap<&str, u8> = BTreeMap::new(); // 0 white, 1 grey, 2 black
+    let mut seen_cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in g.edges.keys() {
+        if color.get(start.as_str()).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        // Stack of (node, neighbor cursor); path mirrors the grey chain.
+        let mut stack: Vec<(&str, usize)> = vec![(start.as_str(), 0)];
+        let mut path: Vec<&str> = vec![start.as_str()];
+        color.insert(start.as_str(), 1);
+        while let Some(&(node, cursor)) = stack.last() {
+            let neighbors: Vec<&str> = g
+                .edges
+                .get(node)
+                .map(|s| s.iter().map(String::as_str).collect())
+                .unwrap_or_default();
+            if cursor >= neighbors.len() {
+                color.insert(node, 2);
+                path.pop();
+                stack.pop();
+                continue;
+            }
+            stack.last_mut().expect("nonempty stack").1 += 1;
+            let next = neighbors[cursor];
+            match color.get(next).copied().unwrap_or(0) {
+                0 => {
+                    color.insert(next, 1);
+                    stack.push((next, 0));
+                    path.push(next);
+                }
+                1 => {
+                    // Back edge: the cycle is the path suffix from `next`.
+                    let pos = path.iter().position(|n| *n == next).unwrap_or(0);
+                    let mut cycle: Vec<String> =
+                        path[pos..].iter().map(|s| s.to_string()).collect();
+                    // Canonicalise: rotate the smallest name to the front.
+                    if let Some(min_idx) = cycle
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, n)| (*n).clone())
+                        .map(|(i, _)| i)
+                    {
+                        cycle.rotate_left(min_idx);
+                    }
+                    seen_cycles.insert(cycle);
+                }
+                _ => {}
+            }
+        }
+    }
+    for cycle in seen_cycles.iter().take(MAX_LOOPS) {
+        let span = g
+            .span_of
+            .get(&cycle[0])
+            .copied()
+            .unwrap_or_else(|| Span::point(0));
+        let mut chain = cycle.join(" -> ");
+        chain.push_str(" -> ");
+        chain.push_str(&cycle[0]);
+        out.push(Diagnostic::new(
+            Rule::CombLoop,
+            span,
+            format!("combinational loop: {chain}"),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgen_verilog::parse;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let file = parse(src).expect("fixture parses");
+        let a = Analysis::build(&file, &file.modules[0]);
+        let mut out = Vec::new();
+        check(&a, &mut out);
+        out
+    }
+
+    #[test]
+    fn self_feedback_assign_is_a_loop() {
+        let d = lint(
+            "module m(output y);
+               assign y = ~y;
+             endmodule",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::CombLoop);
+        assert!(d[0].message.contains("y -> y"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn cross_signal_loop_is_reported_once() {
+        let d = lint(
+            "module m(input a, input b, output p, output q);
+               assign p = q & a;
+               assign q = p | b;
+             endmodule",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("p -> q"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn register_breaks_the_loop() {
+        let d = lint(
+            "module m(input clk, input d, output reg q, output y);
+               assign y = q & d;
+               always @(posedge clk) q <= y;
+             endmodule",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn accumulator_idiom_is_not_feedback() {
+        let d = lint(
+            "module m(input [3:0] x, output reg y);
+               integer i;
+               always @* begin
+                 y = 1'b0;
+                 for (i = 0; i < 4; i = i + 1) y = y | x[i];
+               end
+             endmodule",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn comb_always_feedback_is_a_loop() {
+        let d = lint(
+            "module m(input en, output reg q);
+               always @* if (en) q = q + 1'b1;
+             endmodule",
+        );
+        assert!(d.iter().any(|d| d.rule == Rule::CombLoop), "{d:?}");
+    }
+}

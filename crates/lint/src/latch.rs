@@ -1,0 +1,505 @@
+//! Latch hazards in combinational always blocks: incomplete assignment
+//! coverage, `case` without `default`, and incomplete sensitivity lists.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use vgen_verilog::ast::{AssignOp, CaseArm, Expr, ExprKind, Stmt, StmtKind};
+use vgen_verilog::span::Span;
+
+use crate::analyze::{self, Analysis, BlockKind};
+use crate::diag::{Diagnostic, Rule};
+
+/// Runs the latch-family rules over one module's analysis.
+pub fn check(a: &Analysis<'_>, out: &mut Vec<Diagnostic>) {
+    for block in &a.blocks {
+        if block.kind != BlockKind::Comb {
+            continue;
+        }
+        let Some(body) = block.body else { continue };
+        inferred_latches(a, block.assigns.as_slice(), body, out);
+        missing_defaults(a, body, out);
+        if let Some(sens) = block.sens {
+            incomplete_sensitivity(a, sens, body, out);
+        }
+    }
+}
+
+/// A signal assigned somewhere in a combinational block but not on every
+/// path through it holds its previous value on the uncovered paths — a
+/// latch. Coverage is judged per signal name (assigning any bits counts),
+/// which under-reports partial-assign latches but never false-positives.
+fn inferred_latches(
+    a: &Analysis<'_>,
+    assigns: &[analyze::ProcAssign],
+    body: &Stmt,
+    out: &mut Vec<Diagnostic>,
+) {
+    let covered = must_assign(a, body);
+    let mut reported = BTreeSet::new();
+    for pa in assigns {
+        let name = pa.target.name.as_str();
+        if covered.contains(name) || !reported.insert(name.to_string()) {
+            continue;
+        }
+        if a.symbols.get(name).is_some_and(|s| s.is_memory) {
+            continue;
+        }
+        out.push(Diagnostic::new(
+            Rule::InferredLatch,
+            pa.span,
+            format!(
+                "`{name}` is not assigned on every path through this \
+                 combinational block; a latch is inferred"
+            ),
+        ));
+    }
+}
+
+/// The set of signals assigned on *every* path through `stmt`.
+///
+/// Loops optimistically contribute their body (a constant-bound `for` in a
+/// combinational block executes at least once in practice); `if` without
+/// `else` and `case` without full coverage contribute nothing.
+fn must_assign(a: &Analysis<'_>, stmt: &Stmt) -> BTreeSet<String> {
+    match &stmt.kind {
+        StmtKind::Assign { lhs, .. } => {
+            let mut targets = Vec::new();
+            let mut reads = Vec::new();
+            analyze::lvalue_targets(lhs, &a.params, &mut targets, &mut reads);
+            targets.into_iter().map(|t| t.name).collect()
+        }
+        StmtKind::Block { stmts, .. } => {
+            let mut set = BTreeSet::new();
+            for s in stmts {
+                set.extend(must_assign(a, s));
+            }
+            set
+        }
+        StmtKind::If {
+            then,
+            els: Some(els),
+            ..
+        } => {
+            let t = must_assign(a, then);
+            let e = must_assign(a, els);
+            t.intersection(&e).cloned().collect()
+        }
+        StmtKind::If { els: None, .. } => BTreeSet::new(),
+        StmtKind::Case { expr, arms, .. } => {
+            let has_default = arms.iter().any(|arm| arm.labels.is_empty());
+            if !has_default && !case_fully_covered(a, expr, arms) {
+                return BTreeSet::new();
+            }
+            let mut sets = arms.iter().map(|arm| must_assign(a, &arm.body));
+            let Some(first) = sets.next() else {
+                return BTreeSet::new();
+            };
+            sets.fold(first, |acc, s| acc.intersection(&s).cloned().collect())
+        }
+        StmtKind::For {
+            init, step, body, ..
+        } => {
+            let mut set = must_assign(a, body);
+            for lhs in [&init.0, &step.0] {
+                let mut targets = Vec::new();
+                let mut reads = Vec::new();
+                analyze::lvalue_targets(lhs, &a.params, &mut targets, &mut reads);
+                set.extend(targets.into_iter().map(|t| t.name));
+            }
+            set
+        }
+        StmtKind::While { body, .. }
+        | StmtKind::Repeat { body, .. }
+        | StmtKind::Forever { body } => must_assign(a, body),
+        StmtKind::Delay { stmt: Some(s), .. }
+        | StmtKind::Event { stmt: Some(s), .. }
+        | StmtKind::Wait { stmt: Some(s), .. } => must_assign(a, s),
+        _ => BTreeSet::new(),
+    }
+}
+
+/// Whether a `case` with only labelled arms provably covers every value of
+/// its selector: constant labels, known selector width ≤ 16, and exactly
+/// `2^width` distinct label values.
+fn case_fully_covered(a: &Analysis<'_>, selector: &Expr, arms: &[CaseArm]) -> bool {
+    let width = selector_width(a, selector);
+    let Some(width) = width.filter(|w| (1..=16).contains(w)) else {
+        return false;
+    };
+    let mask = (1u64 << width) - 1;
+    let mut values = BTreeSet::new();
+    for arm in arms {
+        for label in &arm.labels {
+            let Some(v) = a.const_eval(label) else {
+                return false;
+            };
+            values.insert((v as u64) & mask);
+        }
+    }
+    values.len() as u64 == 1 << width
+}
+
+fn selector_width(a: &Analysis<'_>, selector: &Expr) -> Option<u64> {
+    match &selector.kind {
+        ExprKind::Ident(name) => a.signal_width(name),
+        ExprKind::Index { .. } => Some(1),
+        ExprKind::PartSelect { msb, lsb, .. } => {
+            let (m, l) = (a.const_eval(msb)?, a.const_eval(lsb)?);
+            Some((m - l).unsigned_abs() + 1)
+        }
+        ExprKind::Concat(items) => items
+            .iter()
+            .map(|i| selector_width(a, i))
+            .sum::<Option<u64>>(),
+        _ => None,
+    }
+}
+
+/// `case` without `default` (and without provably full coverage) inside a
+/// combinational block.
+fn missing_defaults(a: &Analysis<'_>, stmt: &Stmt, out: &mut Vec<Diagnostic>) {
+    if let StmtKind::Case { expr, arms, .. } = &stmt.kind {
+        let has_default = arms.iter().any(|arm| arm.labels.is_empty());
+        if !has_default && !case_fully_covered(a, expr, arms) {
+            out.push(Diagnostic::new(
+                Rule::MissingDefault,
+                stmt.span,
+                "`case` in a combinational block has no `default` and does \
+                 not cover every selector value"
+                    .to_string(),
+            ));
+        }
+    }
+    each_child(stmt, &mut |s| missing_defaults(a, s, out));
+}
+
+fn each_child(stmt: &Stmt, f: &mut dyn FnMut(&Stmt)) {
+    match &stmt.kind {
+        StmtKind::Block { stmts, .. } => stmts.iter().for_each(f),
+        StmtKind::If { then, els, .. } => {
+            f(then);
+            if let Some(els) = els {
+                f(els);
+            }
+        }
+        StmtKind::Case { arms, .. } => arms.iter().for_each(|arm| f(&arm.body)),
+        StmtKind::For { body, .. }
+        | StmtKind::While { body, .. }
+        | StmtKind::Repeat { body, .. }
+        | StmtKind::Forever { body } => f(body),
+        StmtKind::Delay { stmt: Some(s), .. }
+        | StmtKind::Event { stmt: Some(s), .. }
+        | StmtKind::Wait { stmt: Some(s), .. } => f(s),
+        _ => {}
+    }
+}
+
+/// A level-sensitive block reading signals its sensitivity list does not
+/// mention simulates differently from the hardware it describes.
+fn incomplete_sensitivity(
+    a: &Analysis<'_>,
+    sens: &[vgen_verilog::ast::EventExpr],
+    body: &Stmt,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut listed = BTreeSet::new();
+    for term in sens {
+        let mut reads = Vec::new();
+        analyze::expr_reads(&term.expr, &mut reads);
+        listed.extend(reads.into_iter().map(|(name, _)| name));
+    }
+    let mut first_read: BTreeMap<String, Span> = BTreeMap::new();
+    reads_before_write(a, body, &mut BTreeSet::new(), &mut first_read);
+    let missing: Vec<(&String, &Span)> = first_read
+        .iter()
+        .filter(|(name, _)| {
+            a.is_signal(name)
+                && !listed.contains(*name)
+                && !a.symbols.get(*name).is_some_and(|s| s.is_memory)
+        })
+        .collect();
+    if missing.is_empty() {
+        return;
+    }
+    let span = *missing
+        .iter()
+        .map(|(_, span)| *span)
+        .min_by_key(|s| (s.start, s.end))
+        .expect("nonempty");
+    let names: Vec<String> = missing.iter().map(|(n, _)| format!("`{n}`")).collect();
+    out.push(Diagnostic::new(
+        Rule::IncompleteSensitivity,
+        span,
+        format!("sensitivity list does not include {}", names.join(", ")),
+    ));
+}
+
+/// Records the first read span of every signal read before being assigned
+/// (whole, blocking) on some path through `stmt`.
+fn reads_before_write(
+    a: &Analysis<'_>,
+    stmt: &Stmt,
+    assigned: &mut BTreeSet<String>,
+    out: &mut BTreeMap<String, Span>,
+) {
+    let note = |expr: &Expr, assigned: &BTreeSet<String>, out: &mut BTreeMap<String, Span>| {
+        let mut reads = Vec::new();
+        analyze::expr_reads(expr, &mut reads);
+        for (name, span) in reads {
+            if !assigned.contains(&name) {
+                out.entry(name).or_insert(span);
+            }
+        }
+    };
+    match &stmt.kind {
+        StmtKind::Assign { lhs, op, rhs, .. } => {
+            let mut targets = Vec::new();
+            let mut index_reads = Vec::new();
+            analyze::lvalue_targets(lhs, &a.params, &mut targets, &mut index_reads);
+            for (name, span) in index_reads {
+                if !assigned.contains(&name) {
+                    out.entry(name).or_insert(span);
+                }
+            }
+            note(rhs, assigned, out);
+            if *op == AssignOp::Blocking {
+                for t in targets {
+                    if t.sel == analyze::Sel::Whole {
+                        assigned.insert(t.name);
+                    }
+                }
+            }
+        }
+        StmtKind::Block { stmts, .. } => {
+            for s in stmts {
+                reads_before_write(a, s, assigned, out);
+            }
+        }
+        StmtKind::If { cond, then, els } => {
+            note(cond, assigned, out);
+            let mut a1 = assigned.clone();
+            reads_before_write(a, then, &mut a1, out);
+            if let Some(els) = els {
+                let mut a2 = assigned.clone();
+                reads_before_write(a, els, &mut a2, out);
+                assigned.extend(a1.intersection(&a2).cloned());
+            }
+        }
+        StmtKind::Case { expr, arms, .. } => {
+            note(expr, assigned, out);
+            let mut arm_sets: Vec<BTreeSet<String>> = Vec::new();
+            for arm in arms {
+                for label in &arm.labels {
+                    note(label, assigned, out);
+                }
+                let mut ai = assigned.clone();
+                reads_before_write(a, &arm.body, &mut ai, out);
+                arm_sets.push(ai);
+            }
+            let has_default = arms.iter().any(|arm| arm.labels.is_empty());
+            if has_default {
+                if let Some(first) = arm_sets.first().cloned() {
+                    let common = arm_sets
+                        .iter()
+                        .skip(1)
+                        .fold(first, |acc, s| acc.intersection(s).cloned().collect());
+                    assigned.extend(common);
+                }
+            }
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            note(&init.1, assigned, out);
+            let mut targets = Vec::new();
+            let mut index_reads = Vec::new();
+            analyze::lvalue_targets(&init.0, &a.params, &mut targets, &mut index_reads);
+            for t in targets {
+                assigned.insert(t.name);
+            }
+            note(cond, assigned, out);
+            let mut ab = assigned.clone();
+            reads_before_write(a, body, &mut ab, out);
+            let mut reads = Vec::new();
+            analyze::expr_reads(&step.1, &mut reads);
+            for (name, span) in reads {
+                if !ab.contains(&name) {
+                    out.entry(name).or_insert(span);
+                }
+            }
+        }
+        StmtKind::While { cond, body } => {
+            note(cond, assigned, out);
+            let mut ab = assigned.clone();
+            reads_before_write(a, body, &mut ab, out);
+        }
+        StmtKind::Repeat { count, body } => {
+            note(count, assigned, out);
+            let mut ab = assigned.clone();
+            reads_before_write(a, body, &mut ab, out);
+        }
+        StmtKind::Forever { body } => {
+            let mut ab = assigned.clone();
+            reads_before_write(a, body, &mut ab, out);
+        }
+        StmtKind::Delay { amount, stmt } => {
+            note(amount, assigned, out);
+            if let Some(s) = stmt {
+                reads_before_write(a, s, assigned, out);
+            }
+        }
+        StmtKind::Event { stmt, .. } => {
+            if let Some(s) = stmt {
+                reads_before_write(a, s, assigned, out);
+            }
+        }
+        StmtKind::Wait { cond, stmt } => {
+            note(cond, assigned, out);
+            if let Some(s) = stmt {
+                reads_before_write(a, s, assigned, out);
+            }
+        }
+        StmtKind::SysCall { args, .. } | StmtKind::TaskCall { args, .. } => {
+            for arg in args {
+                note(arg, assigned, out);
+            }
+        }
+        StmtKind::Disable(_) | StmtKind::Null => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgen_verilog::parse;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let file = parse(src).expect("fixture parses");
+        let a = Analysis::build(&file, &file.modules[0]);
+        let mut out = Vec::new();
+        check(&a, &mut out);
+        out
+    }
+
+    #[test]
+    fn if_without_else_infers_latch() {
+        let d = lint(
+            "module m(input en, input d, output reg q);
+               always @* if (en) q = d;
+             endmodule",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::InferredLatch);
+        assert!(d[0].message.contains("`q`"));
+    }
+
+    #[test]
+    fn complete_if_else_is_clean() {
+        let d = lint(
+            "module m(input en, input d, output reg q);
+               always @* begin
+                 if (en) q = d;
+                 else q = 1'b0;
+               end
+             endmodule",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn default_pre_assignment_is_clean() {
+        let d = lint(
+            "module m(input en, input d, output reg q);
+               always @* begin
+                 q = 1'b0;
+                 if (en) q = d;
+               end
+             endmodule",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn case_without_default_warns_twice() {
+        let d = lint(
+            "module m(input [1:0] s, output reg q);
+               always @* case (s)
+                 2'd0: q = 1'b0;
+                 2'd1: q = 1'b1;
+               endcase
+             endmodule",
+        );
+        let rules: Vec<Rule> = d.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&Rule::MissingDefault), "{d:?}");
+        assert!(rules.contains(&Rule::InferredLatch), "{d:?}");
+    }
+
+    #[test]
+    fn fully_covered_case_is_clean() {
+        let d = lint(
+            "module m(input [1:0] s, output reg q);
+               always @* case (s)
+                 2'd0: q = 1'b0;
+                 2'd1: q = 1'b1;
+                 2'd2: q = 1'b0;
+                 2'd3: q = 1'b1;
+               endcase
+             endmodule",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn case_with_default_is_clean() {
+        let d = lint(
+            "module m(input [1:0] s, output reg q);
+               always @* case (s)
+                 2'd0: q = 1'b0;
+                 default: q = 1'b1;
+               endcase
+             endmodule",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn missing_sensitivity_entry_warns() {
+        let d = lint(
+            "module m(input a, input b, input s, output reg y);
+               always @(a or b) begin
+                 if (s) y = a;
+                 else y = b;
+               end
+             endmodule",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::IncompleteSensitivity);
+        assert!(d[0].message.contains("`s`"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn complete_sensitivity_is_clean() {
+        let d = lint(
+            "module m(input a, input b, input s, output reg y);
+               always @(a or b or s) begin
+                 if (s) y = a;
+                 else y = b;
+               end
+             endmodule",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn sequential_blocks_are_exempt() {
+        let d = lint(
+            "module m(input clk, input en, input d, output reg q);
+               always @(posedge clk) if (en) q <= d;
+             endmodule",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,175 @@
+//! Race hazards: multiply-driven nets and mixed blocking/nonblocking
+//! assignment styles.
+
+use std::collections::BTreeSet;
+
+use vgen_verilog::ast::AssignOp;
+
+use crate::analyze::{Analysis, BlockKind, Driver};
+use crate::diag::{Diagnostic, Rule};
+
+/// Runs both race rules over one module's analysis.
+pub fn check(a: &Analysis<'_>, out: &mut Vec<Diagnostic>) {
+    multi_driven(a, out);
+    mixed_styles(a, out);
+}
+
+/// Two structural drivers that provably cover a common bit of the same
+/// signal. Initial blocks and delay-loop `always` blocks are exempt (the
+/// `initial clk = 0; always #5 clk = ~clk;` testbench idiom), as are
+/// memories (multi-port writes are routine) and anything connected to a
+/// module instance (port directions are not resolved).
+fn multi_driven(a: &Analysis<'_>, out: &mut Vec<Diagnostic>) {
+    for (name, drivers) in &a.drivers {
+        if a.instance_connected.contains(name) {
+            continue;
+        }
+        if a.symbols.get(name).is_some_and(|s| s.is_memory) {
+            continue;
+        }
+        let conflicting: Vec<&Driver> = drivers.iter().filter(|d| d.source.conflicts()).collect();
+        'outer: for (i, d1) in conflicting.iter().enumerate() {
+            for d2 in &conflicting[..i] {
+                if d1.unit != d2.unit && d1.sel.overlaps(&d2.sel) {
+                    out.push(Diagnostic::new(
+                        Rule::MultiDrivenNet,
+                        d1.span,
+                        format!(
+                            "`{name}` is driven here and by another \
+                             assignment; conflicting drivers race"
+                        ),
+                    ));
+                    // One diagnostic per signal is enough.
+                    break 'outer;
+                }
+            }
+        }
+    }
+}
+
+/// The same signal assigned with both `=` and `<=` in procedural blocks
+/// (initial blocks and delay-loop blocks again exempt).
+fn mixed_styles(a: &Analysis<'_>, out: &mut Vec<Diagnostic>) {
+    let mut blocking: BTreeSet<&str> = BTreeSet::new();
+    let mut nonblocking: BTreeSet<&str> = BTreeSet::new();
+    let mut reported: BTreeSet<&str> = BTreeSet::new();
+    // Two passes keep the diagnostic on the *later* style occurrence
+    // regardless of which block comes first.
+    for block in &a.blocks {
+        if matches!(block.kind, BlockKind::Other) {
+            continue;
+        }
+        for pa in &block.assigns {
+            match pa.op {
+                AssignOp::Blocking => blocking.insert(&pa.target.name),
+                AssignOp::NonBlocking => nonblocking.insert(&pa.target.name),
+            };
+        }
+    }
+    for block in &a.blocks {
+        if matches!(block.kind, BlockKind::Other) {
+            continue;
+        }
+        for pa in &block.assigns {
+            let name = pa.target.name.as_str();
+            if blocking.contains(name) && nonblocking.contains(name) && reported.insert(name) {
+                out.push(Diagnostic::new(
+                    Rule::MixedAssignStyles,
+                    pa.span,
+                    format!("`{name}` is assigned with both `=` and `<=`"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgen_verilog::parse;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let file = parse(src).expect("fixture parses");
+        let a = Analysis::build(&file, &file.modules[0]);
+        let mut out = Vec::new();
+        check(&a, &mut out);
+        out
+    }
+
+    #[test]
+    fn two_continuous_assigns_race() {
+        let d = lint(
+            "module m(input a, input b, output y);
+               assign y = a;
+               assign y = b;
+             endmodule",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::MultiDrivenNet);
+    }
+
+    #[test]
+    fn assign_vs_always_races() {
+        let d = lint(
+            "module m(input a, input clk, output reg y);
+               always @(posedge clk) y <= a;
+             endmodule
+             module n(input a, output y);
+               assign y = a;
+             endmodule",
+        );
+        assert!(d.is_empty(), "{d:?}");
+        let d = lint(
+            "module m(input a, input clk, output reg y);
+               assign y = a;
+               always @(posedge clk) y <= a;
+             endmodule",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::MultiDrivenNet);
+    }
+
+    #[test]
+    fn disjoint_bit_drivers_are_fine() {
+        let d = lint(
+            "module m(input a, input b, output [1:0] y);
+               assign y[0] = a;
+               assign y[1] = b;
+             endmodule",
+        );
+        assert!(d.is_empty(), "{d:?}");
+        let d = lint(
+            "module m(input a, input b, output [1:0] y);
+               assign y[0] = a;
+               assign y[0] = b;
+             endmodule",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn testbench_clock_idiom_is_exempt() {
+        let d = lint(
+            "module tb;
+               reg clk;
+               initial clk = 0;
+               always #5 clk = ~clk;
+             endmodule",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn mixed_styles_flagged_once() {
+        let d = lint(
+            "module m(input clk, input a, output reg y);
+               always @(posedge clk) begin
+                 y = a;
+                 y <= ~a;
+               end
+             endmodule",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::MixedAssignStyles);
+    }
+}

@@ -1,0 +1,117 @@
+//! Signal usage hygiene: undriven-but-read and never-read signals.
+
+use vgen_verilog::ast::{NetKind, PortDir};
+
+use crate::analyze::Analysis;
+use crate::diag::{Diagnostic, Rule};
+
+/// Runs the usage rules over one module's analysis.
+pub fn check(a: &Analysis<'_>, out: &mut Vec<Diagnostic>) {
+    for (name, sym) in &a.symbols {
+        // Instance connections are treated as both driven and read because
+        // port directions are not resolved across modules.
+        if a.instance_connected.contains(name) {
+            continue;
+        }
+        let driven = a.drivers.contains_key(name)
+            || matches!(sym.dir, Some(PortDir::Input | PortDir::Inout))
+            || matches!(sym.kind, NetKind::Supply0 | NetKind::Supply1)
+            || sym.has_init;
+        let read = a.reads.contains_key(name);
+        if read && !driven {
+            let span = a.reads.get(name).copied().unwrap_or(sym.span);
+            out.push(Diagnostic::new(
+                Rule::UndrivenSignal,
+                span,
+                format!("`{name}` is read but never driven"),
+            ));
+        } else if !read && !matches!(sym.dir, Some(PortDir::Output | PortDir::Inout)) {
+            out.push(Diagnostic::new(
+                Rule::UnusedSignal,
+                sym.span,
+                format!("`{name}` is never read"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use vgen_verilog::parse;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let file = parse(src).expect("fixture parses");
+        let a = Analysis::build(&file, &file.modules[0]);
+        let mut out = Vec::new();
+        check(&a, &mut out);
+        out
+    }
+
+    #[test]
+    fn undriven_read_signal_is_flagged() {
+        let d = lint(
+            "module m(output y);
+               wire t;
+               assign y = t;
+             endmodule",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::UndrivenSignal);
+        assert_eq!(d[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn unused_signal_is_flagged() {
+        let d = lint(
+            "module m(input a, output y);
+               wire dead;
+               assign dead = a;
+               assign y = a;
+             endmodule",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::UnusedSignal);
+        assert!(d[0].message.contains("`dead`"));
+    }
+
+    #[test]
+    fn unused_input_is_flagged_but_output_is_not() {
+        let d = lint(
+            "module m(input a, input b, output y);
+               assign y = a;
+             endmodule",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`b`"));
+    }
+
+    #[test]
+    fn clean_module_has_no_findings() {
+        let d = lint(
+            "module m(input a, input b, output y);
+               wire t;
+               assign t = a & b;
+               assign y = t;
+             endmodule",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn instance_connections_count_as_driven_and_read() {
+        let d = lint(
+            "module tb;
+               wire q;
+               reg clk;
+               dff dut(.clk(clk), .q(q));
+               initial clk = 0;
+             endmodule
+             module dff(input clk, output reg q);
+               always @(posedge clk) q <= ~q;
+             endmodule",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

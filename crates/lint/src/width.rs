@@ -1,0 +1,527 @@
+//! Width hazards: silent truncation on assignment and zero-width selects.
+
+use vgen_verilog::ast::{
+    BinaryOp, Connection, Expr, ExprKind, Item, Module, Stmt, StmtKind, UnaryOp,
+};
+
+use crate::analyze::{self, Analysis, Sel};
+use crate::diag::{Diagnostic, Rule};
+
+/// Runs both width rules over one module's analysis.
+pub fn check(a: &Analysis<'_>, out: &mut Vec<Diagnostic>) {
+    truncations(a, out);
+    zero_width(a, out);
+}
+
+/// The width of an expression, when provable.
+///
+/// `Lit` marks number literals and parameter reads: Verilog literals adapt
+/// to their assignment context, so a `Lit` operand adopts the other
+/// operand's width instead of forcing its own (`q <= q + 1` is 4-bit even
+/// though `1` parses as 32-bit). A bare `Lit` on an assignment RHS never
+/// fires the truncation rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum W {
+    Fixed(u64),
+    Lit(u64),
+}
+
+impl W {
+    fn combine(self, other: W) -> W {
+        match (self, other) {
+            (W::Fixed(x), W::Fixed(y)) => W::Fixed(x.max(y)),
+            (W::Fixed(x), W::Lit(_)) | (W::Lit(_), W::Fixed(x)) => W::Fixed(x),
+            (W::Lit(x), W::Lit(y)) => W::Lit(x.max(y)),
+        }
+    }
+
+    fn bits(self) -> u64 {
+        match self {
+            W::Fixed(x) | W::Lit(x) => x,
+        }
+    }
+}
+
+fn expr_width(a: &Analysis<'_>, expr: &Expr) -> Option<W> {
+    match &expr.kind {
+        ExprKind::Number(v) => Some(W::Lit(v.width() as u64)),
+        ExprKind::Ident(name) => {
+            if a.params.contains_key(name) {
+                Some(W::Lit(32))
+            } else if a.symbols.get(name).is_some_and(|s| s.is_memory) {
+                None
+            } else {
+                a.signal_width(name).map(W::Fixed)
+            }
+        }
+        ExprKind::Unary { op, arg } => match op {
+            UnaryOp::Plus | UnaryOp::Neg | UnaryOp::BitNot => expr_width(a, arg),
+            _ => Some(W::Fixed(1)),
+        },
+        ExprKind::Binary { op, lhs, rhs } => match op {
+            BinaryOp::Add
+            | BinaryOp::Sub
+            | BinaryOp::Mul
+            | BinaryOp::Div
+            | BinaryOp::Rem
+            | BinaryOp::BitAnd
+            | BinaryOp::BitOr
+            | BinaryOp::BitXor
+            | BinaryOp::BitXnor => Some(expr_width(a, lhs)?.combine(expr_width(a, rhs)?)),
+            BinaryOp::Eq
+            | BinaryOp::Ne
+            | BinaryOp::CaseEq
+            | BinaryOp::CaseNe
+            | BinaryOp::Lt
+            | BinaryOp::Le
+            | BinaryOp::Gt
+            | BinaryOp::Ge
+            | BinaryOp::LogicAnd
+            | BinaryOp::LogicOr => Some(W::Fixed(1)),
+            BinaryOp::Shl | BinaryOp::Shr | BinaryOp::AShl | BinaryOp::AShr => expr_width(a, lhs),
+            BinaryOp::Pow => None,
+        },
+        ExprKind::Ternary { then, els, .. } => {
+            Some(expr_width(a, then)?.combine(expr_width(a, els)?))
+        }
+        ExprKind::Index { base, .. } => match &base.kind {
+            // A word select of a memory has the word width; a bit select of
+            // a vector is one bit.
+            ExprKind::Ident(name) if a.symbols.get(name).is_some_and(|s| s.is_memory) => {
+                a.symbols.get(name).and_then(|s| s.width).map(W::Fixed)
+            }
+            _ => Some(W::Fixed(1)),
+        },
+        ExprKind::PartSelect { msb, lsb, .. } => {
+            let (m, l) = (a.const_eval(msb)?, a.const_eval(lsb)?);
+            let w = (m - l).unsigned_abs() + 1;
+            Some(W::Fixed(w))
+        }
+        ExprKind::IndexedSelect { width, .. } => {
+            let w = a.const_eval(width)?;
+            u64::try_from(w).ok().map(W::Fixed)
+        }
+        ExprKind::Concat(items) => {
+            let mut total = 0u64;
+            for item in items {
+                total = total.checked_add(expr_width(a, item)?.bits())?;
+            }
+            Some(W::Fixed(total))
+        }
+        ExprKind::Replicate { count, items } => {
+            let n = u64::try_from(a.const_eval(count)?).ok()?;
+            let mut total = 0u64;
+            for item in items {
+                total = total.checked_add(expr_width(a, item)?.bits())?;
+            }
+            Some(W::Fixed(n.checked_mul(total)?))
+        }
+        _ => None,
+    }
+}
+
+/// Assignments whose RHS is provably wider than the written bits.
+fn truncations(a: &Analysis<'_>, out: &mut Vec<Diagnostic>) {
+    let check_assign = |lhs: &Expr, rhs: &Expr, out: &mut Vec<Diagnostic>| {
+        // Bare literals adapt to the target; never flag them.
+        if matches!(rhs.kind, ExprKind::Number(_)) {
+            return;
+        }
+        let Some(W::Fixed(rhs_bits)) = expr_width(a, rhs) else {
+            return;
+        };
+        let mut targets = Vec::new();
+        let mut index_reads = Vec::new();
+        analyze::lvalue_targets(lhs, &a.params, &mut targets, &mut index_reads);
+        // Only single-target lvalues: a concat lvalue distributes bits.
+        let [target] = targets.as_slice() else { return };
+        if a.symbols.get(&target.name).is_some_and(|s| s.is_memory) {
+            return;
+        }
+        let lhs_bits = match target.sel {
+            Sel::Whole => match a.signal_width(&target.name) {
+                Some(w) => w,
+                None => return,
+            },
+            Sel::Bit(_) => 1,
+            Sel::Part(m, l) => (m - l).unsigned_abs() + 1,
+            Sel::Dynamic => return,
+        };
+        if rhs_bits > lhs_bits {
+            out.push(Diagnostic::new(
+                Rule::WidthMismatch,
+                lhs.span.to(rhs.span),
+                format!(
+                    "{rhs_bits}-bit value is truncated to {lhs_bits}-bit `{}`",
+                    target.name
+                ),
+            ));
+        }
+    };
+    for item in &a.module.items {
+        if let Item::Assign(ai) = item {
+            for (lhs, rhs) in &ai.assigns {
+                check_assign(lhs, rhs, out);
+            }
+        }
+    }
+    for block in &a.blocks {
+        // Delay-loop/testbench blocks are exempt along with initial blocks:
+        // stimulus code writes counters with integer arithmetic freely.
+        if matches!(block.kind, crate::analyze::BlockKind::Other) {
+            continue;
+        }
+        if let Some(body) = block.body {
+            each_assign(body, &mut |lhs, rhs| check_assign(lhs, rhs, out));
+        }
+    }
+}
+
+fn each_assign<'a>(stmt: &'a Stmt, f: &mut dyn FnMut(&'a Expr, &'a Expr)) {
+    if let StmtKind::Assign { lhs, rhs, .. } = &stmt.kind {
+        f(lhs, rhs);
+    }
+    match &stmt.kind {
+        StmtKind::Block { stmts, .. } => {
+            for s in stmts {
+                each_assign(s, f);
+            }
+        }
+        StmtKind::If { then, els, .. } => {
+            each_assign(then, f);
+            if let Some(els) = els {
+                each_assign(els, f);
+            }
+        }
+        StmtKind::Case { arms, .. } => {
+            for arm in arms {
+                each_assign(&arm.body, f);
+            }
+        }
+        StmtKind::For { body, .. }
+        | StmtKind::While { body, .. }
+        | StmtKind::Repeat { body, .. }
+        | StmtKind::Forever { body } => each_assign(body, f),
+        StmtKind::Delay { stmt: Some(s), .. }
+        | StmtKind::Event { stmt: Some(s), .. }
+        | StmtKind::Wait { stmt: Some(s), .. } => each_assign(s, f),
+        _ => {}
+    }
+}
+
+/// Part-selects, indexed selects and replications that cover zero bits.
+fn zero_width(a: &Analysis<'_>, out: &mut Vec<Diagnostic>) {
+    let visit = |expr: &Expr, out: &mut Vec<Diagnostic>| match &expr.kind {
+        ExprKind::PartSelect { base, msb, lsb } => {
+            let (Some(m), Some(l)) = (a.const_eval(msb), a.const_eval(lsb)) else {
+                return;
+            };
+            // Judge direction against the declared range when known;
+            // otherwise assume the conventional descending `[msb:lsb]`.
+            let descending = match &base.kind {
+                ExprKind::Ident(name) => a
+                    .symbols
+                    .get(name)
+                    .and_then(|s| s.range)
+                    .is_none_or(|(rm, rl)| rm >= rl),
+                _ => true,
+            };
+            let w = if descending { m - l + 1 } else { l - m + 1 };
+            if w <= 0 {
+                out.push(Diagnostic::new(
+                    Rule::ZeroWidth,
+                    expr.span,
+                    format!("part-select `[{m}:{l}]` covers no bits"),
+                ));
+            }
+        }
+        ExprKind::IndexedSelect { width, .. } => {
+            if let Some(w) = a.const_eval(width) {
+                if w <= 0 {
+                    out.push(Diagnostic::new(
+                        Rule::ZeroWidth,
+                        expr.span,
+                        format!("indexed select of width {w} covers no bits"),
+                    ));
+                }
+            }
+        }
+        ExprKind::Replicate { count, .. } => {
+            if let Some(n) = a.const_eval(count) {
+                if n <= 0 {
+                    out.push(Diagnostic::new(
+                        Rule::ZeroWidth,
+                        expr.span,
+                        format!("replication count {n} produces no bits"),
+                    ));
+                }
+            }
+        }
+        _ => {}
+    };
+    for_each_module_expr(a.module, &mut |e| visit(e, out));
+}
+
+/// Visits every expression in the module body, recursively.
+fn for_each_module_expr<'a>(module: &'a Module, f: &mut dyn FnMut(&'a Expr)) {
+    fn deep<'a>(expr: &'a Expr, f: &mut dyn FnMut(&'a Expr)) {
+        f(expr);
+        match &expr.kind {
+            ExprKind::Unary { arg, .. } => deep(arg, f),
+            ExprKind::Binary { lhs, rhs, .. } => {
+                deep(lhs, f);
+                deep(rhs, f);
+            }
+            ExprKind::Ternary { cond, then, els } => {
+                deep(cond, f);
+                deep(then, f);
+                deep(els, f);
+            }
+            ExprKind::Index { base, index } => {
+                deep(base, f);
+                deep(index, f);
+            }
+            ExprKind::PartSelect { base, msb, lsb } => {
+                deep(base, f);
+                deep(msb, f);
+                deep(lsb, f);
+            }
+            ExprKind::IndexedSelect {
+                base, start, width, ..
+            } => {
+                deep(base, f);
+                deep(start, f);
+                deep(width, f);
+            }
+            ExprKind::Concat(items) => {
+                for item in items {
+                    deep(item, f);
+                }
+            }
+            ExprKind::Replicate { count, items } => {
+                deep(count, f);
+                for item in items {
+                    deep(item, f);
+                }
+            }
+            ExprKind::SysCall { args, .. } | ExprKind::Call { args, .. } => {
+                for arg in args {
+                    deep(arg, f);
+                }
+            }
+            _ => {}
+        }
+    }
+    fn stmt_exprs<'a>(stmt: &'a Stmt, f: &mut dyn FnMut(&'a Expr)) {
+        match &stmt.kind {
+            StmtKind::Assign {
+                lhs, delay, rhs, ..
+            } => {
+                deep(lhs, f);
+                if let Some(d) = delay {
+                    deep(d, f);
+                }
+                deep(rhs, f);
+            }
+            StmtKind::Block { stmts, .. } => {
+                for s in stmts {
+                    stmt_exprs(s, f);
+                }
+            }
+            StmtKind::If { cond, then, els } => {
+                deep(cond, f);
+                stmt_exprs(then, f);
+                if let Some(els) = els {
+                    stmt_exprs(els, f);
+                }
+            }
+            StmtKind::Case { expr, arms, .. } => {
+                deep(expr, f);
+                for arm in arms {
+                    for label in &arm.labels {
+                        deep(label, f);
+                    }
+                    stmt_exprs(&arm.body, f);
+                }
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                deep(&init.0, f);
+                deep(&init.1, f);
+                deep(cond, f);
+                deep(&step.0, f);
+                deep(&step.1, f);
+                stmt_exprs(body, f);
+            }
+            StmtKind::While { cond, body } => {
+                deep(cond, f);
+                stmt_exprs(body, f);
+            }
+            StmtKind::Repeat { count, body } => {
+                deep(count, f);
+                stmt_exprs(body, f);
+            }
+            StmtKind::Forever { body } => stmt_exprs(body, f),
+            StmtKind::Delay { amount, stmt } => {
+                deep(amount, f);
+                if let Some(s) = stmt {
+                    stmt_exprs(s, f);
+                }
+            }
+            StmtKind::Event { control, stmt } => {
+                if let vgen_verilog::ast::EventControl::List(terms) = control {
+                    for term in terms {
+                        deep(&term.expr, f);
+                    }
+                }
+                if let Some(s) = stmt {
+                    stmt_exprs(s, f);
+                }
+            }
+            StmtKind::Wait { cond, stmt } => {
+                deep(cond, f);
+                if let Some(s) = stmt {
+                    stmt_exprs(s, f);
+                }
+            }
+            StmtKind::SysCall { args, .. } | StmtKind::TaskCall { args, .. } => {
+                for arg in args {
+                    deep(arg, f);
+                }
+            }
+            StmtKind::Disable(_) | StmtKind::Null => {}
+        }
+    }
+    for item in &module.items {
+        match item {
+            Item::Decl(decl) => {
+                for d in &decl.names {
+                    if let Some(init) = &d.init {
+                        deep(init, f);
+                    }
+                }
+            }
+            Item::Param(p) => {
+                for (_, value) in &p.assigns {
+                    deep(value, f);
+                }
+            }
+            Item::Assign(ai) => {
+                for (lhs, rhs) in &ai.assigns {
+                    deep(lhs, f);
+                    deep(rhs, f);
+                }
+            }
+            Item::Always(al) => stmt_exprs(&al.body, f),
+            Item::Initial(init) => stmt_exprs(&init.body, f),
+            Item::Instance(inst) => {
+                for conn in inst.params.iter().chain(&inst.conns) {
+                    match conn {
+                        Connection::Named(_, Some(e)) => deep(e, f),
+                        Connection::Positional(e) => deep(e, f),
+                        Connection::Named(_, None) => {}
+                    }
+                }
+            }
+            Item::Gate(g) => {
+                for conn in &g.conns {
+                    deep(conn, f);
+                }
+            }
+            Item::Defparam { value, .. } => deep(value, f),
+            Item::Function(func) => stmt_exprs(&func.body, f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgen_verilog::parse;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let file = parse(src).expect("fixture parses");
+        let a = Analysis::build(&file, &file.modules[0]);
+        let mut out = Vec::new();
+        check(&a, &mut out);
+        out
+    }
+
+    #[test]
+    fn concat_truncation_is_flagged() {
+        let d = lint(
+            "module m(input [7:0] a, input [7:0] b, output [7:0] y);
+               assign y = {a, b};
+             endmodule",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::WidthMismatch);
+        assert!(d[0].message.contains("16-bit"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn literal_and_counter_idioms_are_exempt() {
+        let d = lint(
+            "module m(input clk, output reg [3:0] q);
+               always @(posedge clk) q <= q + 1;
+               initial q = 0;
+             endmodule",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn matching_widths_are_clean() {
+        let d = lint(
+            "module m(input [7:0] a, input [7:0] b, output [7:0] y);
+               assign y = a & b;
+             endmodule",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn wider_source_signal_is_flagged() {
+        let d = lint(
+            "module m(input [15:0] a, output [7:0] y);
+               assign y = a;
+             endmodule",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::WidthMismatch);
+    }
+
+    #[test]
+    fn part_select_narrowing_is_clean() {
+        let d = lint(
+            "module m(input [15:0] a, output [7:0] y);
+               assign y = a[7:0];
+             endmodule",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn zero_width_part_select_is_flagged() {
+        let d = lint(
+            "module m(input [7:0] a, output y);
+               assign y = a[0:1];
+             endmodule",
+        );
+        assert!(d.iter().any(|d| d.rule == Rule::ZeroWidth), "{d:?}");
+    }
+
+    #[test]
+    fn zero_replication_is_flagged() {
+        let d = lint(
+            "module m(input a, output [3:0] y);
+               assign y = {{0{a}}, 4'b0};
+             endmodule",
+        );
+        assert!(d.iter().any(|d| d.rule == Rule::ZeroWidth), "{d:?}");
+    }
+}

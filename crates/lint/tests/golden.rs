@@ -1,0 +1,57 @@
+//! Golden gate: the 17 reference solutions, every alternate solution, and
+//! every testbench must produce zero error-severity lint diagnostics.
+//!
+//! Warnings are allowed (some references legitimately leave signals unused
+//! or rely on idioms the warning rules flag conservatively); errors mean a
+//! rule's false-positive policy regressed. CI additionally snapshots the
+//! exact output via the `lint-golden` job.
+
+use vgen_lint::lint_source;
+use vgen_problems::problems;
+
+#[test]
+fn reference_solutions_have_no_lint_errors() {
+    for p in problems() {
+        for (i, source) in p.all_solutions().into_iter().enumerate() {
+            let report = lint_source(&source)
+                .unwrap_or_else(|e| panic!("problem {} solution {i} must parse: {e}", p.id));
+            assert!(
+                !report.has_errors(),
+                "problem {} solution {i} has lint errors:\n{}",
+                p.id,
+                report.render("solution.v", &source)
+            );
+        }
+    }
+}
+
+#[test]
+fn testbenches_have_no_lint_errors() {
+    for p in problems() {
+        // Testbenches are linted standalone: the DUT instance is unresolved,
+        // which exercises the conservative instance-connection policy.
+        let report = lint_source(p.testbench)
+            .unwrap_or_else(|e| panic!("problem {} testbench must parse: {e}", p.id));
+        assert!(
+            !report.has_errors(),
+            "problem {} testbench has lint errors:\n{}",
+            p.id,
+            report.render("tb.v", p.testbench)
+        );
+    }
+}
+
+#[test]
+fn full_reference_with_testbench_has_no_lint_errors() {
+    for p in problems() {
+        let source = format!("{}\n{}", p.reference_source(), p.testbench);
+        let report =
+            lint_source(&source).unwrap_or_else(|e| panic!("problem {} must parse: {e}", p.id));
+        assert!(
+            !report.has_errors(),
+            "problem {} reference+tb has lint errors:\n{}",
+            p.id,
+            report.render("full.v", &source)
+        );
+    }
+}

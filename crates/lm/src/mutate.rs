@@ -237,11 +237,20 @@ pub enum HostileOp {
     InstanceBomb,
     /// Replication counts that multiply into huge widths.
     ReplicationBomb,
+    /// Hundreds of conflicting drivers on the same signals (lint race
+    /// analysis must dedupe, not multiply).
+    DriverRace,
+    /// Deep incomplete if/case nests and giant sensitivity lists (lint
+    /// latch/path analysis must stay bounded).
+    LatchFarm,
+    /// Long and densely interlocking combinational cycles (lint dependency
+    /// graph traversal must stay linear and capped).
+    CombLoopChain,
 }
 
 impl HostileOp {
     /// All hostile kinds.
-    pub const ALL: [HostileOp; 11] = [
+    pub const ALL: [HostileOp; 14] = [
         HostileOp::DeepNesting,
         HostileOp::HugeVector,
         HostileOp::HugeMemory,
@@ -253,6 +262,9 @@ impl HostileOp {
         HostileOp::InfiniteLoop,
         HostileOp::InstanceBomb,
         HostileOp::ReplicationBomb,
+        HostileOp::DriverRace,
+        HostileOp::LatchFarm,
+        HostileOp::CombLoopChain,
     ];
 }
 
@@ -422,6 +434,113 @@ pub fn hostile_corpus() -> Vec<(HostileOp, String)> {
     out.push((
         HostileOp::ReplicationBomb,
         "wire [1023:0] w;\nassign w = {1024{a}};\nassign y = |{1024{w}};\nendmodule\n".to_string(),
+    ));
+
+    // Lint: one register with 400 conflicting always-block drivers. The
+    // race rule must report the signal once, not O(drivers²) times.
+    let mut storm = String::from("reg r;\n");
+    for i in 0..400 {
+        storm.push_str(&format!("always @* r = a ^ {}'d{i};\n", 16));
+    }
+    storm.push_str("assign y = r;\nendmodule\n");
+    out.push((HostileOp::DriverRace, storm));
+
+    // Lint: 300 signals each driven with both `=` and `<=` (mixed-style
+    // analysis over many independent signals).
+    let mut mixed = String::new();
+    for i in 0..300 {
+        mixed.push_str(&format!("reg m{i};\n"));
+    }
+    mixed.push_str("always @(posedge a) begin\n");
+    for i in 0..300 {
+        mixed.push_str(&format!("  m{i} = b;\n  m{i} <= a;\n"));
+    }
+    mixed.push_str("end\nassign y = m0;\nendmodule\n");
+    out.push((HostileOp::DriverRace, mixed));
+
+    // Lint: overlapping part-select drivers on a wide bus (the bit-range
+    // overlap test runs across every driver pair per signal).
+    let mut slices = String::from("wire [2047:0] bus;\n");
+    for i in 0..200 {
+        slices.push_str(&format!("assign bus[{}:{}] = {{16{{a}}}};\n", i + 16, i));
+    }
+    slices.push_str("assign y = bus[0];\nendmodule\n");
+    out.push((HostileOp::DriverRace, slices));
+
+    // Lint: a 300-deep else-less if nest (path-coverage analysis depth).
+    let mut nest = String::from("reg q;\nalways @* begin\n");
+    for i in 0..300 {
+        nest.push_str(&format!("if (a ^ b ^ {}'d{i}) begin\n", 16));
+    }
+    nest.push_str("q = a;\n");
+    nest.push_str(&"end\n".repeat(300));
+    nest.push_str("end\nassign y = q;\nendmodule\n");
+    out.push((HostileOp::LatchFarm, nest));
+
+    // Lint: a giant default-less case — 1023 of 1024 labels covered, so
+    // coverage counting must actually enumerate, then still report.
+    let mut case_bomb =
+        String::from("reg q;\nreg [9:0] sel;\nalways @* begin\nsel = {a, b, 8'd0};\ncase (sel)\n");
+    for i in 0..1023 {
+        case_bomb.push_str(&format!("10'd{i}: q = a;\n"));
+    }
+    case_bomb.push_str("endcase\nend\nassign y = q;\nendmodule\n");
+    out.push((HostileOp::LatchFarm, case_bomb));
+
+    // Lint: 500 signals read inside an always block whose sensitivity list
+    // names only one of them.
+    let mut sens = String::new();
+    for i in 0..500 {
+        sens.push_str(&format!("wire s{i} = a ^ b;\n"));
+    }
+    sens.push_str("reg q;\nalways @(s0) begin\nq = 1'b0;\n");
+    for i in 0..500 {
+        sens.push_str(&format!("q = q ^ s{i};\n"));
+    }
+    sens.push_str("end\nassign y = q;\nendmodule\n");
+    out.push((HostileOp::LatchFarm, sens));
+
+    // Lint: one combinational cycle threaded through 800 wires (loop
+    // detection must walk the whole ring without quadratic blow-up).
+    let mut ring = String::new();
+    for i in 0..800 {
+        ring.push_str(&format!(
+            "wire c{i};\nassign c{i} = c{} ^ a;\n",
+            (i + 1) % 800
+        ));
+    }
+    ring.push_str("assign y = c0;\nendmodule\n");
+    out.push((HostileOp::CombLoopChain, ring));
+
+    // Lint: a dense all-to-all dependency clique — every pair of signals
+    // forms a loop; reporting must stay capped, not enumerate them all.
+    let mut clique = String::new();
+    for i in 0..40 {
+        let terms: Vec<String> = (0..40)
+            .filter(|&j| j != i)
+            .map(|j| format!("k{j}"))
+            .collect();
+        clique.push_str(&format!(
+            "wire k{i};\nassign k{i} = {};\n",
+            terms.join(" ^ ")
+        ));
+    }
+    clique.push_str("assign y = k0;\nendmodule\n");
+    out.push((HostileOp::CombLoopChain, clique));
+
+    // Lint: feedback through an always @* block with deep control nesting.
+    out.push((
+        HostileOp::CombLoopChain,
+        "reg f;\nalways @* begin\nif (a) begin if (b) f = ~f; else f = f ^ a; end else f = f | b;\nend\nassign y = f;\nendmodule\n"
+            .to_string(),
+    ));
+
+    // Lint: zero-width part-selects in every syntactic position the width
+    // rule visits (decl inits, concats, replications).
+    out.push((
+        HostileOp::ZeroWidth,
+        "wire [7:0] w = {8{a}};\nwire z0 = w[3:4];\nwire z1 = |{w[3:4], w[0 +: 0]};\nwire z2 = &{0{w}};\nassign y = z0 ^ z1 ^ z2;\nendmodule\n"
+            .to_string(),
     ));
 
     out

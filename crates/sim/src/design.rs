@@ -423,6 +423,15 @@ impl Design {
     pub fn memory(&self, id: MemoryId) -> &Memory {
         &self.memories[id.0 as usize]
     }
+
+    /// The elaborated bit width of a signal, by hierarchical name.
+    ///
+    /// Convenience for analyses (e.g. `vgen-lint` width checks) that want
+    /// the elaborator's authoritative width — parameters folded, ranges
+    /// evaluated — without tracking [`SignalId`]s.
+    pub fn signal_width(&self, name: &str) -> Option<usize> {
+        self.signal_by_name(name).map(|id| self.signal(id).width)
+    }
 }
 
 impl EExpr {

@@ -21,6 +21,11 @@ impl ParseError {
         }
     }
 
+    /// The 1-based line/column of the error start, resolved against `src`.
+    pub fn line_col(&self, src: &str) -> crate::span::LineCol {
+        LineMap::new(src).line_col(self.span.start)
+    }
+
     /// Renders the error with line/column information resolved against `src`.
     ///
     /// ```
@@ -29,8 +34,20 @@ impl ParseError {
     /// assert_eq!(err.render("abc\n;"), "2:1: unexpected `;`");
     /// ```
     pub fn render(&self, src: &str) -> String {
-        let lc = LineMap::new(src).line_col(self.span.start);
-        format!("{lc}: {}", self.message)
+        format!("{}: {}", self.line_col(src), self.message)
+    }
+
+    /// Renders the error as `file:line:col: message` — the same location
+    /// format lint diagnostics use, so parse errors and lint findings are
+    /// interchangeable in tool output.
+    ///
+    /// ```
+    /// use vgen_verilog::{error::ParseError, span::Span};
+    /// let err = ParseError::new("unexpected `;`", Span::new(4, 5));
+    /// assert_eq!(err.render_named("t.v", "abc\n;"), "t.v:2:1: unexpected `;`");
+    /// ```
+    pub fn render_named(&self, file: &str, src: &str) -> String {
+        format!("{file}:{}: {}", self.line_col(src), self.message)
     }
 }
 
@@ -50,6 +67,14 @@ mod tests {
     fn render_resolves_line_col() {
         let err = ParseError::new("boom", Span::new(6, 7));
         assert_eq!(err.render("ab\ncd\nef"), "3:1: boom");
+        let lc = err.line_col("ab\ncd\nef");
+        assert_eq!((lc.line, lc.col), (3, 1));
+    }
+
+    #[test]
+    fn render_named_includes_file() {
+        let err = ParseError::new("boom", Span::new(6, 7));
+        assert_eq!(err.render_named("x.v", "ab\ncd\nef"), "x.v:3:1: boom");
     }
 
     #[test]

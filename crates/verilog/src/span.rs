@@ -120,6 +120,23 @@ impl LineMap {
             col: offset - self.line_starts[line_idx] + 1,
         }
     }
+
+    /// Resolves both endpoints of a span, so diagnostics carry full
+    /// line/column information rather than bare byte offsets.
+    pub fn span_line_cols(&self, span: Span) -> (LineCol, LineCol) {
+        (self.line_col(span.start), self.line_col(span.end))
+    }
+
+    /// The byte offset where 1-based `line` starts, if the source has that
+    /// many lines.
+    pub fn line_start(&self, line: u32) -> Option<u32> {
+        self.line_starts.get(line as usize - 1).copied()
+    }
+
+    /// Number of lines in the mapped source (at least 1).
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
 }
 
 #[cfg(test)]
@@ -170,5 +187,23 @@ mod tests {
     fn line_map_empty_source() {
         let map = LineMap::new("");
         assert_eq!(map.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(map.line_count(), 1);
+    }
+
+    #[test]
+    fn span_line_cols_resolves_both_ends() {
+        let map = LineMap::new("abc\ndef\nghi");
+        let (start, end) = map.span_line_cols(Span::new(4, 9));
+        assert_eq!(start, LineCol { line: 2, col: 1 });
+        assert_eq!(end, LineCol { line: 3, col: 2 });
+    }
+
+    #[test]
+    fn line_start_lookup() {
+        let map = LineMap::new("ab\ncd\nef");
+        assert_eq!(map.line_start(1), Some(0));
+        assert_eq!(map.line_start(2), Some(3));
+        assert_eq!(map.line_start(3), Some(6));
+        assert_eq!(map.line_start(4), None);
     }
 }

@@ -3,6 +3,8 @@
 //!
 //! ```text
 //! vgen check <file.v>                    syntax + elaboration check
+//! vgen lint <file.v>... [--json]         semantic lint (races, latches, ...)
+//! vgen lint --problems [--json]          lint the 17 reference solutions
 //! vgen sim <file.v> [--top M] [--vcd F]  run the event-driven simulator
 //! vgen synth <file.v>                    synthesize and print a summary
 //! vgen problems                          list the 17 benchmark problems
@@ -23,6 +25,7 @@ fn main() -> ExitCode {
     let rest: Vec<&String> = it.collect();
     let result = match cmd.as_str() {
         "check" => cmd_check(&rest),
+        "lint" => cmd_lint(&rest),
         "sim" => cmd_sim(&rest),
         "synth" => cmd_synth(&rest),
         "problems" => cmd_problems(),
@@ -48,6 +51,12 @@ vgen — the VGen-RS Verilog toolchain
 
 USAGE:
   vgen check <file.v>                     syntax + elaboration check
+  vgen lint <file.v>... [--json]          semantic lint: races, inferred
+                                          latches, combinational loops,
+                                          width hazards; exits non-zero on
+                                          error-severity findings
+  vgen lint --problems [--json]           lint every benchmark reference
+                                          solution and testbench
   vgen sim <file.v> [--top M] [--vcd F] [--max-time N]
   vgen synth <file.v>                     synthesize, print netlist summary
   vgen problems                           list the benchmark problems
@@ -65,7 +74,7 @@ USAGE:
 ";
 
 /// Flags that take no value (everything else consumes the next argument).
-const BOOL_FLAGS: &[&str] = &["--resume", "--full"];
+const BOOL_FLAGS: &[&str] = &["--resume", "--full", "--json", "--problems"];
 
 fn flag_value<'a>(rest: &'a [&String], name: &str) -> Option<&'a str> {
     rest.iter()
@@ -103,13 +112,92 @@ fn cmd_check(rest: &[&String]) -> Result<(), String> {
     let pos = positional(rest);
     let path = pos.first().ok_or("usage: vgen check <file.v>")?;
     let src = read_file(path)?;
-    let file = vgen::verilog::parse(&src).map_err(|e| e.render(&src))?;
+    let file = vgen::verilog::parse(&src).map_err(|e| e.render_named(path, &src))?;
     for m in &file.modules {
         vgen::sim::elab::elaborate(&file, &m.name)
             .map_err(|e| format!("module `{}`: {e}", m.name))?;
         println!("module `{}`: OK", m.name);
     }
     Ok(())
+}
+
+/// One linted source: display name, text, and its report.
+struct LintedFile {
+    name: String,
+    src: String,
+    report: vgen::lint::LintReport,
+}
+
+fn cmd_lint(rest: &[&String]) -> Result<(), String> {
+    let json = has_flag(rest, "--json");
+    let mut linted: Vec<LintedFile> = Vec::new();
+    if has_flag(rest, "--problems") {
+        // The golden set: every reference solution and testbench.
+        for p in vgen::problems::problems() {
+            for (name, src) in [
+                (format!("problem{:02}.v", p.id), p.reference_source()),
+                (format!("problem{:02}_tb.v", p.id), p.testbench.to_string()),
+            ] {
+                let report =
+                    vgen::lint::lint_source(&src).map_err(|e| e.render_named(&name, &src))?;
+                linted.push(LintedFile { name, src, report });
+            }
+        }
+    } else {
+        let pos = positional(rest);
+        if pos.is_empty() {
+            return Err("usage: vgen lint <file.v>... [--json] | vgen lint --problems".into());
+        }
+        for path in pos {
+            let src = read_file(path)?;
+            let report = vgen::lint::lint_source(&src).map_err(|e| e.render_named(path, &src))?;
+            linted.push(LintedFile {
+                name: path.to_string(),
+                src,
+                report,
+            });
+        }
+    }
+    if json {
+        print!("{}", lint_reports_json(&linted));
+    } else {
+        for f in &linted {
+            print!("{}", f.report.render(&f.name, &f.src));
+        }
+        let errors: u32 = linted.iter().map(|f| f.report.error_count()).sum();
+        let warnings: u32 = linted.iter().map(|f| f.report.warning_count()).sum();
+        println!(
+            "{} file(s) linted: {errors} error(s), {warnings} warning(s)",
+            linted.len()
+        );
+    }
+    if linted.iter().any(|f| f.report.has_errors()) {
+        Err("lint reported errors".into())
+    } else {
+        Ok(())
+    }
+}
+
+/// Merges per-file JSON diagnostic arrays into one flat array (each entry
+/// already names its file).
+fn lint_reports_json(linted: &[LintedFile]) -> String {
+    let mut items: Vec<String> = Vec::new();
+    for f in linted {
+        let arr = f.report.to_json(&f.name, &f.src);
+        let inner = arr
+            .trim()
+            .trim_start_matches('[')
+            .trim_end_matches(']')
+            .trim();
+        if !inner.is_empty() {
+            items.push(inner.to_string());
+        }
+    }
+    if items.is_empty() {
+        "[]\n".to_string()
+    } else {
+        format!("[\n  {}\n]\n", items.join(",\n  "))
+    }
 }
 
 fn cmd_sim(rest: &[&String]) -> Result<(), String> {
@@ -164,8 +252,13 @@ fn cmd_synth(rest: &[&String]) -> Result<(), String> {
     let src = read_file(path)?;
     let result = vgen::synth::synthesize_source(&src).map_err(|e| e.to_string())?;
     println!("{}", result.netlist.summary());
+    let map = vgen::verilog::span::LineMap::new(&src);
     for w in &result.warnings {
-        println!("warning: {}", w.message);
+        println!(
+            "warning: {path}:{}: {}",
+            map.line_col(w.span.start),
+            w.message
+        );
     }
     Ok(())
 }

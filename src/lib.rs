@@ -15,7 +15,9 @@
 //! * [`problems`] — the 17-problem benchmark with L/M/H prompts and
 //!   self-checking testbenches,
 //! * [`core`] — the evaluation framework: compile/functional checks,
-//!   Pass@(scenario·n), parameter sweeps and table/figure reports.
+//!   Pass@(scenario·n), parameter sweeps and table/figure reports,
+//! * [`lint`] — semantic static analysis (races, latches, combinational
+//!   loops, width hazards) surfacing passed-but-hazardous completions.
 //!
 //! ```
 //! use vgen::core::check::{check_completion, CheckOutcome};
@@ -36,6 +38,7 @@
 
 pub use vgen_core as core;
 pub use vgen_corpus as corpus;
+pub use vgen_lint as lint;
 pub use vgen_lm as lm;
 pub use vgen_problems as problems;
 pub use vgen_sim as sim;

@@ -52,6 +52,90 @@ fn check_rejects_broken_file() {
 }
 
 #[test]
+fn lint_clean_file_exits_zero() {
+    let path = write_temp("lint_ok.v", COUNTER);
+    let out = vgen()
+        .args(["lint", path.to_str().expect("utf8")])
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0 error(s)"), "{text}");
+}
+
+#[test]
+fn lint_reports_hazards_with_positions() {
+    let path = write_temp(
+        "lint_racy.v",
+        "module m(input a, input b, output y);\nassign y = a;\nassign y = b;\nendmodule\n",
+    );
+    let out = vgen()
+        .args(["lint", path.to_str().expect("utf8")])
+        .output()
+        .expect("run");
+    assert!(!out.status.success(), "errors must fail the command");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("error[multi-driven-net]"), "{text}");
+    // rustc-style position: file:line:col on the offending driver.
+    assert!(text.contains("lint_racy.v:3:8"), "{text}");
+    assert!(text.contains("^"), "{text}");
+}
+
+#[test]
+fn lint_json_is_machine_readable() {
+    let latchy =
+        "module m(input en, input d, output reg q);\nalways @* if (en) q = d;\nendmodule\n";
+    let racy = "module m(input a, input b, output y);\nassign y = a;\nassign y = b;\nendmodule\n";
+    let p1 = write_temp("lint_j1.v", latchy);
+    let p2 = write_temp("lint_j2.v", racy);
+    let out = vgen()
+        .args([
+            "lint",
+            p1.to_str().expect("utf8"),
+            p2.to_str().expect("utf8"),
+            "--json",
+        ])
+        .output()
+        .expect("run");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.trim_start().starts_with('['), "{text}");
+    assert!(text.trim_end().ends_with(']'), "{text}");
+    assert!(text.contains("\"rule\": \"inferred-latch\""), "{text}");
+    assert!(text.contains("\"rule\": \"multi-driven-net\""), "{text}");
+    assert!(text.contains("lint_j1.v"), "{text}");
+    assert!(text.contains("lint_j2.v"), "{text}");
+}
+
+#[test]
+fn lint_problems_golden_set_is_error_free() {
+    let out = vgen().args(["lint", "--problems"]).output().expect("run");
+    assert!(
+        out.status.success(),
+        "reference solutions must stay lint-error-free:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("34 file(s) linted"), "{text}");
+    assert!(text.contains("0 error(s)"), "{text}");
+}
+
+#[test]
+fn check_errors_carry_line_and_column() {
+    let path = write_temp("bad_pos.v", "module m(input a output y); endmodule");
+    let out = vgen()
+        .args(["check", path.to_str().expect("utf8")])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("bad_pos.v:1:"), "{err}");
+}
+
+#[test]
 fn sim_runs_a_testbench() {
     let src = format!(
         "{COUNTER}\nmodule tb;\nreg clk, reset;\nwire [3:0] q;\n\

@@ -1,0 +1,232 @@
+//! Lint totality: the lint rules must *terminate* and *never panic* on any
+//! input that parses — including the adversarial corpus built to exhaust
+//! checker resources and randomly generated procedural soup.
+//!
+//! The lint stage runs inside the eval sweep's per-check guard, so a panic
+//! would only cost one record — but it would also silently drop that
+//! record's tallies, so totality is tested directly here, outside the
+//! guard's safety net.
+
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use vgen::core::check::assemble;
+use vgen::core::guard::catch_harness_fault;
+use vgen::lint::{lint_source, MAX_DIAGNOSTICS};
+use vgen::lm::mutate::hostile_corpus;
+use vgen::problems::{problem, PromptLevel};
+
+/// Wall-clock ceiling per lint run. Generously above anything observed
+/// (hostile entries lint in milliseconds) while still failing the build if
+/// a rule goes quadratic on an adversarial shape.
+const LINT_BUDGET: Duration = Duration::from_secs(10);
+
+/// Runs `f` the way the eval sweep runs lint: on a dedicated thread with
+/// the guard's 8 MiB stack, panics converted to `Err`. Totality is a claim
+/// about that environment, not about whatever stack the test runner left us.
+fn on_guard_stack<T: Send>(f: impl FnOnce() -> T + Send) -> Result<T, String> {
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .stack_size(8 * 1024 * 1024)
+            .spawn_scoped(scope, || catch_harness_fault(f))
+            .expect("spawn lint thread")
+            .join()
+            .unwrap_or_else(|_| Err("lint thread died".to_string()))
+    })
+}
+
+#[test]
+fn hostile_corpus_lint_is_total_and_bounded() {
+    let p = problem(2).expect("problem 2 (and_gate) exists");
+    for (op, completion) in hostile_corpus() {
+        let source = assemble(p, PromptLevel::Low, &completion);
+        let start = Instant::now();
+        // Parse rejection is a fine way to survive; only parsed sources lint.
+        let outcome = on_guard_stack(|| lint_source(&source).ok().map(|r| r.diagnostics.len()));
+        let elapsed = start.elapsed();
+        match outcome {
+            Ok(Some(n)) => assert!(
+                n <= MAX_DIAGNOSTICS,
+                "{op:?} produced {n} diagnostics, above the cap"
+            ),
+            Ok(None) => {}
+            Err(msg) => panic!("lint panicked on hostile input {op:?}: {msg}"),
+        }
+        assert!(
+            elapsed < LINT_BUDGET,
+            "lint on {op:?} took {elapsed:?} — a rule is not bounded"
+        );
+    }
+}
+
+// --------------------------------------------------- random source synthesis
+//
+// The vendored proptest has no combinator strategies, so the generator is a
+// plain recursive-descent sampler over a seeded RNG: the property draws one
+// `u64` seed per case and everything else is derived from it, keeping cases
+// reproducible from the proptest case number alone.
+
+/// Signal names the generator draws from — a mix of declared and undeclared
+/// identifiers so the rules see implicit nets and unknown symbols too.
+fn gen_ident(rng: &mut StdRng) -> String {
+    const NAMES: [&str; 10] = [
+        "a", "b", "y", "w0", "w1", "q0", "q1", "q2", "mem", "ghost", // never declared
+    ];
+    NAMES[rng.gen_range(0..NAMES.len())].to_string()
+}
+
+fn gen_expr(rng: &mut StdRng, depth: u32) -> String {
+    if depth == 0 || rng.gen_range(0u32..4) == 0 {
+        // Leaf: identifier, decimal, sized literal, or an x literal.
+        return match rng.gen_range(0u32..4) {
+            0 => gen_ident(rng),
+            1 => rng.gen_range(0u64..1024).to_string(),
+            2 => format!("{}'d{}", rng.gen_range(1u32..64), rng.gen_range(0u64..256)),
+            _ => "'bx".to_string(),
+        };
+    }
+    match rng.gen_range(0u32..9) {
+        0 => {
+            const OPS: [&str; 10] = ["+", "-", "*", "&", "|", "^", "==", "<", "<<", ">>"];
+            let op = OPS[rng.gen_range(0..OPS.len())];
+            format!(
+                "({} {op} {})",
+                gen_expr(rng, depth - 1),
+                gen_expr(rng, depth - 1)
+            )
+        }
+        1 => format!(
+            "({} ? {} : {})",
+            gen_expr(rng, depth - 1),
+            gen_expr(rng, depth - 1),
+            gen_expr(rng, depth - 1)
+        ),
+        2 => format!(
+            "{}[{}:{}]",
+            gen_ident(rng),
+            rng.gen_range(-4i64..40),
+            rng.gen_range(-4i64..40)
+        ),
+        3 => format!("{}[{}]", gen_ident(rng), rng.gen_range(0i64..40)),
+        4 => format!("{}[{}]", gen_ident(rng), gen_expr(rng, depth - 1)),
+        5 => format!(
+            "{{{}{{{}}}}}",
+            rng.gen_range(0u64..5),
+            gen_expr(rng, depth - 1)
+        ),
+        6 => {
+            let parts: Vec<String> = (0..rng.gen_range(1usize..4))
+                .map(|_| gen_expr(rng, depth - 1))
+                .collect();
+            format!("{{{}}}", parts.join(", "))
+        }
+        7 => format!("~{}", gen_expr(rng, depth - 1)),
+        _ => format!("|{}", gen_expr(rng, depth - 1)),
+    }
+}
+
+fn gen_stmt(rng: &mut StdRng, depth: u32) -> String {
+    if depth == 0 || rng.gen_range(0u32..3) == 0 {
+        const TARGETS: [&str; 3] = ["q0", "q1", "q2"];
+        let target = TARGETS[rng.gen_range(0..TARGETS.len())];
+        let op = if rng.gen::<bool>() { "=" } else { "<=" };
+        return format!("{target} {op} {};", gen_expr(rng, 3));
+    }
+    match rng.gen_range(0u32..6) {
+        0 => format!("if ({}) {}", gen_expr(rng, 2), gen_stmt(rng, depth - 1)),
+        1 => format!(
+            "if ({}) {} else {}",
+            gen_expr(rng, 2),
+            gen_stmt(rng, depth - 1),
+            gen_stmt(rng, depth - 1)
+        ),
+        2 => {
+            // Case with or without a default arm — the latter is latch bait.
+            let second = if rng.gen::<bool>() {
+                format!("default: {}", gen_stmt(rng, depth - 1))
+            } else {
+                format!("2'd1: {}", gen_stmt(rng, depth - 1))
+            };
+            format!(
+                "case ({}) 2'd0: {} {second} endcase",
+                gen_expr(rng, 2),
+                gen_stmt(rng, depth - 1)
+            )
+        }
+        3 => format!(
+            "begin {} {} end",
+            gen_stmt(rng, depth - 1),
+            gen_stmt(rng, depth - 1)
+        ),
+        4 => format!(
+            "repeat ({}) {}",
+            rng.gen_range(0u64..4),
+            gen_stmt(rng, depth - 1)
+        ),
+        _ => format!("for (i = 0; i < 4; i = i + 1) {}", gen_stmt(rng, depth - 1)),
+    }
+}
+
+fn gen_item(rng: &mut StdRng) -> String {
+    const SENS: [&str; 5] = [
+        "@*",
+        "@(posedge a)",
+        "@(a)",
+        "@(a or b)",
+        "@(posedge a or negedge b)",
+    ];
+    match rng.gen_range(0u32..4) {
+        0 => format!("assign {} = {};", gen_ident(rng), gen_expr(rng, 3)),
+        1 => format!(
+            "always {} begin {} end",
+            SENS[rng.gen_range(0..SENS.len())],
+            gen_stmt(rng, 3)
+        ),
+        2 => format!("initial begin {} end", gen_stmt(rng, 3)),
+        _ => format!("wire scratch = {};", gen_expr(rng, 3)),
+    }
+}
+
+fn gen_module(seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let items: Vec<String> = (0..rng.gen_range(0usize..6))
+        .map(|_| gen_item(&mut rng))
+        .collect();
+    format!(
+        "module fuzz(input a, input b, output y);\n\
+         wire [3:0] w0;\nwire [7:0] w1;\n\
+         reg [3:0] q0;\nreg q1;\nreg [15:0] q2;\n\
+         reg [7:0] mem [0:3];\ninteger i;\n\
+         {}\nassign y = q1;\nendmodule\n",
+        items.join("\n")
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any generated module that parses must lint without panicking,
+    /// within the diagnostics cap, deterministically, and fast.
+    #[test]
+    fn lint_is_total_on_generated_modules(seed in any::<u64>()) {
+        let src = gen_module(seed);
+        let start = Instant::now();
+        let outcome = on_guard_stack(|| lint_source(&src).ok());
+        prop_assert!(start.elapsed() < LINT_BUDGET, "lint exceeded its budget");
+        match outcome {
+            Ok(Some(report)) => {
+                prop_assert!(report.diagnostics.len() <= MAX_DIAGNOSTICS);
+                // Linting is a pure function of the source.
+                let again = lint_source(&src).expect("parsed once, parses again");
+                prop_assert_eq!(report, again, "lint must be deterministic");
+            }
+            Ok(None) => {} // did not parse; nothing to lint
+            Err(msg) => {
+                return Err(TestCaseError::Fail(format!("lint panicked: {msg}\n{src}")));
+            }
+        }
+    }
+}
