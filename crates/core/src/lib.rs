@@ -41,5 +41,6 @@ pub use pool::{ReorderBuffer, WorkerPool};
 pub use report::{headline_stats, render_eval_summary, render_fault_summary, Headline, ModelRun};
 pub use sweep::{
     config_fingerprint, read_journal, run_engine, run_engine_journaled, run_engine_parallel,
-    run_engine_sweep, EvalConfig, EvalRun, Record, SweepOptions,
+    run_engine_sweep, run_engine_sweep_stats, EvalConfig, EvalRun, Record, SweepOptions,
+    SweepStats,
 };

@@ -31,6 +31,8 @@
 //!    run therefore leaves the same contiguous-prefix journal a killed
 //!    serial run would, and `--resume` composes unchanged.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::io::{self, BufRead, IsTerminal, Write};
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -242,6 +244,12 @@ pub struct SweepOptions {
     /// from the merge loop. Callers should gate this on stdout being a
     /// TTY ([`SweepOptions::progress_auto`]) so CI logs stay clean.
     pub progress: bool,
+    /// Completion-dedup cache (on by default): identical completion texts
+    /// for the same (problem, prompt level) are compiled and simulated
+    /// once, and every duplicate replays the cached outcome. Checks are
+    /// deterministic in those inputs, so reports and journals are
+    /// byte-identical with the cache on or off.
+    pub dedup: bool,
 }
 
 impl Default for SweepOptions {
@@ -249,6 +257,7 @@ impl Default for SweepOptions {
         SweepOptions {
             jobs: 1,
             progress: false,
+            dedup: true,
         }
     }
 }
@@ -263,7 +272,7 @@ impl SweepOptions {
     pub fn parallel(jobs: usize) -> Self {
         SweepOptions {
             jobs,
-            progress: false,
+            ..Self::default()
         }
     }
 
@@ -377,6 +386,80 @@ fn check_item(item: &WorkItem, sim: SimConfig) -> Record {
         &item.completion,
         sim,
     )
+}
+
+/// Cache key for the completion-dedup cache: a fingerprint of the
+/// (problem, prompt level) pair and the FNV-1a hash of the completion
+/// text. `config.sim` is fixed for the duration of a sweep, so these are
+/// the only check inputs that can change an outcome.
+fn dedup_key(item: &WorkItem) -> (u64, u64) {
+    let fp = fnv1a(format!("{}:{}", item.problem.id, item.level.tag()).as_bytes());
+    (fp, fnv1a(item.completion.text.as_bytes()))
+}
+
+/// The outcome fields of one checked completion as stored in the dedup
+/// cache. Per-sample fields (grid coordinates, latency) come from the
+/// duplicate's own [`ItemMeta`] at replay time, so a replayed [`Record`] is
+/// identical to what a fresh check of the same text would have produced.
+/// Harness faults are cached too: the guard makes them deterministic per
+/// completion text, and skipping them would make hit counts differ between
+/// the serial and parallel paths.
+#[derive(Clone)]
+struct CachedCheck {
+    compiled: bool,
+    passed: bool,
+    fault: bool,
+    lint: Option<LintCounts>,
+}
+
+impl CachedCheck {
+    fn of(rec: &Record) -> CachedCheck {
+        CachedCheck {
+            compiled: rec.compiled,
+            passed: rec.passed,
+            fault: rec.fault,
+            lint: rec.lint.clone(),
+        }
+    }
+
+    fn replay(&self, meta: ItemMeta) -> Record {
+        Record {
+            problem_id: meta.problem_id,
+            difficulty: meta.difficulty,
+            level: meta.level,
+            temperature: meta.temperature,
+            n: meta.n,
+            compiled: self.compiled,
+            passed: self.passed,
+            fault: self.fault,
+            latency_s: meta.latency_s,
+            lint: self.lint.clone(),
+        }
+    }
+}
+
+/// Execution statistics from one sweep. Deliberately *not* part of
+/// [`EvalRun`]: reports and determinism comparisons are over records only,
+/// which is what keeps output byte-identical across cache and job settings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Completions actually compiled and simulated this run.
+    pub checks_run: usize,
+    /// Completions replayed from the dedup cache.
+    pub cache_hits: usize,
+}
+
+impl SweepStats {
+    /// Fraction of this run's checks served from the cache (0 when the
+    /// run was empty).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.checks_run + self.cache_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// The generate phase: walks the grid in its (deterministic) canonical
@@ -674,6 +757,22 @@ pub fn run_engine_sweep(
     journal: Option<(&Path, bool)>,
     opts: &SweepOptions,
 ) -> io::Result<EvalRun> {
+    run_engine_sweep_stats(engine, config, journal, opts).map(|(run, _)| run)
+}
+
+/// [`run_engine_sweep`] that additionally reports [`SweepStats`] (checks
+/// executed vs dedup-cache hits). The returned [`EvalRun`] is identical to
+/// [`run_engine_sweep`]'s for the same inputs.
+///
+/// # Errors
+///
+/// As for [`run_engine_sweep`].
+pub fn run_engine_sweep_stats(
+    engine: &mut dyn CompletionEngine,
+    config: &EvalConfig,
+    journal: Option<(&Path, bool)>,
+    opts: &SweepOptions,
+) -> io::Result<(EvalRun, SweepStats)> {
     let name = engine.name();
     let fp = config_fingerprint(config);
     let mut prior: Vec<Record> = Vec::new();
@@ -716,11 +815,38 @@ pub fn run_engine_sweep(
     let mut progress = Progress::new(opts.progress, total, done_prior);
     let mut records = prior;
     let jobs = opts.effective_jobs();
+    let mut stats = SweepStats::default();
+    // The dedup cache is never seeded from resumed (prior) records: v1
+    // journals carry no lint field, and replaying their `lint: None` into
+    // fresh duplicates would make a resumed run differ from a fresh one.
+    // Duplicates of prior completions simply get checked again.
+    let use_cache = opts.dedup;
 
     if jobs <= 1 {
-        // Serial path: check inline, in canonical order.
+        // Serial path: check inline, in canonical order, consulting the
+        // cache before each check.
+        let mut cache: HashMap<(u64, u64), CachedCheck> = HashMap::new();
         for item in items.into_iter().skip(done_prior) {
-            let rec = check_item(&item, config.sim);
+            let key = dedup_key(&item);
+            let cached = if use_cache {
+                cache.get(&key).cloned()
+            } else {
+                None
+            };
+            let rec = match cached {
+                Some(hit) => {
+                    stats.cache_hits += 1;
+                    hit.replay(item.meta())
+                }
+                None => {
+                    let rec = check_item(&item, config.sim);
+                    stats.checks_run += 1;
+                    if use_cache {
+                        cache.insert(key, CachedCheck::of(&rec));
+                    }
+                    rec
+                }
+            };
             if let Some(w) = &writer {
                 w.write(rec.to_journal_line());
             }
@@ -733,18 +859,40 @@ pub fn run_engine_sweep(
         let metas: Vec<ItemMeta> = items.iter().skip(done_prior).map(WorkItem::meta).collect();
         let pool: WorkerPool<Record> = WorkerPool::new(jobs);
         let sim = config.sim;
+        // Leader/follower dedup: the first item (in canonical order) for
+        // each key is submitted as its leader; later duplicates are parked
+        // under the leader's position and replayed when its result
+        // arrives. Leaders are picked in the same order the serial path
+        // consults its cache, so hit counts — and every record — are
+        // identical across `--jobs` values.
+        let mut leader_of: HashMap<(u64, u64), usize> = HashMap::new();
+        let mut followers: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut submitted = 0usize;
         for item in items.into_iter().skip(done_prior) {
+            if use_cache {
+                match leader_of.entry(dedup_key(&item)) {
+                    Entry::Occupied(leader) => {
+                        followers.entry(*leader.get()).or_default().push(item.pos);
+                        stats.cache_hits += 1;
+                        continue;
+                    }
+                    Entry::Vacant(slot) => {
+                        slot.insert(item.pos);
+                    }
+                }
+            }
             pool.submit(item.pos, move || check_item(&item, sim));
+            submitted += 1;
         }
-        let outstanding = total - done_prior;
+        stats.checks_run = submitted;
         let mut reorder = ReorderBuffer::new(done_prior);
-        for _ in 0..outstanding {
+        for received in 0..submitted {
             let (pos, result) = pool.recv_timeout(RESULT_TIMEOUT).map_err(|_| {
                 io::Error::new(
                     io::ErrorKind::TimedOut,
                     format!(
-                        "worker pool stalled: {} of {outstanding} checks outstanding",
-                        outstanding - (progress.completed_this_run + reorder.pending_len())
+                        "worker pool stalled: {} of {submitted} submitted checks outstanding",
+                        submitted - received
                     ),
                 )
             })?;
@@ -756,6 +904,15 @@ pub fn run_engine_sweep(
                 // costs exactly one fault record, like any harness fault.
                 Err(_panic_msg) => metas[pos - done_prior].fault_record(),
             };
+            // Replay the leader's outcome into its parked duplicates.
+            // Duplicate positions are always greater than the leader's, so
+            // pushing them here keeps the reorder buffer contiguous.
+            if let Some(dups) = followers.remove(&pos) {
+                let cached = CachedCheck::of(&rec);
+                for dup in dups {
+                    reorder.push(dup, cached.replay(metas[dup - done_prior]));
+                }
+            }
             reorder.push(pos, rec);
             while let Some(rec) = reorder.pop_ready() {
                 if let Some(w) = &writer {
@@ -766,6 +923,7 @@ pub fn run_engine_sweep(
             }
         }
         debug_assert_eq!(reorder.pending_len(), 0, "reorder buffer drained");
+        debug_assert!(followers.is_empty(), "every follower replayed");
         pool.shutdown();
     }
 
@@ -774,10 +932,13 @@ pub fn run_engine_sweep(
     if let Some(w) = writer {
         w.finish()?;
     }
-    Ok(EvalRun {
-        engine: name,
-        records,
-    })
+    Ok((
+        EvalRun {
+            engine: name,
+            records,
+        },
+        stats,
+    ))
 }
 
 impl EvalRun {

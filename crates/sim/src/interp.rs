@@ -230,19 +230,7 @@ pub fn eval(design: &Design, state: &mut State, e: &EExpr) -> Result<LogicVec, R
                     // IEEE: merge bitwise; differing bits become x.
                     let a = eval(design, state, then)?;
                     let b = eval(design, state, els)?;
-                    let w = a.width().max(b.width());
-                    let a = a.resize(w);
-                    let b = b.resize(w);
-                    let bits: Vec<Logic> = (0..w)
-                        .map(|i| {
-                            if a.bit(i) == b.bit(i) && !a.bit(i).is_unknown() {
-                                a.bit(i)
-                            } else {
-                                Logic::X
-                            }
-                        })
-                        .collect();
-                    Ok(LogicVec::from_bits(bits, false))
+                    Ok(a.merge_unknown(&b))
                 }
             }
         }
@@ -597,19 +585,11 @@ pub fn apply_write(
             }
         }
         ResolvedLValue::Bits { sig, hi, lo } => {
-            let width = hi - lo + 1;
-            let v = value.resize(width);
-            let old = state.signals[sig.0 as usize].clone();
-            let mut bits: Vec<Logic> = old.bits().to_vec();
-            for (k, slot) in (*lo..=*hi).enumerate() {
-                if slot < bits.len() {
-                    bits[slot] = v.bit(k);
-                }
-            }
-            let new = LogicVec::from_bits(bits, old.is_signed());
-            if old != new {
-                state.signals[sig.0 as usize] = new;
-                changes.signals.push((*sig, old));
+            let old = &state.signals[sig.0 as usize];
+            let new = old.with_range(*hi, *lo, value);
+            if *old != new {
+                let prev = std::mem::replace(&mut state.signals[sig.0 as usize], new);
+                changes.signals.push((*sig, prev));
             }
         }
         ResolvedLValue::MemWord { mem, offset } => {

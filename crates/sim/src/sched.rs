@@ -5,12 +5,15 @@
 //! assignments, continuous re-evaluation), an **inactive** region (`#0`
 //! delays), an **NBA** region (non-blocking assignment commits) and a
 //! **monitor** phase at the end of each time step. Future events live in a
-//! time-ordered map.
+//! min-heap of `(time, seq)`-stamped entries; the sequence counter keeps
+//! wakeups at the same timestamp in FIFO order.
 //!
 //! Every process is a tiny VM over [`Instr`]; blocking
 //! on a delay or event just parks the program counter.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 use vgen_verilog::value::LogicVec;
 
@@ -138,6 +141,27 @@ struct MonitorSpec {
     last_rendered: Option<String>,
 }
 
+/// A scheduled process wakeup. Ordered by `(time, seq)` so a min-heap pops
+/// timestamps in order and, within one timestamp, in scheduling (FIFO) order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FutureEvent {
+    time: u64,
+    seq: u64,
+    pid: ProcessId,
+}
+
+impl Ord for FutureEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for FutureEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// The event-driven simulator.
 ///
 /// ```
@@ -152,14 +176,15 @@ struct MonitorSpec {
 /// ```
 #[derive(Debug)]
 pub struct Simulator {
-    design: Design,
+    design: Arc<Design>,
     state: State,
     config: SimConfig,
     procs: Vec<ProcState>,
     active: VecDeque<ProcessId>,
     inactive: Vec<ProcessId>,
     nba: Vec<(ResolvedLValue, LogicVec)>,
-    future: BTreeMap<u64, Vec<ProcessId>>,
+    future: BinaryHeap<Reverse<FutureEvent>>,
+    future_seq: u64,
     stdout: String,
     monitor: Option<MonitorSpec>,
     vcd: Option<crate::vcd::VcdRecorder>,
@@ -191,14 +216,22 @@ impl Simulator {
             active: VecDeque::new(),
             inactive: Vec::new(),
             nba: Vec::new(),
-            future: BTreeMap::new(),
+            future: BinaryHeap::new(),
+            future_seq: 0,
             stdout: String::new(),
             monitor: None,
             vcd: None,
             steps: 0,
             stop: None,
-            design,
+            design: Arc::new(design),
         }
+    }
+
+    /// Parks `pid` to resume at simulation time `time`.
+    fn schedule_at(&mut self, time: u64, pid: ProcessId) {
+        let seq = self.future_seq;
+        self.future_seq += 1;
+        self.future.push(Reverse(FutureEvent { time, seq, pid }));
     }
 
     /// The elaborated design being simulated.
@@ -239,16 +272,22 @@ impl Simulator {
             if self.stop.is_some() {
                 break;
             }
-            // Advance time.
-            match self.future.pop_first() {
-                Some((t, pids)) => {
-                    if t > self.config.max_time {
+            // Advance time: pop the earliest event plus everything else
+            // scheduled for the same timestamp (heap order is FIFO per time).
+            match self.future.pop() {
+                Some(Reverse(ev)) => {
+                    if ev.time > self.config.max_time {
                         self.stop = Some(StopReason::TimeLimit);
                         break;
                     }
-                    self.state.time = t;
-                    for pid in pids {
-                        self.active.push_back(pid);
+                    self.state.time = ev.time;
+                    self.active.push_back(ev.pid);
+                    while let Some(&Reverse(next)) = self.future.peek() {
+                        if next.time != ev.time {
+                            break;
+                        }
+                        self.future.pop();
+                        self.active.push_back(next.pid);
                     }
                 }
                 None => {
@@ -272,6 +311,10 @@ impl Simulator {
             return;
         }
         self.procs[idx].status = Status::Idle;
+        // Clone the `Arc`, not the instructions: the code stream stays
+        // borrowable while `&mut self` evaluation runs.
+        let design = Arc::clone(&self.design);
+        let code = &design.processes[idx].code;
         loop {
             if self.steps >= self.config.max_steps {
                 self.stop = Some(StopReason::StepBudget);
@@ -279,17 +322,14 @@ impl Simulator {
             }
             self.steps += 1;
             let pc = self.procs[idx].pc;
-            let instr = match self.design.processes[idx].code.get(pc) {
-                Some(i) => i.clone(),
-                None => {
-                    self.procs[idx].status = Status::Done;
-                    return;
-                }
+            let Some(instr) = code.get(pc) else {
+                self.procs[idx].status = Status::Done;
+                return;
             };
             match instr {
                 Instr::Assign { lv, rhs } => {
-                    let result = self.eval(&rhs).and_then(|value| {
-                        let resolved = resolve_lvalue(&self.design, &mut self.state, &lv)?;
+                    let result = self.eval(rhs).and_then(|value| {
+                        let resolved = resolve_lvalue(&self.design, &mut self.state, lv)?;
                         Ok((resolved, value))
                     });
                     match result {
@@ -312,8 +352,8 @@ impl Simulator {
                     }
                 }
                 Instr::AssignNba { lv, rhs } => {
-                    let result = self.eval(&rhs).and_then(|value| {
-                        let resolved = resolve_lvalue(&self.design, &mut self.state, &lv)?;
+                    let result = self.eval(rhs).and_then(|value| {
+                        let resolved = resolve_lvalue(&self.design, &mut self.state, lv)?;
                         Ok((resolved, value))
                     });
                     match result {
@@ -328,14 +368,14 @@ impl Simulator {
                     }
                 }
                 Instr::Jump(t) => {
-                    self.procs[idx].pc = t;
+                    self.procs[idx].pc = *t;
                 }
-                Instr::JumpIfFalse { cond, target } => match self.eval(&cond) {
+                Instr::JumpIfFalse { cond, target } => match self.eval(cond) {
                     Ok(v) => {
                         self.procs[idx].pc = if v.truthiness() == Some(true) {
                             pc + 1
                         } else {
-                            target
+                            *target
                         };
                     }
                     Err(e) => {
@@ -349,8 +389,8 @@ impl Simulator {
                     label,
                     target,
                 } => {
-                    let matched = self.eval(&sel).and_then(|s| {
-                        let l = self.eval(&label)?;
+                    let matched = self.eval(sel).and_then(|s| {
+                        let l = self.eval(label)?;
                         Ok(match kind {
                             vgen_verilog::ast::CaseKind::Exact => s.case_eq(&l).to_u64() == Some(1),
                             vgen_verilog::ast::CaseKind::Z => s.case_matches(&l, false),
@@ -359,7 +399,7 @@ impl Simulator {
                     });
                     match matched {
                         Ok(true) => self.procs[idx].pc = pc + 1,
-                        Ok(false) => self.procs[idx].pc = target,
+                        Ok(false) => self.procs[idx].pc = *target,
                         Err(e) => {
                             self.abort(e);
                             return;
@@ -367,7 +407,7 @@ impl Simulator {
                     }
                 }
                 Instr::Delay(amount) => {
-                    let amt = match self.eval(&amount) {
+                    let amt = match self.eval(amount) {
                         Ok(v) => v.to_u64().unwrap_or(0),
                         Err(e) => {
                             self.abort(e);
@@ -378,10 +418,7 @@ impl Simulator {
                     if amt == 0 {
                         self.inactive.push(pid);
                     } else {
-                        self.future
-                            .entry(self.state.time + amt)
-                            .or_default()
-                            .push(pid);
+                        self.schedule_at(self.state.time + amt, pid);
                     }
                     return;
                 }
@@ -405,7 +442,7 @@ impl Simulator {
                     self.procs[idx].status = Status::Waiting { last };
                     return;
                 }
-                Instr::WaitCond(cond) => match self.eval(&cond) {
+                Instr::WaitCond(cond) => match self.eval(cond) {
                     Ok(v) => {
                         if v.truthiness() == Some(true) {
                             self.procs[idx].pc = pc + 1;
@@ -421,7 +458,7 @@ impl Simulator {
                     }
                 },
                 Instr::SysCall { name, args } => {
-                    if let Err(e) = self.sys_task(idx, &name, &args) {
+                    if let Err(e) = self.sys_task(idx, name, args) {
                         self.abort(e);
                         return;
                     }
@@ -517,16 +554,18 @@ impl Simulator {
         let idx = pid.0 as usize;
         // The WaitEvent instruction sits just before the stored pc.
         let wait_pc = self.procs[idx].pc.saturating_sub(1);
-        let Instr::WaitEvent(sens) = self.design.processes[idx].code[wait_pc].clone() else {
+        let design = Arc::clone(&self.design);
+        let Instr::WaitEvent(sens) = &design.processes[idx].code[wait_pc] else {
             return true;
         };
         let mut woke = sens.mems.iter().any(|m| changes.mems.contains(m));
-        let Status::Waiting { last } = &self.procs[idx].status else {
+        // Disjoint borrows: the cached values live in `procs`, evaluation
+        // only needs `state`, so the cache is refreshed in place.
+        let Status::Waiting { last } = &mut self.procs[idx].status else {
             return true;
         };
-        let mut last = last.clone();
         for (i, term) in sens.terms.iter().enumerate() {
-            let Ok(now) = eval(&self.design, &mut self.state, &term.expr) else {
+            let Ok(now) = eval(&design, &mut self.state, &term.expr) else {
                 continue;
             };
             let prev = &last[i];
@@ -537,31 +576,31 @@ impl Simulator {
             if triggered {
                 woke = true;
             }
+            // Keep the refreshed value so future comparisons see transitions.
             last[i] = now;
-        }
-        if !woke {
-            // Keep the refreshed cache so future comparisons see transitions.
-            self.procs[idx].status = Status::Waiting { last };
         }
         woke
     }
 
     fn flush_monitor(&mut self) {
-        let Some(spec) = self.monitor.clone() else {
+        // Take the spec out instead of cloning its argument expressions;
+        // it is put back (possibly with a new cached rendering) below.
+        let Some(mut spec) = self.monitor.take() else {
             return;
         };
         let rendered = match self.render_display(&spec.args) {
             Ok(s) => s,
-            Err(_) => return,
+            Err(_) => {
+                self.monitor = Some(spec);
+                return;
+            }
         };
         if spec.last_rendered.as_deref() != Some(&rendered) {
             self.emit(&rendered);
             self.emit("\n");
-            self.monitor = Some(MonitorSpec {
-                args: spec.args,
-                last_rendered: Some(rendered),
-            });
+            spec.last_rendered = Some(rendered);
         }
+        self.monitor = Some(spec);
     }
 
     fn render_display(&mut self, args: &[EExpr]) -> Result<String, RuntimeError> {

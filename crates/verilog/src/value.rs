@@ -5,8 +5,23 @@
 //! IEEE 1364-2005: arithmetic with any unknown operand bit yields all-`x`,
 //! logical operators use three-valued truth tables, and `z` degrades to `x`
 //! when it participates in computation.
-
-#![allow(clippy::needless_range_loop)]
+//!
+//! # Representation
+//!
+//! Values are stored as two packed bit-planes in the IEEE 1364 VPI
+//! `aval`/`bval` encoding: for each bit, `(aval, bval)` is `(0,0)` for `0`,
+//! `(1,0)` for `1`, `(0,1)` for `z` and `(1,1)` for `x`. A set `bval` bit
+//! therefore means "unknown" and `aval` distinguishes `x` from `z`. Vectors
+//! of width ≤ 64 keep both planes inline (no heap allocation); wider vectors
+//! spill to boxed `u64` word arrays. All bitwise operators, shifts,
+//! reductions, comparisons and concat/select work word-at-a-time on the
+//! planes; arithmetic takes a fast path through native `u64`/`i64` math
+//! whenever `bval == 0` and degrades to all-`x` otherwise, exactly as the
+//! per-bit implementation did.
+//!
+//! Invariant: `width >= 1`, and in both planes every bit at position
+//! `>= width` is zero. This makes whole-word equality (`==`, derived
+//! `PartialEq`/`Hash`) a valid value comparison.
 
 use std::fmt;
 
@@ -111,6 +126,57 @@ impl fmt::Display for Logic {
     }
 }
 
+/// Bits per storage word.
+const WORD: usize = 64;
+
+/// Number of words needed for `width` bits.
+#[inline]
+fn words_for(width: usize) -> usize {
+    width.div_ceil(WORD)
+}
+
+/// Mask of the valid bits in the top word of a `width`-bit vector.
+#[inline]
+fn top_mask(width: usize) -> u64 {
+    let r = width % WORD;
+    if r == 0 {
+        u64::MAX
+    } else {
+        (1u64 << r) - 1
+    }
+}
+
+/// Mask of the bits of word `i` whose *global* position is `>= from`.
+#[inline]
+fn mask_from(i: usize, from: usize) -> u64 {
+    let base = i * WORD;
+    if from <= base {
+        u64::MAX
+    } else if from >= base + WORD {
+        0
+    } else {
+        u64::MAX << (from - base)
+    }
+}
+
+/// VPI encoding of a single [`Logic`] as `(aval, bval)` bits.
+#[inline]
+fn encode(l: Logic) -> (u64, u64) {
+    match l {
+        Logic::Zero => (0, 0),
+        Logic::One => (1, 0),
+        Logic::Z => (0, 1),
+        Logic::X => (1, 1),
+    }
+}
+
+/// The two packed planes; inline for widths ≤ 64, boxed beyond.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Planes {
+    Word { aval: u64, bval: u64 },
+    Wide { aval: Box<[u64]>, bval: Box<[u64]> },
+}
+
 /// A fixed-width four-state bit vector with a signedness flag.
 ///
 /// Bit 0 is the least-significant bit. Width is always at least 1.
@@ -123,22 +189,138 @@ impl fmt::Display for Logic {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LogicVec {
-    bits: Vec<Logic>,
+    width: usize,
     signed: bool,
+    planes: Planes,
 }
 
 impl LogicVec {
-    /// An all-`x` vector of `width` bits (the reg power-on value).
+    /// Builds a vector by asking `f` for each `(aval, bval)` word pair.
+    /// Bits above `width` are masked off, maintaining the representation
+    /// invariant even when `f` returns garbage high bits.
+    fn build(width: usize, signed: bool, mut f: impl FnMut(usize) -> (u64, u64)) -> LogicVec {
+        debug_assert!(width > 0, "logic vector width must be positive");
+        if width <= WORD {
+            let (a, b) = f(0);
+            let m = top_mask(width);
+            LogicVec {
+                width,
+                signed,
+                planes: Planes::Word {
+                    aval: a & m,
+                    bval: b & m,
+                },
+            }
+        } else {
+            let n = words_for(width);
+            let mut aval = vec![0u64; n];
+            let mut bval = vec![0u64; n];
+            for (i, (a, b)) in aval.iter_mut().zip(bval.iter_mut()).enumerate() {
+                let (wa, wb) = f(i);
+                *a = wa;
+                *b = wb;
+            }
+            let m = top_mask(width);
+            aval[n - 1] &= m;
+            bval[n - 1] &= m;
+            LogicVec {
+                width,
+                signed,
+                planes: Planes::Wide {
+                    aval: aval.into_boxed_slice(),
+                    bval: bval.into_boxed_slice(),
+                },
+            }
+        }
+    }
+
+    /// Word `i` of both planes; words past the width read as zero.
+    #[inline]
+    fn word(&self, i: usize) -> (u64, u64) {
+        match &self.planes {
+            Planes::Word { aval, bval } => {
+                if i == 0 {
+                    (*aval, *bval)
+                } else {
+                    (0, 0)
+                }
+            }
+            Planes::Wide { aval, bval } => match aval.get(i) {
+                Some(a) => (*a, bval[i]),
+                None => (0, 0),
+            },
+        }
+    }
+
+    /// Number of storage words backing this vector.
+    pub fn word_len(&self) -> usize {
+        words_for(self.width)
+    }
+
+    /// The `(aval, bval)` planes of 64-bit word `i` (word 0 holds bits
+    /// 0..64). Words at or beyond [`word_len`](Self::word_len) read as zero.
+    /// VPI encoding: `bval` bit set ⇒ unknown; `aval` then picks `x` over `z`.
+    pub fn word_planes(&self, i: usize) -> (u64, u64) {
+        self.word(i)
+    }
+
+    /// Mask of valid bits in word `i` (all-ones except the top word).
+    #[inline]
+    fn word_mask(&self, i: usize) -> u64 {
+        if i + 1 == words_for(self.width) {
+            top_mask(self.width)
+        } else {
+            u64::MAX
+        }
+    }
+
+    /// Word `i` of `v` shifted left by `off` bits (unbounded width).
+    #[inline]
+    fn up_word(v: &LogicVec, i: usize, off: usize) -> (u64, u64) {
+        let q = off / WORD;
+        let r = off % WORD;
+        if i < q {
+            return (0, 0);
+        }
+        let (a0, b0) = v.word(i - q);
+        if r == 0 {
+            return (a0, b0);
+        }
+        let (a1, b1) = if i > q { v.word(i - q - 1) } else { (0, 0) };
+        (
+            (a0 << r) | (a1 >> (WORD - r)),
+            (b0 << r) | (b1 >> (WORD - r)),
+        )
+    }
+
+    /// Word `i` of `v` shifted right by `off` bits (zero fill from above,
+    /// which is exact because bits past `v.width` are zero by invariant).
+    #[inline]
+    fn down_word(v: &LogicVec, i: usize, off: usize) -> (u64, u64) {
+        let q = off / WORD;
+        let r = off % WORD;
+        let (a0, b0) = v.word(i + q);
+        if r == 0 {
+            return (a0, b0);
+        }
+        let (a1, b1) = v.word(i + q + 1);
+        (
+            (a0 >> r) | (a1 << (WORD - r)),
+            (b0 >> r) | (b1 << (WORD - r)),
+        )
+    }
+
+    /// A `width`-bit unsigned vector with every bit set to `value`.
     ///
     /// # Panics
     ///
     /// Panics if `width == 0`.
     pub fn filled(width: usize, value: Logic) -> Self {
         assert!(width > 0, "logic vector width must be positive");
-        LogicVec {
-            bits: vec![value; width],
-            signed: false,
-        }
+        let (ba, bb) = encode(value);
+        let pa = if ba == 1 { u64::MAX } else { 0 };
+        let pb = if bb == 1 { u64::MAX } else { 0 };
+        Self::build(width, false, |_| (pa, pb))
     }
 
     /// An all-`x` unsigned vector.
@@ -158,37 +340,40 @@ impl LogicVec {
     /// Panics if `bits` is empty.
     pub fn from_bits(bits: Vec<Logic>, signed: bool) -> Self {
         assert!(!bits.is_empty(), "logic vector width must be positive");
-        LogicVec { bits, signed }
+        let width = bits.len();
+        Self::build(width, signed, |i| {
+            let lo = i * WORD;
+            let hi = width.min(lo + WORD);
+            let mut a = 0u64;
+            let mut b = 0u64;
+            for (j, bit) in bits[lo..hi].iter().enumerate() {
+                let (ba, bb) = encode(*bit);
+                a |= ba << j;
+                b |= bb << j;
+            }
+            (a, b)
+        })
     }
 
     /// Builds an unsigned vector of `width` bits from the low bits of `v`.
     pub fn from_u64(v: u64, width: usize) -> Self {
         assert!(width > 0, "logic vector width must be positive");
-        let bits = (0..width)
-            .map(|i| {
-                if i < 64 {
-                    Logic::from_bool((v >> i) & 1 == 1)
-                } else {
-                    Logic::Zero
-                }
-            })
-            .collect();
-        LogicVec {
-            bits,
-            signed: false,
-        }
+        Self::build(width, false, |i| if i == 0 { (v, 0) } else { (0, 0) })
     }
 
     /// Builds a signed vector of `width` bits from the two's-complement of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
     pub fn from_i64(v: i64, width: usize) -> Self {
-        let mut out = Self::from_u64(v as u64, width.max(1));
-        if width > 64 && v < 0 {
-            for b in out.bits.iter_mut().skip(64) {
-                *b = Logic::One;
-            }
-        }
-        out.signed = true;
-        out
+        assert!(width > 0, "logic vector width must be positive");
+        let fill = if v < 0 { u64::MAX } else { 0 };
+        Self::build(
+            width,
+            true,
+            |i| if i == 0 { (v as u64, 0) } else { (fill, 0) },
+        )
     }
 
     /// Builds a 1-bit vector from a bool.
@@ -198,7 +383,7 @@ impl LogicVec {
 
     /// Number of bits.
     pub fn width(&self) -> usize {
-        self.bits.len()
+        self.width
     }
 
     /// Whether the vector is treated as two's-complement in arithmetic.
@@ -213,34 +398,46 @@ impl LogicVec {
     }
 
     /// The bits, LSB first.
-    pub fn bits(&self) -> &[Logic] {
-        &self.bits
+    pub fn bits(&self) -> Vec<Logic> {
+        (0..self.width).map(|i| self.bit(i)).collect()
     }
 
     /// Bit `i` (LSB = 0), or `X` when out of range (Verilog out-of-bounds
     /// select semantics).
     pub fn bit(&self, i: usize) -> Logic {
-        self.bits.get(i).copied().unwrap_or(Logic::X)
+        if i >= self.width {
+            return Logic::X;
+        }
+        let (a, b) = self.word(i / WORD);
+        let sh = i % WORD;
+        match ((a >> sh) & 1, (b >> sh) & 1) {
+            (0, 0) => Logic::Zero,
+            (1, 0) => Logic::One,
+            (0, 1) => Logic::Z,
+            _ => Logic::X,
+        }
     }
 
-    /// Whether any bit is `x` or `z`.
+    /// Whether any bit is `x` or `z` (any set `bval` bit).
     pub fn has_unknown(&self) -> bool {
-        self.bits.iter().any(|b| b.is_unknown())
+        match &self.planes {
+            Planes::Word { bval, .. } => *bval != 0,
+            Planes::Wide { bval, .. } => bval.iter().any(|w| *w != 0),
+        }
     }
 
     /// Interprets as unsigned; `None` if any bit is unknown or width > 64
     /// with a set high bit.
     pub fn to_u64(&self) -> Option<u64> {
-        let mut v = 0u64;
-        for (i, b) in self.bits.iter().enumerate() {
-            match b.to_bool() {
-                Some(true) if i >= 64 => return None,
-                Some(true) => v |= 1 << i,
-                Some(false) => {}
-                None => return None,
+        if self.has_unknown() {
+            return None;
+        }
+        for i in 1..self.word_len() {
+            if self.word(i).0 != 0 {
+                return None;
             }
         }
-        Some(v)
+        Some(self.word(0).0)
     }
 
     /// Interprets as two's-complement according to the sign flag.
@@ -248,19 +445,17 @@ impl LogicVec {
         if self.has_unknown() {
             return None;
         }
-        let w = self.width();
+        let w = self.width;
         if !self.signed || self.bit(w - 1) == Logic::Zero {
             return self.to_u64().map(|v| v as i64);
         }
-        // Negative: sign-extend into 64 bits.
-        let mut v: i64 = -1;
-        for i in 0..w.min(64) {
-            match self.bit(i) {
-                Logic::One => v |= 1 << i,
-                Logic::Zero => v &= !(1 << i),
-                _ => return None,
-            }
-        }
+        // Negative: sign-extend the low 64 bits.
+        let a0 = self.word(0).0;
+        let v = if w >= 64 {
+            a0 as i64
+        } else {
+            (a0 | (u64::MAX << w)) as i64
+        };
         Some(v)
     }
 
@@ -271,34 +466,41 @@ impl LogicVec {
     /// with their top state, per IEEE 1364 §3.5.1), else `0`.
     pub fn resize(&self, width: usize) -> LogicVec {
         assert!(width > 0, "logic vector width must be positive");
-        let mut bits = self.bits.clone();
-        if width < bits.len() {
-            bits.truncate(width);
-        } else {
-            let top = *bits.last().expect("non-empty");
-            let ext = match top {
-                Logic::X => Logic::X,
-                Logic::Z => Logic::Z,
-                _ if self.signed => top,
-                _ => Logic::Zero,
-            };
-            bits.resize(width, ext);
+        if width == self.width {
+            return self.clone();
         }
-        LogicVec {
-            bits,
-            signed: self.signed,
+        if width < self.width {
+            return Self::build(width, self.signed, |i| self.word(i));
         }
+        let top = self.bit(self.width - 1);
+        let ext = match top {
+            Logic::X => Logic::X,
+            Logic::Z => Logic::Z,
+            _ if self.signed => top,
+            _ => Logic::Zero,
+        };
+        let (ea, eb) = encode(ext);
+        let pa = if ea == 1 { u64::MAX } else { 0 };
+        let pb = if eb == 1 { u64::MAX } else { 0 };
+        let ow = self.width;
+        Self::build(width, self.signed, |i| {
+            let (a, b) = self.word(i);
+            let fill = mask_from(i, ow);
+            ((a & !fill) | (pa & fill), (b & !fill) | (pb & fill))
+        })
     }
 
     /// Truthiness for `if`/`while`/ternary conditions: `Some(true)` if any
     /// bit is 1, `Some(false)` if all bits are 0, `None` (unknown) otherwise.
     pub fn truthiness(&self) -> Option<bool> {
         let mut any_unknown = false;
-        for b in &self.bits {
-            match b {
-                Logic::One => return Some(true),
-                Logic::Zero => {}
-                _ => any_unknown = true,
+        for i in 0..self.word_len() {
+            let (a, b) = self.word(i);
+            if a & !b != 0 {
+                return Some(true);
+            }
+            if b != 0 {
+                any_unknown = true;
             }
         }
         if any_unknown {
@@ -319,6 +521,13 @@ impl LogicVec {
 
     fn both_signed(&self, rhs: &LogicVec) -> bool {
         self.signed && rhs.signed
+    }
+
+    /// Whether both planes of `self` and `rhs` are identical (same width
+    /// assumed). This is an exact 4-state comparison ignoring signedness.
+    fn same_planes(&self, rhs: &LogicVec) -> bool {
+        debug_assert_eq!(self.width, rhs.width);
+        self.planes == rhs.planes
     }
 
     /// `self + rhs` at the joined width (result signed iff both signed).
@@ -383,6 +592,9 @@ impl LogicVec {
         }
     }
 
+    /// Known-value fast path: when `bval == 0` everywhere the operands are
+    /// plain integers and `f` runs on native words; any unknown bit (or a
+    /// known value that does not fit in 64 bits) degrades to all-`x`.
     fn arith2(&self, rhs: &LogicVec, f: impl Fn(u64, u64) -> u64) -> LogicVec {
         let w = self.join_width(rhs);
         let signed = self.both_signed(rhs);
@@ -409,109 +621,156 @@ impl LogicVec {
             .with_signed(self.signed)
     }
 
-    /// Bitwise NOT.
+    /// Bitwise NOT: known bits invert, unknown bits (`x`/`z`) become `x`.
     pub fn bit_not(&self) -> LogicVec {
-        LogicVec {
-            bits: self.bits.iter().map(|b| b.not()).collect(),
-            signed: self.signed,
-        }
+        Self::build(self.width, self.signed, |i| {
+            let (a, b) = self.word(i);
+            ((!a) | b, b)
+        })
     }
 
-    fn bitwise2(&self, rhs: &LogicVec, f: impl Fn(Logic, Logic) -> Logic) -> LogicVec {
+    /// Word-parallel binary bitwise op: both operands are resized to the
+    /// joined width, then `f` maps `(aval_l, bval_l, aval_r, bval_r)` words
+    /// to result words.
+    fn bitwise2(&self, rhs: &LogicVec, f: impl Fn(u64, u64, u64, u64) -> (u64, u64)) -> LogicVec {
         let w = self.join_width(rhs);
         let a = self.resize(w);
         let b = rhs.resize(w);
-        LogicVec {
-            bits: (0..w).map(|i| f(a.bit(i), b.bit(i))).collect(),
-            signed: self.both_signed(rhs),
-        }
+        Self::build(w, self.both_signed(rhs), |i| {
+            let (la, lb) = a.word(i);
+            let (ra, rb) = b.word(i);
+            f(la, lb, ra, rb)
+        })
     }
 
-    /// Bitwise AND.
+    /// Bitwise AND (`0` dominates unknowns).
     pub fn bit_and(&self, rhs: &LogicVec) -> LogicVec {
-        self.bitwise2(rhs, Logic::and)
+        self.bitwise2(rhs, |la, lb, ra, rb| {
+            let zero = (!la & !lb) | (!ra & !rb); // a known 0 on either side
+            let one = (la & !lb) & (ra & !rb); // known 1 on both sides
+            let bv = !(zero | one);
+            (one | bv, bv)
+        })
     }
 
-    /// Bitwise OR.
+    /// Bitwise OR (`1` dominates unknowns).
     pub fn bit_or(&self, rhs: &LogicVec) -> LogicVec {
-        self.bitwise2(rhs, Logic::or)
+        self.bitwise2(rhs, |la, lb, ra, rb| {
+            let one = (la & !lb) | (ra & !rb); // a known 1 on either side
+            let zero = (!la & !lb) & (!ra & !rb); // known 0 on both sides
+            let bv = !(zero | one);
+            (one | bv, bv)
+        })
     }
 
-    /// Bitwise XOR.
+    /// Bitwise XOR (any unknown in, `x` out).
     pub fn bit_xor(&self, rhs: &LogicVec) -> LogicVec {
-        self.bitwise2(rhs, Logic::xor)
+        self.bitwise2(rhs, |la, lb, ra, rb| {
+            let un = lb | rb;
+            ((la ^ ra) | un, un)
+        })
     }
 
     /// Bitwise XNOR.
     pub fn bit_xnor(&self, rhs: &LogicVec) -> LogicVec {
-        self.bitwise2(rhs, |a, b| a.xor(b).not())
+        self.bitwise2(rhs, |la, lb, ra, rb| {
+            let un = lb | rb;
+            (!(la ^ ra) | un, un)
+        })
     }
 
-    /// Reduction AND over all bits (1-bit result).
+    /// Reduction AND over all bits (1-bit result): a known `0` anywhere
+    /// dominates, otherwise any unknown gives `x`.
     pub fn reduce_and(&self) -> Logic {
-        self.bits.iter().copied().fold(Logic::One, Logic::and)
+        let mut any_unknown = false;
+        for i in 0..self.word_len() {
+            let (a, b) = self.word(i);
+            if !a & !b & self.word_mask(i) != 0 {
+                return Logic::Zero;
+            }
+            if b != 0 {
+                any_unknown = true;
+            }
+        }
+        if any_unknown {
+            Logic::X
+        } else {
+            Logic::One
+        }
     }
 
-    /// Reduction OR over all bits.
+    /// Reduction OR over all bits: a known `1` anywhere dominates.
     pub fn reduce_or(&self) -> Logic {
-        self.bits.iter().copied().fold(Logic::Zero, Logic::or)
+        let mut any_unknown = false;
+        for i in 0..self.word_len() {
+            let (a, b) = self.word(i);
+            if a & !b != 0 {
+                return Logic::One;
+            }
+            if b != 0 {
+                any_unknown = true;
+            }
+        }
+        if any_unknown {
+            Logic::X
+        } else {
+            Logic::Zero
+        }
     }
 
-    /// Reduction XOR over all bits.
+    /// Reduction XOR over all bits: parity when fully known, else `x`.
     pub fn reduce_xor(&self) -> Logic {
-        self.bits.iter().copied().fold(Logic::Zero, Logic::xor)
+        let mut parity = 0u32;
+        for i in 0..self.word_len() {
+            let (a, b) = self.word(i);
+            if b != 0 {
+                return Logic::X;
+            }
+            parity ^= a.count_ones();
+        }
+        Logic::from_bool(parity & 1 == 1)
     }
 
     /// Logical shift left by `amount` (zero fill); unknown shift gives all-x.
     pub fn shl(&self, amount: &LogicVec) -> LogicVec {
-        let w = self.width();
+        let w = self.width;
         let Some(n) = amount.to_u64() else {
             return Self::all_x(w);
         };
         let n = n.min(w as u64) as usize;
-        let mut bits = vec![Logic::Zero; w];
-        for i in n..w {
-            bits[i] = self.bit(i - n);
-        }
-        LogicVec {
-            bits,
-            signed: self.signed,
-        }
+        Self::build(w, self.signed, |i| Self::up_word(self, i, n))
     }
 
     /// Logical shift right by `amount` (zero fill).
     pub fn shr(&self, amount: &LogicVec) -> LogicVec {
-        let w = self.width();
+        let w = self.width;
         let Some(n) = amount.to_u64() else {
             return Self::all_x(w);
         };
         let n = n.min(w as u64) as usize;
-        let mut bits = vec![Logic::Zero; w];
-        for i in 0..w - n {
-            bits[i] = self.bit(i + n);
-        }
-        LogicVec {
-            bits,
-            signed: self.signed,
-        }
+        Self::build(w, self.signed, |i| Self::down_word(self, i, n))
     }
 
     /// Arithmetic shift right: sign fill when signed, zero fill otherwise.
+    /// The fill state is the top bit, which may itself be `x`/`z`.
     pub fn ashr(&self, amount: &LogicVec) -> LogicVec {
         if !self.signed {
             return self.shr(amount);
         }
-        let w = self.width();
+        let w = self.width;
         let Some(n) = amount.to_u64() else {
             return Self::all_x(w);
         };
         let n = n.min(w as u64) as usize;
-        let fill = self.bit(w - 1);
-        let mut bits = vec![fill; w];
-        for i in 0..w - n {
-            bits[i] = self.bit(i + n);
-        }
-        LogicVec { bits, signed: true }
+        let (fa, fb) = encode(self.bit(w - 1));
+        let pa = if fa == 1 { u64::MAX } else { 0 };
+        let pb = if fb == 1 { u64::MAX } else { 0 };
+        let from = w - n;
+        Self::build(w, true, |i| {
+            let (a, b) = Self::down_word(self, i, n);
+            let fill = mask_from(i, from);
+            (a | (pa & fill), b | (pb & fill))
+        })
     }
 
     fn cmp_values(&self, rhs: &LogicVec) -> Option<std::cmp::Ordering> {
@@ -537,7 +796,7 @@ impl LogicVec {
         if a.has_unknown() || b.has_unknown() {
             return LogicVec::unknown(1);
         }
-        Self::logic1(Some(a.bits == b.bits))
+        Self::logic1(Some(a.same_planes(&b)))
     }
 
     /// `!=`.
@@ -548,7 +807,7 @@ impl LogicVec {
     /// `===`: exact 4-state match, always 0/1.
     pub fn case_eq(&self, rhs: &LogicVec) -> LogicVec {
         let w = self.join_width(rhs);
-        LogicVec::from_bool(self.resize(w).bits == rhs.resize(w).bits)
+        LogicVec::from_bool(self.resize(w).same_planes(&rhs.resize(w)))
     }
 
     /// `<`.
@@ -596,12 +855,13 @@ impl LogicVec {
 
     /// Concatenation `{self, rhs}` — `self` supplies the *high* bits.
     pub fn concat(&self, rhs: &LogicVec) -> LogicVec {
-        let mut bits = rhs.bits.clone();
-        bits.extend_from_slice(&self.bits);
-        LogicVec {
-            bits,
-            signed: false,
-        }
+        let w = self.width + rhs.width;
+        let off = rhs.width;
+        Self::build(w, false, |i| {
+            let (la, lb) = rhs.word(i);
+            let (ha, hb) = Self::up_word(self, i, off);
+            (la | ha, lb | hb)
+        })
     }
 
     /// Replication `{count{self}}`.
@@ -611,24 +871,71 @@ impl LogicVec {
     /// Panics if `count == 0`.
     pub fn replicate(&self, count: usize) -> LogicVec {
         assert!(count > 0, "replication count must be positive");
-        let mut bits = Vec::with_capacity(self.width() * count);
-        for _ in 0..count {
-            bits.extend_from_slice(&self.bits);
-        }
-        LogicVec {
-            bits,
-            signed: false,
-        }
+        let w0 = self.width;
+        let w = w0 * count;
+        Self::build(w, false, |i| {
+            let base = i * WORD;
+            let mut a = 0u64;
+            let mut b = 0u64;
+            // OR in every copy of `self` that overlaps word `i`.
+            let mut k = base / w0;
+            while k < count && k * w0 < base + WORD {
+                let (ra, rb) = Self::up_word(self, i, k * w0);
+                a |= ra;
+                b |= rb;
+                k += 1;
+            }
+            (a, b)
+        })
     }
 
     /// Part-select `[hi:lo]` in *bit-index* space (after range normalisation);
     /// out-of-range bits read as `x`.
     pub fn select(&self, hi: usize, lo: usize) -> LogicVec {
         assert!(hi >= lo, "part-select hi must be >= lo");
-        LogicVec {
-            bits: (lo..=hi).map(|i| self.bit(i)).collect(),
-            signed: false,
+        let w = hi - lo + 1;
+        // Result positions at or past `self.width - lo` come from out-of-range
+        // source bits and read as x; in-range positions shift down cleanly.
+        let x_from = self.width.saturating_sub(lo);
+        Self::build(w, false, |i| {
+            let (a, b) = Self::down_word(self, i, lo);
+            let xm = mask_from(i, x_from);
+            (a | xm, b | xm)
+        })
+    }
+
+    /// Returns a copy with bit positions `lo..=hi` replaced by `value`
+    /// (resized to the select width); positions outside `0..width` are
+    /// dropped, as in an out-of-range part-select write. Signedness and
+    /// width are preserved.
+    pub fn with_range(&self, hi: usize, lo: usize, value: &LogicVec) -> LogicVec {
+        assert!(hi >= lo, "part-select hi must be >= lo");
+        if lo >= self.width {
+            return self.clone();
         }
+        let v = value.resize(hi - lo + 1);
+        let end = hi.min(self.width - 1) + 1;
+        Self::build(self.width, self.signed, |i| {
+            let (sa, sb) = self.word(i);
+            let (va, vb) = Self::up_word(&v, i, lo);
+            let m = mask_from(i, lo) & !mask_from(i, end);
+            ((sa & !m) | (va & m), (sb & !m) | (vb & m))
+        })
+    }
+
+    /// Ternary x-merge (IEEE 1364 §5.1.13): bits where both operands agree
+    /// on a *known* value keep it; every other bit is `x`. Operands are
+    /// resized to the joined width; the result is unsigned.
+    pub fn merge_unknown(&self, rhs: &LogicVec) -> LogicVec {
+        let w = self.join_width(rhs);
+        let a = self.resize(w);
+        let b = rhs.resize(w);
+        Self::build(w, false, |i| {
+            let (la, lb) = a.word(i);
+            let (ra, rb) = b.word(i);
+            let keep = !((la ^ ra) | (lb ^ rb)) & !lb;
+            ((la & keep) | !keep, !keep)
+        })
     }
 
     /// Matches against a casez/casex pattern: pattern `z`/`?` bits (and for
@@ -637,22 +944,39 @@ impl LogicVec {
         let w = self.join_width(pattern);
         let v = self.resize(w);
         let p = pattern.resize(w);
-        (0..w).all(|i| {
-            let pb = p.bit(i);
-            let vb = v.bit(i);
-            if pb == Logic::Z || vb == Logic::Z {
-                return true;
+        for i in 0..words_for(w) {
+            let (va, vb) = v.word(i);
+            let (pa, pb) = p.word(i);
+            let wild = if x_is_wild {
+                vb | pb
+            } else {
+                (vb & !va) | (pb & !pa) // z bits only
+            };
+            let diff = (va ^ pa) | (vb ^ pb);
+            if diff & !wild != 0 {
+                return false;
             }
-            if x_is_wild && (pb == Logic::X || vb == Logic::X) {
-                return true;
+        }
+        true
+    }
+
+    /// Whether every bit is `z` (used by `%d` formatting).
+    fn is_all_z(&self) -> bool {
+        for i in 0..self.word_len() {
+            let (a, b) = self.word(i);
+            if a != 0 || b != self.word_mask(i) {
+                return false;
             }
-            pb == vb
-        })
+        }
+        true
     }
 
     /// Renders as a binary string, MSB first (for `%b`).
     pub fn to_binary_string(&self) -> String {
-        self.bits.iter().rev().map(|b| b.to_char()).collect()
+        (0..self.width)
+            .rev()
+            .map(|i| self.bit(i).to_char())
+            .collect()
     }
 
     /// Renders for `%d`: the decimal value, or `x`/`z` when unknown.
@@ -664,7 +988,7 @@ impl LogicVec {
         } {
             return v;
         }
-        if self.bits.iter().all(|b| *b == Logic::Z) {
+        if self.is_all_z() {
             "z".to_string()
         } else {
             "x".to_string()
@@ -959,5 +1283,118 @@ mod tests {
     fn neg_two_complement() {
         assert_eq!(v(1, 4).neg().to_u64(), Some(15));
         assert_eq!(LogicVec::from_i64(-4, 8).neg().to_i64(), Some(4));
+    }
+
+    // ---- packed-representation specifics ----
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn from_i64_zero_width_panics() {
+        LogicVec::from_i64(1, 0);
+    }
+
+    #[test]
+    fn vpi_plane_encoding() {
+        // LSB first: 1, z, x, 0 → aval 0b0101, bval 0b0110.
+        let val = LogicVec::from_bits(vec![Logic::One, Logic::Z, Logic::X, Logic::Zero], false);
+        assert_eq!(val.word_planes(0), (0b0101, 0b0110));
+        assert_eq!(val.word_len(), 1);
+        // Round trip.
+        assert_eq!(
+            val.bits(),
+            vec![Logic::One, Logic::Z, Logic::X, Logic::Zero]
+        );
+    }
+
+    #[test]
+    fn wide_vectors_use_multiple_words() {
+        let val = v(1, 65).shl(&v(64, 8));
+        assert_eq!(val.word_len(), 2);
+        assert_eq!(val.word_planes(0), (0, 0));
+        assert_eq!(val.word_planes(1), (1, 0));
+        assert_eq!(val.bit(64), Logic::One);
+        // Word index past the storage reads zero.
+        assert_eq!(val.word_planes(7), (0, 0));
+    }
+
+    #[test]
+    fn wide_arithmetic_beyond_64_bits_degrades_to_x() {
+        // The known-value fast path only covers values that fit in a u64;
+        // a set bit at position >= 64 degrades arithmetic to all-x, exactly
+        // like the per-bit implementation did.
+        let big = v(1, 80).shl(&v(70, 8));
+        assert_eq!(big.to_u64(), None);
+        assert!(big.add(&v(1, 80)).has_unknown());
+        // Values that fit keep exact wide-width arithmetic.
+        assert_eq!(v(5, 80).add(&v(7, 80)).to_u64(), Some(12));
+    }
+
+    #[test]
+    fn wide_shift_crosses_word_boundary() {
+        let val = v(0b11, 100);
+        let up = val.shl(&v(63, 8));
+        assert_eq!(up.bit(63), Logic::One);
+        assert_eq!(up.bit(64), Logic::One);
+        assert_eq!(up.shr(&v(63, 8)).to_u64(), Some(0b11));
+    }
+
+    #[test]
+    fn wide_select_and_concat() {
+        let val = v(0xDEAD, 100).shl(&v(60, 8));
+        assert_eq!(val.select(75, 60).to_u64(), Some(0xDEAD));
+        let cat = v(0xA, 4).concat(&v(0x5, 68));
+        assert_eq!(cat.width(), 72);
+        assert_eq!(cat.select(71, 68).to_u64(), Some(0xA));
+        assert_eq!(cat.select(67, 0).to_u64(), Some(0x5));
+    }
+
+    #[test]
+    fn wide_signed_resize_sign_extends_across_words() {
+        let s = LogicVec::from_i64(-2, 66);
+        assert_eq!(s.to_i64(), Some(-2));
+        let grown = s.resize(130);
+        assert_eq!(grown.bit(129), Logic::One);
+        assert_eq!(grown.to_i64(), Some(-2));
+    }
+
+    #[test]
+    fn with_range_writes_slice() {
+        let val = v(0, 8).with_range(5, 2, &v(0b1111, 4));
+        assert_eq!(val.to_u64(), Some(0b0011_1100));
+        // Out-of-range slots are dropped.
+        let clipped = v(0, 4).with_range(5, 2, &v(0b1111, 4));
+        assert_eq!(clipped.to_u64(), Some(0b1100));
+        let past = v(0b1010, 4).with_range(9, 8, &v(0b11, 2));
+        assert_eq!(past.to_u64(), Some(0b1010));
+        // Narrow value is resized (zero-extended) to the select width.
+        let widened = v(0xFF, 8).with_range(7, 0, &v(1, 1));
+        assert_eq!(widened.to_u64(), Some(1));
+        // Signedness and width preserved.
+        let s = LogicVec::from_i64(-1, 8).with_range(0, 0, &v(0, 1));
+        assert!(s.is_signed());
+        assert_eq!(s.width(), 8);
+    }
+
+    #[test]
+    fn merge_unknown_keeps_agreeing_known_bits() {
+        let a = v(0b1100, 4);
+        let b = v(0b1010, 4);
+        let m = a.merge_unknown(&b);
+        assert_eq!(m.bit(3), Logic::One);
+        assert_eq!(m.bit(2), Logic::X);
+        assert_eq!(m.bit(1), Logic::X);
+        assert_eq!(m.bit(0), Logic::Zero);
+        // Agreeing z bits still merge to x (z is not a known value).
+        let z = LogicVec::filled(4, Logic::Z);
+        assert!(z.merge_unknown(&z).bits().iter().all(|b| *b == Logic::X));
+    }
+
+    #[test]
+    fn replicate_across_word_boundaries() {
+        let r = v(0b101, 3).replicate(30);
+        assert_eq!(r.width(), 90);
+        for i in 0..90 {
+            assert_eq!(r.bit(i), Logic::from_bool(i % 3 != 1), "bit {i}");
+        }
     }
 }

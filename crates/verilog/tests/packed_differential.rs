@@ -1,0 +1,840 @@
+//! Differential properties: the word-packed [`LogicVec`] against a per-bit
+//! reference implementation.
+//!
+//! [`refimpl::RefVec`] is a test-only port of the original `Vec<Logic>`
+//! representation this crate shipped with before the two-plane rewrite. Every
+//! operator is driven with random widths (1–200), random x/z densities, and
+//! random signedness, and the packed result must agree with the reference
+//! bit-for-bit (same width, same signedness, same four-state bits) as well as
+//! on every scalar observer (`to_u64`, `to_i64`, truthiness, formatting).
+
+use proptest::prelude::*;
+
+use vgen_verilog::value::{Logic, LogicVec};
+
+/// Per-bit reference implementation of four-state vectors.
+///
+/// This is the pre-packing `LogicVec` preserved verbatim (modulo the struct
+/// name): one `Logic` per bit, operators written for clarity rather than
+/// speed. It defines the semantics the packed implementation must reproduce.
+mod refimpl {
+    use vgen_verilog::value::Logic;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct RefVec {
+        bits: Vec<Logic>,
+        signed: bool,
+    }
+
+    impl RefVec {
+        pub fn filled(width: usize, value: Logic) -> Self {
+            assert!(width > 0, "logic vector width must be positive");
+            RefVec {
+                bits: vec![value; width],
+                signed: false,
+            }
+        }
+
+        pub fn unknown(width: usize) -> Self {
+            Self::filled(width, Logic::X)
+        }
+
+        pub fn zero(width: usize) -> Self {
+            Self::filled(width, Logic::Zero)
+        }
+
+        pub fn from_bits(bits: Vec<Logic>, signed: bool) -> Self {
+            assert!(!bits.is_empty(), "logic vector width must be positive");
+            RefVec { bits, signed }
+        }
+
+        pub fn from_u64(v: u64, width: usize) -> Self {
+            assert!(width > 0, "logic vector width must be positive");
+            let bits = (0..width)
+                .map(|i| {
+                    if i < 64 {
+                        Logic::from_bool((v >> i) & 1 == 1)
+                    } else {
+                        Logic::Zero
+                    }
+                })
+                .collect();
+            RefVec {
+                bits,
+                signed: false,
+            }
+        }
+
+        pub fn from_i64(v: i64, width: usize) -> Self {
+            assert!(width > 0, "logic vector width must be positive");
+            let mut out = Self::from_u64(v as u64, width);
+            if width > 64 && v < 0 {
+                for b in out.bits.iter_mut().skip(64) {
+                    *b = Logic::One;
+                }
+            }
+            out.signed = true;
+            out
+        }
+
+        pub fn from_bool(b: bool) -> Self {
+            Self::from_u64(b as u64, 1)
+        }
+
+        pub fn width(&self) -> usize {
+            self.bits.len()
+        }
+
+        pub fn is_signed(&self) -> bool {
+            self.signed
+        }
+
+        pub fn with_signed(mut self, signed: bool) -> Self {
+            self.signed = signed;
+            self
+        }
+
+        pub fn bits(&self) -> &[Logic] {
+            &self.bits
+        }
+
+        pub fn bit(&self, i: usize) -> Logic {
+            self.bits.get(i).copied().unwrap_or(Logic::X)
+        }
+
+        pub fn has_unknown(&self) -> bool {
+            self.bits.iter().any(|b| b.is_unknown())
+        }
+
+        pub fn to_u64(&self) -> Option<u64> {
+            let mut v = 0u64;
+            for (i, b) in self.bits.iter().enumerate() {
+                match b.to_bool() {
+                    Some(true) if i >= 64 => return None,
+                    Some(true) => v |= 1 << i,
+                    Some(false) => {}
+                    None => return None,
+                }
+            }
+            Some(v)
+        }
+
+        pub fn to_i64(&self) -> Option<i64> {
+            if self.has_unknown() {
+                return None;
+            }
+            let w = self.width();
+            if !self.signed || self.bit(w - 1) == Logic::Zero {
+                return self.to_u64().map(|v| v as i64);
+            }
+            let mut v: i64 = -1;
+            for i in 0..w.min(64) {
+                match self.bit(i) {
+                    Logic::One => v |= 1 << i,
+                    Logic::Zero => v &= !(1 << i),
+                    _ => return None,
+                }
+            }
+            Some(v)
+        }
+
+        pub fn resize(&self, width: usize) -> RefVec {
+            assert!(width > 0, "logic vector width must be positive");
+            let mut bits = self.bits.clone();
+            if width < bits.len() {
+                bits.truncate(width);
+            } else {
+                let top = *bits.last().expect("non-empty");
+                let ext = match top {
+                    Logic::X => Logic::X,
+                    Logic::Z => Logic::Z,
+                    _ if self.signed => top,
+                    _ => Logic::Zero,
+                };
+                bits.resize(width, ext);
+            }
+            RefVec {
+                bits,
+                signed: self.signed,
+            }
+        }
+
+        pub fn truthiness(&self) -> Option<bool> {
+            let mut any_unknown = false;
+            for b in &self.bits {
+                match b {
+                    Logic::One => return Some(true),
+                    Logic::Zero => {}
+                    _ => any_unknown = true,
+                }
+            }
+            if any_unknown {
+                None
+            } else {
+                Some(false)
+            }
+        }
+
+        fn all_x(width: usize) -> RefVec {
+            RefVec::unknown(width.max(1))
+        }
+
+        fn join_width(&self, rhs: &RefVec) -> usize {
+            self.width().max(rhs.width())
+        }
+
+        fn both_signed(&self, rhs: &RefVec) -> bool {
+            self.signed && rhs.signed
+        }
+
+        pub fn add(&self, rhs: &RefVec) -> RefVec {
+            self.arith2(rhs, |a, b| a.wrapping_add(b))
+        }
+
+        pub fn sub(&self, rhs: &RefVec) -> RefVec {
+            self.arith2(rhs, |a, b| a.wrapping_sub(b))
+        }
+
+        pub fn mul(&self, rhs: &RefVec) -> RefVec {
+            self.arith2(rhs, |a, b| a.wrapping_mul(b))
+        }
+
+        pub fn div(&self, rhs: &RefVec) -> RefVec {
+            let w = self.join_width(rhs);
+            if rhs.to_u64() == Some(0) {
+                return Self::all_x(w);
+            }
+            if self.both_signed(rhs) {
+                match (self.to_i64(), rhs.to_i64()) {
+                    (Some(a), Some(b)) if b != 0 => RefVec::from_i64(a.wrapping_div(b), w),
+                    _ => Self::all_x(w),
+                }
+            } else {
+                self.arith2(rhs, |a, b| a.checked_div(b).unwrap_or(0))
+            }
+        }
+
+        pub fn rem(&self, rhs: &RefVec) -> RefVec {
+            let w = self.join_width(rhs);
+            if rhs.to_u64() == Some(0) {
+                return Self::all_x(w);
+            }
+            if self.both_signed(rhs) {
+                match (self.to_i64(), rhs.to_i64()) {
+                    (Some(a), Some(b)) if b != 0 => RefVec::from_i64(a.wrapping_rem(b), w),
+                    _ => Self::all_x(w),
+                }
+            } else {
+                self.arith2(rhs, |a, b| a.checked_rem(b).unwrap_or(0))
+            }
+        }
+
+        pub fn pow(&self, rhs: &RefVec) -> RefVec {
+            let w = self.join_width(rhs);
+            match (self.to_u64(), rhs.to_u64()) {
+                (Some(a), Some(b)) => {
+                    let mut acc: u64 = 1;
+                    for _ in 0..b.min(64) {
+                        acc = acc.wrapping_mul(a);
+                    }
+                    RefVec::from_u64(acc, w).with_signed(self.both_signed(rhs))
+                }
+                _ => Self::all_x(w),
+            }
+        }
+
+        fn arith2(&self, rhs: &RefVec, f: impl Fn(u64, u64) -> u64) -> RefVec {
+            let w = self.join_width(rhs);
+            let signed = self.both_signed(rhs);
+            if signed {
+                match (
+                    self.resize(w).with_signed(true).to_i64(),
+                    rhs.resize(w).with_signed(true).to_i64(),
+                ) {
+                    (Some(a), Some(b)) => return RefVec::from_i64(f(a as u64, b as u64) as i64, w),
+                    _ => return Self::all_x(w),
+                }
+            }
+            match (self.resize(w).to_u64(), rhs.resize(w).to_u64()) {
+                (Some(a), Some(b)) => RefVec::from_u64(f(a, b), w),
+                _ => Self::all_x(w),
+            }
+        }
+
+        pub fn neg(&self) -> RefVec {
+            RefVec::zero(self.width())
+                .with_signed(self.signed)
+                .sub(self)
+                .with_signed(self.signed)
+        }
+
+        pub fn bit_not(&self) -> RefVec {
+            RefVec {
+                bits: self.bits.iter().map(|b| b.not()).collect(),
+                signed: self.signed,
+            }
+        }
+
+        fn bitwise2(&self, rhs: &RefVec, f: impl Fn(Logic, Logic) -> Logic) -> RefVec {
+            let w = self.join_width(rhs);
+            let a = self.resize(w);
+            let b = rhs.resize(w);
+            RefVec {
+                bits: (0..w).map(|i| f(a.bit(i), b.bit(i))).collect(),
+                signed: self.both_signed(rhs),
+            }
+        }
+
+        pub fn bit_and(&self, rhs: &RefVec) -> RefVec {
+            self.bitwise2(rhs, Logic::and)
+        }
+
+        pub fn bit_or(&self, rhs: &RefVec) -> RefVec {
+            self.bitwise2(rhs, Logic::or)
+        }
+
+        pub fn bit_xor(&self, rhs: &RefVec) -> RefVec {
+            self.bitwise2(rhs, Logic::xor)
+        }
+
+        pub fn bit_xnor(&self, rhs: &RefVec) -> RefVec {
+            self.bitwise2(rhs, |a, b| a.xor(b).not())
+        }
+
+        pub fn reduce_and(&self) -> Logic {
+            self.bits.iter().copied().fold(Logic::One, Logic::and)
+        }
+
+        pub fn reduce_or(&self) -> Logic {
+            self.bits.iter().copied().fold(Logic::Zero, Logic::or)
+        }
+
+        pub fn reduce_xor(&self) -> Logic {
+            self.bits.iter().copied().fold(Logic::Zero, Logic::xor)
+        }
+
+        pub fn shl(&self, amount: &RefVec) -> RefVec {
+            let w = self.width();
+            let Some(n) = amount.to_u64() else {
+                return Self::all_x(w);
+            };
+            let n = n.min(w as u64) as usize;
+            let mut bits = vec![Logic::Zero; w];
+            for (i, b) in bits.iter_mut().enumerate().skip(n) {
+                *b = self.bit(i - n);
+            }
+            RefVec {
+                bits,
+                signed: self.signed,
+            }
+        }
+
+        pub fn shr(&self, amount: &RefVec) -> RefVec {
+            let w = self.width();
+            let Some(n) = amount.to_u64() else {
+                return Self::all_x(w);
+            };
+            let n = n.min(w as u64) as usize;
+            let mut bits = vec![Logic::Zero; w];
+            for (i, b) in bits.iter_mut().enumerate().take(w - n) {
+                *b = self.bit(i + n);
+            }
+            RefVec {
+                bits,
+                signed: self.signed,
+            }
+        }
+
+        pub fn ashr(&self, amount: &RefVec) -> RefVec {
+            if !self.signed {
+                return self.shr(amount);
+            }
+            let w = self.width();
+            let Some(n) = amount.to_u64() else {
+                return Self::all_x(w);
+            };
+            let n = n.min(w as u64) as usize;
+            let fill = self.bit(w - 1);
+            let mut bits = vec![fill; w];
+            for (i, b) in bits.iter_mut().enumerate().take(w - n) {
+                *b = self.bit(i + n);
+            }
+            RefVec { bits, signed: true }
+        }
+
+        fn cmp_values(&self, rhs: &RefVec) -> Option<std::cmp::Ordering> {
+            if self.both_signed(rhs) {
+                Some(self.to_i64()?.cmp(&rhs.to_i64()?))
+            } else {
+                Some(self.to_u64()?.cmp(&rhs.to_u64()?))
+            }
+        }
+
+        fn logic1(v: Option<bool>) -> RefVec {
+            match v {
+                Some(b) => RefVec::from_bool(b),
+                None => RefVec::unknown(1),
+            }
+        }
+
+        pub fn eq_logic(&self, rhs: &RefVec) -> RefVec {
+            let w = self.join_width(rhs);
+            let a = self.resize(w);
+            let b = rhs.resize(w);
+            if a.has_unknown() || b.has_unknown() {
+                return RefVec::unknown(1);
+            }
+            Self::logic1(Some(a.bits == b.bits))
+        }
+
+        pub fn ne_logic(&self, rhs: &RefVec) -> RefVec {
+            self.eq_logic(rhs).logic_not()
+        }
+
+        pub fn case_eq(&self, rhs: &RefVec) -> RefVec {
+            let w = self.join_width(rhs);
+            RefVec::from_bool(self.resize(w).bits == rhs.resize(w).bits)
+        }
+
+        pub fn lt(&self, rhs: &RefVec) -> RefVec {
+            Self::logic1(self.cmp_values(rhs).map(|o| o.is_lt()))
+        }
+
+        pub fn le(&self, rhs: &RefVec) -> RefVec {
+            Self::logic1(self.cmp_values(rhs).map(|o| o.is_le()))
+        }
+
+        pub fn gt(&self, rhs: &RefVec) -> RefVec {
+            Self::logic1(self.cmp_values(rhs).map(|o| o.is_gt()))
+        }
+
+        pub fn ge(&self, rhs: &RefVec) -> RefVec {
+            Self::logic1(self.cmp_values(rhs).map(|o| o.is_ge()))
+        }
+
+        pub fn logic_not(&self) -> RefVec {
+            Self::logic1(self.truthiness().map(|b| !b))
+        }
+
+        pub fn logic_and(&self, rhs: &RefVec) -> RefVec {
+            match (self.truthiness(), rhs.truthiness()) {
+                (Some(false), _) | (_, Some(false)) => RefVec::from_bool(false),
+                (Some(true), Some(true)) => RefVec::from_bool(true),
+                _ => RefVec::unknown(1),
+            }
+        }
+
+        pub fn logic_or(&self, rhs: &RefVec) -> RefVec {
+            match (self.truthiness(), rhs.truthiness()) {
+                (Some(true), _) | (_, Some(true)) => RefVec::from_bool(true),
+                (Some(false), Some(false)) => RefVec::from_bool(false),
+                _ => RefVec::unknown(1),
+            }
+        }
+
+        pub fn concat(&self, rhs: &RefVec) -> RefVec {
+            let mut bits = rhs.bits.clone();
+            bits.extend_from_slice(&self.bits);
+            RefVec {
+                bits,
+                signed: false,
+            }
+        }
+
+        pub fn replicate(&self, count: usize) -> RefVec {
+            assert!(count > 0, "replication count must be positive");
+            let mut bits = Vec::with_capacity(self.width() * count);
+            for _ in 0..count {
+                bits.extend_from_slice(&self.bits);
+            }
+            RefVec {
+                bits,
+                signed: false,
+            }
+        }
+
+        pub fn select(&self, hi: usize, lo: usize) -> RefVec {
+            assert!(hi >= lo, "part-select hi must be >= lo");
+            RefVec {
+                bits: (lo..=hi).map(|i| self.bit(i)).collect(),
+                signed: false,
+            }
+        }
+
+        /// Part-select write, as the simulator's `apply_write` used to do it
+        /// bit by bit: `value` is resized to the select width and written
+        /// into positions `lo..=hi` that fall inside the vector.
+        pub fn with_range(&self, hi: usize, lo: usize, value: &RefVec) -> RefVec {
+            assert!(hi >= lo, "part-select hi must be >= lo");
+            let mut bits = self.bits.clone();
+            let v = value.resize(hi - lo + 1);
+            for (k, slot) in (lo..=hi).enumerate() {
+                if slot < bits.len() {
+                    bits[slot] = v.bit(k);
+                }
+            }
+            RefVec {
+                bits,
+                signed: self.signed,
+            }
+        }
+
+        /// Ternary x-merge, as the interpreter's unknown-condition arm used
+        /// to compute it: operands resized to the joined width; a bit
+        /// survives only when both sides agree on a known value.
+        pub fn merge_unknown(&self, rhs: &RefVec) -> RefVec {
+            let w = self.join_width(rhs);
+            let a = self.resize(w);
+            let b = rhs.resize(w);
+            RefVec {
+                bits: (0..w)
+                    .map(|i| {
+                        let (x, y) = (a.bit(i), b.bit(i));
+                        if x == y && !x.is_unknown() {
+                            x
+                        } else {
+                            Logic::X
+                        }
+                    })
+                    .collect(),
+                signed: false,
+            }
+        }
+
+        pub fn case_matches(&self, pattern: &RefVec, x_is_wild: bool) -> bool {
+            let w = self.join_width(pattern);
+            let v = self.resize(w);
+            let p = pattern.resize(w);
+            (0..w).all(|i| {
+                let pb = p.bit(i);
+                let vb = v.bit(i);
+                if pb == Logic::Z || vb == Logic::Z {
+                    return true;
+                }
+                if x_is_wild && (pb == Logic::X || vb == Logic::X) {
+                    return true;
+                }
+                pb == vb
+            })
+        }
+
+        pub fn to_binary_string(&self) -> String {
+            self.bits.iter().rev().map(|b| b.to_char()).collect()
+        }
+
+        pub fn to_decimal_string(&self) -> String {
+            if let Some(v) = if self.signed {
+                self.to_i64().map(|v| v.to_string())
+            } else {
+                self.to_u64().map(|v| v.to_string())
+            } {
+                return v;
+            }
+            if self.bits.iter().all(|b| *b == Logic::Z) {
+                "z".to_string()
+            } else {
+                "x".to_string()
+            }
+        }
+
+        pub fn to_hex_string(&self) -> String {
+            let nibbles = self.width().div_ceil(4);
+            let mut out = String::with_capacity(nibbles);
+            for n in (0..nibbles).rev() {
+                let bits: Vec<Logic> = (0..4)
+                    .map(|i| {
+                        let idx = n * 4 + i;
+                        if idx < self.width() {
+                            self.bit(idx)
+                        } else {
+                            Logic::Zero
+                        }
+                    })
+                    .collect();
+                if bits.iter().all(|b| !b.is_unknown()) {
+                    let mut v = 0u8;
+                    for (i, b) in bits.iter().enumerate() {
+                        if *b == Logic::One {
+                            v |= 1 << i;
+                        }
+                    }
+                    out.push(char::from_digit(v as u32, 16).expect("nibble"));
+                } else if bits.iter().all(|b| *b == Logic::X) {
+                    out.push('x');
+                } else if bits.iter().all(|b| *b == Logic::Z) {
+                    out.push('z');
+                } else if bits.contains(&Logic::X) {
+                    out.push('X');
+                } else {
+                    out.push('Z');
+                }
+            }
+            out
+        }
+    }
+}
+
+use refimpl::RefVec;
+
+/// Maps raw bytes to four-state bits: residues 0 and 1 modulo `density`
+/// become `x` and `z`, everything else becomes a 0/1 drawn from the byte's
+/// parity. Small `density` ⇒ unknown-heavy vectors, large ⇒ mostly known.
+fn logic_bits(raw: &[u8], density: u8) -> Vec<Logic> {
+    raw.iter()
+        .map(|r| match r % density.max(2) {
+            0 => Logic::X,
+            1 => Logic::Z,
+            _ => Logic::from_bool(r & 1 == 1),
+        })
+        .collect()
+}
+
+/// Builds the packed vector and the reference vector from the same bits.
+fn pair(raw: &[u8], density: u8, signed: bool) -> (LogicVec, RefVec) {
+    let bits = logic_bits(raw, density);
+    (
+        LogicVec::from_bits(bits.clone(), signed),
+        RefVec::from_bits(bits, signed),
+    )
+}
+
+/// Full structural agreement: width, signedness, every four-state bit, and
+/// every scalar observer.
+fn assert_same(p: &LogicVec, r: &RefVec) -> Result<(), TestCaseError> {
+    prop_assert_eq!(p.width(), r.width(), "width of {} vs {:?}", p, r);
+    prop_assert_eq!(p.is_signed(), r.is_signed(), "signedness of {}", p);
+    prop_assert_eq!(&p.bits()[..], r.bits(), "bits of {} vs {:?}", p, r);
+    prop_assert_eq!(p.has_unknown(), r.has_unknown());
+    prop_assert_eq!(p.to_u64(), r.to_u64());
+    prop_assert_eq!(p.to_i64(), r.to_i64());
+    prop_assert_eq!(p.truthiness(), r.truthiness());
+    prop_assert_eq!(p.to_binary_string(), r.to_binary_string());
+    Ok(())
+}
+
+/// Strategy shorthand: raw bytes for a 1–200 bit vector.
+fn raw_vec() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 1..201)
+}
+
+/// Strategy shorthand: raw bytes for a short (1–8 bit) shift-amount vector.
+fn raw_amt() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 1..9)
+}
+
+const DENSITY: std::ops::Range<u8> = 3..24;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn constructors_agree(v in any::<u64>(), s in any::<i64>(), w in 1usize..201) {
+        assert_same(&LogicVec::from_u64(v, w), &RefVec::from_u64(v, w))?;
+        assert_same(&LogicVec::from_i64(s, w), &RefVec::from_i64(s, w))?;
+        assert_same(&LogicVec::from_bool(v & 1 == 1), &RefVec::from_bool(v & 1 == 1))?;
+    }
+
+    #[test]
+    fn arithmetic_agrees(
+        ra in raw_vec(), rb in raw_vec(),
+        da in DENSITY, db in DENSITY,
+        sa in any::<bool>(), sb in any::<bool>(),
+    ) {
+        let (pa, fa) = pair(&ra, da, sa);
+        let (pb, fb) = pair(&rb, db, sb);
+        assert_same(&pa.add(&pb), &fa.add(&fb))?;
+        assert_same(&pa.sub(&pb), &fa.sub(&fb))?;
+        assert_same(&pa.mul(&pb), &fa.mul(&fb))?;
+        assert_same(&pa.div(&pb), &fa.div(&fb))?;
+        assert_same(&pa.rem(&pb), &fa.rem(&fb))?;
+        assert_same(&pa.pow(&pb), &fa.pow(&fb))?;
+        assert_same(&pa.neg(), &fa.neg())?;
+    }
+
+    #[test]
+    fn bitwise_agrees(
+        ra in raw_vec(), rb in raw_vec(),
+        da in DENSITY, db in DENSITY,
+        sa in any::<bool>(), sb in any::<bool>(),
+    ) {
+        let (pa, fa) = pair(&ra, da, sa);
+        let (pb, fb) = pair(&rb, db, sb);
+        assert_same(&pa.bit_and(&pb), &fa.bit_and(&fb))?;
+        assert_same(&pa.bit_or(&pb), &fa.bit_or(&fb))?;
+        assert_same(&pa.bit_xor(&pb), &fa.bit_xor(&fb))?;
+        assert_same(&pa.bit_xnor(&pb), &fa.bit_xnor(&fb))?;
+        assert_same(&pa.bit_not(), &fa.bit_not())?;
+    }
+
+    #[test]
+    fn reductions_agree(ra in raw_vec(), da in DENSITY, sa in any::<bool>()) {
+        let (pa, fa) = pair(&ra, da, sa);
+        prop_assert_eq!(pa.reduce_and(), fa.reduce_and());
+        prop_assert_eq!(pa.reduce_or(), fa.reduce_or());
+        prop_assert_eq!(pa.reduce_xor(), fa.reduce_xor());
+    }
+
+    #[test]
+    fn shifts_agree(
+        ra in raw_vec(), rn in raw_amt(),
+        da in DENSITY, dn in 3u8..40,
+        sa in any::<bool>(),
+    ) {
+        let (pa, fa) = pair(&ra, da, sa);
+        let (pn, fn_) = pair(&rn, dn, false);
+        assert_same(&pa.shl(&pn), &fa.shl(&fn_))?;
+        assert_same(&pa.shr(&pn), &fa.shr(&fn_))?;
+        assert_same(&pa.ashr(&pn), &fa.ashr(&fn_))?;
+    }
+
+    #[test]
+    fn shifts_by_small_known_amounts_agree(
+        ra in raw_vec(), n in 0u64..210, da in DENSITY, sa in any::<bool>(),
+    ) {
+        let (pa, fa) = pair(&ra, da, sa);
+        let pn = LogicVec::from_u64(n, 8);
+        let fn_ = RefVec::from_u64(n, 8);
+        assert_same(&pa.shl(&pn), &fa.shl(&fn_))?;
+        assert_same(&pa.shr(&pn), &fa.shr(&fn_))?;
+        assert_same(&pa.ashr(&pn), &fa.ashr(&fn_))?;
+    }
+
+    #[test]
+    fn comparisons_agree(
+        ra in raw_vec(), rb in raw_vec(),
+        da in DENSITY, db in DENSITY,
+        sa in any::<bool>(), sb in any::<bool>(),
+    ) {
+        let (pa, fa) = pair(&ra, da, sa);
+        let (pb, fb) = pair(&rb, db, sb);
+        assert_same(&pa.eq_logic(&pb), &fa.eq_logic(&fb))?;
+        assert_same(&pa.ne_logic(&pb), &fa.ne_logic(&fb))?;
+        assert_same(&pa.case_eq(&pb), &fa.case_eq(&fb))?;
+        assert_same(&pa.lt(&pb), &fa.lt(&fb))?;
+        assert_same(&pa.le(&pb), &fa.le(&fb))?;
+        assert_same(&pa.gt(&pb), &fa.gt(&fb))?;
+        assert_same(&pa.ge(&pb), &fa.ge(&fb))?;
+    }
+
+    #[test]
+    fn comparisons_agree_on_equal_operands(ra in raw_vec(), da in DENSITY, sa in any::<bool>()) {
+        // lt/le/gt/ge boundaries are easiest to get wrong when both sides
+        // are identical; force that case explicitly.
+        let (pa, fa) = pair(&ra, da, sa);
+        assert_same(&pa.le(&pa), &fa.le(&fa))?;
+        assert_same(&pa.ge(&pa), &fa.ge(&fa))?;
+        assert_same(&pa.lt(&pa), &fa.lt(&fa))?;
+        assert_same(&pa.eq_logic(&pa), &fa.eq_logic(&fa))?;
+        assert_same(&pa.case_eq(&pa), &fa.case_eq(&fa))?;
+    }
+
+    #[test]
+    fn logical_ops_agree(
+        ra in raw_vec(), rb in raw_vec(),
+        da in DENSITY, db in DENSITY,
+    ) {
+        let (pa, fa) = pair(&ra, da, false);
+        let (pb, fb) = pair(&rb, db, false);
+        assert_same(&pa.logic_and(&pb), &fa.logic_and(&fb))?;
+        assert_same(&pa.logic_or(&pb), &fa.logic_or(&fb))?;
+        assert_same(&pa.logic_not(), &fa.logic_not())?;
+    }
+
+    #[test]
+    fn concat_replicate_select_agree(
+        ra in raw_vec(), rb in raw_vec(),
+        da in DENSITY, db in DENSITY,
+        count in 1usize..5, lo in 0usize..220, span in 0usize..40,
+    ) {
+        let (pa, fa) = pair(&ra, da, false);
+        let (pb, fb) = pair(&rb, db, true);
+        assert_same(&pa.concat(&pb), &fa.concat(&fb))?;
+        assert_same(&pa.replicate(count), &fa.replicate(count))?;
+        // Part-selects both in and out of range (out-of-range reads x).
+        assert_same(&pa.select(lo + span, lo), &fa.select(lo + span, lo))?;
+    }
+
+    #[test]
+    fn resize_agrees(ra in raw_vec(), da in DENSITY, sa in any::<bool>(), w in 1usize..220) {
+        let (pa, fa) = pair(&ra, da, sa);
+        assert_same(&pa.resize(w), &fa.resize(w))?;
+    }
+
+    #[test]
+    fn with_range_agrees(
+        ra in raw_vec(), rb in raw_vec(),
+        da in DENSITY, db in DENSITY,
+        sa in any::<bool>(), lo in 0usize..220, span in 0usize..80,
+    ) {
+        let (pa, fa) = pair(&ra, da, sa);
+        let (pb, fb) = pair(&rb, db, false);
+        assert_same(
+            &pa.with_range(lo + span, lo, &pb),
+            &fa.with_range(lo + span, lo, &fb),
+        )?;
+    }
+
+    #[test]
+    fn merge_unknown_agrees(
+        ra in raw_vec(), rb in raw_vec(),
+        da in DENSITY, db in DENSITY,
+        sa in any::<bool>(), sb in any::<bool>(),
+    ) {
+        let (pa, fa) = pair(&ra, da, sa);
+        let (pb, fb) = pair(&rb, db, sb);
+        assert_same(&pa.merge_unknown(&pb), &fa.merge_unknown(&fb))?;
+    }
+
+    #[test]
+    fn case_matches_agrees(
+        ra in raw_vec(), rb in raw_vec(),
+        da in DENSITY, db in 2u8..8,
+    ) {
+        // Patterns are unknown-heavy so wildcard handling is exercised hard.
+        let (pa, fa) = pair(&ra, da, false);
+        let (pb, fb) = pair(&rb, db, false);
+        prop_assert_eq!(pa.case_matches(&pb, false), fa.case_matches(&fb, false));
+        prop_assert_eq!(pa.case_matches(&pb, true), fa.case_matches(&fb, true));
+    }
+
+    #[test]
+    fn formatting_agrees(ra in raw_vec(), da in DENSITY, sa in any::<bool>()) {
+        let (pa, fa) = pair(&ra, da, sa);
+        prop_assert_eq!(pa.to_binary_string(), fa.to_binary_string());
+        prop_assert_eq!(pa.to_decimal_string(), fa.to_decimal_string());
+        prop_assert_eq!(pa.to_hex_string(), fa.to_hex_string());
+        prop_assert_eq!(
+            format!("{pa}"),
+            format!("{}'b{}", fa.width(), fa.to_binary_string())
+        );
+    }
+
+    #[test]
+    fn bit_indexing_agrees(ra in raw_vec(), da in DENSITY, i in 0usize..250) {
+        let (pa, fa) = pair(&ra, da, false);
+        prop_assert_eq!(pa.bit(i), fa.bit(i));
+    }
+}
+
+/// Uniform-value corner cases the random densities can miss entirely at
+/// large widths: all-z vectors (decimal formatting prints `z`), all-x, and
+/// all-ones at exactly 64/65 bits (the inline/heap boundary).
+#[test]
+fn uniform_vectors_agree() {
+    for width in [1usize, 63, 64, 65, 128, 200] {
+        for fill in [Logic::Zero, Logic::One, Logic::X, Logic::Z] {
+            let bits = vec![fill; width];
+            let p = LogicVec::from_bits(bits.clone(), false);
+            let r = RefVec::from_bits(bits, false);
+            assert_eq!(&p.bits()[..], r.bits());
+            assert_eq!(p.to_u64(), r.to_u64());
+            assert_eq!(p.to_decimal_string(), r.to_decimal_string());
+            assert_eq!(p.to_hex_string(), r.to_hex_string());
+            assert_eq!(p.reduce_and(), r.reduce_and());
+            assert_eq!(p.reduce_or(), r.reduce_or());
+            assert_eq!(p.reduce_xor(), r.reduce_xor());
+            assert_eq!(p.bit_not().bits(), r.bit_not().bits().to_vec());
+            assert_eq!(p.truthiness(), r.truthiness());
+        }
+    }
+}

@@ -63,18 +63,20 @@ USAGE:
   vgen prompt <id> [--level L|M|H]        print a problem prompt
   vgen eval <file.v> --problem <id>       score a candidate DUT source
   vgen eval --journal <path> [--resume] [--model NAME] [--tuning ft|pt] [--full]
-            [--jobs N]
+            [--jobs N] [--no-dedup]
                                           sweep the family engine over the
                                           eval grid, journaling each record;
                                           --resume continues a killed run;
                                           --jobs N checks completions on N
                                           worker threads (default: all
-                                          cores; results are byte-identical
-                                          for every N)
+                                          cores); --no-dedup disables the
+                                          duplicate-completion check cache;
+                                          results are byte-identical for
+                                          every N and cache setting
 ";
 
 /// Flags that take no value (everything else consumes the next argument).
-const BOOL_FLAGS: &[&str] = &["--resume", "--full", "--json", "--problems"];
+const BOOL_FLAGS: &[&str] = &["--resume", "--full", "--json", "--problems", "--no-dedup"];
 
 fn flag_value<'a>(rest: &'a [&String], name: &str) -> Option<&'a str> {
     rest.iter()
@@ -391,19 +393,26 @@ fn cmd_eval_grid(rest: &[&String], journal: &str) -> Result<(), String> {
     let opts = vgen::core::SweepOptions {
         jobs: parse_jobs(flag_value(rest, "--jobs"))?,
         progress: vgen::core::SweepOptions::progress_auto(),
+        dedup: !has_flag(rest, "--no-dedup"),
     };
     // Execution details go to stderr; the stdout report stays
-    // byte-identical across worker counts (the CI determinism gate
-    // diffs it).
+    // byte-identical across worker counts and cache settings (the CI
+    // determinism gate diffs it).
     eprintln!("[eval] {} worker(s)", opts.effective_jobs());
     let mut engine = FamilyEngine::new(ModelId::new(family, tuning), CorpusSource::GithubOnly, 42);
-    let run = vgen::core::run_engine_sweep(
+    let (run, stats) = vgen::core::run_engine_sweep_stats(
         &mut engine,
         &config,
         Some((std::path::Path::new(journal), resume)),
         &opts,
     )
     .map_err(|e| e.to_string())?;
+    eprintln!(
+        "[eval] {} checks run, {} dedup cache hits ({:.0}%)",
+        stats.checks_run,
+        stats.cache_hits,
+        stats.hit_rate() * 100.0
+    );
     print!("{}", vgen::core::render_eval_summary(&run, journal));
     Ok(())
 }
