@@ -1,0 +1,214 @@
+//! `obs_overhead` — cost of the tracing layer on a real sweep.
+//!
+//! Runs the same evaluation sweep with tracing off and on (interleaved,
+//! best-of-N so a stray scheduling hiccup doesn't skew either side),
+//! verifies the traced run produced byte-identical records, validates the
+//! exported Chrome trace (well-formed JSON covering every pipeline stage)
+//! and writes the measured overhead to `BENCH_obs.json`.
+//!
+//! ```text
+//! cargo run --release -p vgen-bench --bin obs_overhead -- --quick
+//! cargo run --release -p vgen-bench --bin obs_overhead -- --quick --gate
+//! ```
+//!
+//! `--gate` exits non-zero when the measured overhead exceeds
+//! [`OVERHEAD_BUDGET_PCT`] — the CI regression fence for the observability
+//! layer's "near-zero cost" promise.
+
+use std::time::Instant;
+
+use vgen_bench::write_artifact;
+use vgen_core::{run_engine_parallel, EvalConfig, EvalRun};
+use vgen_corpus::CorpusSource;
+use vgen_lm::{FamilyEngine, ModelFamily, ModelId, Tuning};
+use vgen_problems::PromptLevel;
+use vgen_sim::SimConfig;
+
+/// Maximum tolerated slowdown from enabling tracing, in percent.
+const OVERHEAD_BUDGET_PCT: f64 = 5.0;
+
+/// Stages the exported trace must cover (the instrumentation contract).
+const STAGES: &[&str] = &[
+    "generate",
+    "parse",
+    "lint",
+    "elaborate",
+    "simulate",
+    "check",
+];
+
+fn engine() -> FamilyEngine {
+    FamilyEngine::new(
+        ModelId::new(ModelFamily::CodeGen16B, Tuning::FineTuned),
+        CorpusSource::GithubOnly,
+        42,
+    )
+}
+
+fn config(quick: bool) -> EvalConfig {
+    if quick {
+        EvalConfig {
+            temperatures: vec![0.1],
+            ns: vec![4],
+            levels: vec![PromptLevel::Low],
+            problem_ids: (1..=17).collect(),
+            sim: SimConfig::default(),
+        }
+    } else {
+        EvalConfig {
+            temperatures: vec![0.1, 0.5],
+            ns: vec![10],
+            levels: PromptLevel::ALL.to_vec(),
+            problem_ids: (1..=17).collect(),
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+/// One timed sweep. When `traced`, a fresh obs session wraps the run and
+/// the collected report is returned alongside.
+fn run_once(cfg: &EvalConfig, traced: bool) -> (EvalRun, f64, Option<vgen_obs::ObsReport>) {
+    if traced {
+        vgen_obs::enable();
+    }
+    let start = Instant::now();
+    let run = run_engine_parallel(&mut engine(), cfg, 1).expect("sweep");
+    let secs = start.elapsed().as_secs_f64();
+    let report = traced.then(vgen_obs::collect);
+    (run, secs, report)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let gate = args.iter().any(|a| a == "--gate");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let reps = if quick { 5 } else { 3 };
+    let cfg = config(quick);
+
+    // Warm-up: fault in code pages and the problem/corpus statics so the
+    // first measured rep isn't paying one-time costs.
+    let (baseline_run, _, _) = run_once(&cfg, false);
+
+    // Interleave plain/traced reps so clock drift and thermal effects hit
+    // both sides equally; keep the best (minimum) of each.
+    let mut plain_best = f64::INFINITY;
+    let mut traced_best = f64::INFINITY;
+    let mut last_report = None;
+    for _ in 0..reps {
+        let (run, secs, _) = run_once(&cfg, false);
+        assert_eq!(run, baseline_run, "untraced runs disagree");
+        plain_best = plain_best.min(secs);
+        let (run, secs, report) = run_once(&cfg, true);
+        assert_eq!(
+            run, baseline_run,
+            "tracing changed the records — determinism broken"
+        );
+        traced_best = traced_best.min(secs);
+        last_report = report;
+    }
+
+    // Self-validate the export path on the final traced report.
+    let report = last_report.expect("traced rep ran");
+    let trace = vgen_obs::trace::chrome_trace_json(&report);
+    assert_eq!(
+        vgen_obs::json::validate(&trace),
+        Ok(()),
+        "trace export is not well-formed JSON"
+    );
+    for stage in STAGES {
+        assert!(
+            trace.contains(&format!("\"name\": \"{stage}\"")),
+            "trace is missing stage `{stage}`"
+        );
+        assert!(
+            report.hists.contains_key(stage),
+            "no duration histogram for stage `{stage}`"
+        );
+    }
+
+    let overhead_pct = (traced_best - plain_best) / plain_best * 100.0;
+    let checks = baseline_run.records.len();
+    println!(
+        "obs_overhead: {checks} records, best of {reps}: \
+         plain {plain_best:.4}s, traced {traced_best:.4}s, overhead {overhead_pct:+.2}%"
+    );
+    println!(
+        "trace: {} span events, {} stages, {} dropped",
+        report.events.len(),
+        report.hists.len(),
+        report.dropped_events
+    );
+
+    let json = render_json(
+        quick,
+        checks,
+        reps,
+        plain_best,
+        traced_best,
+        overhead_pct,
+        &report,
+    );
+    write_artifact("BENCH_obs.json", &json);
+    if let Some(path) = out_path {
+        match std::fs::write(&path, &json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if gate && overhead_pct > OVERHEAD_BUDGET_PCT {
+        eprintln!(
+            "FAIL: tracing overhead {overhead_pct:.2}% exceeds the \
+             {OVERHEAD_BUDGET_PCT:.0}% budget"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Hand-rolled JSON (no serde in this environment): a stable, diffable
+/// shape for the overhead trajectory.
+fn render_json(
+    quick: bool,
+    checks: usize,
+    reps: usize,
+    plain_best: f64,
+    traced_best: f64,
+    overhead_pct: f64,
+    report: &vgen_obs::ObsReport,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"obs_overhead\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    out.push_str(&format!("  \"records\": {checks},\n"));
+    out.push_str(&format!("  \"reps\": {reps},\n"));
+    out.push_str(&format!("  \"plain_seconds\": {plain_best:.6},\n"));
+    out.push_str(&format!("  \"traced_seconds\": {traced_best:.6},\n"));
+    out.push_str(&format!("  \"overhead_pct\": {overhead_pct:.3},\n"));
+    out.push_str(&format!("  \"budget_pct\": {OVERHEAD_BUDGET_PCT:.1},\n"));
+    out.push_str(&format!("  \"span_events\": {},\n", report.events.len()));
+    out.push_str(&format!(
+        "  \"dropped_events\": {},\n",
+        report.dropped_events
+    ));
+    out.push_str(&format!(
+        "  \"stages\": [{}]\n",
+        report
+            .hists
+            .keys()
+            .map(|k| format!("\"{k}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str("}\n");
+    out
+}

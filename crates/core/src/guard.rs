@@ -89,11 +89,16 @@ pub fn guarded_check_completion(
     completion: &str,
     config: SimConfig,
 ) -> CheckResult {
+    // The ephemeral checker thread records onto the spawning worker's obs
+    // lane, so a sweep's trace shows one timeline per worker rather than
+    // one per check.
+    let lane = vgen_obs::current_lane();
     let caught = std::thread::scope(|scope| {
         let handle = std::thread::Builder::new()
             .name("vgen-check".into())
             .stack_size(CHECK_STACK_BYTES)
-            .spawn_scoped(scope, || {
+            .spawn_scoped(scope, move || {
+                vgen_obs::adopt_lane(lane);
                 catch_harness_fault(|| check_completion(problem, level, completion, config))
             });
         match handle {
@@ -107,11 +112,14 @@ pub fn guarded_check_completion(
     });
     match caught {
         Ok(r) => r,
-        Err(msg) => CheckResult {
-            outcome: CheckOutcome::HarnessFault(msg),
-            source: String::new(),
-            lint: None,
-        },
+        Err(msg) => {
+            vgen_obs::counter_add("guard.fault", 1);
+            CheckResult {
+                outcome: CheckOutcome::HarnessFault(msg),
+                source: String::new(),
+                lint: None,
+            }
+        }
     }
 }
 

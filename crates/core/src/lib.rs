@@ -38,7 +38,9 @@ pub use experiments::{evaluate_all_models, evaluate_model};
 pub use guard::{catch_harness_fault, guarded_check_completion};
 pub use metrics::{pass_at_k, pass_fraction, Tally};
 pub use pool::{ReorderBuffer, WorkerPool};
-pub use report::{headline_stats, render_eval_summary, render_fault_summary, Headline, ModelRun};
+pub use report::{
+    headline_stats, render_eval_summary, render_fault_summary, sweep_stats_json, Headline, ModelRun,
+};
 pub use sweep::{
     config_fingerprint, read_journal, run_engine, run_engine_journaled, run_engine_parallel,
     run_engine_sweep, run_engine_sweep_stats, EvalConfig, EvalRun, Record, SweepOptions,

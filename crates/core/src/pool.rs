@@ -196,6 +196,7 @@ fn refill_from_injector<R>(id: usize, shared: &Shared<R>) -> Option<(usize, Task
         injector.drain(..take).collect::<VecDeque<_>>()
     };
     let first = batch.pop_front()?;
+    vgen_obs::counter_add("pool.refill", 1);
     if !batch.is_empty() {
         lock_unpoisoned(&shared.locals[id]).extend(batch);
         shared.wake.notify_all();
@@ -210,6 +211,7 @@ fn steal<R>(id: usize, shared: &Shared<R>) -> Option<(usize, Task<R>)> {
     for off in 1..n {
         let victim = (id + off) % n;
         if let Some(t) = lock_unpoisoned(&shared.locals[victim]).pop_back() {
+            vgen_obs::counter_add("pool.steal", 1);
             return Some(t);
         }
     }
@@ -225,6 +227,7 @@ fn worker_loop<R: Send>(
 ) {
     loop {
         if let Some((index, task)) = find_task(id, shared) {
+            vgen_obs::counter_add("pool.task", 1);
             // catch_harness_fault keeps a panicking task from killing the
             // worker (which would strand everything left on its deque)
             // and suppresses the default panic report, exactly as for

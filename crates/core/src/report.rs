@@ -4,7 +4,7 @@ use vgen_lm::latency::paper_mean_seconds;
 use vgen_lm::registry::ModelId;
 use vgen_problems::{problems, Difficulty, PromptLevel};
 
-use crate::sweep::EvalRun;
+use crate::sweep::{EvalRun, SweepStats};
 
 /// One evaluated model row: which model plus its measured run.
 #[derive(Debug, Clone)]
@@ -346,6 +346,21 @@ pub fn records_csv(rows: &[ModelRun]) -> String {
         }
     }
     out
+}
+
+/// Machine-readable JSON for one sweep's execution statistics — the dedup
+/// cache tally that the stderr `[eval]` line renders for humans.
+///
+/// Execution statistics depend on the cache setting, so they live in a
+/// sidecar file next to the journal rather than in the deterministic
+/// stdout report (which CI diffs across `--jobs` and `--no-dedup`).
+pub fn sweep_stats_json(stats: &SweepStats) -> String {
+    format!(
+        "{{\n  \"checks_run\": {},\n  \"cache_hits\": {},\n  \"hit_rate\": {:.4}\n}}\n",
+        stats.checks_run,
+        stats.cache_hits,
+        stats.hit_rate()
+    )
 }
 
 /// Renders harness-fault counts per model run. Faults are harness bugs,

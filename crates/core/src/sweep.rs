@@ -378,6 +378,7 @@ fn check_to_record(
 }
 
 fn check_item(item: &WorkItem, sim: SimConfig) -> Record {
+    let _span = vgen_obs::span("check");
     check_to_record(
         item.problem,
         item.level,
@@ -663,6 +664,7 @@ impl JournalWriter {
                 for line in rx {
                     writeln!(file, "{line}")?;
                     file.flush()?;
+                    vgen_obs::counter_add("journal.write", 1);
                 }
                 Ok(())
             })
@@ -836,6 +838,7 @@ pub fn run_engine_sweep_stats(
             let rec = match cached {
                 Some(hit) => {
                     stats.cache_hits += 1;
+                    vgen_obs::counter_add("dedup.hit", 1);
                     hit.replay(item.meta())
                 }
                 None => {
@@ -874,6 +877,7 @@ pub fn run_engine_sweep_stats(
                     Entry::Occupied(leader) => {
                         followers.entry(*leader.get()).or_default().push(item.pos);
                         stats.cache_hits += 1;
+                        vgen_obs::counter_add("dedup.hit", 1);
                         continue;
                     }
                     Entry::Vacant(slot) => {

@@ -123,6 +123,7 @@ impl LintReport {
 /// Lints an already-parsed source file: every module is analysed
 /// independently and the findings are merged, sorted and capped.
 pub fn lint_file(file: &SourceFile) -> LintReport {
+    let _span = vgen_obs::span("lint");
     let mut diagnostics = Vec::new();
     for module in &file.modules {
         let a = analyze::Analysis::build(file, module);

@@ -335,6 +335,7 @@ impl CompletionEngine for FamilyEngine {
         temperature: f64,
         n: usize,
     ) -> Vec<Completion> {
+        let _span = vgen_obs::span("generate");
         let p_compile = self.p_compile(problem.difficulty, temperature);
         let p_functional = self.p_functional(problem, level, temperature, n);
         let model = self.model;

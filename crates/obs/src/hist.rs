@@ -1,0 +1,251 @@
+//! Fixed-footprint log₂-bucketed histograms for nanosecond durations.
+//!
+//! A [`Histogram`] is 64 power-of-two buckets plus count/sum/min/max — a
+//! constant ~600 bytes regardless of how many samples it absorbs, so every
+//! worker thread can keep one per stage without allocation and the
+//! collector can merge them with plain addition. Quantiles are estimated
+//! from the bucket a target rank falls in (geometric interpolation within
+//! the bucket, clamped to the observed min/max), which is exact to within
+//! a factor of two — ample for "where does the wall-time go" questions.
+
+/// Number of buckets: bucket `i` (for `i ≥ 1`) covers `[2^(i-1), 2^i)`;
+/// bucket 0 holds exact zeros. `u64::MAX` lands in bucket 63.
+const BUCKETS: usize = 64;
+
+/// A log₂-bucketed histogram over `u64` samples (typically nanoseconds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded samples (saturating).
+    pub sum: u64,
+    /// Smallest recorded sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded sample (0 when empty).
+    pub max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+/// The bucket a value falls in: 0 for 0, otherwise `floor(log2(v)) + 1`,
+/// clamped so the top bucket absorbs everything from `2^62` up.
+fn bucket_index(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// The inclusive `[lo, hi]` value range bucket `i` covers.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        i if i == BUCKETS - 1 => (1u64 << (i - 1), u64::MAX),
+        _ => (1u64 << (i - 1), (1u64 << i) - 1),
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Merges another histogram into this one (commutative, associative).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`): the midpoint of the bucket
+    /// holding the sample of rank `ceil(q·count)`, clamped to the observed
+    /// `[min, max]`. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                let mid = lo + (hi - lo) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Per-bucket counts (`[lo, hi]` bounds plus count), zero buckets
+    /// omitted — the machine-readable export shape.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, n)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_domain() {
+        // Buckets must tile [0, u64::MAX] with no gaps or overlaps.
+        assert_eq!(bucket_bounds(0), (0, 0));
+        let mut expect_lo = 1u64;
+        for i in 1..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expect_lo, "bucket {i} lower bound");
+            // Every value in [lo, hi] maps back to bucket i.
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+            expect_lo = hi.wrapping_add(1);
+        }
+        assert_eq!(bucket_bounds(BUCKETS - 1).1, u64::MAX);
+        assert_eq!(expect_lo, 0, "last bucket ends at u64::MAX");
+    }
+
+    #[test]
+    fn record_tracks_count_sum_min_max() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        for v in [5u64, 100, 3, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 1108);
+        assert_eq!(h.min, 3);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.mean(), 277);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_samples_are_ordered_and_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        let p90 = h.quantile(0.9);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        assert!((1..=1000).contains(&p50));
+        assert!((1..=1000).contains(&p99));
+        // Log-bucket estimates are exact to within a factor of two.
+        assert!((250..=1000).contains(&p50), "p50 estimate {p50}");
+        assert!((450..=1000).contains(&p90), "p90 estimate {p90}");
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn single_value_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        h.record(42);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 42, "q={q}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [1u64, 2, 3, 500] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [7u64, 0, 90_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn nonzero_buckets_cover_all_samples() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 1, 9, 9, 9] {
+            h.record(v);
+        }
+        let buckets = h.nonzero_buckets();
+        let total: u64 = buckets.iter().map(|(_, _, n)| n).sum();
+        assert_eq!(total, h.count);
+        assert_eq!(buckets[0], (0, 0, 1));
+        assert_eq!(buckets[1], (1, 1, 2));
+        assert_eq!(buckets[2], (8, 15, 3));
+    }
+
+    #[test]
+    fn saturating_sum_does_not_wrap() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum, u64::MAX);
+        assert_eq!(h.count, 2);
+    }
+}

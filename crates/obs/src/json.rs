@@ -1,0 +1,248 @@
+//! A minimal JSON emitter and syntax validator.
+//!
+//! The build environment has no serde; the export sinks hand-roll their
+//! JSON, and this module keeps them honest: [`validate`] is a strict
+//! recursive-descent checker (RFC 8259 grammar, no extensions) used by the
+//! trace/metrics tests and the `obs_overhead` bench gate, and [`escape`]
+//! is the shared string-escaping helper.
+
+/// Escapes `s` for embedding inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Validates that `s` is exactly one well-formed JSON value (plus optional
+/// surrounding whitespace). Returns the byte offset and a message on the
+/// first syntax error.
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn fail(pos: usize, what: &str) -> Result<(), String> {
+    Err(format!("{what} at byte {pos}"))
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        _ => fail(*pos, "expected a JSON value"),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        fail(*pos, "bad literal")
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return fail(*pos, "expected object key");
+        }
+        string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return fail(*pos, "expected ':'");
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return fail(*pos, "expected ',' or '}'"),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return fail(*pos, "expected ',' or ']'"),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '"'
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !b.get(*pos).is_some_and(u8::is_ascii_hexdigit) {
+                                return fail(*pos, "bad \\u escape");
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return fail(*pos, "bad escape"),
+                }
+            }
+            0x00..=0x1f => return fail(*pos, "raw control character in string"),
+            _ => *pos += 1,
+        }
+    }
+    fail(*pos, "unterminated string")
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    // Integer part: one zero, or a nonzero digit run.
+    match b.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(c) if c.is_ascii_digit() => {
+            while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+                *pos += 1;
+            }
+        }
+        _ => return fail(start, "bad number"),
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            return fail(*pos, "bad fraction");
+        }
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            return fail(*pos, "bad exponent");
+        }
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_documents() {
+        for ok in [
+            "null",
+            "true",
+            "0",
+            "-12.5e+3",
+            "\"a \\\"quoted\\\" string\\n\"",
+            "[]",
+            "{}",
+            "[1, 2, [3, {\"k\": null}]]",
+            "{\"a\": [1.5], \"b\": {\"c\": \"d\"}}",
+            "  {\"padded\": true}  ",
+        ] {
+            assert_eq!(validate(ok), Ok(()), "rejected `{ok}`");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"k\":}",
+            "{\"k\" 1}",
+            "{k: 1}",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "[1] trailing",
+            "nul",
+        ] {
+            assert!(validate(bad).is_err(), "accepted `{bad}`");
+        }
+        let raw_control = "\"raw \u{0007} control\"".to_string();
+        assert!(validate(&raw_control).is_err(), "accepted raw control char");
+    }
+
+    #[test]
+    fn escape_roundtrips_through_validate() {
+        let hostile = "quote\" backslash\\ newline\n tab\t bell\u{0007} unicode ✓";
+        let doc = format!("{{\"k\": \"{}\"}}", escape(hostile));
+        assert_eq!(validate(&doc), Ok(()), "{doc}");
+    }
+}

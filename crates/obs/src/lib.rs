@@ -1,0 +1,528 @@
+//! # vgen-obs
+//!
+//! Zero-dependency structured tracing and metrics for the VGen pipeline.
+//!
+//! The evaluation sweep pushes thousands of completions through
+//! generate → parse → lint → elaborate → simulate; this crate answers
+//! *where the time goes* without perturbing what the sweep produces:
+//!
+//! * **Spans** — [`span`] returns an RAII guard that records a named,
+//!   monotonic-clock-stamped interval when dropped. Nested spans nest in
+//!   the trace; every span also feeds a per-stage duration
+//!   [`Histogram`](hist::Histogram).
+//! * **Counters and maxima** — [`counter_add`] accumulates event counts
+//!   (cache hits, scheduler steps, steals); [`gauge_max`] tracks a
+//!   high-water mark (scheduler queue depth).
+//! * **Lanes** — every recording thread gets a *lane* (a `tid` in the
+//!   Chrome trace). Ephemeral helper threads (the per-check guard thread)
+//!   [adopt](adopt_lane) their parent's lane so a worker's checks render
+//!   as one coherent timeline instead of thousands of one-shot rows.
+//!
+//! ## Recording architecture
+//!
+//! Instrumentation writes only to a **thread-local** [`ThreadRecorder`]:
+//! a bounded span buffer plus small name-keyed counter/histogram tables.
+//! The hot path takes no lock and touches no shared cache line. When a
+//! thread exits (or [`collect`] runs, for the calling thread) its recorder
+//! drains into a global, mutex-guarded accumulator — one lock acquisition
+//! per thread lifetime, not per event. [`collect`] then snapshots the
+//! accumulator into an immutable [`ObsReport`] for the export sinks
+//! ([`trace`] for Chrome `trace_event` JSON, [`summary`] for the metrics
+//! table).
+//!
+//! ## Determinism
+//!
+//! Nothing here feeds back into pipeline output: recording is write-only
+//! from the pipeline's perspective, and the sweep's reports/journals are
+//! produced from [`Record`]s alone. Enabling tracing therefore cannot
+//! change a byte of report or journal output — a property CI enforces.
+//!
+//! When disabled (the default), every entry point is a single relaxed
+//! atomic load and an early return.
+//!
+//! ```
+//! vgen_obs::enable();
+//! {
+//!     let _s = vgen_obs::span("parse");
+//!     vgen_obs::counter_add("parse.calls", 1);
+//! }
+//! let report = vgen_obs::collect();
+//! assert_eq!(report.counters["parse.calls"], 1);
+//! assert_eq!(report.hists["parse"].count, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod json;
+pub mod summary;
+pub mod trace;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use hist::Histogram;
+
+/// Cap on buffered span events per thread between flushes; spans past the
+/// cap are counted as dropped (histograms and counters are never dropped —
+/// they are fixed-size regardless of sample count).
+const MAX_EVENTS_PER_THREAD: usize = 1 << 18;
+
+/// Cap on span events held in the global accumulator; a runaway sweep
+/// degrades to a truncated trace plus an accurate dropped-count, never
+/// unbounded memory.
+const MAX_TOTAL_EVENTS: usize = 4 << 20;
+
+/// One completed span: a named interval on a lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Stage name (`"parse"`, `"simulate"`, …).
+    pub name: &'static str,
+    /// Lane (Chrome trace `tid`) the span ran on.
+    pub lane: u32,
+    /// Start, in nanoseconds of the process-wide monotonic clock.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Everything one recording session produced, snapshotted by [`collect`].
+#[derive(Debug, Clone, Default)]
+pub struct ObsReport {
+    /// Completed spans, in per-thread arrival order (not globally sorted).
+    pub events: Vec<SpanEvent>,
+    /// Spans discarded because a buffer cap was hit.
+    pub dropped_events: u64,
+    /// Counter totals by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// High-water marks by name.
+    pub maxima: BTreeMap<&'static str, u64>,
+    /// Span-duration histograms by stage name (nanoseconds).
+    pub hists: BTreeMap<&'static str, Histogram>,
+    /// Lane names, indexed by lane id.
+    pub lanes: Vec<String>,
+    /// Monotonic-clock nanoseconds when [`enable`] ran.
+    pub session_start_ns: u64,
+    /// Monotonic-clock nanoseconds when [`collect`] ran.
+    pub session_end_ns: u64,
+}
+
+impl ObsReport {
+    /// Session wall time in nanoseconds.
+    pub fn wall_ns(&self) -> u64 {
+        self.session_end_ns.saturating_sub(self.session_start_ns)
+    }
+}
+
+/// The global accumulator threads drain into.
+#[derive(Default)]
+struct Accumulator {
+    events: Vec<SpanEvent>,
+    dropped: u64,
+    counters: BTreeMap<&'static str, u64>,
+    maxima: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Histogram>,
+}
+
+impl Accumulator {
+    fn absorb(&mut self, rec: &mut ThreadRecorder) {
+        self.dropped += rec.dropped;
+        rec.dropped = 0;
+        let room = MAX_TOTAL_EVENTS.saturating_sub(self.events.len());
+        if rec.events.len() > room {
+            self.dropped += (rec.events.len() - room) as u64;
+            rec.events.truncate(room);
+        }
+        self.events.append(&mut rec.events);
+        for (name, n) in rec.counters.drain(..) {
+            *self.counters.entry(name).or_insert(0) += n;
+        }
+        for (name, v) in rec.maxima.drain(..) {
+            let slot = self.maxima.entry(name).or_insert(0);
+            *slot = (*slot).max(v);
+        }
+        for (name, h) in rec.hists.drain(..) {
+            self.hists.entry(name).or_default().merge(&h);
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_LANE: AtomicU32 = AtomicU32::new(0);
+static SESSION_START_NS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn accumulator() -> &'static Mutex<Accumulator> {
+    static ACC: OnceLock<Mutex<Accumulator>> = OnceLock::new();
+    ACC.get_or_init(Mutex::default)
+}
+
+fn lanes() -> &'static Mutex<Vec<String>> {
+    static LANES: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    LANES.get_or_init(Mutex::default)
+}
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Nanoseconds since a fixed, process-wide monotonic epoch.
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Small name-keyed tables: with ~a dozen distinct names per thread a
+/// linear scan beats hashing and keeps the hot path allocation-free after
+/// warm-up.
+fn bump(table: &mut Vec<(&'static str, u64)>, name: &'static str, n: u64, max: bool) {
+    for (k, v) in table.iter_mut() {
+        if *k == name {
+            if max {
+                *v = (*v).max(n);
+            } else {
+                *v += n;
+            }
+            return;
+        }
+    }
+    table.push((name, n));
+}
+
+/// Per-thread recording buffers. Created lazily on a thread's first
+/// instrumentation hit while enabled; drained into the global accumulator
+/// when the thread exits.
+struct ThreadRecorder {
+    lane: u32,
+    events: Vec<SpanEvent>,
+    dropped: u64,
+    counters: Vec<(&'static str, u64)>,
+    maxima: Vec<(&'static str, u64)>,
+    hists: Vec<(&'static str, Histogram)>,
+}
+
+impl ThreadRecorder {
+    fn new(lane: u32) -> Self {
+        ThreadRecorder {
+            lane,
+            events: Vec::new(),
+            dropped: 0,
+            counters: Vec::new(),
+            maxima: Vec::new(),
+            hists: Vec::new(),
+        }
+    }
+
+    fn push_span(&mut self, name: &'static str, start_ns: u64, dur_ns: u64) {
+        if self.events.len() < MAX_EVENTS_PER_THREAD {
+            self.events.push(SpanEvent {
+                name,
+                lane: self.lane,
+                start_ns,
+                dur_ns,
+            });
+        } else {
+            self.dropped += 1;
+        }
+        for (k, h) in self.hists.iter_mut() {
+            if *k == name {
+                h.record(dur_ns);
+                return;
+            }
+        }
+        let mut h = Histogram::new();
+        h.record(dur_ns);
+        self.hists.push((name, h));
+    }
+}
+
+impl Drop for ThreadRecorder {
+    fn drop(&mut self) {
+        lock_unpoisoned(accumulator()).absorb(self);
+    }
+}
+
+/// Registers a fresh lane named after the current thread.
+fn register_lane() -> u32 {
+    let lane = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
+    let name = std::thread::current()
+        .name()
+        .map(|n| n.to_string())
+        .unwrap_or_else(|| format!("thread-{lane}"));
+    let mut names = lock_unpoisoned(lanes());
+    while names.len() <= lane as usize {
+        names.push(String::new());
+    }
+    names[lane as usize] = name;
+    lane
+}
+
+thread_local! {
+    static RECORDER: RefCell<Option<ThreadRecorder>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with this thread's recorder, creating it (on a fresh lane) on
+/// first use. `None` if the thread-local is already torn down.
+fn with_recorder<T>(f: impl FnOnce(&mut ThreadRecorder) -> T) -> Option<T> {
+    RECORDER
+        .try_with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let rec = slot.get_or_insert_with(|| ThreadRecorder::new(register_lane()));
+            f(rec)
+        })
+        .ok()
+}
+
+/// Whether a recording session is active.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Starts a recording session: clears any previously collected data and
+/// enables all instrumentation.
+///
+/// Call from a quiet point (before spawning instrumented workers): threads
+/// still buffering data from an earlier session would bleed into this one.
+pub fn enable() {
+    ENABLED.store(false, Ordering::SeqCst);
+    // Drop (and thereby flush) the calling thread's recorder *before*
+    // clearing the accumulator, so stale data cannot leak into the new
+    // session.
+    RECORDER.with(|cell| *cell.borrow_mut() = None);
+    *lock_unpoisoned(accumulator()) = Accumulator::default();
+    lock_unpoisoned(lanes()).clear();
+    NEXT_LANE.store(0, Ordering::Relaxed);
+    SESSION_START_NS.store(now_ns(), Ordering::Relaxed);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Ends the session and returns everything recorded.
+///
+/// Call after instrumented worker threads have been joined — a thread's
+/// buffers drain into the global accumulator when it exits, and `collect`
+/// only drains the *calling* thread's buffers itself.
+pub fn collect() -> ObsReport {
+    ENABLED.store(false, Ordering::SeqCst);
+    // Flush the calling thread's recorder by dropping it.
+    RECORDER.with(|cell| *cell.borrow_mut() = None);
+    let mut acc = lock_unpoisoned(accumulator());
+    let acc = std::mem::take(&mut *acc);
+    ObsReport {
+        events: acc.events,
+        dropped_events: acc.dropped,
+        counters: acc.counters,
+        maxima: acc.maxima,
+        hists: acc.hists,
+        lanes: lock_unpoisoned(lanes()).clone(),
+        session_start_ns: SESSION_START_NS.load(Ordering::Relaxed),
+        session_end_ns: now_ns(),
+    }
+}
+
+/// RAII span guard: records `[creation, drop)` under `name` when dropped.
+/// Inert (and allocation-free) when tracing is disabled.
+#[must_use = "a span measures until it is dropped"]
+pub struct SpanGuard {
+    name: &'static str,
+    start_ns: u64,
+    active: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let dur = now_ns().saturating_sub(self.start_ns);
+        with_recorder(|rec| rec.push_span(self.name, self.start_ns, dur));
+    }
+}
+
+/// Opens a span named `name` on the current thread's lane.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    let active = is_enabled();
+    SpanGuard {
+        name,
+        start_ns: if active { now_ns() } else { 0 },
+        active,
+    }
+}
+
+/// Adds `n` to the counter `name`.
+#[inline]
+pub fn counter_add(name: &'static str, n: u64) {
+    if !is_enabled() {
+        return;
+    }
+    with_recorder(|rec| bump(&mut rec.counters, name, n, false));
+}
+
+/// Raises the high-water mark `name` to at least `v`.
+#[inline]
+pub fn gauge_max(name: &'static str, v: u64) {
+    if !is_enabled() {
+        return;
+    }
+    with_recorder(|rec| bump(&mut rec.maxima, name, v, true));
+}
+
+/// Records `ns` into the duration histogram `name` without emitting a
+/// trace event — for sub-spans too numerous to trace individually.
+#[inline]
+pub fn record_ns(name: &'static str, ns: u64) {
+    if !is_enabled() {
+        return;
+    }
+    with_recorder(|rec| {
+        for (k, h) in rec.hists.iter_mut() {
+            if *k == name {
+                h.record(ns);
+                return;
+            }
+        }
+        let mut h = Histogram::new();
+        h.record(ns);
+        rec.hists.push((name, h));
+    });
+}
+
+/// The current thread's lane id (assigning one if needed). Cheap and 0
+/// when tracing is disabled.
+pub fn current_lane() -> u32 {
+    if !is_enabled() {
+        return 0;
+    }
+    with_recorder(|rec| rec.lane).unwrap_or(0)
+}
+
+/// Makes the current thread record onto `lane` instead of a fresh lane —
+/// used by short-lived helper threads (the per-check guard thread) so
+/// their spans land on the spawning worker's timeline.
+///
+/// Must be called before the thread's first instrumentation hit; once a
+/// recorder exists its lane is fixed.
+pub fn adopt_lane(lane: u32) {
+    if !is_enabled() {
+        return;
+    }
+    let _ = RECORDER.try_with(|cell| {
+        let mut slot = cell.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(ThreadRecorder::new(lane));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    /// Global-state tests must not interleave.
+    static SESSION_LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        SESSION_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_instrumentation_is_inert() {
+        let _g = serial();
+        assert!(!is_enabled());
+        let s = span("noop");
+        drop(s);
+        counter_add("noop", 5);
+        gauge_max("noop", 5);
+        record_ns("noop", 5);
+        enable();
+        let report = collect();
+        assert!(report.events.is_empty(), "{:?}", report.events);
+        assert!(report.counters.is_empty());
+    }
+
+    #[test]
+    fn session_records_spans_counters_maxima() {
+        let _g = serial();
+        enable();
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+            counter_add("hits", 2);
+            counter_add("hits", 3);
+            gauge_max("depth", 7);
+            gauge_max("depth", 4);
+            record_ns("quiet", 1234);
+        }
+        let report = collect();
+        assert_eq!(report.counters["hits"], 5);
+        assert_eq!(report.maxima["depth"], 7);
+        assert_eq!(report.hists["quiet"].count, 1);
+        let names: Vec<&str> = report.events.iter().map(|e| e.name).collect();
+        assert!(names.contains(&"outer") && names.contains(&"inner"));
+        // The inner span closed first and nests inside the outer one.
+        let outer = report.events.iter().find(|e| e.name == "outer").unwrap();
+        let inner = report.events.iter().find(|e| e.name == "inner").unwrap();
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns);
+        assert!(report.wall_ns() > 0);
+    }
+
+    #[test]
+    fn worker_threads_flush_on_exit_and_adopt_lanes() {
+        let _g = serial();
+        enable();
+        let parent_lane = current_lane();
+        std::thread::Builder::new()
+            .name("obs-test-worker".into())
+            .spawn(|| {
+                let _s = span("worker-span");
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+        std::thread::spawn(move || {
+            adopt_lane(parent_lane);
+            let _s = span("adopted-span");
+        })
+        .join()
+        .unwrap();
+        let report = collect();
+        let worker = report
+            .events
+            .iter()
+            .find(|e| e.name == "worker-span")
+            .expect("worker span flushed at thread exit");
+        assert_ne!(worker.lane, parent_lane);
+        assert_eq!(
+            report.lanes[worker.lane as usize], "obs-test-worker",
+            "lane named after its thread"
+        );
+        let adopted = report
+            .events
+            .iter()
+            .find(|e| e.name == "adopted-span")
+            .expect("adopted span flushed");
+        assert_eq!(
+            adopted.lane, parent_lane,
+            "helper thread adopted parent lane"
+        );
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let _g = serial();
+        enable();
+        counter_add("first", 1);
+        let first = collect();
+        assert_eq!(first.counters["first"], 1);
+        enable();
+        counter_add("second", 1);
+        let second = collect();
+        assert!(!second.counters.contains_key("first"));
+        assert_eq!(second.counters["second"], 1);
+    }
+}

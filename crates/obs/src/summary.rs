@@ -1,0 +1,243 @@
+//! End-of-run metrics summary: per-stage wall-time histograms, counter
+//! table and pool utilization, rendered as an aligned text block (for
+//! stderr) and as machine-readable JSON (written next to the report).
+
+use crate::hist::Histogram;
+use crate::json::escape;
+use crate::ObsReport;
+
+/// Stage-duration rollup used by both renderers.
+struct StageRow<'a> {
+    name: &'a str,
+    hist: &'a Histogram,
+}
+
+fn stage_rows(report: &ObsReport) -> Vec<StageRow<'_>> {
+    report
+        .hists
+        .iter()
+        .map(|(name, hist)| StageRow { name, hist })
+        .collect()
+}
+
+/// Lanes that carried at least one span, with their busy time — the sum
+/// of *top-level* stage spans would double-count nested stages, so busy
+/// time is taken from the longest-duration span tree approximation: the
+/// union is approximated by the `check` stage when present (every nested
+/// stage runs inside a check), falling back to all spans on the lane.
+fn lane_busy_ns(report: &ObsReport) -> Vec<(u32, u64)> {
+    let has_check = report.events.iter().any(|e| e.name == "check");
+    let mut busy: Vec<(u32, u64)> = Vec::new();
+    for ev in &report.events {
+        if has_check && ev.name != "check" {
+            continue;
+        }
+        match busy.iter_mut().find(|(lane, _)| *lane == ev.lane) {
+            Some((_, ns)) => *ns += ev.dur_ns,
+            None => busy.push((ev.lane, ev.dur_ns)),
+        }
+    }
+    busy.sort_unstable_by_key(|&(lane, _)| lane);
+    busy
+}
+
+/// Fraction of (busy lanes × session wall time) actually spent in spans —
+/// 1.0 means every lane that did any work was busy the whole session.
+pub fn utilization(report: &ObsReport) -> f64 {
+    let busy = lane_busy_ns(report);
+    if busy.is_empty() {
+        return 0.0;
+    }
+    let wall = report.wall_ns().max(1);
+    let total: u64 = busy.iter().map(|&(_, ns)| ns).sum();
+    (total as f64 / (busy.len() as u64 * wall) as f64).min(1.0)
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// Renders the aligned text summary (the `--metrics` stderr block).
+pub fn render_metrics(report: &ObsReport) -> String {
+    let mut out = String::from("== vgen-obs metrics ==\n");
+    out.push_str(&format!(
+        "session wall time: {} ms\n",
+        fmt_ms(report.wall_ns())
+    ));
+    let rows = stage_rows(report);
+    if !rows.is_empty() {
+        out.push_str(&format!(
+            "{:<18} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9}\n",
+            "stage (ms)", "count", "total", "mean", "p50", "p90", "p99"
+        ));
+        for r in &rows {
+            out.push_str(&format!(
+                "{:<18} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9}\n",
+                r.name,
+                r.hist.count,
+                fmt_ms(r.hist.sum),
+                fmt_ms(r.hist.mean()),
+                fmt_ms(r.hist.quantile(0.5)),
+                fmt_ms(r.hist.quantile(0.9)),
+                fmt_ms(r.hist.quantile(0.99)),
+            ));
+        }
+    }
+    if !report.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, n) in &report.counters {
+            out.push_str(&format!("  {name:<24} {n}\n"));
+        }
+    }
+    if !report.maxima.is_empty() {
+        out.push_str("maxima:\n");
+        for (name, v) in &report.maxima {
+            out.push_str(&format!("  {name:<24} {v}\n"));
+        }
+    }
+    let busy = lane_busy_ns(report);
+    if !busy.is_empty() {
+        out.push_str(&format!(
+            "pool utilization:  {:.1}% across {} busy lane(s)\n",
+            utilization(report) * 100.0,
+            busy.len()
+        ));
+    }
+    if report.dropped_events > 0 {
+        out.push_str(&format!(
+            "dropped trace events: {} (histograms/counters unaffected)\n",
+            report.dropped_events
+        ));
+    }
+    out
+}
+
+/// Renders the machine-readable metrics JSON document.
+pub fn metrics_json(report: &ObsReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"wall_ns\": {},\n", report.wall_ns()));
+    out.push_str(&format!(
+        "  \"dropped_trace_events\": {},\n",
+        report.dropped_events
+    ));
+    out.push_str(&format!("  \"utilization\": {:.4},\n", utilization(report)));
+    out.push_str("  \"stages\": {\n");
+    let rows = stage_rows(report);
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"mean_ns\": {}, \
+             \"min_ns\": {}, \"max_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}}}{}\n",
+            escape(r.name),
+            r.hist.count,
+            r.hist.sum,
+            r.hist.mean(),
+            if r.hist.is_empty() { 0 } else { r.hist.min },
+            r.hist.max,
+            r.hist.quantile(0.5),
+            r.hist.quantile(0.9),
+            r.hist.quantile(0.99),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n  \"counters\": {\n");
+    for (i, (name, n)) in report.counters.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {n}{}\n",
+            escape(name),
+            if i + 1 < report.counters.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  },\n  \"maxima\": {\n");
+    for (i, (name, v)) in report.maxima.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {v}{}\n",
+            escape(name),
+            if i + 1 < report.maxima.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+    use crate::SpanEvent;
+    use std::collections::BTreeMap;
+
+    fn report_with_checks() -> ObsReport {
+        let mut hists = BTreeMap::new();
+        let mut h = Histogram::new();
+        for v in [1_000u64, 2_000, 4_000] {
+            h.record(v);
+        }
+        hists.insert("check", h);
+        ObsReport {
+            events: vec![
+                SpanEvent {
+                    name: "check",
+                    lane: 1,
+                    start_ns: 0,
+                    dur_ns: 5_000,
+                },
+                SpanEvent {
+                    name: "parse",
+                    lane: 1,
+                    start_ns: 100,
+                    dur_ns: 1_000,
+                },
+                SpanEvent {
+                    name: "check",
+                    lane: 2,
+                    start_ns: 0,
+                    dur_ns: 10_000,
+                },
+            ],
+            dropped_events: 2,
+            counters: BTreeMap::from([("dedup.hit", 7u64)]),
+            maxima: BTreeMap::from([("sim.queue_depth", 9u64)]),
+            hists,
+            lanes: vec!["main".into(), "vgen-pool-0".into(), "vgen-pool-1".into()],
+            session_start_ns: 0,
+            session_end_ns: 10_000,
+        }
+    }
+
+    #[test]
+    fn utilization_counts_check_spans_per_busy_lane() {
+        let r = report_with_checks();
+        // Two busy lanes over a 10µs wall: (5000 + 10000) / (2 × 10000).
+        assert!((utilization(&r) - 0.75).abs() < 1e-9, "{}", utilization(&r));
+    }
+
+    #[test]
+    fn utilization_of_empty_report_is_zero() {
+        assert_eq!(utilization(&ObsReport::default()), 0.0);
+    }
+
+    #[test]
+    fn text_summary_mentions_stages_counters_and_drops() {
+        let s = render_metrics(&report_with_checks());
+        assert!(s.contains("check"), "{s}");
+        assert!(s.contains("dedup.hit"), "{s}");
+        assert!(s.contains("sim.queue_depth"), "{s}");
+        assert!(s.contains("pool utilization"), "{s}");
+        assert!(s.contains("dropped trace events: 2"), "{s}");
+        assert!(s.contains("p99"), "{s}");
+    }
+
+    #[test]
+    fn metrics_json_is_well_formed() {
+        let json = metrics_json(&report_with_checks());
+        assert_eq!(validate(&json), Ok(()), "{json}");
+        assert!(json.contains("\"p50_ns\""));
+        assert!(json.contains("\"dedup.hit\": 7"));
+        let empty = metrics_json(&ObsReport::default());
+        assert_eq!(validate(&empty), Ok(()), "{empty}");
+    }
+}

@@ -83,6 +83,7 @@ const TEMP_WIDTH: usize = 128;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn elaborate(file: &SourceFile, top: &str) -> Result<Design, ElabError> {
+    let _span = vgen_obs::span("elaborate");
     let mut el = Elaborator {
         file,
         design: Design {

@@ -232,6 +232,7 @@ impl Simulator {
         let seq = self.future_seq;
         self.future_seq += 1;
         self.future.push(Reverse(FutureEvent { time, seq, pid }));
+        vgen_obs::gauge_max("sim.queue_depth", self.future.len() as u64);
     }
 
     /// The elaborated design being simulated.
@@ -246,6 +247,7 @@ impl Simulator {
 
     /// Runs to completion and returns the output.
     pub fn run(mut self) -> SimOutput {
+        let _span = vgen_obs::span("simulate");
         // Time 0: every process starts.
         for i in 0..self.procs.len() {
             self.active.push_back(ProcessId(i as u32));
@@ -296,6 +298,8 @@ impl Simulator {
                 }
             }
         }
+        vgen_obs::counter_add("sim.steps", self.steps);
+        vgen_obs::counter_add("sim.future_events", self.future_seq);
         SimOutput {
             vcd: self.vcd.take().map(|r| r.render(&self.design)),
             stdout: self.stdout,

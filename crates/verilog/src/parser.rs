@@ -27,6 +27,7 @@ use crate::token::{Keyword, Punct, Token, TokenKind};
 /// # Ok::<(), vgen_verilog::error::ParseError>(())
 /// ```
 pub fn parse(src: &str) -> Result<SourceFile, ParseError> {
+    let _span = vgen_obs::span("parse");
     let tokens = Lexer::new(src).tokenize()?;
     if tokens.len() > MAX_TOKENS {
         let span = tokens[MAX_TOKENS].span;

@@ -63,7 +63,8 @@ USAGE:
   vgen prompt <id> [--level L|M|H]        print a problem prompt
   vgen eval <file.v> --problem <id>       score a candidate DUT source
   vgen eval --journal <path> [--resume] [--model NAME] [--tuning ft|pt] [--full]
-            [--jobs N] [--no-dedup]
+            [--jobs N] [--no-dedup] [--trace FILE] [--metrics]
+            [--progress auto|always|never]
                                           sweep the family engine over the
                                           eval grid, journaling each record;
                                           --resume continues a killed run;
@@ -72,17 +73,40 @@ USAGE:
                                           cores); --no-dedup disables the
                                           duplicate-completion check cache;
                                           results are byte-identical for
-                                          every N and cache setting
+                                          every N and cache setting;
+                                          --trace FILE writes a Chrome
+                                          trace_event JSON timeline (load
+                                          in ui.perfetto.dev); --metrics
+                                          prints per-stage wall-time
+                                          percentiles and counters to
+                                          stderr and writes them to
+                                          <journal>.metrics.json;
+                                          --progress controls the stderr
+                                          progress line (default: auto,
+                                          shown only on a TTY)
 ";
 
 /// Flags that take no value (everything else consumes the next argument).
-const BOOL_FLAGS: &[&str] = &["--resume", "--full", "--json", "--problems", "--no-dedup"];
+const BOOL_FLAGS: &[&str] = &[
+    "--resume",
+    "--full",
+    "--json",
+    "--problems",
+    "--no-dedup",
+    "--metrics",
+];
 
+/// Value of `--name value` or `--name=value`.
 fn flag_value<'a>(rest: &'a [&String], name: &str) -> Option<&'a str> {
-    rest.iter()
-        .position(|a| *a == name)
-        .and_then(|i| rest.get(i + 1))
-        .map(|s| s.as_str())
+    for (i, a) in rest.iter().enumerate() {
+        if *a == name {
+            return rest.get(i + 1).map(|s| s.as_str());
+        }
+        if let Some(v) = a.strip_prefix(name).and_then(|v| v.strip_prefix('=')) {
+            return Some(v);
+        }
+    }
+    None
 }
 
 fn has_flag(rest: &[&String], name: &str) -> bool {
@@ -98,7 +122,10 @@ fn positional<'a>(rest: &'a [&String]) -> Vec<&'a str> {
             continue;
         }
         if a.starts_with("--") {
-            skip = !BOOL_FLAGS.contains(&a.as_str()) && rest.get(i + 1).is_some();
+            // `--name=value` is self-contained; `--name value` consumes
+            // the next argument unless it's a value-less flag.
+            skip =
+                !a.contains('=') && !BOOL_FLAGS.contains(&a.as_str()) && rest.get(i + 1).is_some();
             continue;
         }
         out.push(a.as_str());
@@ -390,11 +417,29 @@ fn cmd_eval_grid(rest: &[&String], journal: &str) -> Result<(), String> {
     } else {
         vgen::core::EvalConfig::quick()
     };
+    let progress = match flag_value(rest, "--progress").unwrap_or("auto") {
+        "auto" => vgen::core::SweepOptions::progress_auto(),
+        "always" => true,
+        "never" => false,
+        other => {
+            return Err(format!(
+                "bad --progress `{other}` (use auto, always or never)"
+            ))
+        }
+    };
     let opts = vgen::core::SweepOptions {
         jobs: parse_jobs(flag_value(rest, "--jobs"))?,
-        progress: vgen::core::SweepOptions::progress_auto(),
+        progress,
         dedup: !has_flag(rest, "--no-dedup"),
     };
+    let trace_path = flag_value(rest, "--trace");
+    let metrics = has_flag(rest, "--metrics");
+    // Tracing is write-only from the pipeline's perspective: enabling it
+    // cannot change a byte of the report or journal (CI verifies this).
+    let observe = trace_path.is_some() || metrics;
+    if observe {
+        vgen::obs::enable();
+    }
     // Execution details go to stderr; the stdout report stays
     // byte-identical across worker counts and cache settings (the CI
     // determinism gate diffs it).
@@ -413,6 +458,24 @@ fn cmd_eval_grid(rest: &[&String], journal: &str) -> Result<(), String> {
         stats.cache_hits,
         stats.hit_rate() * 100.0
     );
+    let stats_path = format!("{journal}.stats.json");
+    std::fs::write(&stats_path, vgen::core::sweep_stats_json(&stats))
+        .map_err(|e| format!("cannot write `{stats_path}`: {e}"))?;
+    if observe {
+        let report = vgen::obs::collect();
+        if let Some(path) = trace_path {
+            std::fs::write(path, vgen::obs::trace::chrome_trace_json(&report))
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("[obs] wrote Chrome trace to {path}");
+        }
+        if metrics {
+            eprint!("{}", vgen::obs::summary::render_metrics(&report));
+            let metrics_path = format!("{journal}.metrics.json");
+            std::fs::write(&metrics_path, vgen::obs::summary::metrics_json(&report))
+                .map_err(|e| format!("cannot write `{metrics_path}`: {e}"))?;
+            eprintln!("[obs] wrote metrics JSON to {metrics_path}");
+        }
+    }
     print!("{}", vgen::core::render_eval_summary(&run, journal));
     Ok(())
 }

@@ -17,7 +17,9 @@
 //! * [`core`] — the evaluation framework: compile/functional checks,
 //!   Pass@(scenario·n), parameter sweeps and table/figure reports,
 //! * [`lint`] — semantic static analysis (races, latches, combinational
-//!   loops, width hazards) surfacing passed-but-hazardous completions.
+//!   loops, width hazards) surfacing passed-but-hazardous completions,
+//! * [`obs`] — zero-dependency structured tracing and metrics (spans,
+//!   counters, histograms) with Chrome-trace and summary exports.
 //!
 //! ```
 //! use vgen::core::check::{check_completion, CheckOutcome};
@@ -40,6 +42,7 @@ pub use vgen_core as core;
 pub use vgen_corpus as corpus;
 pub use vgen_lint as lint;
 pub use vgen_lm as lm;
+pub use vgen_obs as obs;
 pub use vgen_problems as problems;
 pub use vgen_sim as sim;
 pub use vgen_synth as synth;

@@ -257,6 +257,26 @@ fn eval_grid_resumes_killed_parallel_run() {
 }
 
 #[test]
+fn eval_grid_rejects_bad_progress() {
+    let out = vgen()
+        .args(["eval", "--journal", "x.log", "--progress", "banana"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--progress"));
+}
+
+#[test]
+fn eval_grid_accepts_equals_form_flags() {
+    // `--progress=never` must parse like `--progress never` and must not
+    // swallow a following argument as its value.
+    let (report_eq, journal_eq) = grid_sweep("progress-eq", "2", &["--progress=never"]);
+    let (report_sp, journal_sp) = grid_sweep("progress-sp", "2", &["--progress", "never"]);
+    assert_eq!(report_eq, report_sp);
+    assert_eq!(journal_eq, journal_sp);
+}
+
+#[test]
 fn eval_grid_rejects_bad_jobs() {
     let out = vgen()
         .args(["eval", "--journal", "x.log", "--jobs", "banana"])
