@@ -3,9 +3,58 @@
 //! ([`vgen_lint`]) over every candidate that parses.
 
 use vgen_lint::{LintReport, Rule};
+use vgen_obs::CancelToken;
 use vgen_problems::{Problem, PromptLevel, PASS_MARKER};
 use vgen_sim::{SimConfig, StopReason};
 use vgen_verilog::truncate::{assemble_candidate, truncate_completion};
+
+/// How a check's wall-clock deadline was enforced when it fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutKind {
+    /// The [`CancelToken`] tripped and the pipeline unwound cooperatively
+    /// within the grace period.
+    Soft,
+    /// The checker thread did not exit within deadline + grace — it was
+    /// detached and abandoned by the watchdog (see [`crate::guard`]).
+    Hard,
+}
+
+/// Why a record carries no candidate verdict. `None` of these say anything
+/// about the candidate's correctness; sweeps tally them separately and
+/// exclude them from pass/compile rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The harness panicked ([`CheckOutcome::HarnessFault`]).
+    Panic,
+    /// Soft timeout ([`CheckOutcome::Timeout`] with [`TimeoutKind::Soft`]).
+    SoftTimeout,
+    /// Hard timeout ([`CheckOutcome::Timeout`] with [`TimeoutKind::Hard`]).
+    HardTimeout,
+}
+
+impl FaultKind {
+    /// The single-token journal field for this kind.
+    pub fn journal_tag(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::SoftTimeout => "soft",
+            FaultKind::HardTimeout => "hard",
+        }
+    }
+
+    /// Parses a [`journal_tag`](Self::journal_tag) field. `-` (the
+    /// no-fault marker) parses as `Some(None)`; anything unrecognised is
+    /// `None` so journal recovery treats the line as torn.
+    pub fn from_journal_tag(s: &str) -> Option<Option<FaultKind>> {
+        match s {
+            "-" => Some(None),
+            "panic" => Some(Some(FaultKind::Panic)),
+            "soft" => Some(Some(FaultKind::SoftTimeout)),
+            "hard" => Some(Some(FaultKind::HardTimeout)),
+            _ => None,
+        }
+    }
+}
 
 /// Why a candidate failed (or that it didn't).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,21 +71,37 @@ pub enum CheckOutcome {
     /// The checking harness itself panicked — a bug in the harness, not a
     /// property of the candidate. See [`crate::guard`].
     HarnessFault(String),
+    /// The check exceeded its wall-clock deadline. Like a harness fault,
+    /// this says nothing about the candidate (the budget-legal work was
+    /// merely slow on this machine at this moment), so it carries no
+    /// verdict.
+    Timeout(TimeoutKind),
 }
 
 impl CheckOutcome {
-    /// Whether the candidate compiled. A harness fault tells us nothing
-    /// about the candidate, so it does not count as compiled.
+    /// Whether the candidate compiled. A harness fault or timeout tells us
+    /// nothing about the candidate, so neither counts as compiled.
     pub fn compiled(&self) -> bool {
         !matches!(
             self,
-            CheckOutcome::CompileFail(_) | CheckOutcome::HarnessFault(_)
+            CheckOutcome::CompileFail(_) | CheckOutcome::HarnessFault(_) | CheckOutcome::Timeout(_)
         )
     }
 
     /// Whether the candidate is functionally correct.
     pub fn passed(&self) -> bool {
         matches!(self, CheckOutcome::Pass)
+    }
+
+    /// The fault classification for no-verdict outcomes, `None` for real
+    /// verdicts.
+    pub fn fault_kind(&self) -> Option<FaultKind> {
+        match self {
+            CheckOutcome::HarnessFault(_) => Some(FaultKind::Panic),
+            CheckOutcome::Timeout(TimeoutKind::Soft) => Some(FaultKind::SoftTimeout),
+            CheckOutcome::Timeout(TimeoutKind::Hard) => Some(FaultKind::HardTimeout),
+            _ => None,
+        }
     }
 }
 
@@ -190,8 +255,28 @@ pub fn check_completion(
     completion: &str,
     config: SimConfig,
 ) -> CheckResult {
+    check_completion_cancellable(
+        problem,
+        level,
+        completion,
+        config,
+        &CancelToken::unlimited(),
+    )
+}
+
+/// [`check_completion`] under a cooperative [`CancelToken`]. The token is
+/// threaded through the parser, elaborator and scheduler; once it trips,
+/// whichever stage is running unwinds and the outcome becomes
+/// [`CheckOutcome::Timeout`] ([`TimeoutKind::Soft`]) instead of a verdict.
+pub fn check_completion_cancellable(
+    problem: &Problem,
+    level: PromptLevel,
+    completion: &str,
+    config: SimConfig,
+    cancel: &CancelToken,
+) -> CheckResult {
     let source = assemble(problem, level, completion);
-    let (outcome, lint) = check_source_with_lint(problem, &source, config);
+    let (outcome, lint) = check_source_cancellable(problem, &source, config, cancel);
     CheckResult {
         outcome,
         source,
@@ -215,15 +300,26 @@ pub fn check_source_with_lint(
     source: &str,
     config: SimConfig,
 ) -> (CheckOutcome, Option<LintCounts>) {
+    check_source_cancellable(problem, source, config, &CancelToken::unlimited())
+}
+
+/// [`check_source_with_lint`] under a cooperative [`CancelToken`].
+pub fn check_source_cancellable(
+    problem: &Problem,
+    source: &str,
+    config: SimConfig,
+    cancel: &CancelToken,
+) -> (CheckOutcome, Option<LintCounts>) {
     // Compile check: the DUT alone must parse and elaborate.
-    let file = match vgen_verilog::parse(source) {
+    let file = match vgen_verilog::parse_with_cancel(source, cancel) {
         Ok(f) => f,
+        Err(e) if e.cancelled => return (CheckOutcome::Timeout(TimeoutKind::Soft), None),
         Err(e) => return (CheckOutcome::CompileFail(e.to_string()), None),
     };
     // Lint stage: every parsed candidate gets tallies, so "compiled but
     // hazardous" and even "unelaboratable but racy" both leave a trace.
     let lint = Some(LintCounts::from_report(&vgen_lint::lint_file(&file)));
-    let outcome = check_parsed(problem, source, &file, config);
+    let outcome = check_parsed(problem, source, &file, config, cancel);
     (outcome, lint)
 }
 
@@ -233,6 +329,7 @@ fn check_parsed(
     source: &str,
     file: &vgen_verilog::ast::SourceFile,
     config: SimConfig,
+    cancel: &CancelToken,
 ) -> CheckOutcome {
     if file.module(problem.module_name).is_none() {
         return CheckOutcome::CompileFail(format!(
@@ -240,18 +337,21 @@ fn check_parsed(
             problem.module_name
         ));
     }
-    if let Err(e) = vgen_sim::elab::elaborate(file, problem.module_name) {
-        return CheckOutcome::CompileFail(e.to_string());
+    match vgen_sim::elab::elaborate_with_cancel(file, problem.module_name, cancel) {
+        Err(e) if e.cancelled => return CheckOutcome::Timeout(TimeoutKind::Soft),
+        Err(e) => return CheckOutcome::CompileFail(e.to_string()),
+        Ok(_) => {}
     }
     // Functional check: simulate DUT + testbench.
     let full = format!("{source}\n{}", problem.testbench);
-    match vgen_sim::simulate(&full, Some("tb"), config) {
+    match vgen_sim::simulate_with_cancel(&full, Some("tb"), config, cancel) {
         Ok(out) => {
             if !out.reason.is_clean() {
-                return CheckOutcome::SimulationFail(match out.reason {
-                    StopReason::RuntimeError(m) => m,
-                    other => format!("{other:?}"),
-                });
+                return match out.reason {
+                    StopReason::Cancelled => CheckOutcome::Timeout(TimeoutKind::Soft),
+                    StopReason::RuntimeError(m) => CheckOutcome::SimulationFail(m),
+                    other => CheckOutcome::SimulationFail(format!("{other:?}")),
+                };
             }
             if out.stdout.contains(PASS_MARKER) {
                 CheckOutcome::Pass
@@ -259,6 +359,10 @@ fn check_parsed(
                 CheckOutcome::FunctionalFail
             }
         }
+        Err(vgen_sim::SimError::Parse(e)) if e.cancelled => {
+            CheckOutcome::Timeout(TimeoutKind::Soft)
+        }
+        Err(vgen_sim::SimError::Elab(e)) if e.cancelled => CheckOutcome::Timeout(TimeoutKind::Soft),
         Err(e) => CheckOutcome::CompileFail(e.to_string()),
     }
 }

@@ -1,13 +1,35 @@
-//! Fault isolation for the checking pipeline.
+//! Fault isolation and deadline supervision for the checking pipeline.
 //!
 //! The parser, elaborator and simulator are all exercised with arbitrary
-//! model output. A bug anywhere in that stack — an unchecked index, an
-//! arithmetic overflow — would otherwise abort an entire evaluation sweep
-//! on a single hostile completion. This module runs
-//! [`check_completion`](crate::check::check_completion) under
-//! [`std::panic::catch_unwind`] and maps any panic to
-//! [`CheckOutcome::HarnessFault`], so one bad candidate costs one record,
-//! not the whole run.
+//! model output. Two failure shapes threaten a sweep:
+//!
+//! * **Panics** — a bug anywhere in that stack (an unchecked index, an
+//!   arithmetic overflow) would abort an entire evaluation on a single
+//!   hostile completion. [`catch_harness_fault`] maps any panic to
+//!   [`CheckOutcome::HarnessFault`], so one bad candidate costs one record.
+//! * **Stalls** — a completion that is *legal under every budget* but
+//!   merely slow (a zero-delay oscillator sized just under the step cap, a
+//!   near-token-cap parse) wedges a worker for seconds to minutes.
+//!   [`supervised_check_completion`] runs the check under a [`CheckPolicy`]
+//!   with an optional wall-clock deadline, escalating through a state
+//!   machine:
+//!
+//!   1. **budgets** — the step/size/token caps from PR 1 bound memory and
+//!      classify genuinely infinite work; they never read a clock.
+//!   2. **cancel** — a [`CancelToken`] armed with the deadline is threaded
+//!      through parse/elaborate/simulate; when it trips, the stage unwinds
+//!      cooperatively and the outcome is a *soft timeout*.
+//!   3. **watchdog** — the guard waits `deadline + grace` for the checker
+//!      thread's result. Cooperative exit lands here.
+//!   4. **detach** — no result inside the grace period means the checker is
+//!      hard-hung (stuck outside any poll site). The thread is detached —
+//!      abandoned, never joined — and the outcome is a *hard timeout*. The
+//!      calling worker continues immediately; the pool never loses a
+//!      worker to a hang.
+//!   5. **retry** — timeouts are transient by nature (machine load, cache
+//!      state), so the policy may retry them with exponential backoff
+//!      before the record is finalized. Panics are deterministic and are
+//!      never retried.
 //!
 //! While a guarded check is running, the default "thread panicked at ..."
 //! report is suppressed (per thread) so sweeps don't spray backtraces; the
@@ -15,12 +37,16 @@
 
 use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc;
 use std::sync::Once;
+use std::time::Duration;
 
+use vgen_obs::CancelToken;
 use vgen_problems::{Problem, PromptLevel};
 use vgen_sim::SimConfig;
 
-use crate::check::{check_completion, CheckOutcome, CheckResult};
+use crate::chaos::{ChaosSite, ChaosSpec};
+use crate::check::{check_completion_cancellable, CheckOutcome, CheckResult, TimeoutKind};
 
 thread_local! {
     /// Set while a guarded closure runs on this thread.
@@ -68,10 +94,66 @@ pub fn catch_harness_fault<T>(f: impl FnOnce() -> T) -> Result<T, String> {
 /// legal nesting fits in a fraction of this even in unoptimised builds.
 const CHECK_STACK_BYTES: usize = 8 * 1024 * 1024;
 
-/// [`check_completion`] with fault isolation: the check runs on a dedicated
-/// thread with a known [8 MiB stack](CHECK_STACK_BYTES) — so classification
-/// never depends on how much stack the *caller* happens to have left — and
-/// a panic anywhere in the assemble/parse/elaborate/simulate stack yields
+/// How one check is supervised: deadline, grace period, retry budget and
+/// fault injection. The [`Default`] policy has no deadline and no chaos —
+/// behaviourally identical to the unsupervised guard, and what every
+/// determinism-gated CI run uses (wall-clock timeouts are inherently
+/// nondeterministic; see `DESIGN.md`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckPolicy {
+    /// Wall-clock deadline per check attempt. `None` disables supervision:
+    /// the guard blocks until the check finishes, as before.
+    pub timeout: Option<Duration>,
+    /// Extra wait past the deadline for the cooperative cancel to unwind
+    /// before the watchdog declares a hard hang and detaches the thread.
+    pub grace: Duration,
+    /// How many times a timed-out attempt is retried before the timeout is
+    /// recorded. Panics are never retried.
+    pub retries: u32,
+    /// Base backoff between retries; doubles per attempt.
+    pub backoff: Duration,
+    /// Deterministic fault injection (see [`crate::chaos`]).
+    pub chaos: ChaosSpec,
+}
+
+impl Default for CheckPolicy {
+    fn default() -> Self {
+        CheckPolicy {
+            timeout: None,
+            grace: Duration::from_millis(200),
+            retries: 0,
+            backoff: Duration::from_millis(25),
+            chaos: ChaosSpec::default(),
+        }
+    }
+}
+
+impl CheckPolicy {
+    /// Returns the policy with the per-attempt deadline replaced.
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Returns the policy with the retry budget replaced.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Returns the policy with the chaos spec replaced.
+    pub fn with_chaos(mut self, chaos: ChaosSpec) -> Self {
+        self.chaos = chaos;
+        self
+    }
+}
+
+/// [`check_completion`](crate::check::check_completion) with fault
+/// isolation and the default (deadline-less) [`CheckPolicy`]: the check
+/// runs on a dedicated thread with a known [8 MiB
+/// stack](CHECK_STACK_BYTES) — so classification never depends on how much
+/// stack the *caller* happens to have left — and a panic anywhere in the
+/// assemble/parse/elaborate/simulate stack yields
 /// [`CheckOutcome::HarnessFault`] instead of unwinding into the caller.
 ///
 /// ```
@@ -84,49 +166,163 @@ const CHECK_STACK_BYTES: usize = 8 * 1024 * 1024;
 /// assert!(!r.outcome.passed());
 /// ```
 pub fn guarded_check_completion(
-    problem: &Problem,
+    problem: &'static Problem,
     level: PromptLevel,
     completion: &str,
     config: SimConfig,
 ) -> CheckResult {
+    supervised_check_completion(problem, level, completion, config, &CheckPolicy::default())
+}
+
+/// [`guarded_check_completion`] under an explicit [`CheckPolicy`]: adds
+/// wall-clock deadline supervision (soft/hard timeout classification, see
+/// the module docs), bounded retry for timeouts, and deterministic fault
+/// injection.
+///
+/// `problem` is `&'static` because on a hard hang the checker thread is
+/// detached and may touch its inputs long after this call returns —
+/// borrowed data must therefore live forever (problems do: they come from
+/// the static problem table) or be owned by the thread (the completion is
+/// copied in).
+pub fn supervised_check_completion(
+    problem: &'static Problem,
+    level: PromptLevel,
+    completion: &str,
+    config: SimConfig,
+    policy: &CheckPolicy,
+) -> CheckResult {
+    let mut attempt: u32 = 0;
+    loop {
+        let result = attempt_check(problem, level, completion, config, policy, attempt);
+        if matches!(result.outcome, CheckOutcome::Timeout(_)) {
+            vgen_obs::counter_add("guard.timeout", 1);
+            if attempt < policy.retries {
+                vgen_obs::counter_add("guard.retry", 1);
+                let backoff = policy.backoff.saturating_mul(1u32 << attempt.min(6));
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                attempt += 1;
+                continue;
+            }
+        }
+        return result;
+    }
+}
+
+/// One supervised attempt: spawn a detachable checker thread, wait for its
+/// result up to deadline + grace, classify.
+fn attempt_check(
+    problem: &'static Problem,
+    level: PromptLevel,
+    completion: &str,
+    config: SimConfig,
+    policy: &CheckPolicy,
+    attempt: u32,
+) -> CheckResult {
+    // Injected soft timeout: synthesized before any work, without reading
+    // a clock — deterministic in (seed, completion, attempt) so chaos runs
+    // byte-compare across jobs counts and kill/resume.
+    if policy
+        .chaos
+        .fires_check_timeout(completion.as_bytes(), attempt)
+    {
+        vgen_obs::counter_add("guard.chaos", 1);
+        return no_verdict(CheckOutcome::Timeout(TimeoutKind::Soft));
+    }
+
+    let cancel = match policy.timeout {
+        Some(t) => CancelToken::with_deadline(t),
+        None => CancelToken::unlimited(),
+    };
+
     // The ephemeral checker thread records onto the spawning worker's obs
     // lane, so a sweep's trace shows one timeline per worker rather than
     // one per check.
     let lane = vgen_obs::current_lane();
-    let caught = std::thread::scope(|scope| {
-        let handle = std::thread::Builder::new()
-            .name("vgen-check".into())
-            .stack_size(CHECK_STACK_BYTES)
-            .spawn_scoped(scope, move || {
-                vgen_obs::adopt_lane(lane);
-                catch_harness_fault(|| check_completion(problem, level, completion, config))
+    let chaos = policy.chaos.clone();
+    let owned = completion.to_string();
+    let thread_cancel = cancel.clone();
+    let (tx, rx) = mpsc::channel();
+    let spawned = std::thread::Builder::new()
+        .name("vgen-check".into())
+        .stack_size(CHECK_STACK_BYTES)
+        .spawn(move || {
+            vgen_obs::adopt_lane(lane);
+            let caught = catch_harness_fault(|| {
+                if chaos
+                    .fires(ChaosSite::CheckPanic, owned.as_bytes())
+                    .is_some()
+                {
+                    panic!("chaos: injected checker panic");
+                }
+                if let Some(ms) = chaos.fires(ChaosSite::CheckDelayMs, owned.as_bytes()) {
+                    // A real, uncancellable stall — exercises the hard-
+                    // timeout detach path.
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                check_completion_cancellable(problem, level, &owned, config, &thread_cancel)
             });
-        match handle {
-            // Panics are caught *inside* the thread, so join only fails if
-            // the runtime itself is wedged — treat that as a fault too.
-            Ok(h) => h
-                .join()
-                .unwrap_or_else(|_| Err("checker thread died".to_string())),
-            Err(e) => Err(format!("cannot spawn checker thread: {e}")),
-        }
-    });
-    match caught {
-        Ok(r) => r,
-        Err(msg) => {
+            let _ = tx.send(caught);
+        });
+    let handle = match spawned {
+        Ok(h) => h,
+        Err(e) => {
             vgen_obs::counter_add("guard.fault", 1);
-            CheckResult {
-                outcome: CheckOutcome::HarnessFault(msg),
-                source: String::new(),
-                lint: None,
-            }
+            return no_verdict(CheckOutcome::HarnessFault(format!(
+                "cannot spawn checker thread: {e}"
+            )));
         }
+    };
+
+    let caught = match policy.timeout {
+        // Unsupervised: block until the check finishes (as before PR 6).
+        None => rx.recv().map_err(|_| "checker thread died".to_string()),
+        Some(t) => match rx.recv_timeout(t + policy.grace) {
+            Ok(c) => Ok(c),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Hard hang: the deadline armed the token at `t`, the
+                // grace period passed, and the checker never reached a
+                // poll site. Detach the thread (drop its handle without
+                // joining) and abandon it; the worker moves on.
+                cancel.cancel();
+                vgen_obs::counter_add("guard.hard_timeout", 1);
+                drop(handle);
+                return no_verdict(CheckOutcome::Timeout(TimeoutKind::Hard));
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err("checker thread died".to_string()),
+        },
+    };
+    // The result is in hand, so the thread is exiting; reap it.
+    let _ = handle.join();
+    match caught {
+        Ok(Ok(r)) => r,
+        Ok(Err(msg)) | Err(msg) => {
+            vgen_obs::counter_add("guard.fault", 1);
+            no_verdict(CheckOutcome::HarnessFault(msg))
+        }
+    }
+}
+
+/// A [`CheckResult`] for outcomes that never produced a candidate verdict
+/// (faults and timeouts): no source, no lint.
+fn no_verdict(outcome: CheckOutcome) -> CheckResult {
+    CheckResult {
+        outcome,
+        source: String::new(),
+        lint: None,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::check::FaultKind;
     use vgen_problems::problem;
+
+    fn p() -> &'static Problem {
+        problem(2).expect("problem")
+    }
 
     #[test]
     fn passthrough_on_success() {
@@ -147,9 +343,8 @@ mod tests {
 
     #[test]
     fn normal_checks_are_unaffected() {
-        let p = problem(2).expect("problem");
         let r = guarded_check_completion(
-            p,
+            p(),
             PromptLevel::Low,
             "assign y = a & b;\nendmodule",
             SimConfig::default(),
@@ -163,5 +358,119 @@ mod tests {
             assert!(catch_harness_fault(|| -> u32 { panic!("again") }).is_err());
             assert_eq!(catch_harness_fault(|| 1), Ok(1));
         }
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let policy = CheckPolicy::default().with_timeout(Some(Duration::from_secs(60)));
+        let r = supervised_check_completion(
+            p(),
+            PromptLevel::Low,
+            "assign y = a & b;\nendmodule",
+            SimConfig::default(),
+            &policy,
+        );
+        assert!(r.outcome.passed(), "got {:?}", r.outcome);
+    }
+
+    #[test]
+    fn injected_panic_is_a_panic_fault() {
+        let chaos = ChaosSpec::parse("check.panic%1", 0).unwrap();
+        let policy = CheckPolicy::default().with_chaos(chaos);
+        let r = supervised_check_completion(
+            p(),
+            PromptLevel::Low,
+            "assign y = a & b;\nendmodule",
+            SimConfig::default(),
+            &policy,
+        );
+        assert_eq!(
+            r.outcome,
+            CheckOutcome::HarnessFault("chaos: injected checker panic".into())
+        );
+        assert_eq!(r.outcome.fault_kind(), Some(FaultKind::Panic));
+    }
+
+    #[test]
+    fn injected_timeout_is_clockless_and_soft() {
+        let chaos = ChaosSpec::parse("check.timeout%1", 0).unwrap();
+        let policy = CheckPolicy::default().with_chaos(chaos);
+        // No policy.timeout: the injected timeout never arms a deadline.
+        let r = supervised_check_completion(
+            p(),
+            PromptLevel::Low,
+            "assign y = a & b;\nendmodule",
+            SimConfig::default(),
+            &policy,
+        );
+        assert_eq!(r.outcome, CheckOutcome::Timeout(TimeoutKind::Soft));
+        assert_eq!(r.outcome.fault_kind(), Some(FaultKind::SoftTimeout));
+    }
+
+    #[test]
+    fn attempt_limited_injection_heals_on_retry() {
+        // Fires on attempt 0 only; one retry reaches the real outcome.
+        let chaos = ChaosSpec::parse("check.timeout:1%1", 0).unwrap();
+        let policy = CheckPolicy {
+            backoff: Duration::ZERO,
+            ..CheckPolicy::default()
+        }
+        .with_chaos(chaos.clone())
+        .with_retries(1);
+        let r = supervised_check_completion(
+            p(),
+            PromptLevel::Low,
+            "assign y = a & b;\nendmodule",
+            SimConfig::default(),
+            &policy,
+        );
+        assert!(r.outcome.passed(), "retry must heal: {:?}", r.outcome);
+        // Without the retry budget the injected timeout is recorded.
+        let no_retry = CheckPolicy::default().with_chaos(chaos);
+        let r = supervised_check_completion(
+            p(),
+            PromptLevel::Low,
+            "assign y = a & b;\nendmodule",
+            SimConfig::default(),
+            &no_retry,
+        );
+        assert_eq!(r.outcome, CheckOutcome::Timeout(TimeoutKind::Soft));
+    }
+
+    #[test]
+    fn hard_hang_is_detached_within_grace() {
+        // An injected 2 s uncancellable sleep against a 50 ms deadline and
+        // 100 ms grace: the watchdog must detach and return hard-timeout
+        // long before the sleep finishes.
+        let chaos = ChaosSpec::parse("check.delay:2000%1", 0).unwrap();
+        let policy = CheckPolicy {
+            timeout: Some(Duration::from_millis(50)),
+            grace: Duration::from_millis(100),
+            ..CheckPolicy::default()
+        }
+        .with_chaos(chaos);
+        let start = std::time::Instant::now();
+        let r = supervised_check_completion(
+            p(),
+            PromptLevel::Low,
+            "assign y = a & b;\nendmodule",
+            SimConfig::default(),
+            &policy,
+        );
+        assert_eq!(r.outcome, CheckOutcome::Timeout(TimeoutKind::Hard));
+        assert_eq!(r.outcome.fault_kind(), Some(FaultKind::HardTimeout));
+        assert!(
+            start.elapsed() < Duration::from_millis(1500),
+            "watchdog must not wait out the hang"
+        );
+        // The caller's thread keeps working: a fresh check succeeds while
+        // the abandoned one is still asleep.
+        let r = guarded_check_completion(
+            p(),
+            PromptLevel::Low,
+            "assign y = a & b;\nendmodule",
+            SimConfig::default(),
+        );
+        assert!(r.outcome.passed());
     }
 }

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod check;
 pub mod experiments;
 pub mod guard;
@@ -33,16 +34,19 @@ pub mod report;
 pub mod sweep;
 pub mod synthcheck;
 
-pub use check::{check_completion, CheckOutcome, CheckResult};
+pub use chaos::{ChaosSite, ChaosSpec};
+pub use check::{check_completion, CheckOutcome, CheckResult, FaultKind, TimeoutKind};
 pub use experiments::{evaluate_all_models, evaluate_model};
-pub use guard::{catch_harness_fault, guarded_check_completion};
+pub use guard::{
+    catch_harness_fault, guarded_check_completion, supervised_check_completion, CheckPolicy,
+};
 pub use metrics::{pass_at_k, pass_fraction, Tally};
 pub use pool::{ReorderBuffer, WorkerPool};
 pub use report::{
     headline_stats, render_eval_summary, render_fault_summary, sweep_stats_json, Headline, ModelRun,
 };
 pub use sweep::{
-    config_fingerprint, read_journal, run_engine, run_engine_journaled, run_engine_parallel,
-    run_engine_sweep, run_engine_sweep_stats, EvalConfig, EvalRun, Record, SweepOptions,
-    SweepStats,
+    config_fingerprint, read_journal, read_journal_recovering, run_engine, run_engine_journaled,
+    run_engine_parallel, run_engine_sweep, run_engine_sweep_stats, EvalConfig, EvalRun,
+    FsyncPolicy, Record, RecoveryReport, SweepOptions, SweepStats,
 };

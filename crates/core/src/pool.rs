@@ -153,6 +153,24 @@ impl<R: Send + 'static> WorkerPool<R> {
         self.shutdown_and_join();
     }
 
+    /// Signals shutdown and *abandons* the workers: every join handle is
+    /// dropped without joining. This is the sweep's stall-degradation
+    /// escape hatch — when at least one worker is known to be wedged in a
+    /// hard-hung check, joining (as [`WorkerPool::shutdown`] and `Drop`
+    /// do) would block forever. Healthy workers still drain their queues
+    /// and exit on their own; the wedged thread is leaked.
+    pub fn detach(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = lock_unpoisoned(&self.shared.park);
+            self.shared.wake.notify_all();
+        }
+        vgen_obs::counter_add("pool.detach", 1);
+        // Dropping the handles detaches the threads; Drop then finds an
+        // empty worker list and joins nothing.
+        self.workers.drain(..).for_each(drop);
+    }
+
     fn shutdown_and_join(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         {

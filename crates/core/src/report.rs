@@ -356,28 +356,37 @@ pub fn records_csv(rows: &[ModelRun]) -> String {
 /// stdout report (which CI diffs across `--jobs` and `--no-dedup`).
 pub fn sweep_stats_json(stats: &SweepStats) -> String {
     format!(
-        "{{\n  \"checks_run\": {},\n  \"cache_hits\": {},\n  \"hit_rate\": {:.4}\n}}\n",
+        "{{\n  \"checks_run\": {},\n  \"cache_hits\": {},\n  \"hit_rate\": {:.4},\n  \
+         \"resumed_records\": {},\n  \"repaired_lines\": {}\n}}\n",
         stats.checks_run,
         stats.cache_hits,
-        stats.hit_rate()
+        stats.hit_rate(),
+        stats.resumed_records,
+        stats.repaired_lines,
     )
 }
 
-/// Renders harness-fault counts per model run. Faults are harness bugs,
-/// not candidate failures, so they are reported separately from the pass
-/// tables (which exclude fault records entirely).
+/// Renders harness-fault counts per model run. Faults are harness bugs or
+/// exceeded check deadlines, not candidate failures, so they are reported
+/// separately from the pass tables (which exclude fault records entirely).
+/// Each row breaks the total down by kind: checker panics, soft timeouts
+/// (the check observed its deadline and stopped cooperatively) and hard
+/// timeouts (the check had to be abandoned by the watchdog).
 pub fn render_fault_summary(rows: &[ModelRun]) -> String {
-    let mut out = String::from("HARNESS FAULTS (checker panics, excluded from rates)\n");
+    let mut out = String::from("HARNESS FAULTS (panics and timeouts, excluded from rates)\n");
     let mut any = false;
     for row in rows {
         let faults = row.run.fault_count();
         if faults > 0 {
             any = true;
             out.push_str(&format!(
-                "{:<24} {} of {} records\n",
+                "{:<24} {} of {} records (panic {}, soft timeout {}, hard timeout {})\n",
                 format!("{}", row.model),
                 faults,
-                row.run.records.len()
+                row.run.records.len(),
+                row.run.fault_count_of(crate::check::FaultKind::Panic),
+                row.run.fault_count_of(crate::check::FaultKind::SoftTimeout),
+                row.run.fault_count_of(crate::check::FaultKind::HardTimeout),
             ));
         }
     }
@@ -416,6 +425,7 @@ pub fn render_eval_summary(run: &EvalRun, journal: &str) -> String {
          hazardous pass:  {} of {} passing\n\
          lint by rule:    {by_rule}\n\
          harness faults:  {}\n\
+         check timeouts:  {}\n\
          journal:         {journal}\n",
         run.engine,
         run.records.len(),
@@ -426,6 +436,7 @@ pub fn render_eval_summary(run: &EvalRun, journal: &str) -> String {
         run.hazardous_pass_count(),
         run.pass_count(),
         run.fault_count(),
+        run.timeout_count(),
     )
 }
 
@@ -554,6 +565,7 @@ mod tests {
         assert!(s.contains("lint warnings:"), "{s}");
         assert!(s.contains("hazardous pass:"), "{s}");
         assert!(s.contains("lint by rule:"), "{s}");
+        assert!(s.contains("check timeouts:  0"), "{s}");
         // Nothing about workers/jobs/time may leak into the report: the
         // CI determinism gate byte-diffs it across --jobs settings.
         for banned in ["jobs", "worker", "elapsed", "checks/s"] {
@@ -566,7 +578,25 @@ mod tests {
         let mut rows = tiny_rows();
         assert!(render_fault_summary(&rows).contains("none"));
         rows[0].run.records[0].fault = true;
+        rows[0].run.records[0].fault_kind = Some(crate::check::FaultKind::HardTimeout);
         let s = render_fault_summary(&rows);
         assert!(s.contains("1 of"), "got: {s}");
+        assert!(
+            s.contains("panic 0, soft timeout 0, hard timeout 1"),
+            "got: {s}"
+        );
+    }
+
+    #[test]
+    fn sweep_stats_json_carries_recovery_fields() {
+        let stats = SweepStats {
+            checks_run: 10,
+            cache_hits: 2,
+            resumed_records: 4,
+            repaired_lines: 1,
+        };
+        let json = sweep_stats_json(&stats);
+        assert!(json.contains("\"resumed_records\": 4"), "{json}");
+        assert!(json.contains("\"repaired_lines\": 1"), "{json}");
     }
 }

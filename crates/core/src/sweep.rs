@@ -32,8 +32,8 @@
 //!    serial run would, and `--resume` composes unchanged.
 
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
-use std::io::{self, BufRead, IsTerminal, Write};
+use std::collections::{BTreeSet, HashMap};
+use std::io::{self, IsTerminal, Write};
 use std::path::Path;
 use std::time::{Duration, Instant};
 
@@ -43,8 +43,9 @@ use vgen_sim::SimConfig;
 
 use vgen_lint::Rule;
 
-use crate::check::{CheckOutcome, LintCounts};
-use crate::guard::guarded_check_completion;
+use crate::chaos::{ChaosSite, ChaosSpec};
+use crate::check::{FaultKind, LintCounts};
+use crate::guard::{supervised_check_completion, CheckPolicy};
 use crate::metrics::Tally;
 use crate::pool::{ReorderBuffer, WorkerPool};
 
@@ -117,10 +118,16 @@ pub struct Record {
     pub compiled: bool,
     /// Whether it passed the testbench.
     pub passed: bool,
-    /// Whether the checking harness itself faulted on this candidate
-    /// (see [`CheckOutcome::HarnessFault`]). Fault records count against
-    /// neither compile nor functional rates.
+    /// Whether the check failed to produce a verdict on this candidate —
+    /// a harness panic or a check deadline; [`Record::fault_kind`] says
+    /// which. Fault records count against neither compile nor functional
+    /// rates.
     pub fault: bool,
+    /// Classification of the no-verdict cause when `fault` is set, `None`
+    /// for ordinary records. Records resumed from pre-v3 journals carry
+    /// [`FaultKind::Panic`] for their fault records — panics were the only
+    /// fault those formats could represent.
+    pub fault_kind: Option<FaultKind>,
     /// Simulated inference latency.
     pub latency_s: f64,
     /// Lint tallies for the candidate ([`crate::check::CheckResult::lint`]).
@@ -130,11 +137,15 @@ pub struct Record {
 }
 
 impl Record {
-    /// Serialises the record as one journal line (comma-separated, v2
-    /// format: nine legacy fields plus the lint field, `-` when absent).
+    /// Serialises the record as one v3 journal line: the ten v2 fields
+    /// (nine legacy fields plus lint, `-` when absent), the fault-kind tag
+    /// (`-` for records carrying a real verdict), and a lowercase-hex
+    /// FNV-1a checksum of everything before it. The checksum is what lets
+    /// recovery distinguish "line the dead process wrote whole" from "line
+    /// torn or bit-rotted after the fact" without trusting field counts.
     pub fn to_journal_line(&self) -> String {
-        format!(
-            "{},{},{},{},{},{},{},{},{},{}",
+        let prefix = format!(
+            "{},{},{},{},{},{},{},{},{},{},{}",
             self.problem_id,
             difficulty_tag(self.difficulty),
             self.level.tag(),
@@ -148,25 +159,55 @@ impl Record {
                 Some(l) => l.to_journal_field(),
                 None => "-".to_string(),
             },
-        )
+            match self.fault_kind {
+                Some(k) => k.journal_tag(),
+                None => "-",
+            },
+        );
+        format!("{prefix},{:08x}", fnv1a(prefix.as_bytes()) & 0xffff_ffff)
     }
 
     /// Parses a journal line produced by [`Record::to_journal_line`], in
-    /// either format: a 10-field v2 line, or a 9-field legacy (v1) line,
-    /// which yields `lint: None`. Returns `None` on any malformed field
-    /// (e.g. a line truncated by a kill mid-write).
+    /// any supported format: a 12-field v3 line (checksum-verified), a
+    /// 10-field v2 line, or a 9-field legacy v1 line (both yielding
+    /// `lint: None` / best-effort `fault_kind`). Returns `None` on any
+    /// malformed field, a checksum mismatch, or a line truncated by a kill
+    /// mid-write.
     pub fn from_journal_line(line: &str) -> Option<Record> {
         parse_journal_line(line).map(|(rec, _)| rec)
     }
 }
 
-/// Parses a journal record line, reporting whether it carried the v2 lint
-/// field. [`read_journal`] uses the flag to reject lines whose field count
-/// disagrees with the header version: a v2 line torn after its ninth comma
-/// parses like a well-formed v1 line, and only the version check stops it
-/// from resurfacing as a record with its lint silently dropped.
-fn parse_journal_line(line: &str) -> Option<(Record, bool)> {
-    let mut it = line.trim_end().split(',');
+/// The journal format a record line was written under, decided by its
+/// field count (and, for v3, its checksum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LineVersion {
+    /// Nine fields, pre-lint.
+    V1,
+    /// Ten fields: v1 plus the lint tallies.
+    V2,
+    /// Twelve fields: v2 plus the fault-kind tag and a checksum.
+    V3,
+}
+
+impl LineVersion {
+    fn number(self) -> u8 {
+        match self {
+            LineVersion::V1 => 1,
+            LineVersion::V2 => 2,
+            LineVersion::V3 => 3,
+        }
+    }
+}
+
+/// Parses a journal record line, reporting which format version it was.
+/// [`read_journal`] rejects lines whose version disagrees with the header:
+/// a v3 line torn after its tenth comma masquerades as well-formed v2 (and
+/// after its ninth as v1), and only the version check stops it from
+/// resurfacing as a record with fields silently dropped.
+fn parse_journal_line(line: &str) -> Option<(Record, LineVersion)> {
+    let line = line.trim_end();
+    let mut it = line.split(',');
     let mut rec = Record {
         problem_id: it.next()?.parse().ok()?,
         difficulty: parse_difficulty_tag(it.next()?)?,
@@ -177,20 +218,42 @@ fn parse_journal_line(line: &str) -> Option<(Record, bool)> {
         passed: parse_flag(it.next()?)?,
         fault: parse_flag(it.next()?)?,
         latency_s: it.next()?.parse().ok()?,
+        fault_kind: None,
         lint: None,
     };
-    let had_lint_field = match it.next() {
-        None => false, // legacy 9-field line
-        Some("-") => true,
-        Some(field) => {
-            rec.lint = Some(LintCounts::from_journal_field(field)?);
-            true
+    let version = match it.next() {
+        None => LineVersion::V1, // legacy 9-field line
+        Some(lint_field) => {
+            if lint_field != "-" {
+                rec.lint = Some(LintCounts::from_journal_field(lint_field)?);
+            }
+            match it.next() {
+                None => LineVersion::V2,
+                Some(kind_field) => {
+                    rec.fault_kind = FaultKind::from_journal_tag(kind_field)?;
+                    let sum = it.next()?;
+                    if it.next().is_some() {
+                        return None; // trailing fields: not ours
+                    }
+                    // The checksum covers every byte before its own comma.
+                    let prefix = &line[..line.len() - sum.len() - 1];
+                    if sum != format!("{:08x}", fnv1a(prefix.as_bytes()) & 0xffff_ffff) {
+                        return None;
+                    }
+                    if rec.fault != rec.fault_kind.is_some() {
+                        return None; // flag and kind must agree
+                    }
+                    LineVersion::V3
+                }
+            }
         }
     };
-    if it.next().is_some() {
-        return None; // trailing fields: not ours
+    if version != LineVersion::V3 && rec.fault {
+        // Pre-v3 journals could only record panic faults; resumed fault
+        // records keep that classification rather than an unknowable one.
+        rec.fault_kind = Some(FaultKind::Panic);
     }
-    Some((rec, had_lint_field))
+    Some((rec, version))
 }
 
 fn difficulty_tag(d: Difficulty) -> &'static str {
@@ -231,7 +294,47 @@ pub struct EvalRun {
     pub records: Vec<Record>,
 }
 
-/// Execution options for a sweep: worker count and progress reporting.
+/// When the journal writer calls fsync (`File::sync_data`) on the journal
+/// file. Independent of the per-record *flush*, which always happens: a
+/// flushed-but-unsynced journal survives a process kill (the contiguous-
+/// prefix invariant holds), while fsync is about surviving power loss or a
+/// host crash, where the page cache dies with the kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Never fsync — the historical behaviour and the default. A `kill -9`
+    /// loses nothing; an OS crash may lose the unsynced tail (which
+    /// recovery then truncates away).
+    #[default]
+    Never,
+    /// fsync after every record: maximal durability, one device round-trip
+    /// per check.
+    EveryRecord,
+    /// fsync every `n` records, and once more when the run finishes.
+    Interval(u32),
+}
+
+impl FsyncPolicy {
+    /// Parses the CLI spelling: `never`, `every`, or `interval:N` (N ≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the malformed spec.
+    pub fn parse(s: &str) -> Result<FsyncPolicy, String> {
+        match s {
+            "never" => Ok(FsyncPolicy::Never),
+            "every" => Ok(FsyncPolicy::EveryRecord),
+            _ => match s.strip_prefix("interval:").map(str::parse) {
+                Some(Ok(n)) if n >= 1 => Ok(FsyncPolicy::Interval(n)),
+                _ => Err(format!(
+                    "bad fsync policy `{s}` (expected never, every, or interval:N)"
+                )),
+            },
+        }
+    }
+}
+
+/// Execution options for a sweep: worker count, progress reporting, dedup,
+/// per-check supervision and journal durability.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepOptions {
     /// Checker worker threads. `1` runs every check inline on the calling
@@ -250,6 +353,22 @@ pub struct SweepOptions {
     /// deterministic in those inputs, so reports and journals are
     /// byte-identical with the cache on or off.
     pub dedup: bool,
+    /// Per-check supervision: wall-clock deadline, retry budget and chaos
+    /// injection ([`CheckPolicy`]). The default has no deadline and no
+    /// chaos — bit-exact historical behaviour, and what determinism-gated
+    /// CI uses (wall-clock timeouts are inherently nondeterministic).
+    pub policy: CheckPolicy,
+    /// When the journal writer fsyncs the journal file
+    /// ([`FsyncPolicy`]); ignored for unjournaled runs.
+    pub fsync: FsyncPolicy,
+    /// How long the parallel merge loop waits for any single pool result
+    /// before declaring the pool stalled and degrading: every outstanding
+    /// item is recorded as a hard-timeout fault and the pool's threads are
+    /// abandoned, so a wedged worker costs records, not the sweep. `None`
+    /// uses a 300 s backstop — per-check supervision (`policy.timeout`)
+    /// is the intended first line of defence; this field mostly exists so
+    /// tests can exercise the stall path quickly.
+    pub stall_timeout: Option<Duration>,
 }
 
 impl Default for SweepOptions {
@@ -258,6 +377,9 @@ impl Default for SweepOptions {
             jobs: 1,
             progress: false,
             dedup: true,
+            policy: CheckPolicy::default(),
+            fsync: FsyncPolicy::Never,
+            stall_timeout: None,
         }
     }
 }
@@ -337,7 +459,7 @@ impl WorkItem {
 }
 
 impl ItemMeta {
-    fn fault_record(&self) -> Record {
+    fn fault_record(&self, kind: FaultKind) -> Record {
         Record {
             problem_id: self.problem_id,
             difficulty: self.difficulty,
@@ -347,22 +469,26 @@ impl ItemMeta {
             compiled: false,
             passed: false,
             fault: true,
+            fault_kind: Some(kind),
             latency_s: self.latency_s,
             lint: None,
         }
     }
 }
 
-/// Checks one completion (under the panic guard) and builds its record.
+/// Checks one completion (under the supervision policy's guard, deadline
+/// and retry budget) and builds its record.
 fn check_to_record(
-    prob: &Problem,
+    prob: &'static Problem,
     level: PromptLevel,
     temperature: f64,
     n: usize,
     c: &Completion,
     sim: SimConfig,
+    policy: &CheckPolicy,
 ) -> Record {
-    let result = guarded_check_completion(prob, level, &c.text, sim);
+    let result = supervised_check_completion(prob, level, &c.text, sim, policy);
+    let fault_kind = result.outcome.fault_kind();
     Record {
         problem_id: prob.id,
         difficulty: prob.difficulty,
@@ -370,14 +496,15 @@ fn check_to_record(
         temperature,
         n,
         compiled: result.outcome.compiled(),
-        passed: matches!(result.outcome, CheckOutcome::Pass),
-        fault: matches!(result.outcome, CheckOutcome::HarnessFault(_)),
+        passed: result.outcome.passed(),
+        fault: fault_kind.is_some(),
+        fault_kind,
         latency_s: c.latency_s,
         lint: result.lint,
     }
 }
 
-fn check_item(item: &WorkItem, sim: SimConfig) -> Record {
+fn check_item(item: &WorkItem, sim: SimConfig, policy: &CheckPolicy) -> Record {
     let _span = vgen_obs::span("check");
     check_to_record(
         item.problem,
@@ -386,7 +513,19 @@ fn check_item(item: &WorkItem, sim: SimConfig) -> Record {
         item.n,
         &item.completion,
         sim,
+        policy,
     )
+}
+
+/// Whether the injected pool-task panic ([`ChaosSite::TaskPanic`]) fires
+/// for the item at canonical position `pos`. Consulted on the serial path
+/// too — synthesizing the same fault record the parallel pool-plumbing
+/// path produces — so chaos runs stay byte-identical across `--jobs`.
+fn task_panic_fires(chaos: &ChaosSpec, pos: usize) -> bool {
+    !chaos.is_empty()
+        && chaos
+            .fires(ChaosSite::TaskPanic, &(pos as u64).to_le_bytes())
+            .is_some()
 }
 
 /// Cache key for the completion-dedup cache: a fingerprint of the
@@ -410,6 +549,7 @@ struct CachedCheck {
     compiled: bool,
     passed: bool,
     fault: bool,
+    fault_kind: Option<FaultKind>,
     lint: Option<LintCounts>,
 }
 
@@ -419,6 +559,7 @@ impl CachedCheck {
             compiled: rec.compiled,
             passed: rec.passed,
             fault: rec.fault,
+            fault_kind: rec.fault_kind,
             lint: rec.lint.clone(),
         }
     }
@@ -433,6 +574,7 @@ impl CachedCheck {
             compiled: self.compiled,
             passed: self.passed,
             fault: self.fault,
+            fault_kind: self.fault_kind,
             latency_s: meta.latency_s,
             lint: self.lint.clone(),
         }
@@ -448,6 +590,11 @@ pub struct SweepStats {
     pub checks_run: usize,
     /// Completions replayed from the dedup cache.
     pub cache_hits: usize,
+    /// Records reused from a resumed journal (the resume cursor).
+    pub resumed_records: usize,
+    /// Journal lines dropped by recovery on resume: the first torn or
+    /// corrupt line and everything after it.
+    pub repaired_lines: usize,
 }
 
 impl SweepStats {
@@ -510,8 +657,9 @@ pub fn run_engine(engine: &mut dyn CompletionEngine, config: &EvalConfig) -> Eva
 ///
 /// # Errors
 ///
-/// [`io::ErrorKind::TimedOut`] if the worker pool stalls (a harness bug —
-/// individual checks are bounded by the simulator budgets).
+/// None in practice for in-memory runs: a stalled worker pool degrades to
+/// hard-timeout stall records rather than failing the sweep (see
+/// [`SweepOptions::stall_timeout`]).
 pub fn run_engine_parallel(
     engine: &mut dyn CompletionEngine,
     config: &EvalConfig,
@@ -521,13 +669,18 @@ pub fn run_engine_parallel(
 }
 
 /// Journal format marker (first token of the header line) for journals
-/// written by this version: record lines carry ten fields, the tenth being
-/// the lint tallies.
-const JOURNAL_MAGIC: &str = "vgen-journal-v2";
+/// written by this version: record lines carry twelve fields — the ten v2
+/// fields plus a fault-kind tag and a per-record checksum.
+const JOURNAL_MAGIC: &str = "vgen-journal-v3";
+
+/// The pre-fault-kind journal format: ten-field record lines, no checksum.
+/// Still accepted on read/resume; a resumed journal is rewritten in v3
+/// form.
+const JOURNAL_MAGIC_V2: &str = "vgen-journal-v2";
 
 /// The pre-lint journal format: nine-field record lines. Still accepted on
 /// read/resume (records come back with `lint: None`); a resumed journal is
-/// rewritten in v2 form.
+/// rewritten in v3 form.
 const JOURNAL_MAGIC_V1: &str = "vgen-journal-v1";
 
 /// FNV-1a, used for the config fingerprint in journal headers.
@@ -565,25 +718,82 @@ pub fn config_fingerprint(config: &EvalConfig) -> u64 {
     fnv1a(s.as_bytes())
 }
 
+/// What [`read_journal_recovering`] had to do to make sense of a journal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Journal format version the header declared (1, 2 or 3).
+    pub version: u8,
+    /// Well-formed records kept — the longest valid prefix.
+    pub kept: usize,
+    /// Lines dropped after the valid prefix: the first torn/corrupt line
+    /// and everything after it. `0` for a clean journal.
+    pub dropped_lines: usize,
+}
+
 /// Reads a journal file: header validation plus all well-formed record
 /// lines. Returns `(engine_name, config_fingerprint, records)`.
 ///
 /// # Errors
 ///
-/// I/O errors, or [`io::ErrorKind::InvalidData`] if the header is missing
-/// or malformed. A trailing malformed *record* line (torn write from a
-/// kill) is dropped, and everything after it is ignored.
+/// As for [`read_journal_recovering`], which this wraps (discarding the
+/// [`RecoveryReport`]).
 pub fn read_journal(path: &Path) -> io::Result<(String, u64, Vec<Record>)> {
-    let file = std::fs::File::open(path)?;
-    let mut lines = io::BufReader::new(file).lines();
+    read_journal_recovering(path).map(|(name, fp, recs, _)| (name, fp, recs))
+}
+
+/// [`read_journal`] that also reports what recovery did: how many records
+/// form the longest valid prefix and how many trailing lines were dropped
+/// as torn or corrupt. Recovery never trusts anything after the first bad
+/// line — a checksum mismatch means the tail can no longer be attributed
+/// to the canonical record stream, so resuming re-checks it instead.
+///
+/// # Errors
+///
+/// I/O errors, or [`io::ErrorKind::InvalidData`] if the header is missing,
+/// malformed, or declares a journal format version this build does not
+/// read (the error message says which version and what to do).
+pub fn read_journal_recovering(
+    path: &Path,
+) -> io::Result<(String, u64, Vec<Record>, RecoveryReport)> {
+    // Read raw bytes, not lines-of-String: a crash (or bit rot) can leave
+    // arbitrary garbage in the tail, and a non-UTF-8 line must be treated
+    // as the first corrupt line — truncating the journal there — rather
+    // than failing the whole read.
+    let bytes = std::fs::read(path)?;
+    if bytes.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "empty journal"));
+    }
+    let mut segments: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+    // A well-formed journal ends in a newline; the split's trailing empty
+    // segment is not a line.
+    if segments.last().is_some_and(|s| s.is_empty()) {
+        segments.pop();
+    }
+    let mut lines = segments.into_iter();
     let header = lines
         .next()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty journal"))??;
-    let (rest, v2) =
+        .and_then(|h| std::str::from_utf8(h).ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "not a vgen journal"))?;
+    let (rest, version) =
         if let Some(r) = header.strip_prefix(&format!("# {JOURNAL_MAGIC} fingerprint=")) {
-            (r, true)
+            (r, LineVersion::V3)
+        } else if let Some(r) = header.strip_prefix(&format!("# {JOURNAL_MAGIC_V2} fingerprint=")) {
+            (r, LineVersion::V2)
         } else if let Some(r) = header.strip_prefix(&format!("# {JOURNAL_MAGIC_V1} fingerprint=")) {
-            (r, false)
+            (r, LineVersion::V1)
+        } else if let Some(r) = header.strip_prefix("# vgen-journal-v") {
+            // A well-formed header from a future format: refuse loudly rather
+            // than misparse its records as torn lines and silently re-run the
+            // whole grid over them.
+            let ver: String = r.chars().take_while(char::is_ascii_digit).collect();
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "journal declares unsupported format v{ver} (this build reads v1-v3); \
+                 use a vgen build that writes v{ver}, or start fresh by deleting the \
+                 journal file or dropping --resume"
+                ),
+            ));
         } else {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -596,19 +806,34 @@ pub fn read_journal(path: &Path) -> io::Result<(String, u64, Vec<Record>)> {
     let fp = u64::from_str_radix(fp_hex, 16)
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "malformed journal fingerprint"))?;
     let mut records = Vec::new();
-    for line in lines {
-        let line = line?;
-        match parse_journal_line(&line) {
-            // The line's field count must match the header's version: in a
-            // v2 journal a nine-field line is a torn write (a v2 line cut
-            // after the ninth comma masquerades as well-formed v1), and in
-            // a v1 journal a ten-field line is foreign.
-            Some((r, had_lint_field)) if had_lint_field == v2 => records.push(r),
-            // A torn final line is expected after a kill; stop there.
-            _ => break,
+    let mut dropped = 0usize;
+    let mut valid_prefix = true;
+    for raw in lines {
+        if valid_prefix {
+            // A line that is not UTF-8 is corrupt by definition; one that
+            // is gets the full field/checksum validation.
+            match std::str::from_utf8(raw).ok().and_then(parse_journal_line) {
+                // The line's version must match the header's: in a v3
+                // journal a ten-field line is a torn write (a v3 line cut
+                // after its tenth comma masquerades as well-formed v2),
+                // and in a v1 journal a longer line is foreign.
+                Some((r, v)) if v == version => {
+                    records.push(r);
+                    continue;
+                }
+                // A torn final line is expected after a kill; everything
+                // from here on is untrusted and only counted.
+                _ => valid_prefix = false,
+            }
         }
+        dropped += 1;
     }
-    Ok((engine.to_string(), fp, records))
+    let report = RecoveryReport {
+        version: version.number(),
+        kept: records.len(),
+        dropped_lines: dropped,
+    };
+    Ok((engine.to_string(), fp, records, report))
 }
 
 /// Like [`run_engine`], but appends every record to a line-oriented journal
@@ -638,8 +863,9 @@ pub fn run_engine_journaled(
     )
 }
 
-/// How long the merge loop waits for a single pool result before
-/// declaring the pool stalled. Every check is bounded by the parser,
+/// Default for [`SweepOptions::stall_timeout`]: how long the merge loop
+/// waits for a single pool result before declaring the pool stalled and
+/// degrading to stall records. Every check is bounded by the parser,
 /// elaborator and simulator resource budgets, so a healthy pool delivers
 /// results orders of magnitude faster than this even in debug builds.
 const RESULT_TIMEOUT: Duration = Duration::from_secs(300);
@@ -656,15 +882,48 @@ struct JournalWriter {
 }
 
 impl JournalWriter {
-    fn spawn(mut file: std::fs::File) -> Self {
+    fn spawn(mut file: std::fs::File, fsync: FsyncPolicy, chaos: ChaosSpec) -> Self {
         let (tx, rx) = std::sync::mpsc::channel::<String>();
         let handle = std::thread::Builder::new()
             .name("vgen-journal".into())
             .spawn(move || {
+                let mut since_sync = 0u32;
                 for line in rx {
+                    if let Some(prefix) = chaos.fires(ChaosSite::JournalTorn, line.as_bytes()) {
+                        // Injected torn write followed by a crash: persist
+                        // only a prefix of the line (synced, so it is
+                        // really on disk) and fail the writer the way a
+                        // dying process would.
+                        let cut = (prefix as usize).min(line.len());
+                        file.write_all(&line.as_bytes()[..cut])?;
+                        file.flush()?;
+                        let _ = file.sync_data();
+                        vgen_obs::counter_add("journal.torn", 1);
+                        return Err(io::Error::other("chaos: injected torn journal write"));
+                    }
                     writeln!(file, "{line}")?;
                     file.flush()?;
                     vgen_obs::counter_add("journal.write", 1);
+                    match fsync {
+                        FsyncPolicy::Never => {}
+                        FsyncPolicy::EveryRecord => {
+                            file.sync_data()?;
+                            vgen_obs::counter_add("journal.fsync", 1);
+                        }
+                        FsyncPolicy::Interval(n) => {
+                            since_sync += 1;
+                            if since_sync >= n.max(1) {
+                                since_sync = 0;
+                                file.sync_data()?;
+                                vgen_obs::counter_add("journal.fsync", 1);
+                            }
+                        }
+                    }
+                }
+                if matches!(fsync, FsyncPolicy::Interval(_)) {
+                    // Sync the tail the interval hasn't covered yet.
+                    file.sync_data()?;
+                    vgen_obs::counter_add("journal.fsync", 1);
                 }
                 Ok(())
             })
@@ -750,9 +1009,11 @@ impl Progress {
 ///
 /// # Errors
 ///
-/// I/O errors reading/writing the journal,
-/// [`io::ErrorKind::InvalidData`] when resuming against a mismatched
-/// journal, or [`io::ErrorKind::TimedOut`] if the worker pool stalls.
+/// I/O errors reading/writing the journal, or
+/// [`io::ErrorKind::InvalidData`] when resuming against a mismatched or
+/// unsupported journal. A stalled worker pool is *not* an error: the
+/// outstanding items are recorded as hard-timeout faults and the sweep
+/// completes.
 pub fn run_engine_sweep(
     engine: &mut dyn CompletionEngine,
     config: &EvalConfig,
@@ -779,9 +1040,10 @@ pub fn run_engine_sweep_stats(
     let fp = config_fingerprint(config);
     let mut prior: Vec<Record> = Vec::new();
     let mut writer: Option<JournalWriter> = None;
+    let mut stats = SweepStats::default();
     if let Some((path, resume)) = journal {
         if resume && path.exists() {
-            let (jname, jfp, recs) = read_journal(path)?;
+            let (jname, jfp, recs, recovery) = read_journal_recovering(path)?;
             if jname != name {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -794,17 +1056,26 @@ pub fn run_engine_sweep_stats(
                     format!("journal config fingerprint {jfp:016x} != {fp:016x}"),
                 ));
             }
+            stats.repaired_lines = recovery.dropped_lines;
+            if recovery.dropped_lines > 0 {
+                vgen_obs::counter_add("journal.repair", recovery.dropped_lines as u64);
+            }
             prior = recs;
         }
         // (Re)write header + surviving records; on resume this also
-        // truncates any torn trailing line left by a kill.
+        // truncates any torn trailing suffix left by a kill (and upgrades
+        // pre-v3 records to the current line format).
         let mut f = std::fs::File::create(path)?;
         writeln!(f, "# {JOURNAL_MAGIC} fingerprint={fp:016x} engine={name}")?;
         for r in &prior {
             writeln!(f, "{}", r.to_journal_line())?;
         }
         f.flush()?;
-        writer = Some(JournalWriter::spawn(f));
+        writer = Some(JournalWriter::spawn(
+            f,
+            opts.fsync,
+            opts.policy.chaos.clone(),
+        ));
     }
 
     let items = generate_items(engine, config);
@@ -814,10 +1085,10 @@ pub fn run_engine_sweep_stats(
     // cannot push the resume cursor past the grid.
     prior.truncate(total);
     let done_prior = prior.len();
+    stats.resumed_records = done_prior;
     let mut progress = Progress::new(opts.progress, total, done_prior);
     let mut records = prior;
     let jobs = opts.effective_jobs();
-    let mut stats = SweepStats::default();
     // The dedup cache is never seeded from resumed (prior) records: v1
     // journals carry no lint field, and replaying their `lint: None` into
     // fresh duplicates would make a resumed run differ from a fresh one.
@@ -842,7 +1113,11 @@ pub fn run_engine_sweep_stats(
                     hit.replay(item.meta())
                 }
                 None => {
-                    let rec = check_item(&item, config.sim);
+                    let rec = if task_panic_fires(&opts.policy.chaos, item.pos) {
+                        item.meta().fault_record(FaultKind::Panic)
+                    } else {
+                        check_item(&item, config.sim, &opts.policy)
+                    };
                     stats.checks_run += 1;
                     if use_cache {
                         cache.insert(key, CachedCheck::of(&rec));
@@ -870,6 +1145,7 @@ pub fn run_engine_sweep_stats(
         // identical across `--jobs` values.
         let mut leader_of: HashMap<(u64, u64), usize> = HashMap::new();
         let mut followers: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut outstanding: BTreeSet<usize> = BTreeSet::new();
         let mut submitted = 0usize;
         for item in items.into_iter().skip(done_prior) {
             if use_cache {
@@ -885,28 +1161,33 @@ pub fn run_engine_sweep_stats(
                     }
                 }
             }
-            pool.submit(item.pos, move || check_item(&item, sim));
+            let policy = opts.policy.clone();
+            outstanding.insert(item.pos);
+            pool.submit(item.pos, move || {
+                if task_panic_fires(&policy.chaos, item.pos) {
+                    panic!("chaos: injected pool-task panic");
+                }
+                check_item(&item, sim, &policy)
+            });
             submitted += 1;
         }
         stats.checks_run = submitted;
+        let stall_timeout = opts.stall_timeout.unwrap_or(RESULT_TIMEOUT);
         let mut reorder = ReorderBuffer::new(done_prior);
-        for received in 0..submitted {
-            let (pos, result) = pool.recv_timeout(RESULT_TIMEOUT).map_err(|_| {
-                io::Error::new(
-                    io::ErrorKind::TimedOut,
-                    format!(
-                        "worker pool stalled: {} of {submitted} submitted checks outstanding",
-                        submitted - received
-                    ),
-                )
-            })?;
+        let mut stalled = false;
+        for _received in 0..submitted {
+            let Ok((pos, result)) = pool.recv_timeout(stall_timeout) else {
+                stalled = true;
+                break;
+            };
+            outstanding.remove(&pos);
             let rec = match result {
                 Ok(r) => r,
                 // The per-check guard already converts checker panics into
                 // fault records, so this arm only fires if the task
                 // panicked in pool plumbing around the check. It still
                 // costs exactly one fault record, like any harness fault.
-                Err(_panic_msg) => metas[pos - done_prior].fault_record(),
+                Err(_panic_msg) => metas[pos - done_prior].fault_record(FaultKind::Panic),
             };
             // Replay the leader's outcome into its parked duplicates.
             // Duplicate positions are always greater than the leader's, so
@@ -926,9 +1207,44 @@ pub fn run_engine_sweep_stats(
                 progress.tick();
             }
         }
+        if stalled {
+            // No result arrived within the stall window: at least one
+            // worker is wedged in a check that escaped per-check
+            // supervision. Degrade instead of aborting — every item still
+            // owed a result becomes a hard-timeout stall *record*, so the
+            // sweep completes and `--resume` sees a coherent journal.
+            vgen_obs::counter_add("pool.stall", outstanding.len() as u64);
+            eprintln!(
+                "[eval] worker pool stalled; recording {} outstanding check(s) as hard timeouts",
+                outstanding.len()
+            );
+            for pos in std::mem::take(&mut outstanding) {
+                let rec = metas[pos - done_prior].fault_record(FaultKind::HardTimeout);
+                if let Some(dups) = followers.remove(&pos) {
+                    let cached = CachedCheck::of(&rec);
+                    for dup in dups {
+                        reorder.push(dup, cached.replay(metas[dup - done_prior]));
+                    }
+                }
+                reorder.push(pos, rec);
+            }
+            while let Some(rec) = reorder.pop_ready() {
+                if let Some(w) = &writer {
+                    w.write(rec.to_journal_line());
+                }
+                records.push(rec);
+                progress.tick();
+            }
+        }
         debug_assert_eq!(reorder.pending_len(), 0, "reorder buffer drained");
         debug_assert!(followers.is_empty(), "every follower replayed");
-        pool.shutdown();
+        if stalled {
+            // Joining a wedged worker would hang the sweep right back;
+            // abandon the pool's threads instead of shutting down cleanly.
+            pool.detach();
+        } else {
+            pool.shutdown();
+        }
     }
 
     progress.finish();
@@ -960,6 +1276,19 @@ impl EvalRun {
     /// Number of records where the harness itself faulted.
     pub fn fault_count(&self) -> usize {
         self.records.iter().filter(|r| r.fault).count()
+    }
+
+    /// Number of fault records of one [`FaultKind`].
+    pub fn fault_count_of(&self, kind: FaultKind) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.fault_kind == Some(kind))
+            .count()
+    }
+
+    /// Fault records that were timeouts (soft or hard) rather than panics.
+    pub fn timeout_count(&self) -> usize {
+        self.fault_count_of(FaultKind::SoftTimeout) + self.fault_count_of(FaultKind::HardTimeout)
     }
 
     /// Temperatures present in the run.
@@ -1180,13 +1509,14 @@ mod tests {
             compiled: true,
             passed: false,
             fault: false,
+            fault_kind: None,
             latency_s: 1.625,
             lint: None,
         };
         let line = rec.to_journal_line();
         assert!(
-            line.ends_with(",-"),
-            "absent lint serialises as `-`: {line}"
+            line.contains(",-,-,"),
+            "absent lint and fault kind serialise as `-`: {line}"
         );
         assert_eq!(Record::from_journal_line(&line), Some(rec.clone()));
         rec.lint = Some(LintCounts {
@@ -1195,10 +1525,65 @@ mod tests {
             per_rule: vec![(Rule::CombLoop, 1), (Rule::InferredLatch, 2)],
         });
         let line = rec.to_journal_line();
-        assert_eq!(Record::from_journal_line(&line), Some(rec));
+        assert_eq!(Record::from_journal_line(&line), Some(rec.clone()));
+        // Fault records carry their kind through the journal.
+        rec.compiled = false;
+        rec.passed = false;
+        rec.lint = None;
+        rec.fault = true;
+        for kind in [
+            FaultKind::Panic,
+            FaultKind::SoftTimeout,
+            FaultKind::HardTimeout,
+        ] {
+            rec.fault_kind = Some(kind);
+            let line = rec.to_journal_line();
+            assert!(line.contains(kind.journal_tag()), "{line}");
+            assert_eq!(Record::from_journal_line(&line), Some(rec.clone()));
+        }
         assert_eq!(Record::from_journal_line("garbage"), None);
         assert_eq!(Record::from_journal_line("7,I,H,0.3"), None);
         assert_eq!(Record::from_journal_line(""), None);
+    }
+
+    #[test]
+    fn corrupt_v3_line_fails_its_checksum() {
+        let rec = Record {
+            problem_id: 7,
+            difficulty: Difficulty::Intermediate,
+            level: PromptLevel::High,
+            temperature: 0.3,
+            n: 25,
+            compiled: true,
+            passed: true,
+            fault: false,
+            fault_kind: None,
+            latency_s: 1.625,
+            lint: Some(LintCounts::default()),
+        };
+        let line = rec.to_journal_line();
+        assert_eq!(Record::from_journal_line(&line), Some(rec));
+        // Flip any single byte of the payload: the checksum must catch it.
+        let checksum_start = line.len() - 8;
+        for i in 0..checksum_start {
+            let mut bytes = line.clone().into_bytes();
+            bytes[i] ^= 0x01;
+            if let Ok(corrupt) = String::from_utf8(bytes) {
+                assert_ne!(
+                    Record::from_journal_line(&corrupt),
+                    Record::from_journal_line(&line),
+                    "flipping byte {i} went unnoticed: {corrupt}"
+                );
+            }
+        }
+        // A fault flag that disagrees with the kind field is rejected even
+        // if someone recomputes the checksum over the inconsistent line.
+        let forged_prefix = "7,I,H,0.3,25,0,0,1,1.625,-,-";
+        let forged = format!(
+            "{forged_prefix},{:08x}",
+            fnv1a(forged_prefix.as_bytes()) & 0xffff_ffff
+        );
+        assert_eq!(Record::from_journal_line(&forged), None);
     }
 
     #[test]
@@ -1206,9 +1591,18 @@ mod tests {
         let line = "7,I,H,0.3,25,1,0,0,1.625";
         let rec = Record::from_journal_line(line).expect("v1 line parses");
         assert_eq!(rec.lint, None);
+        assert_eq!(rec.fault_kind, None);
         assert_eq!(rec.problem_id, 7);
-        // Re-serialising upgrades it to the ten-field v2 form.
-        assert_eq!(rec.to_journal_line(), format!("{line},-"));
+        // Re-serialising upgrades it to the twelve-field v3 form.
+        let upgraded = rec.to_journal_line();
+        assert!(upgraded.starts_with(&format!("{line},-,-,")), "{upgraded}");
+        assert_eq!(Record::from_journal_line(&upgraded), Some(rec));
+        // A v1 *fault* line resumes as a panic fault (the only kind v1
+        // could record).
+        let fault_line = "7,I,H,0.3,25,0,0,1,1.625";
+        let fault = Record::from_journal_line(fault_line).expect("v1 fault line parses");
+        assert!(fault.fault);
+        assert_eq!(fault.fault_kind, Some(FaultKind::Panic));
     }
 
     #[test]
@@ -1346,6 +1740,15 @@ mod tests {
         let _ = std::fs::remove_file(&path);
     }
 
+    /// Strips the last `n` comma-separated fields off a journal line.
+    fn strip_fields(line: &str, n: usize) -> String {
+        let mut s = line.to_string();
+        for _ in 0..n {
+            s.truncate(s.rfind(',').expect("enough fields"));
+        }
+        s
+    }
+
     #[test]
     fn pre_lint_v1_journal_resumes_cleanly() {
         let path = temp_journal("v1-compat");
@@ -1353,17 +1756,18 @@ mod tests {
         let full =
             run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, false).expect("full run");
         // Downgrade the on-disk journal to the pre-lint v1 format: v1 magic
-        // in the header, the first 11 records with the lint field stripped,
-        // everything after dropped (as if the run was also killed).
+        // in the header, the first 11 records with the lint, fault-kind and
+        // checksum fields stripped, everything after dropped (as if the
+        // run was also killed).
         let text = std::fs::read_to_string(&path).expect("journal text");
         let mut lines = text.lines();
         let header = lines
             .next()
             .expect("header")
-            .replace("vgen-journal-v2", "vgen-journal-v1");
+            .replace("vgen-journal-v3", "vgen-journal-v1");
         let mut kept = vec![header];
         for line in lines.take(11) {
-            kept.push(line.rsplit_once(',').expect("ten fields").0.to_string());
+            kept.push(strip_fields(line, 3));
         }
         std::fs::write(&path, kept.join("\n")).expect("rewrite as v1");
         // The v1 journal reads back: 11 records, no lint tallies.
@@ -1388,37 +1792,131 @@ mod tests {
             resumed.tally(|_| true).compile_rate(),
             full.tally(|_| true).compile_rate()
         );
-        // The resumed journal is rewritten in v2 form.
+        // The resumed journal is rewritten in v3 form.
         let text = std::fs::read_to_string(&path).expect("rewritten journal");
-        assert!(text.starts_with("# vgen-journal-v2 "), "{text}");
+        assert!(text.starts_with("# vgen-journal-v3 "), "{text}");
         let _ = std::fs::remove_file(&path);
     }
 
     #[test]
-    fn torn_v2_line_is_not_mistaken_for_a_v1_record() {
-        let path = temp_journal("torn-v2");
+    fn pre_checksum_v2_journal_resumes_cleanly() {
+        let path = temp_journal("v2-compat");
+        let cfg = small_cfg();
+        let full =
+            run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, false).expect("full run");
+        // Downgrade to v2: strip the fault-kind and checksum fields.
+        let text = std::fs::read_to_string(&path).expect("journal text");
+        let mut lines = text.lines();
+        let header = lines
+            .next()
+            .expect("header")
+            .replace("vgen-journal-v3", "vgen-journal-v2");
+        let mut kept = vec![header];
+        for line in lines.take(11) {
+            kept.push(strip_fields(line, 2));
+        }
+        std::fs::write(&path, kept.join("\n")).expect("rewrite as v2");
+        // v2 lines keep their lint tallies, unlike v1.
+        let (name, _, recs) = read_journal(&path).expect("read v2 journal");
+        assert_eq!(name, full.engine);
+        assert_eq!(recs.len(), 11);
+        assert_eq!(&recs[..], &full.records[..11]);
+        let resumed =
+            run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, true).expect("resume from v2");
+        assert_eq!(resumed, full);
+        let text = std::fs::read_to_string(&path).expect("rewritten journal");
+        assert!(text.starts_with("# vgen-journal-v3 "), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_v3_line_is_not_mistaken_for_an_older_record() {
+        let path = temp_journal("torn-v3");
         let cfg = small_cfg();
         let full =
             run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, false).expect("full run");
         let text = std::fs::read_to_string(&path).expect("journal text");
         let lines: Vec<&str> = text.lines().collect();
-        // Tear a record line at its ninth comma: the surviving prefix is a
-        // well-formed *v1* line, so only the header-version check keeps it
-        // from resurfacing as a record with its lint silently dropped.
-        let torn = lines[5].rsplit_once(',').expect("ten fields").0;
+        // Tear a record line before its last two fields: the surviving
+        // prefix is a well-formed *v2* line, so only the header-version
+        // check keeps it from resurfacing as a record with its fault kind
+        // silently dropped.
+        let torn = strip_fields(lines[5], 2);
         assert!(
-            Record::from_journal_line(torn).is_some(),
-            "the torn prefix must look like a valid v1 line for this test"
+            Record::from_journal_line(&torn).is_some(),
+            "the torn prefix must look like a valid v2 line for this test"
         );
         let mut kept: Vec<String> = lines[..5].iter().map(|s| s.to_string()).collect();
-        kept.push(torn.to_string());
+        kept.push(torn);
         std::fs::write(&path, kept.join("\n")).expect("truncate");
-        let (_, _, recs) = read_journal(&path).expect("read torn journal");
+        let (_, _, recs, report) = read_journal_recovering(&path).expect("read torn journal");
         assert_eq!(recs.len(), 4, "torn line and everything after dropped");
+        assert_eq!(report.version, 3);
+        assert_eq!(report.kept, 4);
+        assert_eq!(report.dropped_lines, 1);
         let resumed =
             run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, true).expect("resumed run");
         assert_eq!(resumed, full);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_middle_line_truncates_to_longest_valid_prefix() {
+        let path = temp_journal("bitrot");
+        let cfg = small_cfg();
+        let full =
+            run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, false).expect("full run");
+        let text = std::fs::read_to_string(&path).expect("journal text");
+        let mut lines: Vec<String> = text.lines().map(|s| s.to_string()).collect();
+        let total_records = lines.len() - 1;
+        // Corrupt one byte in the middle of record 7 (line 8): recovery
+        // must keep records 1-6 and drop everything from the corrupt line
+        // on, even though the lines after it are intact.
+        let mut bytes = lines[7].clone().into_bytes();
+        bytes[3] ^= 0x01;
+        lines[7] = String::from_utf8(bytes).expect("still utf-8");
+        std::fs::write(&path, lines.join("\n")).expect("rewrite");
+        let (_, _, recs, report) = read_journal_recovering(&path).expect("recovering read");
+        assert_eq!(recs.len(), 6);
+        assert_eq!(report.kept, 6);
+        assert_eq!(report.dropped_lines, total_records - 6);
+        assert_eq!(&recs[..], &full.records[..6]);
+        // And a resume from the repaired prefix completes correctly.
+        let resumed =
+            run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, true).expect("resumed run");
+        assert_eq!(resumed, full);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unknown_journal_version_is_a_clear_error() {
+        let path = temp_journal("future-version");
+        std::fs::write(
+            &path,
+            "# vgen-journal-v9 fingerprint=0000000000000000 engine=x\n",
+        )
+        .expect("write future journal");
+        let err = read_journal(&path).expect_err("must reject");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("v9") && msg.contains("--resume"),
+            "error must name the version and a way out: {msg}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fsync_policy_parses_cli_spellings() {
+        assert_eq!(FsyncPolicy::parse("never"), Ok(FsyncPolicy::Never));
+        assert_eq!(FsyncPolicy::parse("every"), Ok(FsyncPolicy::EveryRecord));
+        assert_eq!(
+            FsyncPolicy::parse("interval:64"),
+            Ok(FsyncPolicy::Interval(64))
+        );
+        for bad in ["", "sometimes", "interval:0", "interval:x", "interval:"] {
+            assert!(FsyncPolicy::parse(bad).is_err(), "accepted `{bad}`");
+        }
     }
 
     #[test]

@@ -546,6 +546,88 @@ pub fn hostile_corpus() -> Vec<(HostileOp, String)> {
     out
 }
 
+// ----------------------------------------------------------- slow inputs
+
+/// Kinds of *slow* completion — inputs that stay inside every resource
+/// budget (token cap, recursion cap, step cap, output cap) yet burn enough
+/// wall-clock in one pipeline stage that a per-check deadline is the only
+/// defence. The supervision harness uses these to prove that deadline
+/// expiry is classified as a timeout (`CheckOutcome::Timeout`), never as a
+/// harness fault, and that without a deadline each entry still completes
+/// with an ordinary verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlowOp {
+    /// A zero-delay oscillator bounded to settle just under the default
+    /// step cap — millions of delta cycles, no budget violation.
+    SpinNearStepCap,
+    /// A long chain of always blocks: every input edge ripples through
+    /// the whole chain, one sequential activation at a time.
+    AlwaysChain,
+    /// Thousands of modest expressions — far below the token and
+    /// recursion caps, but enough total work to dominate parse time.
+    ParseCrawl,
+}
+
+impl SlowOp {
+    /// All slow kinds.
+    pub const ALL: [SlowOp; 3] = [
+        SlowOp::SpinNearStepCap,
+        SlowOp::AlwaysChain,
+        SlowOp::ParseCrawl,
+    ];
+}
+
+/// A corpus of slow-but-legal completions for a 2-input AND problem
+/// (inputs `a`, `b`, output `y`). Every entry implements a correct AND
+/// gate, so under no deadline each one *passes* — proving it stayed inside
+/// the simulator/parser budgets — while under a tight deadline the checker
+/// must classify it as a timeout.
+pub fn slow_corpus() -> Vec<(SlowOp, String)> {
+    let mut out: Vec<(SlowOp, String)> = Vec::new();
+
+    // Bounded zero-delay spin: ~800k loop iterations of delta-cycle work,
+    // sized to finish below the default 5M-step budget.
+    out.push((
+        SlowOp::SpinNearStepCap,
+        "reg tick;\ninteger i;\ninitial begin : spin\n  tick = 1'b0;\n  for (i = 0; i < 800000; i = i + 1)\n    tick = ~tick;\nend\nassign y = a & b;\nendmodule\n"
+            .to_string(),
+    ));
+
+    // 1200 chained always blocks; each stimulus edge re-evaluates the
+    // whole chain in series.
+    let n = 1200usize;
+    let mut chain = String::new();
+    for i in 0..n {
+        chain.push_str(&format!("reg t{i};\n"));
+    }
+    chain.push_str("always @* t0 = a ^ b;\n");
+    for i in 1..n {
+        chain.push_str(&format!("always @* t{i} = t{} ^ b;\n", i - 1));
+    }
+    // The chain feeds nothing: y is a plain AND so the entry passes.
+    chain.push_str(&format!(
+        "assign y = a & b & ~(t{} & 1'b0);\nendmodule\n",
+        n - 1
+    ));
+    out.push((SlowOp::AlwaysChain, chain));
+
+    // 2500 declarations, each with a modest parenthesised expression:
+    // ~135k tokens (under the token cap) and 24-deep nesting (far under
+    // the recursion cap), but a lot of parse work in total.
+    let mut crawl = String::new();
+    for i in 0..2500 {
+        crawl.push_str(&format!(
+            "wire p{i} = {}a ^ b{};\n",
+            "(".repeat(24),
+            ")".repeat(24)
+        ));
+    }
+    crawl.push_str("assign y = a & b;\nendmodule\n");
+    out.push((SlowOp::ParseCrawl, crawl));
+
+    out
+}
+
 // ------------------------------------------------------- site enumeration
 
 fn count_sites(file: &SourceFile, op: SemanticOp) -> usize {
@@ -858,6 +940,28 @@ endmodule
         }
         for (op, src) in &corpus {
             assert!(!src.is_empty(), "empty entry for {op:?}");
+        }
+    }
+
+    #[test]
+    fn slow_corpus_covers_all_ops_and_parses() {
+        let corpus = slow_corpus();
+        for op in SlowOp::ALL {
+            assert!(
+                corpus.iter().any(|(o, _)| *o == op),
+                "no slow entry for {op:?}"
+            );
+        }
+        for (op, src) in &corpus {
+            // Every entry is a body completion ending in `endmodule`; wrap
+            // it in the AND-gate header and it must parse cleanly (the
+            // slowness lives downstream of syntax, except ParseCrawl which
+            // is merely *slow* to parse, not invalid).
+            let full = format!("module and_gate(input a, input b, output y);\n{src}");
+            assert!(
+                vgen_verilog::syntax_check(&full).is_ok(),
+                "slow entry {op:?} does not parse"
+            );
         }
     }
 

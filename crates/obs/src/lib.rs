@@ -53,10 +53,13 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod hist;
 pub mod json;
 pub mod summary;
 pub mod trace;
+
+pub use cancel::CancelToken;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;

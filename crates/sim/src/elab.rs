@@ -24,6 +24,11 @@ pub struct ElabError {
     pub message: String,
     /// Source location.
     pub span: Span,
+    /// Whether elaboration was abandoned because a
+    /// [`CancelToken`](vgen_obs::CancelToken) tripped, rather than because
+    /// the design is ill-formed. The supervision layer uses this to
+    /// classify the candidate as *timed out* instead of *uncompilable*.
+    pub cancelled: bool,
 }
 
 impl ElabError {
@@ -31,6 +36,15 @@ impl ElabError {
         ElabError {
             message: message.into(),
             span,
+            cancelled: false,
+        }
+    }
+
+    fn cancelled_at(span: Span) -> Self {
+        ElabError {
+            message: "elaboration cancelled: check deadline exceeded".into(),
+            span,
+            cancelled: true,
         }
     }
 }
@@ -83,6 +97,18 @@ const TEMP_WIDTH: usize = 128;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn elaborate(file: &SourceFile, top: &str) -> Result<Design, ElabError> {
+    elaborate_with_cancel(file, top, &vgen_obs::CancelToken::unlimited())
+}
+
+/// [`elaborate`] under a cooperative [`vgen_obs::CancelToken`]: the
+/// elaborator polls the token periodically (per instance and per batch of
+/// lowered statements) and returns an [`ElabError`] with
+/// `cancelled == true` once it trips.
+pub fn elaborate_with_cancel(
+    file: &SourceFile,
+    top: &str,
+    cancel: &vgen_obs::CancelToken,
+) -> Result<Design, ElabError> {
     let _span = vgen_obs::span("elaborate");
     let mut el = Elaborator {
         file,
@@ -94,6 +120,8 @@ pub fn elaborate(file: &SourceFile, top: &str) -> Result<Design, ElabError> {
         instances: 0,
         total_signal_bits: 0,
         total_memory_bits: 0,
+        cancel: cancel.clone(),
+        work: 0,
     };
     el.instantiate(top, "", &[], Span::default(), 0)?;
     Ok(el.design)
@@ -153,9 +181,27 @@ struct Elaborator<'a> {
     total_signal_bits: u64,
     /// Running total of allocated memory bits.
     total_memory_bits: u64,
+    /// Cooperative cancellation handle (unlimited by default).
+    cancel: vgen_obs::CancelToken,
+    /// Work counter driving periodic cancel polls.
+    work: u32,
 }
 
+/// Units of elaboration work (statements lowered, instances entered)
+/// between cancel polls.
+const CANCEL_POLL_WORK: u32 = 1024;
+
 impl<'a> Elaborator<'a> {
+    /// Counts one unit of work; every [`CANCEL_POLL_WORK`] units, polls the
+    /// cancel token and errors out if it has tripped.
+    fn check_cancel(&mut self, span: Span) -> Result<(), ElabError> {
+        self.work = self.work.wrapping_add(1);
+        if self.work.is_multiple_of(CANCEL_POLL_WORK) && self.cancel.poll() {
+            return Err(ElabError::cancelled_at(span));
+        }
+        Ok(())
+    }
+
     // ------------------------------------------------------------ instances
 
     fn instantiate(
@@ -166,6 +212,11 @@ impl<'a> Elaborator<'a> {
         inst_span: Span,
         depth: usize,
     ) -> Result<Scope, ElabError> {
+        // Instances are coarse units; poll unconditionally so instance
+        // bombs observe the deadline even with the work counter mid-window.
+        if self.cancel.poll() {
+            return Err(ElabError::cancelled_at(inst_span));
+        }
         if depth > MAX_DEPTH {
             return Err(ElabError::new(
                 format!("instantiation depth exceeds {MAX_DEPTH} (recursive instantiation?)"),
@@ -1108,6 +1159,7 @@ impl<'a> Elaborator<'a> {
         code: &mut Vec<Instr>,
         prefix: &str,
     ) -> Result<(), ElabError> {
+        self.check_cancel(stmt.span)?;
         match &stmt.kind {
             StmtKind::Block { name, decls, stmts } => {
                 let mut frame = HashMap::new();

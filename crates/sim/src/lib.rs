@@ -93,7 +93,20 @@ impl From<ElabError> for SimError {
 /// (hangs, `$finish`, unknown tasks) are reported in the returned
 /// [`SimOutput::reason`] instead.
 pub fn simulate(src: &str, top: Option<&str>, config: SimConfig) -> Result<SimOutput, SimError> {
-    let file = vgen_verilog::parse(src)?;
+    simulate_with_cancel(src, top, config, &vgen_obs::CancelToken::unlimited())
+}
+
+/// [`simulate`] under a cooperative [`vgen_obs::CancelToken`], threaded
+/// through all three stages: the parser and elaborator return a
+/// `cancelled` error once it trips, and the scheduler stops with
+/// [`StopReason::Cancelled`].
+pub fn simulate_with_cancel(
+    src: &str,
+    top: Option<&str>,
+    config: SimConfig,
+    cancel: &vgen_obs::CancelToken,
+) -> Result<SimOutput, SimError> {
+    let file = vgen_verilog::parse_with_cancel(src, cancel)?;
     let top_name = match top {
         Some(t) => t.to_string(),
         None => file
@@ -103,6 +116,8 @@ pub fn simulate(src: &str, top: Option<&str>, config: SimConfig) -> Result<SimOu
             .name
             .clone(),
     };
-    let design = elab::elaborate(&file, &top_name)?;
-    Ok(Simulator::with_config(design, config).run())
+    let design = elab::elaborate_with_cancel(&file, &top_name, cancel)?;
+    Ok(Simulator::with_config(design, config)
+        .cancelled_by(cancel.clone())
+        .run())
 }

@@ -73,6 +73,13 @@ impl SimConfig {
     }
 }
 
+/// Instructions executed between [`CancelToken`](vgen_obs::CancelToken)
+/// polls. At tens of millions of interpreter steps per second this costs a
+/// few thousand clock reads per second — unmeasurable — while a runaway
+/// (but budget-legal) design observes its deadline within well under a
+/// millisecond of work.
+pub const CANCEL_POLL_STEPS: u64 = 4096;
+
 /// Why the simulation ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StopReason {
@@ -86,6 +93,9 @@ pub enum StopReason {
     TimeLimit,
     /// The instruction budget ran out (infinite loop / hung design).
     StepBudget,
+    /// A [`CancelToken`](vgen_obs::cancel::CancelToken) tripped — the
+    /// supervising check's wall-clock deadline passed mid-simulation.
+    Cancelled,
     /// A runtime error aborted the simulation.
     RuntimeError(String),
 }
@@ -190,6 +200,7 @@ pub struct Simulator {
     vcd: Option<crate::vcd::VcdRecorder>,
     steps: u64,
     stop: Option<StopReason>,
+    cancel: vgen_obs::CancelToken,
 }
 
 impl Simulator {
@@ -223,8 +234,17 @@ impl Simulator {
             vcd: None,
             steps: 0,
             stop: None,
+            cancel: vgen_obs::CancelToken::unlimited(),
             design: Arc::new(design),
         }
+    }
+
+    /// Attaches a cooperative cancellation token. The scheduler polls it
+    /// every [`CANCEL_POLL_STEPS`] instructions; when it trips, the run
+    /// stops with [`StopReason::Cancelled`].
+    pub fn cancelled_by(mut self, cancel: vgen_obs::CancelToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// Parks `pid` to resume at simulation time `time`.
@@ -325,6 +345,10 @@ impl Simulator {
                 return;
             }
             self.steps += 1;
+            if self.steps.is_multiple_of(CANCEL_POLL_STEPS) && self.cancel.poll() {
+                self.stop = Some(StopReason::Cancelled);
+                return;
+            }
             let pc = self.procs[idx].pc;
             let Some(instr) = code.get(pc) else {
                 self.procs[idx].status = Status::Done;

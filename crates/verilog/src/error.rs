@@ -10,6 +10,11 @@ pub struct ParseError {
     pub message: String,
     /// Location of the offending text.
     pub span: Span,
+    /// Whether parsing was abandoned because a
+    /// [`CancelToken`](vgen_obs::cancel::CancelToken) tripped, rather than
+    /// because the input is malformed. The supervision layer uses this to
+    /// classify the candidate as *timed out* instead of *uncompilable*.
+    pub cancelled: bool,
 }
 
 impl ParseError {
@@ -18,6 +23,17 @@ impl ParseError {
         ParseError {
             message: message.into(),
             span,
+            cancelled: false,
+        }
+    }
+
+    /// Creates the cancellation pseudo-error reported when a cancel token
+    /// trips mid-parse.
+    pub fn cancelled_at(span: Span) -> Self {
+        ParseError {
+            message: "parse cancelled: check deadline exceeded".into(),
+            span,
+            cancelled: true,
         }
     }
 

@@ -12,6 +12,7 @@ use crate::lexer::Lexer;
 use crate::number::parse_number;
 use crate::span::Span;
 use crate::token::{Keyword, Punct, Token, TokenKind};
+use vgen_obs::CancelToken;
 
 /// Parses a full source file (one or more modules).
 ///
@@ -27,8 +28,23 @@ use crate::token::{Keyword, Punct, Token, TokenKind};
 /// # Ok::<(), vgen_verilog::error::ParseError>(())
 /// ```
 pub fn parse(src: &str) -> Result<SourceFile, ParseError> {
+    parse_with_cancel(src, &CancelToken::unlimited())
+}
+
+/// [`parse`] under a cooperative [`CancelToken`]: the parser polls the
+/// token every [`CANCEL_POLL_WORK`] units of work (roughly, grammar
+/// productions) and bails out with a [`ParseError::cancelled_at`] error —
+/// `cancelled == true` — once it trips. With an
+/// [unlimited](CancelToken::unlimited) token the polls cost one relaxed
+/// atomic load each and the behaviour is identical to [`parse`].
+pub fn parse_with_cancel(src: &str, cancel: &CancelToken) -> Result<SourceFile, ParseError> {
     let _span = vgen_obs::span("parse");
     let tokens = Lexer::new(src).tokenize()?;
+    // Lexing is linear and allocation-light; one poll after it bounds the
+    // damage of a multi-megabyte input without instrumenting the scan loop.
+    if cancel.poll() {
+        return Err(ParseError::cancelled_at(Span::default()));
+    }
     if tokens.len() > MAX_TOKENS {
         let span = tokens[MAX_TOKENS].span;
         return Err(ParseError::new(
@@ -36,7 +52,7 @@ pub fn parse(src: &str) -> Result<SourceFile, ParseError> {
             span,
         ));
     }
-    Parser::new(tokens).parse_source_file()
+    Parser::with_cancel(tokens, cancel.clone()).parse_source_file()
 }
 
 /// Checks whether `src` is syntactically valid — the "compiles" check used
@@ -59,24 +75,47 @@ pub const MAX_TOKENS: usize = 400_000;
 /// thread, so the ceiling stays well under that even in debug builds.
 pub const MAX_NEST_DEPTH: usize = 100;
 
+/// Units of parser work (grammar productions entered, module items started)
+/// between [`CancelToken`] polls. Large enough that the clock read
+/// amortises to noise, small enough that a near-[`MAX_TOKENS`] input still
+/// observes its deadline within a few milliseconds of work.
+pub const CANCEL_POLL_WORK: u32 = 1024;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     /// Current expression/statement nesting depth (recursion guard).
     depth: usize,
+    /// Cooperative cancellation handle (unlimited by default).
+    cancel: CancelToken,
+    /// Work counter driving periodic [`CancelToken::poll`] calls.
+    work: u32,
 }
 
 impl Parser {
-    fn new(tokens: Vec<Token>) -> Self {
+    fn with_cancel(tokens: Vec<Token>, cancel: CancelToken) -> Self {
         Parser {
             tokens,
             pos: 0,
             depth: 0,
+            cancel,
+            work: 0,
         }
+    }
+
+    /// Counts one unit of work; every [`CANCEL_POLL_WORK`] units, polls the
+    /// cancel token and errors out if it has tripped.
+    fn check_cancel(&mut self) -> Result<(), ParseError> {
+        self.work = self.work.wrapping_add(1);
+        if self.work.is_multiple_of(CANCEL_POLL_WORK) && self.cancel.poll() {
+            return Err(ParseError::cancelled_at(self.span()));
+        }
+        Ok(())
     }
 
     /// Bumps the recursion guard; errors out beyond [`MAX_NEST_DEPTH`].
     fn enter(&mut self) -> Result<(), ParseError> {
+        self.check_cancel()?;
         self.depth += 1;
         if self.depth > MAX_NEST_DEPTH {
             return Err(ParseError::new(
@@ -339,6 +378,9 @@ impl Parser {
     // --------------------------------------------------------- module items
 
     fn parse_item(&mut self) -> Result<Item, ParseError> {
+        // Flat files (thousands of small items, little nesting) count work
+        // here; deeply nested expressions count it in `enter`.
+        self.check_cancel()?;
         let start = self.span();
         match self.peek() {
             TokenKind::Keyword(kw) => match kw {

@@ -44,6 +44,7 @@ endmodule
             CheckOutcome::SimulationFail(m) => format!("simulation failed: {m}"),
             CheckOutcome::CompileFail(m) => format!("does not compile: {m}"),
             CheckOutcome::HarnessFault(m) => format!("checker fault: {m}"),
+            CheckOutcome::Timeout(kind) => format!("check deadline exceeded ({kind:?})"),
         };
         println!("{label}: {verdict}");
     }

@@ -65,18 +65,41 @@ USAGE:
   vgen eval --journal <path> [--resume] [--model NAME] [--tuning ft|pt] [--full]
             [--jobs N] [--no-dedup] [--trace FILE] [--metrics]
             [--progress auto|always|never]
+            [--check-timeout SECS] [--retries N] [--fsync never|every|interval:N]
+            [--chaos SPEC] [--chaos-seed N]
                                           sweep the family engine over the
                                           eval grid, journaling each record;
-                                          --resume continues a killed run;
+                                          --resume continues a killed run
+                                          (recovery drops any torn/corrupt
+                                          journal suffix and reports it);
                                           --jobs N checks completions on N
                                           worker threads (default: all
                                           cores); --no-dedup disables the
                                           duplicate-completion check cache;
                                           results are byte-identical for
                                           every N and cache setting;
-                                          --trace FILE writes a Chrome
-                                          trace_event JSON timeline (load
-                                          in ui.perfetto.dev); --metrics
+                                          --check-timeout SECS bounds each
+                                          check's wall clock — a check past
+                                          the deadline is recorded as a
+                                          timeout fault, not a verdict, and
+                                          the sweep continues (note: real
+                                          timeouts are machine-dependent,
+                                          so timed-out reports are not
+                                          byte-reproducible); --retries N
+                                          retries timed-out checks with
+                                          backoff before recording them;
+                                          --fsync sets journal durability
+                                          (default: never; flush-per-record
+                                          always holds); --chaos SPEC
+                                          injects deterministic faults
+                                          (site[:param]%denom;... over
+                                          sites check.panic, check.timeout,
+                                          check.delay, task.panic,
+                                          journal.torn) seeded by
+                                          --chaos-seed; --trace FILE writes
+                                          a Chrome trace_event JSON
+                                          timeline (load in
+                                          ui.perfetto.dev); --metrics
                                           prints per-stage wall-time
                                           percentiles and counters to
                                           stderr and writes them to
@@ -271,6 +294,7 @@ fn reason_str(r: &vgen::sim::StopReason) -> String {
         Quiescent => "event queue empty".into(),
         TimeLimit => "time limit".into(),
         StepBudget => "step budget exhausted (hung?)".into(),
+        Cancelled => "cancelled (check deadline)".into(),
         RuntimeError(m) => format!("runtime error: {m}"),
     }
 }
@@ -356,7 +380,7 @@ fn cmd_eval(rest: &[&String]) -> Result<(), String> {
         FunctionalFail | SimulationFail(_) => {
             (true, vgen::synth::synthesize_source(&src).is_ok(), false)
         }
-        CompileFail(_) | HarnessFault(_) => (false, false, false),
+        CompileFail(_) | HarnessFault(_) | Timeout(_) => (false, false, false),
     };
     println!("problem {id}: {}", p.name);
     println!("  compiles:     {}", yesno(compiled));
@@ -427,10 +451,40 @@ fn cmd_eval_grid(rest: &[&String], journal: &str) -> Result<(), String> {
             ))
         }
     };
+    let mut policy = vgen::core::CheckPolicy::default();
+    if let Some(t) = flag_value(rest, "--check-timeout") {
+        let secs = t
+            .parse::<f64>()
+            .ok()
+            .filter(|s| *s > 0.0 && s.is_finite())
+            .ok_or_else(|| format!("bad --check-timeout `{t}` (positive seconds)"))?;
+        policy.timeout = Some(std::time::Duration::from_secs_f64(secs));
+    }
+    if let Some(r) = flag_value(rest, "--retries") {
+        policy.retries = r
+            .parse()
+            .map_err(|_| format!("bad --retries `{r}` (use a non-negative integer)"))?;
+    }
+    if let Some(spec) = flag_value(rest, "--chaos") {
+        let seed: u64 = match flag_value(rest, "--chaos-seed") {
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("bad --chaos-seed `{s}` (use an unsigned integer)"))?,
+            None => 0,
+        };
+        policy.chaos = vgen::core::ChaosSpec::parse(spec, seed)?;
+    }
+    let fsync = match flag_value(rest, "--fsync") {
+        Some(s) => vgen::core::FsyncPolicy::parse(s)?,
+        None => vgen::core::FsyncPolicy::Never,
+    };
     let opts = vgen::core::SweepOptions {
         jobs: parse_jobs(flag_value(rest, "--jobs"))?,
         progress,
         dedup: !has_flag(rest, "--no-dedup"),
+        policy,
+        fsync,
+        stall_timeout: None,
     };
     let trace_path = flag_value(rest, "--trace");
     let metrics = has_flag(rest, "--metrics");
@@ -452,6 +506,20 @@ fn cmd_eval_grid(rest: &[&String], journal: &str) -> Result<(), String> {
         &opts,
     )
     .map_err(|e| e.to_string())?;
+    if resume {
+        let repairs = if stats.repaired_lines > 0 {
+            format!(
+                " ({} torn/corrupt line(s) dropped by recovery)",
+                stats.repaired_lines
+            )
+        } else {
+            String::new()
+        };
+        eprintln!(
+            "[eval] resumed {} record(s) from journal{repairs}",
+            stats.resumed_records
+        );
+    }
     eprintln!(
         "[eval] {} checks run, {} dedup cache hits ({:.0}%)",
         stats.checks_run,

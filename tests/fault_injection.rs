@@ -35,6 +35,10 @@ fn hostile_corpus_is_always_classified() {
             CheckOutcome::HarnessFault(msg) => {
                 panic!("hostile input {op:?} crashed the harness: {msg}\n---\n{completion}");
             }
+            CheckOutcome::Timeout(kind) => {
+                // No deadline is configured here, so nothing may time out.
+                panic!("hostile input {op:?} timed out ({kind:?}) without a deadline");
+            }
             // Any classified outcome is acceptable: hostile inputs are
             // *candidates*, and bad candidates are allowed to fail.
             CheckOutcome::Pass
