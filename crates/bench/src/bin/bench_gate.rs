@@ -1,0 +1,109 @@
+//! `bench_gate` — bench-regression tracking for CI.
+//!
+//! Compares a fresh `BENCH_sim.json` / `BENCH_sweep.json` (produced by
+//! `sim_throughput --quick` and `sweep_scaling --quick`) against baseline
+//! copies checked into the repository root, and fails when any tracked
+//! metric regresses by more than the tolerance (default 15%).
+//!
+//! Only **machine-independent** metrics are gated — ratios and
+//! deterministic counts, never absolute wall-clock throughput, so the gate
+//! holds on any runner:
+//!
+//! * `sim_speedup`      — bytecode vs. interpreter cycles/s ratio
+//! * `min_speedup_64b`  — packed vs. per-bit vector-op speedup floor
+//! * `hit_rate`         — dedup-cache hit rate over the repeated sweep
+//! * `total_checks`     — sweep catalog size (shrinkage = silent coverage loss)
+//!
+//! ```text
+//! bench_gate --sim FRESH_sim.json --sweep FRESH_sweep.json \
+//!            --baseline-sim BENCH_baseline_sim.json \
+//!            --baseline-sweep BENCH_baseline_sweep.json [--tolerance 0.15]
+//! ```
+
+use std::process::ExitCode;
+
+/// Pulls the number following `"key":` out of hand-rolled JSON. All gated
+/// keys are unique within their artifact, so a flat scan is exact.
+fn metric(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn read(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fresh_sim = read(flag(&args, "--sim").unwrap_or("target/experiments/BENCH_sim.json"));
+    let fresh_sweep = read(flag(&args, "--sweep").unwrap_or("target/experiments/BENCH_sweep.json"));
+    let base_sim = read(flag(&args, "--baseline-sim").unwrap_or("BENCH_baseline_sim.json"));
+    let base_sweep = read(flag(&args, "--baseline-sweep").unwrap_or("BENCH_baseline_sweep.json"));
+    let tolerance: f64 = flag(&args, "--tolerance")
+        .map(|t| t.parse().expect("--tolerance takes a fraction like 0.15"))
+        .unwrap_or(0.15);
+
+    // (label, fresh artifact, baseline artifact, key)
+    let gates: [(&str, &str, &str, &str); 4] = [
+        ("sim_speedup", &fresh_sim, &base_sim, "sim_speedup"),
+        ("min_speedup_64b", &fresh_sim, &base_sim, "min_speedup_64b"),
+        ("dedup_hit_rate", &fresh_sim, &base_sim, "hit_rate"),
+        (
+            "sweep_total_checks",
+            &fresh_sweep,
+            &base_sweep,
+            "total_checks",
+        ),
+    ];
+
+    let mut failures = 0usize;
+    for (label, fresh, base, key) in gates {
+        let (Some(now), Some(then)) = (metric(fresh, key), metric(base, key)) else {
+            eprintln!("FAIL {label}: metric \"{key}\" missing from artifact or baseline");
+            failures += 1;
+            continue;
+        };
+        let floor = then * (1.0 - tolerance);
+        let delta = if then != 0.0 {
+            (now - then) / then * 100.0
+        } else {
+            0.0
+        };
+        if now < floor {
+            eprintln!(
+                "FAIL {label}: {now:.3} is {delta:+.1}% vs baseline {then:.3} \
+                 (floor {floor:.3} at {:.0}% tolerance)",
+                tolerance * 100.0
+            );
+            failures += 1;
+        } else {
+            println!("ok   {label}: {now:.3} vs baseline {then:.3} ({delta:+.1}%)");
+        }
+    }
+
+    if failures == 0 {
+        println!("bench_gate: all tracked metrics within tolerance");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_gate: {failures} metric(s) regressed beyond tolerance");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,83 @@
+//! `sim_profile` — runs the `sim_throughput` counter testbench alone, on one
+//! backend, for profiler attachment (`gprofng collect app …`) and quick A/B
+//! timing without the vector-op and sweep phases.
+//!
+//! ```text
+//! cargo run --release -p vgen-bench --bin sim_profile -- [interp|bytecode] [cycles]
+//! ```
+
+use std::time::Instant;
+
+use vgen_sim::{SimBackend, SimConfig};
+
+fn counter_testbench(cycles: u64, bank: usize, procs: usize, nba: bool) -> String {
+    let op = if nba { "<=" } else { "=" };
+    let mut src = String::from("module tb;\nreg clk;\n");
+    for p in 0..procs {
+        for i in 0..bank {
+            src.push_str(&format!("reg [63:0] acc{p}_{i};\n"));
+        }
+    }
+    src.push_str("initial begin clk = 0; ");
+    for p in 0..procs {
+        for i in 0..bank {
+            src.push_str(&format!("acc{p}_{i} = 0; "));
+        }
+    }
+    src.push_str("end\n");
+    src.push_str("always #5 clk = ~clk;\n");
+    for p in 0..procs {
+        src.push_str("always @(posedge clk) begin\n");
+        src.push_str(&format!("  acc{p}_0 {op} acc{p}_0 + 1;\n"));
+        for i in 1..bank {
+            src.push_str(&format!(
+                "  acc{p}_{i} {op} acc{p}_{i} + acc{p}_{};\n",
+                i - 1
+            ));
+        }
+        src.push_str("end\n");
+    }
+    src.push_str(&format!(
+        "initial begin #{} $display(\"acc0=%d\", acc0_0); $finish; end\nendmodule\n",
+        cycles * 10
+    ));
+    src
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let backend: SimBackend = args
+        .first()
+        .map(|a| a.parse().expect("backend is interp or bytecode"))
+        .unwrap_or_default();
+    let cycles: u64 = args
+        .get(1)
+        .map(|a| a.parse().expect("cycle count"))
+        .unwrap_or(1_000_000);
+    let bank: usize = args
+        .get(2)
+        .map(|a| a.parse().expect("accumulator bank size"))
+        .unwrap_or(8);
+    let procs: usize = args
+        .get(3)
+        .map(|a| a.parse().expect("process count"))
+        .unwrap_or(1);
+    let nba = args.get(4).map(|a| a == "nba").unwrap_or(true);
+    let src = counter_testbench(cycles, bank, procs, nba);
+    let config = SimConfig::default()
+        .with_max_time(cycles * 10 + 100)
+        .with_max_steps(u64::MAX)
+        .with_backend(backend);
+    let start = Instant::now();
+    let out = vgen_sim::simulate(&src, Some("tb"), config).expect("counter testbench simulates");
+    let seconds = start.elapsed().as_secs_f64();
+    println!(
+        "{}: {} cycles, {} steps, {:.3}s = {:.0} cycles/s ({:.2} Msteps/s)",
+        backend.as_str(),
+        cycles,
+        out.steps,
+        seconds,
+        cycles as f64 / seconds,
+        out.steps as f64 / seconds / 1e6
+    );
+}

@@ -8,9 +8,11 @@
 //!    the packed representation against an embedded per-bit baseline (the
 //!    pre-rewrite one-`Logic`-per-bit loop). The 64-bit packed ops must be
 //!    at least 3× the per-bit baseline or the binary exits non-zero.
-//! 2. **Cycle-heavy simulation** — a clocked counter testbench run through
-//!    the full event loop, reported as simulated cycles and interpreter
-//!    steps per second.
+//! 2. **Cycle-heavy simulation** — a clocked counter-bank testbench (eight
+//!    processes, each chaining eight 64-bit accumulators per posedge) run
+//!    through the full event loop on both the interpreter and the bytecode
+//!    VM, reported as simulated cycles and steps per second; the bytecode
+//!    backend must clear 5× the interpreter's cycles/s.
 //! 3. **Dedup cache** — a quick evaluation sweep with the completion-dedup
 //!    cache on vs off: hit rate and wall-clock both ways, with the runs
 //!    compared for equality (the cache must never change results).
@@ -28,7 +30,7 @@ use vgen_core::{run_engine_sweep_stats, EvalConfig, SweepOptions, SweepStats};
 use vgen_corpus::CorpusSource;
 use vgen_lm::{FamilyEngine, ModelFamily, ModelId, Tuning};
 use vgen_problems::PromptLevel;
-use vgen_sim::SimConfig;
+use vgen_sim::{SimBackend, SimConfig};
 use vgen_verilog::value::LogicVec;
 
 /// The pre-rewrite representation, kept here as the baseline under test:
@@ -193,23 +195,49 @@ fn measure_vector_ops(quick: bool) -> Vec<OpSample> {
     samples
 }
 
-/// A clocked counter that exercises edge detection, NBA commits and the
-/// future-event queue for `cycles` clock cycles.
+/// Clocked processes sharing one clock, each owning a chain of 64-bit
+/// accumulators (`PROCS` × `BANK` signals updated per posedge).
+const PROCS: usize = 8;
+const BANK: usize = 8;
+
+/// The counter-bank testbench: exercises edge detection, the future-event
+/// queue, and — at `PROCS * BANK` writes per cycle — the per-write wake
+/// machinery, which is where the backends differ architecturally (the
+/// interpreter re-scans every parked process per write; the bytecode VM
+/// consults compiled watch tables). `acc0_0` counts clock cycles, so the
+/// result is still checkable as a counter.
 fn counter_testbench(cycles: u64) -> String {
-    format!(
-        "module tb;\n\
-         reg clk;\n\
-         reg [63:0] count;\n\
-         initial begin clk = 0; count = 0; end\n\
-         always #5 clk = ~clk;\n\
-         always @(posedge clk) count <= count + 1;\n\
-         initial begin #{} $display(\"count=%d\", count); $finish; end\n\
-         endmodule\n",
+    let mut src = String::from("module tb;\nreg clk;\n");
+    for p in 0..PROCS {
+        for i in 0..BANK {
+            src.push_str(&format!("reg [63:0] acc{p}_{i};\n"));
+        }
+    }
+    src.push_str("initial begin clk = 0; ");
+    for p in 0..PROCS {
+        for i in 0..BANK {
+            src.push_str(&format!("acc{p}_{i} = 0; "));
+        }
+    }
+    src.push_str("end\n");
+    src.push_str("always #5 clk = ~clk;\n");
+    for p in 0..PROCS {
+        src.push_str("always @(posedge clk) begin\n");
+        src.push_str(&format!("  acc{p}_0 = acc{p}_0 + 1;\n"));
+        for i in 1..BANK {
+            src.push_str(&format!("  acc{p}_{i} = acc{p}_{i} + acc{p}_{};\n", i - 1));
+        }
+        src.push_str("end\n");
+    }
+    src.push_str(&format!(
+        "initial begin #{} $display(\"count=%d\", acc0_0); $finish; end\nendmodule\n",
         cycles * 10
-    )
+    ));
+    src
 }
 
 struct SimSample {
+    backend: SimBackend,
     cycles: u64,
     seconds: f64,
     steps: u64,
@@ -217,28 +245,43 @@ struct SimSample {
     steps_per_sec: f64,
 }
 
-fn measure_sim(quick: bool) -> SimSample {
-    let cycles: u64 = if quick { 20_000 } else { 200_000 };
+fn run_counter(quick: bool, backend: SimBackend) -> SimSample {
+    let cycles: u64 = if quick { 10_000 } else { 100_000 };
     let src = counter_testbench(cycles);
     let config = SimConfig::default()
         .with_max_time(cycles * 10 + 100)
-        .with_max_steps(u64::MAX);
+        .with_max_steps(u64::MAX)
+        .with_backend(backend);
     let start = Instant::now();
     let out = vgen_sim::simulate(&src, Some("tb"), config).expect("counter testbench simulates");
     let seconds = start.elapsed().as_secs_f64();
     let expected = format!("count={:>20}", cycles);
     assert!(
         out.stdout.trim_end().ends_with(expected.trim()),
-        "counter miscounted: {:?}",
+        "counter miscounted on {}: {:?}",
+        backend.as_str(),
         out.stdout
     );
     SimSample {
+        backend,
         cycles,
         seconds,
         steps: out.steps,
         cycles_per_sec: cycles as f64 / seconds,
         steps_per_sec: out.steps as f64 / seconds,
     }
+}
+
+/// Runs the counter testbench through the interpreter and the bytecode VM,
+/// asserting they agree on output and step count before comparing speed.
+fn measure_sim(quick: bool) -> (SimSample, SimSample) {
+    let interp = run_counter(quick, SimBackend::Interp);
+    let bytecode = run_counter(quick, SimBackend::Bytecode);
+    assert_eq!(
+        interp.steps, bytecode.steps,
+        "backends disagree on step count"
+    );
+    (interp, bytecode)
 }
 
 struct DedupSample {
@@ -312,14 +355,19 @@ fn main() {
         .map(|s| s.speedup)
         .fold(f64::INFINITY, f64::min);
 
-    let sim = measure_sim(quick);
-    println!(
-        "  simulation: {} cycles in {:.3}s = {:.0} cycles/s ({:.2} Msteps/s)",
-        sim.cycles,
-        sim.seconds,
-        sim.cycles_per_sec,
-        sim.steps_per_sec / 1e6
-    );
+    let (sim_interp, sim_bc) = measure_sim(quick);
+    for sim in [&sim_interp, &sim_bc] {
+        println!(
+            "  simulation[{}]: {} cycles in {:.3}s = {:.0} cycles/s ({:.2} Msteps/s)",
+            sim.backend.as_str(),
+            sim.cycles,
+            sim.seconds,
+            sim.cycles_per_sec,
+            sim.steps_per_sec / 1e6
+        );
+    }
+    let sim_speedup = sim_bc.cycles_per_sec / sim_interp.cycles_per_sec;
+    println!("  bytecode vs interpreter: {sim_speedup:.2}x cycles/s");
 
     let dedup = measure_dedup(quick);
     println!(
@@ -331,7 +379,15 @@ fn main() {
         dedup.seconds_cache_off
     );
 
-    let json = render_json(quick, &ops, min_speedup_64, &sim, &dedup);
+    let json = render_json(
+        quick,
+        &ops,
+        min_speedup_64,
+        &sim_interp,
+        &sim_bc,
+        sim_speedup,
+        &dedup,
+    );
     write_artifact("BENCH_sim.json", &json);
     if let Some(path) = out_path {
         match std::fs::write(&path, &json) {
@@ -350,6 +406,13 @@ fn main() {
         std::process::exit(1);
     }
     println!("  64-bit packed speedup floor: {min_speedup_64:.1}x (>= 3x required)");
+    if sim_speedup < 5.0 {
+        eprintln!(
+            "FAIL: bytecode backend only {sim_speedup:.2}x the interpreter on cycles/s (need 5x)"
+        );
+        std::process::exit(1);
+    }
+    println!("  bytecode speedup floor: {sim_speedup:.1}x (>= 5x required)");
 }
 
 /// Hand-rolled JSON (no serde in this environment): a stable, diffable
@@ -358,7 +421,9 @@ fn render_json(
     quick: bool,
     ops: &[OpSample],
     min_speedup_64: f64,
-    sim: &SimSample,
+    sim_interp: &SimSample,
+    sim_bc: &SimSample,
+    sim_speedup: f64,
     dedup: &DedupSample,
 ) -> String {
     let mut out = String::from("{\n");
@@ -381,10 +446,18 @@ fn render_json(
     }
     out.push_str("  ],\n");
     out.push_str(&format!("  \"min_speedup_64b\": {min_speedup_64:.2},\n"));
+    let sim_obj = |s: &SimSample| {
+        format!(
+            "{{\"cycles\": {}, \"seconds\": {:.6}, \"steps\": {}, \"cycles_per_sec\": {:.1}, \"steps_per_sec\": {:.1}}}",
+            s.cycles, s.seconds, s.steps, s.cycles_per_sec, s.steps_per_sec
+        )
+    };
+    out.push_str(&format!("  \"simulation\": {},\n", sim_obj(sim_interp)));
     out.push_str(&format!(
-        "  \"simulation\": {{\"cycles\": {}, \"seconds\": {:.6}, \"steps\": {}, \"cycles_per_sec\": {:.1}, \"steps_per_sec\": {:.1}}},\n",
-        sim.cycles, sim.seconds, sim.steps, sim.cycles_per_sec, sim.steps_per_sec
+        "  \"simulation_bytecode\": {},\n",
+        sim_obj(sim_bc)
     ));
+    out.push_str(&format!("  \"sim_speedup\": {sim_speedup:.2},\n"));
     out.push_str(&format!(
         "  \"dedup_cache\": {{\"checks_run\": {}, \"cache_hits\": {}, \"hit_rate\": {:.4}, \"seconds_cache_on\": {:.6}, \"seconds_cache_off\": {:.6}}}\n",
         dedup.stats.checks_run,

@@ -1,0 +1,882 @@
+//! The compiled bytecode backend: a flat, register-based program executed
+//! by a dispatch-loop VM.
+//!
+//! The tree-walking interpreter ([`crate::interp`]) re-walks `Box`ed
+//! [`EExpr`](crate::design::EExpr) trees on every event. This module defines
+//! a lowered form — produced once per design by [`crate::compile::compile`]
+//! — where each expression becomes a contiguous run of [`Op`]s over a flat
+//! virtual register file, and each process instruction becomes a [`BcInstr`]
+//! at the *same program counter* as its [`Instr`](crate::design::Instr)
+//! counterpart.
+//!
+//! Design invariants (checked by [`crate::compile::verify`]):
+//!
+//! - **Step identity**: `BcInstr` is 1:1 with `Instr` — same pc space, same
+//!   jump targets, one scheduler step per instruction. `sim.steps`,
+//!   [`StopReason`](crate::sched::StopReason) and cancellation points are
+//!   identical across backends by construction.
+//! - **Single-use registers**: expression trees lower to SSA-like code where
+//!   every register is written before it is read and read at most once per
+//!   instruction execution, so the VM moves values out of registers instead
+//!   of cloning them.
+//! - **Fragment containment**: a [`Frag`] is a contiguous `[start, end)` op
+//!   range producing `out`; ternary branch fragments are self-contained
+//!   (they define everything they read except nothing — the condition is
+//!   passed by register through the [`Op::Ternary`] op itself).
+//!
+//! Side-effect ordering (user function calls inside index expressions can
+//! write signals) follows the interpreter exactly: bit selects evaluate the
+//! index *before* reading the base; part/indexed selects read the base
+//! *before* evaluating the start.
+
+use vgen_verilog::ast::{BinaryOp, CaseKind, Edge, UnaryOp};
+use vgen_verilog::value::{Logic, LogicVec};
+
+use crate::design::{Design, MemoryId, SignalId};
+use crate::interp::{
+    apply_write, exec_function, indexed_range, Changes, ResolvedLValue, RuntimeError, State,
+};
+use crate::ops::{apply_binary, apply_unary};
+
+/// Index into the per-process virtual register file.
+pub type Reg = u32;
+
+/// A contiguous op range `[start, end)` whose result lands in `out`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frag {
+    /// First op index (inclusive) in [`BcProc::ops`].
+    pub start: u32,
+    /// One past the last op index.
+    pub end: u32,
+    /// Register holding the fragment's value after execution.
+    pub out: Reg,
+}
+
+/// Where a bit/indexed select maps declared indices to storage positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitRef {
+    /// Positions come from the signal's declared range.
+    Sig(SignalId),
+    /// Positions index from bit 0 of the memory's word width.
+    Mem(MemoryId),
+}
+
+/// One VM operation. Operands are registers; results always go to `dst`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Load a constant from the per-process pool.
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// Index into [`BcProc::consts`].
+        idx: u32,
+    },
+    /// Read a whole signal.
+    ReadSignal {
+        /// Destination register.
+        dst: Reg,
+        /// Source signal.
+        sig: SignalId,
+    },
+    /// Read a memory word; unknown/out-of-range indices read `x`.
+    ReadMemWord {
+        /// Destination register.
+        dst: Reg,
+        /// Source memory.
+        mem: MemoryId,
+        /// Register holding the evaluated word index.
+        index: Reg,
+    },
+    /// Dynamic single-bit select of an already-read base value.
+    BitSel {
+        /// Destination register.
+        dst: Reg,
+        /// Register holding the evaluated index.
+        index: Reg,
+        /// Register holding the base value.
+        value: Reg,
+        /// Index-to-position mapping.
+        loc: BitRef,
+    },
+    /// Constant part select with storage positions precomputed at lowering.
+    PartSel {
+        /// Destination register.
+        dst: Reg,
+        /// Register holding the base value.
+        base: Reg,
+        /// Highest storage bit (inclusive).
+        hi: usize,
+        /// Lowest storage bit (inclusive).
+        lo: usize,
+    },
+    /// Indexed part select `base[start +: width]` / `[start -: width]`.
+    IndexedSel {
+        /// Destination register.
+        dst: Reg,
+        /// Register holding the base value.
+        base: Reg,
+        /// Register holding the evaluated start index.
+        start: Reg,
+        /// Index-to-position mapping.
+        loc: BitRef,
+        /// Constant select width.
+        width: usize,
+        /// `true` for `+:`.
+        ascending: bool,
+    },
+    /// Produce an all-`x` value (statically out-of-range part selects).
+    UnknownValue {
+        /// Destination register.
+        dst: Reg,
+        /// Result width.
+        width: usize,
+    },
+    /// Context-sizing extension; never truncates below the operand width.
+    Resize {
+        /// Destination register.
+        dst: Reg,
+        /// Operand register.
+        src: Reg,
+        /// Target width.
+        width: usize,
+    },
+    /// Unary operator dispatch.
+    Unary {
+        /// Destination register.
+        dst: Reg,
+        /// Operator.
+        op: UnaryOp,
+        /// Operand register.
+        src: Reg,
+    },
+    /// Binary operator dispatch.
+    Binary {
+        /// Destination register.
+        dst: Reg,
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand register.
+        lhs: Reg,
+        /// Right operand register.
+        rhs: Reg,
+    },
+    /// Lazy conditional: executes only the taken branch fragment, or both
+    /// (merged bitwise) when the condition is unknown.
+    Ternary {
+        /// Destination register.
+        dst: Reg,
+        /// Register holding the evaluated condition.
+        cond: Reg,
+        /// Fragment for the true branch.
+        then_frag: Frag,
+        /// Fragment for the false branch.
+        else_frag: Frag,
+    },
+    /// Concatenation, first part most significant.
+    Concat {
+        /// Destination register.
+        dst: Reg,
+        /// Part registers, MSB first.
+        parts: Box<[Reg]>,
+    },
+    /// Replication of an already-concatenated value.
+    Replicate {
+        /// Destination register.
+        dst: Reg,
+        /// Register holding the value to replicate.
+        src: Reg,
+        /// Replication count.
+        count: usize,
+    },
+    /// `$time` / `$stime` / `$realtime`.
+    Time {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `$random` / `$urandom` (arguments are never evaluated).
+    Random {
+        /// Destination register.
+        dst: Reg,
+        /// `true` for `$random`.
+        signed: bool,
+    },
+    /// `$signed` / `$unsigned`.
+    SetSigned {
+        /// Destination register.
+        dst: Reg,
+        /// Operand register.
+        src: Reg,
+        /// New signedness.
+        signed: bool,
+    },
+    /// `$clog2`.
+    Clog2 {
+        /// Destination register.
+        dst: Reg,
+        /// Operand register.
+        src: Reg,
+    },
+    /// Synchronous user function call (delegates to the shared
+    /// [`exec_function`] used by the interpreter).
+    CallFunc {
+        /// Destination register.
+        dst: Reg,
+        /// Index into [`Design::functions`].
+        func: u32,
+        /// Argument registers, in declaration order.
+        args: Box<[Reg]>,
+    },
+    /// Always raises a runtime error (string literals outside system tasks,
+    /// unknown system functions, empty concatenations).
+    Error {
+        /// Destination register (counted as defined for verification).
+        dst: Reg,
+        /// Index into [`BcProc::errors`].
+        msg: u32,
+    },
+}
+
+impl Op {
+    /// The destination register.
+    pub fn dst(&self) -> Reg {
+        match self {
+            Op::Const { dst, .. }
+            | Op::ReadSignal { dst, .. }
+            | Op::ReadMemWord { dst, .. }
+            | Op::BitSel { dst, .. }
+            | Op::PartSel { dst, .. }
+            | Op::IndexedSel { dst, .. }
+            | Op::UnknownValue { dst, .. }
+            | Op::Resize { dst, .. }
+            | Op::Unary { dst, .. }
+            | Op::Binary { dst, .. }
+            | Op::Ternary { dst, .. }
+            | Op::Concat { dst, .. }
+            | Op::Replicate { dst, .. }
+            | Op::Time { dst }
+            | Op::Random { dst, .. }
+            | Op::SetSigned { dst, .. }
+            | Op::Clog2 { dst, .. }
+            | Op::CallFunc { dst, .. }
+            | Op::Error { dst, .. } => *dst,
+        }
+    }
+
+    /// The source registers read by this op (branch fragments excluded).
+    pub fn sources(&self, out: &mut Vec<Reg>) {
+        match self {
+            Op::Const { .. }
+            | Op::ReadSignal { .. }
+            | Op::UnknownValue { .. }
+            | Op::Time { .. }
+            | Op::Random { .. }
+            | Op::Error { .. } => {}
+            Op::ReadMemWord { index, .. } => out.push(*index),
+            Op::BitSel { index, value, .. } => out.extend([*index, *value]),
+            Op::PartSel { base, .. } => out.push(*base),
+            Op::IndexedSel { base, start, .. } => out.extend([*base, *start]),
+            Op::Resize { src, .. }
+            | Op::Unary { src, .. }
+            | Op::SetSigned { src, .. }
+            | Op::Clog2 { src, .. }
+            | Op::Replicate { src, .. } => out.push(*src),
+            Op::Binary { lhs, rhs, .. } => out.extend([*lhs, *rhs]),
+            Op::Ternary { cond, .. } => out.push(*cond),
+            Op::Concat { parts, .. } => out.extend(parts.iter().copied()),
+            Op::CallFunc { args, .. } => out.extend(args.iter().copied()),
+        }
+    }
+}
+
+/// A lowered assignment target. Dynamic indices are fragments evaluated at
+/// write time, in the same order as the interpreter's
+/// [`resolve_lvalue`](crate::interp::resolve_lvalue).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BcLValue {
+    /// Whole signal.
+    Signal(SignalId),
+    /// Statically resolved bit range of a signal.
+    Bits {
+        /// Target signal.
+        sig: SignalId,
+        /// Highest storage bit (inclusive).
+        hi: usize,
+        /// Lowest storage bit (inclusive).
+        lo: usize,
+    },
+    /// Statically out-of-range part select; the write is dropped.
+    NoOp {
+        /// Width the dropped target would have had.
+        width: usize,
+    },
+    /// Dynamic single-bit select.
+    BitSelect {
+        /// Target signal.
+        sig: SignalId,
+        /// Index fragment.
+        index: Frag,
+    },
+    /// Indexed part select.
+    IndexedSelect {
+        /// Target signal.
+        sig: SignalId,
+        /// Start-index fragment.
+        start: Frag,
+        /// Constant width.
+        width: usize,
+        /// `true` for `+:`.
+        ascending: bool,
+    },
+    /// A memory word.
+    MemWord {
+        /// Target memory.
+        mem: MemoryId,
+        /// Word-index fragment.
+        index: Frag,
+    },
+    /// Concatenation, first element most significant.
+    Concat(Box<[BcLValue]>),
+}
+
+impl BcLValue {
+    /// Visits every fragment in this lvalue (for verification).
+    pub fn frags(&self, out: &mut Vec<Frag>) {
+        match self {
+            BcLValue::Signal(_) | BcLValue::Bits { .. } | BcLValue::NoOp { .. } => {}
+            BcLValue::BitSelect { index, .. } | BcLValue::MemWord { index, .. } => out.push(*index),
+            BcLValue::IndexedSelect { start, .. } => out.push(*start),
+            BcLValue::Concat(items) => {
+                for i in items.iter() {
+                    i.frags(out);
+                }
+            }
+        }
+    }
+}
+
+/// A fused operand of a superinstruction: either a live signal (read by
+/// reference at execution time) or a pooled constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrcOp {
+    /// Read the signal's current value.
+    Sig(SignalId),
+    /// Index into [`BcProc::consts`].
+    Const(u32),
+}
+
+/// One entry in a compiled sensitivity table: process `proc` parked at the
+/// `WaitEventTable` at `wait_pc` wakes when the watched signal transitions
+/// (subject to `edge`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchEntry {
+    /// Watching process index.
+    pub proc: u32,
+    /// Program counter of the `WaitEventTable` instruction.
+    pub wait_pc: u32,
+    /// `None` wakes on any value change; `Some` requires that edge on bit 0.
+    pub edge: Option<Edge>,
+}
+
+/// One lowered process instruction, 1:1 with [`Instr`](crate::design::Instr)
+/// at the same program counter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BcInstr {
+    /// Blocking assignment.
+    Assign {
+        /// Lowered target.
+        lv: BcLValue,
+        /// Right-hand side fragment (evaluated before the target resolves).
+        rhs: Frag,
+    },
+    /// Fused whole-signal blocking assign of a signal or constant.
+    AssignSig {
+        /// Target signal.
+        dst: SignalId,
+        /// Target width (from the signal declaration).
+        width: u32,
+        /// Target signedness.
+        signed: bool,
+        /// Source operand.
+        src: SrcOp,
+    },
+    /// Fused whole-signal blocking assign of a unary expression.
+    AssignUnary {
+        /// Target signal.
+        dst: SignalId,
+        /// Target width.
+        width: u32,
+        /// Target signedness.
+        signed: bool,
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        src: SrcOp,
+    },
+    /// Fused whole-signal blocking assign of a binary expression.
+    AssignBinary {
+        /// Target signal.
+        dst: SignalId,
+        /// Target width.
+        width: u32,
+        /// Target signedness.
+        signed: bool,
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: SrcOp,
+        /// Right operand.
+        rhs: SrcOp,
+    },
+    /// Fused whole-signal non-blocking assign of a signal or constant.
+    /// Resize/signedness are applied at NBA commit, like the interpreter.
+    NbaSig {
+        /// Target signal.
+        dst: SignalId,
+        /// Source operand.
+        src: SrcOp,
+    },
+    /// Fused whole-signal non-blocking assign of a unary expression.
+    NbaUnary {
+        /// Target signal.
+        dst: SignalId,
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        src: SrcOp,
+    },
+    /// Fused whole-signal non-blocking assign of a binary expression.
+    NbaBinary {
+        /// Target signal.
+        dst: SignalId,
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: SrcOp,
+        /// Right operand.
+        rhs: SrcOp,
+    },
+    /// Non-blocking assignment (value and target resolve now, write commits
+    /// in the NBA region).
+    AssignNba {
+        /// Lowered target.
+        lv: BcLValue,
+        /// Right-hand side fragment.
+        rhs: Frag,
+    },
+    /// Unconditional jump.
+    Jump(usize),
+    /// Jump when the condition is false or unknown.
+    JumpIfFalse {
+        /// Condition fragment.
+        cond: Frag,
+        /// Jump target.
+        target: usize,
+    },
+    /// Jump when the case label does not match the selector.
+    JumpIfNoMatch {
+        /// Case flavour.
+        kind: CaseKind,
+        /// Selector fragment.
+        sel: Frag,
+        /// Label fragment.
+        label: Frag,
+        /// Jump target.
+        target: usize,
+    },
+    /// Suspend for a delay amount known at compile time.
+    DelayConst(u64),
+    /// Suspend for a dynamically evaluated delay.
+    Delay(Frag),
+    /// Suspend until an event fires. The sensitivity spec itself stays in
+    /// the design [`Instr`](crate::design::Instr) at the same pc (wake
+    /// checks are shared between backends); the fragments recompute the
+    /// cached term values on suspension.
+    WaitEvent {
+        /// One fragment per sensitivity term, in order.
+        terms: Box<[Frag]>,
+        /// Statically known to never wake (empty sensitivity).
+        never_wakes: bool,
+    },
+    /// Suspend until an event fires, with every sensitivity term a bare
+    /// signal: the wake condition is compiled into the program-wide
+    /// [`BcProgram::watches`] table, so suspension caches nothing and the
+    /// scheduler wakes the process by direct table lookup on each write.
+    WaitEventTable,
+    /// Suspend until the condition is true.
+    WaitCond(Frag),
+    /// System task; argument handling defers to the design
+    /// [`Instr::SysCall`](crate::design::Instr::SysCall) at the same pc so
+    /// `$display` formatting and `$monitor` registration are shared.
+    SysCall,
+    /// Terminate the process.
+    End,
+}
+
+/// A compiled process: instructions plus its op pool, constants and error
+/// messages.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BcProc {
+    /// Lowered instructions, same pc space as the design process.
+    pub code: Vec<BcInstr>,
+    /// Flat op pool shared by all fragments of this process.
+    pub ops: Vec<Op>,
+    /// Constant pool (deduplicated).
+    pub consts: Vec<LogicVec>,
+    /// Error-message pool for [`Op::Error`].
+    pub errors: Vec<String>,
+    /// Number of virtual registers this process needs.
+    pub regs: usize,
+}
+
+/// A fully compiled design program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BcProgram {
+    /// One compiled process per design process, same order.
+    pub procs: Vec<BcProc>,
+    /// Maximum register-file size across processes (the scheduler allocates
+    /// one shared file of this size).
+    pub max_regs: usize,
+    /// Per-signal watch lists (indexed by `SignalId`) compiled from
+    /// table-wakeable `WaitEvent` sensitivities.
+    pub watches: Vec<Vec<WatchEntry>>,
+    /// Per-memory watch lists (indexed by `MemoryId`); memory sensitivity
+    /// has no edge flavour, any word change wakes.
+    pub mem_watches: Vec<Vec<WatchEntry>>,
+    /// `true` when at least one `WaitEvent` could not be table-compiled and
+    /// the scheduler must also run the generic cache-based wake scan.
+    pub any_generic_waits: bool,
+}
+
+#[inline]
+fn take(regs: &mut [LogicVec], r: Reg) -> LogicVec {
+    std::mem::replace(&mut regs[r as usize], LogicVec::from_bool(false))
+}
+
+/// Borrows the current value of a fused operand (no clone, no register file).
+#[inline]
+pub fn src_ref<'a>(state: &'a State, proc: &'a BcProc, op: &SrcOp) -> &'a LogicVec {
+    match op {
+        SrcOp::Sig(s) => &state.signals[s.0 as usize],
+        SrcOp::Const(i) => &proc.consts[*i as usize],
+    }
+}
+
+/// Executes the ops of `frag` and moves its result out of the register file.
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError`]s exactly as the interpreter's
+/// [`eval`](crate::interp::eval) would for the corresponding expression.
+pub fn exec_frag(
+    design: &Design,
+    state: &mut State,
+    proc: &BcProc,
+    frag: Frag,
+    regs: &mut [LogicVec],
+    ops_executed: &mut u64,
+) -> Result<LogicVec, RuntimeError> {
+    exec_range(
+        design,
+        state,
+        proc,
+        frag.start,
+        frag.end,
+        regs,
+        ops_executed,
+    )?;
+    Ok(take(regs, frag.out))
+}
+
+fn exec_range(
+    design: &Design,
+    state: &mut State,
+    proc: &BcProc,
+    start: u32,
+    end: u32,
+    regs: &mut [LogicVec],
+    ops_executed: &mut u64,
+) -> Result<(), RuntimeError> {
+    for i in start..end {
+        *ops_executed += 1;
+        match &proc.ops[i as usize] {
+            Op::Const { dst, idx } => {
+                regs[*dst as usize] = proc.consts[*idx as usize].clone();
+            }
+            Op::ReadSignal { dst, sig } => {
+                regs[*dst as usize] = state.signal(*sig).clone();
+            }
+            Op::ReadMemWord { dst, mem, index } => {
+                let idx = take(regs, *index);
+                let m = design.memory(*mem);
+                regs[*dst as usize] = match idx.to_i64() {
+                    Some(i) => match m.word_position(i) {
+                        Some(off) => state.mem_word(*mem, off),
+                        None => LogicVec::unknown(m.width),
+                    },
+                    None => LogicVec::unknown(m.width),
+                };
+            }
+            Op::BitSel {
+                dst,
+                index,
+                value,
+                loc,
+            } => {
+                let idx = take(regs, *index);
+                let value = take(regs, *value);
+                regs[*dst as usize] = match idx.to_i64() {
+                    Some(i) => {
+                        let pos = match loc {
+                            BitRef::Sig(id) => design.signal(*id).bit_position(i),
+                            BitRef::Mem(mem) => {
+                                let m = design.memory(*mem);
+                                if i >= 0 && (i as usize) < m.width {
+                                    Some(i as usize)
+                                } else {
+                                    None
+                                }
+                            }
+                        };
+                        match pos {
+                            Some(p) => LogicVec::from_bits(vec![value.bit(p)], false),
+                            None => LogicVec::unknown(1),
+                        }
+                    }
+                    None => LogicVec::unknown(1),
+                };
+            }
+            Op::PartSel { dst, base, hi, lo } => {
+                let value = take(regs, *base);
+                regs[*dst as usize] = value.select(*hi, *lo);
+            }
+            Op::IndexedSel {
+                dst,
+                base,
+                start,
+                loc,
+                width,
+                ascending,
+            } => {
+                let value = take(regs, *base);
+                let sv = take(regs, *start);
+                regs[*dst as usize] = match sv.to_i64() {
+                    Some(s) => {
+                        let indices = indexed_range(s, *width, *ascending);
+                        let bits: Vec<Logic> = indices
+                            .iter()
+                            .map(|i| {
+                                let pos = match loc {
+                                    BitRef::Sig(id) => design.signal(*id).bit_position(*i),
+                                    BitRef::Mem(mem) => {
+                                        let m = design.memory(*mem);
+                                        if *i >= 0 && (*i as usize) < m.width {
+                                            Some(*i as usize)
+                                        } else {
+                                            None
+                                        }
+                                    }
+                                };
+                                pos.map(|p| value.bit(p)).unwrap_or(Logic::X)
+                            })
+                            .collect();
+                        LogicVec::from_bits(bits, false)
+                    }
+                    None => LogicVec::unknown(*width),
+                };
+            }
+            Op::UnknownValue { dst, width } => {
+                regs[*dst as usize] = LogicVec::unknown(*width);
+            }
+            Op::Resize { dst, src, width } => {
+                let v = take(regs, *src);
+                regs[*dst as usize] = if v.width() >= *width {
+                    v
+                } else {
+                    v.resize(*width)
+                };
+            }
+            Op::Unary { dst, op, src } => {
+                let v = take(regs, *src);
+                regs[*dst as usize] = apply_unary(*op, &v);
+            }
+            Op::Binary { dst, op, lhs, rhs } => {
+                let a = take(regs, *lhs);
+                let b = take(regs, *rhs);
+                regs[*dst as usize] = apply_binary(*op, &a, &b);
+            }
+            Op::Ternary {
+                dst,
+                cond,
+                then_frag,
+                else_frag,
+            } => {
+                let c = take(regs, *cond);
+                regs[*dst as usize] = match c.truthiness() {
+                    Some(true) => exec_frag(design, state, proc, *then_frag, regs, ops_executed)?,
+                    Some(false) => exec_frag(design, state, proc, *else_frag, regs, ops_executed)?,
+                    None => {
+                        let a = exec_frag(design, state, proc, *then_frag, regs, ops_executed)?;
+                        let b = exec_frag(design, state, proc, *else_frag, regs, ops_executed)?;
+                        a.merge_unknown(&b)
+                    }
+                };
+            }
+            Op::Concat { dst, parts } => {
+                let mut acc = take(regs, parts[0]);
+                for p in &parts[1..] {
+                    let v = take(regs, *p);
+                    acc = acc.concat(&v);
+                }
+                regs[*dst as usize] = acc;
+            }
+            Op::Replicate { dst, src, count } => {
+                let v = take(regs, *src);
+                regs[*dst as usize] = v.replicate(*count);
+            }
+            Op::Time { dst } => {
+                regs[*dst as usize] = LogicVec::from_u64(state.time, 64);
+            }
+            Op::Random { dst, signed } => {
+                let v = state.random.next_u32();
+                let value = LogicVec::from_u64(v as u64, 32);
+                regs[*dst as usize] = if *signed {
+                    value.with_signed(true)
+                } else {
+                    value
+                };
+            }
+            Op::SetSigned { dst, src, signed } => {
+                let v = take(regs, *src);
+                regs[*dst as usize] = v.with_signed(*signed);
+            }
+            Op::Clog2 { dst, src } => {
+                let v = take(regs, *src);
+                let n = v.to_u64().unwrap_or(0);
+                let r = if n <= 1 {
+                    0
+                } else {
+                    64 - (n - 1).leading_zeros() as u64
+                };
+                regs[*dst as usize] = LogicVec::from_u64(r, 32);
+            }
+            Op::CallFunc { dst, func, args } => {
+                let values: Vec<LogicVec> = args.iter().map(|a| take(regs, *a)).collect();
+                regs[*dst as usize] = exec_function(design, state, *func, &values)?;
+            }
+            Op::Error { dst: _, msg } => {
+                return Err(RuntimeError::new(proc.errors[*msg as usize].clone()));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Evaluates the dynamic index fragments of a lowered lvalue, producing the
+/// same [`ResolvedLValue`] the interpreter's
+/// [`resolve_lvalue`](crate::interp::resolve_lvalue) would.
+///
+/// # Errors
+///
+/// Propagates evaluation errors from index fragments.
+pub fn resolve_bc(
+    design: &Design,
+    state: &mut State,
+    proc: &BcProc,
+    lv: &BcLValue,
+    regs: &mut [LogicVec],
+    ops_executed: &mut u64,
+) -> Result<ResolvedLValue, RuntimeError> {
+    Ok(match lv {
+        BcLValue::Signal(id) => ResolvedLValue::Signal(*id),
+        BcLValue::Bits { sig, hi, lo } => ResolvedLValue::Bits {
+            sig: *sig,
+            hi: *hi,
+            lo: *lo,
+        },
+        BcLValue::NoOp { width } => ResolvedLValue::NoOp { width: *width },
+        BcLValue::BitSelect { sig, index } => {
+            let idx = exec_frag(design, state, proc, *index, regs, ops_executed)?;
+            match idx
+                .to_i64()
+                .and_then(|i| design.signal(*sig).bit_position(i))
+            {
+                Some(p) => ResolvedLValue::Bits {
+                    sig: *sig,
+                    hi: p,
+                    lo: p,
+                },
+                None => ResolvedLValue::NoOp { width: 1 },
+            }
+        }
+        BcLValue::IndexedSelect {
+            sig,
+            start,
+            width,
+            ascending,
+        } => {
+            let sv = exec_frag(design, state, proc, *start, regs, ops_executed)?;
+            let s = design.signal(*sig);
+            match sv.to_i64() {
+                Some(st) => {
+                    let idxs = indexed_range(st, *width, *ascending);
+                    let lo = idxs.iter().filter_map(|i| s.bit_position(*i)).min();
+                    let hi = idxs.iter().filter_map(|i| s.bit_position(*i)).max();
+                    match (lo, hi) {
+                        (Some(lo), Some(hi)) if hi - lo + 1 == *width => {
+                            ResolvedLValue::Bits { sig: *sig, hi, lo }
+                        }
+                        _ => ResolvedLValue::NoOp { width: *width },
+                    }
+                }
+                None => ResolvedLValue::NoOp { width: *width },
+            }
+        }
+        BcLValue::MemWord { mem, index } => {
+            let idx = exec_frag(design, state, proc, *index, regs, ops_executed)?;
+            match idx
+                .to_i64()
+                .and_then(|i| design.memory(*mem).word_position(i))
+            {
+                Some(offset) => ResolvedLValue::MemWord { mem: *mem, offset },
+                None => ResolvedLValue::NoOp {
+                    width: design.memory(*mem).width,
+                },
+            }
+        }
+        BcLValue::Concat(items) => {
+            let resolved: Vec<ResolvedLValue> = items
+                .iter()
+                .map(|i| resolve_bc(design, state, proc, i, regs, ops_executed))
+                .collect::<Result<_, _>>()?;
+            ResolvedLValue::Concat(resolved)
+        }
+    })
+}
+
+/// Writes an owned value to a whole-signal target without the extra clone
+/// [`apply_write`] pays for borrowed values; other targets defer to the
+/// shared path.
+pub(crate) fn apply_write_owned(
+    design: &Design,
+    state: &mut State,
+    lv: &ResolvedLValue,
+    value: LogicVec,
+    changes: &mut Changes,
+) {
+    if let ResolvedLValue::Signal(id) = lv {
+        let sig = design.signal(*id);
+        let new = if value.width() == sig.width {
+            value
+        } else {
+            value.resize(sig.width)
+        }
+        .with_signed(sig.signed);
+        let old = &state.signals[id.0 as usize];
+        if *old != new {
+            let prev = std::mem::replace(&mut state.signals[id.0 as usize], new);
+            changes.signals.push((*id, prev));
+        }
+    } else {
+        apply_write(design, state, lv, &value, changes);
+    }
+}

@@ -1,0 +1,1253 @@
+//! Post-elaboration lowering from [`Instr`]/[`EExpr`] trees to the flat
+//! bytecode of [`crate::bytecode`], plus a structural verification pass.
+//!
+//! [`compile`] walks every process and lowers each instruction to a
+//! [`BcInstr`] at the same program counter, turning expression trees into
+//! contiguous op fragments with a per-instruction register allocator
+//! (registers are single-use, so the VM can move values instead of cloning).
+//! [`verify`] then rejects malformed programs: pc-space or jump-target
+//! mismatches with the design, out-of-bounds register/constant/fragment
+//! indices, use-before-def inside fragments, and label fragments that
+//! clobber the selector register.
+
+use vgen_verilog::value::LogicVec;
+
+use crate::bytecode::*;
+use crate::design::*;
+
+/// A malformed program was produced or submitted for verification.
+///
+/// Lowering itself is total over elaborated designs, so seeing this from
+/// [`compile`] indicates a compiler bug rather than bad user input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Description of the structural violation.
+    pub message: String,
+}
+
+impl CompileError {
+    fn new(message: impl Into<String>) -> Self {
+        CompileError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bytecode verification failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Lowers every process of `design` and verifies the result.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when the produced program fails [`verify`] —
+/// a compiler bug, not a property of the input design.
+pub fn compile(design: &Design) -> Result<BcProgram, CompileError> {
+    let mut program = BcProgram {
+        watches: vec![Vec::new(); design.signals.len()],
+        mem_watches: vec![Vec::new(); design.memories.len()],
+        ..BcProgram::default()
+    };
+    // NBA fusion is all-or-nothing across the design: fused non-blocking
+    // writes commit through a dedicated `(SignalId, value)` queue, and two
+    // queues cannot reproduce the interpreter's single-queue write order if
+    // a program mixes fused and generic NBA instructions.
+    let fuse_nba = design.processes.iter().all(|p| {
+        p.code.iter().all(|i| match i {
+            Instr::AssignNba { lv, rhs } => nba_fuse_shape(design, lv, rhs),
+            _ => true,
+        })
+    });
+    for (pidx, process) in design.processes.iter().enumerate() {
+        let mut b = ProcBuilder::new(design, pidx as u32, fuse_nba);
+        for instr in &process.code {
+            let lowered = b.lower_instr(instr);
+            b.proc.code.push(lowered);
+        }
+        program.max_regs = program.max_regs.max(b.max_regs as usize);
+        for (sig, entry) in b.watch_sigs {
+            program.watches[sig.0 as usize].push(entry);
+        }
+        for (mem, entry) in b.watch_mems {
+            program.mem_watches[mem.0 as usize].push(entry);
+        }
+        program.any_generic_waits |= b.generic_wait;
+        program.procs.push(b.proc);
+    }
+    verify(design, &program)?;
+    Ok(program)
+}
+
+/// Whether an `AssignNba` site matches the fusable shape — must mirror the
+/// success condition of [`ProcBuilder::fuse_assign`] exactly, since the
+/// all-or-nothing pre-scan in [`compile`] uses it to decide the queue.
+fn nba_fuse_shape(design: &Design, lv: &LValue, rhs: &EExpr) -> bool {
+    fn src_ok(design: &Design, e: &EExpr) -> bool {
+        match e {
+            EExpr::Signal(_) | EExpr::Const(_) => true,
+            EExpr::Resize { width, arg } => match &**arg {
+                EExpr::Signal(s) => design.signal(*s).width == *width,
+                EExpr::Const(_) => true,
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+    if !matches!(lv, LValue::Signal(_)) {
+        return false;
+    }
+    if src_ok(design, rhs) {
+        return true;
+    }
+    match rhs {
+        EExpr::Unary { arg, .. } => src_ok(design, arg),
+        EExpr::Binary { lhs, rhs, .. } => src_ok(design, lhs) && src_ok(design, rhs),
+        _ => false,
+    }
+}
+
+struct ProcBuilder<'a> {
+    design: &'a Design,
+    proc: BcProc,
+    pidx: u32,
+    next_reg: Reg,
+    max_regs: Reg,
+    /// Signal watch entries this process contributes to the program table.
+    watch_sigs: Vec<(SignalId, WatchEntry)>,
+    /// Memory watch entries this process contributes.
+    watch_mems: Vec<(MemoryId, WatchEntry)>,
+    /// `true` once a wakeable `WaitEvent` could not be table-compiled.
+    generic_wait: bool,
+    /// Whether `AssignNba` sites may lower to fused variants (see the
+    /// all-or-nothing pre-scan in [`compile`]).
+    fuse_nba: bool,
+}
+
+impl<'a> ProcBuilder<'a> {
+    fn new(design: &'a Design, pidx: u32, fuse_nba: bool) -> Self {
+        ProcBuilder {
+            design,
+            proc: BcProc::default(),
+            pidx,
+            next_reg: 0,
+            max_regs: 0,
+            watch_sigs: Vec::new(),
+            watch_mems: Vec::new(),
+            generic_wait: false,
+            fuse_nba,
+        }
+    }
+
+    fn alloc(&mut self) -> Reg {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        self.max_regs = self.max_regs.max(self.next_reg);
+        r
+    }
+
+    fn intern_const(&mut self, v: &LogicVec) -> u32 {
+        let found = self
+            .proc
+            .consts
+            .iter()
+            .position(|c| c == v && c.is_signed() == v.is_signed());
+        match found {
+            Some(i) => i as u32,
+            None => {
+                self.proc.consts.push(v.clone());
+                (self.proc.consts.len() - 1) as u32
+            }
+        }
+    }
+
+    fn intern_error(&mut self, msg: String) -> u32 {
+        match self.proc.errors.iter().position(|m| *m == msg) {
+            Some(i) => i as u32,
+            None => {
+                self.proc.errors.push(msg);
+                (self.proc.errors.len() - 1) as u32
+            }
+        }
+    }
+
+    fn error_op(&mut self, buf: &mut Vec<Op>, msg: String) -> Reg {
+        let dst = self.alloc();
+        let msg = self.intern_error(msg);
+        buf.push(Op::Error { dst, msg });
+        dst
+    }
+
+    /// Lowers `e` into a fresh contiguous fragment in the op pool. Nested
+    /// ternary branches land in their own fragments, appended before this
+    /// one, so every fragment stays contiguous.
+    fn compile_frag(&mut self, e: &EExpr) -> Frag {
+        let mut buf = Vec::new();
+        let out = self.lower_expr(e, &mut buf);
+        let start = self.proc.ops.len() as u32;
+        self.proc.ops.append(&mut buf);
+        let end = self.proc.ops.len() as u32;
+        Frag { start, end, out }
+    }
+
+    fn lower_read_base(&mut self, base: &SelectBase, buf: &mut Vec<Op>) -> Reg {
+        match base {
+            SelectBase::Signal(id) => {
+                let dst = self.alloc();
+                buf.push(Op::ReadSignal { dst, sig: *id });
+                dst
+            }
+            SelectBase::MemWord { mem, index } => {
+                let index = self.lower_expr(index, buf);
+                let dst = self.alloc();
+                buf.push(Op::ReadMemWord {
+                    dst,
+                    mem: *mem,
+                    index,
+                });
+                dst
+            }
+        }
+    }
+
+    fn bit_ref(base: &SelectBase) -> BitRef {
+        match base {
+            SelectBase::Signal(id) => BitRef::Sig(*id),
+            SelectBase::MemWord { mem, .. } => BitRef::Mem(*mem),
+        }
+    }
+
+    fn lower_expr(&mut self, e: &EExpr, buf: &mut Vec<Op>) -> Reg {
+        match e {
+            EExpr::Const(v) => {
+                let idx = self.intern_const(v);
+                let dst = self.alloc();
+                buf.push(Op::Const { dst, idx });
+                dst
+            }
+            EExpr::Str(_) => self.error_op(
+                buf,
+                "string literal used outside a system task argument".into(),
+            ),
+            EExpr::Signal(id) => {
+                let dst = self.alloc();
+                buf.push(Op::ReadSignal { dst, sig: *id });
+                dst
+            }
+            EExpr::Read(base) => self.lower_read_base(base, buf),
+            EExpr::BitSelect { base, index } => {
+                // Interpreter order: index first, then the base read.
+                let index = self.lower_expr(index, buf);
+                let value = self.lower_read_base(base, buf);
+                let dst = self.alloc();
+                buf.push(Op::BitSel {
+                    dst,
+                    index,
+                    value,
+                    loc: Self::bit_ref(base),
+                });
+                dst
+            }
+            EExpr::PartSelect { base, msb, lsb } => {
+                // Interpreter order: the base read happens even when the
+                // positions are statically out of range (a memory-word base
+                // can carry index side effects).
+                let value = self.lower_read_base(base, buf);
+                let (hi, lo) = match base {
+                    SelectBase::Signal(id) => {
+                        let s = self.design.signal(*id);
+                        (
+                            s.bit_position(*msb).unwrap_or(usize::MAX),
+                            s.bit_position(*lsb).unwrap_or(usize::MAX),
+                        )
+                    }
+                    SelectBase::MemWord { .. } => (*msb as usize, *lsb as usize),
+                };
+                let dst = self.alloc();
+                if hi == usize::MAX || lo == usize::MAX || hi < lo {
+                    let width = (*msb - *lsb).unsigned_abs() as usize + 1;
+                    let _ = value; // read for side effects only
+                    buf.push(Op::UnknownValue { dst, width });
+                } else {
+                    buf.push(Op::PartSel {
+                        dst,
+                        base: value,
+                        hi,
+                        lo,
+                    });
+                }
+                dst
+            }
+            EExpr::IndexedSelect {
+                base,
+                start,
+                width,
+                ascending,
+            } => {
+                // Interpreter order: base read first, then the start index.
+                let value = self.lower_read_base(base, buf);
+                let start = self.lower_expr(start, buf);
+                let dst = self.alloc();
+                buf.push(Op::IndexedSel {
+                    dst,
+                    base: value,
+                    start,
+                    loc: Self::bit_ref(base),
+                    width: *width,
+                    ascending: *ascending,
+                });
+                dst
+            }
+            EExpr::Resize { width, arg } => {
+                let src = self.lower_expr(arg, buf);
+                let dst = self.alloc();
+                buf.push(Op::Resize {
+                    dst,
+                    src,
+                    width: *width,
+                });
+                dst
+            }
+            EExpr::Unary { op, arg } => {
+                let src = self.lower_expr(arg, buf);
+                let dst = self.alloc();
+                buf.push(Op::Unary { dst, op: *op, src });
+                dst
+            }
+            EExpr::Binary { op, lhs, rhs } => {
+                let lhs = self.lower_expr(lhs, buf);
+                let rhs = self.lower_expr(rhs, buf);
+                let dst = self.alloc();
+                buf.push(Op::Binary {
+                    dst,
+                    op: *op,
+                    lhs,
+                    rhs,
+                });
+                dst
+            }
+            EExpr::Ternary { cond, then, els } => {
+                let cond = self.lower_expr(cond, buf);
+                let then_frag = self.compile_frag(then);
+                let else_frag = self.compile_frag(els);
+                let dst = self.alloc();
+                buf.push(Op::Ternary {
+                    dst,
+                    cond,
+                    then_frag,
+                    else_frag,
+                });
+                dst
+            }
+            EExpr::Concat(items) => self.lower_concat(items, buf, "empty concatenation"),
+            EExpr::Replicate { count, items } => {
+                let src = self.lower_concat(items, buf, "empty replication");
+                if items.is_empty() {
+                    return src; // the Error op
+                }
+                let dst = self.alloc();
+                buf.push(Op::Replicate {
+                    dst,
+                    src,
+                    count: *count,
+                });
+                dst
+            }
+            EExpr::SysCall { name, args } => match (name.as_str(), args.len()) {
+                ("time" | "stime" | "realtime", 0) => {
+                    let dst = self.alloc();
+                    buf.push(Op::Time { dst });
+                    dst
+                }
+                // $random/$urandom never evaluate their (seed) argument,
+                // matching the interpreter.
+                ("random", 0 | 1) => {
+                    let dst = self.alloc();
+                    buf.push(Op::Random { dst, signed: true });
+                    dst
+                }
+                ("urandom", 0 | 1) => {
+                    let dst = self.alloc();
+                    buf.push(Op::Random { dst, signed: false });
+                    dst
+                }
+                ("signed", 1) => {
+                    let src = self.lower_expr(&args[0], buf);
+                    let dst = self.alloc();
+                    buf.push(Op::SetSigned {
+                        dst,
+                        src,
+                        signed: true,
+                    });
+                    dst
+                }
+                ("unsigned", 1) => {
+                    let src = self.lower_expr(&args[0], buf);
+                    let dst = self.alloc();
+                    buf.push(Op::SetSigned {
+                        dst,
+                        src,
+                        signed: false,
+                    });
+                    dst
+                }
+                ("clog2", 1) => {
+                    let src = self.lower_expr(&args[0], buf);
+                    let dst = self.alloc();
+                    buf.push(Op::Clog2 { dst, src });
+                    dst
+                }
+                _ => self.error_op(buf, format!("unknown system function `${name}`")),
+            },
+            EExpr::FuncCall { func, args } => {
+                let arg_regs: Vec<Reg> = args.iter().map(|a| self.lower_expr(a, buf)).collect();
+                let dst = self.alloc();
+                buf.push(Op::CallFunc {
+                    dst,
+                    func: *func,
+                    args: arg_regs.into_boxed_slice(),
+                });
+                dst
+            }
+        }
+    }
+
+    fn lower_concat(&mut self, items: &[EExpr], buf: &mut Vec<Op>, empty_msg: &str) -> Reg {
+        if items.is_empty() {
+            return self.error_op(buf, empty_msg.into());
+        }
+        let parts: Vec<Reg> = items.iter().map(|i| self.lower_expr(i, buf)).collect();
+        if parts.len() == 1 {
+            return parts[0];
+        }
+        let dst = self.alloc();
+        buf.push(Op::Concat {
+            dst,
+            parts: parts.into_boxed_slice(),
+        });
+        dst
+    }
+
+    fn lower_lvalue(&mut self, lv: &LValue) -> BcLValue {
+        match lv {
+            LValue::Signal(id) => BcLValue::Signal(*id),
+            LValue::BitSelect { sig, index } => BcLValue::BitSelect {
+                sig: *sig,
+                index: self.compile_frag(index),
+            },
+            LValue::PartSelect { sig, msb, lsb } => {
+                let s = self.design.signal(*sig);
+                match (s.bit_position(*msb), s.bit_position(*lsb)) {
+                    (Some(hi), Some(lo)) if hi >= lo => BcLValue::Bits { sig: *sig, hi, lo },
+                    _ => BcLValue::NoOp {
+                        width: (*msb - *lsb).unsigned_abs() as usize + 1,
+                    },
+                }
+            }
+            LValue::IndexedSelect {
+                sig,
+                start,
+                width,
+                ascending,
+            } => BcLValue::IndexedSelect {
+                sig: *sig,
+                start: self.compile_frag(start),
+                width: *width,
+                ascending: *ascending,
+            },
+            LValue::MemWord { mem, index } => BcLValue::MemWord {
+                mem: *mem,
+                index: self.compile_frag(index),
+            },
+            LValue::Concat(items) => BcLValue::Concat(
+                items
+                    .iter()
+                    .map(|i| self.lower_lvalue(i))
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice(),
+            ),
+        }
+    }
+
+    /// Recognizes an expression readable by reference at execution time: a
+    /// bare signal, a constant, or a never-truncating `Resize` of either
+    /// (folded at compile time).
+    fn as_src_op(&mut self, e: &EExpr) -> Option<SrcOp> {
+        match e {
+            EExpr::Signal(s) => Some(SrcOp::Sig(*s)),
+            EExpr::Const(c) => Some(SrcOp::Const(self.intern_const(c))),
+            // Only an *identity* resize of a signal may be peeled off — a
+            // widening or truncating resize changes what the interpreter
+            // feeds the surrounding operator. Constants fold exactly.
+            EExpr::Resize { width, arg } => match &**arg {
+                EExpr::Signal(s) if self.design.signal(*s).width == *width => Some(SrcOp::Sig(*s)),
+                EExpr::Const(c) => {
+                    let v = if c.width() == *width {
+                        c.clone()
+                    } else {
+                        c.resize(*width)
+                    };
+                    Some(SrcOp::Const(self.intern_const(&v)))
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Fuses a whole-signal assignment with a shallow right-hand side into a
+    /// superinstruction that bypasses the register file entirely.
+    fn fuse_assign(&mut self, lv: &LValue, rhs: &EExpr, nba: bool) -> Option<BcInstr> {
+        if nba && !self.fuse_nba {
+            return None;
+        }
+        let LValue::Signal(dst) = lv else {
+            return None;
+        };
+        let sig = self.design.signal(*dst);
+        let (width, signed) = (sig.width as u32, sig.signed);
+        if let Some(src) = self.as_src_op(rhs) {
+            return Some(if nba {
+                BcInstr::NbaSig { dst: *dst, src }
+            } else {
+                BcInstr::AssignSig {
+                    dst: *dst,
+                    width,
+                    signed,
+                    src,
+                }
+            });
+        }
+        match rhs {
+            EExpr::Unary { op, arg } => {
+                let src = self.as_src_op(arg)?;
+                Some(if nba {
+                    BcInstr::NbaUnary {
+                        dst: *dst,
+                        op: *op,
+                        src,
+                    }
+                } else {
+                    BcInstr::AssignUnary {
+                        dst: *dst,
+                        width,
+                        signed,
+                        op: *op,
+                        src,
+                    }
+                })
+            }
+            EExpr::Binary { op, lhs, rhs } => {
+                let l = self.as_src_op(lhs)?;
+                let r = self.as_src_op(rhs)?;
+                Some(if nba {
+                    BcInstr::NbaBinary {
+                        dst: *dst,
+                        op: *op,
+                        lhs: l,
+                        rhs: r,
+                    }
+                } else {
+                    BcInstr::AssignBinary {
+                        dst: *dst,
+                        width,
+                        signed,
+                        op: *op,
+                        lhs: l,
+                        rhs: r,
+                    }
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn lower_instr(&mut self, instr: &Instr) -> BcInstr {
+        // Registers are scoped per instruction: the file is reused across
+        // instructions, only its high-water mark matters.
+        self.next_reg = 0;
+        match instr {
+            Instr::Assign { lv, rhs } => {
+                if let Some(fused) = self.fuse_assign(lv, rhs, false) {
+                    return fused;
+                }
+                let rhs = self.compile_frag(rhs);
+                let lv = self.lower_lvalue(lv);
+                BcInstr::Assign { lv, rhs }
+            }
+            Instr::AssignNba { lv, rhs } => {
+                if let Some(fused) = self.fuse_assign(lv, rhs, true) {
+                    return fused;
+                }
+                let rhs = self.compile_frag(rhs);
+                let lv = self.lower_lvalue(lv);
+                BcInstr::AssignNba { lv, rhs }
+            }
+            Instr::Jump(t) => BcInstr::Jump(*t),
+            Instr::JumpIfFalse { cond, target } => BcInstr::JumpIfFalse {
+                cond: self.compile_frag(cond),
+                target: *target,
+            },
+            Instr::JumpIfNoMatch {
+                kind,
+                sel,
+                label,
+                target,
+            } => BcInstr::JumpIfNoMatch {
+                kind: *kind,
+                sel: self.compile_frag(sel),
+                label: self.compile_frag(label),
+                target: *target,
+            },
+            Instr::Delay(amount) => match amount {
+                EExpr::Const(v) => BcInstr::DelayConst(v.to_u64().unwrap_or(0)),
+                other => BcInstr::Delay(self.compile_frag(other)),
+            },
+            Instr::WaitEvent(sens) => {
+                let never_wakes = sens.terms.is_empty() && sens.mems.is_empty();
+                let table = !never_wakes
+                    && sens
+                        .terms
+                        .iter()
+                        .all(|t| matches!(t.expr, EExpr::Signal(_)));
+                if table {
+                    let wait_pc = self.proc.code.len() as u32;
+                    for t in &sens.terms {
+                        let EExpr::Signal(sig) = &t.expr else {
+                            unreachable!("checked above")
+                        };
+                        self.watch_sigs.push((
+                            *sig,
+                            WatchEntry {
+                                proc: self.pidx,
+                                wait_pc,
+                                edge: t.edge,
+                            },
+                        ));
+                    }
+                    for m in &sens.mems {
+                        self.watch_mems.push((
+                            *m,
+                            WatchEntry {
+                                proc: self.pidx,
+                                wait_pc,
+                                edge: None,
+                            },
+                        ));
+                    }
+                    return BcInstr::WaitEventTable;
+                }
+                if !never_wakes {
+                    self.generic_wait = true;
+                }
+                BcInstr::WaitEvent {
+                    terms: sens
+                        .terms
+                        .iter()
+                        .map(|t| self.compile_frag(&t.expr))
+                        .collect::<Vec<_>>()
+                        .into_boxed_slice(),
+                    never_wakes,
+                }
+            }
+            Instr::WaitCond(cond) => BcInstr::WaitCond(self.compile_frag(cond)),
+            Instr::SysCall { .. } => BcInstr::SysCall,
+            Instr::End => BcInstr::End,
+        }
+    }
+}
+
+/// Structurally verifies `program` against `design`.
+///
+/// # Errors
+///
+/// Returns the first violation found: process/instruction count mismatches,
+/// instruction-kind or jump-target mismatches, out-of-bounds fragment,
+/// register, constant or error-pool indices, use-before-def inside a
+/// fragment, or a [`BcInstr::JumpIfNoMatch`] label fragment that clobbers
+/// the selector's output register.
+pub fn verify(design: &Design, program: &BcProgram) -> Result<(), CompileError> {
+    if program.procs.len() != design.processes.len() {
+        return Err(CompileError::new(format!(
+            "process count mismatch: design has {}, program has {}",
+            design.processes.len(),
+            program.procs.len()
+        )));
+    }
+    if program.watches.len() != design.signals.len()
+        || program.mem_watches.len() != design.memories.len()
+    {
+        return Err(CompileError::new("watch table size mismatch with design"));
+    }
+    let mut saw_generic = false;
+    let mut saw_fused_nba = false;
+    let mut saw_generic_nba = false;
+    for (pidx, (proc, dproc)) in program.procs.iter().zip(&design.processes).enumerate() {
+        let v = ProcVerifier {
+            design,
+            program,
+            proc,
+            regs: program.max_regs,
+            pidx,
+        };
+        v.check()?;
+        saw_generic |= proc.code.iter().any(|i| {
+            matches!(
+                i,
+                BcInstr::WaitEvent {
+                    never_wakes: false,
+                    ..
+                }
+            )
+        });
+        for i in &proc.code {
+            match i {
+                BcInstr::NbaSig { .. } | BcInstr::NbaUnary { .. } | BcInstr::NbaBinary { .. } => {
+                    saw_fused_nba = true;
+                }
+                BcInstr::AssignNba { .. } => saw_generic_nba = true,
+                _ => {}
+            }
+        }
+        if proc.code.len() != dproc.code.len() {
+            return Err(CompileError::new(format!(
+                "process {pidx}: instruction count mismatch ({} vs {})",
+                proc.code.len(),
+                dproc.code.len()
+            )));
+        }
+        for (pc, (bc, di)) in proc.code.iter().zip(&dproc.code).enumerate() {
+            v.check_instr(pc, bc, di)?;
+        }
+    }
+    if saw_generic && !program.any_generic_waits {
+        return Err(CompileError::new(
+            "generic WaitEvent present but any_generic_waits is unset",
+        ));
+    }
+    if saw_fused_nba && saw_generic_nba {
+        // Fused and generic non-blocking writes commit through different
+        // queues, which cannot reproduce the interpreter's write order.
+        return Err(CompileError::new(
+            "program mixes fused and generic non-blocking assignments",
+        ));
+    }
+    Ok(())
+}
+
+struct ProcVerifier<'a> {
+    design: &'a Design,
+    program: &'a BcProgram,
+    proc: &'a BcProc,
+    regs: usize,
+    pidx: usize,
+}
+
+impl ProcVerifier<'_> {
+    fn err(&self, pc: usize, msg: impl std::fmt::Display) -> CompileError {
+        CompileError::new(format!("process {} pc {pc}: {msg}", self.pidx))
+    }
+
+    fn check(&self) -> Result<(), CompileError> {
+        if self.proc.regs > self.regs {
+            return Err(CompileError::new(format!(
+                "process {}: claims {} registers but the program allots {}",
+                self.pidx, self.proc.regs, self.regs
+            )));
+        }
+        Ok(())
+    }
+
+    /// Checks fragment bounds and def-before-use, returning the set of
+    /// registers the fragment writes (including nested branches).
+    fn check_frag(&self, pc: usize, frag: Frag, writes: &mut Vec<Reg>) -> Result<(), CompileError> {
+        if frag.start > frag.end || frag.end as usize > self.proc.ops.len() {
+            return Err(self.err(
+                pc,
+                format!("fragment {}..{} out of bounds", frag.start, frag.end),
+            ));
+        }
+        if frag.out as usize >= self.regs {
+            return Err(self.err(pc, format!("fragment output r{} out of range", frag.out)));
+        }
+        let mut defined: Vec<Reg> = Vec::new();
+        let mut sources = Vec::new();
+        for i in frag.start..frag.end {
+            let op = &self.proc.ops[i as usize];
+            sources.clear();
+            op.sources(&mut sources);
+            for s in &sources {
+                if *s as usize >= self.regs {
+                    return Err(self.err(pc, format!("op {i} reads r{s} out of range")));
+                }
+                if !defined.contains(s) {
+                    return Err(self.err(pc, format!("op {i} reads r{s} before definition")));
+                }
+            }
+            match op {
+                Op::Const { idx, .. } if *idx as usize >= self.proc.consts.len() => {
+                    return Err(self.err(pc, format!("op {i} constant {idx} out of range")));
+                }
+                Op::Error { msg, .. } if *msg as usize >= self.proc.errors.len() => {
+                    return Err(self.err(pc, format!("op {i} error message {msg} out of range")));
+                }
+                Op::Ternary {
+                    then_frag,
+                    else_frag,
+                    ..
+                } => {
+                    for branch in [then_frag, else_frag] {
+                        let mut branch_writes = Vec::new();
+                        self.check_frag(pc, *branch, &mut branch_writes)?;
+                        writes.append(&mut branch_writes);
+                    }
+                }
+                _ => {}
+            }
+            let dst = op.dst();
+            if dst as usize >= self.regs {
+                return Err(self.err(pc, format!("op {i} writes r{dst} out of range")));
+            }
+            if !defined.contains(&dst) {
+                defined.push(dst);
+            }
+            writes.push(dst);
+        }
+        if !defined.contains(&frag.out) && frag.start != frag.end {
+            return Err(self.err(
+                pc,
+                format!("fragment output r{} is never defined", frag.out),
+            ));
+        }
+        if frag.start == frag.end {
+            return Err(self.err(pc, "empty fragment has no defined output"));
+        }
+        Ok(())
+    }
+
+    fn check_lvalue(
+        &self,
+        pc: usize,
+        lv: &BcLValue,
+        writes: &mut Vec<Reg>,
+    ) -> Result<(), CompileError> {
+        let mut frags = Vec::new();
+        lv.frags(&mut frags);
+        for f in frags {
+            self.check_frag(pc, f, writes)?;
+        }
+        Ok(())
+    }
+
+    fn const_eq(&self, idx: u32, v: &LogicVec) -> bool {
+        self.proc
+            .consts
+            .get(idx as usize)
+            .is_some_and(|c| c == v && c.is_signed() == v.is_signed())
+    }
+
+    /// Checks a fused operand against the design expression it lowered from,
+    /// re-deriving the `Resize` folding that [`ProcBuilder::as_src_op`] does.
+    fn src_matches(&self, e: &EExpr, s: &SrcOp) -> bool {
+        match (e, s) {
+            (EExpr::Signal(a), SrcOp::Sig(b)) => a == b,
+            (EExpr::Const(c), SrcOp::Const(i)) => self.const_eq(*i, c),
+            (EExpr::Resize { width, arg }, _) => match (&**arg, s) {
+                (EExpr::Signal(a), SrcOp::Sig(b)) => {
+                    a == b && self.design.signal(*a).width == *width
+                }
+                (EExpr::Const(c), SrcOp::Const(i)) => {
+                    let v = if c.width() == *width {
+                        c.clone()
+                    } else {
+                        c.resize(*width)
+                    };
+                    self.const_eq(*i, &v)
+                }
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    fn check_fused_dst(
+        &self,
+        pc: usize,
+        dst: SignalId,
+        meta: Option<(u32, bool)>,
+        lv: &LValue,
+    ) -> Result<(), CompileError> {
+        let LValue::Signal(dlv) = lv else {
+            return Err(self.err(pc, "fused assign but lvalue is not a whole signal"));
+        };
+        if *dlv != dst {
+            return Err(self.err(pc, "fused assign target mismatch"));
+        }
+        if let Some((w, s)) = meta {
+            let sig = self.design.signal(dst);
+            if sig.width as u32 != w || sig.signed != s {
+                return Err(self.err(pc, "fused assign width/signedness mismatch"));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_instr(&self, pc: usize, bc: &BcInstr, di: &Instr) -> Result<(), CompileError> {
+        let mismatch = || self.err(pc, format!("instruction kind mismatch: {bc:?} vs {di:?}"));
+        match (bc, di) {
+            (
+                BcInstr::AssignSig {
+                    dst,
+                    width,
+                    signed,
+                    src,
+                },
+                Instr::Assign { lv, rhs },
+            ) => {
+                self.check_fused_dst(pc, *dst, Some((*width, *signed)), lv)?;
+                if !self.src_matches(rhs, src) {
+                    return Err(self.err(pc, "fused operand mismatch"));
+                }
+                Ok(())
+            }
+            (BcInstr::NbaSig { dst, src }, Instr::AssignNba { lv, rhs }) => {
+                self.check_fused_dst(pc, *dst, None, lv)?;
+                if !self.src_matches(rhs, src) {
+                    return Err(self.err(pc, "fused operand mismatch"));
+                }
+                Ok(())
+            }
+            (
+                BcInstr::AssignUnary {
+                    dst,
+                    width,
+                    signed,
+                    op,
+                    src,
+                },
+                Instr::Assign { lv, rhs },
+            ) => {
+                self.check_fused_dst(pc, *dst, Some((*width, *signed)), lv)?;
+                match rhs {
+                    EExpr::Unary { op: dop, arg } if dop == op && self.src_matches(arg, src) => {
+                        Ok(())
+                    }
+                    _ => Err(self.err(pc, "fused unary shape mismatch")),
+                }
+            }
+            (BcInstr::NbaUnary { dst, op, src }, Instr::AssignNba { lv, rhs }) => {
+                self.check_fused_dst(pc, *dst, None, lv)?;
+                match rhs {
+                    EExpr::Unary { op: dop, arg } if dop == op && self.src_matches(arg, src) => {
+                        Ok(())
+                    }
+                    _ => Err(self.err(pc, "fused unary shape mismatch")),
+                }
+            }
+            (
+                BcInstr::AssignBinary {
+                    dst,
+                    width,
+                    signed,
+                    op,
+                    lhs,
+                    rhs,
+                },
+                Instr::Assign { lv, rhs: drhs },
+            ) => {
+                self.check_fused_dst(pc, *dst, Some((*width, *signed)), lv)?;
+                match drhs {
+                    EExpr::Binary {
+                        op: dop,
+                        lhs: dl,
+                        rhs: dr,
+                    } if dop == op && self.src_matches(dl, lhs) && self.src_matches(dr, rhs) => {
+                        Ok(())
+                    }
+                    _ => Err(self.err(pc, "fused binary shape mismatch")),
+                }
+            }
+            (BcInstr::NbaBinary { dst, op, lhs, rhs }, Instr::AssignNba { lv, rhs: drhs }) => {
+                self.check_fused_dst(pc, *dst, None, lv)?;
+                match drhs {
+                    EExpr::Binary {
+                        op: dop,
+                        lhs: dl,
+                        rhs: dr,
+                    } if dop == op && self.src_matches(dl, lhs) && self.src_matches(dr, rhs) => {
+                        Ok(())
+                    }
+                    _ => Err(self.err(pc, "fused binary shape mismatch")),
+                }
+            }
+            (BcInstr::WaitEventTable, Instr::WaitEvent(sens)) => {
+                if sens.terms.is_empty() && sens.mems.is_empty() {
+                    return Err(self.err(pc, "table wait with empty sensitivity"));
+                }
+                for t in &sens.terms {
+                    let EExpr::Signal(sig) = &t.expr else {
+                        return Err(self.err(pc, "table wait term is not a bare signal"));
+                    };
+                    let entry = WatchEntry {
+                        proc: self.pidx as u32,
+                        wait_pc: pc as u32,
+                        edge: t.edge,
+                    };
+                    let present = self
+                        .program
+                        .watches
+                        .get(sig.0 as usize)
+                        .is_some_and(|w| w.contains(&entry));
+                    if !present {
+                        return Err(
+                            self.err(pc, format!("missing watch entry for signal {}", sig.0))
+                        );
+                    }
+                }
+                for m in &sens.mems {
+                    let entry = WatchEntry {
+                        proc: self.pidx as u32,
+                        wait_pc: pc as u32,
+                        edge: None,
+                    };
+                    let present = self
+                        .program
+                        .mem_watches
+                        .get(m.0 as usize)
+                        .is_some_and(|w| w.contains(&entry));
+                    if !present {
+                        return Err(self.err(pc, format!("missing watch entry for memory {}", m.0)));
+                    }
+                }
+                Ok(())
+            }
+            (BcInstr::Assign { lv, rhs }, Instr::Assign { .. })
+            | (BcInstr::AssignNba { lv, rhs }, Instr::AssignNba { .. }) => {
+                let mut rhs_writes = Vec::new();
+                self.check_frag(pc, *rhs, &mut rhs_writes)?;
+                let mut lv_writes = Vec::new();
+                self.check_lvalue(pc, lv, &mut lv_writes)?;
+                if lv_writes.contains(&rhs.out) {
+                    return Err(self.err(
+                        pc,
+                        format!("lvalue fragment clobbers rhs output r{}", rhs.out),
+                    ));
+                }
+                Ok(())
+            }
+            (BcInstr::Jump(a), Instr::Jump(b)) => {
+                if a != b {
+                    return Err(self.err(pc, format!("jump target mismatch: {a} vs {b}")));
+                }
+                Ok(())
+            }
+            (BcInstr::JumpIfFalse { cond, target }, Instr::JumpIfFalse { target: dt, .. }) => {
+                if target != dt {
+                    return Err(self.err(pc, format!("jump target mismatch: {target} vs {dt}")));
+                }
+                let mut w = Vec::new();
+                self.check_frag(pc, *cond, &mut w)
+            }
+            (
+                BcInstr::JumpIfNoMatch {
+                    kind,
+                    sel,
+                    label,
+                    target,
+                },
+                Instr::JumpIfNoMatch {
+                    kind: dk,
+                    target: dt,
+                    ..
+                },
+            ) => {
+                if target != dt {
+                    return Err(self.err(pc, format!("jump target mismatch: {target} vs {dt}")));
+                }
+                if kind != dk {
+                    return Err(self.err(pc, "case kind mismatch"));
+                }
+                let mut w = Vec::new();
+                self.check_frag(pc, *sel, &mut w)?;
+                let mut label_writes = Vec::new();
+                self.check_frag(pc, *label, &mut label_writes)?;
+                if label_writes.contains(&sel.out) {
+                    return Err(self.err(
+                        pc,
+                        format!("label fragment clobbers selector output r{}", sel.out),
+                    ));
+                }
+                Ok(())
+            }
+            (BcInstr::DelayConst(_), Instr::Delay(EExpr::Const(_))) => Ok(()),
+            (BcInstr::Delay(frag), Instr::Delay(_)) => {
+                let mut w = Vec::new();
+                self.check_frag(pc, *frag, &mut w)
+            }
+            (BcInstr::WaitEvent { terms, never_wakes }, Instr::WaitEvent(sens)) => {
+                if terms.len() != sens.terms.len() {
+                    return Err(self.err(pc, "sensitivity term count mismatch"));
+                }
+                if *never_wakes != (sens.terms.is_empty() && sens.mems.is_empty()) {
+                    return Err(self.err(pc, "never_wakes flag mismatch"));
+                }
+                for t in terms.iter() {
+                    let mut w = Vec::new();
+                    self.check_frag(pc, *t, &mut w)?;
+                }
+                Ok(())
+            }
+            (BcInstr::WaitCond(frag), Instr::WaitCond(_)) => {
+                let mut w = Vec::new();
+                self.check_frag(pc, *frag, &mut w)
+            }
+            (BcInstr::SysCall, Instr::SysCall { .. }) => Ok(()),
+            (BcInstr::End, Instr::End) => Ok(()),
+            _ => Err(mismatch()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::elaborate_first;
+    use vgen_verilog::parse;
+
+    fn compiled(src: &str) -> (Design, BcProgram) {
+        let f = parse(src).expect("parse");
+        let d = elaborate_first(&f).expect("elab");
+        let p = compile(&d).expect("compile");
+        (d, p)
+    }
+
+    #[test]
+    fn counter_testbench_compiles_and_verifies() {
+        let (_, p) = compiled(
+            "module tb;\nreg clk;\nreg [63:0] count;\n\
+             initial begin clk = 0; count = 0; end\n\
+             always #5 clk = ~clk;\n\
+             always @(posedge clk) count <= count + 1;\n\
+             initial begin #200 $display(\"count=%d\", count); $finish; end\nendmodule",
+        );
+        assert!(!p.procs.is_empty());
+        // The hot path fuses: `count <= count + 1` and `clk = ~clk` become
+        // superinstructions and `@(posedge clk)` compiles to a watch table.
+        let code = || p.procs.iter().flat_map(|pr| &pr.code);
+        assert!(code().any(|i| matches!(i, BcInstr::NbaBinary { .. })));
+        assert!(code().any(|i| matches!(i, BcInstr::AssignUnary { .. })));
+        assert!(code().any(|i| matches!(i, BcInstr::WaitEventTable)));
+        assert!(p.watches.iter().any(|w| !w.is_empty()));
+    }
+
+    #[test]
+    fn pc_space_matches_design() {
+        let (d, p) = compiled(
+            "module t;\nreg [3:0] a;\ninitial begin\na = 1;\nif (a > 2) a = 2; else a = 3;\n\
+             case (a)\n1: a = 4;\ndefault: a = 5;\nendcase\n$finish;\nend\nendmodule",
+        );
+        for (bc, dp) in p.procs.iter().zip(&d.processes) {
+            assert_eq!(bc.code.len(), dp.code.len());
+        }
+    }
+
+    #[test]
+    fn const_delay_is_precomputed() {
+        let (_, p) = compiled("module t; initial begin #7 $finish; end endmodule");
+        let has_const_delay = p
+            .procs
+            .iter()
+            .flat_map(|pr| &pr.code)
+            .any(|i| matches!(i, BcInstr::DelayConst(7)));
+        assert!(has_const_delay);
+    }
+
+    #[test]
+    fn constants_are_deduplicated() {
+        let (_, p) = compiled(
+            "module t;\nreg [3:0] a, b;\ninitial begin\na = 4'd9; b = 4'd9; a = 4'd9;\n$finish;\nend\nendmodule",
+        );
+        for proc in &p.procs {
+            let nines = proc
+                .consts
+                .iter()
+                .filter(|c| c.to_u64() == Some(9) && c.width() == 4)
+                .count();
+            assert!(nines <= 1, "constant pool should deduplicate");
+        }
+    }
+
+    #[test]
+    fn verify_rejects_jump_target_mismatch() {
+        let (d, mut p) = compiled(
+            "module t;\nreg a;\ninitial begin\na = 0;\nif (a) a = 1;\n$finish;\nend\nendmodule",
+        );
+        let mut broke = false;
+        'outer: for proc in &mut p.procs {
+            for instr in &mut proc.code {
+                if let BcInstr::JumpIfFalse { target, .. } = instr {
+                    *target += 1;
+                    broke = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(broke, "test design should contain a conditional");
+        assert!(verify(&d, &p).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_use_before_def() {
+        // A nested rhs stays on the generic (non-fused) Assign path.
+        let (d, mut p) =
+            compiled("module t;\nreg [3:0] a;\ninitial begin\na = ~(a + 1);\nend\nendmodule");
+        // Rewrite the first Assign rhs fragment to read an undefined register.
+        'outer: for proc in &mut p.procs {
+            for instr in &proc.code.clone() {
+                if let BcInstr::Assign { rhs, .. } = instr {
+                    proc.ops[rhs.start as usize] = Op::Unary {
+                        dst: rhs.out,
+                        op: vgen_verilog::ast::UnaryOp::BitNot,
+                        src: rhs.out,
+                    };
+                    break 'outer;
+                }
+            }
+        }
+        assert!(verify(&d, &p).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_truncated_process() {
+        let (d, mut p) = compiled("module t; initial $finish; endmodule");
+        p.procs[0].code.pop();
+        assert!(verify(&d, &p).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_wrong_process_count() {
+        let (d, mut p) = compiled("module t; initial $finish; endmodule");
+        p.procs.clear();
+        assert!(verify(&d, &p).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_out_of_range_register() {
+        // A nested rhs stays on the generic path and uses the register file.
+        let (d, mut p) = compiled("module t;\nreg a;\ninitial a = ~(a ^ 1);\nendmodule");
+        let huge = (p.max_regs + 10) as Reg;
+        'outer: for proc in &mut p.procs {
+            for op in &mut proc.ops {
+                if let Op::Const { dst, .. } = op {
+                    *dst = huge;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(verify(&d, &p).is_err());
+    }
+}

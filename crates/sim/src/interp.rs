@@ -411,7 +411,7 @@ pub fn exec_function(
 
 /// Computes the declared bit indices touched by `[start +: width]` /
 /// `[start -: width]`, MSB-last (LSB first, matching storage order).
-fn indexed_range(start: i64, width: usize, ascending: bool) -> Vec<i64> {
+pub(crate) fn indexed_range(start: i64, width: usize, ascending: bool) -> Vec<i64> {
     if ascending {
         (0..width as i64).map(|k| start + k).collect()
     } else {
@@ -621,6 +621,7 @@ pub fn apply_write(
 
 /// True when `(from, to)` constitutes the given edge on a scalar bit,
 /// per IEEE 1364 (posedge: 0→1, 0→x/z, x/z→1).
+#[inline]
 pub fn is_edge(from: Logic, to: Logic, edge: Edge) -> bool {
     if from == to {
         return false;

@@ -37,6 +37,8 @@
 
 #![warn(missing_docs)]
 
+pub mod bytecode;
+pub mod compile;
 pub mod design;
 pub mod elab;
 pub mod interp;
@@ -45,10 +47,12 @@ pub mod sched;
 pub mod systasks;
 pub mod vcd;
 
+pub use bytecode::BcProgram;
+pub use compile::{compile, CompileError};
 pub use design::Design;
 pub use elab::ElabError;
 pub use interp::{RuntimeError, State};
-pub use sched::{SimConfig, SimOutput, Simulator, StopReason};
+pub use sched::{SimBackend, SimConfig, SimOutput, Simulator, StopReason};
 
 /// An error from the parse or elaborate stages of [`simulate`].
 #[derive(Debug, Clone, PartialEq)]

@@ -15,11 +15,54 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
-use vgen_verilog::value::LogicVec;
+use vgen_verilog::value::{Logic, LogicVec};
 
+use crate::bytecode::{
+    apply_write_owned, exec_frag, resolve_bc, src_ref, BcInstr, BcLValue, BcProc, BcProgram, Frag,
+};
 use crate::design::*;
 use crate::interp::*;
+use crate::ops::{apply_binary, apply_unary};
 use crate::systasks::{format_display, FormatValue};
+
+/// Which execution engine runs process bodies.
+///
+/// Both backends share the scheduler, event queue, system tasks, wake
+/// checks and write paths, so `sim.steps`, stop reasons, output and VCD
+/// waves are identical by construction; the bytecode backend only replaces
+/// per-instruction expression evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimBackend {
+    /// Tree-walking AST interpreter (the differential oracle).
+    #[default]
+    Interp,
+    /// Flat register-based bytecode VM (compiled once per design).
+    Bytecode,
+}
+
+impl SimBackend {
+    /// Stable lowercase name (CLI/CI spelling).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SimBackend::Interp => "interp",
+            SimBackend::Bytecode => "bytecode",
+        }
+    }
+}
+
+impl std::str::FromStr for SimBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "interp" | "interpreter" => Ok(SimBackend::Interp),
+            "bytecode" | "bc" => Ok(SimBackend::Bytecode),
+            other => Err(format!(
+                "unknown sim backend `{other}` (expected `interp` or `bytecode`)"
+            )),
+        }
+    }
+}
 
 /// Simulation limits: wall-clock-free safety nets against runaway designs
 /// (LLM-generated code regularly contains unintentional infinite loops).
@@ -41,6 +84,8 @@ pub struct SimConfig {
     /// Byte cap on `$display`/`$write`/`$monitor` output; a flood degrades
     /// to [`StopReason::RuntimeError`] instead of unbounded allocation.
     pub max_output_bytes: usize,
+    /// Execution engine for process bodies.
+    pub backend: SimBackend,
 }
 
 impl Default for SimConfig {
@@ -49,6 +94,7 @@ impl Default for SimConfig {
             max_time: 1_000_000,
             max_steps: 5_000_000,
             max_output_bytes: 1 << 20,
+            backend: SimBackend::Interp,
         }
     }
 }
@@ -69,6 +115,12 @@ impl SimConfig {
     /// Returns the config with `max_output_bytes` replaced.
     pub fn with_max_output_bytes(mut self, max_output_bytes: usize) -> Self {
         self.max_output_bytes = max_output_bytes;
+        self
+    }
+
+    /// Returns the config with the execution `backend` replaced.
+    pub fn with_backend(mut self, backend: SimBackend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -132,6 +184,9 @@ enum Status {
     Idle,
     /// Parked on an event list. `last` caches each term's previous value.
     Waiting { last: Vec<LogicVec> },
+    /// Parked on a table-compiled event list (bytecode backend only): the
+    /// wake condition lives in [`BcProgram::watches`], nothing is cached.
+    WaitingSig,
     /// Parked on a level-sensitive `wait (cond)`.
     WaitingCond,
     /// Finished.
@@ -172,6 +227,114 @@ impl PartialOrd for FutureEvent {
     }
 }
 
+/// Width of the calendar-wheel near window, one bit per timestamp.
+const WHEEL_SLOTS: u64 = 64;
+
+/// Two-level future-event queue: a 64-slot calendar wheel (bitmask-indexed,
+/// O(1) next-event lookup) covers the near window `[base, base + 64)`; a
+/// binary heap holds everything beyond it. Periodic delay loops
+/// (`always #5 clk = ~clk`) live entirely in the wheel — no sift traffic —
+/// while long one-shot delays pay the heap cost once. Events at one
+/// timestamp stay in scheduling (FIFO) order: wheel slots append in `seq`
+/// order and the far heap is `(time, seq)`-ordered, and refills always move
+/// *every* far event inside the new window, so the heap never holds a
+/// timestamp the wheel also covers.
+#[derive(Debug)]
+struct FutureQueue {
+    /// First timestamp covered by the wheel window. Never exceeds the
+    /// earliest pending event, and pushes never target the past, so slot
+    /// lookups are a simple offset.
+    base: u64,
+    /// Bit `i` set ⇔ `slots[i]` is non-empty.
+    mask: u64,
+    /// FIFO wakeup lists for timestamps `base + i`.
+    slots: [Vec<ProcessId>; WHEEL_SLOTS as usize],
+    /// Events at or beyond `base + WHEEL_SLOTS`.
+    far: BinaryHeap<Reverse<FutureEvent>>,
+    /// Monotonic push counter: FIFO tie-break in `far` and the
+    /// `sim.future_events` total.
+    seq: u64,
+    /// Live event count, for the queue-depth gauge.
+    len: u64,
+}
+
+impl FutureQueue {
+    fn new() -> Self {
+        FutureQueue {
+            base: 0,
+            mask: 0,
+            slots: std::array::from_fn(|_| Vec::new()),
+            far: BinaryHeap::new(),
+            seq: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, time: u64, pid: ProcessId) {
+        debug_assert!(time >= self.base, "scheduling into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.len += 1;
+        if time.wrapping_sub(self.base) < WHEEL_SLOTS {
+            let idx = (time % WHEEL_SLOTS) as usize;
+            self.mask |= 1 << idx;
+            self.slots[idx].push(pid);
+        } else {
+            self.far.push(Reverse(FutureEvent { time, seq, pid }));
+        }
+    }
+
+    /// Slides the window start to `to` and pulls every far event that the
+    /// widened window now covers. Maintains the invariant that `far` never
+    /// holds a timestamp inside `[base, base + WHEEL_SLOTS)` — which is what
+    /// makes same-timestamp FIFO order hold: while the invariant does, a
+    /// wheel push can never land in front of an older event still in `far`.
+    #[inline]
+    fn advance(&mut self, to: u64) {
+        self.base = to;
+        while let Some(&Reverse(ev)) = self.far.peek() {
+            if ev.time.wrapping_sub(to) >= WHEEL_SLOTS {
+                break;
+            }
+            self.far.pop();
+            let idx = (ev.time % WHEEL_SLOTS) as usize;
+            self.mask |= 1 << idx;
+            self.slots[idx].push(ev.pid);
+        }
+    }
+
+    /// Earliest pending timestamp, jumping the window forward (and pulling
+    /// far events into it) when the wheel is exhausted.
+    fn next_time(&mut self) -> Option<u64> {
+        if self.mask == 0 {
+            let to = self.far.peek()?.0.time;
+            self.advance(to);
+        }
+        // Slots are indexed `time % WHEEL_SLOTS`; rotating the mask so the
+        // window start sits at bit 0 turns "earliest pending" back into
+        // trailing_zeros.
+        let rot = self.mask.rotate_right((self.base % WHEEL_SLOTS) as u32);
+        Some(self.base + u64::from(rot.trailing_zeros()))
+    }
+
+    /// Moves every event at `time` — which must be the value `next_time`
+    /// just returned — into `active`, in scheduling order.
+    fn drain_into(&mut self, time: u64, active: &mut VecDeque<ProcessId>) {
+        // Everything before `time` has drained, so the window can start
+        // here; advancing now keeps the far heap from accumulating events
+        // as simulation time outruns a stationary window.
+        self.advance(time);
+        let idx = (time % WHEEL_SLOTS) as usize;
+        self.mask &= !(1 << idx);
+        let slot = &mut self.slots[idx];
+        self.len -= slot.len() as u64;
+        for pid in slot.drain(..) {
+            active.push_back(pid);
+        }
+    }
+}
+
 /// The event-driven simulator.
 ///
 /// ```
@@ -193,14 +356,43 @@ pub struct Simulator {
     active: VecDeque<ProcessId>,
     inactive: Vec<ProcessId>,
     nba: Vec<(ResolvedLValue, LogicVec)>,
-    future: BinaryHeap<Reverse<FutureEvent>>,
-    future_seq: u64,
+    /// Pending *fused* non-blocking writes (bytecode backend): whole-signal
+    /// targets only, committed after `nba`. Lowering guarantees a program
+    /// never uses both queues, so relative order between them is moot.
+    bc_nba: Vec<(SignalId, LogicVec)>,
+    future: FutureQueue,
     stdout: String,
     monitor: Option<MonitorSpec>,
     vcd: Option<crate::vcd::VcdRecorder>,
     steps: u64,
     stop: Option<StopReason>,
     cancel: vgen_obs::CancelToken,
+    /// Compiled program; `Some` iff the backend is [`SimBackend::Bytecode`].
+    program: Option<Arc<BcProgram>>,
+    /// Shared virtual register file for the bytecode VM.
+    bc_regs: Vec<LogicVec>,
+    /// Reusable change buffer for bytecode assignments (the interpreter
+    /// path allocates fresh ones; the VM recycles capacity).
+    bc_changes: Changes,
+    /// Scratch list of processes woken by the current write or propagate
+    /// batch; sorted ascending before queueing so wake order matches the
+    /// interpreter's linear process scan.
+    bc_woken: Vec<u32>,
+    /// Processes parked on `wait (cond)` under the bytecode backend — the
+    /// table-driven propagate has no linear scan to rediscover them.
+    cond_waiters: Vec<u32>,
+    /// Per-signal generation stamps for first-occurrence detection in
+    /// batched propagates; `sig_stamp[s] == stamp_gen` ⇔ signal `s` was
+    /// already seen in the current batch.
+    sig_stamp: Vec<u32>,
+    stamp_gen: u32,
+    /// Bytecode instructions dispatched (reported as `sim.dispatch.instrs`).
+    dispatch_instrs: u64,
+    /// Bytecode ops executed (reported as `sim.dispatch.ops`).
+    dispatch_ops: u64,
+    /// High-water mark of the future-event heap, emitted once at the end of
+    /// the run instead of per `schedule_at` call.
+    queue_depth_max: u64,
 }
 
 impl Simulator {
@@ -210,6 +402,12 @@ impl Simulator {
     }
 
     /// Creates a simulator with explicit limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bytecode backend is selected and lowering produces a
+    /// program that fails verification — a compiler bug, not a property of
+    /// the design (lowering is total over elaborated designs).
     pub fn with_config(design: Design, config: SimConfig) -> Self {
         let state = State::new(&design);
         let procs = design
@@ -220,6 +418,16 @@ impl Simulator {
                 status: Status::Idle,
             })
             .collect();
+        let program = match config.backend {
+            SimBackend::Interp => None,
+            SimBackend::Bytecode => Some(Arc::new(
+                crate::compile::compile(&design).expect("bytecode lowering is total"),
+            )),
+        };
+        let bc_regs = match &program {
+            Some(p) => vec![LogicVec::from_bool(false); p.max_regs],
+            None => Vec::new(),
+        };
         Simulator {
             state,
             config,
@@ -227,14 +435,24 @@ impl Simulator {
             active: VecDeque::new(),
             inactive: Vec::new(),
             nba: Vec::new(),
-            future: BinaryHeap::new(),
-            future_seq: 0,
+            bc_nba: Vec::new(),
+            future: FutureQueue::new(),
             stdout: String::new(),
             monitor: None,
             vcd: None,
             steps: 0,
             stop: None,
             cancel: vgen_obs::CancelToken::unlimited(),
+            program,
+            bc_regs,
+            bc_changes: Changes::default(),
+            bc_woken: Vec::new(),
+            cond_waiters: Vec::new(),
+            sig_stamp: Vec::new(),
+            stamp_gen: 0,
+            dispatch_instrs: 0,
+            dispatch_ops: 0,
+            queue_depth_max: 0,
             design: Arc::new(design),
         }
     }
@@ -247,12 +465,12 @@ impl Simulator {
         self
     }
 
-    /// Parks `pid` to resume at simulation time `time`.
+    /// Parks `pid` to resume at simulation time `time`. The queue-depth
+    /// gauge is tracked locally and emitted once at the end of the run —
+    /// `schedule_at` is too hot for a per-call metrics write.
     fn schedule_at(&mut self, time: u64, pid: ProcessId) {
-        let seq = self.future_seq;
-        self.future_seq += 1;
-        self.future.push(Reverse(FutureEvent { time, seq, pid }));
-        vgen_obs::gauge_max("sim.queue_depth", self.future.len() as u64);
+        self.future.push(time, pid);
+        self.queue_depth_max = self.queue_depth_max.max(self.future.len);
     }
 
     /// The elaborated design being simulated.
@@ -266,8 +484,20 @@ impl Simulator {
     }
 
     /// Runs to completion and returns the output.
-    pub fn run(mut self) -> SimOutput {
+    pub fn run(self) -> SimOutput {
+        self.run_with_state().0
+    }
+
+    /// Runs to completion and returns the output plus the final state
+    /// (signal values and memory contents), for differential testing.
+    pub fn run_with_state(mut self) -> (SimOutput, State) {
         let _span = vgen_obs::span("simulate");
+        // One refcount bump for the whole run: the dispatch loop resumes
+        // processes millions of times per second, so the design and program
+        // are passed down by reference instead of per-resume `Arc` clones
+        // (which showed up as ~30% of bytecode runtime in profiles).
+        let design = Arc::clone(&self.design);
+        let program = self.program.take();
         // Time 0: every process starts.
         for i in 0..self.procs.len() {
             self.active.push_back(ProcessId(i as u32));
@@ -279,13 +509,16 @@ impl Simulator {
                     break;
                 }
                 if let Some(pid) = self.active.pop_front() {
-                    self.run_process(pid);
+                    match &program {
+                        Some(p) => self.run_process_bc(pid, &design, p),
+                        None => self.run_process_interp(pid),
+                    }
                 } else if !self.inactive.is_empty() {
                     for pid in std::mem::take(&mut self.inactive) {
                         self.active.push_back(pid);
                     }
-                } else if !self.nba.is_empty() {
-                    self.commit_nba();
+                } else if !self.nba.is_empty() || !self.bc_nba.is_empty() {
+                    self.commit_nba(&design, program.as_deref());
                 } else {
                     break;
                 }
@@ -294,23 +527,16 @@ impl Simulator {
             if self.stop.is_some() {
                 break;
             }
-            // Advance time: pop the earliest event plus everything else
-            // scheduled for the same timestamp (heap order is FIFO per time).
-            match self.future.pop() {
-                Some(Reverse(ev)) => {
-                    if ev.time > self.config.max_time {
+            // Advance time: move everything scheduled for the earliest
+            // pending timestamp into the active region, in FIFO order.
+            match self.future.next_time() {
+                Some(t) => {
+                    if t > self.config.max_time {
                         self.stop = Some(StopReason::TimeLimit);
                         break;
                     }
-                    self.state.time = ev.time;
-                    self.active.push_back(ev.pid);
-                    while let Some(&Reverse(next)) = self.future.peek() {
-                        if next.time != ev.time {
-                            break;
-                        }
-                        self.future.pop();
-                        self.active.push_back(next.pid);
-                    }
+                    self.state.time = t;
+                    self.future.drain_into(t, &mut self.active);
                 }
                 None => {
                     self.stop = Some(StopReason::Quiescent);
@@ -318,18 +544,34 @@ impl Simulator {
                 }
             }
         }
+        self.program = program;
+        if self.program.is_some() {
+            // Every counted step dispatched exactly one bytecode instruction,
+            // except a cancelled run's final step, which stopped at the poll
+            // before reaching dispatch.
+            self.dispatch_instrs =
+                self.steps - u64::from(matches!(self.stop, Some(StopReason::Cancelled)));
+        }
         vgen_obs::counter_add("sim.steps", self.steps);
-        vgen_obs::counter_add("sim.future_events", self.future_seq);
-        SimOutput {
+        vgen_obs::counter_add("sim.future_events", self.future.seq);
+        if self.future.seq > 0 {
+            vgen_obs::gauge_max("sim.queue_depth", self.queue_depth_max);
+        }
+        if self.program.is_some() {
+            vgen_obs::counter_add("sim.dispatch.instrs", self.dispatch_instrs);
+            vgen_obs::counter_add("sim.dispatch.ops", self.dispatch_ops);
+        }
+        let output = SimOutput {
             vcd: self.vcd.take().map(|r| r.render(&self.design)),
             stdout: self.stdout,
             time: self.state.time,
             reason: self.stop.unwrap_or(StopReason::Quiescent),
             steps: self.steps,
-        }
+        };
+        (output, self.state)
     }
 
-    fn run_process(&mut self, pid: ProcessId) {
+    fn run_process_interp(&mut self, pid: ProcessId) {
         let idx = pid.0 as usize;
         if matches!(self.procs[idx].status, Status::Done) {
             return;
@@ -503,6 +745,342 @@ impl Simulator {
         }
     }
 
+    /// The bytecode twin of [`run_process_interp`](Self::run_process_interp):
+    /// the budget check, step accounting, cancellation poll, pc updates and
+    /// suspension points mirror the interpreter loop exactly, so both
+    /// backends stop at the same step with the same reason.
+    fn run_process_bc(&mut self, pid: ProcessId, design: &Design, program: &BcProgram) {
+        let idx = pid.0 as usize;
+        if matches!(self.procs[idx].status, Status::Done) {
+            return;
+        }
+        self.procs[idx].status = Status::Idle;
+        let proc = &program.procs[idx];
+        // The pc lives in a local while the process runs; `flush_pc!` writes
+        // it back on every exit path so a parked or stopped process resumes
+        // exactly where the interpreter would.
+        let mut pc = self.procs[idx].pc;
+        // Steps live in a local too; the budget / cancel-poll checks run on a
+        // countdown so the hot path pays one decrement-and-test instead of the
+        // full compare + modulo sequence every instruction. `free` counts
+        // iterations guaranteed to neither exhaust the budget nor land on a
+        // poll boundary.
+        let mut steps = self.steps;
+        let mut free: u64 = 0;
+        macro_rules! flush_pc {
+            () => {
+                self.procs[idx].pc = pc;
+                self.steps = steps;
+            };
+        }
+        loop {
+            if free == 0 {
+                // Slow path: replicate the interpreter's exact check order —
+                // budget pre-check, increment, poll at multiples.
+                if steps >= self.config.max_steps {
+                    self.stop = Some(StopReason::StepBudget);
+                    flush_pc!();
+                    return;
+                }
+                steps += 1;
+                if steps.is_multiple_of(CANCEL_POLL_STEPS) && self.cancel.poll() {
+                    self.stop = Some(StopReason::Cancelled);
+                    flush_pc!();
+                    return;
+                }
+                free = (self.config.max_steps - steps)
+                    .min(CANCEL_POLL_STEPS - 1 - (steps % CANCEL_POLL_STEPS));
+            } else {
+                free -= 1;
+                steps += 1;
+            }
+            let Some(instr) = proc.code.get(pc) else {
+                self.procs[idx].status = Status::Done;
+                flush_pc!();
+                return;
+            };
+            match instr {
+                BcInstr::AssignSig {
+                    dst,
+                    width,
+                    signed,
+                    src,
+                } => {
+                    let v = src_ref(&self.state, proc, src).clone();
+                    pc += 1;
+                    self.bc_write_sig(program, *dst, *width as usize, *signed, v);
+                }
+                BcInstr::AssignUnary {
+                    dst,
+                    width,
+                    signed,
+                    op,
+                    src,
+                } => {
+                    let v = apply_unary(*op, src_ref(&self.state, proc, src));
+                    pc += 1;
+                    self.bc_write_sig(program, *dst, *width as usize, *signed, v);
+                }
+                BcInstr::AssignBinary {
+                    dst,
+                    width,
+                    signed,
+                    op,
+                    lhs,
+                    rhs,
+                } => {
+                    let v = apply_binary(
+                        *op,
+                        src_ref(&self.state, proc, lhs),
+                        src_ref(&self.state, proc, rhs),
+                    );
+                    pc += 1;
+                    self.bc_write_sig(program, *dst, *width as usize, *signed, v);
+                }
+                BcInstr::NbaSig { dst, src } => {
+                    let v = src_ref(&self.state, proc, src).clone();
+                    self.bc_nba.push((*dst, v));
+                    pc += 1;
+                }
+                BcInstr::NbaUnary { dst, op, src } => {
+                    let v = apply_unary(*op, src_ref(&self.state, proc, src));
+                    self.bc_nba.push((*dst, v));
+                    pc += 1;
+                }
+                BcInstr::NbaBinary { dst, op, lhs, rhs } => {
+                    let v = apply_binary(
+                        *op,
+                        src_ref(&self.state, proc, lhs),
+                        src_ref(&self.state, proc, rhs),
+                    );
+                    self.bc_nba.push((*dst, v));
+                    pc += 1;
+                }
+                BcInstr::Assign { lv, rhs } => {
+                    let result = self.bc_eval(design, proc, *rhs).and_then(|value| {
+                        let resolved = self.bc_resolve(design, proc, lv)?;
+                        Ok((resolved, value))
+                    });
+                    match result {
+                        Ok((resolved, value)) => {
+                            let mut changes = std::mem::take(&mut self.bc_changes);
+                            apply_write_owned(
+                                design,
+                                &mut self.state,
+                                &resolved,
+                                value,
+                                &mut changes,
+                            );
+                            pc += 1;
+                            self.bc_propagate(program, &changes);
+                            changes.signals.clear();
+                            changes.mems.clear();
+                            self.bc_changes = changes;
+                        }
+                        Err(e) => {
+                            flush_pc!();
+                            self.abort(e);
+                            return;
+                        }
+                    }
+                }
+                BcInstr::AssignNba { lv, rhs } => {
+                    let result = self.bc_eval(design, proc, *rhs).and_then(|value| {
+                        let resolved = self.bc_resolve(design, proc, lv)?;
+                        Ok((resolved, value))
+                    });
+                    match result {
+                        Ok((resolved, value)) => {
+                            self.nba.push((resolved, value));
+                            pc += 1;
+                        }
+                        Err(e) => {
+                            flush_pc!();
+                            self.abort(e);
+                            return;
+                        }
+                    }
+                }
+                BcInstr::Jump(t) => {
+                    pc = *t;
+                }
+                BcInstr::JumpIfFalse { cond, target } => match self.bc_eval(design, proc, *cond) {
+                    Ok(v) => {
+                        pc = if v.truthiness() == Some(true) {
+                            pc + 1
+                        } else {
+                            *target
+                        };
+                    }
+                    Err(e) => {
+                        flush_pc!();
+                        self.abort(e);
+                        return;
+                    }
+                },
+                BcInstr::JumpIfNoMatch {
+                    kind,
+                    sel,
+                    label,
+                    target,
+                } => {
+                    let matched = self.bc_eval(design, proc, *sel).and_then(|s| {
+                        let l = self.bc_eval(design, proc, *label)?;
+                        Ok(match kind {
+                            vgen_verilog::ast::CaseKind::Exact => s.case_eq(&l).to_u64() == Some(1),
+                            vgen_verilog::ast::CaseKind::Z => s.case_matches(&l, false),
+                            vgen_verilog::ast::CaseKind::X => s.case_matches(&l, true),
+                        })
+                    });
+                    match matched {
+                        Ok(true) => pc += 1,
+                        Ok(false) => pc = *target,
+                        Err(e) => {
+                            flush_pc!();
+                            self.abort(e);
+                            return;
+                        }
+                    }
+                }
+                BcInstr::DelayConst(amt) => {
+                    let amt = *amt;
+                    pc += 1;
+                    flush_pc!();
+                    if amt == 0 {
+                        self.inactive.push(pid);
+                    } else {
+                        self.schedule_at(self.state.time + amt, pid);
+                    }
+                    return;
+                }
+                BcInstr::Delay(amount) => {
+                    let amt = match self.bc_eval(design, proc, *amount) {
+                        Ok(v) => v.to_u64().unwrap_or(0),
+                        Err(e) => {
+                            flush_pc!();
+                            self.abort(e);
+                            return;
+                        }
+                    };
+                    pc += 1;
+                    flush_pc!();
+                    if amt == 0 {
+                        self.inactive.push(pid);
+                    } else {
+                        self.schedule_at(self.state.time + amt, pid);
+                    }
+                    return;
+                }
+                BcInstr::WaitEventTable => {
+                    // The wake condition is compiled into the program's
+                    // watch tables; the process just parks.
+                    pc += 1;
+                    flush_pc!();
+                    self.procs[idx].status = Status::WaitingSig;
+                    return;
+                }
+                BcInstr::WaitEvent { terms, never_wakes } => {
+                    if *never_wakes {
+                        // Nothing can ever wake this process.
+                        self.procs[idx].status = Status::Done;
+                        flush_pc!();
+                        return;
+                    }
+                    let mut last = Vec::with_capacity(terms.len());
+                    for term in terms.iter() {
+                        match self.bc_eval(design, proc, *term) {
+                            Ok(v) => last.push(v),
+                            Err(e) => {
+                                flush_pc!();
+                                self.abort(e);
+                                return;
+                            }
+                        }
+                    }
+                    pc += 1;
+                    flush_pc!();
+                    self.procs[idx].status = Status::Waiting { last };
+                    return;
+                }
+                BcInstr::WaitCond(cond) => match self.bc_eval(design, proc, *cond) {
+                    Ok(v) => {
+                        if v.truthiness() == Some(true) {
+                            pc += 1;
+                        } else {
+                            // pc stays on the WaitCond; re-checked on wake.
+                            flush_pc!();
+                            self.procs[idx].status = Status::WaitingCond;
+                            self.cond_waiters.push(idx as u32);
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        flush_pc!();
+                        self.abort(e);
+                        return;
+                    }
+                },
+                BcInstr::SysCall => {
+                    // Arguments live in the design instruction at the same
+                    // pc; $display formatting and $monitor registration are
+                    // shared with the interpreter.
+                    let Instr::SysCall { name, args } = &design.processes[idx].code[pc] else {
+                        flush_pc!();
+                        self.abort(RuntimeError::new("bytecode/design instruction mismatch"));
+                        return;
+                    };
+                    if let Err(e) = self.sys_task(idx, name, args) {
+                        flush_pc!();
+                        self.abort(e);
+                        return;
+                    }
+                    pc += 1;
+                    if self.stop.is_some() {
+                        flush_pc!();
+                        return;
+                    }
+                }
+                BcInstr::End => {
+                    self.procs[idx].status = Status::Done;
+                    flush_pc!();
+                    return;
+                }
+            }
+        }
+    }
+
+    fn bc_eval(
+        &mut self,
+        design: &Design,
+        proc: &BcProc,
+        frag: Frag,
+    ) -> Result<LogicVec, RuntimeError> {
+        exec_frag(
+            design,
+            &mut self.state,
+            proc,
+            frag,
+            &mut self.bc_regs,
+            &mut self.dispatch_ops,
+        )
+    }
+
+    fn bc_resolve(
+        &mut self,
+        design: &Design,
+        proc: &BcProc,
+        lv: &BcLValue,
+    ) -> Result<ResolvedLValue, RuntimeError> {
+        resolve_bc(
+            design,
+            &mut self.state,
+            proc,
+            lv,
+            &mut self.bc_regs,
+            &mut self.dispatch_ops,
+        )
+    }
+
     fn eval(&mut self, e: &EExpr) -> Result<LogicVec, RuntimeError> {
         eval(&self.design, &mut self.state, e)
     }
@@ -532,13 +1110,44 @@ impl Simulator {
         self.stdout.push_str(text);
     }
 
-    fn commit_nba(&mut self) {
-        let pending = std::mem::take(&mut self.nba);
-        let mut changes = Changes::default();
-        for (lv, value) in pending {
-            apply_write(&self.design, &mut self.state, &lv, &value, &mut changes);
+    fn commit_nba(&mut self, design: &Design, program: Option<&BcProgram>) {
+        let mut changes = std::mem::take(&mut self.bc_changes);
+        if !self.nba.is_empty() {
+            let mut pending = std::mem::take(&mut self.nba);
+            for (lv, value) in pending.drain(..) {
+                apply_write_owned(design, &mut self.state, &lv, value, &mut changes);
+            }
+            // Hand the drained queue's capacity back for the next slot.
+            self.nba = pending;
         }
-        self.propagate(&changes);
+        if !self.bc_nba.is_empty() {
+            // Fused queue: whole-signal writes with the same transform and
+            // change capture as `apply_write_owned`'s Signal arm, minus the
+            // lvalue dispatch.
+            let mut pending = std::mem::take(&mut self.bc_nba);
+            for (id, value) in pending.drain(..) {
+                let sig = design.signal(id);
+                let new = if value.width() == sig.width {
+                    value
+                } else {
+                    value.resize(sig.width)
+                }
+                .with_signed(sig.signed);
+                let slot = &mut self.state.signals[id.0 as usize];
+                if *slot != new {
+                    let prev = std::mem::replace(slot, new);
+                    changes.signals.push((id, prev));
+                }
+            }
+            self.bc_nba = pending;
+        }
+        match program {
+            Some(program) => self.bc_propagate(program, &changes),
+            None => self.propagate(&changes),
+        }
+        changes.signals.clear();
+        changes.mems.clear();
+        self.bc_changes = changes;
     }
 
     /// Wakes processes sensitive to any of `changes`.
@@ -593,6 +1202,25 @@ impl Simulator {
             return true;
         };
         for (i, term) in sens.terms.iter().enumerate() {
+            // Fast path: a bare signal term (`@(posedge clk)` and friends)
+            // compares against the live value in place instead of cloning it
+            // through the evaluator; the cache is only refreshed on change.
+            if let EExpr::Signal(sid) = &term.expr {
+                let now = &self.state.signals[sid.0 as usize];
+                let prev = &last[i];
+                if prev == now {
+                    continue;
+                }
+                let triggered = match term.edge {
+                    None => true,
+                    Some(edge) => is_edge(prev.bit(0), now.bit(0), edge),
+                };
+                if triggered {
+                    woke = true;
+                }
+                last[i] = now.clone();
+                continue;
+            }
             let Ok(now) = eval(&design, &mut self.state, &term.expr) else {
                 continue;
             };
@@ -610,7 +1238,183 @@ impl Simulator {
         woke
     }
 
+    /// Fused whole-signal write for the bytecode backend: applies the
+    /// compile-time width/signedness transform, detects the change in place
+    /// and wakes watchers through the compiled tables — no `Changes`
+    /// buffer, no register file, no per-write allocation.
+    fn bc_write_sig(
+        &mut self,
+        program: &BcProgram,
+        sig: SignalId,
+        width: usize,
+        signed: bool,
+        value: LogicVec,
+    ) {
+        let value = if value.width() == width {
+            value
+        } else {
+            value.resize(width)
+        }
+        .with_signed(signed);
+        let slot = &mut self.state.signals[sig.0 as usize];
+        if *slot == value {
+            return;
+        }
+        // Edge bits are only needed when somebody actually watches this
+        // signal; unwatched writes (the common case in dataflow-heavy
+        // blocks) skip straight to the store.
+        let watched = !program.watches[sig.0 as usize].is_empty();
+        let (old_b0, new_b0) = if watched {
+            (slot.bit(0), value.bit(0))
+        } else {
+            (Logic::Zero, Logic::Zero)
+        };
+        *slot = value;
+        if let Some(vcd) = &mut self.vcd {
+            vcd.record(
+                self.state.time,
+                sig,
+                self.state.signals[sig.0 as usize].clone(),
+            );
+        }
+        if watched {
+            self.bc_wake_sig(program, sig, old_b0, new_b0);
+        }
+        if program.any_generic_waits {
+            self.bc_generic_scan(&Changes::default());
+        }
+        self.bc_finish_wakes();
+    }
+
+    /// Table-driven twin of [`propagate`](Self::propagate) for batched
+    /// writes (the NBA commit and non-fused assigns). Watch-table lookups
+    /// replace the linear process scan; the generic cache-based scan only
+    /// runs when the program has non-table waits.
+    fn bc_propagate(&mut self, program: &BcProgram, changes: &Changes) {
+        if changes.is_empty() {
+            return;
+        }
+        if let Some(vcd) = &mut self.vcd {
+            for (sig, _) in &changes.signals {
+                vcd.record(
+                    self.state.time,
+                    *sig,
+                    self.state.signals[sig.0 as usize].clone(),
+                );
+            }
+        }
+        // A batch can write one signal twice; only the first entry holds
+        // the pre-batch value, and only a net change across the whole
+        // batch wakes watchers (matching the interpreter's last-value
+        // comparison). First-occurrence detection uses a per-signal
+        // generation stamp — O(1) per entry instead of a prefix scan that
+        // goes quadratic on wide NBA batches.
+        if self.sig_stamp.len() < self.state.signals.len() {
+            self.sig_stamp.resize(self.state.signals.len(), 0);
+        }
+        self.stamp_gen = self.stamp_gen.wrapping_add(1);
+        if self.stamp_gen == 0 {
+            // Wrapped: stale stamps could collide, so reset them all.
+            self.sig_stamp.fill(0);
+            self.stamp_gen = 1;
+        }
+        for k in 0..changes.signals.len() {
+            let (sig, ref old) = changes.signals[k];
+            if self.sig_stamp[sig.0 as usize] == self.stamp_gen {
+                continue;
+            }
+            self.sig_stamp[sig.0 as usize] = self.stamp_gen;
+            let now = &self.state.signals[sig.0 as usize];
+            if now == old {
+                continue;
+            }
+            let old_b0 = old.bit(0);
+            let new_b0 = now.bit(0);
+            self.bc_wake_sig(program, sig, old_b0, new_b0);
+        }
+        for m in &changes.mems {
+            self.bc_wake_mem(program, *m);
+        }
+        if program.any_generic_waits {
+            self.bc_generic_scan(changes);
+        }
+        self.bc_finish_wakes();
+    }
+
+    /// Wakes table-parked watchers of `sig` for a `old_b0 → new_b0`
+    /// transition. The pc guard skips entries belonging to *other*
+    /// `WaitEventTable` sites of the same process.
+    fn bc_wake_sig(&mut self, program: &BcProgram, sig: SignalId, old_b0: Logic, new_b0: Logic) {
+        for w in &program.watches[sig.0 as usize] {
+            if let Some(edge) = w.edge {
+                if !is_edge(old_b0, new_b0, edge) {
+                    continue;
+                }
+            }
+            let p = &mut self.procs[w.proc as usize];
+            if matches!(p.status, Status::WaitingSig) && p.pc == w.wait_pc as usize + 1 {
+                p.status = Status::Idle;
+                self.bc_woken.push(w.proc);
+            }
+        }
+    }
+
+    /// Wakes table-parked watchers of memory `mem` (any word change).
+    fn bc_wake_mem(&mut self, program: &BcProgram, mem: MemoryId) {
+        for w in &program.mem_watches[mem.0 as usize] {
+            let p = &mut self.procs[w.proc as usize];
+            if matches!(p.status, Status::WaitingSig) && p.pc == w.wait_pc as usize + 1 {
+                p.status = Status::Idle;
+                self.bc_woken.push(w.proc);
+            }
+        }
+    }
+
+    /// Fallback scan for processes parked on non-table (generic) event
+    /// lists — same cache-refreshing wake check the interpreter uses.
+    fn bc_generic_scan(&mut self, changes: &Changes) {
+        for i in 0..self.procs.len() {
+            if matches!(self.procs[i].status, Status::Waiting { .. }) {
+                let pid = ProcessId(i as u32);
+                if self.check_wake(pid, changes) {
+                    self.procs[i].status = Status::Idle;
+                    self.bc_woken.push(i as u32);
+                }
+            }
+        }
+    }
+
+    /// Drains level-sensitive `wait (cond)` waiters, then queues every
+    /// woken process in ascending index order — the order the
+    /// interpreter's linear propagate scan produces.
+    fn bc_finish_wakes(&mut self) {
+        if !self.cond_waiters.is_empty() {
+            let mut waiters = std::mem::take(&mut self.cond_waiters);
+            for idx in waiters.drain(..) {
+                let p = &mut self.procs[idx as usize];
+                if matches!(p.status, Status::WaitingCond) {
+                    p.status = Status::Idle;
+                    self.bc_woken.push(idx);
+                }
+            }
+            self.cond_waiters = waiters;
+        }
+        if self.bc_woken.is_empty() {
+            return;
+        }
+        self.bc_woken.sort_unstable();
+        for i in 0..self.bc_woken.len() {
+            self.active.push_back(ProcessId(self.bc_woken[i]));
+        }
+        self.bc_woken.clear();
+    }
+
     fn flush_monitor(&mut self) {
+        // Cheap early-out first: this runs once per time slot, and most
+        // runs never register a $monitor.
+        if self.monitor.is_none() {
+            return;
+        }
         // Take the spec out instead of cloning its argument expressions;
         // it is put back (possibly with a new cached rendering) below.
         let Some(mut spec) = self.monitor.take() else {
@@ -712,7 +1516,19 @@ mod tests {
     fn run(src: &str) -> SimOutput {
         let f = parse(src).expect("parse");
         let d = elaborate_first(&f).expect("elab");
-        Simulator::new(d).run()
+        let interp = Simulator::new(d.clone()).run();
+        // Every scheduler test doubles as a differential test: the bytecode
+        // backend must produce the identical observable output.
+        let config = SimConfig {
+            backend: SimBackend::Bytecode,
+            ..SimConfig::default()
+        };
+        let bc = Simulator::with_config(d, config).run();
+        assert_eq!(bc.stdout, interp.stdout, "backend stdout divergence");
+        assert_eq!(bc.reason, interp.reason, "backend stop-reason divergence");
+        assert_eq!(bc.time, interp.time, "backend time divergence");
+        assert_eq!(bc.steps, interp.steps, "backend step-count divergence");
+        interp
     }
 
     #[test]

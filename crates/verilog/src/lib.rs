@@ -40,4 +40,4 @@ pub use ast::{Module, SourceFile};
 pub use error::ParseError;
 pub use parser::{parse, parse_with_cancel, syntax_check};
 pub use span::Span;
-pub use value::{Logic, LogicVec};
+pub use value::{Logic, LogicVec, ZeroWidthError};

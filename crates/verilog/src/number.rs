@@ -60,7 +60,7 @@ pub fn parse_number(text: &str) -> Result<LogicVec, ParseNumberError> {
         let v: i64 = clean
             .parse()
             .map_err(|_| err(format!("bad decimal `{clean}`")))?;
-        return Ok(LogicVec::from_i64(v, UNSIZED_WIDTH));
+        return Ok(LogicVec::from_i64(v, UNSIZED_WIDTH).expect("unsized width is positive"));
     };
 
     let (size_part, rest) = clean.split_at(tick);

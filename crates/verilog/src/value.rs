@@ -126,6 +126,22 @@ impl fmt::Display for Logic {
     }
 }
 
+/// Error for attempting to build a zero-width vector. Zero-width values
+/// cannot exist in the IEEE 1364 value domain (the `zero-width` lint rule
+/// rejects the literals that would produce them); constructors taking an
+/// arbitrary width surface the condition as this typed error instead of
+/// panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroWidthError;
+
+impl fmt::Display for ZeroWidthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "logic vector width must be positive")
+    }
+}
+
+impl std::error::Error for ZeroWidthError {}
+
 /// Bits per storage word.
 const WORD: usize = 64;
 
@@ -356,6 +372,7 @@ impl LogicVec {
     }
 
     /// Builds an unsigned vector of `width` bits from the low bits of `v`.
+    #[inline]
     pub fn from_u64(v: u64, width: usize) -> Self {
         assert!(width > 0, "logic vector width must be positive");
         Self::build(width, false, |i| if i == 0 { (v, 0) } else { (0, 0) })
@@ -363,35 +380,45 @@ impl LogicVec {
 
     /// Builds a signed vector of `width` bits from the two's-complement of `v`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `width == 0`.
-    pub fn from_i64(v: i64, width: usize) -> Self {
-        assert!(width > 0, "logic vector width must be positive");
+    /// Returns [`ZeroWidthError`] if `width == 0` — the one constructor
+    /// whose width regularly comes from parsed user input rather than a
+    /// declaration, so the failure is typed instead of a panic.
+    pub fn from_i64(v: i64, width: usize) -> Result<Self, ZeroWidthError> {
+        if width == 0 {
+            return Err(ZeroWidthError);
+        }
         let fill = if v < 0 { u64::MAX } else { 0 };
-        Self::build(
-            width,
-            true,
-            |i| if i == 0 { (v as u64, 0) } else { (fill, 0) },
-        )
+        Ok(Self::build(width, true, |i| {
+            if i == 0 {
+                (v as u64, 0)
+            } else {
+                (fill, 0)
+            }
+        }))
     }
 
     /// Builds a 1-bit vector from a bool.
+    #[inline]
     pub fn from_bool(b: bool) -> Self {
         Self::from_u64(b as u64, 1)
     }
 
     /// Number of bits.
+    #[inline]
     pub fn width(&self) -> usize {
         self.width
     }
 
     /// Whether the vector is treated as two's-complement in arithmetic.
+    #[inline]
     pub fn is_signed(&self) -> bool {
         self.signed
     }
 
     /// Returns a copy with the signedness flag set to `signed`.
+    #[inline]
     pub fn with_signed(mut self, signed: bool) -> Self {
         self.signed = signed;
         self
@@ -404,6 +431,7 @@ impl LogicVec {
 
     /// Bit `i` (LSB = 0), or `X` when out of range (Verilog out-of-bounds
     /// select semantics).
+    #[inline]
     pub fn bit(&self, i: usize) -> Logic {
         if i >= self.width {
             return Logic::X;
@@ -419,6 +447,7 @@ impl LogicVec {
     }
 
     /// Whether any bit is `x` or `z` (any set `bval` bit).
+    #[inline]
     pub fn has_unknown(&self) -> bool {
         match &self.planes {
             Planes::Word { bval, .. } => *bval != 0,
@@ -428,6 +457,7 @@ impl LogicVec {
 
     /// Interprets as unsigned; `None` if any bit is unknown or width > 64
     /// with a set high bit.
+    #[inline]
     pub fn to_u64(&self) -> Option<u64> {
         if self.has_unknown() {
             return None;
@@ -490,8 +520,47 @@ impl LogicVec {
         })
     }
 
+    /// The `(aval, bval)` plane-fill words for bits above `self.width` when
+    /// this vector is widened: sign bit for signed vectors, `x`/`z` when the
+    /// top bit is unknown, zero otherwise — the same extension rule as
+    /// [`resize`](Self::resize), precomputed once so binary ops can widen
+    /// word-at-a-time without materialising a resized clone of the operand.
+    #[inline]
+    fn ext_fill(&self) -> (u64, u64) {
+        let top = self.bit(self.width - 1);
+        let ext = match top {
+            Logic::X => Logic::X,
+            Logic::Z => Logic::Z,
+            _ if self.signed => top,
+            _ => Logic::Zero,
+        };
+        let (ea, eb) = encode(ext);
+        (
+            if ea == 1 { u64::MAX } else { 0 },
+            if eb == 1 { u64::MAX } else { 0 },
+        )
+    }
+
+    /// Word `i` of `self` as it would appear after `self.resize(w)` for
+    /// `w >= self.width`, with `(pa, pb)` the [`ext_fill`](Self::ext_fill)
+    /// planes: extension bits are OR-ed in on the fly (bits past the
+    /// operand width are zero by invariant) and the result is masked to the
+    /// joined width `w`.
+    #[inline]
+    fn widened_word(&self, i: usize, w: usize, pa: u64, pb: u64) -> (u64, u64) {
+        let (a, b) = self.word(i);
+        let fill = mask_from(i, self.width);
+        let m = if i + 1 == words_for(w) {
+            top_mask(w)
+        } else {
+            u64::MAX
+        };
+        ((a | (pa & fill)) & m, (b | (pb & fill)) & m)
+    }
+
     /// Truthiness for `if`/`while`/ternary conditions: `Some(true)` if any
     /// bit is 1, `Some(false)` if all bits are 0, `None` (unknown) otherwise.
+    #[inline]
     pub fn truthiness(&self) -> Option<bool> {
         let mut any_unknown = false;
         for i in 0..self.word_len() {
@@ -523,13 +592,6 @@ impl LogicVec {
         self.signed && rhs.signed
     }
 
-    /// Whether both planes of `self` and `rhs` are identical (same width
-    /// assumed). This is an exact 4-state comparison ignoring signedness.
-    fn same_planes(&self, rhs: &LogicVec) -> bool {
-        debug_assert_eq!(self.width, rhs.width);
-        self.planes == rhs.planes
-    }
-
     /// `self + rhs` at the joined width (result signed iff both signed).
     pub fn add(&self, rhs: &LogicVec) -> LogicVec {
         self.arith2(rhs, |a, b| a.wrapping_add(b))
@@ -553,7 +615,9 @@ impl LogicVec {
         }
         if self.both_signed(rhs) {
             match (self.to_i64(), rhs.to_i64()) {
-                (Some(a), Some(b)) if b != 0 => LogicVec::from_i64(a.wrapping_div(b), w),
+                (Some(a), Some(b)) if b != 0 => {
+                    LogicVec::from_i64(a.wrapping_div(b), w).expect("joined width is positive")
+                }
                 _ => Self::all_x(w),
             }
         } else {
@@ -569,7 +633,9 @@ impl LogicVec {
         }
         if self.both_signed(rhs) {
             match (self.to_i64(), rhs.to_i64()) {
-                (Some(a), Some(b)) if b != 0 => LogicVec::from_i64(a.wrapping_rem(b), w),
+                (Some(a), Some(b)) if b != 0 => {
+                    LogicVec::from_i64(a.wrapping_rem(b), w).expect("joined width is positive")
+                }
                 _ => Self::all_x(w),
             }
         } else {
@@ -596,21 +662,52 @@ impl LogicVec {
     /// plain integers and `f` runs on native words; any unknown bit (or a
     /// known value that does not fit in 64 bits) degrades to all-`x`.
     fn arith2(&self, rhs: &LogicVec, f: impl Fn(u64, u64) -> u64) -> LogicVec {
+        // Equal-width single-word known operands: both values are exact in
+        // a native word, so `f` runs directly and the constructor masks the
+        // result — the same answer the widening path below produces, minus
+        // the extension scans.
+        if self.width == rhs.width && !self.both_signed(rhs) {
+            if let (Planes::Word { aval: la, bval: 0 }, Planes::Word { aval: ra, bval: 0 }) =
+                (&self.planes, &rhs.planes)
+            {
+                return LogicVec::from_u64(f(*la, *ra), self.width);
+            }
+        }
         let w = self.join_width(rhs);
         let signed = self.both_signed(rhs);
+        // Widening a signed pair to `w` preserves the two's-complement
+        // value, so the operands convert directly; the unsigned reading
+        // widens word-at-a-time — neither path materialises resized clones.
         if signed {
-            match (
-                self.resize(w).with_signed(true).to_i64(),
-                rhs.resize(w).with_signed(true).to_i64(),
-            ) {
-                (Some(a), Some(b)) => return LogicVec::from_i64(f(a as u64, b as u64) as i64, w),
+            match (self.to_i64(), rhs.to_i64()) {
+                (Some(a), Some(b)) => {
+                    return LogicVec::from_i64(f(a as u64, b as u64) as i64, w)
+                        .expect("joined width is positive")
+                }
                 _ => return Self::all_x(w),
             }
         }
-        match (self.resize(w).to_u64(), rhs.resize(w).to_u64()) {
+        match (self.widened_to_u64(w), rhs.widened_to_u64(w)) {
             (Some(a), Some(b)) => LogicVec::from_u64(f(a, b), w),
             _ => Self::all_x(w),
         }
+    }
+
+    /// `self.resize(w).to_u64()` for `w >= self.width`, computed without
+    /// materialising the resized value: `None` when any bit is unknown or
+    /// the (possibly sign-extended) value does not fit in 64 bits.
+    fn widened_to_u64(&self, w: usize) -> Option<u64> {
+        if self.has_unknown() {
+            return None;
+        }
+        // Fully known ⇒ the extension fill is the sign bit or zero.
+        let (pa, _) = self.ext_fill();
+        for i in 1..words_for(w) {
+            if self.widened_word(i, w, pa, 0).0 != 0 {
+                return None;
+            }
+        }
+        Some(self.widened_word(0, w, pa, 0).0)
     }
 
     /// Unary minus (two's-complement negation).
@@ -629,16 +726,17 @@ impl LogicVec {
         })
     }
 
-    /// Word-parallel binary bitwise op: both operands are resized to the
-    /// joined width, then `f` maps `(aval_l, bval_l, aval_r, bval_r)` words
-    /// to result words.
+    /// Word-parallel binary bitwise op: both operands are widened to the
+    /// joined width on the fly ([`widened_word`](Self::widened_word), no
+    /// resized clones), then `f` maps `(aval_l, bval_l, aval_r, bval_r)`
+    /// words to result words.
     fn bitwise2(&self, rhs: &LogicVec, f: impl Fn(u64, u64, u64, u64) -> (u64, u64)) -> LogicVec {
         let w = self.join_width(rhs);
-        let a = self.resize(w);
-        let b = rhs.resize(w);
+        let (lpa, lpb) = self.ext_fill();
+        let (rpa, rpb) = rhs.ext_fill();
         Self::build(w, self.both_signed(rhs), |i| {
-            let (la, lb) = a.word(i);
-            let (ra, rb) = b.word(i);
+            let (la, lb) = self.widened_word(i, w, lpa, lpb);
+            let (ra, rb) = rhs.widened_word(i, w, rpa, rpb);
             f(la, lb, ra, rb)
         })
     }
@@ -790,13 +888,20 @@ impl LogicVec {
 
     /// `==`: 1-bit result, `x` if any operand bit is unknown.
     pub fn eq_logic(&self, rhs: &LogicVec) -> LogicVec {
-        let w = self.join_width(rhs);
-        let a = self.resize(w);
-        let b = rhs.resize(w);
-        if a.has_unknown() || b.has_unknown() {
+        // Widening cannot introduce an unknown into a fully known operand,
+        // so the check runs on the operands as-is.
+        if self.has_unknown() || rhs.has_unknown() {
             return LogicVec::unknown(1);
         }
-        Self::logic1(Some(a.same_planes(&b)))
+        let w = self.join_width(rhs);
+        let (lpa, _) = self.ext_fill();
+        let (rpa, _) = rhs.ext_fill();
+        for i in 0..words_for(w) {
+            if self.widened_word(i, w, lpa, 0).0 != rhs.widened_word(i, w, rpa, 0).0 {
+                return LogicVec::from_bool(false);
+            }
+        }
+        LogicVec::from_bool(true)
     }
 
     /// `!=`.
@@ -807,7 +912,14 @@ impl LogicVec {
     /// `===`: exact 4-state match, always 0/1.
     pub fn case_eq(&self, rhs: &LogicVec) -> LogicVec {
         let w = self.join_width(rhs);
-        LogicVec::from_bool(self.resize(w).same_planes(&rhs.resize(w)))
+        let (lpa, lpb) = self.ext_fill();
+        let (rpa, rpb) = rhs.ext_fill();
+        for i in 0..words_for(w) {
+            if self.widened_word(i, w, lpa, lpb) != rhs.widened_word(i, w, rpa, rpb) {
+                return LogicVec::from_bool(false);
+            }
+        }
+        LogicVec::from_bool(true)
     }
 
     /// `<`.
@@ -928,11 +1040,11 @@ impl LogicVec {
     /// resized to the joined width; the result is unsigned.
     pub fn merge_unknown(&self, rhs: &LogicVec) -> LogicVec {
         let w = self.join_width(rhs);
-        let a = self.resize(w);
-        let b = rhs.resize(w);
+        let (lpa, lpb) = self.ext_fill();
+        let (rpa, rpb) = rhs.ext_fill();
         Self::build(w, false, |i| {
-            let (la, lb) = a.word(i);
-            let (ra, rb) = b.word(i);
+            let (la, lb) = self.widened_word(i, w, lpa, lpb);
+            let (ra, rb) = rhs.widened_word(i, w, rpa, rpb);
             let keep = !((la ^ ra) | (lb ^ rb)) & !lb;
             ((la & keep) | !keep, !keep)
         })
@@ -942,11 +1054,11 @@ impl LogicVec {
     /// casex also `x` bits) are wildcards.
     pub fn case_matches(&self, pattern: &LogicVec, x_is_wild: bool) -> bool {
         let w = self.join_width(pattern);
-        let v = self.resize(w);
-        let p = pattern.resize(w);
+        let (vfa, vfb) = self.ext_fill();
+        let (pfa, pfb) = pattern.ext_fill();
         for i in 0..words_for(w) {
-            let (va, vb) = v.word(i);
-            let (pa, pb) = p.word(i);
+            let (va, vb) = self.widened_word(i, w, vfa, vfb);
+            let (pa, pb) = pattern.widened_word(i, w, pfa, pfb);
             let wild = if x_is_wild {
                 vb | pb
             } else {
@@ -1080,7 +1192,7 @@ mod tests {
 
     #[test]
     fn i64_negative_round_trip() {
-        let x = LogicVec::from_i64(-5, 8);
+        let x = LogicVec::from_i64(-5, 8).unwrap();
         assert_eq!(x.to_i64(), Some(-5));
         assert_eq!(x.to_u64(), Some(0xFB));
     }
@@ -1113,8 +1225,8 @@ mod tests {
 
     #[test]
     fn signed_division_truncates_toward_zero() {
-        let a = LogicVec::from_i64(-7, 8);
-        let b = LogicVec::from_i64(2, 8);
+        let a = LogicVec::from_i64(-7, 8).unwrap();
+        let b = LogicVec::from_i64(2, 8).unwrap();
         assert_eq!(a.div(&b).to_i64(), Some(-3));
         assert_eq!(a.rem(&b).to_i64(), Some(-1));
     }
@@ -1122,8 +1234,8 @@ mod tests {
     #[test]
     fn signed_overflow_detect_via_bits() {
         // 127 + 1 wraps to -128 in 8-bit signed.
-        let a = LogicVec::from_i64(127, 8);
-        let b = LogicVec::from_i64(1, 8);
+        let a = LogicVec::from_i64(127, 8).unwrap();
+        let b = LogicVec::from_i64(1, 8).unwrap();
         assert_eq!(a.add(&b).to_i64(), Some(-128));
     }
 
@@ -1156,7 +1268,7 @@ mod tests {
 
     #[test]
     fn arithmetic_shift_right_sign_fills() {
-        let neg = LogicVec::from_i64(-8, 8); // 0xF8
+        let neg = LogicVec::from_i64(-8, 8).unwrap(); // 0xF8
         assert_eq!(neg.ashr(&v(2, 3)).to_i64(), Some(-2));
         // Unsigned >>> behaves like >>.
         assert_eq!(v(0x80, 8).ashr(&v(4, 3)).to_u64(), Some(0x08));
@@ -1172,8 +1284,8 @@ mod tests {
 
     #[test]
     fn signed_comparison() {
-        let a = LogicVec::from_i64(-1, 4);
-        let b = LogicVec::from_i64(1, 4);
+        let a = LogicVec::from_i64(-1, 4).unwrap();
+        let b = LogicVec::from_i64(1, 4).unwrap();
         assert_eq!(a.lt(&b).to_u64(), Some(1));
         // Same bits unsigned: 15 > 1.
         let au = a.clone().with_signed(false);
@@ -1235,7 +1347,7 @@ mod tests {
     #[test]
     fn resize_behaviour() {
         assert_eq!(v(0b11, 2).resize(4).to_u64(), Some(0b0011));
-        let s = LogicVec::from_i64(-2, 4);
+        let s = LogicVec::from_i64(-2, 4).unwrap();
         assert_eq!(s.resize(8).to_i64(), Some(-2));
         assert_eq!(v(0b1111, 4).resize(2).to_u64(), Some(0b11));
         // x extends with x.
@@ -1262,7 +1374,7 @@ mod tests {
     fn formatting() {
         assert_eq!(v(0b1010, 4).to_binary_string(), "1010");
         assert_eq!(v(255, 8).to_decimal_string(), "255");
-        assert_eq!(LogicVec::from_i64(-3, 8).to_decimal_string(), "-3");
+        assert_eq!(LogicVec::from_i64(-3, 8).unwrap().to_decimal_string(), "-3");
         assert_eq!(v(0xAB, 8).to_hex_string(), "ab");
         assert_eq!(LogicVec::unknown(8).to_hex_string(), "xx");
         assert_eq!(LogicVec::unknown(8).to_decimal_string(), "x");
@@ -1282,15 +1394,21 @@ mod tests {
     #[test]
     fn neg_two_complement() {
         assert_eq!(v(1, 4).neg().to_u64(), Some(15));
-        assert_eq!(LogicVec::from_i64(-4, 8).neg().to_i64(), Some(4));
+        assert_eq!(LogicVec::from_i64(-4, 8).unwrap().neg().to_i64(), Some(4));
     }
 
     // ---- packed-representation specifics ----
 
     #[test]
-    #[should_panic(expected = "width must be positive")]
-    fn from_i64_zero_width_panics() {
-        LogicVec::from_i64(1, 0);
+    fn from_i64_zero_width_is_typed_error() {
+        assert_eq!(LogicVec::from_i64(1, 0), Err(ZeroWidthError));
+        assert_eq!(LogicVec::from_i64(-1, 0), Err(ZeroWidthError));
+        assert_eq!(
+            ZeroWidthError.to_string(),
+            "logic vector width must be positive"
+        );
+        // Width 1 is the smallest legal vector.
+        assert_eq!(LogicVec::from_i64(1, 1).unwrap().to_u64(), Some(1));
     }
 
     #[test]
@@ -1350,7 +1468,7 @@ mod tests {
 
     #[test]
     fn wide_signed_resize_sign_extends_across_words() {
-        let s = LogicVec::from_i64(-2, 66);
+        let s = LogicVec::from_i64(-2, 66).unwrap();
         assert_eq!(s.to_i64(), Some(-2));
         let grown = s.resize(130);
         assert_eq!(grown.bit(129), Logic::One);
@@ -1370,7 +1488,9 @@ mod tests {
         let widened = v(0xFF, 8).with_range(7, 0, &v(1, 1));
         assert_eq!(widened.to_u64(), Some(1));
         // Signedness and width preserved.
-        let s = LogicVec::from_i64(-1, 8).with_range(0, 0, &v(0, 1));
+        let s = LogicVec::from_i64(-1, 8)
+            .unwrap()
+            .with_range(0, 0, &v(0, 1));
         assert!(s.is_signed());
         assert_eq!(s.width(), 8);
     }

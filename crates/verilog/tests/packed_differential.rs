@@ -630,7 +630,7 @@ proptest! {
     #[test]
     fn constructors_agree(v in any::<u64>(), s in any::<i64>(), w in 1usize..201) {
         assert_same(&LogicVec::from_u64(v, w), &RefVec::from_u64(v, w))?;
-        assert_same(&LogicVec::from_i64(s, w), &RefVec::from_i64(s, w))?;
+        assert_same(&LogicVec::from_i64(s, w).unwrap(), &RefVec::from_i64(s, w))?;
         assert_same(&LogicVec::from_bool(v & 1 == 1), &RefVec::from_bool(v & 1 == 1))?;
     }
 

@@ -57,13 +57,14 @@ USAGE:
                                           error-severity findings
   vgen lint --problems [--json]           lint every benchmark reference
                                           solution and testbench
-  vgen sim <file.v> [--top M] [--vcd F] [--max-time N]
+  vgen sim <file.v> [--top M] [--vcd F] [--max-time N] [--sim-backend interp|bytecode]
   vgen synth <file.v>                     synthesize, print netlist summary
   vgen problems                           list the benchmark problems
   vgen prompt <id> [--level L|M|H]        print a problem prompt
   vgen eval <file.v> --problem <id>       score a candidate DUT source
   vgen eval --journal <path> [--resume] [--model NAME] [--tuning ft|pt] [--full]
             [--jobs N] [--no-dedup] [--trace FILE] [--metrics]
+            [--sim-backend interp|bytecode]
             [--progress auto|always|never]
             [--check-timeout SECS] [--retries N] [--fsync never|every|interval:N]
             [--chaos SPEC] [--chaos-seed N]
@@ -106,7 +107,12 @@ USAGE:
                                           <journal>.metrics.json;
                                           --progress controls the stderr
                                           progress line (default: auto,
-                                          shown only on a TTY)
+                                          shown only on a TTY);
+                                          --sim-backend selects the process
+                                          execution engine (default:
+                                          interp); `bytecode` runs the
+                                          compiled VM, which CI holds
+                                          byte-identical to the interpreter
 ";
 
 /// Flags that take no value (everything else consumes the next argument).
@@ -252,6 +258,15 @@ fn lint_reports_json(linted: &[LintedFile]) -> String {
     }
 }
 
+/// Parses `--sim-backend interp|bytecode` (defaulting to the interpreter),
+/// shared by every command that runs simulations.
+fn parse_sim_backend(rest: &[&String]) -> Result<vgen::sim::SimBackend, String> {
+    match flag_value(rest, "--sim-backend") {
+        None => Ok(vgen::sim::SimBackend::default()),
+        Some(s) => s.parse(),
+    }
+}
+
 fn cmd_sim(rest: &[&String]) -> Result<(), String> {
     let pos = positional(rest);
     let path = pos.first().ok_or("usage: vgen sim <file.v> [--top M]")?;
@@ -263,6 +278,7 @@ fn cmd_sim(rest: &[&String]) -> Result<(), String> {
         .unwrap_or(1_000_000);
     let config = vgen::sim::SimConfig {
         max_time,
+        backend: parse_sim_backend(rest)?,
         ..Default::default()
     };
     let out = vgen::sim::simulate(&src, top, config).map_err(|e| e.to_string())?;
@@ -373,7 +389,11 @@ fn cmd_eval(rest: &[&String]) -> Result<(), String> {
         },
         Err(_) => full.clone(),
     };
-    let outcome = vgen::core::check::check_source(p, &src, vgen::sim::SimConfig::default());
+    let sim_config = vgen::sim::SimConfig {
+        backend: parse_sim_backend(rest)?,
+        ..Default::default()
+    };
+    let outcome = vgen::core::check::check_source(p, &src, sim_config);
     use vgen::core::check::CheckOutcome::*;
     let (compiled, synth, functional) = match &outcome {
         Pass => (true, vgen::synth::synthesize_source(&src).is_ok(), true),
@@ -436,11 +456,12 @@ fn cmd_eval_grid(rest: &[&String], journal: &str) -> Result<(), String> {
             family.name()
         ));
     }
-    let config = if has_flag(rest, "--full") {
+    let mut config = if has_flag(rest, "--full") {
         vgen::core::EvalConfig::paper_n10()
     } else {
         vgen::core::EvalConfig::quick()
     };
+    config.sim.backend = parse_sim_backend(rest)?;
     let progress = match flag_value(rest, "--progress").unwrap_or("auto") {
         "auto" => vgen::core::SweepOptions::progress_auto(),
         "always" => true,

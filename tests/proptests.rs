@@ -83,7 +83,7 @@ proptest! {
     fn signed_round_trip(v in -5000i64..5000, extra in 0usize..16) {
         let needed = 64 - v.abs().leading_zeros() as usize + 2;
         let w = needed + extra;
-        let x = LogicVec::from_i64(v, w);
+        let x = LogicVec::from_i64(v, w).unwrap();
         prop_assert_eq!(x.to_i64(), Some(v));
     }
 
