@@ -9,10 +9,16 @@
 //! deterministic counts, never absolute wall-clock throughput, so the gate
 //! holds on any runner:
 //!
-//! * `sim_speedup`      — bytecode vs. interpreter cycles/s ratio
-//! * `min_speedup_64b`  — packed vs. per-bit vector-op speedup floor
-//! * `hit_rate`         — dedup-cache hit rate over the repeated sweep
-//! * `total_checks`     — sweep catalog size (shrinkage = silent coverage loss)
+//! * `sim_speedup`       — bytecode vs. interpreter cycles/s ratio
+//! * `min_speedup_64b`   — packed vs. per-bit vector-op speedup floor
+//! * `min_speedup_wide`  — packed vs. per-bit floor over >64-bit vectors
+//! * `hit_rate`          — dedup-cache hit rate over the repeated sweep
+//! * `total_checks`      — sweep catalog size (shrinkage = silent coverage loss)
+//!
+//! A metric missing from the **fresh** artifact fails the gate (the bench
+//! stopped producing it). A metric missing from the **baseline** only
+//! warns and is skipped: that is the normal state right after a new metric
+//! is introduced, before the baselines are next refreshed.
 //!
 //! ```text
 //! bench_gate --sim FRESH_sim.json --sweep FRESH_sweep.json \
@@ -62,9 +68,15 @@ fn main() -> ExitCode {
         .unwrap_or(0.15);
 
     // (label, fresh artifact, baseline artifact, key)
-    let gates: [(&str, &str, &str, &str); 4] = [
+    let gates: [(&str, &str, &str, &str); 5] = [
         ("sim_speedup", &fresh_sim, &base_sim, "sim_speedup"),
         ("min_speedup_64b", &fresh_sim, &base_sim, "min_speedup_64b"),
+        (
+            "min_speedup_wide",
+            &fresh_sim,
+            &base_sim,
+            "min_speedup_wide",
+        ),
         ("dedup_hit_rate", &fresh_sim, &base_sim, "hit_rate"),
         (
             "sweep_total_checks",
@@ -76,9 +88,16 @@ fn main() -> ExitCode {
 
     let mut failures = 0usize;
     for (label, fresh, base, key) in gates {
-        let (Some(now), Some(then)) = (metric(fresh, key), metric(base, key)) else {
-            eprintln!("FAIL {label}: metric \"{key}\" missing from artifact or baseline");
+        let Some(now) = metric(fresh, key) else {
+            eprintln!("FAIL {label}: metric \"{key}\" missing from fresh artifact");
             failures += 1;
+            continue;
+        };
+        let Some(then) = metric(base, key) else {
+            eprintln!(
+                "warn {label}: metric \"{key}\" not in baseline yet, skipping \
+                 (refresh baselines to start gating it)"
+            );
             continue;
         };
         let floor = then * (1.0 - tolerance);

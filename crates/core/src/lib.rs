@@ -46,7 +46,8 @@ pub use report::{
     headline_stats, render_eval_summary, render_fault_summary, sweep_stats_json, Headline, ModelRun,
 };
 pub use sweep::{
-    config_fingerprint, read_journal, read_journal_recovering, run_engine, run_engine_journaled,
-    run_engine_parallel, run_engine_sweep, run_engine_sweep_stats, EvalConfig, EvalRun,
-    FsyncPolicy, Record, RecoveryReport, SweepOptions, SweepStats,
+    config_fingerprint, journal_header, read_journal, read_journal_recovering, run_engine,
+    run_engine_journaled, run_engine_parallel, run_engine_sweep, run_engine_sweep_sharded,
+    run_engine_sweep_stats, EvalConfig, EvalRun, FsyncPolicy, Record, RecordObserver,
+    RecoveryReport, ShardSpec, SweepHooks, SweepOptions, SweepStats,
 };

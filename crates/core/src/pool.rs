@@ -171,6 +171,27 @@ impl<R: Send + 'static> WorkerPool<R> {
         self.workers.drain(..).for_each(drop);
     }
 
+    /// Cancellation teardown: discards every queued-but-unstarted task,
+    /// signals shutdown, and abandons the workers without joining. Unlike
+    /// [`WorkerPool::detach`] (which lets healthy workers drain their
+    /// queues), this clears the injector and every local deque first, so
+    /// a cancelled sweep stops burning CPU after at most the tasks
+    /// already in flight. In-flight results sent after the handle is
+    /// dropped land on a closed channel and are discarded by the workers.
+    pub fn abort(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        lock_unpoisoned(&self.shared.injector).clear();
+        for local in self.shared.locals.iter() {
+            lock_unpoisoned(local).clear();
+        }
+        {
+            let _guard = lock_unpoisoned(&self.shared.park);
+            self.shared.wake.notify_all();
+        }
+        vgen_obs::counter_add("pool.abort", 1);
+        self.workers.drain(..).for_each(drop);
+    }
+
     fn shutdown_and_join(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         {

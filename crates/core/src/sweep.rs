@@ -422,6 +422,107 @@ impl SweepOptions {
     }
 }
 
+/// Which slice of a sweep's check phase this executor instance owns.
+///
+/// Sharding is by canonical grid position, round-robin: shard `k` of `n`
+/// owns positions `{k, k+n, k+2n, …}`. The generate phase still walks the
+/// *full* grid on every shard (serial generation is what pins the engine's
+/// RNG stream), so the records a shard produces are byte-identical to the
+/// corresponding subsequence of a single-shard run — which is what makes
+/// the per-shard journals mergeable back into the exact single-journal
+/// byte stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This shard's index, `0 <= index < count`.
+    pub index: u32,
+    /// Total number of shards. `0` or `1` both mean "unsharded".
+    pub count: u32,
+}
+
+impl ShardSpec {
+    /// The unsharded spec: one shard owning every position.
+    pub fn single() -> Self {
+        ShardSpec { index: 0, count: 1 }
+    }
+
+    /// Whether this spec is effectively unsharded.
+    pub fn is_single(&self) -> bool {
+        self.count <= 1
+    }
+
+    /// Whether this shard owns canonical grid position `pos`.
+    pub fn owns(&self, pos: usize) -> bool {
+        self.is_single() || pos % self.count as usize == self.index as usize
+    }
+
+    /// Rejects out-of-range specs (`index >= count` when sharded).
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidInput`] with a message naming the bad spec.
+    pub fn validate(&self) -> io::Result<()> {
+        if !self.is_single() && self.index >= self.count {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "shard index {} out of range for {} shards",
+                    self.index, self.count
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+/// Shared callback invoked for each fresh [`Record`] with
+/// `(record, done, total)`; see [`SweepHooks::observer`].
+pub type RecordObserver = std::sync::Arc<dyn Fn(&Record, usize, usize) + Send + Sync>;
+
+/// Per-run hooks a caller (the eval service) can attach to a sweep without
+/// perturbing its byte-determinism: a record observer for streaming
+/// progress, and a cancellation token checked between checks.
+#[derive(Clone, Default)]
+pub struct SweepHooks {
+    /// Called once per freshly produced record, in canonical order, with
+    /// `(record, done, total)` where `done`/`total` count this shard's
+    /// records. Not called for records replayed from a resumed journal.
+    pub observer: Option<RecordObserver>,
+    /// Cooperative cancellation: polled before each serial check and on
+    /// every merge-loop wakeup. When it fires, the sweep stops issuing
+    /// work, finishes the journal cleanly (a valid resumable prefix) and
+    /// returns [`io::ErrorKind::Interrupted`].
+    pub cancel: Option<vgen_obs::CancelToken>,
+}
+
+impl SweepHooks {
+    fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(vgen_obs::CancelToken::poll)
+    }
+
+    fn observe(&self, rec: &Record, done: usize, total: usize) {
+        if let Some(obs) = &self.observer {
+            obs(rec, done, total);
+        }
+    }
+}
+
+impl std::fmt::Debug for SweepHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepHooks")
+            .field("observer", &self.observer.as_ref().map(|_| "Fn"))
+            .field("cancel", &self.cancel)
+            .finish()
+    }
+}
+
 /// One flattened unit of work: a single completion to check, tagged with
 /// its canonical position in the grid walk.
 struct WorkItem {
@@ -718,6 +819,19 @@ pub fn config_fingerprint(config: &EvalConfig) -> u64 {
     fnv1a(s.as_bytes())
 }
 
+/// Renders the header line a current-format (v3) journal starts with,
+/// optionally shard-tagged. Shared with the eval service, which writes
+/// seeded shard journals and merged journals that must be byte-identical
+/// to what the executor itself writes.
+pub fn journal_header(fp: u64, engine: &str, shard: Option<(u32, u32)>) -> String {
+    match shard {
+        Some((i, n)) => {
+            format!("# {JOURNAL_MAGIC} fingerprint={fp:016x} shard={i}/{n} engine={engine}")
+        }
+        None => format!("# {JOURNAL_MAGIC} fingerprint={fp:016x} engine={engine}"),
+    }
+}
+
 /// What [`read_journal_recovering`] had to do to make sense of a journal.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -728,6 +842,9 @@ pub struct RecoveryReport {
     /// Lines dropped after the valid prefix: the first torn/corrupt line
     /// and everything after it. `0` for a clean journal.
     pub dropped_lines: usize,
+    /// `(index, count)` when the header declares this a shard journal
+    /// (`shard=index/count`), `None` for an ordinary single journal.
+    pub shard: Option<(u32, u32)>,
 }
 
 /// Reads a journal file: header validation plus all well-formed record
@@ -800,9 +917,36 @@ pub fn read_journal_recovering(
                 "not a vgen journal",
             ));
         };
-    let (fp_hex, engine) = rest
+    let (fp_and_shard, engine) = rest
         .split_once(" engine=")
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed journal header"))?;
+    // The shard tag sits *between* fingerprint and engine so that a
+    // pre-shard build handed a shard journal fails loudly ("malformed
+    // journal fingerprint") instead of silently resuming a fraction of the
+    // grid as if it were the whole run.
+    let (fp_hex, shard) = match fp_and_shard.split_once(" shard=") {
+        Some((f, s)) => {
+            let parsed = s.split_once('/').and_then(|(i, n)| {
+                let i: u32 = i.parse().ok()?;
+                let n: u32 = n.parse().ok()?;
+                (n > 1 && i < n).then_some((i, n))
+            });
+            let Some(pair) = parsed else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed journal shard tag `{s}`"),
+                ));
+            };
+            (f, Some(pair))
+        }
+        None => (fp_and_shard, None),
+    };
+    if shard.is_some() && version != LineVersion::V3 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "shard journals require the v3 journal format",
+        ));
+    }
     let fp = u64::from_str_radix(fp_hex, 16)
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "malformed journal fingerprint"))?;
     let mut records = Vec::new();
@@ -832,6 +976,7 @@ pub fn read_journal_recovering(
         version: version.number(),
         kept: records.len(),
         dropped_lines: dropped,
+        shard,
     };
     Ok((engine.to_string(), fp, records, report))
 }
@@ -1036,6 +1181,47 @@ pub fn run_engine_sweep_stats(
     journal: Option<(&Path, bool)>,
     opts: &SweepOptions,
 ) -> io::Result<(EvalRun, SweepStats)> {
+    run_engine_sweep_sharded(
+        engine,
+        config,
+        journal,
+        opts,
+        ShardSpec::single(),
+        &SweepHooks::default(),
+    )
+}
+
+/// [`run_engine_sweep_stats`] generalised over sharding and per-run hooks
+/// — the substrate the eval service (`vgen-serve`) builds on.
+///
+/// With a non-single [`ShardSpec`] the generate phase still walks the full
+/// grid (pinning the engine RNG stream), but only positions the shard owns
+/// are checked and journaled; the journal header gains a `shard=k/n` tag
+/// and the returned [`EvalRun`] holds only the shard's records, in
+/// canonical order. Merging the shard journals round-robin reconstructs
+/// the exact byte stream a single-shard run writes.
+///
+/// [`SweepHooks::observer`] streams each fresh record; [`SweepHooks::cancel`]
+/// stops the sweep between checks, leaving the journal a valid resumable
+/// prefix.
+///
+/// # Errors
+///
+/// As for [`run_engine_sweep_stats`], plus [`io::ErrorKind::InvalidInput`]
+/// for an out-of-range shard spec, [`io::ErrorKind::InvalidData`] when
+/// resuming a journal whose shard tag does not match, and
+/// [`io::ErrorKind::Interrupted`] when the cancel token fires (the journal
+/// is finished cleanly first).
+pub fn run_engine_sweep_sharded(
+    engine: &mut dyn CompletionEngine,
+    config: &EvalConfig,
+    journal: Option<(&Path, bool)>,
+    opts: &SweepOptions,
+    shard: ShardSpec,
+    hooks: &SweepHooks,
+) -> io::Result<(EvalRun, SweepStats)> {
+    shard.validate()?;
+    let shard_tag = (!shard.is_single()).then_some((shard.index, shard.count));
     let name = engine.name();
     let fp = config_fingerprint(config);
     let mut prior: Vec<Record> = Vec::new();
@@ -1056,6 +1242,20 @@ pub fn run_engine_sweep_stats(
                     format!("journal config fingerprint {jfp:016x} != {fp:016x}"),
                 ));
             }
+            if recovery.shard != shard_tag {
+                let found = match recovery.shard {
+                    Some((i, n)) => format!("shard {i}/{n}"),
+                    None => "unsharded".to_string(),
+                };
+                let want = match shard_tag {
+                    Some((i, n)) => format!("shard {i}/{n}"),
+                    None => "unsharded".to_string(),
+                };
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("journal is {found}, this run is {want}"),
+                ));
+            }
             stats.repaired_lines = recovery.dropped_lines;
             if recovery.dropped_lines > 0 {
                 vgen_obs::counter_add("journal.repair", recovery.dropped_lines as u64);
@@ -1066,7 +1266,7 @@ pub fn run_engine_sweep_stats(
         // truncates any torn trailing suffix left by a kill (and upgrades
         // pre-v3 records to the current line format).
         let mut f = std::fs::File::create(path)?;
-        writeln!(f, "# {JOURNAL_MAGIC} fingerprint={fp:016x} engine={name}")?;
+        writeln!(f, "{}", journal_header(fp, &name, shard_tag))?;
         for r in &prior {
             writeln!(f, "{}", r.to_journal_line())?;
         }
@@ -1078,7 +1278,12 @@ pub fn run_engine_sweep_stats(
         ));
     }
 
-    let items = generate_items(engine, config);
+    let mut items = generate_items(engine, config);
+    if !shard.is_single() {
+        // The full grid was generated (above) to keep the engine RNG
+        // stream shard-independent; this shard only checks what it owns.
+        items.retain(|it| shard.owns(it.pos));
+    }
     let total = items.len();
     // The fingerprint pins the grid, so a well-formed journal never holds
     // more than `total` records; clamp anyway so a hand-edited journal
@@ -1094,12 +1299,17 @@ pub fn run_engine_sweep_stats(
     // fresh duplicates would make a resumed run differ from a fresh one.
     // Duplicates of prior completions simply get checked again.
     let use_cache = opts.dedup;
+    let mut interrupted = false;
 
     if jobs <= 1 {
         // Serial path: check inline, in canonical order, consulting the
         // cache before each check.
         let mut cache: HashMap<(u64, u64), CachedCheck> = HashMap::new();
         for item in items.into_iter().skip(done_prior) {
+            if hooks.cancelled() {
+                interrupted = true;
+                break;
+            }
             let key = dedup_key(&item);
             let cached = if use_cache {
                 cache.get(&key).cloned()
@@ -1128,6 +1338,7 @@ pub fn run_engine_sweep_stats(
             if let Some(w) = &writer {
                 w.write(rec.to_journal_line());
             }
+            hooks.observe(&rec, records.len() + 1, total);
             records.push(rec);
             progress.tick();
         }
@@ -1147,23 +1358,28 @@ pub fn run_engine_sweep_stats(
         let mut followers: HashMap<usize, Vec<usize>> = HashMap::new();
         let mut outstanding: BTreeSet<usize> = BTreeSet::new();
         let mut submitted = 0usize;
-        for item in items.into_iter().skip(done_prior) {
+        for (dense, item) in items.into_iter().enumerate().skip(done_prior) {
             if use_cache {
                 match leader_of.entry(dedup_key(&item)) {
                     Entry::Occupied(leader) => {
-                        followers.entry(*leader.get()).or_default().push(item.pos);
+                        followers.entry(*leader.get()).or_default().push(dense);
                         stats.cache_hits += 1;
                         vgen_obs::counter_add("dedup.hit", 1);
                         continue;
                     }
                     Entry::Vacant(slot) => {
-                        slot.insert(item.pos);
+                        slot.insert(dense);
                     }
                 }
             }
             let policy = opts.policy.clone();
-            outstanding.insert(item.pos);
-            pool.submit(item.pos, move || {
+            outstanding.insert(dense);
+            // Pool and reorder-buffer indices are the *dense* per-shard
+            // positions (the reorder buffer requires contiguity); chaos
+            // stays keyed by the canonical grid position (`item.pos`) so
+            // injected faults land on the same records at any shard
+            // count. Unsharded, the two coincide.
+            pool.submit(dense, move || {
                 if task_panic_fires(&policy.chaos, item.pos) {
                     panic!("chaos: injected pool-task panic");
                 }
@@ -1173,12 +1389,31 @@ pub fn run_engine_sweep_stats(
         }
         stats.checks_run = submitted;
         let stall_timeout = opts.stall_timeout.unwrap_or(RESULT_TIMEOUT);
+        // With a cancel token attached, wait in short slices so
+        // cancellation latency is bounded by the slice, not the stall
+        // window; without one, a single long wait per result as before.
+        let slice = if hooks.cancel.is_some() {
+            Duration::from_millis(50).min(stall_timeout)
+        } else {
+            stall_timeout
+        };
         let mut reorder = ReorderBuffer::new(done_prior);
         let mut stalled = false;
-        for _received in 0..submitted {
-            let Ok((pos, result)) = pool.recv_timeout(stall_timeout) else {
-                stalled = true;
-                break;
+        'recv: for _received in 0..submitted {
+            let waited = Instant::now();
+            let (pos, result) = loop {
+                if hooks.cancelled() {
+                    interrupted = true;
+                    break 'recv;
+                }
+                match pool.recv_timeout(slice) {
+                    Ok(r) => break r,
+                    Err(_) if waited.elapsed() >= stall_timeout => {
+                        stalled = true;
+                        break 'recv;
+                    }
+                    Err(_) => {}
+                }
             };
             outstanding.remove(&pos);
             let rec = match result {
@@ -1203,51 +1438,86 @@ pub fn run_engine_sweep_stats(
                 if let Some(w) = &writer {
                     w.write(rec.to_journal_line());
                 }
+                hooks.observe(&rec, records.len() + 1, total);
                 records.push(rec);
                 progress.tick();
             }
         }
-        if stalled {
-            // No result arrived within the stall window: at least one
-            // worker is wedged in a check that escaped per-check
-            // supervision. Degrade instead of aborting — every item still
-            // owed a result becomes a hard-timeout stall *record*, so the
-            // sweep completes and `--resume` sees a coherent journal.
-            vgen_obs::counter_add("pool.stall", outstanding.len() as u64);
-            eprintln!(
-                "[eval] worker pool stalled; recording {} outstanding check(s) as hard timeouts",
-                outstanding.len()
-            );
-            for pos in std::mem::take(&mut outstanding) {
-                let rec = metas[pos - done_prior].fault_record(FaultKind::HardTimeout);
-                if let Some(dups) = followers.remove(&pos) {
-                    let cached = CachedCheck::of(&rec);
-                    for dup in dups {
-                        reorder.push(dup, cached.replay(metas[dup - done_prior]));
-                    }
-                }
-                reorder.push(pos, rec);
-            }
+        if interrupted {
+            // Keep everything contiguously completed (journal stays a
+            // valid resumable prefix), then abandon the pool with its
+            // remaining queue discarded — a cancelled request must not
+            // keep burning CPU on checks nobody will read.
             while let Some(rec) = reorder.pop_ready() {
                 if let Some(w) = &writer {
                     w.write(rec.to_journal_line());
                 }
+                hooks.observe(&rec, records.len() + 1, total);
                 records.push(rec);
                 progress.tick();
             }
-        }
-        debug_assert_eq!(reorder.pending_len(), 0, "reorder buffer drained");
-        debug_assert!(followers.is_empty(), "every follower replayed");
-        if stalled {
-            // Joining a wedged worker would hang the sweep right back;
-            // abandon the pool's threads instead of shutting down cleanly.
-            pool.detach();
+            pool.abort();
         } else {
-            pool.shutdown();
+            if stalled {
+                // No result arrived within the stall window: at least one
+                // worker is wedged in a check that escaped per-check
+                // supervision. Degrade instead of aborting — every item still
+                // owed a result becomes a hard-timeout stall *record*, so the
+                // sweep completes and `--resume` sees a coherent journal.
+                vgen_obs::counter_add("pool.stall", outstanding.len() as u64);
+                eprintln!(
+                "[eval] worker pool stalled; recording {} outstanding check(s) as hard timeouts",
+                outstanding.len()
+            );
+                for pos in std::mem::take(&mut outstanding) {
+                    let rec = metas[pos - done_prior].fault_record(FaultKind::HardTimeout);
+                    if let Some(dups) = followers.remove(&pos) {
+                        let cached = CachedCheck::of(&rec);
+                        for dup in dups {
+                            reorder.push(dup, cached.replay(metas[dup - done_prior]));
+                        }
+                    }
+                    reorder.push(pos, rec);
+                }
+                while let Some(rec) = reorder.pop_ready() {
+                    if let Some(w) = &writer {
+                        w.write(rec.to_journal_line());
+                    }
+                    hooks.observe(&rec, records.len() + 1, total);
+                    records.push(rec);
+                    progress.tick();
+                }
+            }
+            debug_assert_eq!(reorder.pending_len(), 0, "reorder buffer drained");
+            debug_assert!(followers.is_empty(), "every follower replayed");
+            if stalled {
+                // Joining a wedged worker would hang the sweep right back;
+                // abandon the pool's threads instead of shutting down
+                // cleanly.
+                pool.detach();
+            } else {
+                pool.shutdown();
+            }
         }
     }
 
     progress.finish();
+    if interrupted {
+        // Finish the journal writer cleanly first: everything already
+        // recorded stays a valid contiguous prefix for --resume.
+        if let Some(w) = writer {
+            w.finish()?;
+        }
+        vgen_obs::counter_add("sweep.cancelled", 1);
+        return Err(io::Error::new(
+            io::ErrorKind::Interrupted,
+            format!(
+                "sweep cancelled after {} of {} record(s)",
+                records.len(),
+                total
+            ),
+        ));
+    }
     debug_assert_eq!(records.len(), total, "every work item produced a record");
     if let Some(w) = writer {
         w.finish()?;
@@ -1962,6 +2232,167 @@ mod tests {
         );
         let err = run_engine_journaled(&mut other, &cfg, &path, true).expect_err("must reject");
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sharded_runs_partition_the_record_stream() {
+        let cfg = small_cfg();
+        let whole = run_engine(&mut cg16_ft_engine(), &cfg);
+        for count in [2u32, 4] {
+            let mut merged: Vec<Option<Record>> = vec![None; whole.records.len()];
+            for index in 0..count {
+                let (part, _) = run_engine_sweep_sharded(
+                    &mut cg16_ft_engine(),
+                    &cfg,
+                    None,
+                    &SweepOptions::serial(),
+                    ShardSpec { index, count },
+                    &SweepHooks::default(),
+                )
+                .expect("sharded run");
+                for (i, rec) in part.records.into_iter().enumerate() {
+                    merged[index as usize + i * count as usize] = Some(rec);
+                }
+            }
+            let merged: Vec<Record> = merged.into_iter().map(|r| r.expect("covered")).collect();
+            assert_eq!(merged, whole.records, "shard count {count}");
+        }
+    }
+
+    #[test]
+    fn sharded_parallel_matches_serial_shard() {
+        let cfg = small_cfg();
+        let shard = ShardSpec { index: 1, count: 2 };
+        let (serial, _) = run_engine_sweep_sharded(
+            &mut cg16_ft_engine(),
+            &cfg,
+            None,
+            &SweepOptions::serial(),
+            shard,
+            &SweepHooks::default(),
+        )
+        .expect("serial shard");
+        let (par, _) = run_engine_sweep_sharded(
+            &mut cg16_ft_engine(),
+            &cfg,
+            None,
+            &SweepOptions::parallel(3),
+            shard,
+            &SweepHooks::default(),
+        )
+        .expect("parallel shard");
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn shard_journal_header_tags_and_validates() {
+        let path = temp_journal("shardtag");
+        let cfg = small_cfg();
+        let shard = ShardSpec { index: 1, count: 3 };
+        run_engine_sweep_sharded(
+            &mut cg16_ft_engine(),
+            &cfg,
+            Some((&path, false)),
+            &SweepOptions::serial(),
+            shard,
+            &SweepHooks::default(),
+        )
+        .expect("sharded journaled run");
+        let (_, fp, recs, recovery) = read_journal_recovering(&path).expect("read shard journal");
+        assert_eq!(fp, config_fingerprint(&cfg));
+        assert_eq!(recovery.shard, Some((1, 3)));
+        assert_eq!(recs.len(), 10, "shard 1/3 of a 30-position grid");
+        // Resuming under a different shard spec is refused...
+        let err = run_engine_sweep_sharded(
+            &mut cg16_ft_engine(),
+            &cfg,
+            Some((&path, true)),
+            &SweepOptions::serial(),
+            ShardSpec { index: 0, count: 3 },
+            &SweepHooks::default(),
+        )
+        .expect_err("shard mismatch");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // ...and so is resuming a shard journal as an unsharded one.
+        let err = run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, true)
+            .expect_err("unsharded resume of shard journal");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn observer_streams_every_fresh_record_in_order() {
+        let cfg = small_cfg();
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = std::sync::Arc::clone(&seen);
+        let hooks = SweepHooks {
+            observer: Some(std::sync::Arc::new(move |rec: &Record, done, total| {
+                sink.lock()
+                    .expect("observer lock")
+                    .push((rec.clone(), done, total));
+            })),
+            cancel: None,
+        };
+        for jobs in [1, 3] {
+            seen.lock().expect("observer lock").clear();
+            let (run, _) = run_engine_sweep_sharded(
+                &mut cg16_ft_engine(),
+                &cfg,
+                None,
+                &SweepOptions::parallel(jobs),
+                ShardSpec::single(),
+                &hooks,
+            )
+            .expect("observed run");
+            let events = seen.lock().expect("observer lock");
+            assert_eq!(events.len(), run.records.len(), "jobs {jobs}");
+            for (i, (rec, done, total)) in events.iter().enumerate() {
+                assert_eq!(rec, &run.records[i]);
+                assert_eq!(*done, i + 1);
+                assert_eq!(*total, run.records.len());
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_sweep_leaves_resumable_prefix() {
+        let path = temp_journal("cancel");
+        let cfg = small_cfg();
+        let full = run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, false).expect("full");
+        let _ = std::fs::remove_file(&path);
+        let token = vgen_obs::CancelToken::unlimited();
+        let trip = token.clone();
+        let hooks = SweepHooks {
+            observer: Some(std::sync::Arc::new(move |_: &Record, done, _| {
+                if done >= 7 {
+                    trip.cancel();
+                }
+            })),
+            cancel: Some(token),
+        };
+        let err = run_engine_sweep_sharded(
+            &mut cg16_ft_engine(),
+            &cfg,
+            Some((&path, false)),
+            &SweepOptions::serial(),
+            ShardSpec::single(),
+            &hooks,
+        )
+        .expect_err("cancelled sweep");
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        let (_, _, recs, _) = read_journal_recovering(&path).expect("read cancelled journal");
+        assert!(
+            !recs.is_empty() && recs.len() < full.records.len(),
+            "partial prefix, got {} of {}",
+            recs.len(),
+            full.records.len()
+        );
+        assert_eq!(recs[..], full.records[..recs.len()]);
+        // Resume completes the cancelled run to byte-identical records.
+        let resumed =
+            run_engine_journaled(&mut cg16_ft_engine(), &cfg, &path, true).expect("resume");
+        assert_eq!(resumed, full);
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,343 @@
+//! The transport layer: a unix-socket daemon and a stdio single-client
+//! loop, both speaking the line-delimited JSON protocol of [`crate::proto`].
+//!
+//! Supervision is per-request: every eval/check/lint/sim runs on its own
+//! worker thread with its own [`CancelToken`] held in a per-connection
+//! registry, so a `cancel` request (or a dropped connection) can trip one
+//! request without touching the others — and a wedged request degrades
+//! inside the sweep executor (timeout records, detached workers) without
+//! wedging the daemon's accept loop.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use vgen_obs::CancelToken;
+
+use crate::json::Json;
+use crate::proto::{parse_request, render_event, Event, Request, RequestEnvelope};
+use crate::service::{EventSink, Service};
+
+/// Daemon knobs.
+#[derive(Debug, Clone, Default)]
+pub struct DaemonOptions {
+    /// Log accepted connections and requests to stderr.
+    pub verbose: bool,
+}
+
+/// A writer shared by every worker thread of one connection. Each event
+/// is one line, written and flushed under the lock so lines never
+/// interleave.
+struct LineWriter<W: Write + Send> {
+    inner: Mutex<W>,
+}
+
+impl<W: Write + Send> LineWriter<W> {
+    fn send(&self, line: &str) {
+        // A client that hung up mid-request is not an error worth
+        // propagating: the request keeps running (its journal is the
+        // durable output), the events just go nowhere.
+        let mut w = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
+}
+
+/// Adapts a [`LineWriter`] into the per-request [`EventSink`] the service
+/// streams through. Owns the writer handle: the service's shard threads
+/// outlive any particular borrow.
+struct WireSink<W: Write + Send> {
+    writer: Arc<LineWriter<W>>,
+    id: u64,
+}
+
+impl<W: Write + Send> EventSink for WireSink<W> {
+    fn event(&self, event: &Event) {
+        self.writer.send(&render_event(self.id, event));
+    }
+}
+
+/// In-flight requests of one connection: id → cancel token.
+type Registry = Arc<Mutex<HashMap<u64, CancelToken>>>;
+
+fn respond<W: Write + Send>(writer: &LineWriter<W>, id: u64, event: &Event) {
+    writer.send(&render_event(id, event));
+}
+
+/// Runs one request to its terminal event. Blocking; callers decide
+/// whether to spawn.
+fn run_request<W: Write + Send + 'static>(
+    envelope: RequestEnvelope,
+    writer: &Arc<LineWriter<W>>,
+    registry: &Registry,
+    shutdown: &AtomicBool,
+) {
+    let id = envelope.id;
+    match envelope.body {
+        Request::Ping => {
+            respond(
+                writer,
+                id,
+                &Event::Done {
+                    payload: Json::str("pong"),
+                },
+            );
+        }
+        Request::Shutdown => {
+            shutdown.store(true, Ordering::SeqCst);
+            respond(
+                writer,
+                id,
+                &Event::Done {
+                    payload: Json::str("shutting down"),
+                },
+            );
+        }
+        Request::Cancel { target } => {
+            let token = registry
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(&target)
+                .cloned();
+            match token {
+                Some(t) => {
+                    t.cancel();
+                    respond(
+                        writer,
+                        id,
+                        &Event::Done {
+                            payload: Json::str("cancelled"),
+                        },
+                    );
+                }
+                None => respond(
+                    writer,
+                    id,
+                    &Event::Error {
+                        message: format!("no in-flight request with id {target}"),
+                    },
+                ),
+            }
+        }
+        Request::Eval(req) => {
+            respond(writer, id, &Event::Accepted { cmd: "eval" });
+            let cancel = CancelToken::unlimited();
+            registry
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(id, cancel.clone());
+            let sink: Arc<dyn EventSink> = Arc::new(WireSink {
+                writer: Arc::clone(writer),
+                id,
+            });
+            let result = Service.eval(&req, &cancel, &sink);
+            registry
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&id);
+            match result {
+                Ok(outcome) if outcome.cancelled => respond(
+                    writer,
+                    id,
+                    &Event::CancelledAt {
+                        done: outcome.done,
+                        total: outcome.total,
+                    },
+                ),
+                Ok(outcome) => {
+                    let mut members = vec![
+                        ("records".to_string(), Json::Num(outcome.done as f64)),
+                        ("total".to_string(), Json::Num(outcome.total as f64)),
+                        (
+                            "checks_run".to_string(),
+                            Json::Num(outcome.stats.checks_run as f64),
+                        ),
+                        (
+                            "cache_hits".to_string(),
+                            Json::Num(outcome.stats.cache_hits as f64),
+                        ),
+                        (
+                            "resumed_records".to_string(),
+                            Json::Num(outcome.stats.resumed_records as f64),
+                        ),
+                    ];
+                    if let Some(report) = outcome.report {
+                        members.push(("report".to_string(), Json::Str(report)));
+                    }
+                    respond(
+                        writer,
+                        id,
+                        &Event::Done {
+                            payload: Json::Obj(members),
+                        },
+                    );
+                }
+                Err(message) => respond(writer, id, &Event::Error { message }),
+            }
+        }
+        Request::Check(req) => {
+            respond(writer, id, &Event::Accepted { cmd: "check" });
+            match Service.check(&req) {
+                Ok(payload) => respond(writer, id, &Event::Done { payload }),
+                Err(message) => respond(writer, id, &Event::Error { message }),
+            }
+        }
+        Request::Lint(req) => {
+            respond(writer, id, &Event::Accepted { cmd: "lint" });
+            match Service.lint(&req) {
+                Ok(payload) => respond(writer, id, &Event::Done { payload }),
+                Err(message) => respond(writer, id, &Event::Error { message }),
+            }
+        }
+        Request::Sim(req) => {
+            respond(writer, id, &Event::Accepted { cmd: "sim" });
+            let cancel = CancelToken::unlimited();
+            registry
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(id, cancel.clone());
+            let result = Service.sim(&req, &cancel);
+            registry
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&id);
+            match result {
+                Ok(payload) => respond(writer, id, &Event::Done { payload }),
+                Err(message) => respond(writer, id, &Event::Error { message }),
+            }
+        }
+    }
+}
+
+/// Serves one connection: reads request lines, dispatches long-running
+/// requests to worker threads (keeping the reader free so `cancel` works
+/// on the same connection), until EOF or shutdown.
+fn serve_connection<R, W>(reader: R, writer: Arc<LineWriter<W>>, shutdown: Arc<AtomicBool>)
+where
+    R: io::Read,
+    W: Write + Send + 'static,
+{
+    let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
+    let mut workers = Vec::new();
+    let reader = BufReader::new(reader);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Ok(envelope) => {
+                let heavy = matches!(
+                    envelope.body,
+                    Request::Eval(_) | Request::Check(_) | Request::Sim(_) | Request::Lint(_)
+                );
+                if heavy {
+                    let writer = Arc::clone(&writer);
+                    let registry = Arc::clone(&registry);
+                    let shutdown = Arc::clone(&shutdown);
+                    workers.push(std::thread::spawn(move || {
+                        run_request(envelope, &writer, &registry, &shutdown);
+                    }));
+                } else {
+                    run_request(envelope, &writer, &registry, &shutdown);
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+            }
+            Err(message) => {
+                // A malformed line has no usable id; answer on id 0 so the
+                // client at least sees why nothing else will arrive.
+                respond(&writer, 0, &Event::Error { message });
+            }
+        }
+    }
+    // Connection closed: trip every in-flight request so abandoned sweeps
+    // stop burning the pool (their journals keep the completed prefix).
+    for token in registry.lock().unwrap_or_else(|e| e.into_inner()).values() {
+        token.cancel();
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// Runs the daemon on a unix socket at `socket`. Returns when a client
+/// sends `shutdown` (or on a bind error). A stale socket file from a
+/// previous (possibly killed) daemon is removed before binding — the
+/// journals, not the socket, are the durable state.
+///
+/// # Errors
+///
+/// Binding or accept-loop I/O errors.
+pub fn serve_unix(socket: &Path, opts: &DaemonOptions) -> io::Result<()> {
+    match std::fs::remove_file(socket) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    let listener = UnixListener::bind(socket)?;
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    if opts.verbose {
+        eprintln!("[serve] listening on {}", socket.display());
+    }
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if opts.verbose {
+                    eprintln!("[serve] connection accepted");
+                }
+                let shutdown = Arc::clone(&shutdown);
+                conns.push(std::thread::spawn(move || {
+                    // Blocking I/O per connection; the listener alone is
+                    // non-blocking.
+                    let _ = stream.set_nonblocking(false);
+                    let write_half: UnixStream = match stream.try_clone() {
+                        Ok(s) => s,
+                        Err(_) => return,
+                    };
+                    let writer = Arc::new(LineWriter {
+                        inner: Mutex::new(write_half),
+                    });
+                    serve_connection(stream, writer, shutdown);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => return Err(e),
+        }
+        conns.retain(|h| !h.is_finished());
+    }
+    for c in conns {
+        let _ = c.join();
+    }
+    let _ = std::fs::remove_file(socket);
+    if opts.verbose {
+        eprintln!("[serve] shut down");
+    }
+    Ok(())
+}
+
+/// Runs a single-client session over stdin/stdout — the zero-setup
+/// transport (`vgen serve --stdio`), also what a supervisor that manages
+/// its own process tree would use.
+pub fn serve_stdio() {
+    let writer = Arc::new(LineWriter {
+        inner: Mutex::new(io::stdout()),
+    });
+    let shutdown = Arc::new(AtomicBool::new(false));
+    serve_connection(io::stdin(), writer, shutdown);
+}

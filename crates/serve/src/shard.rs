@@ -1,0 +1,273 @@
+//! Per-shard journal layout and the deterministic merge.
+//!
+//! A sharded eval writes one journal per shard next to the requested
+//! journal path: `sweep.log` gains `sweep.log.shard0of4`,
+//! `sweep.log.shard1of4`, …. Shard `k` of `n` owns canonical grid
+//! positions `{k, k+n, k+2n, …}` (see
+//! [`vgen_core::ShardSpec`]), so its journal's `i`-th record line is
+//! canonical position `k + i·n` — merging is a round-robin walk, and a
+//! complete merge reconstructs the *exact* byte stream a single-journal
+//! run writes (record re-serialisation is roundtrip-stable by the same
+//! invariant `--resume` already relies on).
+//!
+//! The merge is prefix-safe: each shard journal is itself a contiguous
+//! prefix of that shard's record stream (same durability substrate as the
+//! single journal), so after a crash the round-robin walk stops at the
+//! first globally-missing position — the canonical prefix — and
+//! everything after it is simply re-checked on resume. Shard files from
+//! *different* shard counts compose too: the walk consults every
+//! discovered group, which is what lets `--resume` change the shard
+//! count mid-run.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use vgen_core::{journal_header, read_journal_recovering, Record};
+
+/// The on-disk path of shard `index`'s journal for `journal`.
+pub fn shard_journal_path(journal: &Path, index: u32, count: u32) -> PathBuf {
+    let name = journal
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    journal.with_file_name(format!("{name}.shard{index}of{count}"))
+}
+
+/// Parses a `<journal>.shard<K>of<N>` sibling filename back into
+/// `(index, count)`; `None` for anything else.
+fn parse_shard_suffix(journal_name: &str, candidate: &str) -> Option<(u32, u32)> {
+    let rest = candidate
+        .strip_prefix(journal_name)?
+        .strip_prefix(".shard")?;
+    let (i, n) = rest.split_once("of")?;
+    let index: u32 = i.parse().ok()?;
+    let count: u32 = n.parse().ok()?;
+    (count > 1 && index < count).then_some((index, count))
+}
+
+/// Every shard journal sitting next to `journal`, as
+/// `(path, index, count)`, sorted by `(count, index)` so callers walk
+/// groups deterministically.
+///
+/// # Errors
+///
+/// I/O errors listing the directory (a missing directory yields an empty
+/// list).
+pub fn discover_shard_files(journal: &Path) -> io::Result<Vec<(PathBuf, u32, u32)>> {
+    let dir = match journal.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let name = journal
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let mut found = Vec::new();
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(found),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let fname = entry.file_name().to_string_lossy().into_owned();
+        if let Some((index, count)) = parse_shard_suffix(&name, &fname) {
+            found.push((entry.path(), index, count));
+        }
+    }
+    found.sort_by_key(|&(_, i, n)| (n, i));
+    Ok(found)
+}
+
+/// Deletes every shard journal next to `journal`, returning how many.
+///
+/// # Errors
+///
+/// I/O errors listing or deleting.
+pub fn remove_shard_files(journal: &Path) -> io::Result<usize> {
+    let files = discover_shard_files(journal)?;
+    let n = files.len();
+    for (path, _, _) in files {
+        std::fs::remove_file(path)?;
+    }
+    Ok(n)
+}
+
+/// The longest canonical record prefix reconstructible from the main
+/// journal plus every discovered shard journal.
+#[derive(Debug)]
+pub struct CanonicalPrefix {
+    /// Canonical positions `0..records.len()`, in order.
+    pub records: Vec<Record>,
+    /// Shard files consulted.
+    pub shard_files: usize,
+    /// Record lines dropped by torn-tail recovery across all sources.
+    pub repaired_lines: usize,
+}
+
+/// Reconstructs the longest contiguous canonical prefix for `journal`
+/// from whatever survives on disk: the main journal (if any) and every
+/// `*.shardKofN` sibling, across *any* mix of shard counts.
+///
+/// # Errors
+///
+/// I/O errors, or [`io::ErrorKind::InvalidData`] when any source belongs
+/// to a different engine or config fingerprint, or a shard file's header
+/// disagrees with its filename — stale artifacts must be deleted
+/// explicitly, never silently merged.
+pub fn canonical_prefix(journal: &Path, engine: &str, fp: u64) -> io::Result<CanonicalPrefix> {
+    let mut repaired = 0usize;
+
+    let mut check_source = |path: &Path,
+                            want_shard: Option<(u32, u32)>|
+     -> io::Result<Vec<Record>> {
+        let (jname, jfp, recs, recovery) = read_journal_recovering(path)?;
+        if jname != engine || jfp != fp {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{} is for engine `{jname}` fingerprint {jfp:016x}, expected `{engine}` {fp:016x}",
+                    path.display()
+                ),
+            ));
+        }
+        if recovery.shard != want_shard {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{} header shard tag {:?} does not match expected {:?}",
+                    path.display(),
+                    recovery.shard,
+                    want_shard
+                ),
+            ));
+        }
+        repaired += recovery.dropped_lines;
+        Ok(recs)
+    };
+
+    // The main journal, when present and non-empty, is itself a canonical
+    // prefix (an empty file is what a killed run can leave before the
+    // header lands; treat it as absent).
+    let base = match std::fs::metadata(journal) {
+        Ok(m) if m.len() > 0 => check_source(journal, None)?,
+        _ => Vec::new(),
+    };
+
+    // Group shard files by count: groups[count][index] = that shard's
+    // record prefix.
+    let files = discover_shard_files(journal)?;
+    let shard_files = files.len();
+    let mut groups: HashMap<u32, HashMap<u32, Vec<Record>>> = HashMap::new();
+    for (path, index, count) in &files {
+        let recs = check_source(path, Some((*index, *count)))?;
+        groups.entry(*count).or_default().insert(*index, recs);
+    }
+    let mut counts: Vec<u32> = groups.keys().copied().collect();
+    counts.sort_unstable();
+
+    // Round-robin walk: position p lives at line p/n of shard p%n in an
+    // n-way group. The first position no source can supply ends the
+    // prefix.
+    let mut records = base;
+    'walk: loop {
+        let p = records.len();
+        for &n in &counts {
+            let (index, line) = ((p % n as usize) as u32, p / n as usize);
+            if let Some(rec) = groups
+                .get(&n)
+                .and_then(|g| g.get(&index))
+                .and_then(|recs| recs.get(line))
+            {
+                records.push(rec.clone());
+                continue 'walk;
+            }
+        }
+        break;
+    }
+
+    Ok(CanonicalPrefix {
+        records,
+        shard_files,
+        repaired_lines: repaired,
+    })
+}
+
+/// Writes a complete journal file (header + records) atomically enough
+/// for our purposes: straight `create` + sequential writes + flush, the
+/// same way the executor rewrites a resumed journal.
+///
+/// # Errors
+///
+/// I/O errors creating or writing the file.
+pub fn write_journal(
+    journal: &Path,
+    engine: &str,
+    fp: u64,
+    shard: Option<(u32, u32)>,
+    records: &[Record],
+) -> io::Result<()> {
+    let mut f = std::fs::File::create(journal)?;
+    writeln!(f, "{}", journal_header(fp, engine, shard))?;
+    for r in records {
+        writeln!(f, "{}", r.to_journal_line())?;
+    }
+    f.flush()
+}
+
+/// Seeds `count` shard journals next to `journal` from a canonical
+/// prefix: shard `k` receives the prefix records at positions `≡ k (mod
+/// count)`, in order. Any pre-existing shard files (from this or another
+/// count) are removed first, so the on-disk state after seeding is
+/// exactly one coherent group plus whatever the main journal holds.
+///
+/// # Errors
+///
+/// I/O errors removing stale files or writing the new ones.
+pub fn seed_shard_journals(
+    journal: &Path,
+    engine: &str,
+    fp: u64,
+    prefix: &[Record],
+    count: u32,
+) -> io::Result<Vec<PathBuf>> {
+    remove_shard_files(journal)?;
+    let mut paths = Vec::with_capacity(count as usize);
+    for index in 0..count {
+        let path = shard_journal_path(journal, index, count);
+        let owned: Vec<Record> = prefix
+            .iter()
+            .enumerate()
+            .filter(|(p, _)| p % count as usize == index as usize)
+            .map(|(_, r)| r.clone())
+            .collect();
+        write_journal(&path, engine, fp, Some((index, count)), &owned)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_paths_roundtrip_through_discovery_names() {
+        let j = Path::new("/tmp/sweep.log");
+        let p = shard_journal_path(j, 2, 4);
+        assert_eq!(p, Path::new("/tmp/sweep.log.shard2of4"));
+        assert_eq!(
+            parse_shard_suffix("sweep.log", "sweep.log.shard2of4"),
+            Some((2, 4))
+        );
+        assert_eq!(parse_shard_suffix("sweep.log", "sweep.log"), None);
+        assert_eq!(parse_shard_suffix("sweep.log", "sweep.log.shard4of4"), None);
+        assert_eq!(parse_shard_suffix("sweep.log", "other.log.shard0of2"), None);
+        assert_eq!(
+            parse_shard_suffix("sweep.log", "sweep.log.shard0of1"),
+            None,
+            "count 1 is not a shard group"
+        );
+    }
+}

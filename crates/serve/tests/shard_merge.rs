@@ -1,0 +1,218 @@
+//! Properties of the deterministic shard-journal merge: any mix of shard
+//! groups, per-shard truncations and torn tails reconstructs exactly the
+//! longest contiguous canonical prefix (checked against an independent
+//! reference model), and resuming through the service composes with a
+//! shard-count change back to byte-identical journals.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use vgen_core::{config_fingerprint, journal_header, EvalConfig, Record};
+use vgen_obs::CancelToken;
+use vgen_serve::{canonical_prefix, shard_journal_path, EvalRequest, EventSink, NullSink, Service};
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "vgen-shard-merge-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create tempdir");
+    dir
+}
+
+fn small_req(journal: &Path) -> EvalRequest {
+    EvalRequest {
+        journal: journal.to_string_lossy().into_owned(),
+        problems: Some(vec![5, 7]),
+        levels: Some("LM".to_string()),
+        temperatures: Some(vec![0.5]),
+        ns: Some(vec![3]),
+        ..EvalRequest::default()
+    }
+}
+
+/// The config `small_req` resolves to, for fingerprinting fixture files.
+fn small_config() -> EvalConfig {
+    let mut config = EvalConfig::quick();
+    config.problem_ids = vec![5, 7];
+    config.levels = vec![
+        vgen_problems::PromptLevel::Low,
+        vgen_problems::PromptLevel::Medium,
+    ];
+    config.temperatures = vec![0.5];
+    config.ns = vec![3];
+    config
+}
+
+/// One real complete run, as (engine name, fingerprint, records): the raw
+/// material every generated disk layout is sliced from.
+fn fixture() -> (String, u64, Vec<Record>) {
+    let dir = tempdir("fixture");
+    let journal = dir.join("ref.log");
+    let req = small_req(&journal);
+    let sink: Arc<dyn EventSink> = Arc::new(NullSink);
+    let outcome = Service
+        .eval(&req, &CancelToken::unlimited(), &sink)
+        .expect("fixture eval");
+    let run = outcome.run.expect("fixture run");
+    let fp = config_fingerprint(&small_config());
+    let _ = std::fs::remove_dir_all(&dir);
+    (run.engine, fp, run.records)
+}
+
+/// Writes one shard journal holding shard `index`'s records from
+/// positions `0..limit`, optionally with a torn (half-written) extra line.
+#[allow(clippy::too_many_arguments)]
+fn write_shard(
+    journal: &Path,
+    engine: &str,
+    fp: u64,
+    index: u32,
+    count: u32,
+    records: &[Record],
+    limit: usize,
+    torn_tail: bool,
+) {
+    let path = shard_journal_path(journal, index, count);
+    let mut text = format!("{}\n", journal_header(fp, engine, Some((index, count))));
+    for (p, r) in records.iter().enumerate().take(limit) {
+        if p % count as usize == index as usize {
+            text.push_str(&r.to_journal_line());
+            text.push('\n');
+        }
+    }
+    if torn_tail {
+        // A torn write: the next owned record, cut mid-line with no
+        // newline. Recovery must drop it without dropping the prefix.
+        if let Some(r) = records
+            .iter()
+            .enumerate()
+            .skip(limit)
+            .find(|(p, _)| p % count as usize == index as usize)
+        {
+            let line = r.1.to_journal_line();
+            text.push_str(&line[..line.len() / 2]);
+        }
+    }
+    std::fs::write(path, text).expect("write shard fixture");
+}
+
+/// Reference model of the merge: the longest `p` such that every position
+/// `q < p` is present in the main-journal base or some shard group.
+fn expected_prefix_len(base: usize, groups: &[(u32, Vec<usize>)], n_records: usize) -> usize {
+    let mut p = 0usize;
+    'walk: while p < n_records {
+        if p < base {
+            p += 1;
+            continue;
+        }
+        for (count, limits) in groups {
+            let index = p % *count as usize;
+            // Shard `index` holds positions < limits[index].
+            if p < limits[index] {
+                p += 1;
+                continue 'walk;
+            }
+        }
+        break;
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random disk layouts — a main-journal prefix plus 1–2 shard groups
+    /// of different counts, each shard truncated at a random position,
+    /// some with torn tails — always merge to exactly the reference
+    /// model's longest-valid prefix.
+    #[test]
+    fn any_truncation_merges_to_the_longest_valid_prefix(
+        base_len in 0usize..13,
+        count_a in 2u32..6,
+        count_b in 2u32..6,
+        use_b in any::<bool>(),
+        limits_raw in proptest::collection::vec(0usize..14, 10..11),
+        torn_mask in any::<u16>(),
+    ) {
+        let (engine, fp, records) = fixture();
+        let n = records.len();
+        prop_assume!(n >= 12);
+        let dir = tempdir("merge");
+        let journal = dir.join("m.log");
+        let base_len = base_len.min(n);
+        // Main journal: canonical positions 0..base_len.
+        if base_len > 0 {
+            vgen_serve::write_journal(&journal, &engine, fp, None, &records[..base_len])
+                .expect("write base");
+        }
+        let mut groups: Vec<(u32, Vec<usize>)> = Vec::new();
+        let mut counts = vec![count_a];
+        if use_b && count_b != count_a {
+            counts.push(count_b);
+        }
+        let mut torn_bit = 0usize;
+        for &count in &counts {
+            let mut limits = Vec::new();
+            for index in 0..count {
+                // Truncation point for this shard, as a canonical-position
+                // bound (the shard keeps its records below it).
+                let limit = limits_raw[(index as usize + count as usize) % limits_raw.len()].min(n);
+                let torn = (torn_mask >> (torn_bit % 16)) & 1 == 1;
+                torn_bit += 1;
+                write_shard(&journal, &engine, fp, index, count, &records, limit, torn);
+                limits.push(limit);
+            }
+            groups.push((count, limits));
+        }
+        let merged = canonical_prefix(&journal, &engine, fp).expect("merge");
+        let want = expected_prefix_len(base_len, &groups, n);
+        prop_assert_eq!(merged.records.len(), want);
+        for (p, rec) in merged.records.iter().enumerate() {
+            prop_assert_eq!(
+                rec.to_journal_line(),
+                records[p].to_journal_line(),
+                "merged record {} diverged", p
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Seeding a partial run at one shard count and resuming at another
+    /// converges to the byte-exact journal of an uninterrupted run.
+    #[test]
+    fn resume_composes_with_a_shard_count_change(
+        seed_count in 2u32..5,
+        resume_count in 1u32..5,
+        cut in 0usize..12,
+        torn in any::<bool>(),
+    ) {
+        let (engine, fp, records) = fixture();
+        let n = records.len();
+        let dir = tempdir("resume");
+        let journal = dir.join("sweep.log");
+        let cut = cut.min(n);
+        for index in 0..seed_count {
+            write_shard(&journal, &engine, fp, index, seed_count, &records, cut, torn);
+        }
+        let mut req = small_req(&journal);
+        req.resume = true;
+        req.shards = resume_count;
+        let sink: Arc<dyn EventSink> = Arc::new(NullSink);
+        let outcome = Service
+            .eval(&req, &CancelToken::unlimited(), &sink)
+            .expect("resumed eval");
+        prop_assert!(!outcome.cancelled);
+        let got = std::fs::read_to_string(&journal).expect("journal");
+        let mut want = format!("{}\n", journal_header(fp, &engine, None));
+        for r in &records {
+            want.push_str(&r.to_journal_line());
+            want.push('\n');
+        }
+        prop_assert_eq!(got, want);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -229,12 +229,15 @@ impl LogicVec {
             }
         } else {
             let n = words_for(width);
-            let mut aval = vec![0u64; n];
-            let mut bval = vec![0u64; n];
-            for (i, (a, b)) in aval.iter_mut().zip(bval.iter_mut()).enumerate() {
+            // Single-pass fill (no zeroed scratch that `f` immediately
+            // overwrites); `f` is called in word order, which wide
+            // carry-propagating callers rely on.
+            let mut aval = Vec::with_capacity(n);
+            let mut bval = Vec::with_capacity(n);
+            for i in 0..n {
                 let (wa, wb) = f(i);
-                *a = wa;
-                *b = wb;
+                aval.push(wa);
+                bval.push(wb);
             }
             let m = top_mask(width);
             aval[n - 1] &= m;
@@ -593,13 +596,52 @@ impl LogicVec {
     }
 
     /// `self + rhs` at the joined width (result signed iff both signed).
+    ///
+    /// Fully known operands are exact at *any* width: beyond 64 bits the
+    /// sum runs word-parallel with carry propagation instead of degrading
+    /// to all-`x` like the other arithmetic ops still do.
     pub fn add(&self, rhs: &LogicVec) -> LogicVec {
+        if let Some(v) = self.wide_addsub(rhs, false) {
+            return v;
+        }
         self.arith2(rhs, |a, b| a.wrapping_add(b))
     }
 
-    /// `self - rhs`.
+    /// `self - rhs`. Exact for fully known operands at any width, like
+    /// [`add`](Self::add).
     pub fn sub(&self, rhs: &LogicVec) -> LogicVec {
+        if let Some(v) = self.wide_addsub(rhs, true) {
+            return v;
+        }
         self.arith2(rhs, |a, b| a.wrapping_sub(b))
+    }
+
+    /// Word-parallel wide add/sub: when the joined width exceeds one word
+    /// and both operands are fully known, ripple the carry across 64-bit
+    /// words (subtraction is `a + !b + 1`). Each operand widens by its own
+    /// signedness, the same rule the native-word path applies. `None`
+    /// falls back to [`arith2`](Self::arith2).
+    fn wide_addsub(&self, rhs: &LogicVec, subtract: bool) -> Option<LogicVec> {
+        let w = self.join_width(rhs);
+        if w <= WORD || self.has_unknown() || rhs.has_unknown() {
+            return None;
+        }
+        let (lpa, _) = self.ext_fill();
+        let (rpa, _) = rhs.ext_fill();
+        // `build` calls in ascending word order, so the carry threads
+        // through sequentially. Garbage above the top word's mask (from
+        // `!r` on the masked top word) only feeds bits the constructor
+        // masks off and a final carry-out that wrapping discards.
+        let mut carry: u64 = u64::from(subtract);
+        Some(Self::build(w, self.both_signed(rhs), |i| {
+            let la = self.widened_word(i, w, lpa, 0).0;
+            let rw = rhs.widened_word(i, w, rpa, 0).0;
+            let ra = if subtract { !rw } else { rw };
+            let (s1, c1) = la.overflowing_add(ra);
+            let (s2, c2) = s1.overflowing_add(carry);
+            carry = u64::from(c1 | c2);
+            (s2, 0)
+        }))
     }
 
     /// `self * rhs`.
@@ -731,6 +773,18 @@ impl LogicVec {
     /// resized clones), then `f` maps `(aval_l, bval_l, aval_r, bval_r)`
     /// words to result words.
     fn bitwise2(&self, rhs: &LogicVec, f: impl Fn(u64, u64, u64, u64) -> (u64, u64)) -> LogicVec {
+        // Equal-width boxed operands: no widening can occur, so `f` zips
+        // the stored words directly — a straight word-parallel sweep with
+        // none of the per-word extension arithmetic below.
+        if self.width == rhs.width {
+            if let (Planes::Wide { aval: la, bval: lb }, Planes::Wide { aval: ra, bval: rb }) =
+                (&self.planes, &rhs.planes)
+            {
+                return Self::build(self.width, self.both_signed(rhs), |i| {
+                    f(la[i], lb[i], ra[i], rb[i])
+                });
+            }
+        }
         let w = self.join_width(rhs);
         let (lpa, lpb) = self.ext_fill();
         let (rpa, rpb) = rhs.ext_fill();
@@ -1436,13 +1490,25 @@ mod tests {
     }
 
     #[test]
-    fn wide_arithmetic_beyond_64_bits_degrades_to_x() {
-        // The known-value fast path only covers values that fit in a u64;
-        // a set bit at position >= 64 degrades arithmetic to all-x, exactly
-        // like the per-bit implementation did.
-        let big = v(1, 80).shl(&v(70, 8));
+    fn wide_arithmetic_beyond_64_bits_stays_exact_for_add_sub() {
+        // Add/sub run word-parallel with carry propagation, so fully known
+        // values are exact at any width. The other arithmetic ops still
+        // degrade to all-x past 64 bits.
+        let big = v(1, 80).shl(&v(70, 8)); // 2^70
         assert_eq!(big.to_u64(), None);
-        assert!(big.add(&v(1, 80)).has_unknown());
+        let bumped = big.add(&v(1, 80)); // 2^70 + 1
+        assert!(!bumped.has_unknown());
+        assert_eq!(bumped.bit(70), Logic::One);
+        assert_eq!(bumped.bit(0), Logic::One);
+        assert_eq!(bumped.sub(&big).to_u64(), Some(1));
+        assert_eq!(bumped.sub(&bumped).to_u64(), Some(0));
+        // Carry must ripple across the word boundary: (2^64 - 1) + 1 = 2^64.
+        let max_word = v(1, 100).shl(&v(64, 8)).sub(&v(1, 100));
+        let next = max_word.add(&v(1, 100));
+        assert_eq!(next.bit(64), Logic::One);
+        assert_eq!(next.bit(63), Logic::Zero);
+        // Multiplication keeps the documented degradation.
+        assert!(big.mul(&v(2, 80)).has_unknown());
         // Values that fit keep exact wide-width arithmetic.
         assert_eq!(v(5, 80).add(&v(7, 80)).to_u64(), Some(12));
     }

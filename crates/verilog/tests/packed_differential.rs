@@ -188,11 +188,36 @@ mod refimpl {
         }
 
         pub fn add(&self, rhs: &RefVec) -> RefVec {
-            self.arith2(rhs, |a, b| a.wrapping_add(b))
+            self.addsub(rhs, false)
         }
 
         pub fn sub(&self, rhs: &RefVec) -> RefVec {
-            self.arith2(rhs, |a, b| a.wrapping_sub(b))
+            self.addsub(rhs, true)
+        }
+
+        /// Per-bit ripple-carry add/sub (subtraction is `a + !b + 1`),
+        /// exact at any width when both operands are fully known; any
+        /// unknown bit degrades to all-`x`. This is the semantics the
+        /// packed implementation's word-parallel wide path must match (for
+        /// widths <= 64 it coincides with native wrapping arithmetic).
+        fn addsub(&self, rhs: &RefVec, subtract: bool) -> RefVec {
+            let w = self.join_width(rhs);
+            if self.has_unknown() || rhs.has_unknown() {
+                return Self::all_x(w);
+            }
+            let a = self.resize(w);
+            let b = rhs.resize(w);
+            let mut carry = subtract;
+            let bits = (0..w)
+                .map(|i| {
+                    let x = a.bit(i) == Logic::One;
+                    let y = (b.bit(i) == Logic::One) ^ subtract;
+                    let sum = x ^ y ^ carry;
+                    carry = (x && y) || (carry && (x ^ y));
+                    Logic::from_bool(sum)
+                })
+                .collect();
+            RefVec::from_bits(bits, self.both_signed(rhs))
         }
 
         pub fn mul(&self, rhs: &RefVec) -> RefVec {

@@ -31,6 +31,8 @@ fn main() -> ExitCode {
         "problems" => cmd_problems(),
         "prompt" => cmd_prompt(&rest),
         "eval" => cmd_eval(&rest),
+        "serve" => cmd_serve(&rest),
+        "client" => cmd_client(&rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -62,8 +64,14 @@ USAGE:
   vgen problems                           list the benchmark problems
   vgen prompt <id> [--level L|M|H]        print a problem prompt
   vgen eval <file.v> --problem <id>       score a candidate DUT source
+  vgen serve --socket PATH | --stdio      run the eval daemon (line-delimited
+                                          JSON protocol; see DESIGN.md)
+  vgen client --socket PATH '<json>'      send one request to a daemon and
+                                          stream its events (eval reports go
+                                          to stdout, byte-identical to the
+                                          one-shot path)
   vgen eval --journal <path> [--resume] [--model NAME] [--tuning ft|pt] [--full]
-            [--jobs N] [--no-dedup] [--trace FILE] [--metrics]
+            [--jobs N] [--shards N] [--no-dedup] [--trace FILE] [--metrics]
             [--sim-backend interp|bytecode]
             [--progress auto|always|never]
             [--check-timeout SECS] [--retries N] [--fsync never|every|interval:N]
@@ -112,7 +120,13 @@ USAGE:
                                           execution engine (default:
                                           interp); `bytecode` runs the
                                           compiled VM, which CI holds
-                                          byte-identical to the interpreter
+                                          byte-identical to the interpreter;
+                                          --shards N splits the check phase
+                                          across N per-shard journals merged
+                                          deterministically — reports and
+                                          journals stay byte-identical at
+                                          every shard count, and --resume
+                                          composes with a changed N
 ";
 
 /// Flags that take no value (everything else consumes the next argument).
@@ -123,6 +137,8 @@ const BOOL_FLAGS: &[&str] = &[
     "--problems",
     "--no-dedup",
     "--metrics",
+    "--stdio",
+    "--verbose",
 ];
 
 /// Value of `--name value` or `--name=value`.
@@ -419,49 +435,15 @@ fn cmd_eval(rest: &[&String]) -> Result<(), String> {
 /// Grid evaluation with an on-disk journal: sweep the calibrated family
 /// engine over an evaluation grid, appending each record to `--journal` so
 /// a killed run can be picked up again with `--resume`.
+///
+/// Since the service refactor this is a thin client of
+/// [`vgen::serve::Service`] — the same code path the daemon runs — with a
+/// sink that re-renders progress events as the classic stderr line. The
+/// stdout report stays byte-identical to what the pre-service CLI
+/// printed (the CI determinism gate diffs it).
 fn cmd_eval_grid(rest: &[&String], journal: &str) -> Result<(), String> {
-    use vgen::corpus::CorpusSource;
-    use vgen::lm::{FamilyEngine, ModelFamily, ModelId, Tuning};
+    use vgen::serve::{EvalRequest, EventSink, Service};
 
-    let resume = has_flag(rest, "--resume");
-    if !resume
-        && std::fs::metadata(journal)
-            .map(|m| m.len() > 0)
-            .unwrap_or(false)
-    {
-        return Err(format!(
-            "journal `{journal}` already exists; pass --resume to continue it \
-             or remove the file to start over"
-        ));
-    }
-    let tuning = match flag_value(rest, "--tuning").unwrap_or("ft") {
-        "ft" | "fine-tuned" => Tuning::FineTuned,
-        "pt" | "pretrained" => Tuning::Pretrained,
-        other => return Err(format!("bad --tuning `{other}` (use ft or pt)")),
-    };
-    let family_arg = flag_value(rest, "--model").unwrap_or("CodeGen-16B");
-    let family = ModelFamily::ALL
-        .into_iter()
-        .find(|f| f.name().eq_ignore_ascii_case(family_arg))
-        .ok_or_else(|| {
-            let known: Vec<&str> = ModelFamily::ALL.iter().map(|f| f.name()).collect();
-            format!(
-                "unknown model `{family_arg}` (one of: {})",
-                known.join(", ")
-            )
-        })?;
-    if tuning == Tuning::FineTuned && !family.supports_fine_tuning() {
-        return Err(format!(
-            "{} cannot be fine-tuned (the paper evaluates it pre-trained only); use --tuning pt",
-            family.name()
-        ));
-    }
-    let mut config = if has_flag(rest, "--full") {
-        vgen::core::EvalConfig::paper_n10()
-    } else {
-        vgen::core::EvalConfig::quick()
-    };
-    config.sim.backend = parse_sim_backend(rest)?;
     let progress = match flag_value(rest, "--progress").unwrap_or("auto") {
         "auto" => vgen::core::SweepOptions::progress_auto(),
         "always" => true,
@@ -472,62 +454,80 @@ fn cmd_eval_grid(rest: &[&String], journal: &str) -> Result<(), String> {
             ))
         }
     };
-    let mut policy = vgen::core::CheckPolicy::default();
-    if let Some(t) = flag_value(rest, "--check-timeout") {
-        let secs = t
-            .parse::<f64>()
-            .ok()
-            .filter(|s| *s > 0.0 && s.is_finite())
-            .ok_or_else(|| format!("bad --check-timeout `{t}` (positive seconds)"))?;
-        policy.timeout = Some(std::time::Duration::from_secs_f64(secs));
-    }
-    if let Some(r) = flag_value(rest, "--retries") {
-        policy.retries = r
-            .parse()
-            .map_err(|_| format!("bad --retries `{r}` (use a non-negative integer)"))?;
-    }
-    if let Some(spec) = flag_value(rest, "--chaos") {
-        let seed: u64 = match flag_value(rest, "--chaos-seed") {
-            Some(s) => s
-                .parse()
-                .map_err(|_| format!("bad --chaos-seed `{s}` (use an unsigned integer)"))?,
-            None => 0,
-        };
-        policy.chaos = vgen::core::ChaosSpec::parse(spec, seed)?;
-    }
-    let fsync = match flag_value(rest, "--fsync") {
-        Some(s) => vgen::core::FsyncPolicy::parse(s)?,
-        None => vgen::core::FsyncPolicy::Never,
+    let check_timeout = match flag_value(rest, "--check-timeout") {
+        None => None,
+        Some(t) => Some(
+            t.parse::<f64>()
+                .ok()
+                .filter(|s| *s > 0.0 && s.is_finite())
+                .ok_or_else(|| format!("bad --check-timeout `{t}` (positive seconds)"))?,
+        ),
     };
-    let opts = vgen::core::SweepOptions {
-        jobs: parse_jobs(flag_value(rest, "--jobs"))?,
-        progress,
-        dedup: !has_flag(rest, "--no-dedup"),
-        policy,
-        fsync,
-        stall_timeout: None,
+    let retries = match flag_value(rest, "--retries") {
+        None => 0,
+        Some(r) => r
+            .parse()
+            .map_err(|_| format!("bad --retries `{r}` (use a non-negative integer)"))?,
+    };
+    let chaos_seed: u64 = match flag_value(rest, "--chaos-seed") {
+        Some(seed) => seed
+            .parse()
+            .map_err(|_| format!("bad --chaos-seed `{seed}` (use an unsigned integer)"))?,
+        None => 0,
+    };
+    let shards: u32 = match flag_value(rest, "--shards") {
+        None => 1,
+        Some(n) => n
+            .parse::<u32>()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| format!("bad --shards `{n}` (use a positive integer)"))?,
     };
     let trace_path = flag_value(rest, "--trace");
     let metrics = has_flag(rest, "--metrics");
-    // Tracing is write-only from the pipeline's perspective: enabling it
-    // cannot change a byte of the report or journal (CI verifies this).
-    let observe = trace_path.is_some() || metrics;
-    if observe {
-        vgen::obs::enable();
-    }
+    let req = EvalRequest {
+        journal: journal.to_string(),
+        resume: has_flag(rest, "--resume"),
+        model: flag_value(rest, "--model")
+            .unwrap_or("CodeGen-16B")
+            .to_string(),
+        tuning: flag_value(rest, "--tuning").unwrap_or("ft").to_string(),
+        full: has_flag(rest, "--full"),
+        jobs: parse_jobs(flag_value(rest, "--jobs"))?,
+        shards,
+        dedup: !has_flag(rest, "--no-dedup"),
+        sim_backend: flag_value(rest, "--sim-backend")
+            .unwrap_or("interp")
+            .to_string(),
+        check_timeout,
+        retries,
+        chaos: flag_value(rest, "--chaos").map(str::to_string),
+        chaos_seed,
+        fsync: flag_value(rest, "--fsync").unwrap_or("never").to_string(),
+        // Tracing is write-only from the pipeline's perspective: enabling
+        // it cannot change a byte of the report or journal (CI verifies
+        // this).
+        metrics: trace_path.is_some() || metrics,
+        seed: 42,
+        progress_every: 1,
+        problems: None,
+        temperatures: None,
+        ns: None,
+        levels: None,
+    };
     // Execution details go to stderr; the stdout report stays
-    // byte-identical across worker counts and cache settings (the CI
-    // determinism gate diffs it).
-    eprintln!("[eval] {} worker(s)", opts.effective_jobs());
-    let mut engine = FamilyEngine::new(ModelId::new(family, tuning), CorpusSource::GithubOnly, 42);
-    let (run, stats) = vgen::core::run_engine_sweep_stats(
-        &mut engine,
-        &config,
-        Some((std::path::Path::new(journal), resume)),
-        &opts,
-    )
-    .map_err(|e| e.to_string())?;
-    if resume {
+    // byte-identical across worker counts, shard counts and cache
+    // settings (the CI determinism gate diffs it).
+    let opts_probe = vgen::core::SweepOptions {
+        jobs: req.jobs,
+        ..Default::default()
+    };
+    eprintln!("[eval] {} worker(s)", opts_probe.effective_jobs());
+    let sink: std::sync::Arc<dyn EventSink> = std::sync::Arc::new(CliSink::new(progress));
+    let cancel = vgen::obs::CancelToken::unlimited();
+    let outcome = Service.eval(&req, &cancel, &sink)?;
+    if req.resume {
+        let stats = &outcome.stats;
         let repairs = if stats.repaired_lines > 0 {
             format!(
                 " ({} torn/corrupt line(s) dropped by recovery)",
@@ -543,30 +543,137 @@ fn cmd_eval_grid(rest: &[&String], journal: &str) -> Result<(), String> {
     }
     eprintln!(
         "[eval] {} checks run, {} dedup cache hits ({:.0}%)",
-        stats.checks_run,
-        stats.cache_hits,
-        stats.hit_rate() * 100.0
+        outcome.stats.checks_run,
+        outcome.stats.cache_hits,
+        outcome.stats.hit_rate() * 100.0
     );
-    let stats_path = format!("{journal}.stats.json");
-    std::fs::write(&stats_path, vgen::core::sweep_stats_json(&stats))
-        .map_err(|e| format!("cannot write `{stats_path}`: {e}"))?;
-    if observe {
-        let report = vgen::obs::collect();
+    if let Some(report) = &outcome.obs {
         if let Some(path) = trace_path {
-            std::fs::write(path, vgen::obs::trace::chrome_trace_json(&report))
+            std::fs::write(path, vgen::obs::trace::chrome_trace_json(report))
                 .map_err(|e| format!("cannot write `{path}`: {e}"))?;
             eprintln!("[obs] wrote Chrome trace to {path}");
         }
         if metrics {
-            eprint!("{}", vgen::obs::summary::render_metrics(&report));
+            eprint!("{}", vgen::obs::summary::render_metrics(report));
             let metrics_path = format!("{journal}.metrics.json");
-            std::fs::write(&metrics_path, vgen::obs::summary::metrics_json(&report))
+            std::fs::write(&metrics_path, vgen::obs::summary::metrics_json(report))
                 .map_err(|e| format!("cannot write `{metrics_path}`: {e}"))?;
             eprintln!("[obs] wrote metrics JSON to {metrics_path}");
         }
     }
-    print!("{}", vgen::core::render_eval_summary(&run, journal));
-    Ok(())
+    match outcome.report {
+        Some(report) => {
+            print!("{report}");
+            Ok(())
+        }
+        None => Err(format!(
+            "sweep cancelled after {} of {} record(s)",
+            outcome.done, outcome.total
+        )),
+    }
+}
+
+/// Re-renders service progress events as the classic one-line stderr
+/// progress display (throttled, with a checks/s rate over this run).
+struct CliSink {
+    enabled: bool,
+    state: std::sync::Mutex<CliProgress>,
+}
+
+struct CliProgress {
+    started: std::time::Instant,
+    last_print: std::time::Instant,
+    completed_this_run: usize,
+    printed: bool,
+}
+
+impl CliSink {
+    const PRINT_EVERY: std::time::Duration = std::time::Duration::from_millis(250);
+
+    fn new(enabled: bool) -> Self {
+        let now = std::time::Instant::now();
+        CliSink {
+            enabled,
+            state: std::sync::Mutex::new(CliProgress {
+                started: now,
+                // Backdate so the first completed check prints immediately.
+                last_print: now - Self::PRINT_EVERY,
+                completed_this_run: 0,
+                printed: false,
+            }),
+        }
+    }
+}
+
+impl Drop for CliSink {
+    fn drop(&mut self) {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.printed {
+            eprintln!();
+        }
+    }
+}
+
+impl vgen::serve::EventSink for CliSink {
+    fn event(&self, event: &vgen::serve::Event) {
+        use vgen::serve::Event;
+        match event {
+            Event::Progress { done, total, .. } => {
+                if !self.enabled {
+                    return;
+                }
+                let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                state.completed_this_run += 1;
+                if state.last_print.elapsed() >= Self::PRINT_EVERY || done == total {
+                    let rate = state.completed_this_run as f64
+                        / state.started.elapsed().as_secs_f64().max(1e-9);
+                    eprint!("\r[eval] {done}/{total} checks  {rate:.1} checks/s   ");
+                    state.last_print = std::time::Instant::now();
+                    state.printed = true;
+                }
+            }
+            Event::Log { message } => eprintln!("[eval] {message}"),
+            _ => {}
+        }
+    }
+}
+
+/// Runs the eval daemon on a unix socket (`--socket PATH`) or over
+/// stdin/stdout (`--stdio`).
+fn cmd_serve(rest: &[&String]) -> Result<(), String> {
+    let opts = vgen::serve::DaemonOptions {
+        verbose: has_flag(rest, "--verbose"),
+    };
+    if has_flag(rest, "--stdio") {
+        vgen::serve::serve_stdio();
+        return Ok(());
+    }
+    let socket = flag_value(rest, "--socket")
+        .ok_or("usage: vgen serve --socket PATH [--verbose] | vgen serve --stdio")?;
+    vgen::serve::serve_unix(std::path::Path::new(socket), &opts).map_err(|e| e.to_string())
+}
+
+/// Sends one JSON request line to a daemon socket, streams its events to
+/// stderr, prints an eval report to stdout, and exits non-zero on an
+/// `error`/`cancelled` terminal event.
+fn cmd_client(rest: &[&String]) -> Result<(), String> {
+    let socket = flag_value(rest, "--socket").ok_or("usage: vgen client --socket PATH '<json>'")?;
+    let pos = positional(rest);
+    let request = pos
+        .first()
+        .ok_or("usage: vgen client --socket PATH '<json>'")?;
+    let mut events = std::io::stderr();
+    let outcome =
+        vgen::serve::request_over_unix(std::path::Path::new(socket), request, &mut events)
+            .map_err(|e| e.to_string())?;
+    if let Some(report) = &outcome.report {
+        print!("{report}");
+    }
+    if outcome.ok {
+        Ok(())
+    } else {
+        Err(format!("request failed: {}", outcome.terminal))
+    }
 }
 
 /// Parses `--jobs`: a positive worker count, or `0`/`auto`/absent for the

@@ -19,7 +19,10 @@
 //! * [`lint`] — semantic static analysis (races, latches, combinational
 //!   loops, width hazards) surfacing passed-but-hazardous completions,
 //! * [`obs`] — zero-dependency structured tracing and metrics (spans,
-//!   counters, histograms) with Chrome-trace and summary exports.
+//!   counters, histograms) with Chrome-trace and summary exports,
+//! * [`serve`] — the long-lived eval service: a line-delimited JSON
+//!   protocol over unix socket or stdio, sharded journals with a
+//!   deterministic merge, per-request supervision and cancellation.
 //!
 //! ```
 //! use vgen::core::check::{check_completion, CheckOutcome};
@@ -44,6 +47,7 @@ pub use vgen_lint as lint;
 pub use vgen_lm as lm;
 pub use vgen_obs as obs;
 pub use vgen_problems as problems;
+pub use vgen_serve as serve;
 pub use vgen_sim as sim;
 pub use vgen_synth as synth;
 pub use vgen_verilog as verilog;
