@@ -1,14 +1,22 @@
-//! `sim_profile` — runs the `sim_throughput` counter testbench alone, on one
-//! backend, for profiler attachment (`gprofng collect app …`) and quick A/B
-//! timing without the vector-op and sweep phases.
+//! `sim_profile` — runs the `sim_throughput` counter testbench alone, on
+//! one backend, for profiler attachment (`gprofng collect app …`) and quick
+//! A/B timing without the vector-op and sweep phases.
+//!
+//! With `all` (or no backend argument) it runs the per-backend breakdown
+//! instead: the same testbench through interp, bytecode, and netlist
+//! back-to-back with ratios against the interpreter, plus the netlist
+//! path-attribution counters (levelized processes, sweeps, fallback
+//! wakes), so a throughput regression is attributable to a specific
+//! backend at a glance.
 //!
 //! ```text
-//! cargo run --release -p vgen-bench --bin sim_profile -- [interp|bytecode] [cycles]
+//! cargo run --release -p vgen-bench --bin sim_profile -- \
+//!     [interp|bytecode|netlist|all] [cycles] [bank] [procs] [nba|blocking]
 //! ```
 
 use std::time::Instant;
 
-use vgen_sim::{SimBackend, SimConfig};
+use vgen_sim::{SimBackend, SimConfig, SimStats, Simulator};
 
 fn counter_testbench(cycles: u64, bank: usize, procs: usize, nba: bool) -> String {
     let op = if nba { "<=" } else { "=" };
@@ -44,11 +52,59 @@ fn counter_testbench(cycles: u64, bank: usize, procs: usize, nba: bool) -> Strin
     src
 }
 
+/// One timed run; the stats are all-zero off the netlist backend.
+fn run_one(src: &str, config: SimConfig) -> (u64, f64, SimStats) {
+    let file = vgen_verilog::parse(src).expect("counter testbench parses");
+    let design = vgen_sim::elab::elaborate(&file, "tb").expect("counter testbench elaborates");
+    let sim = Simulator::with_config(design, config);
+    let start = Instant::now();
+    let (out, _, stats) = sim.run_with_state_stats();
+    (out.steps, start.elapsed().as_secs_f64(), stats)
+}
+
+/// Per-backend breakdown: all three backends on the identical testbench.
+fn breakdown(src: &str, cycles: u64, config: &SimConfig) {
+    let mut interp_secs = None;
+    for backend in [
+        SimBackend::Interp,
+        SimBackend::Bytecode,
+        SimBackend::Netlist,
+    ] {
+        let cfg = SimConfig { backend, ..*config };
+        let (steps, seconds, stats) = run_one(src, cfg);
+        let vs_interp = match interp_secs {
+            None => {
+                interp_secs = Some(seconds);
+                1.0
+            }
+            Some(base) => base / seconds,
+        };
+        print!(
+            "{:>8}: {:>9.3}s = {:>9.0} cycles/s  ({:>7.2} Msteps/s, {} steps)  {:>5.2}x vs interp",
+            backend.as_str(),
+            seconds,
+            cycles as f64 / seconds,
+            steps as f64 / seconds / 1e6,
+            steps,
+            vs_interp,
+        );
+        if backend == SimBackend::Netlist {
+            print!(
+                "  [levelized procs {}, sweeps {}, fallback wakes {}]",
+                stats.netlist_procs, stats.netlist_sweeps, stats.netlist_fallback_wakes
+            );
+        }
+        println!();
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.first().map(|a| a == "all").unwrap_or(true);
     let backend: SimBackend = args
         .first()
-        .map(|a| a.parse().expect("backend is interp or bytecode"))
+        .filter(|a| *a != "all")
+        .map(|a| a.parse().expect("backend is interp, bytecode or netlist"))
         .unwrap_or_default();
     let cycles: u64 = args
         .get(1)
@@ -68,16 +124,19 @@ fn main() {
         .with_max_time(cycles * 10 + 100)
         .with_max_steps(u64::MAX)
         .with_backend(backend);
-    let start = Instant::now();
-    let out = vgen_sim::simulate(&src, Some("tb"), config).expect("counter testbench simulates");
-    let seconds = start.elapsed().as_secs_f64();
+    if all {
+        println!("sim_profile breakdown: {cycles} cycles, bank={bank}, procs={procs}, nba={nba}");
+        breakdown(&src, cycles, &config);
+        return;
+    }
+    let (steps, seconds, _) = run_one(&src, config);
     println!(
         "{}: {} cycles, {} steps, {:.3}s = {:.0} cycles/s ({:.2} Msteps/s)",
         backend.as_str(),
         cycles,
-        out.steps,
+        steps,
         seconds,
         cycles as f64 / seconds,
-        out.steps as f64 / seconds / 1e6
+        steps as f64 / seconds / 1e6
     );
 }

@@ -4,7 +4,7 @@
 //! Three measurements, written to `BENCH_sim.json` under
 //! `target/experiments/` (and to a `--out` path for CI artifact pickup):
 //!
-//! 1. **Vector ops** — 64-, 128- and 256-bit and/or/xor/add/eq throughput
+//! 1. **Vector ops** — 64-, 128- and 256-bit and/or/xor/add/eq/lt throughput
 //!    of the packed representation against an embedded per-bit baseline
 //!    (the pre-rewrite one-`Logic`-per-bit loop). The 64-bit packed ops
 //!    must be at least 3× the per-bit baseline or the binary exits
@@ -140,6 +140,16 @@ mod perbit {
             }
             PbVec::from_u64((a.bits == b.bits) as u64, 1)
         }
+
+        pub fn lt(&self, rhs: &PbVec) -> PbVec {
+            let w = self.bits.len().max(rhs.bits.len());
+            match (self.resize(w).to_u64(), rhs.resize(w).to_u64()) {
+                (Some(a), Some(b)) => PbVec::from_u64((a < b) as u64, 1),
+                _ => PbVec {
+                    bits: vec![Logic::X],
+                },
+            }
+        }
     }
 }
 
@@ -172,12 +182,13 @@ fn measure_vector_ops(quick: bool) -> Vec<OpSample> {
         let bb = perbit::PbVec::from_u64(0x0123_4567_89AB_CDEF, width);
         type PackedOp = fn(&LogicVec, &LogicVec) -> LogicVec;
         type PerbitOp = fn(&perbit::PbVec, &perbit::PbVec) -> perbit::PbVec;
-        let ops: [(&'static str, PackedOp, PerbitOp); 5] = [
+        let ops: [(&'static str, PackedOp, PerbitOp); 6] = [
             ("and", LogicVec::bit_and, perbit::PbVec::bit_and),
             ("or", LogicVec::bit_or, perbit::PbVec::bit_or),
             ("xor", LogicVec::bit_xor, perbit::PbVec::bit_xor),
             ("add", LogicVec::add, perbit::PbVec::add),
             ("eq", LogicVec::eq_logic, perbit::PbVec::eq_logic),
+            ("lt", LogicVec::lt, perbit::PbVec::lt),
         ];
         for (op, packed_f, perbit_f) in ops {
             let packed = ops_per_sec(packed_iters, || {
@@ -275,16 +286,22 @@ fn run_counter(quick: bool, backend: SimBackend) -> SimSample {
     }
 }
 
-/// Runs the counter testbench through the interpreter and the bytecode VM,
-/// asserting they agree on output and step count before comparing speed.
-fn measure_sim(quick: bool) -> (SimSample, SimSample) {
+/// Runs the counter testbench through the interpreter, the bytecode VM and
+/// the netlist backend, asserting all three agree on output and step count
+/// before comparing speed.
+fn measure_sim(quick: bool) -> (SimSample, SimSample, SimSample) {
     let interp = run_counter(quick, SimBackend::Interp);
     let bytecode = run_counter(quick, SimBackend::Bytecode);
+    let netlist = run_counter(quick, SimBackend::Netlist);
     assert_eq!(
         interp.steps, bytecode.steps,
         "backends disagree on step count"
     );
-    (interp, bytecode)
+    assert_eq!(
+        interp.steps, netlist.steps,
+        "netlist backend disagrees on step count"
+    );
+    (interp, bytecode, netlist)
 }
 
 struct DedupSample {
@@ -363,8 +380,8 @@ fn main() {
         .map(|s| s.speedup)
         .fold(f64::INFINITY, f64::min);
 
-    let (sim_interp, sim_bc) = measure_sim(quick);
-    for sim in [&sim_interp, &sim_bc] {
+    let (sim_interp, sim_bc, sim_net) = measure_sim(quick);
+    for sim in [&sim_interp, &sim_bc, &sim_net] {
         println!(
             "  simulation[{}]: {} cycles in {:.3}s = {:.0} cycles/s ({:.2} Msteps/s)",
             sim.backend.as_str(),
@@ -376,6 +393,8 @@ fn main() {
     }
     let sim_speedup = sim_bc.cycles_per_sec / sim_interp.cycles_per_sec;
     println!("  bytecode vs interpreter: {sim_speedup:.2}x cycles/s");
+    let netlist_speedup = sim_net.cycles_per_sec / sim_bc.cycles_per_sec;
+    println!("  netlist vs bytecode: {netlist_speedup:.2}x cycles/s");
 
     let dedup = measure_dedup(quick);
     println!(
@@ -394,7 +413,9 @@ fn main() {
         min_speedup_wide,
         &sim_interp,
         &sim_bc,
+        &sim_net,
         sim_speedup,
+        netlist_speedup,
         &dedup,
     );
     write_artifact("BENCH_sim.json", &json);
@@ -425,6 +446,13 @@ fn main() {
         std::process::exit(1);
     }
     println!("  bytecode speedup floor: {sim_speedup:.1}x (>= 5x required)");
+    if netlist_speedup < 3.0 {
+        eprintln!(
+            "FAIL: netlist backend only {netlist_speedup:.2}x the bytecode VM on cycles/s (need 3x)"
+        );
+        std::process::exit(1);
+    }
+    println!("  netlist speedup floor: {netlist_speedup:.1}x (>= 3x required)");
 }
 
 /// Hand-rolled JSON (no serde in this environment): a stable, diffable
@@ -437,7 +465,9 @@ fn render_json(
     min_speedup_wide: f64,
     sim_interp: &SimSample,
     sim_bc: &SimSample,
+    sim_net: &SimSample,
     sim_speedup: f64,
+    netlist_speedup: f64,
     dedup: &DedupSample,
 ) -> String {
     let mut out = String::from("{\n");
@@ -472,7 +502,12 @@ fn render_json(
         "  \"simulation_bytecode\": {},\n",
         sim_obj(sim_bc)
     ));
+    out.push_str(&format!(
+        "  \"simulation_netlist\": {},\n",
+        sim_obj(sim_net)
+    ));
     out.push_str(&format!("  \"sim_speedup\": {sim_speedup:.2},\n"));
+    out.push_str(&format!("  \"netlist_speedup\": {netlist_speedup:.2},\n"));
     out.push_str(&format!(
         "  \"dedup_cache\": {{\"checks_run\": {}, \"cache_hits\": {}, \"hit_rate\": {:.4}, \"seconds_cache_on\": {:.6}, \"seconds_cache_off\": {:.6}}}\n",
         dedup.stats.checks_run,

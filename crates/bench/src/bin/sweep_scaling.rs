@@ -138,6 +138,8 @@ fn render_json(quick: bool, avail: usize, total_checks: usize, samples: &[Sample
     ));
     out.push_str(&format!("  \"available_parallelism\": {avail},\n"));
     out.push_str(&format!("  \"total_checks\": {total_checks},\n"));
+    let max_speedup = samples.iter().map(|s| s.speedup).fold(0.0, f64::max);
+    out.push_str(&format!("  \"max_parallel_speedup\": {max_speedup:.3},\n"));
     out.push_str("  \"samples\": [\n");
     for (i, s) in samples.iter().enumerate() {
         out.push_str(&format!(

@@ -42,6 +42,7 @@ pub mod compile;
 pub mod design;
 pub mod elab;
 pub mod interp;
+pub mod netlist;
 pub mod ops;
 pub mod sched;
 pub mod systasks;
@@ -52,7 +53,8 @@ pub use compile::{compile, CompileError};
 pub use design::Design;
 pub use elab::ElabError;
 pub use interp::{RuntimeError, State};
-pub use sched::{SimBackend, SimConfig, SimOutput, Simulator, StopReason};
+pub use netlist::{compile_netlist, NetProgram};
+pub use sched::{SimBackend, SimConfig, SimOutput, SimStats, Simulator, StopReason};
 
 /// An error from the parse or elaborate stages of [`simulate`].
 #[derive(Debug, Clone, PartialEq)]

@@ -1,0 +1,2009 @@
+//! The levelized cycle-based netlist backend: straight-line sweeps for the
+//! synchronous subset.
+//!
+//! The bytecode VM ([`crate::bytecode`]) still pays event-driven scheduling
+//! tax on every wake: instruction dispatch, per-write wake scans, register
+//! moves. For the designs that dominate benchmark checking — `always`
+//! blocks whose bodies are plain assignments and forward branches over
+//! whole signals — the body is a *combinational cone between registers*
+//! and can be lowered once into a flat data-flow netlist, then evaluated
+//! per wake as one dense in-dependency-order sweep with commits at the
+//! sweep boundary.
+//!
+//! Lowering is a symbolic execution of the process body: control flow
+//! (forward `Jump`/`JumpIfFalse`/`JumpIfNoMatch` only) becomes guard
+//! booleans, blocking assignments become environment updates (later reads
+//! see the new value through the environment, never through the store),
+//! and merge points become guard-selected muxes. The resulting [`NetOp`]
+//! list is then ranked with [`vgen_synth::levelize_deps`] and stored in
+//! levelized order — the same topological-rank invariant `vgen-synth`'s
+//! [`NetlistSim`](vgen_synth::NetlistSim) relies on.
+//!
+//! # Exactness contract
+//!
+//! The sweep must be *observationally identical* to running the bytecode
+//! VM for the same wake, held by construction:
+//!
+//! - **Eligibility** ([`compile_netlist`]): a process lowers only when
+//!   every side exit is impossible — no delays, waits, system calls,
+//!   memories, user functions, or runtime-error ops in the body; blocking
+//!   targets are whole unwatched signals (so mid-body stores are
+//!   unobservable and can commit at sweep end); the design has no
+//!   generic-scan waiters and no `wait(cond)` processes (either could
+//!   observe intermediate values on any write).
+//! - **Step identity**: the VM executes one instruction per visited pc.
+//!   Unconditional pcs are summed at compile time (`cost_base`), each
+//!   conditional pc contributes its guard bool at run time, so `sim.steps`
+//!   advances exactly as the VM would have.
+//! - **NBA identity**: non-blocking pushes are emitted in pc order behind
+//!   their guards and routed to the same queue (fused or generic) the
+//!   bytecode for that pc uses, so the commit region drains an identical
+//!   queue.
+//! - **Value identity**: generic sweep ops reuse the exact kernels of the
+//!   VM ([`apply_unary`]/[`apply_binary`], `select`, `bit_position`,
+//!   [`indexed_range`]); the u64 fast lane is only compiled for ops whose
+//!   width/sign metadata proves the word result is bit- and flag-exact,
+//!   and bails to the generic lane at run time before any state mutation
+//!   when it meets an unknown bit or a division by zero.
+//!
+//! The scheduler ([`crate::sched`]) adds the remaining run-time
+//! preconditions per wake: process parked at pc 1, no VCD recorder, and a
+//! step window that cannot hit the step budget or a cancellation poll
+//! boundary mid-wake.
+
+use std::collections::BTreeMap;
+
+use vgen_synth::levelize_deps;
+use vgen_verilog::ast::{BinaryOp, CaseKind, UnaryOp};
+use vgen_verilog::value::LogicVec;
+
+use crate::bytecode::{BcInstr, BcProgram};
+use crate::design::{Design, EExpr, Instr, LValue, ProcessKind, SelectBase, SignalId};
+use crate::interp::{indexed_range, ResolvedLValue, State};
+use crate::ops::{apply_binary, apply_unary};
+
+/// Reserved guard slot holding constant `true` (the entry path).
+const BTRUE: u32 = 0;
+
+/// One data-flow operation of the lowered cone. Value operands and `dst`
+/// index the [`LogicVec`] slot arena; `B*` ops index the guard bool arena.
+#[derive(Debug, Clone, PartialEq)]
+enum NetOp {
+    /// Load a constant from the pool.
+    Const { dst: u32, idx: u32 },
+    /// Read a signal's pre-sweep value from the store.
+    Input { dst: u32, sig: SignalId },
+    /// Dynamic single-bit select (declared index space of `sig`).
+    BitSel {
+        dst: u32,
+        index: u32,
+        value: u32,
+        sig: SignalId,
+    },
+    /// Constant part select with storage positions precomputed.
+    PartSel {
+        dst: u32,
+        base: u32,
+        hi: usize,
+        lo: usize,
+    },
+    /// Indexed part select `base[start +: width]` / `[start -: width]`.
+    IndexedSel {
+        dst: u32,
+        base: u32,
+        start: u32,
+        sig: SignalId,
+        width: usize,
+        ascending: bool,
+    },
+    /// All-`x` value (statically out-of-range part selects).
+    Unknown { dst: u32, width: usize },
+    /// Context-sizing extension; never truncates below the operand width.
+    Resize { dst: u32, src: u32, width: usize },
+    /// Unary operator dispatch.
+    Unary { dst: u32, op: UnaryOp, src: u32 },
+    /// Binary operator dispatch.
+    Binary {
+        dst: u32,
+        op: BinaryOp,
+        lhs: u32,
+        rhs: u32,
+    },
+    /// Verilog conditional: unknown condition merges both branches.
+    Ternary { dst: u32, cond: u32, t: u32, e: u32 },
+    /// Concatenation, first part most significant.
+    Concat { dst: u32, parts: Box<[u32]> },
+    /// Replication.
+    Replicate { dst: u32, src: u32, count: usize },
+    /// Assignment coercion: resize to the declared width when it differs,
+    /// then adopt the declared signedness (the store transform of
+    /// `apply_write_owned` / `bc_write_sig`).
+    Coerce {
+        dst: u32,
+        src: u32,
+        width: usize,
+        signed: bool,
+    },
+    /// Guard-selected merge of two environment values.
+    Mux { dst: u32, sel: u32, t: u32, e: u32 },
+    /// Guard from a condition: true iff truthiness is known-true.
+    BTruthy { dst: u32, src: u32 },
+    /// Guard from a case-label comparison (match = fallthrough edge).
+    BMatch {
+        dst: u32,
+        kind: CaseKind,
+        sel: u32,
+        label: u32,
+    },
+    /// `a && b` over guards.
+    BAnd { dst: u32, a: u32, b: u32 },
+    /// `a && !b` over guards (with `a == BTRUE` this is negation).
+    BAndNot { dst: u32, a: u32, b: u32 },
+    /// `a || b` over guards (merge points; incoming guards are disjoint).
+    BOr { dst: u32, a: u32, b: u32 },
+}
+
+/// End-of-sweep store of a blocking assignment's final value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Commit {
+    sig: SignalId,
+    slot: u32,
+}
+
+/// A guarded non-blocking push, in pc order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct NbaPush {
+    guard: u32,
+    sig: SignalId,
+    slot: u32,
+    /// Routes to the scheduler's fused whole-signal queue (matching the
+    /// bytecode instruction at the same pc) instead of the generic one.
+    fused: bool,
+}
+
+/// Word-lane binary operators. Operand words are fully known, masked to
+/// their width, and zero-extended by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FastBin {
+    Add,
+    Sub,
+    Mul,
+    /// Bails at run time when the divisor is zero.
+    Div,
+    /// Bails at run time when the divisor is zero.
+    Rem,
+    And,
+    Or,
+    Xor,
+    Xnor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LogicAnd,
+    LogicOr,
+}
+
+/// Word-lane unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FastUn {
+    Not,
+    Neg,
+    LogicNot,
+    RedAnd,
+    RedOr,
+    RedXor,
+    RedNand,
+    RedNor,
+    RedXnor,
+    /// Guard from a known value: `(a != 0) as u64`.
+    Truthy,
+}
+
+/// One u64 word-arena operation. Guards live in the same arena (offset by
+/// the slot count) as `0`/`1` words.
+#[derive(Debug, Clone, PartialEq)]
+enum FastOp {
+    Const {
+        dst: u32,
+        val: u64,
+    },
+    /// Reads a signal word; bails when any bit is `x`/`z`.
+    Input {
+        dst: u32,
+        sig: SignalId,
+    },
+    Mask {
+        dst: u32,
+        src: u32,
+        mask: u64,
+    },
+    /// `(src >> shr) & mask` — constant part select.
+    Shift {
+        dst: u32,
+        src: u32,
+        shr: u32,
+        mask: u64,
+    },
+    Un {
+        dst: u32,
+        op: FastUn,
+        a: u32,
+        mask: u64,
+    },
+    Bin {
+        dst: u32,
+        op: FastBin,
+        a: u32,
+        b: u32,
+        mask: u64,
+    },
+    /// [`FastOp::Bin`] with the `a` operand loading a signal word directly
+    /// — a use-once Input fused into its single consumer. Bails on unknown
+    /// bits exactly as the unfused Input would have.
+    BinA {
+        dst: u32,
+        op: FastBin,
+        sig: SignalId,
+        b: u32,
+        mask: u64,
+    },
+    /// [`FastOp::Bin`] with the `b` operand loading a signal word.
+    BinB {
+        dst: u32,
+        op: FastBin,
+        a: u32,
+        sig: SignalId,
+        mask: u64,
+    },
+    /// Concatenation fold, parts `(word, width)` MSB first, total ≤ 64.
+    Concat {
+        dst: u32,
+        parts: Box<[(u32, u32)]>,
+    },
+    /// `if w[c] != 0 { w[t] } else { w[e] }` — ternary, mux, and guard
+    /// selection collapse to the same op on known words.
+    Sel {
+        dst: u32,
+        c: u32,
+        t: u32,
+        e: u32,
+    },
+    /// Guard `a && !b`.
+    AndNot {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+}
+
+/// A commit lowered to the word lane; the store updates the signal's word
+/// planes in place (`set_known_word`), which is representation-identical
+/// to the generic lane's canonical [`LogicVec`] store because the target
+/// keeps its declared width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FastCommit {
+    sig: SignalId,
+    slot: u32,
+    signed: bool,
+}
+
+/// An NBA push lowered to the word lane. Width/signedness are the *raw*
+/// right-hand side's (coercion happens at NBA commit, like the VM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FastNba {
+    guard: u32,
+    sig: SignalId,
+    slot: u32,
+    width: usize,
+    signed: bool,
+    fused: bool,
+}
+
+/// The u64 fast lane of a process: compiled only when every op's
+/// width/sign metadata proves word evaluation exact; bails (before any
+/// state mutation) to the generic lane on unknown inputs or division by
+/// zero.
+#[derive(Debug, Clone, PartialEq)]
+struct FastProc {
+    ops: Vec<FastOp>,
+    commits: Vec<FastCommit>,
+    nba: Vec<FastNba>,
+    /// Word indices of conditional-pc guards (cost accounting).
+    cost_guards: Vec<u32>,
+    /// Word index of the constant-true guard.
+    btrue: u32,
+}
+
+/// One lowered process: the levelized op list plus its commit/NBA plan and
+/// step-cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetProc {
+    ops: Vec<NetOp>,
+    consts: Vec<LogicVec>,
+    commits: Vec<Commit>,
+    nba: Vec<NbaPush>,
+    /// Steps for the unconditional pcs (incl. the loop-back `Jump` and the
+    /// re-parking `WaitEventTable`).
+    cost_base: u64,
+    /// Guard slots of conditionally executed pcs; each true guard is one
+    /// more step.
+    cost_guards: Vec<u32>,
+    /// `cost_base + cost_guards.len()` — the widest possible wake.
+    pub max_cost: u64,
+    slots: u32,
+    bools: u32,
+    /// Levelized logic depth of the cone (ranks, from
+    /// [`vgen_synth::levelize_deps`]).
+    pub depth: u32,
+    fast: Option<FastProc>,
+}
+
+/// A compiled netlist program: one optional [`NetProc`] per design
+/// process (ineligible processes stay on the bytecode VM).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NetProgram {
+    /// Per-process lowering, same order as [`Design::processes`].
+    pub procs: Vec<Option<NetProc>>,
+    /// Number of lowered processes.
+    pub eligible: usize,
+    /// Maximum value-slot arena size across processes.
+    pub max_slots: usize,
+    /// Maximum guard arena size across processes.
+    pub max_bools: usize,
+    /// Maximum word arena size (slots + guards) across processes.
+    pub max_words: usize,
+    /// Deepest levelized cone across processes.
+    pub max_depth: u32,
+    /// Number of processes whose fast (u64 word) lane compiled.
+    pub fast_procs: usize,
+}
+
+/// Reusable per-simulator evaluation arenas, sized for the widest process.
+#[derive(Debug, Clone, Default)]
+pub struct NetScratch {
+    slots: Vec<LogicVec>,
+    bools: Vec<bool>,
+    words: Vec<u64>,
+}
+
+impl NetScratch {
+    /// Allocates arenas sized for `program`.
+    pub fn for_program(program: &NetProgram) -> Self {
+        NetScratch {
+            slots: vec![LogicVec::from_bool(false); program.max_slots],
+            bools: vec![false; program.max_bools],
+            words: vec![0; program.max_words],
+        }
+    }
+}
+
+/// Whether an expression stays inside the lowerable subset: pure, over
+/// whole signals, with no memories, strings, system or user calls.
+fn expr_ok(e: &EExpr) -> bool {
+    match e {
+        EExpr::Const(_) | EExpr::Signal(_) => true,
+        EExpr::Read(SelectBase::Signal(_)) => true,
+        EExpr::BitSelect {
+            base: SelectBase::Signal(_),
+            index,
+        } => expr_ok(index),
+        EExpr::PartSelect {
+            base: SelectBase::Signal(_),
+            ..
+        } => true,
+        EExpr::IndexedSelect {
+            base: SelectBase::Signal(_),
+            start,
+            ..
+        } => expr_ok(start),
+        EExpr::Resize { arg, .. } | EExpr::Unary { arg, .. } => expr_ok(arg),
+        EExpr::Binary { lhs, rhs, .. } => expr_ok(lhs) && expr_ok(rhs),
+        EExpr::Ternary { cond, then, els } => expr_ok(cond) && expr_ok(then) && expr_ok(els),
+        EExpr::Concat(items) => !items.is_empty() && items.iter().all(expr_ok),
+        EExpr::Replicate { count, items } => {
+            *count > 0 && !items.is_empty() && items.iter().all(expr_ok)
+        }
+        _ => false,
+    }
+}
+
+/// A symbolic control-flow path: its guard and the blocking-assignment
+/// environment accumulated along it.
+#[derive(Debug, Clone)]
+struct PathState {
+    guard: u32,
+    env: BTreeMap<SignalId, u32>,
+}
+
+/// Static `(width, signed)` of a slot when both are compile-time certain
+/// for every reachable evaluation (used only by the fast lane).
+type Meta = Option<(usize, bool)>;
+
+struct Lowerer<'a> {
+    design: &'a Design,
+    ops: Vec<NetOp>,
+    consts: Vec<LogicVec>,
+    meta: Vec<Meta>,
+    bools: u32,
+    inputs: BTreeMap<SignalId, u32>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(design: &'a Design) -> Self {
+        Lowerer {
+            design,
+            ops: Vec::new(),
+            consts: Vec::new(),
+            meta: Vec::new(),
+            bools: 1, // slot 0 is the constant-true entry guard
+            inputs: BTreeMap::new(),
+        }
+    }
+
+    fn slot(&mut self, meta: Meta) -> u32 {
+        self.meta.push(meta);
+        (self.meta.len() - 1) as u32
+    }
+
+    fn bool_slot(&mut self) -> u32 {
+        self.bools += 1;
+        self.bools - 1
+    }
+
+    fn konst(&mut self, v: &LogicVec) -> u32 {
+        let idx = match self.consts.iter().position(|c| c == v) {
+            Some(i) => i as u32,
+            None => {
+                self.consts.push(v.clone());
+                (self.consts.len() - 1) as u32
+            }
+        };
+        let dst = self.slot(Some((v.width(), v.is_signed())));
+        self.ops.push(NetOp::Const { dst, idx });
+        dst
+    }
+
+    /// The pre-sweep value of `sig`, memoized: the store never changes
+    /// during a sweep, so one read per signal serves every path.
+    fn input(&mut self, sig: SignalId) -> u32 {
+        if let Some(&s) = self.inputs.get(&sig) {
+            return s;
+        }
+        let d = self.design.signal(sig);
+        let dst = self.slot(Some((d.width, d.signed)));
+        self.ops.push(NetOp::Input { dst, sig });
+        self.inputs.insert(sig, dst);
+        dst
+    }
+
+    /// The in-path value of `sig`: the environment when assigned earlier
+    /// on this path, the store otherwise.
+    fn read(&mut self, sig: SignalId, env: &BTreeMap<SignalId, u32>) -> u32 {
+        match env.get(&sig) {
+            Some(&s) => s,
+            None => self.input(sig),
+        }
+    }
+
+    fn coerce(&mut self, src: u32, width: usize, signed: bool) -> u32 {
+        let dst = self.slot(Some((width, signed)));
+        self.ops.push(NetOp::Coerce {
+            dst,
+            src,
+            width,
+            signed,
+        });
+        dst
+    }
+
+    fn mux(&mut self, sel: u32, t: u32, e: u32) -> u32 {
+        let meta = match (self.meta[t as usize], self.meta[e as usize]) {
+            (Some(a), Some(b)) if a == b => Some(a),
+            _ => None,
+        };
+        let dst = self.slot(meta);
+        self.ops.push(NetOp::Mux { dst, sel, t, e });
+        dst
+    }
+
+    fn btruthy(&mut self, src: u32) -> u32 {
+        let dst = self.bool_slot();
+        self.ops.push(NetOp::BTruthy { dst, src });
+        dst
+    }
+
+    fn band(&mut self, a: u32, b: u32) -> u32 {
+        if a == BTRUE {
+            return b;
+        }
+        let dst = self.bool_slot();
+        self.ops.push(NetOp::BAnd { dst, a, b });
+        dst
+    }
+
+    fn bandnot(&mut self, a: u32, b: u32) -> u32 {
+        let dst = self.bool_slot();
+        self.ops.push(NetOp::BAndNot { dst, a, b });
+        dst
+    }
+
+    fn bor(&mut self, a: u32, b: u32) -> u32 {
+        let dst = self.bool_slot();
+        self.ops.push(NetOp::BOr { dst, a, b });
+        dst
+    }
+
+    /// Merges the incoming paths of a pc. Incoming guards are pairwise
+    /// disjoint by construction (branches split a guard into `g && b` and
+    /// `g && !b`), so at most one is true at run time and a mux chain
+    /// keyed on each path's guard reconstructs the taken path's value.
+    fn merge(&mut self, mut paths: Vec<PathState>) -> PathState {
+        if paths.len() == 1 {
+            return paths.pop().expect("non-empty");
+        }
+        let mut guard = paths[0].guard;
+        for p in &paths[1..] {
+            guard = self.bor(guard, p.guard);
+        }
+        let mut keys: Vec<SignalId> = paths.iter().flat_map(|p| p.env.keys().copied()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut env = BTreeMap::new();
+        for s in keys {
+            let mut vals = Vec::with_capacity(paths.len());
+            for p in &paths {
+                // A path that never assigned `s` carries the pre-sweep
+                // store value — exactly what the VM would read there.
+                let v = match p.env.get(&s) {
+                    Some(&v) => v,
+                    None => self.input(s),
+                };
+                vals.push(v);
+            }
+            let mut acc = vals[0];
+            for (p, &v) in paths.iter().zip(&vals).skip(1) {
+                if v != acc {
+                    acc = self.mux(p.guard, v, acc);
+                }
+            }
+            env.insert(s, acc);
+        }
+        PathState { guard, env }
+    }
+
+    /// Lowers an eligible expression to a slot, mirroring the bytecode
+    /// compiler's shape (index/base evaluation order, part-select position
+    /// precomputation, extend-only resize).
+    fn lower(&mut self, e: &EExpr, env: &BTreeMap<SignalId, u32>) -> u32 {
+        match e {
+            EExpr::Const(v) => self.konst(v),
+            EExpr::Signal(s) | EExpr::Read(SelectBase::Signal(s)) => self.read(*s, env),
+            EExpr::BitSelect {
+                base: SelectBase::Signal(s),
+                index,
+            } => {
+                let index = self.lower(index, env);
+                let value = self.read(*s, env);
+                let dst = self.slot(Some((1, false)));
+                self.ops.push(NetOp::BitSel {
+                    dst,
+                    index,
+                    value,
+                    sig: *s,
+                });
+                dst
+            }
+            EExpr::PartSelect {
+                base: SelectBase::Signal(s),
+                msb,
+                lsb,
+            } => {
+                let d = self.design.signal(*s);
+                let hi = d.bit_position(*msb).unwrap_or(usize::MAX);
+                let lo = d.bit_position(*lsb).unwrap_or(usize::MAX);
+                if hi == usize::MAX || lo == usize::MAX || hi < lo {
+                    let width = (*msb - *lsb).unsigned_abs() as usize + 1;
+                    let dst = self.slot(Some((width, false)));
+                    self.ops.push(NetOp::Unknown { dst, width });
+                    return dst;
+                }
+                let base = self.read(*s, env);
+                let dst = self.slot(Some((hi - lo + 1, false)));
+                self.ops.push(NetOp::PartSel { dst, base, hi, lo });
+                dst
+            }
+            EExpr::IndexedSelect {
+                base: SelectBase::Signal(s),
+                start,
+                width,
+                ascending,
+            } => {
+                let base = self.read(*s, env);
+                let start = self.lower(start, env);
+                let dst = self.slot(Some((*width, false)));
+                self.ops.push(NetOp::IndexedSel {
+                    dst,
+                    base,
+                    start,
+                    sig: *s,
+                    width: *width,
+                    ascending: *ascending,
+                });
+                dst
+            }
+            EExpr::Resize { width, arg } => {
+                let src = self.lower(arg, env);
+                let meta = self.meta[src as usize].map(|(w, s)| (w.max(*width), s));
+                let dst = self.slot(meta);
+                self.ops.push(NetOp::Resize {
+                    dst,
+                    src,
+                    width: *width,
+                });
+                dst
+            }
+            EExpr::Unary { op, arg } => {
+                let src = self.lower(arg, env);
+                let meta = self.meta[src as usize].map(|(w, s)| match op {
+                    UnaryOp::Plus | UnaryOp::Neg | UnaryOp::BitNot => (w, s),
+                    _ => (1, false),
+                });
+                let dst = self.slot(meta);
+                self.ops.push(NetOp::Unary { dst, op: *op, src });
+                dst
+            }
+            EExpr::Binary { op, lhs, rhs } => {
+                let l = self.lower(lhs, env);
+                let r = self.lower(rhs, env);
+                let meta = match (self.meta[l as usize], self.meta[r as usize]) {
+                    (Some((wl, sl)), Some((wr, sr))) => match op {
+                        BinaryOp::Add
+                        | BinaryOp::Sub
+                        | BinaryOp::Mul
+                        | BinaryOp::Div
+                        | BinaryOp::Rem
+                        | BinaryOp::BitAnd
+                        | BinaryOp::BitOr
+                        | BinaryOp::BitXor
+                        | BinaryOp::BitXnor => Some((wl.max(wr), sl && sr)),
+                        BinaryOp::Eq
+                        | BinaryOp::Ne
+                        | BinaryOp::CaseEq
+                        | BinaryOp::CaseNe
+                        | BinaryOp::Lt
+                        | BinaryOp::Le
+                        | BinaryOp::Gt
+                        | BinaryOp::Ge
+                        | BinaryOp::LogicAnd
+                        | BinaryOp::LogicOr => Some((1, false)),
+                        BinaryOp::Shl | BinaryOp::Shr | BinaryOp::AShl | BinaryOp::AShr => {
+                            Some((wl, sl))
+                        }
+                        BinaryOp::Pow => None,
+                    },
+                    _ => None,
+                };
+                let dst = self.slot(meta);
+                self.ops.push(NetOp::Binary {
+                    dst,
+                    op: *op,
+                    lhs: l,
+                    rhs: r,
+                });
+                dst
+            }
+            EExpr::Ternary { cond, then, els } => {
+                let cond = self.lower(cond, env);
+                let t = self.lower(then, env);
+                let e_ = self.lower(els, env);
+                // When the branch widths or signs differ the run-time
+                // result depends on the taken branch (and an unknown
+                // condition yields an unsigned merge), so no static meta.
+                let meta = match (self.meta[t as usize], self.meta[e_ as usize]) {
+                    (Some(a), Some(b)) if a == b => Some(a),
+                    _ => None,
+                };
+                let dst = self.slot(meta);
+                self.ops.push(NetOp::Ternary {
+                    dst,
+                    cond,
+                    t,
+                    e: e_,
+                });
+                dst
+            }
+            EExpr::Concat(items) => {
+                let parts: Vec<u32> = items.iter().map(|i| self.lower(i, env)).collect();
+                let mut meta = Some((0usize, false));
+                for &p in &parts {
+                    meta = match (meta, self.meta[p as usize]) {
+                        (Some((acc, _)), Some((w, _))) => Some((acc + w, false)),
+                        _ => None,
+                    };
+                }
+                let dst = self.slot(meta);
+                self.ops.push(NetOp::Concat {
+                    dst,
+                    parts: parts.into_boxed_slice(),
+                });
+                dst
+            }
+            EExpr::Replicate { count, items } => {
+                // The bytecode lowers replication as concat-then-replicate.
+                let src = if items.len() == 1 {
+                    self.lower(&items[0], env)
+                } else {
+                    let parts: Vec<u32> = items.iter().map(|i| self.lower(i, env)).collect();
+                    let mut meta = Some((0usize, false));
+                    for &p in &parts {
+                        meta = match (meta, self.meta[p as usize]) {
+                            (Some((acc, _)), Some((w, _))) => Some((acc + w, false)),
+                            _ => None,
+                        };
+                    }
+                    let dst = self.slot(meta);
+                    self.ops.push(NetOp::Concat {
+                        dst,
+                        parts: parts.into_boxed_slice(),
+                    });
+                    dst
+                };
+                let meta = self.meta[src as usize].map(|(w, _)| (w * count, false));
+                let dst = self.slot(meta);
+                self.ops.push(NetOp::Replicate {
+                    dst,
+                    src,
+                    count: *count,
+                });
+                dst
+            }
+            _ => unreachable!("expr_ok admitted a non-lowerable expression"),
+        }
+    }
+}
+
+/// Compiles every eligible `always` process of `design` into a levelized
+/// cone. Returns an empty program (all processes on the VM) when the
+/// design as a whole is outside the subset: generic-scan waiters or
+/// `wait(cond)` processes can observe intermediate values on *any* write,
+/// which end-of-sweep commits would hide.
+pub fn compile_netlist(design: &Design, program: &BcProgram) -> NetProgram {
+    let mut out = NetProgram {
+        procs: vec![None; design.processes.len()],
+        ..NetProgram::default()
+    };
+    let globally_ok = !program.any_generic_waits
+        && !design
+            .processes
+            .iter()
+            .any(|p| p.code.iter().any(|i| matches!(i, Instr::WaitCond(_))));
+    if !globally_ok {
+        return out;
+    }
+    for (i, proc) in design.processes.iter().enumerate() {
+        if let Some(np) = compile_proc(design, program, i, proc) {
+            out.eligible += 1;
+            out.max_slots = out.max_slots.max(np.slots as usize);
+            out.max_bools = out.max_bools.max(np.bools as usize);
+            out.max_words = out.max_words.max(np.slots as usize + np.bools as usize);
+            out.max_depth = out.max_depth.max(np.depth);
+            out.fast_procs += usize::from(np.fast.is_some());
+            out.procs[i] = Some(np);
+        }
+    }
+    out
+}
+
+fn compile_proc(
+    design: &Design,
+    program: &BcProgram,
+    pidx: usize,
+    proc: &crate::design::Process,
+) -> Option<NetProc> {
+    if proc.kind != ProcessKind::Always {
+        return None;
+    }
+    let code = &proc.code;
+    let bc = &program.procs[pidx];
+    let last = code.len().checked_sub(1)?;
+    if last < 1 {
+        return None;
+    }
+    // Shape: a table-compiled event wait at pc 0, the loop-back jump at the
+    // end, and a branch-forward body in between.
+    let Instr::WaitEvent(sens) = &code[0] else {
+        return None;
+    };
+    if sens.terms.is_empty()
+        || !sens.mems.is_empty()
+        || !sens
+            .terms
+            .iter()
+            .all(|t| matches!(t.expr, EExpr::Signal(_)))
+    {
+        return None;
+    }
+    if !matches!(bc.code.first(), Some(BcInstr::WaitEventTable)) {
+        return None;
+    }
+    if !matches!(code[last], Instr::Jump(0)) {
+        return None;
+    }
+    for (pc, instr) in code.iter().enumerate().take(last).skip(1) {
+        let ok = match instr {
+            // Blocking targets must be whole *unwatched* signals: a watched
+            // target would wake other processes mid-body, which
+            // end-of-sweep commits cannot reproduce.
+            Instr::Assign {
+                lv: LValue::Signal(s),
+                rhs,
+            } => program.watches[s.0 as usize].is_empty() && expr_ok(rhs),
+            // NBA targets commit through the scheduler's normal NBA region,
+            // so watched signals are fine here.
+            Instr::AssignNba {
+                lv: LValue::Signal(_),
+                rhs,
+            } => expr_ok(rhs),
+            Instr::Jump(t) => *t > pc && *t <= last,
+            Instr::JumpIfFalse { cond, target } => *target > pc && *target <= last && expr_ok(cond),
+            Instr::JumpIfNoMatch {
+                sel, label, target, ..
+            } => *target > pc && *target <= last && expr_ok(sel) && expr_ok(label),
+            _ => false,
+        };
+        if !ok {
+            return None;
+        }
+    }
+
+    // Symbolic execution in pc order; forward-only branches mean every
+    // incoming edge of a pc is produced before the pc is visited.
+    let mut lw = Lowerer::new(design);
+    let mut incoming: Vec<Vec<PathState>> = vec![Vec::new(); last + 1];
+    incoming[1].push(PathState {
+        guard: BTRUE,
+        env: BTreeMap::new(),
+    });
+    // The loop-back jump and the re-parking event wait always execute.
+    let mut cost_base: u64 = 2;
+    let mut cost_guards: Vec<u32> = Vec::new();
+    let mut nba: Vec<NbaPush> = Vec::new();
+    let mut final_env = BTreeMap::new();
+    for pc in 1..=last {
+        let paths = std::mem::take(&mut incoming[pc]);
+        if paths.is_empty() {
+            continue; // dead code the VM would never visit
+        }
+        let st = lw.merge(paths);
+        if pc == last {
+            // All control flow funnels here, so the merged guard is
+            // statically true and the env holds each blocking target's
+            // final value.
+            final_env = st.env;
+            break;
+        }
+        if st.guard == BTRUE {
+            cost_base += 1;
+        } else {
+            cost_guards.push(st.guard);
+        }
+        match &code[pc] {
+            Instr::Assign {
+                lv: LValue::Signal(s),
+                rhs,
+            } => {
+                let v = lw.lower(rhs, &st.env);
+                let d = design.signal(*s);
+                let c = lw.coerce(v, d.width, d.signed);
+                let mut env = st.env;
+                env.insert(*s, c);
+                incoming[pc + 1].push(PathState {
+                    guard: st.guard,
+                    env,
+                });
+            }
+            Instr::AssignNba {
+                lv: LValue::Signal(s),
+                rhs,
+            } => {
+                let v = lw.lower(rhs, &st.env);
+                let fused = matches!(
+                    bc.code[pc],
+                    BcInstr::NbaSig { .. } | BcInstr::NbaUnary { .. } | BcInstr::NbaBinary { .. }
+                );
+                nba.push(NbaPush {
+                    guard: st.guard,
+                    sig: *s,
+                    slot: v,
+                    fused,
+                });
+                incoming[pc + 1].push(st);
+            }
+            Instr::Jump(t) => incoming[*t].push(st),
+            Instr::JumpIfFalse { cond, target } => {
+                let c = lw.lower(cond, &st.env);
+                let b = lw.btruthy(c);
+                let taken = lw.band(st.guard, b);
+                let fallen = lw.bandnot(st.guard, b);
+                incoming[pc + 1].push(PathState {
+                    guard: taken,
+                    env: st.env.clone(),
+                });
+                incoming[*target].push(PathState {
+                    guard: fallen,
+                    env: st.env,
+                });
+            }
+            Instr::JumpIfNoMatch {
+                kind,
+                sel,
+                label,
+                target,
+            } => {
+                let s_ = lw.lower(sel, &st.env);
+                let l_ = lw.lower(label, &st.env);
+                let m = lw.bool_slot();
+                lw.ops.push(NetOp::BMatch {
+                    dst: m,
+                    kind: *kind,
+                    sel: s_,
+                    label: l_,
+                });
+                let matched = lw.band(st.guard, m);
+                let unmatched = lw.bandnot(st.guard, m);
+                incoming[pc + 1].push(PathState {
+                    guard: matched,
+                    env: st.env.clone(),
+                });
+                incoming[*target].push(PathState {
+                    guard: unmatched,
+                    env: st.env,
+                });
+            }
+            _ => unreachable!("eligibility admitted a non-lowerable instruction"),
+        }
+    }
+    let commits: Vec<Commit> = final_env
+        .iter()
+        .map(|(&sig, &slot)| Commit { sig, slot })
+        .collect();
+
+    let (ops, depth) = levelize_ops(lw.ops, lw.meta.len(), lw.bools);
+    let meta = lw.meta;
+    let slots = meta.len() as u32;
+    let bools = lw.bools;
+    let max_cost = cost_base + cost_guards.len() as u64;
+    let fast = compile_fast(
+        design,
+        &ops,
+        &meta,
+        &lw.consts,
+        &commits,
+        &nba,
+        &cost_guards,
+        slots,
+        bools,
+    );
+    Some(NetProc {
+        ops,
+        consts: lw.consts,
+        commits,
+        nba,
+        cost_base,
+        cost_guards,
+        max_cost,
+        slots,
+        bools,
+        depth,
+        fast,
+    })
+}
+
+/// Ranks the op list with the shared synth levelizer and re-orders it into
+/// `(rank, emission index)` order. Emission order is already topological
+/// (SSA construction), so this is value-preserving; the ranks give the
+/// cone's logic depth and pin down the levelized-evaluation invariant.
+fn levelize_ops(ops: Vec<NetOp>, slots: usize, bools: u32) -> (Vec<NetOp>, u32) {
+    let mut slot_producer = vec![u32::MAX; slots];
+    let mut bool_producer = vec![u32::MAX; bools as usize];
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            NetOp::BTruthy { dst, .. }
+            | NetOp::BMatch { dst, .. }
+            | NetOp::BAnd { dst, .. }
+            | NetOp::BAndNot { dst, .. }
+            | NetOp::BOr { dst, .. } => bool_producer[*dst as usize] = i as u32,
+            _ => slot_producer[op_dst(op) as usize] = i as u32,
+        }
+    }
+    let push_slot = |out: &mut Vec<usize>, s: u32| {
+        let p = slot_producer[s as usize];
+        if p != u32::MAX {
+            out.push(p as usize);
+        }
+    };
+    let push_bool = |out: &mut Vec<usize>, g: u32| {
+        let p = bool_producer[g as usize];
+        if p != u32::MAX {
+            out.push(p as usize);
+        }
+    };
+    let lev = levelize_deps(ops.len(), |i, out| match &ops[i] {
+        NetOp::Const { .. } | NetOp::Input { .. } | NetOp::Unknown { .. } => {}
+        NetOp::BitSel { index, value, .. } => {
+            push_slot(out, *index);
+            push_slot(out, *value);
+        }
+        NetOp::PartSel { base, .. } => push_slot(out, *base),
+        NetOp::IndexedSel { base, start, .. } => {
+            push_slot(out, *base);
+            push_slot(out, *start);
+        }
+        NetOp::Resize { src, .. }
+        | NetOp::Unary { src, .. }
+        | NetOp::Replicate { src, .. }
+        | NetOp::Coerce { src, .. }
+        | NetOp::BTruthy { src, .. } => push_slot(out, *src),
+        NetOp::Binary { lhs, rhs, .. } => {
+            push_slot(out, *lhs);
+            push_slot(out, *rhs);
+        }
+        NetOp::Ternary { cond, t, e, .. } => {
+            push_slot(out, *cond);
+            push_slot(out, *t);
+            push_slot(out, *e);
+        }
+        NetOp::Concat { parts, .. } => {
+            for &p in parts.iter() {
+                push_slot(out, p);
+            }
+        }
+        NetOp::BMatch { sel, label, .. } => {
+            push_slot(out, *sel);
+            push_slot(out, *label);
+        }
+        NetOp::Mux { sel, t, e, .. } => {
+            push_bool(out, *sel);
+            push_slot(out, *t);
+            push_slot(out, *e);
+        }
+        NetOp::BAnd { a, b, .. } | NetOp::BAndNot { a, b, .. } | NetOp::BOr { a, b, .. } => {
+            push_bool(out, *a);
+            push_bool(out, *b);
+        }
+    })
+    .expect("SSA emission order is acyclic");
+    let ordered: Vec<NetOp> = lev.order.iter().map(|&i| ops[i as usize].clone()).collect();
+    (ordered, lev.depth)
+}
+
+fn op_dst(op: &NetOp) -> u32 {
+    match op {
+        NetOp::Const { dst, .. }
+        | NetOp::Input { dst, .. }
+        | NetOp::BitSel { dst, .. }
+        | NetOp::PartSel { dst, .. }
+        | NetOp::IndexedSel { dst, .. }
+        | NetOp::Unknown { dst, .. }
+        | NetOp::Resize { dst, .. }
+        | NetOp::Unary { dst, .. }
+        | NetOp::Binary { dst, .. }
+        | NetOp::Ternary { dst, .. }
+        | NetOp::Concat { dst, .. }
+        | NetOp::Replicate { dst, .. }
+        | NetOp::Coerce { dst, .. }
+        | NetOp::Mux { dst, .. }
+        | NetOp::BTruthy { dst, .. }
+        | NetOp::BMatch { dst, .. }
+        | NetOp::BAnd { dst, .. }
+        | NetOp::BAndNot { dst, .. }
+        | NetOp::BOr { dst, .. } => *dst,
+    }
+}
+
+fn mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Tries to lower the whole op list to the u64 word lane. All-or-nothing:
+/// any op whose exactness the width/sign metadata cannot prove keeps the
+/// process on the generic lane.
+#[allow(clippy::too_many_arguments)]
+fn compile_fast(
+    design: &Design,
+    ops: &[NetOp],
+    meta: &[Meta],
+    consts: &[LogicVec],
+    commits: &[Commit],
+    nba: &[NbaPush],
+    cost_guards: &[u32],
+    slots: u32,
+    bools: u32,
+) -> Option<FastProc> {
+    let bword = |b: u32| slots + b;
+    let m = |s: u32| meta[s as usize].filter(|&(w, _)| w <= 64);
+    // Copy elimination: bit-preserving moves (context resizes that only
+    // rename, coercions that change nothing, unary plus) alias their
+    // destination slot to the source instead of spending a word op per
+    // sweep. Ops arrive in levelized order — producers strictly precede
+    // consumers — so an alias is fully resolved the moment it is recorded
+    // and operand lookups never chase chains.
+    let mut alias: Vec<u32> = (0..slots + bools).collect();
+    let mut out = Vec::with_capacity(ops.len());
+    for op in ops {
+        let f = match op {
+            NetOp::Const { dst, idx } => {
+                let c = &consts[*idx as usize];
+                if c.width() > 64 {
+                    return None;
+                }
+                FastOp::Const {
+                    dst: *dst,
+                    val: c.to_u64()?,
+                }
+            }
+            NetOp::Input { dst, sig } => {
+                if design.signal(*sig).width > 64 {
+                    return None;
+                }
+                FastOp::Input {
+                    dst: *dst,
+                    sig: *sig,
+                }
+            }
+            // Dynamic selects, replication and all-x values stay generic.
+            NetOp::BitSel { .. }
+            | NetOp::IndexedSel { .. }
+            | NetOp::Unknown { .. }
+            | NetOp::Replicate { .. } => return None,
+            NetOp::PartSel { dst, base, hi, lo } => {
+                let (wb, _) = m(*base)?;
+                if *hi >= wb {
+                    return None; // positions past the value read x
+                }
+                FastOp::Shift {
+                    dst: *dst,
+                    src: alias[*base as usize],
+                    shr: *lo as u32,
+                    mask: mask(hi - lo + 1),
+                }
+            }
+            NetOp::Resize { dst, src, width } => {
+                let (ws, ss) = m(*src)?;
+                if *width > 64 || (ws < *width && ss) {
+                    return None; // widening a signed value sign-extends
+                }
+                // Zero-extension of a masked word is a no-op.
+                alias[*dst as usize] = alias[*src as usize];
+                continue;
+            }
+            NetOp::Coerce {
+                dst,
+                src,
+                width,
+                signed: _,
+            } => {
+                let (ws, ss) = m(*src)?;
+                if *width > 64 {
+                    return None;
+                }
+                if ws > *width {
+                    FastOp::Mask {
+                        dst: *dst,
+                        src: alias[*src as usize],
+                        mask: mask(*width),
+                    }
+                } else if ws == *width || !ss {
+                    alias[*dst as usize] = alias[*src as usize];
+                    continue;
+                } else {
+                    return None;
+                }
+            }
+            NetOp::Unary { dst, op, src } => {
+                let (wa, _) = m(*src)?;
+                let (fop, msk) = match op {
+                    UnaryOp::Plus => {
+                        alias[*dst as usize] = alias[*src as usize];
+                        continue;
+                    }
+                    UnaryOp::Neg => (FastUn::Neg, mask(wa)),
+                    UnaryOp::BitNot => (FastUn::Not, mask(wa)),
+                    UnaryOp::LogicNot => (FastUn::LogicNot, 0),
+                    UnaryOp::ReduceAnd => (FastUn::RedAnd, mask(wa)),
+                    UnaryOp::ReduceOr => (FastUn::RedOr, 0),
+                    UnaryOp::ReduceXor => (FastUn::RedXor, 0),
+                    UnaryOp::ReduceNand => (FastUn::RedNand, mask(wa)),
+                    UnaryOp::ReduceNor => (FastUn::RedNor, 0),
+                    UnaryOp::ReduceXnor => (FastUn::RedXnor, 0),
+                };
+                FastOp::Un {
+                    dst: *dst,
+                    op: fop,
+                    a: alias[*src as usize],
+                    mask: msk,
+                }
+            }
+            NetOp::Binary { dst, op, lhs, rhs } => {
+                let (wl, sl) = m(*lhs)?;
+                let (wr, sr) = m(*rhs)?;
+                let wj = wl.max(wr);
+                // Width widening sign-extends signed operands
+                // (`ext_fill`), which a zero-extended word cannot emulate;
+                // equal widths never widen, and modular ops are then
+                // low-bit exact for either sign reading.
+                let nowiden = wl == wr || (!sl && !sr);
+                let (fop, msk) = match op {
+                    BinaryOp::Add if nowiden => (FastBin::Add, mask(wj)),
+                    BinaryOp::Sub if nowiden => (FastBin::Sub, mask(wj)),
+                    BinaryOp::Mul if nowiden => (FastBin::Mul, mask(wj)),
+                    // Signed division is not modular: unsigned only.
+                    BinaryOp::Div if !sl && !sr => (FastBin::Div, mask(wj)),
+                    BinaryOp::Rem if !sl && !sr => (FastBin::Rem, mask(wj)),
+                    BinaryOp::BitAnd if nowiden => (FastBin::And, 0),
+                    BinaryOp::BitOr if nowiden => (FastBin::Or, 0),
+                    BinaryOp::BitXor if nowiden => (FastBin::Xor, 0),
+                    BinaryOp::BitXnor if nowiden => (FastBin::Xnor, mask(wj)),
+                    BinaryOp::Eq | BinaryOp::CaseEq if nowiden => (FastBin::Eq, 0),
+                    BinaryOp::Ne | BinaryOp::CaseNe if nowiden => (FastBin::Ne, 0),
+                    // cmp_values compares raw to_u64 bits unless *both*
+                    // sides are signed.
+                    BinaryOp::Lt if !(sl && sr) => (FastBin::Lt, 0),
+                    BinaryOp::Le if !(sl && sr) => (FastBin::Le, 0),
+                    BinaryOp::Gt if !(sl && sr) => (FastBin::Gt, 0),
+                    BinaryOp::Ge if !(sl && sr) => (FastBin::Ge, 0),
+                    BinaryOp::LogicAnd => (FastBin::LogicAnd, 0),
+                    BinaryOp::LogicOr => (FastBin::LogicOr, 0),
+                    BinaryOp::Shl | BinaryOp::AShl => (FastBin::Shl, mask(wl)),
+                    BinaryOp::Shr => (FastBin::Shr, 0),
+                    // Arithmetic shift right of an unsigned value is a
+                    // logical shift; signed sign-fill stays generic.
+                    BinaryOp::AShr if !sl => (FastBin::Shr, 0),
+                    _ => return None,
+                };
+                FastOp::Bin {
+                    dst: *dst,
+                    op: fop,
+                    a: alias[*lhs as usize],
+                    b: alias[*rhs as usize],
+                    mask: msk,
+                }
+            }
+            NetOp::Ternary { dst, cond, t, e } => {
+                m(*cond)?;
+                // Result meta must be static (equal branch width/sign); a
+                // known word condition always selects one branch exactly.
+                m(op_meta_slot(*dst, meta)?)?;
+                FastOp::Sel {
+                    dst: *dst,
+                    c: alias[*cond as usize],
+                    t: alias[*t as usize],
+                    e: alias[*e as usize],
+                }
+            }
+            NetOp::Concat { dst, parts } => {
+                let mut total = 0usize;
+                let mut ps = Vec::with_capacity(parts.len());
+                for &p in parts.iter() {
+                    let (w, _) = m(p)?;
+                    total += w;
+                    ps.push((alias[p as usize], w as u32));
+                }
+                if total > 64 {
+                    return None;
+                }
+                FastOp::Concat {
+                    dst: *dst,
+                    parts: ps.into_boxed_slice(),
+                }
+            }
+            NetOp::Mux { dst, sel, t, e } => {
+                m(op_meta_slot(*dst, meta)?)?;
+                FastOp::Sel {
+                    dst: *dst,
+                    c: bword(*sel),
+                    t: alias[*t as usize],
+                    e: alias[*e as usize],
+                }
+            }
+            NetOp::BTruthy { dst, src } => {
+                m(*src)?;
+                FastOp::Un {
+                    dst: bword(*dst),
+                    op: FastUn::Truthy,
+                    a: alias[*src as usize],
+                    mask: 0,
+                }
+            }
+            NetOp::BMatch {
+                dst, sel, label, ..
+            } => {
+                // Known words carry no x/z, so every case flavour is plain
+                // equality — after the same no-widening proof as Eq.
+                let (wl, sl) = m(*sel)?;
+                let (wr, sr) = m(*label)?;
+                if wl != wr && (sl || sr) {
+                    return None;
+                }
+                FastOp::Bin {
+                    dst: bword(*dst),
+                    op: FastBin::Eq,
+                    a: alias[*sel as usize],
+                    b: alias[*label as usize],
+                    mask: 0,
+                }
+            }
+            NetOp::BAnd { dst, a, b } => FastOp::Bin {
+                dst: bword(*dst),
+                op: FastBin::And,
+                a: bword(*a),
+                b: bword(*b),
+                mask: 0,
+            },
+            NetOp::BAndNot { dst, a, b } => FastOp::AndNot {
+                dst: bword(*dst),
+                a: bword(*a),
+                b: bword(*b),
+            },
+            NetOp::BOr { dst, a, b } => FastOp::Bin {
+                dst: bword(*dst),
+                op: FastBin::Or,
+                a: bword(*a),
+                b: bword(*b),
+                mask: 0,
+            },
+        };
+        out.push(f);
+    }
+    let mut fcommits = Vec::with_capacity(commits.len());
+    for c in commits {
+        let (_, s) = m(c.slot)?;
+        fcommits.push(FastCommit {
+            sig: c.sig,
+            slot: alias[c.slot as usize],
+            signed: s,
+        });
+    }
+    let mut fnba = Vec::with_capacity(nba.len());
+    for p in nba {
+        let (w, s) = m(p.slot)?;
+        fnba.push(FastNba {
+            guard: bword(p.guard),
+            sig: p.sig,
+            slot: alias[p.slot as usize],
+            width: w,
+            signed: s,
+            fused: p.fused,
+        });
+    }
+    // Operand fusion: an Input whose word feeds exactly one Bin operand
+    // folds into that Bin (`BinA`/`BinB`), cutting a dispatch and a
+    // store/load round-trip through the arena per sweep. State is
+    // read-only during `exec` and every bail precedes every external
+    // effect, so moving the load to the consumer is unobservable.
+    let mut uses = vec![0u32; (slots + bools) as usize];
+    for op in &out {
+        match op {
+            FastOp::Const { .. } | FastOp::Input { .. } | FastOp::BinA { .. } => {}
+            FastOp::Mask { src, .. } | FastOp::Shift { src, .. } => uses[*src as usize] += 1,
+            FastOp::Un { a, .. } | FastOp::BinB { a, .. } => uses[*a as usize] += 1,
+            FastOp::Bin { a, b, .. } | FastOp::AndNot { a, b, .. } => {
+                uses[*a as usize] += 1;
+                uses[*b as usize] += 1;
+            }
+            FastOp::Concat { parts, .. } => {
+                for &(p, _) in parts.iter() {
+                    uses[p as usize] += 1;
+                }
+            }
+            FastOp::Sel { c, t, e, .. } => {
+                uses[*c as usize] += 1;
+                uses[*t as usize] += 1;
+                uses[*e as usize] += 1;
+            }
+        }
+    }
+    for c in &fcommits {
+        uses[c.slot as usize] += 1;
+    }
+    for p in &fnba {
+        uses[p.guard as usize] += 1;
+        uses[p.slot as usize] += 1;
+    }
+    for &g in cost_guards {
+        uses[bword(g) as usize] += 1;
+    }
+    let mut input_sig: Vec<Option<SignalId>> = vec![None; (slots + bools) as usize];
+    for op in &out {
+        if let FastOp::Input { dst, sig } = op {
+            if uses[*dst as usize] == 1 {
+                input_sig[*dst as usize] = Some(*sig);
+            }
+        }
+    }
+    let mut fused = vec![false; (slots + bools) as usize];
+    let mut fops = Vec::with_capacity(out.len());
+    for op in out {
+        match op {
+            FastOp::Bin {
+                dst,
+                op,
+                a,
+                b,
+                mask,
+            } => {
+                if let Some(sig) = input_sig[a as usize] {
+                    fused[a as usize] = true;
+                    fops.push(FastOp::BinA {
+                        dst,
+                        op,
+                        sig,
+                        b,
+                        mask,
+                    });
+                } else if let Some(sig) = input_sig[b as usize] {
+                    fused[b as usize] = true;
+                    fops.push(FastOp::BinB {
+                        dst,
+                        op,
+                        a,
+                        sig,
+                        mask,
+                    });
+                } else {
+                    fops.push(FastOp::Bin {
+                        dst,
+                        op,
+                        a,
+                        b,
+                        mask,
+                    });
+                }
+            }
+            other => fops.push(other),
+        }
+    }
+    fops.retain(|op| !matches!(op, FastOp::Input { dst, .. } if fused[*dst as usize]));
+    Some(FastProc {
+        ops: fops,
+        commits: fcommits,
+        nba: fnba,
+        cost_guards: cost_guards.iter().map(|&g| bword(g)).collect(),
+        btrue: bword(BTRUE),
+    })
+}
+
+/// Identity helper so `m(...)` can gate on a result slot's own meta.
+fn op_meta_slot(dst: u32, meta: &[Meta]) -> Option<u32> {
+    meta[dst as usize].map(|_| dst)
+}
+
+/// The shared binary kernel of the word lane; `None` requests a bail to
+/// the generic lane (division by zero has no known-word result).
+#[inline(always)]
+fn fast_bin(op: FastBin, a: u64, b: u64, mask: u64) -> Option<u64> {
+    Some(match op {
+        FastBin::Add => a.wrapping_add(b) & mask,
+        FastBin::Sub => a.wrapping_sub(b) & mask,
+        FastBin::Mul => a.wrapping_mul(b) & mask,
+        FastBin::Div => {
+            if b == 0 {
+                return None;
+            }
+            (a / b) & mask
+        }
+        FastBin::Rem => {
+            if b == 0 {
+                return None;
+            }
+            (a % b) & mask
+        }
+        FastBin::And => a & b,
+        FastBin::Or => a | b,
+        FastBin::Xor => a ^ b,
+        FastBin::Xnor => !(a ^ b) & mask,
+        FastBin::Shl => {
+            if b >= 64 {
+                0
+            } else {
+                (a << b) & mask
+            }
+        }
+        FastBin::Shr => {
+            if b >= 64 {
+                0
+            } else {
+                a >> b
+            }
+        }
+        FastBin::Eq => (a == b) as u64,
+        FastBin::Ne => (a != b) as u64,
+        FastBin::Lt => (a < b) as u64,
+        FastBin::Le => (a <= b) as u64,
+        FastBin::Gt => (a > b) as u64,
+        FastBin::Ge => (a >= b) as u64,
+        FastBin::LogicAnd => (a != 0 && b != 0) as u64,
+        FastBin::LogicOr => (a != 0 || b != 0) as u64,
+    })
+}
+
+impl FastProc {
+    /// Evaluates the word lane. Returns `false` (with no external effect)
+    /// when an input carries unknown bits or a division by zero occurs;
+    /// the caller then re-runs the generic lane from scratch.
+    fn exec(&self, state: &State, w: &mut [u64]) -> bool {
+        w[self.btrue as usize] = 1;
+        for op in &self.ops {
+            match op {
+                FastOp::Const { dst, val } => w[*dst as usize] = *val,
+                FastOp::Input { dst, sig } => match state.signal(*sig).known_word() {
+                    Some(v) => w[*dst as usize] = v,
+                    None => return false,
+                },
+                FastOp::Mask { dst, src, mask } => w[*dst as usize] = w[*src as usize] & mask,
+                FastOp::Shift {
+                    dst,
+                    src,
+                    shr,
+                    mask,
+                } => w[*dst as usize] = (w[*src as usize] >> shr) & mask,
+                FastOp::Un { dst, op, a, mask } => {
+                    let a = w[*a as usize];
+                    w[*dst as usize] = match op {
+                        FastUn::Not => !a & mask,
+                        FastUn::Neg => a.wrapping_neg() & mask,
+                        FastUn::LogicNot => (a == 0) as u64,
+                        FastUn::RedAnd => (a == *mask) as u64,
+                        FastUn::RedOr => (a != 0) as u64,
+                        FastUn::RedXor => (a.count_ones() & 1) as u64,
+                        FastUn::RedNand => (a != *mask) as u64,
+                        FastUn::RedNor => (a == 0) as u64,
+                        FastUn::RedXnor => (1 ^ (a.count_ones() & 1)) as u64,
+                        FastUn::Truthy => (a != 0) as u64,
+                    };
+                }
+                FastOp::Bin {
+                    dst,
+                    op,
+                    a,
+                    b,
+                    mask,
+                } => match fast_bin(*op, w[*a as usize], w[*b as usize], *mask) {
+                    Some(v) => w[*dst as usize] = v,
+                    None => return false,
+                },
+                FastOp::BinA {
+                    dst,
+                    op,
+                    sig,
+                    b,
+                    mask,
+                } => {
+                    let Some(a) = state.signal(*sig).known_word() else {
+                        return false;
+                    };
+                    match fast_bin(*op, a, w[*b as usize], *mask) {
+                        Some(v) => w[*dst as usize] = v,
+                        None => return false,
+                    }
+                }
+                FastOp::BinB {
+                    dst,
+                    op,
+                    a,
+                    sig,
+                    mask,
+                } => {
+                    let Some(b) = state.signal(*sig).known_word() else {
+                        return false;
+                    };
+                    match fast_bin(*op, w[*a as usize], b, *mask) {
+                        Some(v) => w[*dst as usize] = v,
+                        None => return false,
+                    }
+                }
+                FastOp::Concat { dst, parts } => {
+                    let mut acc = 0u64;
+                    for &(p, width) in parts.iter() {
+                        acc = if width >= 64 {
+                            w[p as usize]
+                        } else {
+                            (acc << width) | w[p as usize]
+                        };
+                    }
+                    w[*dst as usize] = acc;
+                }
+                FastOp::Sel { dst, c, t, e } => {
+                    w[*dst as usize] = if w[*c as usize] != 0 {
+                        w[*t as usize]
+                    } else {
+                        w[*e as usize]
+                    };
+                }
+                FastOp::AndNot { dst, a, b } => {
+                    w[*dst as usize] = (w[*a as usize] != 0 && w[*b as usize] == 0) as u64;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl NetProc {
+    /// Word arena size (value slots + guard slots).
+    fn words(&self) -> usize {
+        self.slots as usize + self.bools as usize
+    }
+
+    /// Evaluates one wake of this process: fast lane when compiled and
+    /// applicable, generic lane otherwise. Commits blocking results to the
+    /// store, pushes guarded NBA values onto the scheduler's queues, and
+    /// returns the number of scheduler steps the VM would have executed.
+    pub(crate) fn sweep(
+        &self,
+        design: &Design,
+        state: &mut State,
+        scratch: &mut NetScratch,
+        nba: &mut Vec<(ResolvedLValue, LogicVec)>,
+        bc_nba: &mut Vec<(SignalId, LogicVec)>,
+    ) -> u64 {
+        if let Some(fast) = &self.fast {
+            let w = &mut scratch.words[..self.words()];
+            if fast.exec(state, w) {
+                let mut cost = self.cost_base;
+                for &g in &fast.cost_guards {
+                    cost += u64::from(w[g as usize] != 0);
+                }
+                for p in &fast.nba {
+                    if w[p.guard as usize] != 0 {
+                        let v =
+                            LogicVec::from_u64(w[p.slot as usize], p.width).with_signed(p.signed);
+                        if p.fused {
+                            bc_nba.push((p.sig, v));
+                        } else {
+                            nba.push((ResolvedLValue::Signal(p.sig), v));
+                        }
+                    }
+                }
+                for c in &fast.commits {
+                    // Unconditional in-place store: blocking targets are
+                    // unwatched by eligibility, so storing an equal value
+                    // is indistinguishable from the VM's skip-if-equal.
+                    state.signals[c.sig.0 as usize].set_known_word(w[c.slot as usize], c.signed);
+                }
+                return cost;
+            }
+        }
+        self.exec_generic(design, state, scratch);
+        let mut cost = self.cost_base;
+        for &g in &self.cost_guards {
+            cost += u64::from(scratch.bools[g as usize]);
+        }
+        for p in &self.nba {
+            if scratch.bools[p.guard as usize] {
+                let v = scratch.slots[p.slot as usize].clone();
+                if p.fused {
+                    bc_nba.push((p.sig, v));
+                } else {
+                    nba.push((ResolvedLValue::Signal(p.sig), v));
+                }
+            }
+        }
+        for c in &self.commits {
+            let new = &scratch.slots[c.slot as usize];
+            if &state.signals[c.sig.0 as usize] != new {
+                state.signals[c.sig.0 as usize] = new.clone();
+            }
+        }
+        cost
+    }
+
+    /// The generic lane: [`LogicVec`] evaluation with the exact kernels
+    /// of the bytecode VM.
+    fn exec_generic(&self, design: &Design, state: &State, scratch: &mut NetScratch) {
+        let slots = &mut scratch.slots;
+        let bools = &mut scratch.bools;
+        bools[BTRUE as usize] = true;
+        for op in &self.ops {
+            match op {
+                NetOp::Const { dst, idx } => {
+                    slots[*dst as usize] = self.consts[*idx as usize].clone();
+                }
+                NetOp::Input { dst, sig } => {
+                    slots[*dst as usize] = state.signal(*sig).clone();
+                }
+                NetOp::BitSel {
+                    dst,
+                    index,
+                    value,
+                    sig,
+                } => {
+                    slots[*dst as usize] = match slots[*index as usize].to_i64() {
+                        Some(i) => match design.signal(*sig).bit_position(i) {
+                            Some(p) => {
+                                LogicVec::from_bits(vec![slots[*value as usize].bit(p)], false)
+                            }
+                            None => LogicVec::unknown(1),
+                        },
+                        None => LogicVec::unknown(1),
+                    };
+                }
+                NetOp::PartSel { dst, base, hi, lo } => {
+                    slots[*dst as usize] = slots[*base as usize].select(*hi, *lo);
+                }
+                NetOp::IndexedSel {
+                    dst,
+                    base,
+                    start,
+                    sig,
+                    width,
+                    ascending,
+                } => {
+                    slots[*dst as usize] = match slots[*start as usize].to_i64() {
+                        Some(s) => {
+                            let indices = indexed_range(s, *width, *ascending);
+                            let bits: Vec<_> = indices
+                                .iter()
+                                .map(|i| {
+                                    design
+                                        .signal(*sig)
+                                        .bit_position(*i)
+                                        .map(|p| slots[*base as usize].bit(p))
+                                        .unwrap_or(vgen_verilog::value::Logic::X)
+                                })
+                                .collect();
+                            LogicVec::from_bits(bits, false)
+                        }
+                        None => LogicVec::unknown(*width),
+                    };
+                }
+                NetOp::Unknown { dst, width } => {
+                    slots[*dst as usize] = LogicVec::unknown(*width);
+                }
+                NetOp::Resize { dst, src, width } => {
+                    let v = &slots[*src as usize];
+                    slots[*dst as usize] = if v.width() >= *width {
+                        v.clone()
+                    } else {
+                        v.resize(*width)
+                    };
+                }
+                NetOp::Unary { dst, op, src } => {
+                    slots[*dst as usize] = apply_unary(*op, &slots[*src as usize]);
+                }
+                NetOp::Binary { dst, op, lhs, rhs } => {
+                    slots[*dst as usize] =
+                        apply_binary(*op, &slots[*lhs as usize], &slots[*rhs as usize]);
+                }
+                NetOp::Ternary { dst, cond, t, e } => {
+                    slots[*dst as usize] = match slots[*cond as usize].truthiness() {
+                        Some(true) => slots[*t as usize].clone(),
+                        Some(false) => slots[*e as usize].clone(),
+                        None => slots[*t as usize].merge_unknown(&slots[*e as usize]),
+                    };
+                }
+                NetOp::Concat { dst, parts } => {
+                    let mut acc = slots[parts[0] as usize].clone();
+                    for &p in &parts[1..] {
+                        acc = acc.concat(&slots[p as usize]);
+                    }
+                    slots[*dst as usize] = acc;
+                }
+                NetOp::Replicate { dst, src, count } => {
+                    slots[*dst as usize] = slots[*src as usize].replicate(*count);
+                }
+                NetOp::Coerce {
+                    dst,
+                    src,
+                    width,
+                    signed,
+                } => {
+                    let v = &slots[*src as usize];
+                    slots[*dst as usize] = if v.width() == *width {
+                        v.clone()
+                    } else {
+                        v.resize(*width)
+                    }
+                    .with_signed(*signed);
+                }
+                NetOp::Mux { dst, sel, t, e } => {
+                    slots[*dst as usize] = if bools[*sel as usize] {
+                        slots[*t as usize].clone()
+                    } else {
+                        slots[*e as usize].clone()
+                    };
+                }
+                NetOp::BTruthy { dst, src } => {
+                    bools[*dst as usize] = slots[*src as usize].truthiness() == Some(true);
+                }
+                NetOp::BMatch {
+                    dst,
+                    kind,
+                    sel,
+                    label,
+                } => {
+                    let s = &slots[*sel as usize];
+                    let l = &slots[*label as usize];
+                    bools[*dst as usize] = match kind {
+                        CaseKind::Exact => s.case_eq(l).to_u64() == Some(1),
+                        CaseKind::Z => s.case_matches(l, false),
+                        CaseKind::X => s.case_matches(l, true),
+                    };
+                }
+                NetOp::BAnd { dst, a, b } => {
+                    bools[*dst as usize] = bools[*a as usize] && bools[*b as usize];
+                }
+                NetOp::BAndNot { dst, a, b } => {
+                    bools[*dst as usize] = bools[*a as usize] && !bools[*b as usize];
+                }
+                NetOp::BOr { dst, a, b } => {
+                    bools[*dst as usize] = bools[*a as usize] || bools[*b as usize];
+                }
+            }
+        }
+    }
+
+    /// Whether the u64 word lane compiled for this process.
+    pub fn has_fast_lane(&self) -> bool {
+        self.fast.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::elab::elaborate_first;
+
+    fn netprog(src: &str) -> NetProgram {
+        let f = vgen_verilog::parse(src).expect("parse");
+        let d = elaborate_first(&f).expect("elab");
+        let p = compile(&d).expect("compile");
+        compile_netlist(&d, &p)
+    }
+
+    /// The throughput bench's counter-bank shape must lower every posedge
+    /// process onto the u64 word lane — the performance gate depends on it.
+    #[test]
+    fn counter_bank_lowers_with_fast_lane() {
+        let mut src = String::from("module tb;\nreg clk;\n");
+        for p in 0..2 {
+            for i in 0..4 {
+                src.push_str(&format!("reg [63:0] acc{p}_{i};\n"));
+            }
+        }
+        src.push_str("initial begin clk = 0; ");
+        for p in 0..2 {
+            for i in 0..4 {
+                src.push_str(&format!("acc{p}_{i} = 0; "));
+            }
+        }
+        src.push_str("end\n");
+        src.push_str("always #5 clk = ~clk;\n");
+        for p in 0..2 {
+            src.push_str("always @(posedge clk) begin\n");
+            src.push_str(&format!("  acc{p}_0 = acc{p}_0 + 1;\n"));
+            for i in 1..4 {
+                src.push_str(&format!("  acc{p}_{i} = acc{p}_{i} + acc{p}_{};\n", i - 1));
+            }
+            src.push_str("end\n");
+        }
+        src.push_str("initial begin #100 $finish; end\nendmodule\n");
+        let np = netprog(&src);
+        assert_eq!(np.eligible, 2, "both posedge banks must lower");
+        assert_eq!(np.fast_procs, 2, "both banks must take the word lane");
+        assert!(np.max_depth >= 4, "chained adds should rank deep");
+    }
+
+    /// Guarded NBAs lower, branch guards contribute conditional cost, and
+    /// the fast lane survives if/else bodies.
+    #[test]
+    fn branching_nba_proc_lowers() {
+        let np = netprog(
+            "module t;\nreg clk;\nreg [7:0] q;\n\
+             always @(posedge clk) begin\nif (q < 8'd10) q <= q + 8'd1;\nelse q <= 0;\nend\n\
+             always #5 clk = ~clk;\ninitial #40 $finish;\nendmodule",
+        );
+        assert_eq!(np.eligible, 1);
+        assert_eq!(np.fast_procs, 1);
+        let proc = np.procs.iter().flatten().next().expect("one lowered proc");
+        assert!(!proc.nba.is_empty(), "nonblocking pushes must be recorded");
+        assert!(
+            !proc.cost_guards.is_empty(),
+            "branches must contribute guard-conditional cost"
+        );
+    }
+
+    /// Memories, delays and system tasks keep a process on the VM.
+    #[test]
+    fn side_effecting_procs_stay_on_vm() {
+        let np = netprog(
+            "module t;\nreg clk;\nreg [7:0] q;\n\
+             always @(posedge clk) begin\n$display(\"q=%0d\", q);\nq <= q + 8'd1;\nend\n\
+             always #5 clk = ~clk;\ninitial #40 $finish;\nendmodule",
+        );
+        assert_eq!(np.eligible, 0, "a $display body must not lower");
+    }
+}
+
+#[cfg(test)]
+mod microbench {
+    //! `cargo test --release -p vgen-sim microbench -- --nocapture --ignored`
+    //! prints ns/sweep for the throughput bench's counter-bank shape.
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    #[ignore = "manual timing diagnostic"]
+    fn sweep_ns() {
+        let mut src = String::from("module tb;\nreg clk;\n");
+        for i in 0..8 {
+            src.push_str(&format!("reg [63:0] acc0_{i};\n"));
+        }
+        src.push_str("always #5 clk = ~clk;\n");
+        src.push_str("always @(posedge clk) begin\n  acc0_0 = acc0_0 + 1;\n");
+        for i in 1..8 {
+            src.push_str(&format!("  acc0_{i} = acc0_{i} + acc0_{};\n", i - 1));
+        }
+        src.push_str("end\ninitial begin clk = 0; ");
+        for i in 0..8 {
+            src.push_str(&format!("acc0_{i} = 0; "));
+        }
+        src.push_str("#100 $finish; end\nendmodule\n");
+        let f = vgen_verilog::parse(&src).expect("parse");
+        let d = crate::elab::elaborate_first(&f).expect("elab");
+        let p = crate::compile::compile(&d).expect("compile");
+        let np = compile_netlist(&d, &p);
+        eprintln!(
+            "eligible={} fast={} depth={}",
+            np.eligible, np.fast_procs, np.max_depth
+        );
+        let proc = np.procs.iter().flatten().next().unwrap();
+        let mut scratch = NetScratch::for_program(&np);
+        let mut state = State::new(&d);
+        // Clear the t=0 all-x values as the initial block would have.
+        for (i, s) in d.signals.iter().enumerate() {
+            state.signals[i] = LogicVec::from_u64(0, s.width).with_signed(s.signed);
+        }
+        let mut nba = Vec::new();
+        let mut bc_nba = Vec::new();
+        let iters = 2_000_000u64;
+        let start = Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..iters {
+            acc += proc.sweep(&d, &mut state, &mut scratch, &mut nba, &mut bc_nba);
+            nba.clear();
+            bc_nba.clear();
+        }
+        let el = start.elapsed();
+        eprintln!(
+            "sweep: {:.1} ns each (cost acc {})",
+            el.as_nanos() as f64 / iters as f64,
+            acc
+        );
+        // Bisect: word-lane exec alone.
+        let fast = proc.fast.as_ref().unwrap();
+        let w = &mut scratch.words[..proc.words()];
+        let start = Instant::now();
+        let mut ok = 0u64;
+        for _ in 0..iters {
+            ok += u64::from(fast.exec(&state, w));
+        }
+        let el = start.elapsed();
+        eprintln!(
+            "exec only: {:.1} ns each (ok {}, ops {})",
+            el.as_nanos() as f64 / iters as f64,
+            ok,
+            fast.ops.len()
+        );
+    }
+}

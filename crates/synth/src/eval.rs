@@ -18,10 +18,21 @@ pub struct NetlistSim {
     inputs: HashMap<String, NetId>,
     outputs: HashMap<String, NetId>,
     clk_state: HashMap<NetId, Logic>,
+    /// Levelized combinational evaluation order (registers excluded):
+    /// guarantees defs-before-uses even if cell construction order ever
+    /// stops being SSA-topological.
+    order: Vec<u32>,
+    /// Combinational logic depth (number of levelized ranks).
+    depth: u32,
 }
 
 impl NetlistSim {
     /// Creates a simulator with all nets at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a combinational loop — lowering never produces one, so a
+    /// loop here is a synthesis bug, not a property of the design.
     pub fn new(netlist: Netlist) -> Self {
         let values = netlist
             .nets
@@ -30,13 +41,30 @@ impl NetlistSim {
             .collect();
         let inputs = netlist.inputs.iter().cloned().collect();
         let outputs = netlist.outputs.iter().cloned().collect();
+        let lev = netlist
+            .levelize()
+            .unwrap_or_else(|c| panic!("combinational loop through cell {c}"));
+        let order = lev
+            .order
+            .iter()
+            .copied()
+            .filter(|&i| !netlist.cells[i as usize].is_register())
+            .collect();
         NetlistSim {
             values,
             inputs,
             outputs,
             clk_state: HashMap::new(),
+            order,
+            depth: lev.depth,
             netlist,
         }
+    }
+
+    /// Combinational logic depth: the number of levelized ranks in the cone
+    /// between registers.
+    pub fn depth(&self) -> u32 {
+        self.depth
     }
 
     /// The underlying netlist.
@@ -109,11 +137,8 @@ impl NetlistSim {
     }
 
     fn comb_pass(&mut self) {
-        for i in 0..self.netlist.cells.len() {
-            let cell = self.netlist.cells[i].clone();
-            if cell.is_register() {
-                continue;
-            }
+        for k in 0..self.order.len() {
+            let cell = self.netlist.cells[self.order[k] as usize].clone();
             let out = cell.output();
             let v = self.eval_cell(&cell);
             let w = self.netlist.net(out).width;

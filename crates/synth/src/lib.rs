@@ -42,7 +42,7 @@ pub mod netlist;
 
 pub use eval::NetlistSim;
 pub use lower::{synthesize, Diagnostic, Severity, SynthError, SynthResult};
-pub use netlist::{Cell, Net, NetId, Netlist};
+pub use netlist::{levelize_deps, Cell, Levelization, Net, NetId, Netlist};
 
 /// Convenience: parses `src` and synthesizes its first module.
 ///

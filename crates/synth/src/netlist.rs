@@ -158,6 +158,102 @@ impl Cell {
     pub fn is_register(&self) -> bool {
         matches!(self, Cell::Dff { .. })
     }
+
+    /// Appends every input net of this cell to `out`. For flops that is the
+    /// clock, data and reset nets — callers ranking combinational logic
+    /// usually skip them (registers are rank boundaries, not dependencies).
+    pub fn inputs(&self, out: &mut Vec<NetId>) {
+        match self {
+            Cell::Const { .. } => {}
+            Cell::Unary { a, .. }
+            | Cell::Slice { a, .. }
+            | Cell::Replicate { a, .. }
+            | Cell::Resize { a, .. } => out.push(*a),
+            Cell::Binary { a, b, .. } => out.extend([*a, *b]),
+            Cell::Mux { sel, a, b, .. } => out.extend([*sel, *a, *b]),
+            Cell::Concat { parts, .. } => out.extend(parts.iter().copied()),
+            Cell::BitSelect { a, idx, .. } => out.extend([*a, *idx]),
+            Cell::Dff { clk, d, reset, .. } => {
+                out.extend([*clk, *d]);
+                if let Some(r) = reset {
+                    out.extend([r.signal, r.value]);
+                }
+            }
+        }
+    }
+}
+
+/// A topological rank assignment over a combinational dependency DAG.
+///
+/// Rank 0 holds the sources (cells with no combinational dependencies —
+/// constants, cells fed only by primary inputs or register outputs); every
+/// other node sits one rank above its deepest dependency. Evaluating nodes
+/// in [`order`](Levelization::order) guarantees every dependency is computed
+/// before its consumers — the invariant cycle-based evaluation relies on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Levelization {
+    /// Rank per node: `rank[i] == 1 + max(rank of deps)`, 0 for sources.
+    pub rank: Vec<u32>,
+    /// Node indices sorted by `(rank, index)` — a deterministic evaluation
+    /// order that is topological by construction.
+    pub order: Vec<u32>,
+    /// Number of distinct ranks (`max rank + 1`; 0 for an empty graph) —
+    /// the logic depth of the cone.
+    pub depth: u32,
+}
+
+/// Levelizes an arbitrary dependency DAG of `n` nodes.
+///
+/// `deps(i, out)` appends the dependency node indices of node `i` (indices
+/// `>= n` are ignored). Returns the rank assignment, or `Err(node)` with the
+/// lowest-numbered node on a dependency cycle — combinational loops must be
+/// reported, not silently mis-evaluated.
+pub fn levelize_deps(
+    n: usize,
+    mut deps: impl FnMut(usize, &mut Vec<usize>),
+) -> Result<Levelization, usize> {
+    let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut pending: Vec<u32> = vec![0; n];
+    let mut rank: Vec<u32> = vec![0; n];
+    let mut scratch = Vec::new();
+    let mut ready: Vec<u32> = Vec::new();
+    for (i, slot) in pending.iter_mut().enumerate() {
+        scratch.clear();
+        deps(i, &mut scratch);
+        scratch.retain(|&d| d < n);
+        for &d in &scratch {
+            succs[d].push(i as u32);
+        }
+        *slot = scratch.len() as u32;
+        if scratch.is_empty() {
+            ready.push(i as u32);
+        }
+    }
+    // Kahn's algorithm; rank is order-insensitive (max over deps), so the
+    // worklist order does not matter for the result.
+    let mut done = 0usize;
+    while let Some(i) = ready.pop() {
+        done += 1;
+        let r = rank[i as usize] + 1;
+        for &s in &succs[i as usize] {
+            let s = s as usize;
+            if rank[s] < r {
+                rank[s] = r;
+            }
+            pending[s] -= 1;
+            if pending[s] == 0 {
+                ready.push(s as u32);
+            }
+        }
+    }
+    if done < n {
+        let cyclic = pending.iter().position(|&p| p > 0).unwrap_or(0);
+        return Err(cyclic);
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&i| (rank[i as usize], i));
+    let depth = rank.iter().max().map_or(0, |&m| m + 1);
+    Ok(Levelization { rank, order, depth })
 }
 
 /// A synthesized module.
@@ -213,6 +309,32 @@ impl Netlist {
             .sum()
     }
 
+    /// Levelizes the combinational cone between registers: each cell gets a
+    /// topological rank, with register outputs and primary inputs as rank-0
+    /// sources (flops are rank boundaries — their input cone feeds the
+    /// *next* cycle). Returns `Err(cell)` on a combinational loop.
+    pub fn levelize(&self) -> Result<Levelization, usize> {
+        let mut driver = vec![u32::MAX; self.nets.len()];
+        for (i, c) in self.cells.iter().enumerate() {
+            driver[c.output().0 as usize] = i as u32;
+        }
+        let mut ins = Vec::new();
+        levelize_deps(self.cells.len(), |i, out| {
+            let c = &self.cells[i];
+            if c.is_register() {
+                return;
+            }
+            ins.clear();
+            c.inputs(&mut ins);
+            for net in &ins {
+                let d = driver[net.0 as usize];
+                if d != u32::MAX && !self.cells[d as usize].is_register() {
+                    out.push(d as usize);
+                }
+            }
+        })
+    }
+
     /// Renders a short human-readable summary.
     pub fn summary(&self) -> String {
         format!(
@@ -260,5 +382,68 @@ mod tests {
         assert_eq!(n.cells[0].output(), y);
         assert!(n.cells[1].is_register());
         assert!(n.summary().contains("1 registers"));
+    }
+
+    #[test]
+    fn levelize_ranks_and_order() {
+        // 0: a -> 1: b(a) -> 2: c(a,b); 3: independent source.
+        let l = levelize_deps(4, |i, out| match i {
+            1 => out.push(0),
+            2 => out.extend([0, 1]),
+            _ => {}
+        })
+        .unwrap();
+        assert_eq!(l.rank, vec![0, 1, 2, 0]);
+        assert_eq!(l.depth, 3);
+        assert_eq!(l.order, vec![0, 3, 1, 2]);
+        // Order is topological: every dep ranks strictly below its consumer.
+        assert!(l.rank[0] < l.rank[1] && l.rank[1] < l.rank[2]);
+    }
+
+    #[test]
+    fn levelize_detects_cycles() {
+        assert_eq!(
+            levelize_deps(3, |i, out| out.push((i + 1) % 3)),
+            Err(0usize)
+        );
+        // Self-loop.
+        assert_eq!(levelize_deps(1, |_, out| out.push(0)), Err(0usize));
+    }
+
+    #[test]
+    fn levelize_netlist_cuts_at_registers() {
+        let mut n = Netlist {
+            name: "m".into(),
+            ..Default::default()
+        };
+        let clk = n.add_net("clk", 1, false);
+        let q = n.add_net("q", 4, false);
+        let inv = n.add_net("inv", 4, false);
+        // inv = ~q feeds the flop back: a sequential loop, fine; the Dff is
+        // a rank boundary so levelization sees a two-rank DAG.
+        n.cells.push(Cell::Dff {
+            clk,
+            edge: Edge::Pos,
+            d: inv,
+            q,
+            reset: None,
+        });
+        n.cells.push(Cell::Unary {
+            op: UnaryOp::BitNot,
+            a: q,
+            y: inv,
+        });
+        let and = n.add_net("and", 4, false);
+        n.cells.push(Cell::Binary {
+            op: BinaryOp::BitAnd,
+            a: inv,
+            b: q,
+            y: and,
+        });
+        let l = n.levelize().unwrap();
+        // Dff and the flop-fed inverter are both sources (the register cut
+        // breaks the sequential loop); the AND sits one rank deeper.
+        assert_eq!(l.rank, vec![0, 0, 1]);
+        assert_eq!(l.depth, 2);
     }
 }

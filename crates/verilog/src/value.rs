@@ -408,6 +408,38 @@ impl LogicVec {
         Self::from_u64(b as u64, 1)
     }
 
+    /// The value as a single fully-known word, when the vector is at most
+    /// 64 bits wide and carries no `x`/`z` bits. Unlike [`to_u64`] this
+    /// never inspects wide planes — it is a constant-time accessor for
+    /// word-lane hot paths.
+    ///
+    /// [`to_u64`]: LogicVec::to_u64
+    #[inline]
+    pub fn known_word(&self) -> Option<u64> {
+        match self.planes {
+            Planes::Word { aval, bval } => (bval == 0).then_some(aval),
+            Planes::Wide { .. } => None,
+        }
+    }
+
+    /// In-place store of a fully-known word value and signedness, masking
+    /// `v` to the existing width. Word-sized vectors (≤ 64 bits) update
+    /// their planes without touching the heap; wide vectors fall back to a
+    /// rebuild. The width is unchanged.
+    #[inline]
+    pub fn set_known_word(&mut self, v: u64, signed: bool) {
+        self.signed = signed;
+        match &mut self.planes {
+            Planes::Word { aval, bval } => {
+                *aval = v & top_mask(self.width);
+                *bval = 0;
+            }
+            Planes::Wide { .. } => {
+                *self = Self::from_u64(v, self.width).with_signed(signed);
+            }
+        }
+    }
+
     /// Number of bits.
     #[inline]
     pub fn width(&self) -> usize {
@@ -925,12 +957,48 @@ impl LogicVec {
         })
     }
 
+    /// Value ordering for the relational operators, exact at any width.
+    ///
+    /// `None` if either operand has an `x`/`z` bit. Otherwise both operands
+    /// are compared at the joined width: two's-complement when both are
+    /// signed (sign-extended), raw zero-extended bit patterns otherwise —
+    /// the same extension policy [`to_u64`](Self::to_u64)/
+    /// [`to_i64`](Self::to_i64) applied in the narrow case.
     fn cmp_values(&self, rhs: &LogicVec) -> Option<std::cmp::Ordering> {
-        if self.both_signed(rhs) {
-            Some(self.to_i64()?.cmp(&rhs.to_i64()?))
-        } else {
-            Some(self.to_u64()?.cmp(&rhs.to_u64()?))
+        if self.has_unknown() || rhs.has_unknown() {
+            return None;
         }
+        let signed = self.both_signed(rhs);
+        if signed {
+            let ln = self.bit(self.width - 1) == Logic::One;
+            let rn = rhs.bit(rhs.width - 1) == Logic::One;
+            if ln != rn {
+                // Opposite signs decide immediately; same-sign values order
+                // like their unsigned sign-extended bit patterns below.
+                return Some(if ln {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Greater
+                });
+            }
+        }
+        let fill = |v: &LogicVec| -> u64 {
+            if signed && v.bit(v.width - 1) == Logic::One {
+                u64::MAX
+            } else {
+                0
+            }
+        };
+        let (lpa, rpa) = (fill(self), fill(rhs));
+        let w = self.join_width(rhs);
+        for i in (0..words_for(w)).rev() {
+            let la = self.widened_word(i, w, lpa, 0).0;
+            let ra = rhs.widened_word(i, w, rpa, 0).0;
+            if la != ra {
+                return Some(la.cmp(&ra));
+            }
+        }
+        Some(std::cmp::Ordering::Equal)
     }
 
     fn logic1(v: Option<bool>) -> LogicVec {

@@ -387,12 +387,45 @@ mod refimpl {
             RefVec { bits, signed: true }
         }
 
+        /// Per-bit reference for the relational ordering: unknown bits
+        /// yield `None`; otherwise both operands extend to the joined
+        /// width (sign-extension only when both are signed) and compare
+        /// bit by bit from the top, with a sign-bit check first in the
+        /// signed case. Exact at any width.
         fn cmp_values(&self, rhs: &RefVec) -> Option<std::cmp::Ordering> {
-            if self.both_signed(rhs) {
-                Some(self.to_i64()?.cmp(&rhs.to_i64()?))
-            } else {
-                Some(self.to_u64()?.cmp(&rhs.to_u64()?))
+            if self.has_unknown() || rhs.has_unknown() {
+                return None;
             }
+            let signed = self.both_signed(rhs);
+            let w = self.join_width(rhs);
+            let ext = |v: &RefVec, i: usize| -> bool {
+                if i < v.width() {
+                    v.bit(i) == Logic::One
+                } else {
+                    signed && v.bit(v.width() - 1) == Logic::One
+                }
+            };
+            if signed {
+                let (ln, rn) = (ext(self, w - 1), ext(rhs, w - 1));
+                if ln != rn {
+                    return Some(if ln {
+                        std::cmp::Ordering::Less
+                    } else {
+                        std::cmp::Ordering::Greater
+                    });
+                }
+            }
+            for i in (0..w).rev() {
+                let (a, b) = (ext(self, i), ext(rhs, i));
+                if a != b {
+                    return Some(if a {
+                        std::cmp::Ordering::Greater
+                    } else {
+                        std::cmp::Ordering::Less
+                    });
+                }
+            }
+            Some(std::cmp::Ordering::Equal)
         }
 
         fn logic1(v: Option<bool>) -> RefVec {
@@ -838,6 +871,45 @@ proptest! {
     fn bit_indexing_agrees(ra in raw_vec(), da in DENSITY, i in 0usize..250) {
         let (pa, fa) = pair(&ra, da, false);
         prop_assert_eq!(pa.bit(i), fa.bit(i));
+    }
+}
+
+/// Relational operators past 64 bits: fully known 128/256-bit operands
+/// must order exactly (the packed implementation used to degrade any
+/// comparison touching a set bit above 63 to `x`).
+#[test]
+fn wide_comparisons_are_exact() {
+    for width in [128usize, 256] {
+        // a = 1 << (width - 1); b = a - 1. The two differ only across the
+        // high/low word boundary, so only an exact wide compare sees it.
+        let mut hi = vec![Logic::Zero; width];
+        hi[width - 1] = Logic::One;
+        let a = LogicVec::from_bits(hi, false);
+        let b = a.sub(&LogicVec::from_u64(1, width));
+        assert_eq!(a.gt(&b).to_u64(), Some(1));
+        assert_eq!(b.lt(&a).to_u64(), Some(1));
+        assert_eq!(a.le(&b).to_u64(), Some(0));
+        assert_eq!(a.ge(&a).to_u64(), Some(1));
+        assert_eq!(a.le(&a).to_u64(), Some(1));
+        assert_eq!(a.lt(&a).to_u64(), Some(0));
+
+        // Signed: the same bit pattern for `a` is the most negative value
+        // while `b` is the positive maximum.
+        let sa = a.clone().with_signed(true);
+        let sb = b.clone().with_signed(true);
+        assert_eq!(sa.lt(&sb).to_u64(), Some(1));
+        assert_eq!(sb.gt(&sa).to_u64(), Some(1));
+
+        // Mixed widths: the narrow operand zero-extends to the wide one.
+        let small = LogicVec::from_u64(u64::MAX, 64);
+        assert_eq!(a.gt(&small).to_u64(), Some(1));
+        assert_eq!(small.lt(&a).to_u64(), Some(1));
+
+        // A single x bit anywhere still poisons the whole comparison.
+        let mut xb = vec![Logic::Zero; width];
+        xb[width - 1] = Logic::X;
+        let x = LogicVec::from_bits(xb, false);
+        assert!(a.lt(&x).has_unknown());
     }
 }
 
