@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Validates a daemon `metrics` reply captured from `vgen client` stderr.
+
+The client relays every event line to stderr; this script finds the
+terminal `done` event, checks the snapshot payload shape (epoch, sweep
+counters, the in-flight request table), and strictly validates the
+Prometheus text exposition line by line.
+"""
+import json
+import re
+import sys
+
+METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*"'
+SAMPLE = re.compile(
+    rf"^{METRIC_NAME}(?:\{{{LABEL}(?:,{LABEL})*\}})? "
+    r"(?:[+-]?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)|[+-]Inf|NaN)$"
+)
+COMMENT = re.compile(rf"^# (?:HELP {METRIC_NAME} [^\n]*|TYPE {METRIC_NAME} (?:counter|gauge|histogram|summary|untyped))$")
+
+
+def fail(msg):
+    print(f"check_metrics_payload: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(path):
+    payload = None
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                fail(f"event line is not valid JSON: {line!r}")
+            if event.get("event") == "done":
+                payload = event.get("payload")
+    if payload is None:
+        fail("no `done` event in the client stream")
+
+    if payload.get("epoch", 0) < 1:
+        fail(f"snapshot epoch must be >= 1, got {payload.get('epoch')}")
+    counters = payload.get("counters", {})
+    for counter in ("serve.requests", "sweep.items_done", "sweep.items_total"):
+        if counter not in counters:
+            fail(f"counter {counter} missing from the snapshot")
+    if counters["sweep.items_done"] < 1:
+        fail("the in-flight sweep is invisible: sweep.items_done == 0")
+    if not isinstance(payload.get("requests"), list):
+        fail("payload lacks the in-flight `requests` table")
+    if not payload["requests"]:
+        fail("`requests` table is empty while an eval is in flight")
+    if "stages" not in payload:
+        fail("payload lacks per-stage histograms")
+
+    prom = payload.get("prom")
+    if not prom:
+        fail("payload lacks the Prometheus exposition")
+    for i, line in enumerate(prom.splitlines(), 1):
+        if not line:
+            fail(f"prom line {i} is empty")
+        if line.startswith("#"):
+            if not COMMENT.fullmatch(line):
+                fail(f"prom line {i} is a malformed comment: {line!r}")
+        elif not SAMPLE.fullmatch(line):
+            fail(f"prom line {i} is a malformed sample: {line!r}")
+    for needle in ("vgen_sweep_items_done_total", "vgen_stage_duration_seconds_bucket"):
+        if needle not in prom:
+            fail(f"exposition lacks {needle}")
+    print(
+        f"check_metrics_payload: ok — epoch {payload['epoch']}, "
+        f"{counters['sweep.items_done']}/{counters['sweep.items_total']} items, "
+        f"{len(payload['requests'])} in-flight request(s), "
+        f"{len(prom.splitlines())} exposition lines"
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        fail("usage: check_metrics_payload.py <client-stderr-file>")
+    main(sys.argv[1])

@@ -1,9 +1,10 @@
 //! `bench_gate` — bench-regression tracking for CI.
 //!
 //! Compares a fresh `BENCH_sim.json` / `BENCH_sweep.json` (produced by
-//! `sim_throughput --quick` and `sweep_scaling --quick`) against baseline
-//! copies checked into the repository root, and fails when any tracked
-//! metric regresses by more than the tolerance (default 15%).
+//! `sim_throughput --quick` and `sweep_scaling --quick`) — and, when
+//! available, `BENCH_obs.json` from `obs_overhead --quick` — against
+//! baseline copies checked into the repository root, and fails when any
+//! tracked metric regresses by more than the tolerance (default 15%).
 //!
 //! Only **machine-independent** metrics are gated — ratios and
 //! deterministic counts, never absolute wall-clock throughput, so the gate
@@ -19,6 +20,16 @@
 //!   counts; skipped with a warning when the measuring host reports a
 //!   single core (a 1-core runner serializes every parallel sweep, so the
 //!   ratio is noise — the ROADMAP bench-trajectory note)
+//! * `stage_coverage` — pipeline stages with duration histograms in the
+//!   obs artifact (shrinkage = an instrumented stage went dark)
+//! * `span_events` — trace span events captured over the fixed workload
+//!
+//! The obs artifact pair is optional: when `--obs`/`--baseline-obs` are
+//! not passed and the default files are absent, its gates are skipped with
+//! a warning (jobs that don't run `obs_overhead` stay green). Explicitly
+//! passed paths must exist. The machine-dependent overhead percentages in
+//! the same artifact are fenced absolutely by `obs_overhead --gate`, not
+//! here — a ratio floor has no meaning for a lower-is-better percentage.
 //!
 //! A metric missing from the **fresh** artifact fails the gate (the bench
 //! stopped producing it). A metric missing from the **baseline** only
@@ -28,7 +39,9 @@
 //! ```text
 //! bench_gate --sim FRESH_sim.json --sweep FRESH_sweep.json \
 //!            --baseline-sim BENCH_baseline_sim.json \
-//!            --baseline-sweep BENCH_baseline_sweep.json [--tolerance 0.15]
+//!            --baseline-sweep BENCH_baseline_sweep.json \
+//!            [--obs FRESH_obs.json --baseline-obs BENCH_baseline_obs.json] \
+//!            [--tolerance 0.15]
 //! ```
 
 use std::process::ExitCode;
@@ -70,18 +83,44 @@ fn read(path: &str) -> String {
     }
 }
 
+/// Reads an artifact that the invocation may legitimately lack: a missing
+/// file behind an *explicitly passed* path is an invocation error, but a
+/// missing file at the default path just means that bench didn't run —
+/// warn and skip its gates.
+fn read_optional(path: &str, explicit: bool) -> Option<String> {
+    match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) if explicit => {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+        Err(_) => {
+            eprintln!("warn: no {path}, skipping its gates (bench not run)");
+            None
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fresh_sim = read(flag(&args, "--sim").unwrap_or("target/experiments/BENCH_sim.json"));
     let fresh_sweep = read(flag(&args, "--sweep").unwrap_or("target/experiments/BENCH_sweep.json"));
     let base_sim = read(flag(&args, "--baseline-sim").unwrap_or("BENCH_baseline_sim.json"));
     let base_sweep = read(flag(&args, "--baseline-sweep").unwrap_or("BENCH_baseline_sweep.json"));
+    let fresh_obs = read_optional(
+        flag(&args, "--obs").unwrap_or("target/experiments/BENCH_obs.json"),
+        flag(&args, "--obs").is_some(),
+    );
+    let base_obs = read_optional(
+        flag(&args, "--baseline-obs").unwrap_or("BENCH_baseline_obs.json"),
+        flag(&args, "--baseline-obs").is_some(),
+    );
     let tolerance: f64 = flag(&args, "--tolerance")
         .map(|t| t.parse().expect("--tolerance takes a fraction like 0.15"))
         .unwrap_or(0.15);
 
     // (label, fresh artifact, baseline artifact, key, parallel-only)
-    let gates: [(&str, &str, &str, &str, bool); 7] = [
+    let mut gates: Vec<(&str, &str, &str, &str, bool)> = vec![
         ("sim_speedup", &fresh_sim, &base_sim, "sim_speedup", false),
         (
             "netlist_speedup",
@@ -120,6 +159,10 @@ fn main() -> ExitCode {
             true,
         ),
     ];
+    if let (Some(fresh), Some(base)) = (&fresh_obs, &base_obs) {
+        gates.push(("obs_stage_coverage", fresh, base, "stage_coverage", false));
+        gates.push(("obs_span_events", fresh, base, "span_events", false));
+    }
 
     let skip_parallel = single_core_host(&fresh_sweep);
     let mut failures = 0usize;

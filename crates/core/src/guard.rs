@@ -263,6 +263,12 @@ fn attempt_check(
                 }
                 check_completion_cancellable(problem, level, &owned, config, &thread_cancel)
             });
+            // Flush this thread's obs buffers *now*, not at thread exit:
+            // after a hard timeout the supervisor has already detached us,
+            // and exit may come after the session's collect() — flushing
+            // at the cancel point keeps the partial stage spans a
+            // hard-timed-out check did complete.
+            vgen_obs::flush();
             let _ = tx.send(caught);
         });
     let handle = match spawned {
@@ -287,6 +293,10 @@ fn attempt_check(
                 // joining) and abandon it; the worker moves on.
                 cancel.cancel();
                 vgen_obs::counter_add("guard.hard_timeout", 1);
+                // Make the verdict visible to live snapshots before the
+                // worker moves on — the detached thread may hold its lane
+                // hostage for a long time.
+                vgen_obs::flush();
                 drop(handle);
                 return no_verdict(CheckOutcome::Timeout(TimeoutKind::Hard));
             }
@@ -435,6 +445,53 @@ mod tests {
             &no_retry,
         );
         assert_eq!(r.outcome, CheckOutcome::Timeout(TimeoutKind::Soft));
+    }
+
+    #[test]
+    fn detached_checker_flushes_stages_at_cancel_point() {
+        // Regression: a hard-timed-out checker used to drain its obs
+        // buffers only at thread exit — which could land after collect(),
+        // silently losing every span of a `guard.hard_timeout` run. The
+        // checker now flushes at its cancel point and the supervisor
+        // flushes before detaching, so partial stage coverage survives.
+        vgen_obs::enable();
+        let chaos = ChaosSpec::parse("check.delay:400%1", 0).unwrap();
+        let policy = CheckPolicy {
+            timeout: Some(Duration::from_millis(50)),
+            grace: Duration::from_millis(100),
+            ..CheckPolicy::default()
+        }
+        .with_chaos(chaos);
+        let r = supervised_check_completion(
+            p(),
+            PromptLevel::Low,
+            "assign y = a & b;\nendmodule",
+            SimConfig::default(),
+            &policy,
+        );
+        assert_eq!(r.outcome, CheckOutcome::Timeout(TimeoutKind::Hard));
+        // The supervisor flushed before detaching: the verdict counter is
+        // visible to a live snapshot immediately, mid-hang.
+        let snap = vgen_obs::snapshot();
+        assert!(
+            snap.counters
+                .get("guard.hard_timeout")
+                .copied()
+                .unwrap_or(0)
+                >= 1,
+            "hard-timeout counter must be snapshot-visible: {:?}",
+            snap.counters
+        );
+        // Wait out the injected stall so the detached checker wakes, runs
+        // its cancelled check, and flushes at the cancel point.
+        std::thread::sleep(Duration::from_millis(1200));
+        let report = vgen_obs::collect();
+        let stage_samples: u64 = report.hists.values().map(|h| h.count).sum();
+        assert!(
+            stage_samples > 0,
+            "detached checker must flush partial stage spans, got hists {:?}",
+            report.hists.keys().collect::<Vec<_>>()
+        );
     }
 
     #[test]

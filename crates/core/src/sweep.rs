@@ -508,6 +508,22 @@ impl SweepHooks {
     }
 
     fn observe(&self, rec: &Record, done: usize, total: usize) {
+        // Live-progress counters for the metrics plane. Write-only from
+        // the sweep's perspective: recording cannot change a byte of
+        // report or journal output.
+        vgen_obs::counter_add("sweep.items_done", 1);
+        if rec.fault {
+            vgen_obs::counter_add("sweep.items_fault", 1);
+        } else if rec.passed {
+            vgen_obs::counter_add("sweep.items_pass", 1);
+        } else {
+            vgen_obs::counter_add("sweep.items_fail", 1);
+        }
+        // The observing thread (a shard supervisor draining the reorder
+        // buffer) records no spans, so its periodic self-flush never arms;
+        // drain per record so live snapshots track progress. No-op when
+        // recording is off, one uncontended lock otherwise.
+        vgen_obs::flush();
         if let Some(obs) = &self.observer {
             obs(rec, done, total);
         }
@@ -1285,11 +1301,20 @@ pub fn run_engine_sweep_sharded(
         items.retain(|it| shard.owns(it.pos));
     }
     let total = items.len();
+    // Advertise this shard's slice of the grid to the metrics plane: the
+    // per-shard contributions sum to the full grid, and resumed records
+    // count as done without re-observation.
+    vgen_obs::counter_add("sweep.items_total", total as u64);
     // The fingerprint pins the grid, so a well-formed journal never holds
     // more than `total` records; clamp anyway so a hand-edited journal
     // cannot push the resume cursor past the grid.
     prior.truncate(total);
     let done_prior = prior.len();
+    vgen_obs::counter_add("sweep.items_done", done_prior as u64);
+    // This thread may push no spans of its own (shard supervisors mostly
+    // wait on the pool), so drain the totals to the accumulator now
+    // rather than at thread exit — live snapshots need them up front.
+    vgen_obs::flush();
     stats.resumed_records = done_prior;
     let mut progress = Progress::new(opts.progress, total, done_prior);
     let mut records = prior;

@@ -79,6 +79,31 @@ impl Histogram {
         }
     }
 
+    /// Bucket-wise difference `self − earlier`, for deriving the samples
+    /// recorded *between* two snapshots of a monotonically growing
+    /// histogram. Counts, sums and buckets subtract (saturating, so a
+    /// non-prefix `earlier` cannot wrap); `min`/`max` cannot be recovered
+    /// from totals, so the result inherits the newer snapshot's observed
+    /// bounds — conservative but ordered. An empty difference is exactly
+    /// [`Histogram::new`].
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        let count = self.count.saturating_sub(earlier.count);
+        if count == 0 {
+            return Histogram::new();
+        }
+        let mut out = Histogram {
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: self.min,
+            max: self.max,
+            buckets: [0; BUCKETS],
+        };
+        for (i, slot) in out.buckets.iter_mut().enumerate() {
+            *slot = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        out
+    }
+
     /// Whether no sample has been recorded.
     pub fn is_empty(&self) -> bool {
         self.count == 0
@@ -238,6 +263,29 @@ mod tests {
         assert_eq!(buckets[0], (0, 0, 1));
         assert_eq!(buckets[1], (1, 1, 2));
         assert_eq!(buckets[2], (8, 15, 3));
+    }
+
+    #[test]
+    fn diff_recovers_the_increment() {
+        let mut earlier = Histogram::new();
+        for v in [1u64, 2, 3, 500] {
+            earlier.record(v);
+        }
+        let mut later = earlier.clone();
+        let mut increment = Histogram::new();
+        for v in [7u64, 0, 90_000] {
+            later.record(v);
+            increment.record(v);
+        }
+        let d = later.diff(&earlier);
+        assert_eq!(d.count, increment.count);
+        assert_eq!(d.sum, increment.sum);
+        assert_eq!(d.nonzero_buckets(), increment.nonzero_buckets());
+        // min/max are inherited from the newer snapshot (not recoverable).
+        assert_eq!(d.min, later.min);
+        assert_eq!(d.max, later.max);
+        // No samples in between → exactly empty.
+        assert_eq!(later.diff(&later), Histogram::new());
     }
 
     #[test]

@@ -56,14 +56,17 @@
 pub mod cancel;
 pub mod hist;
 pub mod json;
+pub mod prom;
+pub mod snapshot;
 pub mod summary;
 pub mod trace;
 
 pub use cancel::CancelToken;
+pub use snapshot::Snapshot;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
@@ -79,6 +82,12 @@ const MAX_EVENTS_PER_THREAD: usize = 1 << 18;
 /// unbounded memory.
 const MAX_TOTAL_EVENTS: usize = 4 << 20;
 
+/// How often a live thread drains its aggregates into the global
+/// accumulator mid-session (checked at span close, so an idle thread
+/// never wakes just to flush). Keeps [`snapshot`] fresh without putting a
+/// lock on the per-span hot path.
+const FLUSH_INTERVAL_NS: u64 = 100_000_000;
+
 /// One completed span: a named interval on a lane.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanEvent {
@@ -90,6 +99,17 @@ pub struct SpanEvent {
     pub start_ns: u64,
     /// Duration in nanoseconds.
     pub dur_ns: u64,
+}
+
+/// Per-lane busy-time totals, maintained incrementally as spans close so
+/// pool utilization can be computed without scanning the event buffer
+/// (whose spans may have been dropped under the caps).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneBusy {
+    /// Nanoseconds this lane spent inside `check` spans.
+    pub check_ns: u64,
+    /// Nanoseconds this lane spent inside any span (including `check`).
+    pub busy_ns: u64,
 }
 
 /// Everything one recording session produced, snapshotted by [`collect`].
@@ -105,6 +125,8 @@ pub struct ObsReport {
     pub maxima: BTreeMap<&'static str, u64>,
     /// Span-duration histograms by stage name (nanoseconds).
     pub hists: BTreeMap<&'static str, Histogram>,
+    /// Busy-time totals by lane id.
+    pub lane_busy: BTreeMap<u32, LaneBusy>,
     /// Lane names, indexed by lane id.
     pub lanes: Vec<String>,
     /// Monotonic-clock nanoseconds when [`enable`] ran.
@@ -128,6 +150,7 @@ struct Accumulator {
     counters: BTreeMap<&'static str, u64>,
     maxima: BTreeMap<&'static str, u64>,
     hists: BTreeMap<&'static str, Histogram>,
+    lane_busy: BTreeMap<u32, LaneBusy>,
 }
 
 impl Accumulator {
@@ -150,12 +173,25 @@ impl Accumulator {
         for (name, h) in rec.hists.drain(..) {
             self.hists.entry(name).or_default().merge(&h);
         }
+        if rec.busy_ns > 0 {
+            let slot = self.lane_busy.entry(rec.lane).or_default();
+            slot.busy_ns += rec.busy_ns;
+            slot.check_ns += rec.check_ns;
+            rec.busy_ns = 0;
+            rec.check_ns = 0;
+        }
     }
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_LANE: AtomicU32 = AtomicU32::new(0);
 static SESSION_START_NS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+/// Generation counter bumped by [`enable`]: recorders stamped with an older
+/// session are *discarded* on drop/flush instead of polluting the new
+/// session (a detached hard-timeout checker may wake long after its run).
+static SESSION: AtomicU64 = AtomicU64::new(0);
+/// Monotone id handed out by [`snapshot`]; reset by [`enable`].
+static SNAPSHOT_EPOCH: AtomicU64 = AtomicU64::new(0);
 
 fn accumulator() -> &'static Mutex<Accumulator> {
     static ACC: OnceLock<Mutex<Accumulator>> = OnceLock::new();
@@ -199,22 +235,33 @@ fn bump(table: &mut Vec<(&'static str, u64)>, name: &'static str, n: u64, max: b
 /// when the thread exits.
 struct ThreadRecorder {
     lane: u32,
+    /// [`SESSION`] generation this recorder belongs to; stale recorders
+    /// are discarded instead of drained.
+    session: u64,
     events: Vec<SpanEvent>,
     dropped: u64,
     counters: Vec<(&'static str, u64)>,
     maxima: Vec<(&'static str, u64)>,
     hists: Vec<(&'static str, Histogram)>,
+    busy_ns: u64,
+    check_ns: u64,
+    /// Monotonic deadline for the next periodic self-flush; 0 = unarmed.
+    next_flush_ns: u64,
 }
 
 impl ThreadRecorder {
     fn new(lane: u32) -> Self {
         ThreadRecorder {
             lane,
+            session: SESSION.load(Ordering::Relaxed),
             events: Vec::new(),
             dropped: 0,
             counters: Vec::new(),
             maxima: Vec::new(),
             hists: Vec::new(),
+            busy_ns: 0,
+            check_ns: 0,
+            next_flush_ns: 0,
         }
     }
 
@@ -229,21 +276,44 @@ impl ThreadRecorder {
         } else {
             self.dropped += 1;
         }
+        self.busy_ns += dur_ns;
+        if name == "check" {
+            self.check_ns += dur_ns;
+        }
+        let mut found = false;
         for (k, h) in self.hists.iter_mut() {
             if *k == name {
                 h.record(dur_ns);
-                return;
+                found = true;
+                break;
             }
         }
-        let mut h = Histogram::new();
-        h.record(dur_ns);
-        self.hists.push((name, h));
+        if !found {
+            let mut h = Histogram::new();
+            h.record(dur_ns);
+            self.hists.push((name, h));
+        }
+        // Periodic self-flush so live snapshots see long-running threads.
+        // Armed lazily from span timestamps: no extra clock reads, and an
+        // idle thread never takes the accumulator lock.
+        let end_ns = start_ns.saturating_add(dur_ns);
+        if self.next_flush_ns == 0 {
+            self.next_flush_ns = end_ns.saturating_add(FLUSH_INTERVAL_NS);
+        } else if end_ns >= self.next_flush_ns {
+            self.next_flush_ns = end_ns.saturating_add(FLUSH_INTERVAL_NS);
+            lock_unpoisoned(accumulator()).absorb(self);
+        }
     }
 }
 
 impl Drop for ThreadRecorder {
     fn drop(&mut self) {
-        lock_unpoisoned(accumulator()).absorb(self);
+        // A recorder from an earlier session (a detached checker waking
+        // after `enable` restarted recording) must not bleed into the
+        // current one.
+        if self.session == SESSION.load(Ordering::Relaxed) {
+            lock_unpoisoned(accumulator()).absorb(self);
+        }
     }
 }
 
@@ -272,6 +342,14 @@ fn with_recorder<T>(f: impl FnOnce(&mut ThreadRecorder) -> T) -> Option<T> {
     RECORDER
         .try_with(|cell| {
             let mut slot = cell.borrow_mut();
+            let stale = slot
+                .as_ref()
+                .is_some_and(|rec| rec.session != SESSION.load(Ordering::Relaxed));
+            if stale {
+                // Replacing drops the stale recorder, whose Drop discards
+                // it (wrong session) rather than draining it.
+                *slot = None;
+            }
             let rec = slot.get_or_insert_with(|| ThreadRecorder::new(register_lane()));
             f(rec)
         })
@@ -298,8 +376,73 @@ pub fn enable() {
     *lock_unpoisoned(accumulator()) = Accumulator::default();
     lock_unpoisoned(lanes()).clear();
     NEXT_LANE.store(0, Ordering::Relaxed);
+    // Invalidate recorders still alive on other threads: their stamped
+    // session no longer matches, so they discard instead of draining.
+    SESSION.fetch_add(1, Ordering::SeqCst);
+    SNAPSHOT_EPOCH.store(0, Ordering::Relaxed);
     SESSION_START_NS.store(now_ns(), Ordering::Relaxed);
     ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Drains the calling thread's recorder into the global accumulator
+/// without ending the session or retiring the recorder's lane.
+///
+/// Call at points where buffered data must become visible to concurrent
+/// [`snapshot`] readers *now* — e.g. before a supervisor detaches a
+/// hard-timed-out checker thread.
+pub fn flush() {
+    if !is_enabled() {
+        return;
+    }
+    let _ = RECORDER.try_with(|cell| {
+        if let Some(rec) = cell.borrow_mut().as_mut() {
+            if rec.session == SESSION.load(Ordering::Relaxed) {
+                lock_unpoisoned(accumulator()).absorb(rec);
+            }
+        }
+    });
+}
+
+/// Takes a live, epoch-stamped [`Snapshot`] of the current session without
+/// ending it.
+///
+/// Flushes the calling thread's buffers first, then clones the
+/// accumulator's *aggregates* (counters, maxima, histograms, lane busy
+/// time) — never the span event buffer, so the cost is independent of how
+/// many spans the session has produced. Other threads' buffers become
+/// visible through their periodic self-flush (every ~100 ms of recorded
+/// span time), so two snapshots an interval apart see live rates via
+/// [`Snapshot::delta`].
+pub fn snapshot() -> Snapshot {
+    flush();
+    let epoch = SNAPSHOT_EPOCH.fetch_add(1, Ordering::Relaxed) + 1;
+    let (counters, maxima, hists, lane_busy, dropped) = {
+        let acc = lock_unpoisoned(accumulator());
+        (
+            acc.counters.clone(),
+            acc.maxima.clone(),
+            acc.hists.clone(),
+            acc.lane_busy.clone(),
+            acc.dropped,
+        )
+    };
+    Snapshot {
+        epoch,
+        start_ns: SESSION_START_NS.load(Ordering::Relaxed),
+        at_ns: now_ns(),
+        counters,
+        maxima,
+        hists,
+        lane_busy,
+        lanes: lock_unpoisoned(lanes()).clone(),
+        dropped_events: dropped,
+    }
+}
+
+/// The id the most recent [`snapshot`] was stamped with (0 before the
+/// first snapshot of a session).
+pub fn epoch() -> u64 {
+    SNAPSHOT_EPOCH.load(Ordering::Relaxed)
 }
 
 /// Ends the session and returns everything recorded.
@@ -319,6 +462,7 @@ pub fn collect() -> ObsReport {
         counters: acc.counters,
         maxima: acc.maxima,
         hists: acc.hists,
+        lane_busy: acc.lane_busy,
         lanes: lock_unpoisoned(lanes()).clone(),
         session_start_ns: SESSION_START_NS.load(Ordering::Relaxed),
         session_end_ns: now_ns(),
@@ -527,5 +671,88 @@ mod tests {
         let second = collect();
         assert!(!second.counters.contains_key("first"));
         assert_eq!(second.counters["second"], 1);
+    }
+
+    #[test]
+    fn snapshot_sees_live_data_without_ending_session() {
+        let _g = serial();
+        enable();
+        counter_add("live.hits", 3);
+        {
+            let _s = span("live-stage");
+        }
+        let a = snapshot();
+        assert_eq!(a.epoch, 1);
+        assert_eq!(a.counters["live.hits"], 3);
+        assert_eq!(a.hists["live-stage"].count, 1);
+        assert!(is_enabled(), "snapshot must not end the session");
+        counter_add("live.hits", 2);
+        let b = snapshot();
+        assert_eq!(b.epoch, 2);
+        assert_eq!(b.counters["live.hits"], 5);
+        let d = b.delta(&a);
+        assert_eq!(d.counters["live.hits"], 2);
+        // The flushed thread keeps recording on the same lane afterwards.
+        let report = collect();
+        assert_eq!(report.counters["live.hits"], 5);
+        assert_eq!(report.hists["live-stage"].count, 1);
+    }
+
+    #[test]
+    fn lane_busy_tracks_span_time_across_flushes() {
+        let _g = serial();
+        enable();
+        let lane = current_lane();
+        {
+            let _s = span("check");
+        }
+        {
+            let _s = span("parse");
+        }
+        let snap = snapshot();
+        let busy = snap.lane_busy[&lane];
+        assert!(busy.busy_ns >= busy.check_ns);
+        assert!(busy.check_ns > 0, "check span feeds check_ns");
+        // More work after the snapshot accumulates on the same lane.
+        {
+            let _s = span("check");
+        }
+        let report = collect();
+        assert!(report.lane_busy[&lane].check_ns >= busy.check_ns);
+        assert_eq!(report.hists["check"].count, 2);
+    }
+
+    #[test]
+    fn stale_session_recorders_are_discarded() {
+        let _g = serial();
+        enable();
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+        let (go_tx, go_rx) = std::sync::mpsc::channel::<()>();
+        let h = std::thread::spawn(move || {
+            // Record something in the *first* session, then outlive it.
+            let _s = span("stale-span");
+            drop(_s);
+            counter_add("stale.count", 1);
+            ready_tx.send(()).unwrap();
+            go_rx.recv().unwrap();
+            // Session has been restarted: this thread's recorder is stale.
+            // Both paths must discard, not pollute the new session.
+            counter_add("fresh.count", 1);
+            flush();
+        });
+        ready_rx.recv().unwrap();
+        enable(); // restart: invalidates the worker's recorder
+        go_tx.send(()).unwrap();
+        h.join().unwrap();
+        let report = collect();
+        assert!(
+            !report.counters.contains_key("stale.count"),
+            "stale recorder bled into new session: {:?}",
+            report.counters
+        );
+        // fresh.count was recorded against a *new* recorder in the new
+        // session (with_recorder replaces stale ones), so it must survive.
+        assert_eq!(report.counters["fresh.count"], 1);
+        assert!(report.events.iter().all(|e| e.name != "stale-span"));
     }
 }

@@ -1,0 +1,322 @@
+//! Prometheus text exposition (version 0.0.4) for [`Snapshot`]s.
+//!
+//! [`render`] turns a snapshot into the classic `text/plain` exposition:
+//! counters become `vgen_<name>_total`, maxima become `vgen_<name>_max`
+//! gauges, and every stage histogram becomes one
+//! `vgen_stage_duration_seconds` histogram family labelled by stage, with
+//! cumulative `_bucket{le=…}` lines derived from the log₂ buckets.
+//! Metric names are mangled to the Prometheus alphabet (`[a-zA-Z0-9_]`,
+//! dots → underscores).
+//!
+//! [`validate`] is a strict line-format checker for the produced text —
+//! used by unit tests and the CI smoke job so a malformed exposition
+//! fails loudly rather than silently scraping as garbage.
+
+use crate::Snapshot;
+
+/// Mangles a dotted counter name into the Prometheus name alphabet.
+fn mangle(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn seconds(ns: u64) -> f64 {
+    ns as f64 / 1e9
+}
+
+/// Renders a snapshot as Prometheus text exposition.
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP vgen_snapshot_epoch Monotone snapshot id within the session.\n");
+    out.push_str("# TYPE vgen_snapshot_epoch gauge\n");
+    out.push_str(&format!("vgen_snapshot_epoch {}\n", snap.epoch));
+    out.push_str("# HELP vgen_session_wall_seconds Wall time the snapshot covers.\n");
+    out.push_str("# TYPE vgen_session_wall_seconds gauge\n");
+    out.push_str(&format!(
+        "vgen_session_wall_seconds {}\n",
+        seconds(snap.wall_ns())
+    ));
+    out.push_str("# HELP vgen_pool_utilization Busy fraction across active lanes.\n");
+    out.push_str("# TYPE vgen_pool_utilization gauge\n");
+    out.push_str(&format!(
+        "vgen_pool_utilization {:.4}\n",
+        snap.utilization()
+    ));
+    out.push_str("# HELP vgen_dropped_trace_events_total Trace spans dropped at buffer caps.\n");
+    out.push_str("# TYPE vgen_dropped_trace_events_total counter\n");
+    out.push_str(&format!(
+        "vgen_dropped_trace_events_total {}\n",
+        snap.dropped_events
+    ));
+    for (name, n) in &snap.counters {
+        let m = format!("vgen_{}_total", mangle(name));
+        out.push_str(&format!("# TYPE {m} counter\n{m} {n}\n"));
+    }
+    for (name, v) in &snap.maxima {
+        let m = format!("vgen_{}_max", mangle(name));
+        out.push_str(&format!("# TYPE {m} gauge\n{m} {v}\n"));
+    }
+    if !snap.hists.is_empty() {
+        out.push_str("# HELP vgen_stage_duration_seconds Span duration by pipeline stage.\n");
+        out.push_str("# TYPE vgen_stage_duration_seconds histogram\n");
+        for (stage, hist) in &snap.hists {
+            let label = escape_label(stage);
+            let mut cumulative = 0u64;
+            for (_, hi, n) in hist.nonzero_buckets() {
+                cumulative += n;
+                out.push_str(&format!(
+                    "vgen_stage_duration_seconds_bucket{{stage=\"{label}\",le=\"{}\"}} {cumulative}\n",
+                    seconds(hi)
+                ));
+            }
+            out.push_str(&format!(
+                "vgen_stage_duration_seconds_bucket{{stage=\"{label}\",le=\"+Inf\"}} {}\n",
+                hist.count
+            ));
+            out.push_str(&format!(
+                "vgen_stage_duration_seconds_sum{{stage=\"{label}\"}} {}\n",
+                seconds(hist.sum)
+            ));
+            out.push_str(&format!(
+                "vgen_stage_duration_seconds_count{{stage=\"{label}\"}} {}\n",
+                hist.count
+            ));
+        }
+    }
+    out
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn valid_value(s: &str) -> bool {
+    matches!(s, "+Inf" | "-Inf" | "NaN") || s.parse::<f64>().is_ok()
+}
+
+/// Checks labels text of the form `k="v",k2="v2"` (no surrounding braces).
+fn valid_labels(mut s: &str) -> bool {
+    loop {
+        let Some(eq) = s.find('=') else { return false };
+        if !valid_label_name(&s[..eq]) {
+            return false;
+        }
+        let rest = &s[eq + 1..];
+        if !rest.starts_with('"') {
+            return false;
+        }
+        // Scan the quoted value honouring backslash escapes.
+        let bytes = rest.as_bytes();
+        let mut i = 1;
+        let close = loop {
+            match bytes.get(i) {
+                None => return false,
+                Some(b'\\') => {
+                    if !matches!(bytes.get(i + 1), Some(b'\\' | b'"' | b'n')) {
+                        return false;
+                    }
+                    i += 2;
+                }
+                Some(b'"') => break i,
+                Some(_) => i += 1,
+            }
+        };
+        s = &rest[close + 1..];
+        if s.is_empty() {
+            return true;
+        }
+        let Some(tail) = s.strip_prefix(',') else {
+            return false;
+        };
+        s = tail;
+    }
+}
+
+/// Strictly validates Prometheus text-exposition `text`: every line must
+/// be a well-formed `# HELP`/`# TYPE` comment or a `name[{labels}] value`
+/// sample. Returns the first offending line on failure.
+pub fn validate(text: &str) -> Result<(), String> {
+    for (lineno, line) in text.lines().enumerate() {
+        let fail = |why: &str| Err(format!("line {}: {}: {:?}", lineno + 1, why, line));
+        if line.is_empty() {
+            return fail("empty line");
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let kind = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            let tail = parts.next().unwrap_or("");
+            match kind {
+                "HELP" if valid_metric_name(name) && !tail.is_empty() => continue,
+                "TYPE"
+                    if valid_metric_name(name)
+                        && matches!(
+                            tail,
+                            "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                        ) =>
+                {
+                    continue
+                }
+                _ => return fail("malformed comment"),
+            }
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, value_part) = match line.find('{') {
+            Some(brace) => {
+                let Some(close) = line.rfind('}') else {
+                    return fail("unclosed label braces");
+                };
+                if close < brace || !valid_labels(&line[brace + 1..close]) {
+                    return fail("malformed labels");
+                }
+                (&line[..brace], line[close + 1..].trim_start())
+            }
+            None => {
+                let Some(sp) = line.find(' ') else {
+                    return fail("missing value");
+                };
+                (&line[..sp], line[sp + 1..].trim_start())
+            }
+        };
+        if !valid_metric_name(name_part) {
+            return fail("invalid metric name");
+        }
+        if !valid_value(value_part) {
+            return fail("invalid sample value");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+    use crate::LaneBusy;
+    use std::collections::BTreeMap;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut h = Histogram::new();
+        for v in [1_000u64, 2_000, 4_000, 0] {
+            h.record(v);
+        }
+        Snapshot {
+            epoch: 3,
+            start_ns: 0,
+            at_ns: 2_000_000_000,
+            counters: BTreeMap::from([("sweep.items_done", 42u64), ("guard.hard_timeout", 1)]),
+            maxima: BTreeMap::from([("sim.queue_depth", 9u64)]),
+            hists: BTreeMap::from([("simulate", h)]),
+            lane_busy: BTreeMap::from([(
+                0,
+                LaneBusy {
+                    busy_ns: 1_000_000_000,
+                    check_ns: 0,
+                },
+            )]),
+            lanes: vec!["main".into()],
+            dropped_events: 0,
+        }
+    }
+
+    #[test]
+    fn rendered_exposition_validates() {
+        let text = render(&sample_snapshot());
+        assert_eq!(validate(&text), Ok(()), "{text}");
+        assert!(text.contains("vgen_sweep_items_done_total 42"), "{text}");
+        assert!(text.contains("vgen_guard_hard_timeout_total 1"), "{text}");
+        assert!(text.contains("vgen_sim_queue_depth_max 9"), "{text}");
+        assert!(text.contains("vgen_snapshot_epoch 3"), "{text}");
+        assert!(
+            text.contains("vgen_stage_duration_seconds_bucket{stage=\"simulate\",le=\"+Inf\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("vgen_stage_duration_seconds_count{stage=\"simulate\"} 4"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn bucket_lines_are_cumulative_and_end_at_count() {
+        let text = render(&sample_snapshot());
+        let mut last = 0u64;
+        let mut bucket_lines = 0;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("vgen_stage_duration_seconds_bucket{") {
+                let n: u64 = rest.rsplit(' ').next().unwrap().parse().unwrap();
+                assert!(n >= last, "buckets must be cumulative: {line}");
+                last = n;
+                bucket_lines += 1;
+            }
+        }
+        assert!(bucket_lines >= 2);
+        assert_eq!(last, 4, "+Inf bucket equals count");
+    }
+
+    #[test]
+    fn empty_snapshot_still_validates() {
+        let text = render(&Snapshot::default());
+        assert_eq!(validate(&text), Ok(()), "{text}");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate("no_value_here\n").is_err());
+        assert!(validate("1bad_name 3\n").is_err());
+        assert!(validate("ok{unterminated=\"x} 3\n").is_err());
+        assert!(validate("ok{k=\"v\"} notanumber\n").is_err());
+        assert!(validate("# BOGUS comment\n").is_err());
+        assert!(validate("\n\n").is_err());
+        assert_eq!(validate("ok{k=\"v\",k2=\"w\"} 1.5\n"), Ok(()));
+        assert_eq!(validate("ok +Inf\n"), Ok(()));
+    }
+
+    #[test]
+    fn mangle_maps_dots_and_leading_digits() {
+        assert_eq!(mangle("sweep.items_done"), "sweep_items_done");
+        assert_eq!(mangle("guard.hard-timeout"), "guard_hard_timeout");
+        assert_eq!(mangle("9lives"), "_9lives");
+    }
+}

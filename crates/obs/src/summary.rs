@@ -1,162 +1,131 @@
-//! End-of-run metrics summary: per-stage wall-time histograms, counter
-//! table and pool utilization, rendered as an aligned text block (for
-//! stderr) and as machine-readable JSON (written next to the report).
+//! Metrics rendering: per-stage wall-time histograms, counter table and
+//! pool utilization, rendered as an aligned text block (for stderr) and
+//! as machine-readable JSON.
+//!
+//! Both renderers take a [`Snapshot`] — the end-of-run sidecar
+//! (`<journal>.metrics.json`) goes through [`Snapshot::from_report`] and
+//! the daemon's live `metrics`/`subscribe` endpoints hand in snapshots
+//! directly, so there is exactly one assembly path for both.
 
-use crate::hist::Histogram;
 use crate::json::escape;
-use crate::ObsReport;
-
-/// Stage-duration rollup used by both renderers.
-struct StageRow<'a> {
-    name: &'a str,
-    hist: &'a Histogram,
-}
-
-fn stage_rows(report: &ObsReport) -> Vec<StageRow<'_>> {
-    report
-        .hists
-        .iter()
-        .map(|(name, hist)| StageRow { name, hist })
-        .collect()
-}
-
-/// Lanes that carried at least one span, with their busy time — the sum
-/// of *top-level* stage spans would double-count nested stages, so busy
-/// time is taken from the longest-duration span tree approximation: the
-/// union is approximated by the `check` stage when present (every nested
-/// stage runs inside a check), falling back to all spans on the lane.
-fn lane_busy_ns(report: &ObsReport) -> Vec<(u32, u64)> {
-    let has_check = report.events.iter().any(|e| e.name == "check");
-    let mut busy: Vec<(u32, u64)> = Vec::new();
-    for ev in &report.events {
-        if has_check && ev.name != "check" {
-            continue;
-        }
-        match busy.iter_mut().find(|(lane, _)| *lane == ev.lane) {
-            Some((_, ns)) => *ns += ev.dur_ns,
-            None => busy.push((ev.lane, ev.dur_ns)),
-        }
-    }
-    busy.sort_unstable_by_key(|&(lane, _)| lane);
-    busy
-}
-
-/// Fraction of (busy lanes × session wall time) actually spent in spans —
-/// 1.0 means every lane that did any work was busy the whole session.
-pub fn utilization(report: &ObsReport) -> f64 {
-    let busy = lane_busy_ns(report);
-    if busy.is_empty() {
-        return 0.0;
-    }
-    let wall = report.wall_ns().max(1);
-    let total: u64 = busy.iter().map(|&(_, ns)| ns).sum();
-    (total as f64 / (busy.len() as u64 * wall) as f64).min(1.0)
-}
+use crate::{ObsReport, Snapshot};
 
 fn fmt_ms(ns: u64) -> String {
     format!("{:.3}", ns as f64 / 1e6)
 }
 
+/// Fraction of (busy lanes × session wall time) spent in spans.
+/// Convenience wrapper over [`Snapshot::utilization`] for collected
+/// reports.
+pub fn utilization(report: &ObsReport) -> f64 {
+    Snapshot::from_report(report).utilization()
+}
+
 /// Renders the aligned text summary (the `--metrics` stderr block).
 pub fn render_metrics(report: &ObsReport) -> String {
+    render_snapshot(&Snapshot::from_report(report))
+}
+
+/// Renders the machine-readable metrics JSON document.
+pub fn metrics_json(report: &ObsReport) -> String {
+    snapshot_json(&Snapshot::from_report(report))
+}
+
+/// Renders a snapshot as the aligned text metrics block.
+pub fn render_snapshot(snap: &Snapshot) -> String {
     let mut out = String::from("== vgen-obs metrics ==\n");
     out.push_str(&format!(
         "session wall time: {} ms\n",
-        fmt_ms(report.wall_ns())
+        fmt_ms(snap.wall_ns())
     ));
-    let rows = stage_rows(report);
-    if !rows.is_empty() {
+    if !snap.hists.is_empty() {
         out.push_str(&format!(
             "{:<18} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9}\n",
             "stage (ms)", "count", "total", "mean", "p50", "p90", "p99"
         ));
-        for r in &rows {
+        for (name, hist) in &snap.hists {
             out.push_str(&format!(
                 "{:<18} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9}\n",
-                r.name,
-                r.hist.count,
-                fmt_ms(r.hist.sum),
-                fmt_ms(r.hist.mean()),
-                fmt_ms(r.hist.quantile(0.5)),
-                fmt_ms(r.hist.quantile(0.9)),
-                fmt_ms(r.hist.quantile(0.99)),
+                name,
+                hist.count,
+                fmt_ms(hist.sum),
+                fmt_ms(hist.mean()),
+                fmt_ms(hist.quantile(0.5)),
+                fmt_ms(hist.quantile(0.9)),
+                fmt_ms(hist.quantile(0.99)),
             ));
         }
     }
-    if !report.counters.is_empty() {
+    if !snap.counters.is_empty() {
         out.push_str("counters:\n");
-        for (name, n) in &report.counters {
+        for (name, n) in &snap.counters {
             out.push_str(&format!("  {name:<24} {n}\n"));
         }
     }
-    if !report.maxima.is_empty() {
+    if !snap.maxima.is_empty() {
         out.push_str("maxima:\n");
-        for (name, v) in &report.maxima {
+        for (name, v) in &snap.maxima {
             out.push_str(&format!("  {name:<24} {v}\n"));
         }
     }
-    let busy = lane_busy_ns(report);
+    let busy = snap.busy_lanes();
     if !busy.is_empty() {
         out.push_str(&format!(
             "pool utilization:  {:.1}% across {} busy lane(s)\n",
-            utilization(report) * 100.0,
+            snap.utilization() * 100.0,
             busy.len()
         ));
     }
-    if report.dropped_events > 0 {
+    if snap.dropped_events > 0 {
         out.push_str(&format!(
             "dropped trace events: {} (histograms/counters unaffected)\n",
-            report.dropped_events
+            snap.dropped_events
         ));
     }
     out
 }
 
-/// Renders the machine-readable metrics JSON document.
-pub fn metrics_json(report: &ObsReport) -> String {
+/// Renders a snapshot as the machine-readable metrics JSON document.
+pub fn snapshot_json(snap: &Snapshot) -> String {
     let mut out = String::from("{\n");
-    out.push_str(&format!("  \"wall_ns\": {},\n", report.wall_ns()));
+    out.push_str(&format!("  \"epoch\": {},\n", snap.epoch));
+    out.push_str(&format!("  \"wall_ns\": {},\n", snap.wall_ns()));
     out.push_str(&format!(
         "  \"dropped_trace_events\": {},\n",
-        report.dropped_events
+        snap.dropped_events
     ));
-    out.push_str(&format!("  \"utilization\": {:.4},\n", utilization(report)));
+    out.push_str(&format!("  \"utilization\": {:.4},\n", snap.utilization()));
     out.push_str("  \"stages\": {\n");
-    let rows = stage_rows(report);
-    for (i, r) in rows.iter().enumerate() {
+    for (i, (name, hist)) in snap.hists.iter().enumerate() {
         out.push_str(&format!(
             "    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"mean_ns\": {}, \
              \"min_ns\": {}, \"max_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}}}{}\n",
-            escape(r.name),
-            r.hist.count,
-            r.hist.sum,
-            r.hist.mean(),
-            if r.hist.is_empty() { 0 } else { r.hist.min },
-            r.hist.max,
-            r.hist.quantile(0.5),
-            r.hist.quantile(0.9),
-            r.hist.quantile(0.99),
-            if i + 1 < rows.len() { "," } else { "" }
+            escape(name),
+            hist.count,
+            hist.sum,
+            hist.mean(),
+            if hist.is_empty() { 0 } else { hist.min },
+            hist.max,
+            hist.quantile(0.5),
+            hist.quantile(0.9),
+            hist.quantile(0.99),
+            if i + 1 < snap.hists.len() { "," } else { "" }
         ));
     }
     out.push_str("  },\n  \"counters\": {\n");
-    for (i, (name, n)) in report.counters.iter().enumerate() {
+    for (i, (name, n)) in snap.counters.iter().enumerate() {
         out.push_str(&format!(
             "    \"{}\": {n}{}\n",
             escape(name),
-            if i + 1 < report.counters.len() {
-                ","
-            } else {
-                ""
-            }
+            if i + 1 < snap.counters.len() { "," } else { "" }
         ));
     }
     out.push_str("  },\n  \"maxima\": {\n");
-    for (i, (name, v)) in report.maxima.iter().enumerate() {
+    for (i, (name, v)) in snap.maxima.iter().enumerate() {
         out.push_str(&format!(
             "    \"{}\": {v}{}\n",
             escape(name),
-            if i + 1 < report.maxima.len() { "," } else { "" }
+            if i + 1 < snap.maxima.len() { "," } else { "" }
         ));
     }
     out.push_str("  }\n}\n");
@@ -166,8 +135,9 @@ pub fn metrics_json(report: &ObsReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hist::Histogram;
     use crate::json::validate;
-    use crate::SpanEvent;
+    use crate::{LaneBusy, SpanEvent};
     use std::collections::BTreeMap;
 
     fn report_with_checks() -> ObsReport {
@@ -202,6 +172,22 @@ mod tests {
             counters: BTreeMap::from([("dedup.hit", 7u64)]),
             maxima: BTreeMap::from([("sim.queue_depth", 9u64)]),
             hists,
+            lane_busy: BTreeMap::from([
+                (
+                    1,
+                    LaneBusy {
+                        busy_ns: 6_000,
+                        check_ns: 5_000,
+                    },
+                ),
+                (
+                    2,
+                    LaneBusy {
+                        busy_ns: 10_000,
+                        check_ns: 10_000,
+                    },
+                ),
+            ]),
             lanes: vec!["main".into(), "vgen-pool-0".into(), "vgen-pool-1".into()],
             session_start_ns: 0,
             session_end_ns: 10_000,
@@ -209,7 +195,7 @@ mod tests {
     }
 
     #[test]
-    fn utilization_counts_check_spans_per_busy_lane() {
+    fn utilization_counts_check_time_per_busy_lane() {
         let r = report_with_checks();
         // Two busy lanes over a 10µs wall: (5000 + 10000) / (2 × 10000).
         assert!((utilization(&r) - 0.75).abs() < 1e-9, "{}", utilization(&r));
@@ -236,8 +222,20 @@ mod tests {
         let json = metrics_json(&report_with_checks());
         assert_eq!(validate(&json), Ok(()), "{json}");
         assert!(json.contains("\"p50_ns\""));
+        assert!(json.contains("\"epoch\""));
         assert!(json.contains("\"dedup.hit\": 7"));
         let empty = metrics_json(&ObsReport::default());
         assert_eq!(validate(&empty), Ok(()), "{empty}");
+    }
+
+    #[test]
+    fn sidecar_and_live_paths_render_identically() {
+        // The one-code-path guarantee: a report routed through
+        // Snapshot::from_report must render byte-identically to the
+        // snapshot-direct renderers.
+        let r = report_with_checks();
+        let snap = Snapshot::from_report(&r);
+        assert_eq!(metrics_json(&r), snapshot_json(&snap));
+        assert_eq!(render_metrics(&r), render_snapshot(&snap));
     }
 }

@@ -87,6 +87,7 @@ mod tests {
             counters: BTreeMap::from([("dedup.hit", 3u64)]),
             maxima: BTreeMap::from([("sim.queue_depth", 5u64)]),
             hists,
+            lane_busy: BTreeMap::new(),
             lanes: vec!["main".to_string(), "vgen-pool-0".to_string()],
             session_start_ns: 500,
             session_end_ns: 10_500,

@@ -7,14 +7,23 @@
 //! request without touching the others — and a wedged request degrades
 //! inside the sweep executor (timeout records, detached workers) without
 //! wedging the daemon's accept loop.
+//!
+//! The daemon also owns a process-wide `vgen-obs` recording session for
+//! its lifetime, feeding the live metrics plane: `metrics` answers with
+//! one epoch-stamped snapshot (JSON + Prometheus text), `subscribe`
+//! streams one per interval, and a [`LiveState`] table tracks every
+//! in-flight request's progress (per-shard done counts, pass/fail/fault
+//! tallies) from the same progress events clients see. Recording is
+//! write-only from the pipeline's view, so a served run stays
+//! byte-identical to an unserved one.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{self, BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use vgen_obs::CancelToken;
 
@@ -64,6 +73,157 @@ impl<W: Write + Send> EventSink for WireSink<W> {
 /// In-flight requests of one connection: id → cancel token.
 type Registry = Arc<Mutex<HashMap<u64, CancelToken>>>;
 
+/// One in-flight request as the live metrics plane sees it.
+struct LiveRequest {
+    conn: u64,
+    id: u64,
+    cmd: &'static str,
+    started: Instant,
+    done: usize,
+    total: usize,
+    pass: u64,
+    fail: u64,
+    fault: u64,
+    /// Records landed per shard (sharded evals only).
+    shards: BTreeMap<u32, u64>,
+}
+
+/// Daemon-global table of in-flight work, shared by every connection —
+/// what `metrics`/`subscribe` report under `"requests"`. Fed from the
+/// same progress events clients receive, so it costs the sweep nothing
+/// extra.
+#[derive(Clone, Default)]
+struct LiveState(Arc<Mutex<Vec<LiveRequest>>>);
+
+impl LiveState {
+    fn begin(&self, conn: u64, id: u64, cmd: &'static str) {
+        let mut reqs = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        reqs.push(LiveRequest {
+            conn,
+            id,
+            cmd,
+            started: Instant::now(),
+            done: 0,
+            total: 0,
+            pass: 0,
+            fail: 0,
+            fault: 0,
+            shards: BTreeMap::new(),
+        });
+        vgen_obs::counter_add("serve.requests", 1);
+        vgen_obs::gauge_max("serve.active", reqs.len() as u64);
+        drop(reqs);
+        // The request thread records no spans, so nothing would arm its
+        // periodic self-flush — drain it now so the counters are visible
+        // to snapshots immediately, not at thread exit.
+        vgen_obs::flush();
+    }
+
+    fn end(&self, conn: u64, id: u64) {
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|r| !(r.conn == conn && r.id == id));
+    }
+
+    /// Folds one progress event into the request's live row.
+    fn observe(&self, conn: u64, id: u64, event: &Event) {
+        let Event::Progress {
+            done,
+            total,
+            shard,
+            outcome,
+        } = event
+        else {
+            return;
+        };
+        let mut reqs = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(req) = reqs.iter_mut().find(|r| r.conn == conn && r.id == id) else {
+            return;
+        };
+        req.done = (*done).max(req.done);
+        req.total = *total;
+        if let Some(s) = shard {
+            *req.shards.entry(*s).or_insert(0) += 1;
+        }
+        match *outcome {
+            Some("pass") => req.pass += 1,
+            Some("fault") => req.fault += 1,
+            Some(_) => req.fail += 1,
+            None => {}
+        }
+    }
+
+    /// Renders the table as the `"requests"` JSON array.
+    fn render(&self) -> Json {
+        let reqs = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        Json::Arr(
+            reqs.iter()
+                .map(|r| {
+                    let elapsed_s = r.started.elapsed().as_secs_f64();
+                    let mut members = vec![
+                        ("id".to_string(), Json::Num(r.id as f64)),
+                        ("conn".to_string(), Json::Num(r.conn as f64)),
+                        ("cmd".to_string(), Json::str(r.cmd)),
+                        ("elapsed_s".to_string(), Json::Num(elapsed_s)),
+                        ("done".to_string(), Json::Num(r.done as f64)),
+                        ("total".to_string(), Json::Num(r.total as f64)),
+                        ("pass".to_string(), Json::Num(r.pass as f64)),
+                        ("fail".to_string(), Json::Num(r.fail as f64)),
+                        ("fault".to_string(), Json::Num(r.fault as f64)),
+                    ];
+                    if r.done > 0 && r.total > r.done {
+                        let eta = elapsed_s * (r.total - r.done) as f64 / r.done as f64;
+                        members.push(("eta_s".to_string(), Json::Num(eta)));
+                    }
+                    if !r.shards.is_empty() {
+                        members.push((
+                            "shards".to_string(),
+                            Json::Obj(
+                                r.shards
+                                    .iter()
+                                    .map(|(&s, &n)| (s.to_string(), Json::Num(n as f64)))
+                                    .collect(),
+                            ),
+                        ));
+                    }
+                    Json::Obj(members)
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Builds the `metrics`/`subscribe` payload: the current epoch-stamped
+/// snapshot as JSON (same shape as the `<journal>.metrics.json` sidecar —
+/// one render path), the in-flight request table, and the Prometheus text
+/// exposition — all through the RFC 8259-validated JSON machinery.
+fn metrics_payload(live: &LiveState) -> Json {
+    let snap = vgen_obs::snapshot();
+    let mut members = match Json::parse(&vgen_obs::summary::snapshot_json(&snap)) {
+        Ok(Json::Obj(m)) => m,
+        _ => Vec::new(),
+    };
+    members.push(("requests".to_string(), live.render()));
+    members.push(("prom".to_string(), Json::Str(vgen_obs::prom::render(&snap))));
+    Json::Obj(members)
+}
+
+/// An [`EventSink`] that feeds each event to the [`LiveState`] table
+/// before putting it on the wire.
+struct TallySink<W: Write + Send> {
+    inner: WireSink<W>,
+    live: LiveState,
+    conn: u64,
+}
+
+impl<W: Write + Send> EventSink for TallySink<W> {
+    fn event(&self, event: &Event) {
+        self.live.observe(self.conn, self.inner.id, event);
+        self.inner.event(event);
+    }
+}
+
 fn respond<W: Write + Send>(writer: &LineWriter<W>, id: u64, event: &Event) {
     writer.send(&render_event(id, event));
 }
@@ -75,6 +235,8 @@ fn run_request<W: Write + Send + 'static>(
     writer: &Arc<LineWriter<W>>,
     registry: &Registry,
     shutdown: &AtomicBool,
+    live: &LiveState,
+    conn: u64,
 ) {
     let id = envelope.id;
     match envelope.body {
@@ -123,6 +285,71 @@ fn run_request<W: Write + Send + 'static>(
                 ),
             }
         }
+        Request::Metrics => {
+            respond(
+                writer,
+                id,
+                &Event::Done {
+                    payload: metrics_payload(live),
+                },
+            );
+        }
+        Request::Subscribe { interval_ms, count } => {
+            respond(writer, id, &Event::Accepted { cmd: "subscribe" });
+            let cancel = CancelToken::unlimited();
+            registry
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(id, cancel.clone());
+            let interval = Duration::from_millis(interval_ms);
+            let mut frames: u64 = 0;
+            let stopped = 'stream: loop {
+                // Sleep in short chunks so per-subscriber cancel and
+                // daemon shutdown cut the stream promptly.
+                let mut slept = Duration::ZERO;
+                while slept < interval {
+                    if cancel.poll() || shutdown.load(Ordering::SeqCst) {
+                        break 'stream true;
+                    }
+                    let chunk = (interval - slept).min(Duration::from_millis(50));
+                    std::thread::sleep(chunk);
+                    slept += chunk;
+                }
+                respond(
+                    writer,
+                    id,
+                    &Event::Metrics {
+                        metrics: metrics_payload(live),
+                    },
+                );
+                frames += 1;
+                if count != 0 && frames >= count {
+                    break false;
+                }
+            };
+            registry
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&id);
+            if stopped {
+                respond(
+                    writer,
+                    id,
+                    &Event::CancelledAt {
+                        done: frames as usize,
+                        total: count as usize,
+                    },
+                );
+            } else {
+                respond(
+                    writer,
+                    id,
+                    &Event::Done {
+                        payload: Json::Obj(vec![("frames".to_string(), Json::Num(frames as f64))]),
+                    },
+                );
+            }
+        }
         Request::Eval(req) => {
             respond(writer, id, &Event::Accepted { cmd: "eval" });
             let cancel = CancelToken::unlimited();
@@ -130,11 +357,17 @@ fn run_request<W: Write + Send + 'static>(
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .insert(id, cancel.clone());
-            let sink: Arc<dyn EventSink> = Arc::new(WireSink {
-                writer: Arc::clone(writer),
-                id,
+            live.begin(conn, id, "eval");
+            let sink: Arc<dyn EventSink> = Arc::new(TallySink {
+                inner: WireSink {
+                    writer: Arc::clone(writer),
+                    id,
+                },
+                live: live.clone(),
+                conn,
             });
             let result = Service.eval(&req, &cancel, &sink);
+            live.end(conn, id);
             registry
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
@@ -216,8 +449,13 @@ fn run_request<W: Write + Send + 'static>(
 /// Serves one connection: reads request lines, dispatches long-running
 /// requests to worker threads (keeping the reader free so `cancel` works
 /// on the same connection), until EOF or shutdown.
-fn serve_connection<R, W>(reader: R, writer: Arc<LineWriter<W>>, shutdown: Arc<AtomicBool>)
-where
+fn serve_connection<R, W>(
+    reader: R,
+    writer: Arc<LineWriter<W>>,
+    shutdown: Arc<AtomicBool>,
+    live: LiveState,
+    conn: u64,
+) where
     R: io::Read,
     W: Write + Send + 'static,
 {
@@ -236,17 +474,22 @@ where
             Ok(envelope) => {
                 let heavy = matches!(
                     envelope.body,
-                    Request::Eval(_) | Request::Check(_) | Request::Sim(_) | Request::Lint(_)
+                    Request::Eval(_)
+                        | Request::Check(_)
+                        | Request::Sim(_)
+                        | Request::Lint(_)
+                        | Request::Subscribe { .. }
                 );
                 if heavy {
                     let writer = Arc::clone(&writer);
                     let registry = Arc::clone(&registry);
                     let shutdown = Arc::clone(&shutdown);
+                    let live = live.clone();
                     workers.push(std::thread::spawn(move || {
-                        run_request(envelope, &writer, &registry, &shutdown);
+                        run_request(envelope, &writer, &registry, &shutdown, &live, conn);
                     }));
                 } else {
-                    run_request(envelope, &writer, &registry, &shutdown);
+                    run_request(envelope, &writer, &registry, &shutdown, &live, conn);
                     if shutdown.load(Ordering::SeqCst) {
                         break;
                     }
@@ -285,6 +528,11 @@ pub fn serve_unix(socket: &Path, opts: &DaemonOptions) -> io::Result<()> {
     }
     let listener = UnixListener::bind(socket)?;
     listener.set_nonblocking(true)?;
+    // Daemon-lifetime recording session: the live metrics plane drains it
+    // via snapshots; nothing collects it until shutdown.
+    vgen_obs::enable();
+    let live = LiveState::default();
+    let next_conn = AtomicU64::new(1);
     let shutdown = Arc::new(AtomicBool::new(false));
     let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
     if opts.verbose {
@@ -300,6 +548,8 @@ pub fn serve_unix(socket: &Path, opts: &DaemonOptions) -> io::Result<()> {
                     eprintln!("[serve] connection accepted");
                 }
                 let shutdown = Arc::clone(&shutdown);
+                let live = live.clone();
+                let conn = next_conn.fetch_add(1, Ordering::Relaxed);
                 conns.push(std::thread::spawn(move || {
                     // Blocking I/O per connection; the listener alone is
                     // non-blocking.
@@ -311,7 +561,7 @@ pub fn serve_unix(socket: &Path, opts: &DaemonOptions) -> io::Result<()> {
                     let writer = Arc::new(LineWriter {
                         inner: Mutex::new(write_half),
                     });
-                    serve_connection(stream, writer, shutdown);
+                    serve_connection(stream, writer, shutdown, live, conn);
                 }));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -324,6 +574,7 @@ pub fn serve_unix(socket: &Path, opts: &DaemonOptions) -> io::Result<()> {
     for c in conns {
         let _ = c.join();
     }
+    let _ = vgen_obs::collect();
     let _ = std::fs::remove_file(socket);
     if opts.verbose {
         eprintln!("[serve] shut down");
@@ -338,6 +589,8 @@ pub fn serve_stdio() {
     let writer = Arc::new(LineWriter {
         inner: Mutex::new(io::stdout()),
     });
+    vgen_obs::enable();
     let shutdown = Arc::new(AtomicBool::new(false));
-    serve_connection(io::stdin(), writer, shutdown);
+    serve_connection(io::stdin(), writer, shutdown, LiveState::default(), 0);
+    let _ = vgen_obs::collect();
 }

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! request  = { "id": uint, "cmd": "eval" | "check" | "lint" | "sim"
-//!                        | "cancel" | "ping" | "shutdown", ...params }
+//!                        | "cancel" | "ping" | "shutdown"
+//!                        | "metrics" | "subscribe", ...params }
 //! response = { "id": uint, "event": "accepted" | "progress" | "metrics"
 //!                        | "log" | "done" | "cancelled" | "error", ... }
 //! ```
@@ -35,6 +36,15 @@ pub enum Request {
     /// Cancel the in-flight request with id `target` on this connection.
     Cancel {
         target: u64,
+    },
+    /// One-shot live metrics: a `done` event whose payload is the current
+    /// epoch-stamped snapshot (JSON) plus its Prometheus text exposition.
+    Metrics,
+    /// Streamed metrics: one `metrics` event per `interval_ms` until
+    /// `count` frames have been sent (`0` = until cancelled), then `done`.
+    Subscribe {
+        interval_ms: u64,
+        count: u64,
     },
     Ping,
     /// Stop accepting connections and exit once in-flight work unwinds.
@@ -148,13 +158,17 @@ pub enum Event {
     /// The request parsed and started executing.
     Accepted { cmd: &'static str },
     /// A fresh record landed: `done`/`total` count the whole request;
-    /// `shard` says which shard produced it (absent unsharded).
+    /// `shard` says which shard produced it (absent unsharded); `outcome`
+    /// classifies the record (`pass`/`fail`/`fault`, absent when the
+    /// emitter has no record in hand).
     Progress {
         done: usize,
         total: usize,
         shard: Option<u32>,
+        outcome: Option<&'static str>,
     },
-    /// Final `vgen-obs` metrics snapshot for the request (object payload).
+    /// A `vgen-obs` metrics snapshot (object payload): the final one for
+    /// an `eval --metrics` request, or one frame of a `subscribe` stream.
     Metrics { metrics: Json },
     /// Human-readable side information (resume counts, merge notes).
     Log { message: String },
@@ -187,12 +201,20 @@ pub fn render_event(id: u64, event: &Event) -> String {
             tag(&mut members, "accepted");
             members.push(("cmd".to_string(), Json::str(*cmd)));
         }
-        Event::Progress { done, total, shard } => {
+        Event::Progress {
+            done,
+            total,
+            shard,
+            outcome,
+        } => {
             tag(&mut members, "progress");
             members.push(("done".to_string(), Json::Num(*done as f64)));
             members.push(("total".to_string(), Json::Num(*total as f64)));
             if let Some(s) = shard {
                 members.push(("shard".to_string(), Json::Num(*s as f64)));
+            }
+            if let Some(o) = outcome {
+                members.push(("outcome".to_string(), Json::str(*o)));
             }
         }
         Event::Metrics { metrics } => {
@@ -262,6 +284,11 @@ pub fn parse_request(line: &str) -> Result<RequestEnvelope, String> {
     let body = match cmd {
         "ping" => Request::Ping,
         "shutdown" => Request::Shutdown,
+        "metrics" => Request::Metrics,
+        "subscribe" => Request::Subscribe {
+            interval_ms: uint_field(&v, "interval_ms", 1000)?.max(10),
+            count: uint_field(&v, "count", 0)?,
+        },
         "cancel" => Request::Cancel {
             target: v
                 .get("target")
@@ -428,6 +455,40 @@ mod tests {
     }
 
     #[test]
+    fn parses_metrics_and_subscribe() {
+        let env = parse_request(r#"{"id":3,"cmd":"metrics"}"#).expect("parse");
+        assert_eq!(env.body, Request::Metrics);
+
+        let env = parse_request(r#"{"id":4,"cmd":"subscribe"}"#).expect("parse");
+        assert_eq!(
+            env.body,
+            Request::Subscribe {
+                interval_ms: 1000,
+                count: 0
+            }
+        );
+
+        let env = parse_request(r#"{"id":5,"cmd":"subscribe","interval_ms":250,"count":8}"#)
+            .expect("parse");
+        assert_eq!(
+            env.body,
+            Request::Subscribe {
+                interval_ms: 250,
+                count: 8
+            }
+        );
+        // Sub-10ms intervals are clamped: a zero interval would busy-spin.
+        let env = parse_request(r#"{"id":6,"cmd":"subscribe","interval_ms":0}"#).expect("parse");
+        assert_eq!(
+            env.body,
+            Request::Subscribe {
+                interval_ms: 10,
+                count: 0
+            }
+        );
+    }
+
+    #[test]
     fn rejects_bad_requests() {
         assert!(parse_request("not json").is_err());
         assert!(parse_request(r#"{"cmd":"ping"}"#).is_err(), "missing id");
@@ -447,6 +508,7 @@ mod tests {
                 done: 3,
                 total: 30,
                 shard: Some(1),
+                outcome: Some("pass"),
             },
             Event::Log {
                 message: "resumed 7 record(s)".to_string(),

@@ -227,27 +227,39 @@ struct ProgressFan {
 }
 
 impl ProgressFan {
-    fn emit(&self, done: usize, shard: Option<u32>) {
+    fn emit(&self, done: usize, shard: Option<u32>, outcome: Option<&'static str>) {
         if done.is_multiple_of(self.every) || done == self.total {
             self.sink.event(&Event::Progress {
                 done,
                 total: self.total,
                 shard,
+                outcome,
             });
         }
     }
 
     /// Sharded ticks: each shard thread bumps the shared counter.
-    fn tick(&self, shard: Option<u32>) {
+    fn tick(&self, shard: Option<u32>, outcome: Option<&'static str>) {
         let done = self.done.fetch_add(1, Ordering::SeqCst) + 1;
-        self.emit(done, shard);
+        self.emit(done, shard, outcome);
     }
 
     /// Single-shard ticks: the executor already counts resumed records
     /// into `done`, so we adopt its figure instead of re-counting.
-    fn tick_at(&self, done: usize) {
+    fn tick_at(&self, done: usize, outcome: Option<&'static str>) {
         self.done.store(done, Ordering::SeqCst);
-        self.emit(done, None);
+        self.emit(done, None, outcome);
+    }
+}
+
+/// The `outcome` tag a record carries on its progress event.
+fn record_outcome(rec: &Record) -> &'static str {
+    if rec.fault {
+        "fault"
+    } else if rec.passed {
+        "pass"
+    } else {
+        "fail"
     }
 }
 
@@ -283,18 +295,32 @@ impl Service {
                 req.journal
             ));
         }
-        if req.metrics {
+        // A metrics request *owns* the obs session only when no longer-
+        // lived session is already running: inside the daemon, recording
+        // is enabled for the daemon's lifetime (feeding the live
+        // `metrics`/`subscribe` endpoints), and restarting it here would
+        // clobber every concurrent request's data. In that case the
+        // request's own metrics event is the snapshot *delta* over its
+        // execution window instead of a collected report.
+        let owns_session = req.metrics && !vgen_obs::is_enabled();
+        if owns_session {
             vgen_obs::enable();
         }
+        let live_before = (req.metrics && !owns_session).then(vgen_obs::snapshot);
         let outcome = if req.shards <= 1 {
             self.eval_single(req, params, &config, &opts, cancel, sink)
         } else {
             self.eval_sharded(req, params, &config, &opts, cancel, sink)
         };
-        let obs = req.metrics.then(vgen_obs::collect);
+        let obs = owns_session.then(vgen_obs::collect);
         let mut outcome = outcome?;
         if let Some(report) = &obs {
             let metrics = Json::parse(&vgen_obs::summary::metrics_json(report))
+                .unwrap_or_else(|_| Json::Obj(Vec::new()));
+            sink.event(&Event::Metrics { metrics });
+        } else if let Some(before) = live_before {
+            let delta = vgen_obs::snapshot().delta(&before);
+            let metrics = Json::parse(&vgen_obs::summary::snapshot_json(&delta))
                 .unwrap_or_else(|_| Json::Obj(Vec::new()));
             sink.event(&Event::Metrics { metrics });
         }
@@ -353,7 +379,9 @@ impl Service {
         let hooks = SweepHooks {
             observer: Some({
                 let fan = Arc::clone(&fan);
-                Arc::new(move |_rec: &Record, done, _total| fan.tick_at(done))
+                Arc::new(move |rec: &Record, done, _total| {
+                    fan.tick_at(done, Some(record_outcome(rec)));
+                })
             }),
             cancel: Some(cancel.clone()),
         };
@@ -457,8 +485,8 @@ impl Service {
                 handles.push(scope.spawn(move || {
                     let mut engine = params.build();
                     let hooks = SweepHooks {
-                        observer: Some(Arc::new(move |_rec: &Record, _done, _total| {
-                            fan.tick(Some(index));
+                        observer: Some(Arc::new(move |rec: &Record, _done, _total| {
+                            fan.tick(Some(index), Some(record_outcome(rec)));
                         })),
                         cancel: Some(cancel),
                     };

@@ -33,6 +33,7 @@ fn main() -> ExitCode {
         "eval" => cmd_eval(&rest),
         "serve" => cmd_serve(&rest),
         "client" => cmd_client(&rest),
+        "top" => cmd_top(&rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -70,6 +71,17 @@ USAGE:
                                           stream its events (eval reports go
                                           to stdout, byte-identical to the
                                           one-shot path)
+  vgen top --socket PATH [--interval S] [--frames N]
+                                          live daemon status: subscribes to
+                                          the metrics stream and redraws a
+                                          frame per interval (active
+                                          requests with progress bars and
+                                          ETA, stage p50/p99, pool
+                                          utilization, fault counters); on
+                                          a non-TTY it prints one summary
+                                          line per interval; --frames N
+                                          stops after N frames (default:
+                                          until ^C)
   vgen eval --journal <path> [--resume] [--model NAME] [--tuning ft|pt] [--full]
             [--jobs N] [--shards N] [--no-dedup] [--trace FILE] [--metrics]
             [--sim-backend interp|bytecode|netlist]
@@ -678,6 +690,211 @@ fn cmd_client(rest: &[&String]) -> Result<(), String> {
     } else {
         Err(format!("request failed: {}", outcome.terminal))
     }
+}
+
+/// Live terminal status view of a daemon: subscribes to the metrics
+/// stream and renders one frame per interval. On a TTY each frame redraws
+/// in place (ANSI home + clear); otherwise one summary line per interval,
+/// so `vgen top ... --frames 3 | cat` works in scripts.
+fn cmd_top(rest: &[&String]) -> Result<(), String> {
+    use std::io::{BufRead, IsTerminal, Write};
+
+    let socket = flag_value(rest, "--socket")
+        .ok_or("usage: vgen top --socket PATH [--interval SECS] [--frames N]")?;
+    let interval_s: f64 =
+        match flag_value(rest, "--interval") {
+            None => 1.0,
+            Some(s) => s.parse::<f64>().ok().filter(|v| *v > 0.0).ok_or_else(|| {
+                format!("bad --interval `{s}` (use a positive number of seconds)")
+            })?,
+        };
+    let frames: u64 = match flag_value(rest, "--frames") {
+        None => 0,
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("bad --frames `{s}` (use a non-negative integer)"))?,
+    };
+    let interval_ms = (interval_s * 1000.0).round().max(10.0) as u64;
+
+    // Retry while a just-launched daemon binds its socket (same window as
+    // the client).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let stream = loop {
+        match std::os::unix::net::UnixStream::connect(socket) {
+            Ok(s) => break s,
+            Err(e) => {
+                if std::time::Instant::now() >= deadline {
+                    return Err(format!("cannot connect to `{socket}`: {e}"));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+        }
+    };
+    let mut write_half = stream.try_clone().map_err(|e| e.to_string())?;
+    writeln!(
+        write_half,
+        "{{\"id\": 1, \"cmd\": \"subscribe\", \"interval_ms\": {interval_ms}, \"count\": {frames}}}"
+    )
+    .map_err(|e| e.to_string())?;
+    write_half.flush().map_err(|e| e.to_string())?;
+
+    let tty = std::io::stdout().is_terminal();
+    let reader = std::io::BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(parsed) = vgen::serve::Json::parse(&line) else {
+            continue;
+        };
+        match parsed.get("event").and_then(vgen::serve::Json::as_str) {
+            Some("metrics") => {
+                let Some(metrics) = parsed.get("metrics") else {
+                    continue;
+                };
+                if tty {
+                    // Home + clear-to-end redraw keeps the frame flicker-free.
+                    print!("\x1b[H\x1b[2J{}", render_top_frame(metrics, socket));
+                } else {
+                    println!("{}", render_top_line(metrics));
+                }
+                std::io::stdout().flush().map_err(|e| e.to_string())?;
+            }
+            Some("done") => return Ok(()),
+            Some("cancelled") => return Ok(()),
+            Some("error") => {
+                let msg = parsed
+                    .get("message")
+                    .and_then(vgen::serve::Json::as_str)
+                    .unwrap_or("unknown error");
+                return Err(format!("daemon error: {msg}"));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// One-line (non-TTY) rendering of a metrics frame.
+fn render_top_line(metrics: &vgen::serve::Json) -> String {
+    use vgen::serve::Json;
+    let num = |key: &str| metrics.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    let counter = |key: &str| {
+        metrics
+            .get("counters")
+            .and_then(|c| c.get(key))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let active = match metrics.get("requests") {
+        Some(Json::Arr(reqs)) => reqs.len(),
+        _ => 0,
+    };
+    format!(
+        "epoch {} active {} done {}/{} pass {} fail {} fault {} util {:.0}%",
+        num("epoch") as u64,
+        active,
+        counter("sweep.items_done"),
+        counter("sweep.items_total"),
+        counter("sweep.items_pass"),
+        counter("sweep.items_fail"),
+        counter("sweep.items_fault"),
+        num("utilization") * 100.0,
+    )
+}
+
+/// Full-screen (TTY) rendering of a metrics frame.
+fn render_top_frame(metrics: &vgen::serve::Json, socket: &str) -> String {
+    use vgen::serve::Json;
+    let num = |key: &str| metrics.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    let mut out = format!(
+        "vgen top — {socket}   epoch {}   wall {:.1}s   utilization {:.0}%\n\n",
+        num("epoch") as u64,
+        num("wall_ns") / 1e9,
+        num("utilization") * 100.0,
+    );
+
+    out.push_str("active requests:\n");
+    match metrics.get("requests") {
+        Some(Json::Arr(reqs)) if !reqs.is_empty() => {
+            for r in reqs {
+                let rnum = |key: &str| r.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+                let done = rnum("done") as u64;
+                let total = rnum("total") as u64;
+                let bar = progress_bar(done, total, 30);
+                let eta = r
+                    .get("eta_s")
+                    .and_then(Json::as_f64)
+                    .map(|e| format!("  eta {e:.0}s"))
+                    .unwrap_or_default();
+                out.push_str(&format!(
+                    "  #{:<4} {:<6} {bar} {done}/{total}  pass {} fail {} fault {}{eta}\n",
+                    rnum("id") as u64,
+                    r.get("cmd").and_then(Json::as_str).unwrap_or("?"),
+                    rnum("pass") as u64,
+                    rnum("fail") as u64,
+                    rnum("fault") as u64,
+                ));
+                if let Some(Json::Obj(shards)) = r.get("shards") {
+                    for (shard, n) in shards {
+                        out.push_str(&format!(
+                            "         shard {shard}: {} records\n",
+                            n.as_u64().unwrap_or(0)
+                        ));
+                    }
+                }
+            }
+        }
+        _ => out.push_str("  (idle)\n"),
+    }
+
+    if let Some(Json::Obj(stages)) = metrics.get("stages") {
+        if !stages.is_empty() {
+            out.push_str(&format!(
+                "\n{:<18} {:>8} {:>9} {:>9}\n",
+                "stage (ms)", "count", "p50", "p99"
+            ));
+            for (name, h) in stages {
+                let hnum = |key: &str| h.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+                out.push_str(&format!(
+                    "{name:<18} {:>8} {:>9.3} {:>9.3}\n",
+                    hnum("count") as u64,
+                    hnum("p50_ns") / 1e6,
+                    hnum("p99_ns") / 1e6,
+                ));
+            }
+        }
+    }
+
+    if let Some(Json::Obj(counters)) = metrics.get("counters") {
+        let interesting: Vec<_> = counters
+            .iter()
+            .filter(|(name, _)| {
+                name.starts_with("sweep.")
+                    || name.starts_with("serve.")
+                    || name.starts_with("guard.")
+                    || name.starts_with("fault.")
+            })
+            .collect();
+        if !interesting.is_empty() {
+            out.push_str("\ncounters:\n");
+            for (name, n) in interesting {
+                out.push_str(&format!("  {name:<24} {}\n", n.as_u64().unwrap_or(0)));
+            }
+        }
+    }
+    out
+}
+
+fn progress_bar(done: u64, total: u64, width: usize) -> String {
+    let filled = if total == 0 {
+        0
+    } else {
+        (done as usize * width) / total as usize
+    }
+    .min(width);
+    format!("[{}{}]", "#".repeat(filled), "-".repeat(width - filled))
 }
 
 /// Parses `--jobs`: a positive worker count, or `0`/`auto`/absent for the

@@ -143,6 +143,23 @@ impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
     }
 }
 
+// Tuples of strategies generate tuples of values, matching real proptest
+// (`(0usize..6, any::<u64>())` and friends).
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),*) => {
+        impl<$($s: Strategy),*> Strategy for ($($s,)*) {
+            type Value = ($($s::Value,)*);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($v,)*) = self;
+                ($($v.generate(rng),)*)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+
 // ------------------------------------------------------- regex strategies
 
 /// One parsed regex atom: a set of candidate chars plus a repetition range.
